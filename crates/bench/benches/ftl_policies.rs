@@ -1,0 +1,53 @@
+//! FTL throughput under each sanitization policy — the wall-clock
+//! counterpart of Figure 14: how expensive each policy is to *simulate*,
+//! dominated by the same relocation traffic that costs the paper's SSDs
+//! their IOPS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evanesco_ftl::config::FtlConfig;
+use evanesco_ftl::executor::MemExecutor;
+use evanesco_ftl::ftl::Ftl;
+use evanesco_ftl::observer::NullObserver;
+use evanesco_ftl::SanitizePolicy;
+
+fn policy_label(p: SanitizePolicy) -> String {
+    p.to_string()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftl_secured_overwrite");
+    g.sample_size(10);
+    for policy in [
+        SanitizePolicy::none(),
+        SanitizePolicy::evanesco(),
+        SanitizePolicy::evanesco_no_block(),
+        SanitizePolicy::scrub(),
+        SanitizePolicy::erase_based(),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy_label(policy)),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let cfg = FtlConfig::tiny_for_tests();
+                    let mut ftl = Ftl::new(cfg, policy);
+                    let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+                    let logical = ftl.logical_pages();
+                    for l in 0..logical {
+                        ftl.write(&mut ex, &mut NullObserver, l, true, l);
+                    }
+                    let mut x = 1u64;
+                    for i in 0..400u64 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        ftl.write(&mut ex, &mut NullObserver, x % logical, true, 1_000 + i);
+                    }
+                    ftl.stats()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

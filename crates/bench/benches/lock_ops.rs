@@ -1,0 +1,69 @@
+//! Microbenchmarks of the Evanesco lock mechanism: `pLock`/`bLock`
+//! execution, lock-gated reads, the majority decoder and the pAP flag
+//! device model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evanesco_core::chip::EvanescoChip;
+use evanesco_core::majority::majority;
+use evanesco_core::pap::{PapConfig, PapFlag};
+use evanesco_nand::chip::PageData;
+use evanesco_nand::geometry::{BlockId, Geometry, Ppa};
+use evanesco_nand::timing::Nanos;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_locks(c: &mut Criterion) {
+    let geom = Geometry::paper_tlc_with_blocks(8);
+    let ppb = geom.pages_per_block();
+    let mut g = c.benchmark_group("evanesco_locks");
+
+    g.bench_function("p_lock", |b| {
+        let mut chip = EvanescoChip::new(geom);
+        for p in 0..ppb {
+            chip.program(Ppa::new(0, p), PageData::tagged(p as u64)).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            chip.p_lock(Ppa::new(0, (i % ppb as u64) as u32)).unwrap();
+            i += 1;
+        });
+    });
+
+    g.bench_function("b_lock_plus_erase_cycle", |b| {
+        let mut chip = EvanescoChip::new(geom);
+        chip.program(Ppa::new(0, 0), PageData::tagged(1)).unwrap();
+        b.iter(|| {
+            chip.b_lock(BlockId(0)).unwrap();
+            chip.erase(BlockId(0), Nanos::ZERO).unwrap();
+            chip.program(Ppa::new(0, 0), PageData::tagged(1)).unwrap();
+        });
+    });
+
+    g.bench_function("gated_read_locked", |b| {
+        let mut chip = EvanescoChip::new(geom);
+        chip.program(Ppa::new(0, 0), PageData::tagged(1)).unwrap();
+        chip.p_lock(Ppa::new(0, 0)).unwrap();
+        b.iter(|| black_box(chip.read(Ppa::new(0, 0)).unwrap()));
+    });
+
+    g.bench_function("majority_9", |b| {
+        let bits = [true, true, false, true, true, false, true, false, true];
+        b.iter(|| black_box(majority(black_box(&bits))));
+    });
+
+    g.bench_function("pap_flag_program_and_age", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = PapConfig::paper();
+        b.iter(|| {
+            let mut flag = PapFlag::erased(cfg.k);
+            flag.program(&mut rng, cfg.point);
+            flag.age(&mut rng, 365.0);
+            black_box(flag.read_disabled())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_locks);
+criterion_main!(benches);

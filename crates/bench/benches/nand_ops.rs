@@ -1,0 +1,49 @@
+//! Microbenchmarks of the behavioral NAND chip: the paper's Table-of-
+//! timing-constants counterpart — how fast the *simulator* executes the
+//! basic operations (simulated latencies are constants; this measures
+//! model overhead, which bounds experiment wall-clock time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evanesco_nand::chip::{Chip, PageData};
+use evanesco_nand::geometry::{BlockId, Geometry, Ppa};
+use evanesco_nand::timing::Nanos;
+use std::hint::black_box;
+
+fn bench_program_read_erase(c: &mut Criterion) {
+    let geom = Geometry::paper_tlc_with_blocks(8);
+    let mut g = c.benchmark_group("nand_chip");
+
+    g.bench_function("program_page", |b| {
+        let mut chip = Chip::new(geom);
+        let ppb = geom.pages_per_block();
+        let mut i = 0u64;
+        b.iter(|| {
+            let block = (i / ppb as u64) % geom.blocks as u64;
+            let page = (i % ppb as u64) as u32;
+            if page == 0 {
+                chip.erase(BlockId(block as u32), Nanos(i)).unwrap();
+            }
+            chip.program(Ppa::new(block as u32, page), PageData::tagged(i)).unwrap();
+            i += 1;
+        });
+    });
+
+    g.bench_function("read_page", |b| {
+        let mut chip = Chip::new(geom);
+        chip.program(Ppa::new(0, 0), PageData::tagged(7)).unwrap();
+        b.iter(|| black_box(chip.read(Ppa::new(0, 0)).unwrap()));
+    });
+
+    g.bench_function("erase_block", |b| {
+        let mut chip = Chip::new(geom);
+        let mut i = 0u64;
+        b.iter(|| {
+            chip.erase(BlockId((i % geom.blocks as u64) as u32), Nanos(i)).unwrap();
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_program_read_erase);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbenchmarks of the reliability models backing the chip-level
+//! figures: analytic RBER evaluation, Monte-Carlo wordline simulation and
+//! the OSR destruction model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evanesco_nand::cell::{CellTech, PageType};
+use evanesco_nand::noise::{adjusted_states, Condition};
+use evanesco_nand::osr::{osr_experiment, OsrParams};
+use evanesco_nand::rber::{page_rber, worst_page_rber};
+use evanesco_nand::vth::WordlineSim;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reliability_models");
+
+    g.bench_function("analytic_page_rber", |b| {
+        let dists = adjusted_states(CellTech::Tlc, Condition::one_year_retention(1000));
+        b.iter(|| black_box(page_rber(black_box(&dists), PageType::Msb)));
+    });
+
+    g.bench_function("analytic_worst_page_rber", |b| {
+        let dists = adjusted_states(CellTech::Tlc, Condition::one_year_retention(1000));
+        b.iter(|| black_box(worst_page_rber(black_box(&dists))));
+    });
+
+    g.bench_function("mc_wordline_program_and_count", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dists = adjusted_states(CellTech::Tlc, Condition::cycled(1000));
+        b.iter(|| {
+            let mut wl = WordlineSim::with_default_cells(CellTech::Tlc);
+            wl.program_random(&mut rng, &dists);
+            black_box(wl.count_errors(PageType::Msb))
+        });
+    });
+
+    g.bench_function("osr_tlc_experiment", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| {
+            black_box(osr_experiment(
+                &mut rng,
+                CellTech::Tlc,
+                Condition::cycled(1000),
+                &[PageType::Lsb, PageType::Csb],
+                PageType::Msb,
+                &OsrParams::default(),
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! End-to-end replay throughput: how many simulated host operations per
+//! wall-clock second the full stack (generator → FTL → timed chips)
+//! sustains under each Table-2 workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evanesco_bench::Scale;
+use evanesco_ftl::SanitizePolicy;
+use evanesco_ssd::Emulator;
+use evanesco_workloads::generate::generate;
+use evanesco_workloads::replay::replay;
+use evanesco_workloads::WorkloadSpec;
+
+fn bench_replay(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let cfg = scale.ssd_config();
+    let logical = cfg.ftl.logical_pages();
+    let mut g = c.benchmark_group("replay_secssd");
+    g.sample_size(10);
+    for spec in WorkloadSpec::table2() {
+        let trace = generate(&spec, logical, scale.main_write_pages(logical), scale.seed);
+        g.bench_with_input(BenchmarkId::from_parameter(spec.name), &trace, |b, trace| {
+            b.iter(|| {
+                let mut ssd = Emulator::new(cfg, SanitizePolicy::evanesco());
+                replay(&mut ssd, trace)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates the Evanesco paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick|--smoke] [--seed N] <name>... | all
+//! ```
+//!
+//! Names: table1 table2 fig2 fig4 fig6 fig9 fig10 fig11 fig12 fig14a
+//! fig14b fig14c headline overhead ablation-k ablation-blocktrig
+//! ablation-lazy. Default scale is `full` (use `--release`!).
+
+use evanesco_bench::{run_experiment, Scale, EXPERIMENT_NAMES};
+
+fn main() {
+    let mut scale = Scale::full();
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--smoke" => scale = Scale::smoke(),
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                scale.seed = v.parse().expect("--seed needs an integer");
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick|--smoke] [--seed N] <name>...|all");
+                eprintln!("names: {}", EXPERIMENT_NAMES.join(" "));
+                return;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() || names.iter().any(|n| n == "all") {
+        names = EXPERIMENT_NAMES.iter().map(|s| s.to_string()).collect();
+    }
+    for name in names {
+        println!("{}", run_experiment(&name, &scale));
+        println!();
+    }
+}

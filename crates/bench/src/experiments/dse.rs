@@ -1,0 +1,163 @@
+//! Design-space exploration experiments: Figure 9 (pLock) and Figure 12
+//! (bLock).
+
+use evanesco_core::calibration::{block_initial_center_vth, DesignPoint};
+use evanesco_core::dse::{
+    explore_block, explore_plock, flag_cells_without_errors, ssl_center_vth_series, Region,
+};
+use std::fmt::Write;
+
+const RETENTION_DAYS: [f64; 4] = [10.0, 100.0, 1000.0, 10_000.0];
+
+fn region_str(r: Region) -> &'static str {
+    match r {
+        Region::RegionI => "Region-I",
+        Region::RegionII => "Region-II",
+        Region::Candidate => "candidate",
+    }
+}
+
+/// Figure 9: pLock design-space exploration with `k = 9` flag cells.
+pub fn fig9() -> String {
+    let report = explore_plock(9);
+    let mut out = String::new();
+    writeln!(out, "== Figure 9: design space exploration for pLock ==").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>6} {:>14} {:>14} {:<10} {:<6} {:>9}",
+        "point", "t[us]", "dataRBERx", "flagSuccess", "class", "label", "5yr-ok"
+    )
+    .unwrap();
+    for e in &report.evals {
+        writeln!(
+            out,
+            "{:<10} {:>6} {:>14.3} {:>14.4} {:<10} {:<6} {:>9}",
+            format!("Vp{}", e.point.v_index),
+            e.point.t_us,
+            e.step1_metric,
+            e.step2_metric.unwrap_or(0.0),
+            region_str(e.region),
+            e.label.unwrap_or("-"),
+            if e.region == Region::Candidate {
+                if e.retention_ok { "yes" } else { "no" }
+            } else {
+                "-"
+            }
+        )
+        .unwrap();
+    }
+    writeln!(out, "\nFigure 9(d): flag cells without errors (of 9) vs retention days").unwrap();
+    write!(out, "{:<8}", "label").unwrap();
+    for d in RETENTION_DAYS {
+        write!(out, "{:>10}", format!("{d:.0}d")).unwrap();
+    }
+    writeln!(out).unwrap();
+    for e in report.candidates() {
+        let series = flag_cells_without_errors(e.point, &RETENTION_DAYS, 9);
+        write!(out, "{:<8}", e.label.unwrap()).unwrap();
+        for v in series {
+            write!(out, "{:>10.2}", v).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    writeln!(
+        out,
+        "\nselected: {} = (Vp{}, {}us) with k = 9   [paper: (ii) = (Vp4, 100us), k = 9]",
+        report.selected_label, report.selected.v_index, report.selected.t_us
+    )
+    .unwrap();
+    out
+}
+
+/// Figure 12: bLock design-space exploration.
+pub fn fig12() -> String {
+    let report = explore_block();
+    let mut out = String::new();
+    writeln!(out, "== Figure 12: design space exploration for bLock ==").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>6} {:>16} {:<10} {:<6} {:>9}",
+        "point", "t[us]", "initCenterVth", "class", "label", "5yr-ok"
+    )
+    .unwrap();
+    for e in &report.evals {
+        writeln!(
+            out,
+            "{:<10} {:>6} {:>16.2} {:<10} {:<6} {:>9}",
+            format!("Vb{}", e.point.v_index),
+            e.point.t_us,
+            block_initial_center_vth(e.point),
+            region_str(e.region),
+            e.label.unwrap_or("-"),
+            if e.region == Region::Candidate {
+                if e.retention_ok { "yes" } else { "no" }
+            } else {
+                "-"
+            }
+        )
+        .unwrap();
+    }
+    writeln!(out, "\nFigure 12(b): SSL center Vth [V] vs retention days (kill threshold 3.0V)")
+        .unwrap();
+    write!(out, "{:<8}", "label").unwrap();
+    for d in RETENTION_DAYS {
+        write!(out, "{:>10}", format!("{d:.0}d")).unwrap();
+    }
+    writeln!(out).unwrap();
+    for e in report.candidates() {
+        let series = ssl_center_vth_series(e.point, &RETENTION_DAYS);
+        write!(out, "{:<8}", e.label.unwrap()).unwrap();
+        for v in series {
+            write!(out, "{:>10.2}", v).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    writeln!(
+        out,
+        "\nselected: {} = (Vb{}, {}us)   [paper: (ii) = (Vb6, 300us)]",
+        report.selected_label, report.selected.v_index, report.selected.t_us
+    )
+    .unwrap();
+    out
+}
+
+/// Convenience accessor for the selected design points, used by examples.
+pub fn selected_points() -> (DesignPoint, DesignPoint) {
+    (explore_plock(9).selected, explore_block().selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_reports_paper_selection() {
+        let s = fig9();
+        assert!(s.contains("selected: (ii) = (Vp4, 100us)"));
+        assert!(s.contains("Region-I"));
+        assert!(s.contains("Region-II"));
+    }
+
+    #[test]
+    fn fig12_reports_paper_selection() {
+        let s = fig12();
+        assert!(s.contains("selected: (ii) = (Vb6, 300us)"));
+        // The strongest combination stays above 4V at the 5-year horizon
+        // (between the 1000d and 10000d samples) and above 3V at 10000 days.
+        let line = s.lines().find(|l| l.starts_with("(i) ")).expect("(i) row");
+        let cols: Vec<f64> = line
+            .split_whitespace()
+            .skip(1)
+            .map(|c| c.parse().unwrap())
+            .collect();
+        assert!(cols[2] > 4.0, "1000-day center vth {}", cols[2]);
+        assert!(cols[3] > 3.0, "10000-day center vth {}", cols[3]);
+    }
+
+    #[test]
+    fn selected_points_match_reports() {
+        let (p, b) = selected_points();
+        assert_eq!((p.v_index, p.t_us), (4, 100));
+        assert_eq!((b.v_index, b.t_us), (6, 300));
+    }
+}

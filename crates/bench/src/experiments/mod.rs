@@ -1,0 +1,13 @@
+//! One module per group of paper artifacts. Every public function returns
+//! the regenerated table/figure as printable text, so the `experiments`
+//! binary prints them and integration tests assert on their shape.
+
+pub mod ablation;
+pub mod background;
+pub mod breakdown;
+pub mod dse;
+pub mod latency;
+pub mod reliability;
+pub mod security;
+pub mod system;
+pub mod versioning;

@@ -1,0 +1,179 @@
+//! Chip-level reliability experiments: Figure 6 (OSR damage), Figure 10
+//! (open-interval effect) and Figure 11(b) (RBER vs SSL center Vth).
+
+use crate::scale::Scale;
+use evanesco_core::bap::normalized_rber_vs_center_vth;
+use evanesco_nand::cell::{CellTech, PageType};
+use evanesco_nand::ecc::EccModel;
+use evanesco_nand::math::percentile;
+use evanesco_nand::noise::{adjusted_states, Condition, OpenInterval};
+use evanesco_nand::osr::{osr_experiment, OsrParams};
+use evanesco_nand::rber::page_rber;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write;
+
+/// Box-plot style summary of a set of normalized RBER samples.
+fn box_stats(samples: &[f64]) -> String {
+    format!(
+        "min {:5.2}  p25 {:5.2}  med {:5.2}  p75 {:5.2}  max {:5.2}  >limit {:4.1}%",
+        percentile(samples, 0.0),
+        percentile(samples, 25.0),
+        percentile(samples, 50.0),
+        percentile(samples, 75.0),
+        percentile(samples, 100.0),
+        100.0 * samples.iter().filter(|&&r| r > 1.0).count() as f64 / samples.len() as f64
+    )
+}
+
+/// Figure 6: normalized RBER of MSB pages under one-shot reprogramming,
+/// for MLC (3 K P/E, sanitize LSB) and TLC (1 K P/E, sanitize LSB + CSB):
+/// initial / right after OSR / after 1-year retention.
+pub fn fig6(scale: &Scale) -> String {
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let ecc = EccModel::default();
+    let params = OsrParams::default();
+    let mut out = String::new();
+    writeln!(out, "== Figure 6: RBER of MSB pages under OSR (normalized to ECC limit) ==")
+        .unwrap();
+    let cases: [(&str, CellTech, u32, &[PageType]); 2] = [
+        ("MLC, 3K P/E, sanitize LSB", CellTech::Mlc, 3000, &[PageType::Lsb]),
+        ("TLC, 1K P/E, sanitize LSB & CSB", CellTech::Tlc, 1000, &[PageType::Lsb, PageType::Csb]),
+    ];
+    for (label, tech, pe, sanitize) in cases {
+        writeln!(out, "\n[{label}]").unwrap();
+        let conditions: [(&str, Condition, bool); 3] = [
+            ("initial (no OSR)", Condition::cycled(pe), false),
+            ("after OSR", Condition::cycled(pe), true),
+            ("OSR + 1y retention", Condition::one_year_retention(pe), true),
+        ];
+        for (cname, cond, do_osr) in conditions {
+            let samples: Vec<f64> = (0..scale.wordline_trials)
+                .map(|_| {
+                    let raw = if do_osr {
+                        osr_experiment(&mut rng, tech, cond, sanitize, PageType::Msb, &params)
+                    } else {
+                        osr_experiment(&mut rng, tech, cond, &[], PageType::Msb, &params)
+                    };
+                    ecc.normalize(raw)
+                })
+                .collect();
+            writeln!(out, "  {:<20} {}", cname, box_stats(&samples)).unwrap();
+        }
+    }
+    writeln!(
+        out,
+        "\npaper anchors: MLC ~7.4% of MSB pages exceed the limit right after OSR;\n\
+         TLC MSB pages all exceed the limit; retention pushes both far beyond it."
+    )
+    .unwrap();
+    out
+}
+
+/// Figure 10: normalized RBER vs. open-interval length, three conditions.
+pub fn fig10() -> String {
+    let ecc = EccModel::default();
+    let mut out = String::new();
+    writeln!(out, "== Figure 10: RBER vs open interval length ==").unwrap();
+    let conds = [
+        ("no P/E cycling", Condition::fresh()),
+        ("after P/E cycling", Condition::cycled(1000)),
+        ("after P/E + retention", Condition::one_year_retention(1000)),
+    ];
+    writeln!(
+        out,
+        "{:<24} {}",
+        "condition",
+        OpenInterval::ALL
+            .iter()
+            .map(|c| format!("{:>11}", c.to_string()))
+            .collect::<String>()
+    )
+    .unwrap();
+    for (name, cond) in conds {
+        let base = ecc.normalize(page_rber(&adjusted_states(CellTech::Tlc, cond), PageType::Msb));
+        let row: String = OpenInterval::ALL
+            .iter()
+            .map(|c| format!("{:>11.3}", base * c.rber_factor(cond)))
+            .collect();
+        writeln!(out, "{:<24} {}", name, row).unwrap();
+    }
+    writeln!(out, "\n(factors only, normalized to zero interval)").unwrap();
+    let cond = Condition::one_year_retention(1000);
+    let row: String = OpenInterval::ALL
+        .iter()
+        .map(|c| format!("{:>11.3}", c.rber_factor(cond)))
+        .collect();
+    writeln!(out, "{:<24} {}", "worst-case factor", row).unwrap();
+    writeln!(out, "paper anchor: ~30% RBER increase at the longest interval -> erase lazily.")
+        .unwrap();
+    out
+}
+
+/// Figure 11(b): normalized RBER vs. SSL center Vth at 0 K and 1 K P/E.
+pub fn fig11() -> String {
+    let ecc = EccModel::default();
+    let mut out = String::new();
+    writeln!(out, "== Figure 11(b): RBER vs center Vth of SSL ==").unwrap();
+    let baselines = [
+        ("0K P/E", page_rber(&adjusted_states(CellTech::Tlc, Condition::fresh()), PageType::Msb)),
+        ("1K P/E", page_rber(&adjusted_states(CellTech::Tlc, Condition::cycled(1000)), PageType::Msb)),
+    ];
+    write!(out, "{:<10}", "Vth[V]").unwrap();
+    for (name, _) in &baselines {
+        write!(out, "{:>12}", name).unwrap();
+    }
+    writeln!(out).unwrap();
+    let mut v = 1.0;
+    while v <= 5.0 + 1e-9 {
+        write!(out, "{:<10.2}", v).unwrap();
+        for &(_, base) in &baselines {
+            let r = normalized_rber_vs_center_vth(v, base, &ecc);
+            write!(out, "{:>12.3}", r.min(99.0)).unwrap();
+        }
+        writeln!(out).unwrap();
+        v += 0.25;
+    }
+    writeln!(out, "ECC limit = 1.0; paper anchor: reads fail once center Vth exceeds ~3V.")
+        .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shape_holds() {
+        let s = fig6(&Scale::smoke());
+        assert!(s.contains("MLC"));
+        assert!(s.contains("TLC"));
+        // TLC after OSR: all WLs above the limit -> the ">limit" column of
+        // that row is 100%.
+        let tlc_osr_line = s
+            .lines()
+            .skip_while(|l| !l.contains("TLC"))
+            .find(|l| l.trim_start().starts_with("after OSR"))
+            .expect("TLC after-OSR row");
+        assert!(tlc_osr_line.contains("100.0%"), "line: {tlc_osr_line}");
+    }
+
+    #[test]
+    fn fig10_monotone_rows() {
+        let s = fig10();
+        assert!(s.contains("very long"));
+        assert!(s.contains("worst-case factor"));
+    }
+
+    #[test]
+    fn fig11_crosses_limit_near_3v() {
+        let s = fig11();
+        // Extract the 1K P/E column at 2.50 and 3.25.
+        let val = |prefix: &str| -> f64 {
+            let line = s.lines().find(|l| l.starts_with(prefix)).expect("row");
+            line.split_whitespace().nth(2).unwrap().parse().unwrap()
+        };
+        assert!(val("2.50") < 1.0);
+        assert!(val("3.25") > 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Block access-permission (bAP) flag device model (paper §5.4).
+//!
+//! 3D NAND implements the source-select line (SSL) of every block with
+//! normal flash cells (a planar transistor cannot be inserted into the
+//! vertical stack). `bLock` exploits this: one-shot programming the SSL
+//! cells above the read gate voltage turns them into permanently-off
+//! switches, cutting bitline current for **every page in the block**. There
+//! is no command that erases only the SSL, so the lock holds until the
+//! whole block is erased.
+//!
+//! This module models the SSL center-Vth trajectory (program + retention
+//! decay, Figure 12) and the resulting read-kill behaviour (Figure 11b).
+
+use crate::calibration::{
+    block_center_vth_after, block_initial_center_vth, DesignPoint, BLOCK_READ_KILL_VTH,
+    SSL_GATE_VOLTAGE, SSL_VTH_SIGMA,
+};
+use evanesco_nand::ecc::EccModel;
+use evanesco_nand::math::prob_above;
+
+/// Configuration of the bAP mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BapConfig {
+    /// Selected programming design point (paper final value: `(Vb6, 300 µs)`,
+    /// i.e. combination (ii)).
+    pub point: DesignPoint,
+}
+
+impl BapConfig {
+    /// The paper's selected configuration: `(Vb6, 300 µs)`.
+    pub fn paper() -> Self {
+        BapConfig { point: DesignPoint::new(6, 300) }
+    }
+}
+
+impl Default for BapConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Device-level state of one block's SSL.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SslState {
+    /// Current center Vth of the SSL cells (volts). Erased SSLs sit well
+    /// below the gate voltage so the block conducts normally.
+    pub center_vth: f64,
+}
+
+impl SslState {
+    /// An erased (normal, conducting) SSL.
+    pub fn erased() -> Self {
+        SslState { center_vth: 1.0 }
+    }
+
+    /// One-shot programs the SSL at the given design point (`bLock`).
+    pub fn program(&mut self, point: DesignPoint) {
+        self.center_vth = self.center_vth.max(block_initial_center_vth(point));
+    }
+
+    /// Center Vth after `days` of retention following a program at `point`.
+    pub fn aged(point: DesignPoint, days: f64) -> Self {
+        SslState { center_vth: block_center_vth_after(point, days) }
+    }
+
+    /// Whether reads of the block currently fail beyond the ECC limit.
+    pub fn blocks_reads(&self) -> bool {
+        self.center_vth >= BLOCK_READ_KILL_VTH
+    }
+
+    /// Fraction of bitlines whose SSL cell is off at this center Vth.
+    pub fn blocked_bitline_fraction(&self) -> f64 {
+        prob_above(self.center_vth, SSL_VTH_SIGMA, SSL_GATE_VOLTAGE)
+    }
+}
+
+/// Page RBER induced by a partially-programmed SSL at `center_vth`, on top
+/// of `baseline_rber` from normal wear (Figure 11b).
+///
+/// A blocked bitline forces its cell to read `0`; under random data half of
+/// those bits are wrong.
+pub fn rber_vs_center_vth(center_vth: f64, baseline_rber: f64) -> f64 {
+    let blocked = SslState { center_vth }.blocked_bitline_fraction();
+    baseline_rber + 0.5 * blocked
+}
+
+/// Normalized (to the ECC limit) RBER curve of Figure 11b.
+pub fn normalized_rber_vs_center_vth(center_vth: f64, baseline_rber: f64, ecc: &EccModel) -> f64 {
+    ecc.normalize(rber_vs_center_vth(center_vth, baseline_rber))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evanesco_nand::cell::{CellTech, PageType};
+    use evanesco_nand::noise::{adjusted_states, Condition};
+    use evanesco_nand::rber::page_rber;
+
+    fn baseline(pe: u32) -> f64 {
+        let dists = adjusted_states(CellTech::Tlc, Condition::cycled(pe));
+        page_rber(&dists, PageType::Msb)
+    }
+
+    #[test]
+    fn erased_ssl_conducts() {
+        let ssl = SslState::erased();
+        assert!(!ssl.blocks_reads());
+        assert!(ssl.blocked_bitline_fraction() < 1e-6);
+    }
+
+    #[test]
+    fn paper_point_blocks_reads_immediately() {
+        let mut ssl = SslState::erased();
+        ssl.program(BapConfig::paper().point);
+        assert!(ssl.blocks_reads());
+    }
+
+    #[test]
+    fn rber_crosses_ecc_limit_near_3v() {
+        // Paper Fig. 11b: reads fail beyond ECC once the center Vth passes 3V.
+        let ecc = EccModel::default();
+        let b = baseline(1000);
+        let below = normalized_rber_vs_center_vth(2.5, b, &ecc);
+        let at = normalized_rber_vs_center_vth(3.05, b, &ecc);
+        let above = normalized_rber_vs_center_vth(4.0, b, &ecc);
+        assert!(below < 1.0, "normalized rber at 2.5V: {below}");
+        assert!(at > 1.0, "normalized rber at 3.05V: {at}");
+        assert!(above > 10.0, "normalized rber at 4.0V: {above}");
+    }
+
+    #[test]
+    fn rber_curve_is_monotonic_in_center_vth() {
+        let b = baseline(1000);
+        let mut prev = 0.0;
+        for v in [1.0, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0] {
+            let r = rber_vs_center_vth(v, b);
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn cycled_curve_sits_above_fresh_curve() {
+        // Fig. 11b plots both 0K and 1K P/E: wear adds baseline errors.
+        for v in [1.0, 2.5, 3.0, 4.0] {
+            assert!(rber_vs_center_vth(v, baseline(1000)) > rber_vs_center_vth(v, baseline(0)));
+        }
+    }
+
+    #[test]
+    fn fully_programmed_ssl_blocks_everything() {
+        let ssl = SslState { center_vth: 5.0 };
+        assert!(ssl.blocked_bitline_fraction() > 0.999);
+        // All-zero read: half of random bits wrong.
+        let r = rber_vs_center_vth(5.0, 0.0);
+        assert!((r - 0.5).abs() < 0.001);
+    }
+
+    #[test]
+    fn selected_point_survives_5_years_weak_point_does_not() {
+        let five_years = 5.0 * 365.0;
+        assert!(SslState::aged(DesignPoint::new(6, 300), five_years).blocks_reads());
+        assert!(!SslState::aged(DesignPoint::new(5, 200), 365.0).blocks_reads());
+    }
+
+    #[test]
+    fn program_never_lowers_center_vth() {
+        let mut ssl = SslState { center_vth: 4.9 };
+        ssl.program(DesignPoint::new(5, 200));
+        assert!(ssl.center_vth >= 4.9);
+    }
+}

@@ -1,0 +1,333 @@
+//! Empirical device calibration for the pAP and bAP flag cells.
+//!
+//! The paper derives these curves from 160 real 48-layer 3D TLC chips
+//! (3 686 400 wordlines) on an in-house test board. We cannot measure real
+//! silicon, so every curve here is an **empirical model anchored to the
+//! figures the paper reports**:
+//!
+//! * Figure 9(b): data-cell RBER increase (program disturb) during `pLock`
+//!   as a function of program voltage and latency — Region I exclusions.
+//! * Figure 9(c): flag-cell program success rate — 47.3 % at the weakest
+//!   corner `(Vp1, 100 µs)` — Region II exclusions.
+//! * Figure 9(d): flag-cell retention errors over 10–10⁴ days at 1 K P/E.
+//! * Figure 11(b): page RBER vs. the SSL's center Vth — the ECC limit is
+//!   crossed as the center Vth passes ~3 V.
+//! * Figure 12(b): SSL center Vth vs. retention for the six candidate
+//!   `(V, t)` combinations.
+//!
+//! The absolute voltages are synthetic (the paper anonymizes them as
+//! `Vp1..Vp5` / `Vb1..Vb6`); the *relationships* — which corners are
+//! excluded, which candidates survive retention, which combination is
+//! finally selected — reproduce the paper.
+
+/// A point in a lock-command design space: program-voltage index and
+/// program latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// Program-voltage index (1-based: `Vp1..Vp5` or `Vb1..Vb6`).
+    pub v_index: u8,
+    /// Program latency in microseconds.
+    pub t_us: u32,
+}
+
+impl DesignPoint {
+    /// Creates a design point.
+    pub fn new(v_index: u8, t_us: u32) -> Self {
+        DesignPoint { v_index, t_us }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pLock (Figure 9)
+// ---------------------------------------------------------------------------
+
+/// Program-voltage grid for `pLock`: `Vp1..Vp5`, 0.5-V steps (paper §5.3).
+pub const PLOCK_V_INDICES: [u8; 5] = [1, 2, 3, 4, 5];
+/// Absolute synthetic program voltages for `Vp1..Vp5`.
+pub const PLOCK_VOLTAGES: [f64; 5] = [14.0, 14.5, 15.0, 15.5, 16.0];
+/// Latency grid for `pLock` (µs).
+pub const PLOCK_T_US: [u32; 3] = [100, 150, 200];
+
+/// Normalized RBER of *data cells* on the wordline after programming a pAP
+/// flag with this design point (program disturb; Figure 9b). `1.0` means
+/// "no increase over the pre-pLock RBER".
+///
+/// # Panics
+///
+/// Panics for a point outside the pLock grid.
+pub fn plock_data_rber_factor(p: DesignPoint) -> f64 {
+    let row = match p.v_index {
+        1 => [0.97, 0.98, 0.99],
+        2 => [0.98, 0.99, 1.00],
+        3 => [0.99, 1.00, 1.02],
+        4 => [1.01, 1.03, 1.07],
+        5 => [1.06, 1.09, 1.13],
+        v => panic!("pLock voltage index {v} out of grid"),
+    };
+    row[plock_t_slot(p.t_us)]
+}
+
+/// Fraction of flag cells successfully programmed by one shot at this design
+/// point (Figure 9c). The paper's anchor: 47.3 % at `(Vp1, 100 µs)`.
+///
+/// # Panics
+///
+/// Panics for a point outside the pLock grid.
+pub fn plock_flag_success(p: DesignPoint) -> f64 {
+    let row = match p.v_index {
+        1 => [0.473, 0.55, 0.66],
+        2 => [0.86, 0.96, 0.997],
+        3 => [0.995, 0.999, 0.9995],
+        4 => [0.9999, 0.99995, 0.99999],
+        5 => [0.99999, 0.999995, 0.999999],
+        v => panic!("pLock voltage index {v} out of grid"),
+    };
+    row[plock_t_slot(p.t_us)]
+}
+
+/// Threshold on [`plock_data_rber_factor`] above which a point damages data
+/// cells (Region I).
+pub const PLOCK_REGION1_RBER_LIMIT: f64 = 1.05;
+/// Threshold on [`plock_flag_success`] below which flag programming is
+/// unreliable (Region II).
+pub const PLOCK_REGION2_SUCCESS_FLOOR: f64 = 0.99;
+
+/// Vth margin (volts) of a programmed flag cell above the SLC flag read
+/// reference, as a function of the programming point. Stronger programming
+/// leaves more margin for retention loss.
+pub fn plock_flag_margin(p: DesignPoint) -> f64 {
+    0.55 * p.v_index as f64 + 0.003 * (p.t_us as f64 - 100.0) - 0.05
+}
+
+/// Retention-induced Vth decay of a flag cell (volts) after `days`,
+/// log-linear in time (charge detrapping), at 1 K P/E and 30 °C — the
+/// condition of Figure 9(d).
+pub fn plock_flag_decay(days: f64) -> f64 {
+    0.42 * (1.0 + days).log10()
+}
+
+/// Per-cell sigma of the flag-cell Vth around its programmed margin.
+pub const PLOCK_FLAG_SIGMA: f64 = 0.35;
+
+fn plock_t_slot(t_us: u32) -> usize {
+    PLOCK_T_US
+        .iter()
+        .position(|&t| t == t_us)
+        .unwrap_or_else(|| panic!("pLock latency {t_us}us out of grid"))
+}
+
+// ---------------------------------------------------------------------------
+// bLock (Figures 11 and 12)
+// ---------------------------------------------------------------------------
+
+/// Program-voltage grid for `bLock`: `Vb1..Vb6`, 1.0-V steps (paper §5.4).
+pub const BLOCK_V_INDICES: [u8; 6] = [1, 2, 3, 4, 5, 6];
+/// Absolute synthetic program voltages for `Vb1..Vb6`.
+pub const BLOCK_VOLTAGES: [f64; 6] = [16.0, 17.0, 18.0, 19.0, 20.0, 21.0];
+/// Latency grid for `bLock` (µs).
+pub const BLOCK_T_US: [u32; 3] = [200, 300, 400];
+
+/// SSL center Vth (volts) right after a one-shot `bLock` program at this
+/// design point (Figure 12; Region I = cannot reach 3 V).
+///
+/// # Panics
+///
+/// Panics for a point outside the bLock grid.
+pub fn block_initial_center_vth(p: DesignPoint) -> f64 {
+    let row = match p.v_index {
+        1 => [1.00, 1.10, 1.20],
+        2 => [1.60, 1.70, 1.80],
+        3 => [2.10, 2.20, 2.30],
+        4 => [2.60, 2.75, 2.90],
+        5 => [3.05, 3.30, 3.70],
+        6 => [3.80, 4.15, 4.60],
+        v => panic!("bLock voltage index {v} out of grid"),
+    };
+    row[block_t_slot(p.t_us)]
+}
+
+/// Retention decay slope of the SSL center Vth (volts per decade of days).
+///
+/// Shorter program pulses populate shallower charge traps, which detrap
+/// faster — this is why the 200-µs corners fail the 5-year requirement even
+/// at the highest voltage (Figure 12b, combinations (iv)/(vi)).
+///
+/// # Panics
+///
+/// Panics for a point outside the bLock grid.
+pub fn block_decay_per_decade(p: DesignPoint) -> f64 {
+    let row = match p.v_index {
+        1..=4 => [0.50, 0.40, 0.30],
+        5 => [0.45, 0.31, 0.20],
+        6 => [0.42, 0.25, 0.17],
+        v => panic!("bLock voltage index {v} out of grid"),
+    };
+    row[block_t_slot(p.t_us)]
+}
+
+/// SSL center Vth after `days` of retention.
+pub fn block_center_vth_after(p: DesignPoint, days: f64) -> f64 {
+    block_initial_center_vth(p) - block_decay_per_decade(p) * (1.0 + days).log10()
+}
+
+/// The SSL center Vth above which reads of the block fail beyond the ECC
+/// limit (paper Figure 11b: "when the center Vth of an SSL exceeds 3 V").
+pub const BLOCK_READ_KILL_VTH: f64 = 3.0;
+
+/// Gate voltage applied to SSL cells during a normal read; SSL cells whose
+/// Vth exceeds it stay off and block their bitline.
+pub const SSL_GATE_VOLTAGE: f64 = 3.65;
+/// Per-cell sigma of SSL Vth around the center.
+pub const SSL_VTH_SIGMA: f64 = 0.28;
+
+fn block_t_slot(t_us: u32) -> usize {
+    BLOCK_T_US
+        .iter()
+        .position(|&t| t == t_us)
+        .unwrap_or_else(|| panic!("bLock latency {t_us}us out of grid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plock_weakest_corner_matches_paper_anchor() {
+        // Paper: "(Vp1, 100µs) can program only 47.3% of flag cells".
+        assert_eq!(plock_flag_success(DesignPoint::new(1, 100)), 0.473);
+    }
+
+    #[test]
+    fn plock_success_monotonic_in_voltage_and_time() {
+        for (vi, t) in [(1u8, 100u32), (2, 150), (3, 100)] {
+            let p = plock_flag_success(DesignPoint::new(vi, t));
+            assert!(plock_flag_success(DesignPoint::new(vi + 1, t)) >= p);
+        }
+        for vi in PLOCK_V_INDICES {
+            let mut prev = 0.0;
+            for t in PLOCK_T_US {
+                let s = plock_flag_success(DesignPoint::new(vi, t));
+                assert!(s >= prev);
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn plock_region1_is_exactly_four_combos() {
+        // Paper Fig. 9a: Region I excludes 4 combinations.
+        let mut excluded = 0;
+        for vi in PLOCK_V_INDICES {
+            for t in PLOCK_T_US {
+                if plock_data_rber_factor(DesignPoint::new(vi, t)) > PLOCK_REGION1_RBER_LIMIT {
+                    excluded += 1;
+                }
+            }
+        }
+        assert_eq!(excluded, 4);
+    }
+
+    #[test]
+    fn plock_region2_is_exactly_five_combos() {
+        // Paper Fig. 9a/9c: Region II excludes 5 more combinations.
+        let mut excluded = 0;
+        for vi in PLOCK_V_INDICES {
+            for t in PLOCK_T_US {
+                let p = DesignPoint::new(vi, t);
+                if plock_data_rber_factor(p) <= PLOCK_REGION1_RBER_LIMIT
+                    && plock_flag_success(p) < PLOCK_REGION2_SUCCESS_FLOOR
+                {
+                    excluded += 1;
+                }
+            }
+        }
+        assert_eq!(excluded, 5);
+    }
+
+    #[test]
+    fn plock_margin_grows_with_programming_strength() {
+        assert!(
+            plock_flag_margin(DesignPoint::new(4, 100))
+                > plock_flag_margin(DesignPoint::new(2, 200))
+        );
+        assert!(
+            plock_flag_margin(DesignPoint::new(3, 200))
+                > plock_flag_margin(DesignPoint::new(3, 100))
+        );
+    }
+
+    #[test]
+    fn block_region1_is_low_voltage_corners() {
+        // Vb1..Vb4 cannot push the SSL center past 3 V at any latency.
+        for vi in 1u8..=4 {
+            for t in BLOCK_T_US {
+                assert!(
+                    block_initial_center_vth(DesignPoint::new(vi, t)) < BLOCK_READ_KILL_VTH
+                );
+            }
+        }
+        // Vb5/Vb6 all reach 3 V.
+        for vi in 5u8..=6 {
+            for t in BLOCK_T_US {
+                assert!(
+                    block_initial_center_vth(DesignPoint::new(vi, t)) >= BLOCK_READ_KILL_VTH
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_strongest_corner_above_4v_after_5_years() {
+        // Paper Fig. 12b: (Vb6, 400µs) predicted above 4 V even after 5 years.
+        let v = block_center_vth_after(DesignPoint::new(6, 400), 5.0 * 365.0);
+        assert!(v > 4.0, "center vth {v}");
+    }
+
+    #[test]
+    fn block_weak_candidate_fails_before_one_year() {
+        // Paper Fig. 12b: (Vb5, 200µs) drops below 3 V before 1 year.
+        let v = block_center_vth_after(DesignPoint::new(5, 200), 365.0);
+        assert!(v < BLOCK_READ_KILL_VTH, "center vth {v}");
+        // And it starts above 3 V (it is a candidate, not Region I).
+        assert!(block_initial_center_vth(DesignPoint::new(5, 200)) >= BLOCK_READ_KILL_VTH);
+    }
+
+    #[test]
+    fn block_selected_combination_survives_5_years() {
+        // The paper's final pick (Vb6, 300µs).
+        let v = block_center_vth_after(DesignPoint::new(6, 300), 5.0 * 365.0);
+        assert!(v >= BLOCK_READ_KILL_VTH, "center vth {v}");
+    }
+
+    #[test]
+    fn short_pulses_decay_faster() {
+        for vi in 5u8..=6 {
+            assert!(
+                block_decay_per_decade(DesignPoint::new(vi, 200))
+                    > block_decay_per_decade(DesignPoint::new(vi, 400))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of grid")]
+    fn out_of_grid_latency_panics() {
+        plock_flag_success(DesignPoint::new(1, 123));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of grid")]
+    fn out_of_grid_voltage_panics() {
+        block_initial_center_vth(DesignPoint::new(9, 200));
+    }
+
+    #[test]
+    fn flag_decay_is_log_time() {
+        let d1 = plock_flag_decay(10.0);
+        let d2 = plock_flag_decay(100.0);
+        let d3 = plock_flag_decay(1000.0);
+        assert!((d2 - d1) > 0.0);
+        // Roughly constant per decade.
+        assert!(((d3 - d2) - (d2 - d1)).abs() < 0.02);
+    }
+}

@@ -1,0 +1,507 @@
+//! The Evanesco-enhanced NAND chip: `pLock`, `bLock`, and on-chip read
+//! gating (paper §5.2, Figure 7).
+//!
+//! The wrapper holds the behavioral access-permission state (one pAP bit
+//! per page, one bAP bit per block — the *decoded* values the majority
+//! circuit / SSL sensing would produce) and enforces the access rules:
+//!
+//! * a read first checks the block's bAP, then the page's pAP; if either is
+//!   disabled the chip outputs **all-zero data** and never drives the
+//!   data-out pins from the page buffer;
+//! * `pLock`/`bLock` set flags; **no API exists to clear them** — only
+//!   [`EvanescoChip::erase`] resets flags, and erasing destroys the data;
+//! * flags live in flash cells, so they survive power cycles and chip
+//!   de-soldering (cloning the chip state preserves them — see
+//!   [`crate::threat`]).
+//!
+//! Device-level reliability of the flags themselves is modeled separately
+//! in [`crate::pap`] / [`crate::bap`]; the behavioral layer uses the decoded
+//! values, which the design-space exploration guarantees error-free for the
+//! selected parameters.
+
+use crate::bap::BapConfig;
+use crate::error::EvanescoError;
+use crate::pap::PapConfig;
+use evanesco_nand::chip::{Chip, PageContent, PageData};
+use evanesco_nand::geometry::{BlockId, Geometry, Ppa};
+use evanesco_nand::timing::{Nanos, TimingSpec};
+
+/// What an Evanesco-gated read returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadResult {
+    /// Access blocked by a pAP or bAP flag: the interface returns data with
+    /// all bits set to `0`.
+    Locked,
+    /// Normal read: the underlying page content.
+    Content(PageContent),
+}
+
+impl ReadResult {
+    /// Programmed data, if the read exposed any.
+    pub fn data(&self) -> Option<&PageData> {
+        match self {
+            ReadResult::Locked => None,
+            ReadResult::Content(c) => c.data(),
+        }
+    }
+}
+
+/// Result of a gated read: outcome plus array latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecureReadOutput {
+    /// The gated outcome.
+    pub result: ReadResult,
+    /// Array-access latency (a locked read still senses the array and the
+    /// flag cells; latency is unchanged).
+    pub latency: Nanos,
+}
+
+/// Lock-command counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// `pLock` commands executed.
+    pub plocks: u64,
+    /// `bLock` commands executed.
+    pub blocks: u64,
+}
+
+/// A NAND chip extended with the Evanesco lock mechanism.
+#[derive(Debug, Clone)]
+pub struct EvanescoChip {
+    inner: Chip,
+    /// Decoded pAP flag per page, indexed `[block][page]`; `true` = locked.
+    /// In behavioral mode this is the truth; in device mode it records the
+    /// FTL's *intent* while the physical cells decide actual gating.
+    pap_locked: Vec<Vec<bool>>,
+    /// Decoded bAP flag per block; `true` = locked (intent in device mode).
+    bap_locked: Vec<bool>,
+    pap_config: PapConfig,
+    bap_config: BapConfig,
+    lock_stats: LockStats,
+    /// Optional physical flag-cell simulation (see
+    /// [`crate::device_flags`]); when present, read gating consults the
+    /// physical cells instead of the decoded intent.
+    device_flags: Option<crate::device_flags::FlagDeviceSim>,
+}
+
+impl EvanescoChip {
+    /// Creates a chip with paper timing and the paper's flag configurations.
+    pub fn new(geom: Geometry) -> Self {
+        Self::with_timing(geom, TimingSpec::paper())
+    }
+
+    /// Creates a chip with explicit timing.
+    pub fn with_timing(geom: Geometry, timing: TimingSpec) -> Self {
+        let pages = geom.pages_per_block() as usize;
+        EvanescoChip {
+            inner: Chip::with_timing(geom, timing),
+            pap_locked: vec![vec![false; pages]; geom.blocks as usize],
+            bap_locked: vec![false; geom.blocks as usize],
+            pap_config: PapConfig::paper(),
+            bap_config: BapConfig::paper(),
+            lock_stats: LockStats::default(),
+            device_flags: None,
+        }
+    }
+
+    /// Switches the chip to **device mode**: locks program physical flag
+    /// cells under the given configurations, and read gating decodes those
+    /// cells. Use [`EvanescoChip::age_flags`] to apply retention.
+    pub fn enable_device_flags(&mut self, pap: PapConfig, bap: BapConfig, seed: u64) {
+        self.pap_config = pap;
+        self.bap_config = bap;
+        self.device_flags = Some(crate::device_flags::FlagDeviceSim::new(pap, bap, seed));
+    }
+
+    /// Applies `days` of retention to the physical flags (device mode
+    /// only; a no-op in behavioral mode, where the DSE-validated
+    /// parameters guarantee error-free flags for the rated lifetime).
+    pub fn age_flags(&mut self, days: f64) {
+        if let Some(sim) = &mut self.device_flags {
+            sim.age(days);
+        }
+    }
+
+    /// Locked pages whose physical flag no longer decodes as disabled —
+    /// sanitization holes (device mode only; empty in behavioral mode).
+    pub fn flag_leaks(&self) -> (usize, usize) {
+        match &self.device_flags {
+            Some(sim) => (sim.leaked_page_flags(), sim.leaked_block_flags()),
+            None => (0, 0),
+        }
+    }
+
+    /// The chip geometry.
+    pub fn geometry(&self) -> &Geometry {
+        self.inner.geometry()
+    }
+
+    /// The latency table.
+    pub fn timing(&self) -> &TimingSpec {
+        self.inner.timing()
+    }
+
+    /// The underlying behavioral chip's operation counters.
+    pub fn nand_stats(&self) -> evanesco_nand::chip::ChipStats {
+        self.inner.stats()
+    }
+
+    /// Lock-command counters.
+    pub fn lock_stats(&self) -> LockStats {
+        self.lock_stats
+    }
+
+    /// The pAP flag configuration.
+    pub fn pap_config(&self) -> PapConfig {
+        self.pap_config
+    }
+
+    /// The bAP flag configuration.
+    pub fn bap_config(&self) -> BapConfig {
+        self.bap_config
+    }
+
+    fn check_block(&self, block: BlockId) -> Result<(), EvanescoError> {
+        if block.0 < self.geometry().blocks {
+            Ok(())
+        } else {
+            Err(EvanescoError::BadBlock { block })
+        }
+    }
+
+    /// Whether a page is individually locked (pAP disabled). In device
+    /// mode this decodes the physical flag cells.
+    pub fn is_page_locked(&self, ppa: Ppa) -> bool {
+        match &self.device_flags {
+            Some(sim) => sim.page_reads_locked(ppa),
+            None => self.pap_locked[ppa.block.0 as usize][ppa.page.0 as usize],
+        }
+    }
+
+    /// Whether a whole block is locked (bAP disabled). In device mode this
+    /// senses the physical SSL.
+    pub fn is_block_locked(&self, block: BlockId) -> bool {
+        match &self.device_flags {
+            Some(sim) => sim.block_reads_locked(block),
+            None => self.bap_locked[block.0 as usize],
+        }
+    }
+
+    /// Whether a read of this page would be blocked (bAP checked first,
+    /// then pAP — Figure 7b).
+    pub fn is_access_blocked(&self, ppa: Ppa) -> bool {
+        self.is_block_locked(ppa.block) || self.is_page_locked(ppa)
+    }
+
+    /// Gated page read (Figure 7): returns all-zero for locked pages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address errors from the underlying chip.
+    pub fn read(&mut self, ppa: Ppa) -> Result<SecureReadOutput, EvanescoError> {
+        let out = self.inner.read(ppa)?;
+        let result = if self.is_access_blocked(ppa) {
+            ReadResult::Locked
+        } else {
+            ReadResult::Content(out.content)
+        };
+        Ok(SecureReadOutput { result, latency: out.latency })
+    }
+
+    /// Programs a page (passes through to the underlying chip; programming
+    /// uses SBPI to inhibit the flag cells, so pAP flags stay enabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying chip's program-rule violations.
+    pub fn program(&mut self, ppa: Ppa, data: PageData) -> Result<Nanos, EvanescoError> {
+        Ok(self.inner.program(ppa, data)?)
+    }
+
+    /// `pLock <ppn>`: disables access to one page by programming its pAP
+    /// flag cells (one-shot, low-voltage, SBPI-inhibited).
+    ///
+    /// Idempotent: locking a locked page is a no-op that still costs
+    /// `tpLock`.
+    ///
+    /// # Errors
+    ///
+    /// * [`EvanescoError::LockOnUnwrittenPage`] if the page was never
+    ///   programmed (an FTL invariant violation);
+    /// * address errors from the underlying chip.
+    pub fn p_lock(&mut self, ppa: Ppa) -> Result<Nanos, EvanescoError> {
+        if !self.inner.page_is_written(ppa)? {
+            return Err(EvanescoError::LockOnUnwrittenPage { ppa });
+        }
+        self.pap_locked[ppa.block.0 as usize][ppa.page.0 as usize] = true;
+        if let Some(sim) = &mut self.device_flags {
+            sim.program_page_flag(ppa);
+        }
+        self.lock_stats.plocks += 1;
+        Ok(self.timing().t_plock)
+    }
+
+    /// `bLock <pbn>`: disables access to an entire block by programming its
+    /// SSL cells. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvanescoError::BadBlock`] for an out-of-range block.
+    pub fn b_lock(&mut self, block: BlockId) -> Result<Nanos, EvanescoError> {
+        self.check_block(block)?;
+        self.bap_locked[block.0 as usize] = true;
+        if let Some(sim) = &mut self.device_flags {
+            sim.program_block_flag(block);
+        }
+        self.lock_stats.blocks += 1;
+        Ok(self.timing().t_block)
+    }
+
+    /// Erases a block: destroys all data **and only then** re-enables the
+    /// pAP/bAP flags — the single path by which a lock disappears.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address errors from the underlying chip.
+    pub fn erase(&mut self, block: BlockId, now: Nanos) -> Result<Nanos, EvanescoError> {
+        let lat = self.inner.erase(block, now)?;
+        for f in &mut self.pap_locked[block.0 as usize] {
+            *f = false;
+        }
+        self.bap_locked[block.0 as usize] = false;
+        if let Some(sim) = &mut self.device_flags {
+            sim.erase_block(block);
+        }
+        Ok(lat)
+    }
+
+    /// Destroys a page in place (scrubbing; used by the scrSSD baseline,
+    /// which does not rely on locks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates address errors from the underlying chip.
+    pub fn destroy_page(&mut self, ppa: Ppa) -> Result<Nanos, EvanescoError> {
+        Ok(self.inner.destroy_page(ppa)?)
+    }
+
+    /// Erase count of a block.
+    pub fn erase_count(&self, block: BlockId) -> u64 {
+        self.inner.erase_count(block)
+    }
+
+    /// Time of the last erase of `block`, if it was ever erased.
+    pub fn last_erase_at(&self, block: BlockId) -> Option<Nanos> {
+        self.inner.last_erase_at(block)
+    }
+
+    /// Next in-order programmable page index of a block.
+    pub fn next_program_index(&self, block: BlockId) -> u32 {
+        self.inner.next_program_index(block)
+    }
+
+    /// Interface-level dump of a block, **as an attacker sees it**: every
+    /// page is read through the gated path, so locked pages appear as
+    /// all-zero ([`ReadResult::Locked`]).
+    pub fn interface_dump_block(&mut self, block: BlockId) -> Vec<ReadResult> {
+        let pages = self.geometry().pages_per_block();
+        (0..pages)
+            .map(|p| {
+                self.read(Ppa { block, page: evanesco_nand::geometry::PageId(p) })
+                    .expect("in-range page")
+                    .result
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evanesco_nand::geometry::PageId;
+    use evanesco_nand::NandError;
+
+    fn chip() -> EvanescoChip {
+        EvanescoChip::new(Geometry::small_tlc())
+    }
+
+    fn fill(chip: &mut EvanescoChip, block: u32, pages: u32) {
+        for p in 0..pages {
+            chip.program(Ppa::new(block, p), PageData::tagged(1000 + p as u64)).unwrap();
+        }
+    }
+
+    #[test]
+    fn plock_blocks_page_reads_only() {
+        let mut c = chip();
+        fill(&mut c, 0, 3);
+        c.p_lock(Ppa::new(0, 1)).unwrap();
+        assert_eq!(c.read(Ppa::new(0, 1)).unwrap().result, ReadResult::Locked);
+        // Sibling pages still readable (Figure 7a).
+        assert_eq!(
+            c.read(Ppa::new(0, 0)).unwrap().result.data().unwrap().tag(),
+            1000
+        );
+        assert_eq!(
+            c.read(Ppa::new(0, 2)).unwrap().result.data().unwrap().tag(),
+            1002
+        );
+    }
+
+    #[test]
+    fn block_blocks_all_pages_regardless_of_pap() {
+        let mut c = chip();
+        fill(&mut c, 0, 4);
+        c.b_lock(BlockId(0)).unwrap();
+        for p in 0..4 {
+            assert_eq!(c.read(Ppa::new(0, p)).unwrap().result, ReadResult::Locked);
+        }
+        // Other blocks unaffected.
+        fill(&mut c, 1, 1);
+        assert!(c.read(Ppa::new(1, 0)).unwrap().result.data().is_some());
+    }
+
+    #[test]
+    fn locks_survive_until_erase_and_only_erase_unlocks() {
+        let mut c = chip();
+        fill(&mut c, 0, 2);
+        c.p_lock(Ppa::new(0, 0)).unwrap();
+        c.b_lock(BlockId(0)).unwrap();
+        assert!(c.is_page_locked(Ppa::new(0, 0)));
+        assert!(c.is_block_locked(BlockId(0)));
+        c.erase(BlockId(0), Nanos::ZERO).unwrap();
+        assert!(!c.is_page_locked(Ppa::new(0, 0)));
+        assert!(!c.is_block_locked(BlockId(0)));
+        // After erase+unlock the data is gone: a fresh read sees erased.
+        let out = c.read(Ppa::new(0, 0)).unwrap();
+        assert_eq!(out.result, ReadResult::Content(PageContent::Erased));
+    }
+
+    #[test]
+    fn plock_rejects_unwritten_pages() {
+        let mut c = chip();
+        let err = c.p_lock(Ppa::new(0, 0)).unwrap_err();
+        assert!(matches!(err, EvanescoError::LockOnUnwrittenPage { .. }));
+    }
+
+    #[test]
+    fn lock_latencies_match_design() {
+        let mut c = chip();
+        fill(&mut c, 0, 1);
+        assert_eq!(c.p_lock(Ppa::new(0, 0)).unwrap(), Nanos::from_micros(100));
+        assert_eq!(c.b_lock(BlockId(0)).unwrap(), Nanos::from_micros(300));
+    }
+
+    #[test]
+    fn lock_stats_count_commands() {
+        let mut c = chip();
+        fill(&mut c, 0, 2);
+        c.p_lock(Ppa::new(0, 0)).unwrap();
+        c.p_lock(Ppa::new(0, 1)).unwrap();
+        c.b_lock(BlockId(0)).unwrap();
+        assert_eq!(c.lock_stats(), LockStats { plocks: 2, blocks: 1 });
+    }
+
+    #[test]
+    fn interface_dump_hides_locked_pages() {
+        let mut c = chip();
+        fill(&mut c, 0, 3);
+        c.p_lock(Ppa::new(0, 1)).unwrap();
+        let dump = c.interface_dump_block(BlockId(0));
+        assert!(dump[0].data().is_some());
+        assert_eq!(dump[1], ReadResult::Locked);
+        assert!(dump[2].data().is_some());
+    }
+
+    #[test]
+    fn locked_page_can_still_be_block_locked_and_erased() {
+        let mut c = chip();
+        fill(&mut c, 0, 2);
+        c.p_lock(Ppa::new(0, 0)).unwrap();
+        c.p_lock(Ppa::new(0, 0)).unwrap(); // idempotent
+        c.b_lock(BlockId(0)).unwrap();
+        c.b_lock(BlockId(0)).unwrap(); // idempotent
+        c.erase(BlockId(0), Nanos::ZERO).unwrap();
+        assert!(!c.is_access_blocked(Ppa::new(0, 0)));
+    }
+
+    #[test]
+    fn bad_addresses_propagate() {
+        let mut c = chip();
+        assert!(matches!(
+            c.read(Ppa::new(9999, 0)),
+            Err(EvanescoError::Nand(NandError::BadAddress { .. }))
+        ));
+        assert!(matches!(c.b_lock(BlockId(9999)), Err(EvanescoError::BadBlock { .. })));
+    }
+
+    #[test]
+    fn program_rules_still_enforced_through_wrapper() {
+        let mut c = chip();
+        fill(&mut c, 0, 1);
+        let err = c.program(Ppa::new(0, 0), PageData::tagged(5)).unwrap_err();
+        assert!(matches!(
+            err,
+            EvanescoError::Nand(NandError::ProgramOnProgrammedPage { .. })
+        ));
+    }
+
+    #[test]
+    fn clone_preserves_locks_like_desoldering() {
+        // Flags live in flash cells: copying the chip (de-soldering and
+        // remounting in a reader) does not clear them.
+        let mut c = chip();
+        fill(&mut c, 0, 1);
+        c.p_lock(Ppa::new(0, 0)).unwrap();
+        let mut stolen = c.clone();
+        assert_eq!(stolen.read(Ppa::new(0, 0)).unwrap().result, ReadResult::Locked);
+    }
+
+    #[test]
+    fn page_id_helper_reads() {
+        let mut c = chip();
+        fill(&mut c, 2, 1);
+        let ppa = Ppa { block: BlockId(2), page: PageId(0) };
+        assert!(c.read(ppa).unwrap().result.data().is_some());
+    }
+
+    #[test]
+    fn device_mode_paper_flags_behave_like_behavioral_mode() {
+        let mut c = chip();
+        c.enable_device_flags(PapConfig::paper(), BapConfig::paper(), 99);
+        fill(&mut c, 0, 3);
+        c.p_lock(Ppa::new(0, 1)).unwrap();
+        assert_eq!(c.read(Ppa::new(0, 1)).unwrap().result, ReadResult::Locked);
+        assert!(c.read(Ppa::new(0, 0)).unwrap().result.data().is_some());
+        c.age_flags(5.0 * 365.0);
+        assert_eq!(c.read(Ppa::new(0, 1)).unwrap().result, ReadResult::Locked);
+        assert_eq!(c.flag_leaks(), (0, 0));
+        c.erase(BlockId(0), Nanos::ZERO).unwrap();
+        assert!(!c.is_page_locked(Ppa::new(0, 1)));
+    }
+
+    #[test]
+    fn device_mode_weak_flags_leak_data_after_aging() {
+        use crate::calibration::DesignPoint;
+        let mut c = chip();
+        // Figure 9(d)'s weakest candidate (vi) = (Vp2, 200µs).
+        c.enable_device_flags(
+            PapConfig { k: 9, point: DesignPoint::new(2, 200) },
+            BapConfig::paper(),
+            7,
+        );
+        let n = 72;
+        fill(&mut c, 0, n);
+        for p in 0..n {
+            c.p_lock(Ppa::new(0, p)).unwrap();
+        }
+        c.age_flags(5.0 * 365.0);
+        let (page_leaks, _) = c.flag_leaks();
+        assert!(page_leaks > 5, "weak flags should leak: {page_leaks}/{n}");
+        // And the leak is exploitable: some locked page reads data again.
+        let readable = (0..n)
+            .filter(|&p| c.read(Ppa::new(0, p)).unwrap().result.data().is_some())
+            .count();
+        assert_eq!(readable, page_leaks);
+    }
+}

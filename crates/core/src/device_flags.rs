@@ -1,0 +1,207 @@
+//! Device-mode flag simulation: physical pAP/bAP cells behind the lock
+//! flags.
+//!
+//! The behavioral [`crate::chip::EvanescoChip`] normally uses the *decoded*
+//! flag values (what the majority circuit / SSL sensing would produce under
+//! the DSE-validated parameters, which guarantee error-free flags). This
+//! module makes the flags physical again: each `pLock` programs `k` actual
+//! flag cells, each `bLock` programs an SSL, and retention ages them — so
+//! experiments can quantify what happens when the flag design is *weaker*
+//! than the paper's selection (the end-to-end consequence of Figures 9(d)
+//! and 12(b): locked data reappearing).
+
+use crate::bap::{BapConfig, SslState};
+use crate::pap::{PapConfig, PapFlag};
+use evanesco_nand::geometry::{BlockId, Ppa};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Physical flag state of one chip.
+#[derive(Debug, Clone)]
+pub struct FlagDeviceSim {
+    pap_config: PapConfig,
+    bap_config: BapConfig,
+    rng: StdRng,
+    page_flags: HashMap<(u32, u32), PapFlag>,
+    block_ssl: HashMap<u32, SslState>,
+    /// Days of retention already applied to every currently-programmed flag.
+    aged_days: f64,
+}
+
+impl FlagDeviceSim {
+    /// Creates a device simulation with the given flag configurations.
+    pub fn new(pap_config: PapConfig, bap_config: BapConfig, seed: u64) -> Self {
+        FlagDeviceSim {
+            pap_config,
+            bap_config,
+            rng: StdRng::seed_from_u64(seed),
+            page_flags: HashMap::new(),
+            block_ssl: HashMap::new(),
+            aged_days: 0.0,
+        }
+    }
+
+    /// The paper's selected configurations.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(PapConfig::paper(), BapConfig::paper(), seed)
+    }
+
+    /// Physically programs the pAP flag of a page (one-shot, per-cell
+    /// success probability from the calibrated curves).
+    pub fn program_page_flag(&mut self, ppa: Ppa) {
+        let mut flag = PapFlag::erased(self.pap_config.k);
+        flag.program(&mut self.rng, self.pap_config.point);
+        self.page_flags.insert((ppa.block.0, ppa.page.0), flag);
+    }
+
+    /// Physically programs the bAP (SSL) of a block.
+    pub fn program_block_flag(&mut self, block: BlockId) {
+        let mut ssl = SslState::erased();
+        ssl.program(self.bap_config.point);
+        self.block_ssl.insert(block.0, ssl);
+    }
+
+    /// Erase resets every flag of the block (the only unlock path).
+    pub fn erase_block(&mut self, block: BlockId) {
+        self.block_ssl.remove(&block.0);
+        self.page_flags.retain(|&(b, _), _| b != block.0);
+    }
+
+    /// Applies `days` of additional retention to every programmed flag.
+    pub fn age(&mut self, days: f64) {
+        for flag in self.page_flags.values_mut() {
+            flag.age(&mut self.rng, days);
+        }
+        let total = self.aged_days + days;
+        for (_, ssl) in self.block_ssl.iter_mut() {
+            // SSL decay is deterministic in the calibrated model: recompute
+            // the center Vth at the accumulated age.
+            *ssl = SslState::aged(self.bap_config.point, total);
+        }
+        self.aged_days = total;
+    }
+
+    /// Whether the physical pAP flag of the page currently decodes as
+    /// *disabled* (locked). A page that was never flag-programmed decodes
+    /// enabled.
+    pub fn page_reads_locked(&self, ppa: Ppa) -> bool {
+        self.page_flags
+            .get(&(ppa.block.0, ppa.page.0))
+            .map(|f| f.read_disabled())
+            .unwrap_or(false)
+    }
+
+    /// Whether the physical SSL of the block currently blocks reads.
+    pub fn block_reads_locked(&self, block: BlockId) -> bool {
+        self.block_ssl
+            .get(&block.0)
+            .map(|s| s.blocks_reads())
+            .unwrap_or(false)
+    }
+
+    /// Number of page flags that were programmed but currently decode as
+    /// enabled — each one is a sanitization hole.
+    pub fn leaked_page_flags(&self) -> usize {
+        self.page_flags.values().filter(|f| !f.read_disabled()).count()
+    }
+
+    /// Number of block flags that no longer block reads.
+    pub fn leaked_block_flags(&self) -> usize {
+        self.block_ssl.values().filter(|s| !s.blocks_reads()).count()
+    }
+
+    /// Total programmed page flags.
+    pub fn page_flag_count(&self) -> usize {
+        self.page_flags.len()
+    }
+
+    /// Total programmed block flags.
+    pub fn block_flag_count(&self) -> usize {
+        self.block_ssl.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::DesignPoint;
+
+    fn lock_n_pages(sim: &mut FlagDeviceSim, n: u32) {
+        for p in 0..n {
+            sim.program_page_flag(Ppa::new(0, p));
+        }
+    }
+
+    #[test]
+    fn paper_config_never_leaks_within_five_years() {
+        let mut sim = FlagDeviceSim::paper(1);
+        lock_n_pages(&mut sim, 500);
+        sim.program_block_flag(BlockId(1));
+        assert_eq!(sim.leaked_page_flags(), 0);
+        sim.age(5.0 * 365.0);
+        assert_eq!(sim.leaked_page_flags(), 0, "paper pAP config leaked");
+        assert_eq!(sim.leaked_block_flags(), 0, "paper bAP config leaked");
+        for p in 0..500 {
+            assert!(sim.page_reads_locked(Ppa::new(0, p)));
+        }
+        assert!(sim.block_reads_locked(BlockId(1)));
+    }
+
+    #[test]
+    fn weak_pap_config_leaks_after_years() {
+        // Combination (vi) = (Vp2, 200µs): Figure 9(d)'s weakest candidate.
+        let weak = PapConfig { k: 9, point: DesignPoint::new(2, 200) };
+        let mut sim = FlagDeviceSim::new(weak, BapConfig::paper(), 2);
+        lock_n_pages(&mut sim, 500);
+        sim.age(5.0 * 365.0);
+        let leaked = sim.leaked_page_flags();
+        assert!(
+            leaked > 100,
+            "weak config should leak substantially at 5 years: {leaked}/500"
+        );
+    }
+
+    #[test]
+    fn weak_bap_config_unblocks_before_a_year() {
+        // Combination (vi) = (Vb5, 200µs) from Figure 12(b).
+        let weak = BapConfig { point: DesignPoint::new(5, 200) };
+        let mut sim = FlagDeviceSim::new(PapConfig::paper(), weak, 3);
+        sim.program_block_flag(BlockId(0));
+        assert!(sim.block_reads_locked(BlockId(0)));
+        sim.age(365.0);
+        assert!(!sim.block_reads_locked(BlockId(0)), "weak SSL must decay open");
+        assert_eq!(sim.leaked_block_flags(), 1);
+    }
+
+    #[test]
+    fn erase_clears_flags() {
+        let mut sim = FlagDeviceSim::paper(4);
+        lock_n_pages(&mut sim, 4);
+        sim.program_block_flag(BlockId(0));
+        sim.erase_block(BlockId(0));
+        assert_eq!(sim.page_flag_count(), 0);
+        assert_eq!(sim.block_flag_count(), 0);
+        assert!(!sim.page_reads_locked(Ppa::new(0, 0)));
+        assert!(!sim.block_reads_locked(BlockId(0)));
+    }
+
+    #[test]
+    fn unprogrammed_flags_read_enabled() {
+        let sim = FlagDeviceSim::paper(5);
+        assert!(!sim.page_reads_locked(Ppa::new(3, 3)));
+        assert!(!sim.block_reads_locked(BlockId(3)));
+    }
+
+    #[test]
+    fn aging_accumulates() {
+        // (Vb5, 300µs) starts at 3.30V and crosses 3.0V after ~9 days.
+        let weak = BapConfig { point: DesignPoint::new(5, 300) };
+        let mut sim = FlagDeviceSim::new(PapConfig::paper(), weak, 6);
+        sim.program_block_flag(BlockId(0));
+        sim.age(4.0);
+        assert!(sim.block_reads_locked(BlockId(0)), "alive at 4 days");
+        sim.age(1996.0); // total 2000 days: far below 3V
+        assert!(!sim.block_reads_locked(BlockId(0)), "dead at 2000 days");
+    }
+}

@@ -1,0 +1,328 @@
+//! Design-space exploration for the `pLock` and `bLock` programming
+//! parameters (paper §5.3 Figure 9, §5.4 Figure 12).
+//!
+//! The exploration reproduces the paper's three-step funnel for each
+//! command:
+//!
+//! 1. exclude points that damage data cells / cannot reach the read-kill
+//!    voltage (**Region I**);
+//! 2. exclude points that cannot reliably program the flag cells
+//!    (**Region II**, `pLock` only);
+//! 3. among the remaining candidates — labeled (i)…(vi) as in the paper —
+//!    keep those that meet the retention requirement, then pick the one
+//!    with the shortest program latency (ties broken by larger margin).
+//!
+//! The paper's outcomes, which [`explore_plock`] and [`explore_block`]
+//! reproduce: `pLock` selects combination (ii) = `(Vp4, 100 µs)` with `k = 9`
+//! flag cells; `bLock` selects combination (ii) = `(Vb6, 300 µs)`.
+
+use crate::calibration::{
+    block_center_vth_after, block_initial_center_vth, plock_data_rber_factor, plock_flag_success,
+    DesignPoint, BLOCK_READ_KILL_VTH, BLOCK_T_US, BLOCK_V_INDICES, PLOCK_REGION1_RBER_LIMIT,
+    PLOCK_REGION2_SUCCESS_FLOOR, PLOCK_T_US, PLOCK_V_INDICES,
+};
+use crate::pap::{expected_flag_errors, majority_failure_prob};
+
+/// Why a design point was excluded, or that it survived to candidacy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Excluded in step 1 (data-cell damage / insufficient program level).
+    RegionI,
+    /// Excluded in step 2 (unreliable flag programming; `pLock` only).
+    RegionII,
+    /// Survived to the retention evaluation.
+    Candidate,
+}
+
+/// Evaluation record of one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointEval {
+    /// The design point.
+    pub point: DesignPoint,
+    /// Region classification.
+    pub region: Region,
+    /// Candidate label "(i)".."(vi)" (paper Figure 9a / 12a), if candidate.
+    pub label: Option<&'static str>,
+    /// Step-1 metric: data-cell RBER factor (`pLock`) or initial SSL center
+    /// Vth (`bLock`).
+    pub step1_metric: f64,
+    /// Step-2 metric: flag program success rate (`pLock` only).
+    pub step2_metric: Option<f64>,
+    /// Whether the point meets the 5-year retention requirement.
+    pub retention_ok: bool,
+}
+
+/// Full exploration report for one command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseReport {
+    /// Every grid point with its classification.
+    pub evals: Vec<PointEval>,
+    /// The selected design point.
+    pub selected: DesignPoint,
+    /// Label of the selected candidate.
+    pub selected_label: &'static str,
+}
+
+impl DseReport {
+    /// The candidate evaluations only, in label order (i)..(vi).
+    pub fn candidates(&self) -> Vec<&PointEval> {
+        let mut c: Vec<&PointEval> =
+            self.evals.iter().filter(|e| e.region == Region::Candidate).collect();
+        c.sort_by_key(|e| e.label.map(label_rank).unwrap_or(usize::MAX));
+        c
+    }
+}
+
+/// The retention requirement used for the final selection: 5 years at 30 °C
+/// after 1 K P/E cycles (the stretch case in Figures 9d / 12b).
+pub const RETENTION_REQUIREMENT_DAYS: f64 = 5.0 * 365.0;
+
+/// Majority-failure probability budget for a pAP candidate to count as
+/// meeting the retention requirement.
+pub const PAP_FAILURE_BUDGET: f64 = 1e-3;
+
+const LABELS: [&str; 6] = ["(i)", "(ii)", "(iii)", "(iv)", "(v)", "(vi)"];
+
+fn label_rank(label: &str) -> usize {
+    LABELS.iter().position(|&l| l == label).unwrap_or(usize::MAX)
+}
+
+/// Candidate labeling: the paper numbers candidates by how robustly they
+/// hold their programmed level over retention — (i) is the strongest
+/// combination, (vi) the weakest. `strength` is the 5-year retention metric
+/// (pAP flag margin minus decay, or SSL center Vth at 5 years).
+fn label_candidates(cands: &mut [(DesignPoint, f64)]) -> Vec<(DesignPoint, &'static str)> {
+    cands.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite strength"));
+    cands.iter().zip(LABELS.iter()).map(|(&(p, _), &l)| (p, l)).collect()
+}
+
+/// Runs the `pLock` design-space exploration (Figure 9) with `k` flag cells.
+///
+/// # Panics
+///
+/// Panics if no candidate meets the retention requirement (cannot happen
+/// with the calibrated tables).
+pub fn explore_plock(k: usize) -> DseReport {
+    let mut evals = Vec::new();
+    let mut cands: Vec<(DesignPoint, f64)> = Vec::new();
+    for vi in PLOCK_V_INDICES {
+        for t in PLOCK_T_US {
+            let p = DesignPoint::new(vi, t);
+            let rber_factor = plock_data_rber_factor(p);
+            let success = plock_flag_success(p);
+            let region = if rber_factor > PLOCK_REGION1_RBER_LIMIT {
+                Region::RegionI
+            } else if success < PLOCK_REGION2_SUCCESS_FLOOR {
+                Region::RegionII
+            } else {
+                Region::Candidate
+            };
+            if region == Region::Candidate {
+                cands.push((p, crate::calibration::plock_flag_margin(p)));
+            }
+            evals.push(PointEval {
+                point: p,
+                region,
+                label: None,
+                step1_metric: rber_factor,
+                step2_metric: Some(success),
+                retention_ok: false,
+            });
+        }
+    }
+    let labeled = label_candidates(&mut cands);
+    for (p, l) in &labeled {
+        let ok = majority_failure_prob(*p, RETENTION_REQUIREMENT_DAYS, k) < PAP_FAILURE_BUDGET;
+        let e = evals.iter_mut().find(|e| e.point == *p).expect("candidate in grid");
+        e.label = Some(l);
+        e.retention_ok = ok;
+    }
+    let selected_eval = select(&evals);
+    DseReport {
+        selected: selected_eval.0,
+        selected_label: selected_eval.1,
+        evals,
+    }
+}
+
+/// Runs the `bLock` design-space exploration (Figure 12).
+///
+/// # Panics
+///
+/// Panics if no candidate meets the retention requirement.
+pub fn explore_block() -> DseReport {
+    let mut evals = Vec::new();
+    let mut cands: Vec<(DesignPoint, f64)> = Vec::new();
+    for vi in BLOCK_V_INDICES {
+        for t in BLOCK_T_US {
+            let p = DesignPoint::new(vi, t);
+            let initial = block_initial_center_vth(p);
+            let region =
+                if initial < BLOCK_READ_KILL_VTH { Region::RegionI } else { Region::Candidate };
+            if region == Region::Candidate {
+                cands.push((p, block_center_vth_after(p, RETENTION_REQUIREMENT_DAYS)));
+            }
+            evals.push(PointEval {
+                point: p,
+                region,
+                label: None,
+                step1_metric: initial,
+                step2_metric: None,
+                retention_ok: false,
+            });
+        }
+    }
+    let labeled = label_candidates(&mut cands);
+    for (p, l) in &labeled {
+        let ok =
+            block_center_vth_after(*p, RETENTION_REQUIREMENT_DAYS) >= BLOCK_READ_KILL_VTH;
+        let e = evals.iter_mut().find(|e| e.point == *p).expect("candidate in grid");
+        e.label = Some(l);
+        e.retention_ok = ok;
+    }
+    let selected_eval = select(&evals);
+    DseReport {
+        selected: selected_eval.0,
+        selected_label: selected_eval.1,
+        evals,
+    }
+}
+
+/// Final selection: among retention-passing candidates, minimize latency;
+/// break ties with higher program voltage (more margin).
+fn select(evals: &[PointEval]) -> (DesignPoint, &'static str) {
+    evals
+        .iter()
+        .filter(|e| e.region == Region::Candidate && e.retention_ok)
+        .min_by(|a, b| {
+            (a.point.t_us, std::cmp::Reverse(a.point.v_index))
+                .cmp(&(b.point.t_us, std::cmp::Reverse(b.point.v_index)))
+        })
+        .map(|e| (e.point, e.label.expect("candidates are labeled")))
+        .expect("at least one candidate meets retention")
+}
+
+/// Figure 9(d) series: expected error-free flag cells (out of `k`) for a
+/// candidate point over a retention sweep.
+pub fn flag_cells_without_errors(point: DesignPoint, days: &[f64], k: usize) -> Vec<f64> {
+    days.iter().map(|&d| k as f64 - expected_flag_errors(point, d, k)).collect()
+}
+
+/// Figure 12(b) series: SSL center Vth for a candidate point over a
+/// retention sweep.
+pub fn ssl_center_vth_series(point: DesignPoint, days: &[f64]) -> Vec<f64> {
+    days.iter().map(|&d| block_center_vth_after(point, d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plock_selects_paper_combination_ii() {
+        let report = explore_plock(9);
+        assert_eq!(report.selected, DesignPoint::new(4, 100));
+        assert_eq!(report.selected_label, "(ii)");
+    }
+
+    #[test]
+    fn plock_funnel_counts_match_figure_9a() {
+        let report = explore_plock(9);
+        let r1 = report.evals.iter().filter(|e| e.region == Region::RegionI).count();
+        let r2 = report.evals.iter().filter(|e| e.region == Region::RegionII).count();
+        let c = report.evals.iter().filter(|e| e.region == Region::Candidate).count();
+        assert_eq!((r1, r2, c), (4, 5, 6));
+        assert_eq!(report.evals.len(), 15);
+    }
+
+    #[test]
+    fn plock_candidate_labels_match_paper() {
+        // Paper: (i) = (Vp4, 150µs), (ii) = (Vp4, 100µs), (vi) = (Vp2, 200µs).
+        let report = explore_plock(9);
+        let by_label = |l: &'static str| {
+            report.evals.iter().find(|e| e.label == Some(l)).map(|e| e.point).unwrap()
+        };
+        assert_eq!(by_label("(i)"), DesignPoint::new(4, 150));
+        assert_eq!(by_label("(ii)"), DesignPoint::new(4, 100));
+        assert_eq!(by_label("(vi)"), DesignPoint::new(2, 200));
+    }
+
+    #[test]
+    fn block_selects_paper_combination_ii() {
+        let report = explore_block();
+        assert_eq!(report.selected, DesignPoint::new(6, 300));
+        assert_eq!(report.selected_label, "(ii)");
+    }
+
+    #[test]
+    fn block_funnel_matches_figure_12() {
+        let report = explore_block();
+        let r1 = report.evals.iter().filter(|e| e.region == Region::RegionI).count();
+        let c = report.evals.iter().filter(|e| e.region == Region::Candidate).count();
+        assert_eq!((r1, c), (12, 6));
+        // Paper: (i) = (Vb6, 400µs) reliable, (vi) = (Vb5, 200µs) unreliable.
+        let by_label = |l: &'static str| {
+            report.evals.iter().find(|e| e.label == Some(l)).unwrap()
+        };
+        assert_eq!(by_label("(i)").point, DesignPoint::new(6, 400));
+        assert!(by_label("(i)").retention_ok);
+        assert_eq!(by_label("(vi)").point, DesignPoint::new(5, 200));
+        assert!(!by_label("(vi)").retention_ok);
+        // Text: neither (iv) nor (v) is reliable.
+        assert!(!by_label("(iv)").retention_ok);
+        assert!(!by_label("(v)").retention_ok);
+        // (iii) is reliable but slower than (ii).
+        assert!(by_label("(iii)").retention_ok);
+        assert!(by_label("(iii)").point.t_us > 300);
+    }
+
+    #[test]
+    fn candidates_sorted_by_label() {
+        let report = explore_plock(9);
+        let cands = report.candidates();
+        assert_eq!(cands.len(), 6);
+        for (i, c) in cands.iter().enumerate() {
+            assert_eq!(c.label, Some(LABELS[i]));
+        }
+    }
+
+    #[test]
+    fn figure_9d_series_shapes() {
+        // The weak candidate (vi) degrades to ~4-5 good cells at 5 years; the
+        // strong candidates stay near 9.
+        let days = [10.0, 100.0, 1000.0, 10_000.0];
+        let weak = flag_cells_without_errors(DesignPoint::new(2, 200), &days, 9);
+        let strong = flag_cells_without_errors(DesignPoint::new(4, 150), &days, 9);
+        assert!(weak.last().unwrap() < &5.0);
+        assert!(strong.last().unwrap() > &6.5);
+        for w in weak.windows(2) {
+            assert!(w[1] <= w[0], "error-free cells must not increase with time");
+        }
+    }
+
+    #[test]
+    fn figure_12b_series_shapes() {
+        let days = [10.0, 100.0, 1000.0, 10_000.0];
+        let strong = ssl_center_vth_series(DesignPoint::new(6, 400), &days);
+        let weak = ssl_center_vth_series(DesignPoint::new(5, 200), &days);
+        assert!(strong.iter().all(|&v| v > 3.5));
+        assert!(weak[0] < 3.0, "weak candidate under 3V already at 10 days");
+        for w in strong.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn smaller_k_still_selects_but_more_fragile() {
+        // Ablation: with k = 5 the same point is selected, but the weak
+        // candidates' failure probability grows.
+        let r5 = explore_plock(5);
+        let r9 = explore_plock(9);
+        assert_eq!(r5.selected, r9.selected);
+        let weak = DesignPoint::new(3, 100);
+        assert!(
+            crate::pap::majority_failure_prob(weak, RETENTION_REQUIREMENT_DAYS, 5)
+                > crate::pap::majority_failure_prob(weak, RETENTION_REQUIREMENT_DAYS, 9)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for the Evanesco layer.
+
+use evanesco_nand::geometry::{BlockId, Ppa};
+use evanesco_nand::NandError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the Evanesco-enhanced chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvanescoError {
+    /// An underlying NAND operation failed.
+    Nand(NandError),
+    /// `pLock` was issued on a page that was never programmed; the FTL
+    /// only ever locks invalidated (previously programmed) pages, so this
+    /// indicates a controller bug.
+    LockOnUnwrittenPage {
+        /// Offending address.
+        ppa: Ppa,
+    },
+    /// A lock command addressed a block outside the chip geometry.
+    BadBlock {
+        /// Offending block.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for EvanescoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvanescoError::Nand(e) => write!(f, "nand error: {e}"),
+            EvanescoError::LockOnUnwrittenPage { ppa } => {
+                write!(f, "pLock on never-programmed page {ppa}")
+            }
+            EvanescoError::BadBlock { block } => write!(f, "block out of range: {block}"),
+        }
+    }
+}
+
+impl Error for EvanescoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvanescoError::Nand(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NandError> for EvanescoError {
+    fn from(e: NandError) -> Self {
+        EvanescoError::Nand(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EvanescoError::from(NandError::BadBlock { block: BlockId(3) });
+        assert!(e.to_string().contains("nand error"));
+        assert!(Error::source(&e).is_some());
+        let e2 = EvanescoError::LockOnUnwrittenPage { ppa: Ppa::new(0, 1) };
+        assert!(Error::source(&e2).is_none());
+        assert!(!e2.to_string().is_empty());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EvanescoError>();
+    }
+}

@@ -1,0 +1,83 @@
+//! The k-bit majority circuit that decodes a pAP flag from its `k` redundant
+//! flag cells (paper §5.3, Figure 8b).
+//!
+//! Evanesco deliberately avoids an ECC module for flag cells: a majority
+//! vote over `k` SLC cells is a ~200-transistor combinational circuit, cheap
+//! enough to replicate once per chip.
+
+/// Majority vote over a slice of bits.
+///
+/// Returns `true` when strictly more than half of the inputs are `true`.
+/// For Evanesco, `true` means *disabled* (the flag cell was programmed).
+///
+/// # Panics
+///
+/// Panics if `bits` is empty or has even length (a majority circuit needs an
+/// odd input count to avoid ties).
+pub fn majority(bits: &[bool]) -> bool {
+    assert!(!bits.is_empty(), "majority of zero inputs");
+    assert!(bits.len() % 2 == 1, "majority circuit needs an odd input count");
+    let ones = bits.iter().filter(|&&b| b).count();
+    ones > bits.len() / 2
+}
+
+/// How many flipped inputs a `k`-input majority circuit tolerates while
+/// still producing the programmed value: `floor(k / 2)`.
+pub fn tolerated_errors(k: usize) -> usize {
+    k / 2
+}
+
+/// Rough transistor-count estimate for a k-bit majority gate.
+///
+/// The paper cites ~200 transistors for the 9-bit circuit; the estimate
+/// scales quadratically with input count (sorting-network style
+/// implementations).
+pub fn transistor_estimate(k: usize) -> usize {
+    // Anchored at k = 9 -> ~200.
+    (200.0 * (k as f64 / 9.0).powi(2)).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_majorities() {
+        assert!(majority(&[true, true, false]));
+        assert!(!majority(&[true, false, false]));
+        assert!(majority(&[true; 9]));
+        assert!(!majority(&[false; 9]));
+    }
+
+    #[test]
+    fn nine_bit_tolerates_four_errors() {
+        // k = 9 keeps the flag readable with up to 4 flipped cells.
+        assert_eq!(tolerated_errors(9), 4);
+        let mut bits = [true; 9];
+        for b in bits.iter_mut().take(4) {
+            *b = false;
+        }
+        assert!(majority(&bits));
+        bits[4] = false;
+        assert!(!majority(&bits));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd input count")]
+    fn even_input_rejected() {
+        majority(&[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero inputs")]
+    fn empty_input_rejected() {
+        majority(&[]);
+    }
+
+    #[test]
+    fn transistor_estimate_anchored_at_paper_value() {
+        assert_eq!(transistor_estimate(9), 200);
+        assert!(transistor_estimate(5) < 200);
+        assert!(transistor_estimate(11) > 200);
+    }
+}

@@ -1,0 +1,259 @@
+//! Page access-permission (pAP) flag device model (paper §5.3).
+//!
+//! Each page's pAP flag is stored in `k` spare SLC flash cells on the same
+//! wordline, programmed with a low-voltage one-shot pulse under SBPI
+//! inhibition (so neither the data cells nor the sibling pages' flag cells
+//! are touched), and decoded by a k-bit majority circuit.
+//!
+//! The device model answers the questions the paper's design-space
+//! exploration asks: does a one-shot pulse at `(V, t)` reliably program the
+//! flag cells, and do the programmed cells keep their value across years of
+//! retention?
+
+use crate::calibration::{
+    plock_flag_decay, plock_flag_margin, plock_flag_success, DesignPoint, PLOCK_FLAG_SIGMA,
+};
+use crate::majority::majority;
+use evanesco_nand::math::{prob_above, sample_normal};
+use rand::Rng;
+
+/// Configuration of the pAP flag mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PapConfig {
+    /// Redundant flag cells per pAP flag (paper final value: 9).
+    pub k: usize,
+    /// Selected programming design point (paper final value: `(Vp4, 100 µs)`,
+    /// i.e. combination (ii)).
+    pub point: DesignPoint,
+}
+
+impl PapConfig {
+    /// The paper's selected configuration: `k = 9`, `(Vp4, 100 µs)`.
+    pub fn paper() -> Self {
+        PapConfig { k: 9, point: DesignPoint::new(4, 100) }
+    }
+}
+
+impl Default for PapConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Device-level simulation of one pAP flag: the Vth of its `k` flag cells,
+/// relative to the SLC flag read reference (so `vth > 0` reads as
+/// programmed/disabled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PapFlag {
+    cells: Vec<f64>,
+}
+
+impl PapFlag {
+    /// A fresh (erased) flag: all cells far below the read reference, so the
+    /// flag reads *enabled*.
+    pub fn erased(k: usize) -> Self {
+        PapFlag { cells: vec![-2.0; k] }
+    }
+
+    /// One-shot programs the flag at the given design point. Each cell
+    /// independently either programs (lands at `margin ± sigma` above the
+    /// read reference) or fails to program (stays erased) with the
+    /// calibrated per-cell success probability.
+    pub fn program<R: Rng + ?Sized>(&mut self, rng: &mut R, point: DesignPoint) {
+        let success = plock_flag_success(point);
+        let margin = plock_flag_margin(point);
+        for c in &mut self.cells {
+            if rng.gen::<f64>() < success {
+                *c = sample_normal(rng, margin, PLOCK_FLAG_SIGMA);
+            }
+        }
+    }
+
+    /// Applies `days` of retention: programmed cells lose charge and drift
+    /// toward the read reference.
+    pub fn age<R: Rng + ?Sized>(&mut self, rng: &mut R, days: f64) {
+        let decay = plock_flag_decay(days);
+        for c in &mut self.cells {
+            if *c > -1.0 {
+                // Per-cell detrapping variation around the mean decay.
+                *c -= sample_normal(rng, decay, decay * 0.15).max(0.0);
+            }
+        }
+    }
+
+    /// Reads the flag through the majority circuit: `true` = disabled
+    /// (page locked).
+    pub fn read_disabled(&self) -> bool {
+        let bits: Vec<bool> = self.cells.iter().map(|&v| v > 0.0).collect();
+        majority(&bits)
+    }
+
+    /// Number of cells currently reading as programmed.
+    pub fn programmed_cells(&self) -> usize {
+        self.cells.iter().filter(|&&v| v > 0.0).count()
+    }
+}
+
+/// Probability that a single programmed flag cell has flipped back to the
+/// erased side after `days` of retention (analytic).
+pub fn cell_flip_prob(point: DesignPoint, days: f64) -> f64 {
+    let margin = plock_flag_margin(point);
+    let decay = plock_flag_decay(days);
+    // Cell reads erased when margin - decay + noise < 0.
+    1.0 - prob_above(margin - decay, PLOCK_FLAG_SIGMA, 0.0)
+}
+
+/// Expected number of erroneous (flipped) cells out of `k` after `days`,
+/// including the cells that failed to program in the first place
+/// (Figure 9d reports `k - errors` as "# of flag cells w/o errors").
+pub fn expected_flag_errors(point: DesignPoint, days: f64, k: usize) -> f64 {
+    let p_unprogrammed = 1.0 - plock_flag_success(point);
+    let p_flip = cell_flip_prob(point, days);
+    k as f64 * (p_unprogrammed + (1.0 - p_unprogrammed) * p_flip)
+}
+
+/// Probability that the majority circuit mis-reads a programmed flag as
+/// *enabled* after `days` (i.e. at least `ceil(k/2)` cells are wrong).
+/// This is the security-failure probability of a locked page re-appearing.
+pub fn majority_failure_prob(point: DesignPoint, days: f64, k: usize) -> f64 {
+    let p_unprogrammed = 1.0 - plock_flag_success(point);
+    let p_flip = cell_flip_prob(point, days);
+    let p_err = p_unprogrammed + (1.0 - p_unprogrammed) * p_flip;
+    let need = k / 2 + 1;
+    // Binomial tail: P(errors >= need).
+    let mut prob = 0.0;
+    for e in need..=k {
+        prob += binomial_pmf(k, e, p_err);
+    }
+    prob
+}
+
+fn binomial_pmf(n: usize, x: usize, p: f64) -> f64 {
+    let mut coeff = 1.0;
+    for i in 0..x {
+        coeff *= (n - i) as f64 / (i + 1) as f64;
+    }
+    coeff * p.powi(x as i32) * (1.0 - p).powi((n - x) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erased_flag_reads_enabled() {
+        let flag = PapFlag::erased(9);
+        assert!(!flag.read_disabled());
+        assert_eq!(flag.programmed_cells(), 0);
+    }
+
+    #[test]
+    fn paper_point_programs_reliably() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cfg = PapConfig::paper();
+        for _ in 0..500 {
+            let mut flag = PapFlag::erased(cfg.k);
+            flag.program(&mut rng, cfg.point);
+            assert!(flag.read_disabled(), "flag failed to lock at the paper point");
+        }
+    }
+
+    #[test]
+    fn weak_point_often_fails_to_program() {
+        // (Vp1, 100µs): only 47.3% of cells program; the majority of 9 often
+        // does not reach 5 programmed cells.
+        let mut rng = StdRng::seed_from_u64(22);
+        let point = DesignPoint::new(1, 100);
+        let mut failures = 0;
+        let trials = 500;
+        for _ in 0..trials {
+            let mut flag = PapFlag::erased(9);
+            flag.program(&mut rng, point);
+            if !flag.read_disabled() {
+                failures += 1;
+            }
+        }
+        let frac = failures as f64 / trials as f64;
+        assert!(frac > 0.3, "weak corner failure fraction {frac} too low");
+    }
+
+    #[test]
+    fn paper_point_survives_five_years() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cfg = PapConfig::paper();
+        for _ in 0..300 {
+            let mut flag = PapFlag::erased(cfg.k);
+            flag.program(&mut rng, cfg.point);
+            flag.age(&mut rng, 5.0 * 365.0);
+            assert!(flag.read_disabled(), "paper point lost the lock after 5 years");
+        }
+    }
+
+    #[test]
+    fn weakest_candidate_loses_majority_at_five_years() {
+        // Paper Fig. 9d: combination (vi) = (Vp2, 200µs) shows ~5 erroneous
+        // cells of 9 at the 5-year point -> majority can break.
+        let point = DesignPoint::new(2, 200);
+        let e = expected_flag_errors(point, 5.0 * 365.0, 9);
+        assert!(e >= 4.0, "expected errors {e} too low for the weak candidate");
+        let fail = majority_failure_prob(point, 5.0 * 365.0, 9);
+        assert!(fail > 0.05, "majority failure prob {fail} should be material");
+    }
+
+    #[test]
+    fn selected_point_has_negligible_majority_failure() {
+        let fail = majority_failure_prob(DesignPoint::new(4, 100), 5.0 * 365.0, 9);
+        assert!(fail < 1e-6, "selected point failure prob {fail}");
+    }
+
+    #[test]
+    fn strongest_candidate_has_at_most_two_expected_errors() {
+        // Paper Fig. 9d: combination (i) = (Vp4, 150µs) leads to at most ~2
+        // errors in 9 flag cells at 5 years.
+        let e = expected_flag_errors(DesignPoint::new(4, 150), 5.0 * 365.0, 9);
+        assert!(e <= 2.0, "expected errors {e}");
+    }
+
+    #[test]
+    fn expected_errors_monotonic_in_time() {
+        let point = DesignPoint::new(3, 100);
+        let mut prev = -1.0;
+        for days in [10.0, 100.0, 1000.0, 10000.0] {
+            let e = expected_flag_errors(point, days, 9);
+            assert!(e > prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let total: f64 = (0..=9).map(|x| binomial_pmf(9, x, 0.3)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mc_agrees_with_analytic_flip_prob() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let point = DesignPoint::new(2, 200);
+        let days = 5.0 * 365.0;
+        let trials = 4000;
+        let mut flipped = 0usize;
+        let mut programmed = 0usize;
+        for _ in 0..trials {
+            let mut flag = PapFlag::erased(1);
+            flag.program(&mut rng, point);
+            if flag.programmed_cells() == 1 {
+                programmed += 1;
+                flag.age(&mut rng, days);
+                if flag.programmed_cells() == 0 {
+                    flipped += 1;
+                }
+            }
+        }
+        let mc = flipped as f64 / programmed as f64;
+        let analytic = cell_flip_prob(point, days);
+        assert!((mc - analytic).abs() < 0.05, "mc {mc} vs analytic {analytic}");
+    }
+}

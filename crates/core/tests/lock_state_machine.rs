@@ -1,0 +1,107 @@
+//! Property-based state-machine test of the Evanesco chip: arbitrary legal
+//! command sequences can never re-expose locked data without an erase.
+
+use evanesco_core::chip::{EvanescoChip, ReadResult};
+use evanesco_nand::chip::PageData;
+use evanesco_nand::geometry::{BlockId, Geometry, PageId, Ppa};
+use evanesco_nand::timing::Nanos;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    /// Program the next in-order page of block `b` (if space remains).
+    Program { b: u32 },
+    /// pLock a random already-programmed page of block `b`.
+    PLock { b: u32, p: u32 },
+    /// bLock block `b`.
+    BLock { b: u32 },
+    /// Erase block `b`.
+    Erase { b: u32 },
+}
+
+fn cmd(blocks: u32, ppb: u32) -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        4 => (0..blocks).prop_map(|b| Cmd::Program { b }),
+        2 => (0..blocks, 0..ppb).prop_map(|(b, p)| Cmd::PLock { b, p }),
+        1 => (0..blocks).prop_map(|b| Cmd::BLock { b }),
+        1 => (0..blocks).prop_map(|b| Cmd::Erase { b }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn locks_hold_until_erase(cmds in proptest::collection::vec(cmd(4, 12), 1..200)) {
+        let geom = Geometry {
+            tech: evanesco_nand::cell::CellTech::Tlc,
+            blocks: 4,
+            wordlines_per_block: 4,
+            page_bytes: 16 * 1024,
+            spare_bytes: 1024,
+        };
+        let ppb = geom.pages_per_block();
+        let mut chip = EvanescoChip::new(geom);
+        // Model state.
+        let mut page_locked: HashSet<(u32, u32)> = HashSet::new();
+        let mut block_locked: HashSet<u32> = HashSet::new();
+        let mut programmed: Vec<u32> = vec![0; 4]; // next program index per block
+        let mut tag = 0u64;
+
+        for c in cmds {
+            match c {
+                Cmd::Program { b } => {
+                    if programmed[b as usize] < ppb {
+                        let p = programmed[b as usize];
+                        chip.program(Ppa::new(b, p), PageData::tagged(tag)).unwrap();
+                        programmed[b as usize] += 1;
+                        tag += 1;
+                    }
+                }
+                Cmd::PLock { b, p } => {
+                    if p < programmed[b as usize] {
+                        chip.p_lock(Ppa::new(b, p)).unwrap();
+                        page_locked.insert((b, p));
+                    } else {
+                        prop_assert!(chip.p_lock(Ppa::new(b, p)).is_err());
+                    }
+                }
+                Cmd::BLock { b } => {
+                    chip.b_lock(BlockId(b)).unwrap();
+                    block_locked.insert(b);
+                }
+                Cmd::Erase { b } => {
+                    chip.erase(BlockId(b), Nanos::ZERO).unwrap();
+                    block_locked.remove(&b);
+                    page_locked.retain(|&(bb, _)| bb != b);
+                    programmed[b as usize] = 0;
+                }
+            }
+
+            // Invariant: the chip's access gating agrees with the model for
+            // every page, after every command.
+            for b in 0..4u32 {
+                for p in 0..ppb {
+                    let ppa = Ppa { block: BlockId(b), page: PageId(p) };
+                    let expect_blocked =
+                        block_locked.contains(&b) || page_locked.contains(&(b, p));
+                    prop_assert_eq!(
+                        chip.is_access_blocked(ppa),
+                        expect_blocked,
+                        "gating mismatch at block {} page {}", b, p
+                    );
+                    let out = chip.read(ppa).unwrap();
+                    match (expect_blocked, &out.result) {
+                        (true, ReadResult::Locked) => {}
+                        (false, ReadResult::Locked) => {
+                            prop_assert!(false, "spurious lock at {}/{}", b, p)
+                        }
+                        (true, _) => prop_assert!(false, "leak at {}/{}", b, p),
+                        (false, _) => {}
+                    }
+                }
+            }
+        }
+    }
+}

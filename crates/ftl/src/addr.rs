@@ -1,0 +1,42 @@
+//! Logical and global physical addressing.
+
+use evanesco_nand::geometry::Ppa;
+use std::fmt;
+
+/// Logical page address, in page-size (16-KiB) units.
+pub type Lpa = u64;
+
+/// A physical page address qualified with its chip index within the SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalPpa {
+    /// Flat chip index (`channel * chips_per_channel + chip`).
+    pub chip: usize,
+    /// Physical page address within the chip.
+    pub ppa: Ppa,
+}
+
+impl GlobalPpa {
+    /// Creates a global physical page address.
+    pub fn new(chip: usize, ppa: Ppa) -> Self {
+        GlobalPpa { chip, ppa }
+    }
+}
+
+impl fmt::Display for GlobalPpa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chip{}/{}", self.chip, self.ppa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_ordering() {
+        let a = GlobalPpa::new(0, Ppa::new(1, 2));
+        let b = GlobalPpa::new(1, Ppa::new(0, 0));
+        assert!(a < b);
+        assert_eq!(a.to_string(), "chip0/PB#0x0001:pg2");
+    }
+}

@@ -1,0 +1,138 @@
+//! FTL configuration.
+
+use evanesco_nand::geometry::Geometry;
+use evanesco_nand::timing::TimingSpec;
+
+/// How GC selects its victim block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GcVictimPolicy {
+    /// Fewest live pages (maximum immediate space gain).
+    #[default]
+    Greedy,
+    /// Cost-benefit: weigh reclaimable space against copy cost and block
+    /// age (`invalid × age / (live + 1)`), avoiding the greedy policy's
+    /// tendency to churn hot blocks.
+    CostBenefit,
+}
+
+/// Static configuration of an FTL instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtlConfig {
+    /// Per-chip geometry.
+    pub geometry: Geometry,
+    /// Number of chips managed (channels × chips-per-channel).
+    pub n_chips: usize,
+    /// Over-provisioning ratio: fraction of physical capacity hidden from
+    /// the logical address space (needed for GC headroom).
+    pub op_ratio: f64,
+    /// GC starts on a chip when its free+reclaimable block count drops to
+    /// this threshold.
+    pub gc_free_threshold: usize,
+    /// Minimum number of pending page locks for the lock manager to prefer
+    /// one `bLock` over individual `pLock`s. The paper's rule — estimated
+    /// pLock latency exceeds `tbLock` — gives `ceil(300/100) + 1 = 4`.
+    pub block_min_plocks: usize,
+    /// When true, GC victims are erased immediately at collection time
+    /// instead of lazily at reuse. The paper rejects this (§5.4: the open
+    /// interval degrades reliability); the flag exists for the ablation.
+    pub eager_gc_erase: bool,
+    /// GC victim-selection policy.
+    pub gc_victim: GcVictimPolicy,
+    /// Operation latencies (shared with the chips).
+    pub timing: TimingSpec,
+}
+
+impl FtlConfig {
+    /// Configuration matching the paper's SecureSSD (§7): 2 channels × 4
+    /// chips, paper geometry and timing, ~12.5 % over-provisioning.
+    pub fn paper() -> Self {
+        FtlConfig {
+            geometry: Geometry::paper_tlc(),
+            n_chips: 8,
+            op_ratio: 0.125,
+            gc_free_threshold: 2,
+            block_min_plocks: 4,
+            eager_gc_erase: false,
+            gc_victim: GcVictimPolicy::Greedy,
+            timing: TimingSpec::paper(),
+        }
+    }
+
+    /// Paper structure with a reduced block count per chip (capacity scaling
+    /// knob for tractable experiments).
+    pub fn paper_scaled(blocks_per_chip: u32) -> Self {
+        FtlConfig {
+            geometry: Geometry::paper_tlc_with_blocks(blocks_per_chip),
+            ..Self::paper()
+        }
+    }
+
+    /// A tiny configuration for unit tests: 2 chips × 16 blocks × 24 pages.
+    pub fn tiny_for_tests() -> Self {
+        FtlConfig {
+            geometry: Geometry {
+                tech: evanesco_nand::cell::CellTech::Tlc,
+                blocks: 16,
+                wordlines_per_block: 8,
+                page_bytes: 16 * 1024,
+                spare_bytes: 1024,
+            },
+            n_chips: 2,
+            op_ratio: 0.2,
+            gc_free_threshold: 2,
+            block_min_plocks: 4,
+            eager_gc_erase: false,
+            gc_victim: GcVictimPolicy::Greedy,
+            timing: TimingSpec::paper(),
+        }
+    }
+
+    /// Total physical pages across all chips.
+    pub fn physical_pages(&self) -> u64 {
+        self.geometry.pages_per_chip() * self.n_chips as u64
+    }
+
+    /// Number of logical pages exposed to the host.
+    pub fn logical_pages(&self) -> u64 {
+        (self.physical_pages() as f64 * (1.0 - self.op_ratio)).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacity_is_about_30_gib() {
+        let cfg = FtlConfig::paper();
+        let bytes = cfg.physical_pages() * cfg.geometry.page_bytes as u64;
+        assert!(bytes > 28 * (1 << 30) && bytes < 34 * (1 << 30));
+        assert!(cfg.logical_pages() < cfg.physical_pages());
+    }
+
+    #[test]
+    fn scaling_preserves_block_shape() {
+        let cfg = FtlConfig::paper_scaled(32);
+        assert_eq!(cfg.geometry.blocks, 32);
+        assert_eq!(cfg.geometry.pages_per_block(), 576);
+    }
+
+    #[test]
+    fn block_trigger_consistent_with_timing() {
+        let cfg = FtlConfig::paper();
+        let t_plock = cfg.timing.t_plock.0;
+        let t_block = cfg.timing.t_block.0;
+        // With the default trigger, the chosen pLock batch is always more
+        // expensive than one bLock.
+        assert!(cfg.block_min_plocks as u64 * t_plock > t_block);
+        // And one fewer would not be.
+        assert!((cfg.block_min_plocks as u64 - 1) * t_plock <= t_block);
+    }
+
+    #[test]
+    fn tiny_config_sizes() {
+        let cfg = FtlConfig::tiny_for_tests();
+        assert_eq!(cfg.geometry.pages_per_block(), 24);
+        assert_eq!(cfg.physical_pages(), 2 * 16 * 24);
+    }
+}

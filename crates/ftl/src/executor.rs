@@ -1,0 +1,134 @@
+//! The executor abstraction between FTL logic and the flash devices.
+//!
+//! The FTL decides *what* NAND operations happen; an executor applies them
+//! to chips and (in the SSD emulator) accounts simulated time on the right
+//! channel/chip resources. Keeping the FTL generic over the executor lets
+//! unit tests drive it with a plain in-memory device array and lets the
+//! emulator add timing without touching FTL logic.
+
+use crate::addr::GlobalPpa;
+use evanesco_core::chip::{EvanescoChip, ReadResult};
+use evanesco_nand::chip::{PageContent, PageData};
+use evanesco_nand::geometry::{BlockId, Geometry};
+use evanesco_nand::timing::Nanos;
+
+/// Executes NAND operations for the FTL.
+///
+/// Implementations must apply each operation to the addressed chip;
+/// timing-aware implementations additionally account latency.
+pub trait NandExecutor {
+    /// Reads a page; returns its data if it is programmed and not locked.
+    fn read(&mut self, at: GlobalPpa) -> Option<PageData>;
+    /// Programs a page.
+    fn program(&mut self, at: GlobalPpa, data: PageData);
+    /// Erases a block.
+    fn erase(&mut self, chip: usize, block: BlockId);
+    /// Issues `pLock` on a page.
+    fn p_lock(&mut self, at: GlobalPpa);
+    /// Issues `bLock` on a block.
+    fn b_lock(&mut self, chip: usize, block: BlockId);
+    /// Destroys a page in place (one-shot scrub).
+    fn scrub(&mut self, at: GlobalPpa);
+}
+
+/// A plain executor over an array of Evanesco chips with no timing — used
+/// by FTL unit tests and functional (non-performance) experiments.
+#[derive(Debug, Clone)]
+pub struct MemExecutor {
+    chips: Vec<EvanescoChip>,
+    now: Nanos,
+}
+
+impl MemExecutor {
+    /// Creates `n_chips` chips with the given geometry.
+    pub fn new(geom: Geometry, n_chips: usize) -> Self {
+        MemExecutor {
+            chips: (0..n_chips).map(|_| EvanescoChip::new(geom)).collect(),
+            now: Nanos::ZERO,
+        }
+    }
+
+    /// The underlying chips.
+    pub fn chips(&self) -> &[EvanescoChip] {
+        &self.chips
+    }
+
+    /// Mutable access (e.g. to hand a chip to an attacker).
+    pub fn chips_mut(&mut self) -> &mut [EvanescoChip] {
+        &mut self.chips
+    }
+
+    /// Consumes the executor, returning the chips.
+    pub fn into_chips(self) -> Vec<EvanescoChip> {
+        self.chips
+    }
+}
+
+impl NandExecutor for MemExecutor {
+    fn read(&mut self, at: GlobalPpa) -> Option<PageData> {
+        let out = self.chips[at.chip].read(at.ppa).expect("FTL issues in-range reads");
+        match out.result {
+            ReadResult::Locked => None,
+            ReadResult::Content(PageContent::Data(d)) => Some(d),
+            ReadResult::Content(_) => None,
+        }
+    }
+
+    fn program(&mut self, at: GlobalPpa, data: PageData) {
+        self.chips[at.chip].program(at.ppa, data).expect("FTL issues legal programs");
+    }
+
+    fn erase(&mut self, chip: usize, block: BlockId) {
+        self.now += Nanos(1);
+        self.chips[chip].erase(block, self.now).expect("FTL erases in-range blocks");
+    }
+
+    fn p_lock(&mut self, at: GlobalPpa) {
+        self.chips[at.chip].p_lock(at.ppa).expect("FTL locks programmed pages");
+    }
+
+    fn b_lock(&mut self, chip: usize, block: BlockId) {
+        self.chips[chip].b_lock(block).expect("FTL locks in-range blocks");
+    }
+
+    fn scrub(&mut self, at: GlobalPpa) {
+        self.chips[at.chip].destroy_page(at.ppa).expect("FTL scrubs in-range pages");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evanesco_nand::geometry::Ppa;
+
+    #[test]
+    fn mem_executor_roundtrip() {
+        let mut ex = MemExecutor::new(Geometry::small_tlc(), 2);
+        let at = GlobalPpa::new(1, Ppa::new(0, 0));
+        ex.program(at, PageData::tagged(5));
+        assert_eq!(ex.read(at).unwrap().tag(), 5);
+        ex.p_lock(at);
+        assert_eq!(ex.read(at), None);
+        ex.erase(1, BlockId(0));
+        assert_eq!(ex.read(at), None); // erased now
+        assert_eq!(ex.chips().len(), 2);
+    }
+
+    #[test]
+    fn block_via_executor() {
+        let mut ex = MemExecutor::new(Geometry::small_tlc(), 1);
+        let at = GlobalPpa::new(0, Ppa::new(2, 0));
+        ex.program(at, PageData::tagged(9));
+        ex.b_lock(0, BlockId(2));
+        assert_eq!(ex.read(at), None);
+    }
+
+    #[test]
+    fn scrub_via_executor() {
+        let mut ex = MemExecutor::new(Geometry::small_tlc(), 1);
+        let at = GlobalPpa::new(0, Ppa::new(0, 0));
+        ex.program(at, PageData::tagged(9));
+        ex.scrub(at);
+        assert_eq!(ex.read(at), None);
+    }
+}

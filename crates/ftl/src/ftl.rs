@@ -1,0 +1,1161 @@
+//! The flash translation layer (paper §2.2 baseline behaviour, §6
+//! SecureSSD extensions).
+//!
+//! One `Ftl` implementation hosts every evaluated SSD variant; the
+//! [`SanitizePolicy`] selects what happens when a *secured* page is
+//! invalidated (host overwrite, trim/delete, or GC relocation):
+//!
+//! | policy             | action on secured-page invalidation |
+//! |--------------------|--------------------------------------|
+//! | `baseline`         | nothing (data lingers until lazy erase) |
+//! | `secSSD`           | `pLock`, or one `bLock` when a whole block dies |
+//! | `secSSD_nobLock`   | `pLock` only |
+//! | `erSSD`            | relocate the block's live pages, erase it now |
+//! | `scrSSD`           | copy live wordline siblings away, scrub the wordline |
+//!
+//! Structural choices that matter for the results:
+//!
+//! * **append-only writes** with a per-chip active block and round-robin
+//!   chip striping;
+//! * **greedy GC** (min-live victim) triggered by a free-block threshold;
+//! * **lazy erase** (paper §5.4): GC victims are merely marked reclaimable;
+//!   the physical erase happens right before the block is reopened for
+//!   writing, keeping the open interval short — and leaving invalid data
+//!   recoverable in the meantime, which is exactly the window Evanesco
+//!   closes.
+
+use crate::addr::{GlobalPpa, Lpa};
+use crate::config::FtlConfig;
+use crate::executor::NandExecutor;
+use crate::observer::FtlObserver;
+use crate::policy::SanitizePolicy;
+use crate::stats::FtlStats;
+use crate::status::PageStatus;
+use evanesco_nand::chip::PageData;
+use evanesco_nand::geometry::{BlockId, PageId, Ppa};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockState {
+    Free,
+    Open,
+    Full,
+    Reclaimable,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    state: BlockState,
+    /// Live (valid + secured) pages.
+    live: u32,
+    /// Programmed pages since last erase.
+    written: u32,
+    /// Host-write tick at which the block became full (age reference for
+    /// cost-benefit GC).
+    closed_at: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveBlock {
+    id: u32,
+    next_page: u32,
+}
+
+#[derive(Debug, Clone)]
+struct ChipState {
+    p2l: Vec<Option<Lpa>>,
+    status: Vec<PageStatus>,
+    blocks: Vec<BlockMeta>,
+    free: VecDeque<u32>,
+    reclaimable: VecDeque<u32>,
+    active: Option<ActiveBlock>,
+    /// Blocks whose live pages are being relocated right now; nested
+    /// (emergency) GC passes must not pick them again.
+    gc_in_progress: std::collections::HashSet<u32>,
+}
+
+impl ChipState {
+    fn new(blocks: u32, pages_per_block: u32) -> Self {
+        let pages = (blocks * pages_per_block) as usize;
+        ChipState {
+            p2l: vec![None; pages],
+            status: vec![PageStatus::Free; pages],
+            blocks: vec![
+                BlockMeta { state: BlockState::Free, live: 0, written: 0, closed_at: 0 };
+                blocks as usize
+            ],
+            free: (0..blocks).collect(),
+            reclaimable: VecDeque::new(),
+            active: None,
+            gc_in_progress: std::collections::HashSet::new(),
+        }
+    }
+
+    fn available_blocks(&self) -> usize {
+        self.free.len() + self.reclaimable.len()
+    }
+}
+
+/// A page-mapping FTL with pluggable sanitization policy.
+#[derive(Debug, Clone)]
+pub struct Ftl {
+    cfg: FtlConfig,
+    policy: SanitizePolicy,
+    l2p: Vec<Option<GlobalPpa>>,
+    chips: Vec<ChipState>,
+    next_chip: usize,
+    stats: FtlStats,
+}
+
+impl Ftl {
+    /// Creates an FTL over `cfg.n_chips` erased chips.
+    pub fn new(cfg: FtlConfig, policy: SanitizePolicy) -> Self {
+        let ppb = cfg.geometry.pages_per_block();
+        Ftl {
+            l2p: vec![None; cfg.logical_pages() as usize],
+            chips: (0..cfg.n_chips).map(|_| ChipState::new(cfg.geometry.blocks, ppb)).collect(),
+            next_chip: 0,
+            stats: FtlStats::default(),
+            cfg,
+            policy,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FtlConfig {
+        &self.cfg
+    }
+
+    /// The sanitization policy.
+    pub fn policy(&self) -> SanitizePolicy {
+        self.policy
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    /// Number of logical pages exposed to the host.
+    pub fn logical_pages(&self) -> u64 {
+        self.l2p.len() as u64
+    }
+
+    /// Current mapping of a logical page.
+    pub fn mapped(&self, lpa: Lpa) -> Option<GlobalPpa> {
+        self.l2p[lpa as usize]
+    }
+
+    /// Status of a physical page.
+    pub fn page_status(&self, at: GlobalPpa) -> PageStatus {
+        self.chips[at.chip].status[self.flat(at.ppa)]
+    }
+
+    fn flat(&self, ppa: Ppa) -> usize {
+        (ppa.block.0 * self.cfg.geometry.pages_per_block() + ppa.page.0) as usize
+    }
+
+    // ---------------------------------------------------------------------
+    // Host interface
+    // ---------------------------------------------------------------------
+
+    /// Handles a host page write. `secure` marks the data as requiring
+    /// sanitization on invalidation (the default; `O_INSEC` files pass
+    /// `false`). `tag` identifies the content (for forensic verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpa` is outside the logical address space.
+    pub fn write<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        lpa: Lpa,
+        secure: bool,
+        tag: u64,
+    ) {
+        self.write_data(ex, obs, lpa, secure, PageData::tagged(tag));
+    }
+
+    /// [`Ftl::write`] with an explicit page payload (byte contents travel
+    /// to the chip; used by the host file-system layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpa` is outside the logical address space.
+    pub fn write_data<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        lpa: Lpa,
+        secure: bool,
+        data: PageData,
+    ) {
+        assert!((lpa as usize) < self.l2p.len(), "lpa {lpa} out of logical space");
+        self.stats.host_write_pages += 1;
+        obs.on_host_tick();
+        if let Some(old) = self.l2p[lpa as usize] {
+            self.invalidate_batch(ex, obs, &[old]);
+        }
+        let at = self.allocate(ex, obs);
+        ex.program(at, data);
+        self.stats.nand_programs += 1;
+        self.commit_mapping(lpa, at, secure);
+        obs.on_program(lpa, at, false);
+    }
+
+    /// Handles a host page read; returns the stored data if mapped.
+    pub fn read<E: NandExecutor>(&mut self, ex: &mut E, lpa: Lpa) -> Option<PageData> {
+        self.stats.host_read_pages += 1;
+        let at = self.l2p.get(lpa as usize).copied().flatten()?;
+        self.stats.nand_reads += 1;
+        ex.read(at)
+    }
+
+    /// Handles a host trim (delete) of a set of logical pages. Batching
+    /// matters: contiguous trims of secured pages in the same block are the
+    /// `bLock` opportunity (paper §6).
+    ///
+    /// Physical addresses are resolved one block-group at a time because a
+    /// group's sanitization (relocation under erSSD/scrSSD, or GC pressure)
+    /// can move pages that later groups still have to invalidate.
+    pub fn trim<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        lpas: &[Lpa],
+    ) {
+        self.stats.host_trim_pages += lpas.len() as u64;
+        let mut pending: Vec<Lpa> =
+            lpas.iter().copied().filter(|&l| (l as usize) < self.l2p.len()).collect();
+        while let Some(at0) = pending.iter().find_map(|&l| self.l2p[l as usize]) {
+            let key = (at0.chip, at0.ppa.block.0);
+            let mut group = Vec::new();
+            pending.retain(|&l| match self.l2p[l as usize] {
+                Some(at) if (at.chip, at.ppa.block.0) == key => {
+                    group.push(at);
+                    self.l2p[l as usize] = None;
+                    false
+                }
+                Some(_) => true,
+                None => false,
+            });
+            self.invalidate_block_group(ex, obs, key.0, key.1, &group);
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Mapping helpers
+    // ---------------------------------------------------------------------
+
+    fn commit_mapping(&mut self, lpa: Lpa, at: GlobalPpa, secure: bool) {
+        let idx = self.flat(at.ppa);
+        let chip = &mut self.chips[at.chip];
+        chip.p2l[idx] = Some(lpa);
+        chip.status[idx] = if secure { PageStatus::Secured } else { PageStatus::Valid };
+        chip.blocks[at.ppa.block.0 as usize].live += 1;
+        self.l2p[lpa as usize] = Some(at);
+    }
+
+    // ---------------------------------------------------------------------
+    // Allocation & lazy erase
+    // ---------------------------------------------------------------------
+
+    fn allocate<E: NandExecutor, O: FtlObserver>(&mut self, ex: &mut E, obs: &mut O) -> GlobalPpa {
+        let chip = self.next_chip;
+        self.next_chip = (self.next_chip + 1) % self.chips.len();
+        self.ensure_space(ex, obs, chip);
+        self.allocate_on_chip(ex, obs, chip)
+    }
+
+    /// Allocates the next page on a specific chip. Normally space was
+    /// secured by the threshold-triggered GC, but sanitization-forced
+    /// relocation bursts (erSSD, scrubbing) can drain a chip mid-operation;
+    /// an emergency GC pass covers that case.
+    fn allocate_on_chip<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        chip: usize,
+    ) -> GlobalPpa {
+        if self.chips[chip].active.is_none() {
+            if self.chips[chip].available_blocks() == 0 {
+                let reclaimed = self.gc_once(ex, obs, chip);
+                assert!(
+                    reclaimed,
+                    "chip {chip} out of blocks: over-provisioning misconfigured"
+                );
+            }
+            self.open_block(ex, obs, chip);
+        }
+        let ppb = self.cfg.geometry.pages_per_block();
+        let cs = &mut self.chips[chip];
+        let ab = cs.active.as_mut().expect("just opened");
+        let at = GlobalPpa::new(chip, Ppa { block: BlockId(ab.id), page: PageId(ab.next_page) });
+        ab.next_page += 1;
+        cs.blocks[ab.id as usize].written += 1;
+        if ab.next_page == ppb {
+            cs.blocks[ab.id as usize].state = BlockState::Full;
+            cs.blocks[ab.id as usize].closed_at = self.stats.host_write_pages;
+            cs.active = None;
+        }
+        at
+    }
+
+    fn open_block<E: NandExecutor, O: FtlObserver>(&mut self, ex: &mut E, obs: &mut O, chip: usize) {
+        let cs = &mut self.chips[chip];
+        let id = if let Some(id) = cs.free.pop_front() {
+            id
+        } else if let Some(id) = cs.reclaimable.pop_front() {
+            // Lazy erase: the block is erased only now, right before reuse,
+            // keeping the open interval short (paper §5.4).
+            self.erase_block(ex, obs, chip, id);
+            id
+        } else {
+            panic!("chip {chip} has no block to open: over-provisioning misconfigured");
+        };
+        let cs = &mut self.chips[chip];
+        cs.blocks[id as usize].state = BlockState::Open;
+        cs.active = Some(ActiveBlock { id, next_page: 0 });
+    }
+
+    fn erase_block<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        chip: usize,
+        id: u32,
+    ) {
+        ex.erase(chip, BlockId(id));
+        self.stats.nand_erases += 1;
+        let ppb = self.cfg.geometry.pages_per_block();
+        let cs = &mut self.chips[chip];
+        let base = (id * ppb) as usize;
+        for i in 0..ppb as usize {
+            cs.p2l[base + i] = None;
+            cs.status[base + i] = PageStatus::Free;
+        }
+        cs.blocks[id as usize] =
+            BlockMeta { state: BlockState::Free, live: 0, written: 0, closed_at: 0 };
+        obs.on_erase(chip, BlockId(id));
+    }
+
+    fn ensure_space<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        chip: usize,
+    ) {
+        self.ensure_space_target(ex, obs, chip, self.cfg.gc_free_threshold);
+    }
+
+    fn ensure_space_target<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        chip: usize,
+        target: usize,
+    ) {
+        while self.chips[chip].available_blocks() < target {
+            if !self.gc_once(ex, obs, chip) {
+                break;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Garbage collection
+    // ---------------------------------------------------------------------
+
+    /// One greedy GC pass on `chip`. Returns false when no profitable victim
+    /// exists.
+    fn gc_once<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        chip: usize,
+    ) -> bool {
+        let ppb = self.cfg.geometry.pages_per_block();
+        let victim = {
+            let cs = &self.chips[chip];
+            let now = self.stats.host_write_pages;
+            let eligible = cs.blocks.iter().enumerate().filter(|(id, b)| {
+                b.state == BlockState::Full
+                    && b.live < ppb
+                    && !cs.gc_in_progress.contains(&(*id as u32))
+            });
+            match self.cfg.gc_victim {
+                crate::config::GcVictimPolicy::Greedy => {
+                    eligible.min_by_key(|(_, b)| b.live).map(|(id, _)| id as u32)
+                }
+                crate::config::GcVictimPolicy::CostBenefit => eligible
+                    .max_by(|(_, a), (_, b)| {
+                        let score = |m: &BlockMeta| {
+                            let invalid = (ppb - m.live) as f64;
+                            let age = (now.saturating_sub(m.closed_at) + 1) as f64;
+                            invalid * age / (m.live as f64 + 1.0)
+                        };
+                        score(a).partial_cmp(&score(b)).expect("finite score")
+                    })
+                    .map(|(id, _)| id as u32),
+            }
+        };
+        let Some(victim) = victim else { return false };
+        self.stats.gc_invocations += 1;
+        self.chips[chip].gc_in_progress.insert(victim);
+
+        // Relocate live pages, remembering which old slots were secured.
+        let secured_olds = self.relocate_live_pages(ex, obs, chip, victim);
+        self.chips[chip].gc_in_progress.remove(&victim);
+
+        // Sanitize the freshly-invalidated secured copies (paper Fig. 13:
+        // "GC done" -> lock manager).
+        self.sanitize_dead_block(ex, obs, chip, victim, &secured_olds);
+
+        // Reclamation: lazy by default (erase deferred to reuse); eager under
+        // the ablation flag or when erSSD already erased the block above.
+        if self.chips[chip].blocks[victim as usize].state == BlockState::Full {
+            if self.cfg.eager_gc_erase {
+                self.erase_block(ex, obs, chip, victim);
+                self.chips[chip].free.push_back(victim);
+            } else {
+                let cs = &mut self.chips[chip];
+                cs.blocks[victim as usize].state = BlockState::Reclaimable;
+                cs.reclaimable.push_back(victim);
+            }
+        }
+        true
+    }
+
+    /// Copies every live page out of `block` (within the same chip),
+    /// remapping and invalidating the old slots. Returns the old addresses
+    /// that were secured.
+    fn relocate_live_pages<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        chip: usize,
+        block: u32,
+    ) -> Vec<GlobalPpa> {
+        let ppb = self.cfg.geometry.pages_per_block();
+        let mut secured_olds = Vec::new();
+        for p in 0..ppb {
+            let old = GlobalPpa::new(chip, Ppa { block: BlockId(block), page: PageId(p) });
+            let idx = self.flat(old.ppa);
+            let st = self.chips[chip].status[idx];
+            if !st.is_live() {
+                continue;
+            }
+            let lpa = self.chips[chip].p2l[idx].expect("live page has a reverse mapping");
+            let data = ex.read(old).expect("live page is readable");
+            self.stats.nand_reads += 1;
+            let new_at = self.allocate_on_chip(ex, obs, chip);
+            ex.program(new_at, data);
+            self.stats.nand_programs += 1;
+            self.stats.copied_pages += 1;
+            self.commit_mapping(lpa, new_at, st == PageStatus::Secured);
+            obs.on_program(lpa, new_at, true);
+
+            // Invalidate the old slot (bookkeeping only; sanitization of the
+            // whole dead block happens after all copies complete).
+            let cs = &mut self.chips[chip];
+            cs.status[idx] = PageStatus::Invalid;
+            cs.p2l[idx] = None;
+            cs.blocks[block as usize].live -= 1;
+            if st == PageStatus::Secured {
+                secured_olds.push(old);
+            }
+            obs.on_invalidate(old, self.policy.is_immediate());
+        }
+        secured_olds
+    }
+
+    /// Applies the sanitization policy to a fully-dead block whose secured
+    /// old copies are `secured_olds`.
+    fn sanitize_dead_block<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        chip: usize,
+        block: u32,
+        secured_olds: &[GlobalPpa],
+    ) {
+        match self.policy {
+            SanitizePolicy::None => {}
+            SanitizePolicy::Evanesco { use_block } => {
+                if !secured_olds.is_empty() {
+                    if use_block && secured_olds.len() >= self.cfg.block_min_plocks {
+                        ex.b_lock(chip, BlockId(block));
+                        self.stats.blocks_locked += 1;
+                    } else {
+                        for &old in secured_olds {
+                            ex.p_lock(old);
+                            self.stats.plocks += 1;
+                        }
+                    }
+                }
+            }
+            SanitizePolicy::EraseBased => {
+                if !secured_olds.is_empty() {
+                    // Eager erase destroys every invalid page in the block.
+                    self.detach_block(chip, block);
+                    self.erase_block(ex, obs, chip, block);
+                    self.stats.sanitize_erases += 1;
+                    self.chips[chip].free.push_back(block);
+                }
+            }
+            SanitizePolicy::Scrub => {
+                for &old in secured_olds {
+                    ex.scrub(old);
+                    self.stats.scrubs += 1;
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Invalidation & sanitization
+    // ---------------------------------------------------------------------
+
+    /// Invalidates a batch of physical pages (host overwrite or trim),
+    /// applying the sanitization policy per affected block.
+    fn invalidate_batch<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        olds: &[GlobalPpa],
+    ) {
+        // Group by (chip, block) to expose bLock opportunities.
+        let mut groups: Vec<(usize, u32, Vec<GlobalPpa>)> = Vec::new();
+        for &old in olds {
+            let key = (old.chip, old.ppa.block.0);
+            match groups.iter_mut().find(|(c, b, _)| (*c, *b) == key) {
+                Some((_, _, v)) => v.push(old),
+                None => groups.push((key.0, key.1, vec![old])),
+            }
+        }
+        for (chip, block, group) in groups {
+            self.invalidate_block_group(ex, obs, chip, block, &group);
+        }
+    }
+
+    fn invalidate_block_group<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        chip: usize,
+        block: u32,
+        group: &[GlobalPpa],
+    ) {
+        // Mark invalid first, collecting the secured subset.
+        let mut secured: Vec<GlobalPpa> = Vec::new();
+        for &old in group {
+            let idx = self.flat(old.ppa);
+            let cs = &mut self.chips[chip];
+            let st = cs.status[idx];
+            debug_assert!(st.is_live(), "invalidate of non-live page {old}");
+            cs.status[idx] = PageStatus::Invalid;
+            cs.p2l[idx] = None;
+            cs.blocks[block as usize].live -= 1;
+            if st == PageStatus::Secured {
+                secured.push(old);
+            }
+            obs.on_invalidate(old, self.policy.is_immediate() && st == PageStatus::Secured);
+        }
+        if secured.is_empty() {
+            return;
+        }
+        match self.policy {
+            SanitizePolicy::None => {}
+            SanitizePolicy::Evanesco { use_block } => {
+                let meta = self.chips[chip].blocks[block as usize];
+                let fully_dead = meta.state == BlockState::Full && meta.live == 0;
+                if use_block && fully_dead && secured.len() >= self.cfg.block_min_plocks {
+                    ex.b_lock(chip, BlockId(block));
+                    self.stats.blocks_locked += 1;
+                } else {
+                    for &old in &secured {
+                        ex.p_lock(old);
+                        self.stats.plocks += 1;
+                    }
+                }
+            }
+            SanitizePolicy::EraseBased => {
+                self.erase_based_sanitize(ex, obs, chip, block);
+            }
+            SanitizePolicy::Scrub => {
+                for &old in &secured {
+                    self.scrub_sanitize(ex, obs, old);
+                }
+            }
+        }
+    }
+
+    /// erSSD: relocate all live pages of `block`, then erase it immediately.
+    fn erase_based_sanitize<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        chip: usize,
+        block: u32,
+    ) {
+        // Close the block if it is the active one (cannot erase a block we
+        // are appending to without losing the write pointer).
+        let cs = &mut self.chips[chip];
+        if let Some(ab) = cs.active {
+            if ab.id == block {
+                cs.blocks[block as usize].state = BlockState::Full;
+                cs.active = None;
+            }
+        }
+        // The relocation burst can consume up to two blocks before the
+        // victim's erase returns one; reserve headroom first (this GC
+        // pressure is part of erSSD's cost and is accounted normally).
+        self.ensure_space_target(ex, obs, chip, self.cfg.gc_free_threshold + 1);
+        // The reservation GC may already have collected — and lazy-erased —
+        // this very block; if so the secured data is physically gone.
+        match self.chips[chip].blocks[block as usize].state {
+            BlockState::Free | BlockState::Open => return,
+            BlockState::Full | BlockState::Reclaimable => {}
+        }
+        let _ = self.relocate_live_pages(ex, obs, chip, block);
+        // An emergency GC during the relocation may already have queued the
+        // (now dead) block as reclaimable; detach it to avoid double listing.
+        self.detach_block(chip, block);
+        self.erase_block(ex, obs, chip, block);
+        self.stats.sanitize_erases += 1;
+        self.chips[chip].free.push_back(block);
+    }
+
+    /// Removes a block from the free/reclaimable queues (it is about to be
+    /// erased and re-listed explicitly).
+    fn detach_block(&mut self, chip: usize, block: u32) {
+        let cs = &mut self.chips[chip];
+        cs.free.retain(|&b| b != block);
+        cs.reclaimable.retain(|&b| b != block);
+    }
+
+    /// scrSSD: copy live wordline siblings elsewhere, then destroy the
+    /// wordline in place.
+    fn scrub_sanitize<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        target: GlobalPpa,
+    ) {
+        // Sibling relocation consumes pages outside the host-write path;
+        // keep the usual GC headroom.
+        self.ensure_space(ex, obs, target.chip);
+        let geom = self.cfg.geometry;
+        let chip = target.chip;
+        let block = target.ppa.block;
+        // The reservation GC may have collected the block and lazy-erased it
+        // (physically destroying the target); don't scrub reused slots.
+        if self.chips[chip].status[self.flat(target.ppa)] != PageStatus::Invalid {
+            return;
+        }
+        let siblings = geom.wordline_siblings(target.ppa.page);
+
+        // Move live siblings out of the wordline.
+        for &p in &siblings {
+            let at = GlobalPpa::new(chip, Ppa { block, page: p });
+            let idx = self.flat(at.ppa);
+            let st = self.chips[chip].status[idx];
+            if !st.is_live() {
+                continue;
+            }
+            let lpa = self.chips[chip].p2l[idx].expect("live page mapped");
+            let data = ex.read(at).expect("live page readable");
+            self.stats.nand_reads += 1;
+            let new_at = self.allocate_on_chip(ex, obs, chip);
+            ex.program(new_at, data);
+            self.stats.nand_programs += 1;
+            self.stats.copied_pages += 1;
+            self.commit_mapping(lpa, new_at, st == PageStatus::Secured);
+            obs.on_program(lpa, new_at, true);
+            let cs = &mut self.chips[chip];
+            cs.status[idx] = PageStatus::Invalid;
+            cs.p2l[idx] = None;
+            cs.blocks[block.0 as usize].live -= 1;
+            obs.on_invalidate(at, true);
+        }
+
+        // Destroy the wordline: the target, the siblings' old slots, and any
+        // never-written slots (which become unusable).
+        let mut last_destroyed = 0;
+        for &p in &siblings {
+            let at = GlobalPpa::new(chip, Ppa { block, page: p });
+            let idx = self.flat(at.ppa);
+            if self.chips[chip].status[idx] == PageStatus::Free {
+                self.chips[chip].status[idx] = PageStatus::Invalid;
+                self.chips[chip].blocks[block.0 as usize].written += 1;
+            }
+            ex.scrub(at);
+            last_destroyed = p.0;
+        }
+        self.stats.scrubs += 1;
+
+        // If the wordline overlapped the active block's write pointer, the
+        // pointer must skip past the destroyed slots.
+        let ppb = geom.pages_per_block();
+        let cs = &mut self.chips[chip];
+        if let Some(ab) = cs.active.as_mut() {
+            if ab.id == block.0 && ab.next_page <= last_destroyed {
+                ab.next_page = last_destroyed + 1;
+                if ab.next_page >= ppb {
+                    cs.blocks[block.0 as usize].state = BlockState::Full;
+                    cs.active = None;
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Introspection for tests and experiments
+    // ---------------------------------------------------------------------
+
+    /// Number of live (valid or secured) pages across all chips.
+    pub fn live_pages(&self) -> u64 {
+        self.chips
+            .iter()
+            .map(|c| c.blocks.iter().map(|b| b.live as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Number of invalid (dead, not yet erased) pages across all chips.
+    pub fn invalid_pages(&self) -> u64 {
+        self.chips
+            .iter()
+            .map(|c| {
+                c.status
+                    .iter()
+                    .filter(|s| matches!(s, PageStatus::Invalid))
+                    .count() as u64
+            })
+            .sum()
+    }
+
+    /// Verifies internal consistency (mapping tables and counters agree).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency; used by property tests.
+    pub fn check_invariants(&self) {
+        let ppb = self.cfg.geometry.pages_per_block();
+        let mut mapped = 0u64;
+        for (lpa, at) in self.l2p.iter().enumerate() {
+            if let Some(at) = at {
+                let idx = self.flat(at.ppa);
+                assert_eq!(
+                    self.chips[at.chip].p2l[idx],
+                    Some(lpa as Lpa),
+                    "l2p/p2l disagree at lpa {lpa}"
+                );
+                assert!(
+                    self.chips[at.chip].status[idx].is_live(),
+                    "mapped page not live at lpa {lpa}"
+                );
+                mapped += 1;
+            }
+        }
+        assert_eq!(mapped, self.live_pages(), "live-page counter drift");
+        for (ci, c) in self.chips.iter().enumerate() {
+            for (bi, b) in c.blocks.iter().enumerate() {
+                let base = bi * ppb as usize;
+                let live = (0..ppb as usize)
+                    .filter(|&i| c.status[base + i].is_live())
+                    .count() as u32;
+                assert_eq!(live, b.live, "block live count drift at chip {ci} block {bi}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::MemExecutor;
+    use crate::observer::NullObserver;
+    use evanesco_core::threat::Attacker;
+
+    fn setup(policy: SanitizePolicy) -> (Ftl, MemExecutor) {
+        let cfg = FtlConfig::tiny_for_tests();
+        let ftl = Ftl::new(cfg, policy);
+        let ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        (ftl, ex)
+    }
+
+    /// Single-chip setup so page placement is deterministic.
+    fn setup_one_chip(policy: SanitizePolicy) -> (Ftl, MemExecutor) {
+        let cfg = FtlConfig { n_chips: 1, ..FtlConfig::tiny_for_tests() };
+        let ftl = Ftl::new(cfg, policy);
+        let ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        (ftl, ex)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (mut ftl, mut ex) = setup(SanitizePolicy::none());
+        ftl.write(&mut ex, &mut NullObserver, 5, false, 777);
+        assert_eq!(ftl.read(&mut ex, 5).unwrap().tag(), 777);
+        assert_eq!(ftl.read(&mut ex, 6), None);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn overwrite_remaps_and_invalidates() {
+        let (mut ftl, mut ex) = setup(SanitizePolicy::none());
+        ftl.write(&mut ex, &mut NullObserver, 0, false, 1);
+        let first = ftl.mapped(0).unwrap();
+        ftl.write(&mut ex, &mut NullObserver, 0, false, 2);
+        let second = ftl.mapped(0).unwrap();
+        assert_ne!(first, second, "append-only: overwrite uses a new page");
+        assert_eq!(ftl.page_status(first), PageStatus::Invalid);
+        assert_eq!(ftl.read(&mut ex, 0).unwrap().tag(), 2);
+        assert_eq!(ftl.invalid_pages(), 1);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn writes_stripe_across_chips() {
+        let (mut ftl, mut ex) = setup(SanitizePolicy::none());
+        ftl.write(&mut ex, &mut NullObserver, 0, false, 1);
+        ftl.write(&mut ex, &mut NullObserver, 1, false, 2);
+        assert_ne!(ftl.mapped(0).unwrap().chip, ftl.mapped(1).unwrap().chip);
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let (mut ftl, mut ex) = setup(SanitizePolicy::none());
+        ftl.write(&mut ex, &mut NullObserver, 3, false, 9);
+        ftl.trim(&mut ex, &mut NullObserver, &[3]);
+        assert_eq!(ftl.mapped(3), None);
+        assert_eq!(ftl.read(&mut ex, 3), None);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn baseline_leaves_deleted_data_recoverable() {
+        // The data-versioning vulnerability: without sanitization, a raw-chip
+        // attacker recovers trimmed data.
+        let (mut ftl, mut ex) = setup(SanitizePolicy::none());
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 4242);
+        ftl.trim(&mut ex, &mut NullObserver, &[0]);
+        let attacker = Attacker::new();
+        // The first write lands on chip 0 (round-robin starts there).
+        assert!(attacker.recover_tag(&mut ex.chips_mut()[0], 4242));
+    }
+
+    #[test]
+    fn evanesco_locks_trimmed_secured_page() {
+        let (mut ftl, mut ex) = setup(SanitizePolicy::evanesco());
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 4242);
+        ftl.trim(&mut ex, &mut NullObserver, &[0]);
+        assert_eq!(ftl.stats().plocks, 1);
+        let attacker = Attacker::new();
+        for chip in ex.chips_mut() {
+            assert!(!attacker.recover_tag(chip, 4242));
+        }
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn evanesco_skips_insecure_pages() {
+        let (mut ftl, mut ex) = setup(SanitizePolicy::evanesco());
+        ftl.write(&mut ex, &mut NullObserver, 0, false, 1);
+        ftl.trim(&mut ex, &mut NullObserver, &[0]);
+        assert_eq!(ftl.stats().plocks, 0);
+        assert_eq!(ftl.stats().blocks_locked, 0);
+    }
+
+    #[test]
+    fn evanesco_overwrite_locks_old_version() {
+        // Condition C2: no old content after an update.
+        let (mut ftl, mut ex) = setup(SanitizePolicy::evanesco());
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 100);
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 200);
+        assert_eq!(ftl.stats().plocks, 1);
+        let attacker = Attacker::new();
+        let mut found_new = false;
+        for chip in ex.chips_mut() {
+            assert!(!attacker.recover_tag(chip, 100), "old version leaked");
+            found_new |= attacker.recover_tag(chip, 200);
+        }
+        assert!(found_new, "current version must remain readable");
+    }
+
+    #[test]
+    fn block_used_for_whole_block_trim() {
+        // Fill one whole block on one chip with secured pages, then trim them
+        // all: the lock manager should issue a single bLock, not 24 pLocks.
+        let cfg = FtlConfig::tiny_for_tests();
+        let ppb = cfg.geometry.pages_per_block() as u64; // 24
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::evanesco());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        // Interleave lpas so one chip gets a full block: with 2 chips,
+        // even lpas go to chip 0. Write 2*ppb pages.
+        let lpas: Vec<Lpa> = (0..2 * ppb).collect();
+        for &l in &lpas {
+            ftl.write(&mut ex, &mut NullObserver, l, true, l);
+        }
+        ftl.trim(&mut ex, &mut NullObserver, &lpas);
+        let s = ftl.stats();
+        assert_eq!(s.blocks_locked, 2, "one bLock per fully-dead block");
+        assert_eq!(s.plocks, 0, "no pLocks needed: {s:?}");
+        // Nothing recoverable.
+        let attacker = Attacker::new();
+        for chip in ex.chips_mut() {
+            for &l in &lpas {
+                assert!(!attacker.recover_tag(chip, l));
+            }
+        }
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn no_block_policy_uses_plocks_only() {
+        let cfg = FtlConfig::tiny_for_tests();
+        let ppb = cfg.geometry.pages_per_block() as u64;
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::evanesco_no_block());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        let lpas: Vec<Lpa> = (0..2 * ppb).collect();
+        for &l in &lpas {
+            ftl.write(&mut ex, &mut NullObserver, l, true, l);
+        }
+        ftl.trim(&mut ex, &mut NullObserver, &lpas);
+        let s = ftl.stats();
+        assert_eq!(s.blocks_locked, 0);
+        assert_eq!(s.plocks, 2 * ppb);
+    }
+
+    #[test]
+    fn erase_based_destroys_immediately_with_copies() {
+        let (mut ftl, mut ex) = setup_one_chip(SanitizePolicy::erase_based());
+        for (l, tag) in [(0u64, 10u64), (1, 20), (2, 30)] {
+            ftl.write(&mut ex, &mut NullObserver, l, true, tag);
+        }
+        ftl.trim(&mut ex, &mut NullObserver, &[0]);
+        let s = ftl.stats();
+        assert_eq!(s.sanitize_erases, 1);
+        assert!(s.copied_pages >= 2, "live pages relocated: {s:?}");
+        let attacker = Attacker::new();
+        for chip in ex.chips_mut() {
+            assert!(!attacker.recover_tag(chip, 10));
+        }
+        // The survivors are still readable through the FTL.
+        assert_eq!(ftl.read(&mut ex, 1).unwrap().tag(), 20);
+        assert_eq!(ftl.read(&mut ex, 2).unwrap().tag(), 30);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn scrub_destroys_page_and_relocates_wl_siblings() {
+        let (mut ftl, mut ex) = setup_one_chip(SanitizePolicy::scrub());
+        // Three pages fill exactly one TLC wordline.
+        for (l, tag) in [(0u64, 10u64), (1, 20), (2, 30)] {
+            ftl.write(&mut ex, &mut NullObserver, l, true, tag);
+        }
+        ftl.trim(&mut ex, &mut NullObserver, &[1]); // middle page of the WL
+        let s = ftl.stats();
+        assert_eq!(s.scrubs, 1);
+        assert_eq!(s.copied_pages, 2, "both live siblings relocated");
+        let attacker = Attacker::new();
+        for chip in ex.chips_mut() {
+            assert!(!attacker.recover_tag(chip, 20));
+        }
+        assert_eq!(ftl.read(&mut ex, 0).unwrap().tag(), 10);
+        assert_eq!(ftl.read(&mut ex, 2).unwrap().tag(), 30);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn gc_reclaims_space_under_pressure() {
+        let cfg = FtlConfig::tiny_for_tests();
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::none());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        let logical = ftl.logical_pages();
+        // Write the full logical space twice: forces GC.
+        for round in 0..2 {
+            for l in 0..logical {
+                ftl.write(&mut ex, &mut NullObserver, l, false, round * 10_000 + l);
+            }
+        }
+        let s = ftl.stats();
+        assert!(s.gc_invocations > 0, "GC must have run: {s:?}");
+        assert!(s.nand_erases > 0);
+        assert!(s.waf() >= 1.0);
+        // All data still correct after GC.
+        for l in 0..logical {
+            assert_eq!(ftl.read(&mut ex, l).unwrap().tag(), 10_000 + l);
+        }
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn gc_relocation_of_secured_pages_sanitizes_old_copies() {
+        // Condition C2 under GC: moved secured pages leave no readable old
+        // copy, enforced by bLock of the dead victim block.
+        let cfg = FtlConfig::tiny_for_tests();
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::evanesco());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        let logical = ftl.logical_pages();
+        for round in 0..3u64 {
+            for l in 0..logical {
+                ftl.write(&mut ex, &mut NullObserver, l, true, round * 100_000 + l);
+            }
+        }
+        let s = ftl.stats();
+        assert!(s.gc_invocations > 0);
+        assert!(s.total_lock_commands() > 0);
+        // No stale version of any page is recoverable.
+        let attacker = Attacker::new();
+        let mut recovered = std::collections::HashSet::new();
+        for chip in ex.chips_mut() {
+            recovered.extend(attacker.recoverable_tags(chip));
+        }
+        for l in 0..logical {
+            assert!(!recovered.contains(&l), "round-0 version of {l} leaked");
+            assert!(!recovered.contains(&(100_000 + l)), "round-1 version of {l} leaked");
+            assert!(recovered.contains(&(200_000 + l)), "current version of {l} missing");
+        }
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn lazy_erase_defers_physical_erase() {
+        let cfg = FtlConfig::tiny_for_tests();
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::none());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        let ppb = cfg.geometry.pages_per_block() as u64;
+        // Fill one block per chip, then trim everything: blocks become fully
+        // invalid but must NOT be erased until reuse.
+        let lpas: Vec<Lpa> = (0..2 * ppb).collect();
+        for &l in &lpas {
+            ftl.write(&mut ex, &mut NullObserver, l, false, l);
+        }
+        ftl.trim(&mut ex, &mut NullObserver, &lpas);
+        assert_eq!(ftl.stats().nand_erases, 0, "erase must be lazy");
+        assert_eq!(ftl.invalid_pages(), 2 * ppb);
+    }
+
+    #[test]
+    fn waf_of_erase_based_far_exceeds_evanesco() {
+        // Steady-state random overwrites of secured data.
+        let run = |policy| {
+            let cfg = FtlConfig::tiny_for_tests();
+            let mut ftl = Ftl::new(cfg, policy);
+            let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+            let logical = ftl.logical_pages();
+            for l in 0..logical {
+                ftl.write(&mut ex, &mut NullObserver, l, true, l);
+            }
+            let mut rng_state = 12345u64;
+            for i in 0..2000u64 {
+                rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let l = rng_state % logical;
+                ftl.write(&mut ex, &mut NullObserver, l, true, 1_000_000 + i);
+            }
+            ftl.check_invariants();
+            ftl.stats().waf()
+        };
+        let waf_er = run(SanitizePolicy::erase_based());
+        let waf_sec = run(SanitizePolicy::evanesco());
+        let waf_scr = run(SanitizePolicy::scrub());
+        // In this tiny geometry (24-page blocks) erSSD relocates at most 23
+        // pages per sanitization, so the gap is smaller than the paper's
+        // 576-page blocks; the ordering and a clear multiple still hold.
+        assert!(waf_er > 3.0 * waf_sec, "erSSD {waf_er} vs secSSD {waf_sec}");
+        assert!(waf_scr > waf_sec, "scrSSD {waf_scr} vs secSSD {waf_sec}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of logical space")]
+    fn write_outside_logical_space_panics() {
+        let (mut ftl, mut ex) = setup(SanitizePolicy::none());
+        let too_big = ftl.logical_pages();
+        ftl.write(&mut ex, &mut NullObserver, too_big, false, 0);
+    }
+
+    #[test]
+    fn scrub_in_open_block_advances_write_pointer() {
+        // Trim the only written page of the active block: the scrub destroys
+        // its whole wordline including the two never-written sibling slots,
+        // and subsequent writes must skip past them.
+        let (mut ftl, mut ex) = setup_one_chip(SanitizePolicy::scrub());
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 10); // page 0 of WL0
+        ftl.trim(&mut ex, &mut NullObserver, &[0]);
+        ftl.check_invariants();
+        // Next write lands on page 3 (WL1), not on the destroyed WL0 slots.
+        ftl.write(&mut ex, &mut NullObserver, 1, true, 11);
+        let at = ftl.mapped(1).unwrap();
+        assert_eq!(at.ppa.page.0, 3, "write pointer must skip the scrubbed WL");
+        assert_eq!(ftl.read(&mut ex, 1).unwrap().tag(), 11);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn erase_based_handles_target_in_active_block() {
+        let (mut ftl, mut ex) = setup_one_chip(SanitizePolicy::erase_based());
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 1);
+        ftl.write(&mut ex, &mut NullObserver, 1, true, 2);
+        // Overwrite lpa 0: its old copy sits in the *active* block, which
+        // must be closed, relocated and erased immediately.
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 3);
+        assert_eq!(ftl.stats().sanitize_erases, 1);
+        assert_eq!(ftl.read(&mut ex, 0).unwrap().tag(), 3);
+        assert_eq!(ftl.read(&mut ex, 1).unwrap().tag(), 2);
+        ftl.check_invariants();
+        let attacker = Attacker::new();
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[0], 1));
+    }
+
+    #[test]
+    fn block_not_used_while_block_still_open() {
+        // Trimming many secured pages of a block that still has free slots
+        // must fall back to pLocks: bLock would brick the unwritten pages.
+        let (mut ftl, mut ex) = setup_one_chip(SanitizePolicy::evanesco());
+        // Write 12 of the block's 24 pages, then trim them all at once.
+        let lpas: Vec<Lpa> = (0..12).collect();
+        for &l in &lpas {
+            ftl.write(&mut ex, &mut NullObserver, l, true, l);
+        }
+        ftl.trim(&mut ex, &mut NullObserver, &lpas);
+        let s = ftl.stats();
+        assert_eq!(s.blocks_locked, 0, "open block must not be bLocked");
+        assert_eq!(s.plocks, 12);
+        // The block is still usable for new writes.
+        ftl.write(&mut ex, &mut NullObserver, 20, true, 99);
+        assert_eq!(ftl.read(&mut ex, 20).unwrap().tag(), 99);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn cost_benefit_gc_also_reclaims() {
+        let mut cfg = FtlConfig::tiny_for_tests();
+        cfg.gc_victim = crate::config::GcVictimPolicy::CostBenefit;
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::evanesco());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        let logical = ftl.logical_pages();
+        for round in 0..3u64 {
+            for l in 0..logical {
+                ftl.write(&mut ex, &mut NullObserver, l, true, round * 100_000 + l);
+            }
+        }
+        assert!(ftl.stats().gc_invocations > 0);
+        for l in 0..logical {
+            assert_eq!(ftl.read(&mut ex, l).unwrap().tag(), 200_000 + l);
+        }
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn trim_of_unmapped_lpas_is_harmless() {
+        let (mut ftl, mut ex) = setup(SanitizePolicy::evanesco());
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 1);
+        // Mix of mapped and never-written lpas.
+        ftl.trim(&mut ex, &mut NullObserver, &[0, 5, 6]);
+        assert_eq!(ftl.mapped(0), None);
+        assert_eq!(ftl.stats().plocks, 1);
+        ftl.check_invariants();
+    }
+}

@@ -1,0 +1,45 @@
+//! # evanesco-ftl
+//!
+//! Flash translation layers for the Evanesco (ASPLOS 2020) reproduction.
+//!
+//! One page-mapping FTL implementation ([`ftl::Ftl`]) hosts all five SSD
+//! variants evaluated in the paper, selected by [`policy::SanitizePolicy`]:
+//! the insecure baseline, `secSSD` (Evanesco lock manager with `pLock` +
+//! `bLock`), `secSSD_nobLock`, `erSSD` (erase-based immediate sanitization)
+//! and `scrSSD` (scrubbing).
+//!
+//! The FTL is generic over a [`executor::NandExecutor`], so the same logic
+//! runs untimed in unit tests ([`executor::MemExecutor`]) and timed inside
+//! the `evanesco-ssd` emulator.
+//!
+//! ```rust
+//! use evanesco_ftl::config::FtlConfig;
+//! use evanesco_ftl::executor::MemExecutor;
+//! use evanesco_ftl::ftl::Ftl;
+//! use evanesco_ftl::observer::NullObserver;
+//! use evanesco_ftl::policy::SanitizePolicy;
+//!
+//! # fn main() {
+//! let cfg = FtlConfig::tiny_for_tests();
+//! let mut ftl = Ftl::new(cfg, SanitizePolicy::evanesco());
+//! let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+//! ftl.write(&mut ex, &mut NullObserver, 0, true, 42);
+//! ftl.trim(&mut ex, &mut NullObserver, &[0]);   // secure delete
+//! assert_eq!(ftl.stats().plocks, 1);            // locked immediately
+//! # }
+//! ```
+
+pub mod addr;
+pub mod config;
+pub mod executor;
+pub mod ftl;
+pub mod observer;
+pub mod policy;
+pub mod stats;
+pub mod status;
+
+pub use addr::{GlobalPpa, Lpa};
+pub use config::FtlConfig;
+pub use ftl::Ftl;
+pub use policy::SanitizePolicy;
+pub use stats::FtlStats;

@@ -1,0 +1,43 @@
+//! Observation hooks for instrumentation (the VerTrace data-versioning
+//! study attaches here; see `evanesco-workloads`).
+
+use crate::addr::{GlobalPpa, Lpa};
+use evanesco_nand::geometry::BlockId;
+
+/// Receives FTL page-lifecycle events.
+///
+/// All methods have empty default bodies so observers implement only what
+/// they need.
+pub trait FtlObserver {
+    /// A logical page was (re)written; `relocation` is true for GC copies.
+    fn on_program(&mut self, _lpa: Lpa, _at: GlobalPpa, _relocation: bool) {}
+    /// A physical page was invalidated. `sanitized` is true when the policy
+    /// made its content immediately unrecoverable (lock / scrub / the
+    /// erase that is about to follow).
+    fn on_invalidate(&mut self, _at: GlobalPpa, _sanitized: bool) {}
+    /// A block was physically erased: all its invalid content is gone.
+    fn on_erase(&mut self, _chip: usize, _block: BlockId) {}
+    /// One host logical-time tick (a host page write was accepted).
+    fn on_host_tick(&mut self) {}
+}
+
+/// The no-op observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl FtlObserver for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evanesco_nand::geometry::Ppa;
+
+    #[test]
+    fn null_observer_accepts_everything() {
+        let mut o = NullObserver;
+        o.on_program(0, GlobalPpa::new(0, Ppa::new(0, 0)), false);
+        o.on_invalidate(GlobalPpa::new(0, Ppa::new(0, 0)), true);
+        o.on_erase(0, BlockId(0));
+        o.on_host_tick();
+    }
+}

@@ -1,0 +1,87 @@
+//! FTL operation counters and derived metrics (WAF, lock mix).
+
+/// Cumulative FTL statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FtlStats {
+    /// Host-initiated page writes.
+    pub host_write_pages: u64,
+    /// Host-initiated page reads.
+    pub host_read_pages: u64,
+    /// Host-initiated trimmed pages.
+    pub host_trim_pages: u64,
+    /// NAND page programs (host + relocation).
+    pub nand_programs: u64,
+    /// NAND page reads (host + relocation).
+    pub nand_reads: u64,
+    /// NAND block erases.
+    pub nand_erases: u64,
+    /// Pages copied by GC or sanitization-forced relocation.
+    pub copied_pages: u64,
+    /// GC invocations.
+    pub gc_invocations: u64,
+    /// `pLock` commands issued.
+    pub plocks: u64,
+    /// `bLock` commands issued.
+    pub blocks_locked: u64,
+    /// Wordline scrubs performed (scrSSD).
+    pub scrubs: u64,
+    /// Immediate block erases forced by sanitization (erSSD).
+    pub sanitize_erases: u64,
+}
+
+impl FtlStats {
+    /// Write amplification factor: NAND programs per host page write.
+    ///
+    /// Returns 0 when nothing has been written.
+    pub fn waf(&self) -> f64 {
+        if self.host_write_pages == 0 {
+            0.0
+        } else {
+            self.nand_programs as f64 / self.host_write_pages as f64
+        }
+    }
+
+    /// Pages sanitized per lock command mix — how many `pLock`s were saved
+    /// by `bLock` batching is derived by callers comparing policies.
+    pub fn total_lock_commands(&self) -> u64 {
+        self.plocks + self.blocks_locked
+    }
+
+    /// Field-wise difference `self − earlier`: the counters accumulated
+    /// since an earlier snapshot (used to exclude the prefill phase from
+    /// measured metrics).
+    pub fn since(&self, earlier: &FtlStats) -> FtlStats {
+        FtlStats {
+            host_write_pages: self.host_write_pages - earlier.host_write_pages,
+            host_read_pages: self.host_read_pages - earlier.host_read_pages,
+            host_trim_pages: self.host_trim_pages - earlier.host_trim_pages,
+            nand_programs: self.nand_programs - earlier.nand_programs,
+            nand_reads: self.nand_reads - earlier.nand_reads,
+            nand_erases: self.nand_erases - earlier.nand_erases,
+            copied_pages: self.copied_pages - earlier.copied_pages,
+            gc_invocations: self.gc_invocations - earlier.gc_invocations,
+            plocks: self.plocks - earlier.plocks,
+            blocks_locked: self.blocks_locked - earlier.blocks_locked,
+            scrubs: self.scrubs - earlier.scrubs,
+            sanitize_erases: self.sanitize_erases - earlier.sanitize_erases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waf_is_programs_over_host_writes() {
+        let s = FtlStats { host_write_pages: 100, nand_programs: 250, ..Default::default() };
+        assert!((s.waf() - 2.5).abs() < 1e-12);
+        assert_eq!(FtlStats::default().waf(), 0.0);
+    }
+
+    #[test]
+    fn lock_command_total() {
+        let s = FtlStats { plocks: 7, blocks_locked: 2, ..Default::default() };
+        assert_eq!(s.total_lock_commands(), 9);
+    }
+}

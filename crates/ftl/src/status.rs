@@ -1,0 +1,63 @@
+//! The extended page status table (paper §6, Figure 13).
+//!
+//! SecureSSD extends the classic `free / valid / invalid` page states with a
+//! `secured` state: a valid page whose owner requested secure management.
+//! Invalidation of a `secured` page is what triggers sanitization.
+
+use std::fmt;
+
+/// Status of one physical page as tracked by the FTL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PageStatus {
+    /// Erased and available for programming.
+    #[default]
+    Free,
+    /// Holds live data with no security requirement.
+    Valid,
+    /// Holds live data that must be sanitized on invalidation.
+    Secured,
+    /// Logically dead. (Whether its content was already sanitized is a
+    /// property of the chip — locked/destroyed — not of this table.)
+    Invalid,
+}
+
+impl PageStatus {
+    /// Whether the page holds live (mapped) data.
+    pub fn is_live(&self) -> bool {
+        matches!(self, PageStatus::Valid | PageStatus::Secured)
+    }
+}
+
+impl fmt::Display for PageStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PageStatus::Free => "F",
+            PageStatus::Valid => "V",
+            PageStatus::Secured => "S",
+            PageStatus::Invalid => "I",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liveness() {
+        assert!(!PageStatus::Free.is_live());
+        assert!(PageStatus::Valid.is_live());
+        assert!(PageStatus::Secured.is_live());
+        assert!(!PageStatus::Invalid.is_live());
+    }
+
+    #[test]
+    fn display_letters_match_paper_figure_3() {
+        assert_eq!(PageStatus::Free.to_string(), "F");
+        assert_eq!(PageStatus::Valid.to_string(), "V");
+        assert_eq!(PageStatus::Secured.to_string(), "S");
+        assert_eq!(PageStatus::Invalid.to_string(), "I");
+        assert_eq!(PageStatus::default(), PageStatus::Free);
+    }
+}

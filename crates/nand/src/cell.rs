@@ -1,0 +1,388 @@
+//! Multi-level cell technology: state encodings, page types and the Gray-code
+//! bit mapping used by read operations (paper §2.1 and Figure 2).
+//!
+//! A cell storing `m` bits uses `2^m` threshold-voltage states. Each page
+//! type (LSB/CSB/MSB) reads one bit per cell, and the Gray coding guarantees
+//! adjacent states differ in exactly one bit, so a single-state mixup costs a
+//! single bit error.
+
+use std::fmt;
+
+/// NAND cell technology: how many bits one flash cell stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellTech {
+    /// Single-level cell: 1 bit, 2 states.
+    Slc,
+    /// Multi-level cell: 2 bits, 4 states.
+    Mlc,
+    /// Triple-level cell: 3 bits, 8 states (the paper's target technology).
+    Tlc,
+    /// Quad-level cell: 4 bits, 16 states.
+    Qlc,
+}
+
+impl CellTech {
+    /// Bits stored per cell.
+    pub fn bits_per_cell(&self) -> u8 {
+        match self {
+            CellTech::Slc => 1,
+            CellTech::Mlc => 2,
+            CellTech::Tlc => 3,
+            CellTech::Qlc => 4,
+        }
+    }
+
+    /// Number of Vth states (`2^bits`).
+    pub fn n_states(&self) -> usize {
+        1usize << self.bits_per_cell()
+    }
+
+    /// Rated program/erase endurance (paper §2.1: MLC ~3 000 cycles,
+    /// TLC ~1 000 cycles).
+    pub fn rated_pe_cycles(&self) -> u32 {
+        match self {
+            CellTech::Slc => 50_000,
+            CellTech::Mlc => 3_000,
+            CellTech::Tlc => 1_000,
+            CellTech::Qlc => 500,
+        }
+    }
+
+    /// All page types for this technology, in program order.
+    pub fn page_types(&self) -> &'static [PageType] {
+        match self {
+            CellTech::Slc => &[PageType::Lsb],
+            CellTech::Mlc => &[PageType::Lsb, PageType::Msb],
+            CellTech::Tlc => &[PageType::Lsb, PageType::Csb, PageType::Msb],
+            CellTech::Qlc => &[PageType::Lsb, PageType::Csb, PageType::Msb, PageType::Top],
+        }
+    }
+}
+
+impl fmt::Display for CellTech {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellTech::Slc => "SLC",
+            CellTech::Mlc => "MLC",
+            CellTech::Tlc => "TLC",
+            CellTech::Qlc => "QLC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which of a wordline's pages a bit belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageType {
+    /// Least-significant-bit page.
+    Lsb,
+    /// Central-significant-bit page (TLC/QLC only).
+    Csb,
+    /// Most-significant-bit page.
+    Msb,
+    /// Fourth page (QLC only).
+    Top,
+}
+
+impl PageType {
+    /// Index (program-order slot) of the page type within a wordline of the
+    /// given technology. For MLC the wordline holds LSB then MSB, so
+    /// `Msb.index_in(Mlc) == 1` while `Msb.index_in(Tlc) == 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the technology has no such page (e.g. CSB on MLC).
+    pub fn index_in(&self, tech: CellTech) -> u8 {
+        tech.page_types()
+            .iter()
+            .position(|t| t == self)
+            .unwrap_or_else(|| panic!("{tech} has no {self} page")) as u8
+    }
+
+    /// Page type from its wordline slot index for the given technology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range for the technology.
+    pub fn from_index(idx: u8, tech: CellTech) -> Self {
+        let types = tech.page_types();
+        assert!(
+            (idx as usize) < types.len(),
+            "page-type index {idx} out of range for {tech}"
+        );
+        types[idx as usize]
+    }
+}
+
+impl fmt::Display for PageType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PageType::Lsb => "LSB",
+            PageType::Csb => "CSB",
+            PageType::Msb => "MSB",
+            PageType::Top => "TOP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A threshold-voltage state index: `0` is the erased state `E`, `1..` are
+/// the programmed states `P1..`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VthState(pub u8);
+
+impl VthState {
+    /// The erased state.
+    pub const ERASED: VthState = VthState(0);
+
+    /// Whether this is the erased state.
+    pub fn is_erased(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for VthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_erased() {
+            f.write_str("E")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+/// Gray-code bit value of `state` on page `ty` for `tech` (paper Figure 2).
+///
+/// Encodings (state order E, P1, P2, ...; bit tuple is written MSB→LSB):
+/// * SLC: `1, 0`
+/// * MLC: `11, 10, 00, 01` (MSB, LSB)
+/// * TLC: `111, 110, 100, 000, 010, 011, 001, 101` (MSB, CSB, LSB)
+/// * QLC: a standard 4-bit Gray code.
+///
+/// # Panics
+///
+/// Panics if the state or page type is invalid for the technology.
+pub fn state_bit(tech: CellTech, state: VthState, ty: PageType) -> u8 {
+    let s = state.0 as usize;
+    assert!(s < tech.n_states(), "state {state} invalid for {tech}");
+    match tech {
+        CellTech::Slc => {
+            assert_eq!(ty, PageType::Lsb, "SLC has only an LSB page");
+            [1u8, 0][s]
+        }
+        CellTech::Mlc => match ty {
+            PageType::Lsb => [1u8, 0, 0, 1][s],
+            PageType::Msb => [1u8, 1, 0, 0][s],
+            _ => panic!("MLC has no {ty} page"),
+        },
+        CellTech::Tlc => match ty {
+            PageType::Lsb => [1u8, 0, 0, 0, 0, 1, 1, 1][s],
+            PageType::Csb => [1u8, 1, 0, 0, 1, 1, 0, 0][s],
+            PageType::Msb => [1u8, 1, 1, 0, 0, 0, 0, 1][s],
+            PageType::Top => panic!("TLC has no TOP page"),
+        },
+        CellTech::Qlc => {
+            // Reflected-binary Gray code; bit k of gray(s).
+            let gray = (s ^ (s >> 1)) as u8;
+            let bit_idx = ty.index_in(CellTech::Qlc);
+            // Invert so the all-erased state reads all-ones, like the others.
+            1 - ((gray >> bit_idx) & 1)
+        }
+    }
+}
+
+/// Indices of the inter-state boundaries at which the bit of page `ty` flips.
+///
+/// Boundary `b` separates state `b` from state `b + 1`. A read of page `ty`
+/// applies one read-reference voltage per returned boundary (paper §2.1:
+/// TLC uses a 2-3-2 split across LSB/CSB/MSB).
+pub fn read_boundaries(tech: CellTech, ty: PageType) -> Vec<usize> {
+    let n = tech.n_states();
+    (0..n - 1)
+        .filter(|&b| {
+            state_bit(tech, VthState(b as u8), ty) != state_bit(tech, VthState(b as u8 + 1), ty)
+        })
+        .collect()
+}
+
+/// Nominal Vth distribution parameters for each state: `(mean, sigma)` in
+/// volts at zero P/E cycles and zero retention.
+///
+/// Values are synthetic but shaped like published TLC characterization data:
+/// a wide, deeply-negative erased state and evenly spaced programmed states
+/// squeezed into the fixed design window, with margins shrinking as the
+/// state count grows (paper Figure 2).
+pub fn nominal_states(tech: CellTech) -> Vec<(f64, f64)> {
+    match tech {
+        CellTech::Slc => vec![(-2.5, 0.45), (2.5, 0.20)],
+        CellTech::Mlc => vec![(-2.5, 0.45), (1.0, 0.22), (2.4, 0.22), (3.8, 0.22)],
+        CellTech::Tlc => vec![
+            (-2.5, 0.45),
+            (0.8, 0.115),
+            (1.5, 0.115),
+            (2.2, 0.115),
+            (2.9, 0.115),
+            (3.6, 0.115),
+            (4.3, 0.115),
+            (5.0, 0.115),
+        ],
+        CellTech::Qlc => {
+            let mut v = vec![(-2.5, 0.45)];
+            for i in 0..15 {
+                v.push((0.6 + 0.32 * i as f64, 0.06));
+            }
+            v
+        }
+    }
+}
+
+/// Read-reference voltages for page `ty`: midpoints of the boundaries where
+/// the page's bit flips, computed from [`nominal_states`].
+pub fn read_ref_voltages(tech: CellTech, ty: PageType) -> Vec<f64> {
+    let states = nominal_states(tech);
+    read_boundaries(tech, ty)
+        .into_iter()
+        .map(|b| (states[b].0 + states[b + 1].0) / 2.0)
+        .collect()
+}
+
+/// Decodes the bit read from a cell at voltage `vth` for page `ty`:
+/// the bit starts at the erased-state value and flips at each crossed
+/// reference voltage.
+pub fn decode_bit(tech: CellTech, ty: PageType, refs: &[f64], vth: f64) -> u8 {
+    let mut bit = state_bit(tech, VthState::ERASED, ty);
+    for &r in refs {
+        if vth > r {
+            bit ^= 1;
+        }
+    }
+    bit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_states_consistent() {
+        for tech in [CellTech::Slc, CellTech::Mlc, CellTech::Tlc, CellTech::Qlc] {
+            assert_eq!(tech.n_states(), 1 << tech.bits_per_cell());
+            assert_eq!(tech.page_types().len(), tech.bits_per_cell() as usize);
+            assert_eq!(nominal_states(tech).len(), tech.n_states());
+        }
+    }
+
+    #[test]
+    fn gray_code_adjacent_states_differ_by_one_bit() {
+        for tech in [CellTech::Mlc, CellTech::Tlc, CellTech::Qlc] {
+            for s in 0..tech.n_states() - 1 {
+                let diff: u32 = tech
+                    .page_types()
+                    .iter()
+                    .map(|&ty| {
+                        (state_bit(tech, VthState(s as u8), ty)
+                            ^ state_bit(tech, VthState(s as u8 + 1), ty))
+                            as u32
+                    })
+                    .sum();
+                assert_eq!(diff, 1, "{tech} states {s}/{} differ by {diff} bits", s + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn erased_state_reads_all_ones() {
+        for tech in [CellTech::Slc, CellTech::Mlc, CellTech::Tlc, CellTech::Qlc] {
+            for &ty in tech.page_types() {
+                assert_eq!(state_bit(tech, VthState::ERASED, ty), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn tlc_follows_2_3_2_read_level_split() {
+        assert_eq!(read_boundaries(CellTech::Tlc, PageType::Lsb), vec![0, 4]);
+        assert_eq!(read_boundaries(CellTech::Tlc, PageType::Csb), vec![1, 3, 5]);
+        assert_eq!(read_boundaries(CellTech::Tlc, PageType::Msb), vec![2, 6]);
+    }
+
+    #[test]
+    fn mlc_follows_1_2_split() {
+        // Paper Figure 5: LSB read with V_ref at E|P1 (and P2|P3), MSB at P1|P2.
+        assert_eq!(read_boundaries(CellTech::Mlc, PageType::Lsb), vec![0, 2]);
+        assert_eq!(read_boundaries(CellTech::Mlc, PageType::Msb), vec![1]);
+    }
+
+    #[test]
+    fn total_boundaries_cover_each_state_gap_once() {
+        for tech in [CellTech::Mlc, CellTech::Tlc, CellTech::Qlc] {
+            let mut all: Vec<usize> = tech
+                .page_types()
+                .iter()
+                .flat_map(|&ty| read_boundaries(tech, ty))
+                .collect();
+            all.sort_unstable();
+            let expected: Vec<usize> = (0..tech.n_states() - 1).collect();
+            assert_eq!(all, expected);
+        }
+    }
+
+    #[test]
+    fn decode_bit_recovers_encoded_state() {
+        for tech in [CellTech::Slc, CellTech::Mlc, CellTech::Tlc] {
+            let states = nominal_states(tech);
+            for &ty in tech.page_types() {
+                let refs = read_ref_voltages(tech, ty);
+                for (s, &(mean, _)) in states.iter().enumerate() {
+                    let expect = state_bit(tech, VthState(s as u8), ty);
+                    assert_eq!(
+                        decode_bit(tech, ty, &refs, mean),
+                        expect,
+                        "{tech} {ty} state {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nominal_states_monotonically_increasing() {
+        for tech in [CellTech::Slc, CellTech::Mlc, CellTech::Tlc, CellTech::Qlc] {
+            let s = nominal_states(tech);
+            for w in s.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn vth_margin_shrinks_with_density() {
+        // Paper §2.1: as m grows, the margin between adjacent states shrinks.
+        let margin = |tech: CellTech| {
+            let s = nominal_states(tech);
+            s.windows(2).map(|w| w[1].0 - w[0].0).fold(f64::MAX, f64::min)
+        };
+        assert!(margin(CellTech::Slc) > margin(CellTech::Mlc));
+        assert!(margin(CellTech::Mlc) > margin(CellTech::Tlc));
+        assert!(margin(CellTech::Tlc) > margin(CellTech::Qlc));
+    }
+
+    #[test]
+    fn page_type_roundtrip() {
+        for tech in [CellTech::Slc, CellTech::Mlc, CellTech::Tlc, CellTech::Qlc] {
+            for &ty in tech.page_types() {
+                assert_eq!(PageType::from_index(ty.index_in(tech), tech), ty);
+            }
+        }
+        assert_eq!(PageType::Msb.index_in(CellTech::Mlc), 1);
+        assert_eq!(PageType::Msb.index_in(CellTech::Tlc), 2);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(VthState(0).to_string(), "E");
+        assert_eq!(VthState(3).to_string(), "P3");
+        assert_eq!(CellTech::Tlc.to_string(), "TLC");
+        assert_eq!(PageType::Csb.to_string(), "CSB");
+    }
+}

@@ -1,0 +1,462 @@
+//! Behavioral NAND chip model.
+//!
+//! This layer tracks what a controller can observe through the flash
+//! interface — page contents, program/erase rules, cycle counts and
+//! latencies — without per-cell state. The Evanesco layer
+//! (`evanesco-core`) wraps this chip to add pAP/bAP access-permission
+//! flags and the `pLock`/`bLock` commands.
+//!
+//! Enforced NAND rules:
+//!
+//! * **erase-before-program** — a programmed page cannot be reprogrammed;
+//! * **in-order program** — pages within a block must be programmed in
+//!   strictly increasing order;
+//! * erase works at block granularity only.
+
+use crate::error::NandError;
+use crate::geometry::{BlockId, Geometry, Ppa};
+use crate::timing::{Nanos, TimingSpec};
+
+/// The payload stored in one page.
+///
+/// For system-level simulations carrying full 16-KiB buffers around would
+/// dominate memory for zero fidelity gain, so a page stores a 64-bit
+/// **content tag** (think: hash of the real data, as the paper's VerTrace
+/// uses MD5 digests) plus an optional real byte payload for tests and
+/// examples that want to read data back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageData {
+    tag: u64,
+    payload: Option<Box<[u8]>>,
+}
+
+impl PageData {
+    /// A page identified only by a content tag.
+    pub fn tagged(tag: u64) -> Self {
+        PageData { tag, payload: None }
+    }
+
+    /// A page with a real byte payload (tag is a cheap FNV-1a of the bytes).
+    pub fn with_payload(bytes: &[u8]) -> Self {
+        let mut tag: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            tag ^= b as u64;
+            tag = tag.wrapping_mul(0x100_0000_01b3);
+        }
+        PageData { tag, payload: Some(bytes.into()) }
+    }
+
+    /// The content tag.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// The byte payload, if one was stored.
+    pub fn payload(&self) -> Option<&[u8]> {
+        self.payload.as_deref()
+    }
+}
+
+/// What a read returns about the addressed page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageContent {
+    /// Page erased since the last block erase; reads as all-ones.
+    Erased,
+    /// Page holds programmed data.
+    Data(PageData),
+    /// Page was destroyed in place (scrubbed / one-shot reprogrammed);
+    /// the original data is unrecoverable, reads return garbage.
+    Destroyed,
+}
+
+impl PageContent {
+    /// Programmed data, if present.
+    pub fn data(&self) -> Option<&PageData> {
+        match self {
+            PageContent::Data(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Result of a chip read operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutput {
+    /// The page content observed on the interface.
+    pub content: PageContent,
+    /// Array-access latency of the operation (excludes channel transfer).
+    pub latency: Nanos,
+}
+
+impl ReadOutput {
+    /// Programmed data, if the read returned any.
+    pub fn data(&self) -> Option<PageData> {
+        self.content.data().cloned()
+    }
+}
+
+/// Per-page slot state inside a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Slot {
+    Erased,
+    Programmed(PageData),
+    Destroyed,
+}
+
+/// One erase block.
+#[derive(Debug, Clone)]
+struct Block {
+    slots: Vec<Slot>,
+    /// Next in-order program index.
+    next_program: u32,
+    erase_count: u64,
+    /// Simulation time of the last erase, for open-interval tracking.
+    last_erase_at: Option<Nanos>,
+}
+
+impl Block {
+    fn new(pages: u32) -> Self {
+        Block {
+            slots: vec![Slot::Erased; pages as usize],
+            next_program: 0,
+            erase_count: 0,
+            last_erase_at: None,
+        }
+    }
+}
+
+/// Cumulative operation counters of a chip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChipStats {
+    /// Page reads.
+    pub reads: u64,
+    /// Page programs.
+    pub programs: u64,
+    /// Block erases.
+    pub erases: u64,
+    /// In-place page destructions (scrubs).
+    pub scrubs: u64,
+}
+
+/// A behavioral NAND flash chip.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    geom: Geometry,
+    timing: TimingSpec,
+    blocks: Vec<Block>,
+    stats: ChipStats,
+}
+
+impl Chip {
+    /// Creates an all-erased chip with paper timing.
+    pub fn new(geom: Geometry) -> Self {
+        Self::with_timing(geom, TimingSpec::paper())
+    }
+
+    /// Creates an all-erased chip with explicit timing.
+    pub fn with_timing(geom: Geometry, timing: TimingSpec) -> Self {
+        let blocks = (0..geom.blocks).map(|_| Block::new(geom.pages_per_block())).collect();
+        Chip { geom, timing, blocks, stats: ChipStats::default() }
+    }
+
+    /// The chip geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// The chip's latency table.
+    pub fn timing(&self) -> &TimingSpec {
+        &self.timing
+    }
+
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> ChipStats {
+        self.stats
+    }
+
+    fn check_addr(&self, ppa: Ppa) -> Result<(), NandError> {
+        if self.geom.contains(ppa) {
+            Ok(())
+        } else {
+            Err(NandError::BadAddress { ppa })
+        }
+    }
+
+    fn check_block(&self, block: BlockId) -> Result<(), NandError> {
+        if block.0 < self.geom.blocks {
+            Ok(())
+        } else {
+            Err(NandError::BadBlock { block })
+        }
+    }
+
+    /// Reads a page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BadAddress`] for an out-of-range address.
+    pub fn read(&mut self, ppa: Ppa) -> Result<ReadOutput, NandError> {
+        self.check_addr(ppa)?;
+        self.stats.reads += 1;
+        let slot = &self.blocks[ppa.block.0 as usize].slots[ppa.page.0 as usize];
+        let content = match slot {
+            Slot::Erased => PageContent::Erased,
+            Slot::Programmed(d) => PageContent::Data(d.clone()),
+            Slot::Destroyed => PageContent::Destroyed,
+        };
+        Ok(ReadOutput { content, latency: self.timing.t_read })
+    }
+
+    /// Programs a page with `data`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::BadAddress`] — out-of-range address.
+    /// * [`NandError::ProgramOnProgrammedPage`] — erase-before-program
+    ///   violation.
+    /// * [`NandError::OutOfOrderProgram`] — pages of a block must be
+    ///   programmed in increasing order.
+    pub fn program(&mut self, ppa: Ppa, data: PageData) -> Result<Nanos, NandError> {
+        self.check_addr(ppa)?;
+        let block = &mut self.blocks[ppa.block.0 as usize];
+        let slot = &block.slots[ppa.page.0 as usize];
+        if !matches!(slot, Slot::Erased) {
+            return Err(NandError::ProgramOnProgrammedPage { ppa });
+        }
+        if ppa.page.0 != block.next_program {
+            return Err(NandError::OutOfOrderProgram { ppa, expected: block.next_program });
+        }
+        block.slots[ppa.page.0 as usize] = Slot::Programmed(data);
+        block.next_program += 1;
+        self.stats.programs += 1;
+        Ok(self.timing.t_prog)
+    }
+
+    /// Erases a block, resetting every page to the erased state.
+    ///
+    /// `now` is the current simulation time; it is recorded so the next
+    /// program to the block can compute its open interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BadBlock`] for an out-of-range block.
+    pub fn erase(&mut self, block: BlockId, now: Nanos) -> Result<Nanos, NandError> {
+        self.check_block(block)?;
+        let b = &mut self.blocks[block.0 as usize];
+        for slot in &mut b.slots {
+            *slot = Slot::Erased;
+        }
+        b.next_program = 0;
+        b.erase_count += 1;
+        b.last_erase_at = Some(now);
+        self.stats.erases += 1;
+        Ok(self.timing.t_bers)
+    }
+
+    /// Destroys a page's data in place (models scrubbing / one-shot
+    /// reprogramming used by the scrSSD baseline). The slot stays occupied:
+    /// NAND cannot re-erase a single page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BadAddress`] for an out-of-range address.
+    pub fn destroy_page(&mut self, ppa: Ppa) -> Result<Nanos, NandError> {
+        self.check_addr(ppa)?;
+        let block = &mut self.blocks[ppa.block.0 as usize];
+        block.slots[ppa.page.0 as usize] = Slot::Destroyed;
+        // Keep the in-order pointer past this page if it was still erased.
+        if ppa.page.0 >= block.next_program {
+            block.next_program = ppa.page.0 + 1;
+        }
+        self.stats.scrubs += 1;
+        Ok(self.timing.t_scrub)
+    }
+
+    /// Whether a page currently holds programmed (or destroyed) content —
+    /// i.e. it has been written since the last block erase. This is a
+    /// metadata probe, not a flash operation; it does not count as a read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BadAddress`] for an out-of-range address.
+    pub fn page_is_written(&self, ppa: Ppa) -> Result<bool, NandError> {
+        self.check_addr(ppa)?;
+        let slot = &self.blocks[ppa.block.0 as usize].slots[ppa.page.0 as usize];
+        Ok(!matches!(slot, Slot::Erased))
+    }
+
+    /// Erase count of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is out of range.
+    pub fn erase_count(&self, block: BlockId) -> u64 {
+        self.blocks[block.0 as usize].erase_count
+    }
+
+    /// Time of the last erase of `block`, if it was ever erased.
+    pub fn last_erase_at(&self, block: BlockId) -> Option<Nanos> {
+        self.blocks[block.0 as usize].last_erase_at
+    }
+
+    /// Next in-order programmable page index of a block (equals
+    /// pages-per-block when the block is fully programmed).
+    pub fn next_program_index(&self, block: BlockId) -> u32 {
+        self.blocks[block.0 as usize].next_program
+    }
+
+    /// Raw interface dump of a whole block, as a forensic attacker sees it
+    /// through standard flash commands (no FTL, no file system).
+    pub fn raw_block_dump(&self, block: BlockId) -> Vec<PageContent> {
+        self.blocks[block.0 as usize]
+            .slots
+            .iter()
+            .map(|s| match s {
+                Slot::Erased => PageContent::Erased,
+                Slot::Programmed(d) => PageContent::Data(d.clone()),
+                Slot::Destroyed => PageContent::Destroyed,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::PageId;
+
+    fn small_chip() -> Chip {
+        Chip::new(Geometry::small_tlc())
+    }
+
+    #[test]
+    fn program_then_read_roundtrip() {
+        let mut chip = small_chip();
+        let ppa = Ppa::new(3, 0);
+        chip.program(ppa, PageData::tagged(99)).unwrap();
+        let out = chip.read(ppa).unwrap();
+        assert_eq!(out.data().unwrap().tag(), 99);
+        assert_eq!(out.latency, TimingSpec::paper().t_read);
+    }
+
+    #[test]
+    fn payload_roundtrip_and_tagging() {
+        let mut chip = small_chip();
+        let data = PageData::with_payload(b"secret medical record");
+        let tag = data.tag();
+        chip.program(Ppa::new(0, 0), data).unwrap();
+        let out = chip.read(Ppa::new(0, 0)).unwrap();
+        let got = out.data().unwrap();
+        assert_eq!(got.tag(), tag);
+        assert_eq!(got.payload().unwrap(), b"secret medical record");
+        // Distinct content gets distinct tags.
+        assert_ne!(PageData::with_payload(b"a").tag(), PageData::with_payload(b"b").tag());
+    }
+
+    #[test]
+    fn erase_before_program_enforced() {
+        let mut chip = small_chip();
+        chip.program(Ppa::new(0, 0), PageData::tagged(1)).unwrap();
+        let err = chip.program(Ppa::new(0, 0), PageData::tagged(2)).unwrap_err();
+        assert!(matches!(err, NandError::ProgramOnProgrammedPage { .. }));
+    }
+
+    #[test]
+    fn in_order_program_enforced() {
+        let mut chip = small_chip();
+        let err = chip.program(Ppa::new(0, 5), PageData::tagged(1)).unwrap_err();
+        assert!(matches!(err, NandError::OutOfOrderProgram { expected: 0, .. }));
+        chip.program(Ppa::new(0, 0), PageData::tagged(1)).unwrap();
+        chip.program(Ppa::new(0, 1), PageData::tagged(2)).unwrap();
+        let err = chip.program(Ppa::new(0, 3), PageData::tagged(3)).unwrap_err();
+        assert!(matches!(err, NandError::OutOfOrderProgram { expected: 2, .. }));
+    }
+
+    #[test]
+    fn erase_resets_block_and_counts() {
+        let mut chip = small_chip();
+        let b = BlockId(2);
+        for p in 0..4 {
+            chip.program(Ppa { block: b, page: PageId(p) }, PageData::tagged(p as u64)).unwrap();
+        }
+        assert_eq!(chip.erase_count(b), 0);
+        chip.erase(b, Nanos::from_millis(5)).unwrap();
+        assert_eq!(chip.erase_count(b), 1);
+        assert_eq!(chip.last_erase_at(b), Some(Nanos::from_millis(5)));
+        assert_eq!(chip.next_program_index(b), 0);
+        let out = chip.read(Ppa { block: b, page: PageId(0) }).unwrap();
+        assert_eq!(out.content, PageContent::Erased);
+        // After erase, programming restarts from page 0.
+        chip.program(Ppa { block: b, page: PageId(0) }, PageData::tagged(9)).unwrap();
+    }
+
+    #[test]
+    fn destroy_page_makes_data_unrecoverable() {
+        let mut chip = small_chip();
+        let ppa = Ppa::new(1, 0);
+        chip.program(ppa, PageData::tagged(42)).unwrap();
+        chip.destroy_page(ppa).unwrap();
+        let out = chip.read(ppa).unwrap();
+        assert_eq!(out.content, PageContent::Destroyed);
+        assert!(out.data().is_none());
+    }
+
+    #[test]
+    fn bad_addresses_rejected() {
+        let mut chip = small_chip();
+        assert!(matches!(
+            chip.read(Ppa::new(1000, 0)),
+            Err(NandError::BadAddress { .. })
+        ));
+        assert!(matches!(
+            chip.program(Ppa::new(0, 1000), PageData::tagged(0)),
+            Err(NandError::BadAddress { .. })
+        ));
+        assert!(matches!(
+            chip.erase(BlockId(1000), Nanos::ZERO),
+            Err(NandError::BadBlock { .. })
+        ));
+        assert!(matches!(
+            chip.destroy_page(Ppa::new(1000, 0)),
+            Err(NandError::BadAddress { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut chip = small_chip();
+        chip.program(Ppa::new(0, 0), PageData::tagged(1)).unwrap();
+        chip.read(Ppa::new(0, 0)).unwrap();
+        chip.read(Ppa::new(0, 1)).unwrap();
+        chip.erase(BlockId(0), Nanos::ZERO).unwrap();
+        chip.program(Ppa::new(0, 0), PageData::tagged(2)).unwrap();
+        chip.destroy_page(Ppa::new(0, 0)).unwrap();
+        let s = chip.stats();
+        assert_eq!(s.programs, 2);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.erases, 1);
+        assert_eq!(s.scrubs, 1);
+    }
+
+    #[test]
+    fn raw_block_dump_exposes_everything() {
+        // The data-versioning vulnerability (paper §2.2): invalidated-but-not-
+        // erased data is fully visible to a raw-interface attacker.
+        let mut chip = small_chip();
+        chip.program(Ppa::new(0, 0), PageData::tagged(7)).unwrap();
+        chip.program(Ppa::new(0, 1), PageData::tagged(8)).unwrap();
+        let dump = chip.raw_block_dump(BlockId(0));
+        assert_eq!(dump[0].data().unwrap().tag(), 7);
+        assert_eq!(dump[1].data().unwrap().tag(), 8);
+        assert_eq!(dump[2], PageContent::Erased);
+    }
+
+    #[test]
+    fn latencies_come_from_timing_spec() {
+        let mut t = TimingSpec::paper();
+        t.t_prog = Nanos::from_micros(123);
+        let mut chip = Chip::with_timing(Geometry::small_tlc(), t);
+        let lat = chip.program(Ppa::new(0, 0), PageData::tagged(0)).unwrap();
+        assert_eq!(lat, Nanos::from_micros(123));
+    }
+}

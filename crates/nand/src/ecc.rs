@@ -1,0 +1,87 @@
+//! Error-correcting-code model.
+//!
+//! Modern SSD controllers protect each page with a BCH/LDPC code that can
+//! correct a bounded number of raw bit errors per codeword. All reliability
+//! figures in the paper are normalized to the **ECC limit**: the maximum RBER
+//! below which the code still corrects every codeword. A normalized RBER of
+//! 1.0 therefore means "right at the edge of readability".
+
+/// A hard-decision block-code ECC model: `t` correctable bits per codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccModel {
+    /// Correctable bit errors per codeword.
+    pub t_bits: u32,
+    /// Codeword payload size in bytes.
+    pub codeword_bytes: u32,
+}
+
+impl EccModel {
+    /// A typical TLC-era configuration: 72 correctable bits per 1-KiB
+    /// codeword, giving an ECC-limit RBER of ~8.8e-3.
+    pub fn new() -> Self {
+        EccModel { t_bits: 72, codeword_bytes: 1024 }
+    }
+
+    /// Maximum raw bit-error rate at which every codeword is still
+    /// correctable (`t / codeword bits`).
+    pub fn limit_rber(&self) -> f64 {
+        self.t_bits as f64 / (self.codeword_bytes as f64 * 8.0)
+    }
+
+    /// Whether a page at the given RBER is reliably readable.
+    pub fn correctable(&self, rber: f64) -> bool {
+        rber <= self.limit_rber()
+    }
+
+    /// Normalizes an RBER to the ECC limit (the paper's reporting unit).
+    pub fn normalize(&self, rber: f64) -> f64 {
+        rber / self.limit_rber()
+    }
+
+    /// Whether a specific codeword with `n_errors` raw errors decodes.
+    pub fn decode_ok(&self, n_errors: u32) -> bool {
+        n_errors <= self.t_bits
+    }
+}
+
+impl Default for EccModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limit_rber_matches_t_over_bits() {
+        let ecc = EccModel::default();
+        let expect = 72.0 / (1024.0 * 8.0);
+        assert!((ecc.limit_rber() - expect).abs() < 1e-12);
+        assert!((ecc.limit_rber() - 8.79e-3).abs() < 1e-4);
+    }
+
+    #[test]
+    fn correctable_boundary() {
+        let ecc = EccModel::default();
+        assert!(ecc.correctable(ecc.limit_rber()));
+        assert!(ecc.correctable(0.0));
+        assert!(!ecc.correctable(ecc.limit_rber() * 1.01));
+    }
+
+    #[test]
+    fn normalize_is_identity_at_limit() {
+        let ecc = EccModel::default();
+        assert!((ecc.normalize(ecc.limit_rber()) - 1.0).abs() < 1e-12);
+        assert_eq!(ecc.normalize(0.0), 0.0);
+    }
+
+    #[test]
+    fn decode_ok_counts_bits() {
+        let ecc = EccModel::default();
+        assert!(ecc.decode_ok(0));
+        assert!(ecc.decode_ok(72));
+        assert!(!ecc.decode_ok(73));
+    }
+}

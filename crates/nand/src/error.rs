@@ -1,0 +1,91 @@
+//! Error types for the NAND substrate.
+
+use crate::geometry::{BlockId, Ppa};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the behavioral NAND chip model.
+///
+/// Each variant corresponds to a rule a real NAND die enforces (or a rule a
+/// controller must respect to avoid silent data corruption).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NandError {
+    /// The physical address does not exist in this chip's geometry.
+    BadAddress {
+        /// Offending address.
+        ppa: Ppa,
+    },
+    /// The block index does not exist in this chip's geometry.
+    BadBlock {
+        /// Offending block index.
+        block: BlockId,
+    },
+    /// A program was attempted on a page that is already programmed.
+    /// NAND requires an erase of the full block first (erase-before-program).
+    ProgramOnProgrammedPage {
+        /// Offending address.
+        ppa: Ppa,
+    },
+    /// Pages inside a block must be programmed strictly in order; skipping
+    /// ahead or going back causes unacceptable cell-to-cell interference.
+    OutOfOrderProgram {
+        /// Offending address.
+        ppa: Ppa,
+        /// The next page the chip expected to be programmed in that block.
+        expected: u32,
+    },
+    /// A read of a page that was never programmed since the last erase.
+    ReadOfErasedPage {
+        /// Offending address.
+        ppa: Ppa,
+    },
+}
+
+impl fmt::Display for NandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NandError::BadAddress { ppa } => write!(f, "address out of range: {ppa}"),
+            NandError::BadBlock { block } => write!(f, "block out of range: {block}"),
+            NandError::ProgramOnProgrammedPage { ppa } => {
+                write!(f, "program on already-programmed page {ppa} (erase-before-program)")
+            }
+            NandError::OutOfOrderProgram { ppa, expected } => write!(
+                f,
+                "out-of-order program at {ppa}, expected page index {expected}"
+            ),
+            NandError::ReadOfErasedPage { ppa } => {
+                write!(f, "read of erased (never programmed) page {ppa}")
+            }
+        }
+    }
+}
+
+impl Error for NandError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs = [
+            NandError::BadAddress { ppa: Ppa::new(1, 2) },
+            NandError::BadBlock { block: BlockId(7) },
+            NandError::ProgramOnProgrammedPage { ppa: Ppa::new(0, 0) },
+            NandError::OutOfOrderProgram { ppa: Ppa::new(0, 5), expected: 2 },
+            NandError::ReadOfErasedPage { ppa: Ppa::new(3, 4) },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("out"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NandError>();
+    }
+}

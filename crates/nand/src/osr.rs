@@ -1,0 +1,279 @@
+//! One-shot reprogramming (OSR) — the reprogram-based sanitization baseline
+//! the paper analyzes and rejects (§4, Figures 5 and 6).
+//!
+//! OSR destroys one page of a wordline without copying the other pages: it
+//! one-shot programs every cell whose bit on the sanitized page is `1`
+//! upward until it merges with the neighboring state, making the page's
+//! read references useless. The hazard is **over-programming**: the shifted
+//! cells land in a wide, poorly controlled distribution whose upper tail
+//! crosses the *other* pages' read boundaries, corrupting valid data — and
+//! per-wordline process variation means the shift cannot be tuned per-WL.
+
+use crate::cell::{read_boundaries, state_bit, CellTech, PageType, VthState};
+use crate::math::sample_normal;
+use crate::noise::{adjusted_states, Condition};
+use crate::vth::WordlineSim;
+use rand::Rng;
+
+/// Parameters of the one-shot reprogram pulse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OsrParams {
+    /// Per-cell sigma of the one-shot landing distribution (volts). One-shot
+    /// programming skips ISPP verify loops, so this is much wider than a
+    /// normal program (~0.115 V).
+    pub sigma_oneshot: f64,
+    /// Per-wordline process-variation sigma of the landing mean (volts).
+    /// The paper's §4 argument: this variation is why OSR parameters cannot
+    /// be tuned per wordline.
+    pub wl_bias_sigma: f64,
+}
+
+impl Default for OsrParams {
+    fn default() -> Self {
+        // Calibrated so that, for MLC at 3K P/E, ~7.4% of MSB pages exceed
+        // the ECC limit right after sanitizing the LSB page (paper Fig. 6a).
+        OsrParams { sigma_oneshot: 0.30, wl_bias_sigma: 0.06 }
+    }
+}
+
+/// Outcome of sanitizing one page of a simulated wordline with OSR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OsrOutcome {
+    /// RBER of the sanitized page after the operation (should be massive —
+    /// that is the point of sanitization).
+    pub sanitized_page_rber: f64,
+    /// The per-wordline bias that was drawn for this pulse.
+    pub wl_bias: f64,
+}
+
+/// Applies OSR to destroy page `ty` of the wordline.
+///
+/// Every cell whose current state group encodes bit `1` on page `ty` is
+/// shifted up to the next state across its read boundary; the shift is
+/// sampled from `N(next-state mean + wl_bias, sigma_oneshot)` and only moves
+/// cells upward (programming cannot lower Vth).
+///
+/// `cond` selects the state distributions used to locate the merge targets.
+///
+/// # Panics
+///
+/// Panics if the wordline was never programmed.
+pub fn sanitize_page<R: Rng + ?Sized>(
+    rng: &mut R,
+    wl: &mut WordlineSim,
+    ty: PageType,
+    cond: Condition,
+    params: &OsrParams,
+) -> OsrOutcome {
+    assert!(wl.is_programmed(), "cannot OSR an unprogrammed wordline");
+    let tech = wl.tech();
+    let dists = adjusted_states(tech, cond);
+    let wl_bias = sample_normal(rng, 0.0, params.wl_bias_sigma);
+    let boundaries = read_boundaries(tech, ty);
+    let n_states = tech.n_states() as u8;
+
+    for i in 0..wl.n_cells() {
+        let group = wl.groups()[i];
+        if state_bit(tech, group, ty) != 1 {
+            continue;
+        }
+        // Merge target: the next state upward (capped at the top state —
+        // top-state cells get pushed beyond the design limit, the worst
+        // over-programming case).
+        let target = VthState((group.0 + 1).min(n_states - 1));
+        let target_mean = if target == group {
+            // Already at the top: push past the design limit.
+            dists.params()[group.0 as usize].mean + 0.7
+        } else {
+            dists.params()[target.0 as usize].mean
+        };
+        let new_vth = sample_normal(rng, target_mean + wl_bias, params.sigma_oneshot);
+        let v = &mut wl.vth_mut()[i];
+        if new_vth > *v {
+            *v = new_vth;
+        }
+        if target != group {
+            wl.groups_mut()[i] = target;
+        }
+    }
+    let _ = &boundaries;
+    OsrOutcome { sanitized_page_rber: wl.rber(ty), wl_bias }
+}
+
+/// Convenience: program a random wordline at `cond.pe_cycles`, sanitize
+/// the given pages with OSR, **then** age the wordline by
+/// `cond.retention_days` (program → OSR → retention, the order of the
+/// paper's Figure 6 experiment). Returns the final RBER of `victim_page`
+/// (a page that was *supposed to stay valid*).
+pub fn osr_experiment<R: Rng + ?Sized>(
+    rng: &mut R,
+    tech: CellTech,
+    cond: Condition,
+    sanitize: &[PageType],
+    victim_page: PageType,
+    params: &OsrParams,
+) -> f64 {
+    let program_cond = Condition::cycled(cond.pe_cycles);
+    let dists = adjusted_states(tech, program_cond);
+    let mut wl = WordlineSim::with_default_cells(tech);
+    wl.program_random(rng, &dists);
+    for &ty in sanitize {
+        sanitize_page(rng, &mut wl, ty, program_cond, params);
+    }
+    if cond.retention_days > 0.0 {
+        crate::noise::age_wordline(rng, &mut wl, cond.pe_cycles, cond.retention_days);
+    }
+    wl.rber(victim_page)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecc::EccModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn osr_destroys_the_sanitized_page() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cond = Condition::cycled(1000);
+        let dists = adjusted_states(CellTech::Tlc, cond);
+        let mut wl = WordlineSim::with_default_cells(CellTech::Tlc);
+        wl.program_random(&mut rng, &dists);
+        let out = sanitize_page(&mut rng, &mut wl, PageType::Lsb, cond, &OsrParams::default());
+        let ecc = EccModel::default();
+        // The sanitized page must be far beyond correctable: its content is
+        // gone (merged distributions make former-E cells indistinguishable
+        // from P1 cells).
+        assert!(
+            out.sanitized_page_rber > 10.0 * ecc.limit_rber(),
+            "sanitized page rber {}",
+            out.sanitized_page_rber
+        );
+    }
+
+    #[test]
+    fn mlc_msb_survives_sometimes_fails_sometimes() {
+        // Paper Fig. 6a: right after OSR of the LSB page, ~7.4% of MSB pages
+        // exceed the ECC limit. Check the failure fraction is "a few percent".
+        let mut rng = StdRng::seed_from_u64(12);
+        let ecc = EccModel::default();
+        let cond = Condition::cycled(3000);
+        let trials = 400;
+        let mut failures = 0;
+        for _ in 0..trials {
+            let rber = osr_experiment(
+                &mut rng,
+                CellTech::Mlc,
+                cond,
+                &[PageType::Lsb],
+                PageType::Msb,
+                &OsrParams::default(),
+            );
+            if !ecc.correctable(rber) {
+                failures += 1;
+            }
+        }
+        let frac = failures as f64 / trials as f64;
+        assert!(
+            (0.02..=0.20).contains(&frac),
+            "MLC MSB failure fraction {frac} out of Fig-6a band"
+        );
+    }
+
+    #[test]
+    fn tlc_msb_unreadable_after_lsb_and_csb_sanitize() {
+        // Paper Fig. 6b: sanitizing LSB then CSB makes *all* MSB pages
+        // unreadable.
+        let mut rng = StdRng::seed_from_u64(13);
+        let ecc = EccModel::default();
+        let cond = Condition::cycled(1000);
+        for _ in 0..50 {
+            let rber = osr_experiment(
+                &mut rng,
+                CellTech::Tlc,
+                cond,
+                &[PageType::Lsb, PageType::Csb],
+                PageType::Msb,
+                &OsrParams::default(),
+            );
+            assert!(!ecc.correctable(rber), "TLC MSB survived OSR with rber {rber}");
+        }
+    }
+
+    #[test]
+    fn most_mlc_msb_pages_fail_after_osr_plus_retention() {
+        // Paper Fig. 6a rightmost box: with the 1-year requirement, most MLC
+        // MSB pages cannot be reliably read, with values over 1.5x the limit.
+        let mut rng = StdRng::seed_from_u64(17);
+        let ecc = EccModel::default();
+        let cond = Condition::one_year_retention(3000);
+        let trials = 150;
+        let mut failures = 0;
+        let mut max_norm: f64 = 0.0;
+        for _ in 0..trials {
+            let rber = osr_experiment(
+                &mut rng,
+                CellTech::Mlc,
+                cond,
+                &[PageType::Lsb],
+                PageType::Msb,
+                &OsrParams::default(),
+            );
+            if !ecc.correctable(rber) {
+                failures += 1;
+            }
+            max_norm = max_norm.max(ecc.normalize(rber));
+        }
+        let frac = failures as f64 / trials as f64;
+        assert!(frac > 0.5, "only {frac} of MSB pages failed after retention");
+        assert!(max_norm > 1.5, "worst page only {max_norm}x the limit");
+    }
+
+    #[test]
+    fn retention_after_osr_makes_mlc_msb_worse() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let fresh = Condition::cycled(3000);
+        let retained = Condition::one_year_retention(3000);
+        let n = 60;
+        let mean_of = |rng: &mut StdRng, cond| {
+            let mut acc = 0.0;
+            for _ in 0..n {
+                acc += osr_experiment(
+                    rng,
+                    CellTech::Mlc,
+                    cond,
+                    &[PageType::Lsb],
+                    PageType::Msb,
+                    &OsrParams::default(),
+                );
+            }
+            acc / n as f64
+        };
+        let r_fresh = mean_of(&mut rng, fresh);
+        let r_ret = mean_of(&mut rng, retained);
+        assert!(r_ret > r_fresh, "retention should worsen RBER: {r_ret} vs {r_fresh}");
+    }
+
+    #[test]
+    fn osr_never_lowers_vth() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let cond = Condition::fresh();
+        let dists = adjusted_states(CellTech::Tlc, cond);
+        let mut wl = WordlineSim::new(CellTech::Tlc, 2048);
+        wl.program_random(&mut rng, &dists);
+        let before = wl.vth().to_vec();
+        sanitize_page(&mut rng, &mut wl, PageType::Lsb, cond, &OsrParams::default());
+        for (b, a) in before.iter().zip(wl.vth()) {
+            assert!(a >= b, "OSR lowered a cell Vth: {b} -> {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unprogrammed")]
+    fn osr_requires_programmed_wordline() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut wl = WordlineSim::new(CellTech::Tlc, 128);
+        sanitize_page(&mut rng, &mut wl, PageType::Lsb, Condition::fresh(), &OsrParams::default());
+    }
+}

@@ -1,0 +1,173 @@
+//! Analytic raw bit-error-rate computation.
+//!
+//! For a page read, a cell in state `s` produces a bit error when its
+//! measured Vth lands in a region whose decoded bit differs from the bit
+//! encoded by `s`. With Gaussian per-state distributions and fixed read
+//! references, the error probability is a sum of Gaussian tail integrals;
+//! assuming uniformly random data, the page RBER is the average over states.
+//!
+//! The analytic path complements the Monte-Carlo wordline simulator in
+//! [`crate::vth`]: analytic for speed and smooth parameter sweeps, MC for
+//! per-wordline variation and non-Gaussian perturbations (OSR tails).
+
+use crate::cell::{read_ref_voltages, state_bit, PageType, VthState};
+use crate::math::phi;
+use crate::vth::StateDistributions;
+
+/// Probability that a `N(mean, sigma)` cell lands strictly inside
+/// `(lo, hi)`, where the bounds may be infinite.
+fn region_prob(mean: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    let p_hi = if hi.is_finite() { phi((hi - mean) / sigma) } else { 1.0 };
+    let p_lo = if lo.is_finite() { phi((lo - mean) / sigma) } else { 0.0 };
+    (p_hi - p_lo).max(0.0)
+}
+
+/// Error probability of a single cell in `state` when page `ty` is read
+/// with reference voltages `refs`.
+pub fn cell_error_prob(
+    dists: &StateDistributions,
+    state: VthState,
+    ty: PageType,
+    refs: &[f64],
+) -> f64 {
+    let tech = dists.tech();
+    let p = dists.params()[state.0 as usize];
+    let expect = state_bit(tech, state, ty);
+    // Regions are delimited by the refs; region r has bit = erased-bit ^ (r & 1).
+    let erased_bit = state_bit(tech, VthState::ERASED, ty);
+    let mut err = 0.0;
+    for r in 0..=refs.len() {
+        let bit = erased_bit ^ ((r & 1) as u8);
+        if bit == expect {
+            continue;
+        }
+        let lo = if r == 0 { f64::NEG_INFINITY } else { refs[r - 1] };
+        let hi = if r == refs.len() { f64::INFINITY } else { refs[r] };
+        err += region_prob(p.mean, p.sigma, lo, hi);
+    }
+    err
+}
+
+/// Page RBER under uniformly random data, with nominal read references.
+pub fn page_rber(dists: &StateDistributions, ty: PageType) -> f64 {
+    let refs = read_ref_voltages(dists.tech(), ty);
+    page_rber_with_refs(dists, ty, &refs)
+}
+
+/// Page RBER under uniformly random data with explicit read references.
+pub fn page_rber_with_refs(dists: &StateDistributions, ty: PageType, refs: &[f64]) -> f64 {
+    let tech = dists.tech();
+    let n = tech.n_states();
+    (0..n)
+        .map(|s| cell_error_prob(dists, VthState(s as u8), ty, refs))
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Worst page RBER across all page types of the technology.
+pub fn worst_page_rber(dists: &StateDistributions) -> f64 {
+    dists
+        .tech()
+        .page_types()
+        .iter()
+        .map(|&ty| page_rber(dists, ty))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{read_boundaries, CellTech};
+    use crate::noise::{adjusted_states, Condition};
+    use crate::vth::{WordlineSim, DEFAULT_CELLS_PER_WL};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_tlc_rber_is_tiny() {
+        let dists = StateDistributions::nominal(CellTech::Tlc);
+        for &ty in CellTech::Tlc.page_types() {
+            let r = page_rber(&dists, ty);
+            assert!(r < 2e-3, "{ty} fresh rber {r}");
+        }
+    }
+
+    #[test]
+    fn analytic_matches_monte_carlo() {
+        let cond = Condition::cycled(1000);
+        let dists = adjusted_states(CellTech::Tlc, cond);
+        let analytic = page_rber(&dists, PageType::Msb);
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total_err = 0usize;
+        let trials = 40;
+        for _ in 0..trials {
+            let mut wl = WordlineSim::with_default_cells(CellTech::Tlc);
+            wl.program_random(&mut rng, &dists);
+            total_err += wl.count_errors(PageType::Msb);
+        }
+        let mc = total_err as f64 / (trials * DEFAULT_CELLS_PER_WL) as f64;
+        let rel = (mc - analytic).abs() / analytic.max(1e-12);
+        assert!(rel < 0.15, "analytic {analytic} vs MC {mc} (rel {rel})");
+    }
+
+    #[test]
+    fn rber_grows_with_wear_and_retention() {
+        let mut prev = 0.0;
+        for cond in [
+            Condition::fresh(),
+            Condition::cycled(500),
+            Condition::cycled(1000),
+            Condition::one_year_retention(1000),
+            Condition::cycled(1000).with_retention_days(5.0 * 365.0),
+        ] {
+            let dists = adjusted_states(CellTech::Tlc, cond);
+            let r = page_rber(&dists, PageType::Msb);
+            assert!(r > prev, "rber must grow: {r} after {prev} at {cond:?}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn cell_error_prob_zero_when_centered() {
+        let dists = StateDistributions::nominal(CellTech::Slc);
+        let refs = read_ref_voltages(CellTech::Slc, PageType::Lsb);
+        for s in 0..2u8 {
+            let e = cell_error_prob(&dists, VthState(s), PageType::Lsb, &refs);
+            assert!(e < 1e-6, "state {s} error {e}");
+        }
+    }
+
+    #[test]
+    fn shifted_ref_voltage_causes_errors() {
+        let dists = StateDistributions::nominal(CellTech::Slc);
+        // Move the single read ref inside the programmed distribution: half of
+        // the programmed cells now read wrong.
+        let bad_ref = dists.params()[1].mean;
+        let r = page_rber_with_refs(&dists, PageType::Lsb, &[bad_ref]);
+        assert!((r - 0.25).abs() < 0.01, "expected ~0.25, got {r}");
+    }
+
+    #[test]
+    fn worst_page_is_one_of_the_types() {
+        let dists = adjusted_states(CellTech::Tlc, Condition::cycled(1000));
+        let worst = worst_page_rber(&dists);
+        let max_individual = CellTech::Tlc
+            .page_types()
+            .iter()
+            .map(|&ty| page_rber(&dists, ty))
+            .fold(0.0, f64::max);
+        assert_eq!(worst, max_individual);
+    }
+
+    #[test]
+    fn lsb_vs_msb_error_budget_follows_boundary_count() {
+        // CSB has 3 read boundaries vs 2 for LSB/MSB, so under uniform wear it
+        // accumulates more errors.
+        let dists = adjusted_states(CellTech::Tlc, Condition::cycled(1000));
+        let csb = page_rber(&dists, PageType::Csb);
+        let msb = page_rber(&dists, PageType::Msb);
+        assert!(csb > msb, "csb {csb} should exceed msb {msb}");
+        assert_eq!(read_boundaries(CellTech::Tlc, PageType::Csb).len(), 3);
+    }
+}

@@ -1,0 +1,311 @@
+//! Threshold-voltage (Vth) distribution modeling and the Monte-Carlo
+//! wordline simulator used by the chip-characterization experiments.
+//!
+//! Each Vth state is modeled as a Gaussian `N(mean, sigma)` whose parameters
+//! depend on the operating condition (P/E cycles, retention time); see
+//! [`crate::noise`] for the condition adjustments. The wordline simulator
+//! samples one Vth per cell, which lets experiments observe per-wordline
+//! variation (box-plot spreads, over-programming tails) that analytic
+//! formulas average away.
+
+use crate::cell::{
+    decode_bit, nominal_states, read_ref_voltages, state_bit, CellTech, PageType, VthState,
+};
+use crate::math::sample_normal;
+use rand::Rng;
+
+/// Parameters of one Gaussian Vth state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalParams {
+    /// Mean threshold voltage in volts.
+    pub mean: f64,
+    /// Standard deviation in volts.
+    pub sigma: f64,
+}
+
+impl NormalParams {
+    /// Creates distribution parameters.
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        NormalParams { mean, sigma }
+    }
+}
+
+/// The set of per-state Vth distributions of a wordline under some operating
+/// condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateDistributions {
+    tech: CellTech,
+    params: Vec<NormalParams>,
+}
+
+impl StateDistributions {
+    /// Nominal (fresh, zero-retention) distributions for a technology.
+    pub fn nominal(tech: CellTech) -> Self {
+        let params = nominal_states(tech)
+            .into_iter()
+            .map(|(m, s)| NormalParams::new(m, s))
+            .collect();
+        StateDistributions { tech, params }
+    }
+
+    /// Builds from explicit per-state parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter count does not match the technology's state
+    /// count.
+    pub fn from_params(tech: CellTech, params: Vec<NormalParams>) -> Self {
+        assert_eq!(params.len(), tech.n_states(), "state count mismatch for {tech}");
+        StateDistributions { tech, params }
+    }
+
+    /// The cell technology.
+    pub fn tech(&self) -> CellTech {
+        self.tech
+    }
+
+    /// Per-state parameters, indexed by [`VthState`].
+    pub fn params(&self) -> &[NormalParams] {
+        &self.params
+    }
+
+    /// Mutable access for condition adjustments.
+    pub fn params_mut(&mut self) -> &mut [NormalParams] {
+        &mut self.params
+    }
+
+    /// Samples a cell Vth for `state`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, state: VthState) -> f64 {
+        let p = self.params[state.0 as usize];
+        sample_normal(rng, p.mean, p.sigma)
+    }
+}
+
+/// A Monte-Carlo simulation of one wordline: per-cell threshold voltages
+/// plus the data bits that were programmed, so bit errors can be counted
+/// after arbitrary Vth perturbations.
+///
+/// The default cell count is 8 192, matching the unit the paper reports RBER
+/// in ("RBER per 8,192 flash cells", Figure 6).
+#[derive(Debug, Clone)]
+pub struct WordlineSim {
+    tech: CellTech,
+    vth: Vec<f64>,
+    /// The state each cell currently nominally occupies (tracks OSR merges).
+    group: Vec<VthState>,
+    /// Expected bit per page type, captured at program time.
+    data_bits: Vec<Vec<u8>>,
+    programmed: bool,
+}
+
+/// Default cell count per simulated wordline (the paper's RBER unit).
+pub const DEFAULT_CELLS_PER_WL: usize = 8_192;
+
+impl WordlineSim {
+    /// Creates an erased wordline with `n_cells` cells.
+    pub fn new(tech: CellTech, n_cells: usize) -> Self {
+        WordlineSim {
+            tech,
+            vth: vec![0.0; n_cells],
+            group: vec![VthState::ERASED; n_cells],
+            data_bits: vec![Vec::new(); tech.bits_per_cell() as usize],
+            programmed: false,
+        }
+    }
+
+    /// Creates an erased wordline with the paper's default cell count.
+    pub fn with_default_cells(tech: CellTech) -> Self {
+        Self::new(tech, DEFAULT_CELLS_PER_WL)
+    }
+
+    /// The cell technology.
+    pub fn tech(&self) -> CellTech {
+        self.tech
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.vth.len()
+    }
+
+    /// Whether the wordline has been programmed.
+    pub fn is_programmed(&self) -> bool {
+        self.programmed
+    }
+
+    /// Per-cell threshold voltages.
+    pub fn vth(&self) -> &[f64] {
+        &self.vth
+    }
+
+    /// Mutable per-cell threshold voltages (used by noise models).
+    pub fn vth_mut(&mut self) -> &mut [f64] {
+        &mut self.vth
+    }
+
+    /// Current nominal state group of each cell.
+    pub fn groups(&self) -> &[VthState] {
+        &self.group
+    }
+
+    /// Mutable state groups (used by OSR merges).
+    pub fn groups_mut(&mut self) -> &mut [VthState] {
+        &mut self.group
+    }
+
+    /// Programs the wordline with uniformly random data under the given
+    /// distributions (one full-sequence program of all page types).
+    pub fn program_random<R: Rng + ?Sized>(&mut self, rng: &mut R, dists: &StateDistributions) {
+        let n_states = self.tech.n_states() as u8;
+        let states: Vec<VthState> =
+            (0..self.n_cells()).map(|_| VthState(rng.gen_range(0..n_states))).collect();
+        self.program_states(rng, dists, &states);
+    }
+
+    /// Programs the wordline with explicit per-cell states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` length differs from the cell count.
+    pub fn program_states<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        dists: &StateDistributions,
+        states: &[VthState],
+    ) {
+        assert_eq!(states.len(), self.n_cells(), "state vector length mismatch");
+        for (i, &s) in states.iter().enumerate() {
+            self.vth[i] = dists.sample(rng, s);
+            self.group[i] = s;
+        }
+        for &ty in self.tech.page_types() {
+            let bits = states.iter().map(|&s| state_bit(self.tech, s, ty)).collect();
+            self.data_bits[ty.index_in(self.tech) as usize] = bits;
+        }
+        self.programmed = true;
+    }
+
+    /// The data bits originally programmed on page `ty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wordline has not been programmed.
+    pub fn expected_bits(&self, ty: PageType) -> &[u8] {
+        assert!(self.programmed, "wordline not programmed");
+        &self.data_bits[ty.index_in(self.tech) as usize]
+    }
+
+    /// Reads page `ty` with the nominal read-reference voltages.
+    pub fn read_page(&self, ty: PageType) -> Vec<u8> {
+        let refs = read_ref_voltages(self.tech, ty);
+        self.read_page_with_refs(ty, &refs)
+    }
+
+    /// Reads page `ty` with explicit reference voltages.
+    pub fn read_page_with_refs(&self, ty: PageType, refs: &[f64]) -> Vec<u8> {
+        self.vth.iter().map(|&v| decode_bit(self.tech, ty, refs, v)).collect()
+    }
+
+    /// Number of raw bit errors on page `ty` (read vs. programmed data).
+    pub fn count_errors(&self, ty: PageType) -> usize {
+        let read = self.read_page(ty);
+        read.iter()
+            .zip(self.expected_bits(ty))
+            .filter(|(r, e)| r != e)
+            .count()
+    }
+
+    /// Raw bit-error rate of page `ty`.
+    pub fn rber(&self, ty: PageType) -> f64 {
+        self.count_errors(ty) as f64 / self.n_cells() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecc::EccModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_wordline_has_negligible_errors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dists = StateDistributions::nominal(CellTech::Tlc);
+        let mut wl = WordlineSim::with_default_cells(CellTech::Tlc);
+        wl.program_random(&mut rng, &dists);
+        let ecc = EccModel::default();
+        for &ty in CellTech::Tlc.page_types() {
+            let rber = wl.rber(ty);
+            assert!(
+                rber < ecc.limit_rber(),
+                "fresh {ty} rber {rber} above ECC limit"
+            );
+        }
+    }
+
+    #[test]
+    fn programmed_groups_match_states() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dists = StateDistributions::nominal(CellTech::Mlc);
+        let mut wl = WordlineSim::new(CellTech::Mlc, 64);
+        let states: Vec<VthState> = (0..64).map(|i| VthState((i % 4) as u8)).collect();
+        wl.program_states(&mut rng, &dists, &states);
+        assert_eq!(wl.groups(), states.as_slice());
+        assert!(wl.is_programmed());
+    }
+
+    #[test]
+    fn expected_bits_match_gray_code() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dists = StateDistributions::nominal(CellTech::Tlc);
+        let mut wl = WordlineSim::new(CellTech::Tlc, 8);
+        let states: Vec<VthState> = (0..8).map(|i| VthState(i as u8)).collect();
+        wl.program_states(&mut rng, &dists, &states);
+        for &ty in CellTech::Tlc.page_types() {
+            let expect: Vec<u8> =
+                states.iter().map(|&s| state_bit(CellTech::Tlc, s, ty)).collect();
+            assert_eq!(wl.expected_bits(ty), expect.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not programmed")]
+    fn expected_bits_panics_unprogrammed() {
+        let wl = WordlineSim::new(CellTech::Tlc, 8);
+        wl.expected_bits(PageType::Lsb);
+    }
+
+    #[test]
+    fn widened_sigma_increases_rber() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let nominal = StateDistributions::nominal(CellTech::Tlc);
+        let mut wide = nominal.clone();
+        for p in wide.params_mut() {
+            p.sigma *= 2.5;
+        }
+        let mut wl_n = WordlineSim::with_default_cells(CellTech::Tlc);
+        let mut wl_w = WordlineSim::with_default_cells(CellTech::Tlc);
+        wl_n.program_random(&mut rng, &nominal);
+        wl_w.program_random(&mut rng, &wide);
+        assert!(wl_w.rber(PageType::Msb) > wl_n.rber(PageType::Msb));
+    }
+
+    #[test]
+    fn sample_respects_state_means() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dists = StateDistributions::nominal(CellTech::Tlc);
+        let mut acc = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            acc += dists.sample(&mut rng, VthState(7));
+        }
+        assert!((acc / n as f64 - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "state count mismatch")]
+    fn from_params_validates_length() {
+        StateDistributions::from_params(CellTech::Tlc, vec![NormalParams::new(0.0, 1.0)]);
+    }
+}

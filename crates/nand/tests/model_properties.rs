@@ -1,0 +1,130 @@
+//! Property-based tests on the NAND device models: encoding bijectivity,
+//! RBER behaviour under parameter perturbations, and simulator/analytic
+//! agreement.
+
+use evanesco_nand::cell::{read_ref_voltages, CellTech, PageType};
+use evanesco_nand::ecc::EccModel;
+use evanesco_nand::geometry::{Geometry, PageId};
+use evanesco_nand::math;
+use evanesco_nand::noise::{adjusted_states, Condition};
+use evanesco_nand::osr::{sanitize_page, OsrParams};
+use evanesco_nand::rber::{page_rber, page_rber_with_refs};
+use evanesco_nand::timing::Nanos;
+use evanesco_nand::vth::{StateDistributions, WordlineSim};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tech_strategy() -> impl Strategy<Value = CellTech> {
+    prop_oneof![
+        Just(CellTech::Slc),
+        Just(CellTech::Mlc),
+        Just(CellTech::Tlc),
+        Just(CellTech::Qlc)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn rber_bounded_and_widening_never_helps(
+        tech in tech_strategy(),
+        widen in 1.0f64..4.0,
+    ) {
+        let base = StateDistributions::nominal(tech);
+        let mut wide = base.clone();
+        for p in wide.params_mut() {
+            p.sigma *= widen;
+        }
+        for &ty in tech.page_types() {
+            let r0 = page_rber(&base, ty);
+            let r1 = page_rber(&wide, ty);
+            prop_assert!((0.0..=1.0).contains(&r0));
+            prop_assert!((0.0..=1.0).contains(&r1));
+            prop_assert!(r1 + 1e-12 >= r0, "widening reduced rber: {r0} -> {r1}");
+        }
+    }
+
+    #[test]
+    fn rber_monotone_in_wear(pe1 in 0u32..1000, pe2 in 0u32..1000) {
+        let (lo, hi) = (pe1.min(pe2), pe1.max(pe2));
+        let r_lo = page_rber(&adjusted_states(CellTech::Tlc, Condition::cycled(lo)), PageType::Csb);
+        let r_hi = page_rber(&adjusted_states(CellTech::Tlc, Condition::cycled(hi)), PageType::Csb);
+        prop_assert!(r_hi + 1e-15 >= r_lo);
+    }
+
+    #[test]
+    fn shifted_refs_never_beat_nominal_midpoints(
+        shift in -0.3f64..0.3,
+    ) {
+        // The nominal midpoint references are (near-)optimal for symmetric
+        // distributions; shifting all refs together cannot reduce RBER much.
+        let dists = adjusted_states(CellTech::Tlc, Condition::cycled(1000));
+        let refs: Vec<f64> = read_ref_voltages(CellTech::Tlc, PageType::Msb)
+            .into_iter()
+            .map(|r| r + shift)
+            .collect();
+        let nominal = page_rber(&dists, PageType::Msb);
+        let shifted = page_rber_with_refs(&dists, PageType::Msb, &refs);
+        prop_assert!(shifted + 1e-9 >= nominal * 0.9);
+    }
+
+    #[test]
+    fn geometry_page_roundtrip(blocks in 1u32..64, wls in 1u32..64, page in 0u32..192) {
+        let geom = Geometry {
+            tech: CellTech::Tlc,
+            blocks,
+            wordlines_per_block: wls,
+            page_bytes: 16 * 1024,
+            spare_bytes: 1024,
+        };
+        let ppb = geom.pages_per_block();
+        let p = PageId(page % ppb);
+        let (wl, ty) = geom.page_to_wordline(p);
+        prop_assert_eq!(geom.wordline_to_page(wl, ty), p);
+        prop_assert!(wl.0 < wls);
+    }
+
+    #[test]
+    fn nanos_arithmetic_laws(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let (na, nb) = (Nanos(a), Nanos(b));
+        prop_assert_eq!(na + nb, nb + na);
+        prop_assert_eq!((na + nb).saturating_sub(nb), na);
+        prop_assert_eq!(na.saturating_sub(na + nb), Nanos::ZERO);
+        prop_assert!((na.as_secs_f64() - a as f64 / 1e9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn phi_is_monotone_cdf(x in -6.0f64..6.0, dx in 0.0f64..3.0) {
+        prop_assert!(math::phi(x + dx) + 1e-12 >= math::phi(x));
+        prop_assert!((0.0..=1.0).contains(&math::phi(x)));
+    }
+
+    #[test]
+    fn osr_always_destroys_target_and_never_lowers_vth(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cond = Condition::cycled(1000);
+        let dists = adjusted_states(CellTech::Tlc, cond);
+        let mut wl = WordlineSim::new(CellTech::Tlc, 2048);
+        wl.program_random(&mut rng, &dists);
+        let before = wl.vth().to_vec();
+        let out = sanitize_page(&mut rng, &mut wl, PageType::Lsb, cond, &OsrParams::default());
+        let ecc = EccModel::default();
+        prop_assert!(out.sanitized_page_rber > 5.0 * ecc.limit_rber());
+        for (b, a) in before.iter().zip(wl.vth()) {
+            prop_assert!(a >= b);
+        }
+    }
+
+    #[test]
+    fn mc_rber_tracks_analytic(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dists = adjusted_states(CellTech::Tlc, Condition::one_year_retention(1000));
+        let analytic = page_rber(&dists, PageType::Csb);
+        let mut wl = WordlineSim::with_default_cells(CellTech::Tlc);
+        wl.program_random(&mut rng, &dists);
+        let mc = wl.rber(PageType::Csb);
+        // Single-wordline MC is noisy; allow a generous band.
+        prop_assert!(mc < analytic * 2.0 + 1e-3, "mc {mc} analytic {analytic}");
+        prop_assert!(mc > analytic * 0.4 - 1e-3, "mc {mc} analytic {analytic}");
+    }
+}

@@ -1,0 +1,87 @@
+//! SSD-level configuration.
+
+use evanesco_ftl::FtlConfig;
+
+/// Configuration of an emulated SSD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsdConfig {
+    /// Number of channels.
+    pub channels: u16,
+    /// Chips per channel.
+    pub chips_per_channel: u16,
+    /// FTL configuration (its `n_chips` must equal
+    /// `channels × chips_per_channel`).
+    pub ftl: FtlConfig,
+    /// Whether the emulator records content tags for forensic verification
+    /// (cheap for tests; disable for large performance runs).
+    pub track_tags: bool,
+}
+
+impl SsdConfig {
+    /// The paper's SecureSSD (§7): 2 channels × 4 chips of 3D TLC.
+    pub fn paper() -> Self {
+        SsdConfig { channels: 2, chips_per_channel: 4, ftl: FtlConfig::paper(), track_tags: false }
+    }
+
+    /// Paper structure with a scaled-down block count per chip.
+    pub fn scaled(blocks_per_chip: u32) -> Self {
+        SsdConfig {
+            channels: 2,
+            chips_per_channel: 4,
+            ftl: FtlConfig::paper_scaled(blocks_per_chip),
+            track_tags: false,
+        }
+    }
+
+    /// A tiny SSD for unit tests, with tag tracking on.
+    pub fn tiny_for_tests() -> Self {
+        let ftl = FtlConfig::tiny_for_tests();
+        SsdConfig { channels: 2, chips_per_channel: 1, ftl, track_tags: true }
+    }
+
+    /// Total chips.
+    pub fn n_chips(&self) -> usize {
+        self.channels as usize * self.chips_per_channel as usize
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FTL chip count disagrees with the channel topology.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.n_chips(),
+            self.ftl.n_chips,
+            "channel topology and FTL chip count disagree"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology() {
+        let cfg = SsdConfig::paper();
+        cfg.validate();
+        assert_eq!(cfg.n_chips(), 8);
+    }
+
+    #[test]
+    fn tiny_topology() {
+        let cfg = SsdConfig::tiny_for_tests();
+        cfg.validate();
+        assert_eq!(cfg.n_chips(), 2);
+        assert!(cfg.track_tags);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn validate_catches_mismatch() {
+        let mut cfg = SsdConfig::tiny_for_tests();
+        cfg.channels = 3;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,38 @@
+//! # evanesco-ssd
+//!
+//! The event-timed SSD emulator of the Evanesco (ASPLOS 2020) reproduction —
+//! the stand-in for the paper's FlashBench-based SecureSSD prototype.
+//!
+//! * [`config::SsdConfig`] — channel topology + FTL configuration (the
+//!   paper's 2 channels × 4 TLC chips by default);
+//! * [`device::TimedExecutor`] — applies FTL operations to the Evanesco
+//!   chips while accounting latency on per-chip and per-channel busy
+//!   timelines;
+//! * [`emulator::Emulator`] — the host-facing facade: writes with security
+//!   requirements, reads, trims, attacker verification, and run metrics;
+//! * [`metrics::RunResult`] — IOPS / WAF / erase / lock-mix summary.
+//!
+//! ```rust
+//! use evanesco_ssd::config::SsdConfig;
+//! use evanesco_ssd::emulator::Emulator;
+//! use evanesco_ftl::SanitizePolicy;
+//!
+//! # fn main() {
+//! let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+//! ssd.write(0, 4, true);            // four secure pages
+//! ssd.trim(0, 4);                   // delete them
+//! assert!(ssd.verify_sanitized(0, 4));
+//! println!("{:?}", ssd.result());
+//! # }
+//! ```
+
+pub mod config;
+pub mod device;
+pub mod emulator;
+pub mod hostfs;
+pub mod metrics;
+pub mod timeline;
+
+pub use config::SsdConfig;
+pub use emulator::Emulator;
+pub use metrics::RunResult;

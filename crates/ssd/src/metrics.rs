@@ -1,0 +1,209 @@
+//! Run-level metrics: IOPS, WAF, erases, lock mix, latency histograms.
+
+use evanesco_ftl::FtlStats;
+use evanesco_nand::timing::Nanos;
+
+/// A log₂-bucketed latency histogram (nanosecond samples, 48 buckets up to
+/// ~3 days) with O(1) recording and approximate percentiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 48],
+    count: u64,
+    max: Nanos,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: [0; 48], count: 0, max: Nanos::ZERO }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Nanos) {
+        let idx = (64 - sample.0.max(1).leading_zeros() as usize - 1).min(47);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Nanos {
+        self.max
+    }
+
+    /// Approximate percentile (upper bucket bound), `p` in `[0, 100]`.
+    /// Returns zero for an empty histogram.
+    pub fn percentile(&self, p: f64) -> Nanos {
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper bucket bound; the overflow bucket reports the max.
+                if i + 1 >= self.buckets.len() {
+                    return self.max;
+                }
+                return Nanos(1u64 << (i + 1)).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summary of an emulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunResult {
+    /// Host page operations executed (reads + writes + trimmed pages).
+    pub host_ops: u64,
+    /// Total simulated device time.
+    pub sim_time: Nanos,
+    /// Host page operations per simulated second.
+    pub iops: f64,
+    /// Write amplification factor.
+    pub waf: f64,
+    /// Block erases performed.
+    pub erases: u64,
+    /// `pLock` commands issued (chip-level count).
+    pub plocks: u64,
+    /// `bLock` commands issued (chip-level count).
+    pub blocks_locked: u64,
+    /// Full FTL counters.
+    pub ftl: FtlStats,
+}
+
+impl RunResult {
+    /// Builds a result from raw counters.
+    pub fn new(host_ops: u64, sim_time: Nanos, ftl: FtlStats, locks: (u64, u64), erases: u64) -> Self {
+        let secs = sim_time.as_secs_f64();
+        RunResult {
+            host_ops,
+            sim_time,
+            iops: if secs > 0.0 { host_ops as f64 / secs } else { 0.0 },
+            waf: ftl.waf(),
+            erases,
+            plocks: locks.0,
+            blocks_locked: locks.1,
+            ftl,
+        }
+    }
+
+    /// IOPS normalized to a baseline run (the paper's Figure 14a unit).
+    pub fn iops_vs(&self, baseline: &RunResult) -> f64 {
+        if baseline.iops > 0.0 {
+            self.iops / baseline.iops
+        } else {
+            0.0
+        }
+    }
+
+    /// WAF normalized to a baseline run (Figure 14b unit).
+    pub fn waf_vs(&self, baseline: &RunResult) -> f64 {
+        if baseline.waf > 0.0 {
+            self.waf / baseline.waf
+        } else {
+            0.0
+        }
+    }
+
+    /// The metrics accumulated since an `earlier` snapshot of the same run
+    /// (used to exclude warm-up phases from measurement).
+    pub fn since(&self, earlier: &RunResult) -> RunResult {
+        RunResult::new(
+            self.host_ops - earlier.host_ops,
+            self.sim_time.saturating_sub(earlier.sim_time),
+            self.ftl.since(&earlier.ftl),
+            (self.plocks - earlier.plocks, self.blocks_locked - earlier.blocks_locked),
+            self.erases - earlier.erases,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(host_ops: u64, micros: u64, programs: u64, writes: u64) -> RunResult {
+        let ftl = FtlStats {
+            host_write_pages: writes,
+            nand_programs: programs,
+            ..Default::default()
+        };
+        RunResult::new(host_ops, Nanos::from_micros(micros), ftl, (0, 0), 0)
+    }
+
+    #[test]
+    fn iops_and_waf() {
+        let r = result(1000, 1_000_000, 300, 100);
+        assert!((r.iops - 1000.0).abs() < 1e-9);
+        assert!((r.waf - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization() {
+        let base = result(1000, 1_000_000, 100, 100);
+        let slow = result(1000, 4_000_000, 300, 100);
+        assert!((slow.iops_vs(&base) - 0.25).abs() < 1e-9);
+        assert!((slow.waf_vs(&base) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_gives_zero_iops() {
+        let r = result(10, 0, 0, 0);
+        assert_eq!(r.iops, 0.0);
+    }
+
+    #[test]
+    fn latency_histogram_percentiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.percentile(99.0), Nanos::ZERO);
+        for us in [10u64, 10, 10, 10, 10, 10, 10, 10, 10, 5000] {
+            h.record(Nanos::from_micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), Nanos::from_micros(5000));
+        // p50 lands in the 10us bucket (upper bound 16.384us).
+        assert!(h.percentile(50.0) <= Nanos::from_micros(17));
+        // p100 reaches the outlier.
+        assert_eq!(h.percentile(100.0), Nanos::from_micros(5000));
+        // Monotone in p.
+        assert!(h.percentile(99.0) >= h.percentile(50.0));
+    }
+
+    #[test]
+    fn latency_histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(Nanos(0));
+        h.record(Nanos(u64::MAX));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(100.0), Nanos(u64::MAX));
+    }
+
+    #[test]
+    fn since_isolates_the_measured_phase() {
+        let warmup = result(1000, 2_000_000, 1500, 1000);
+        let full = result(3000, 6_000_000, 3500, 3000);
+        let main = full.since(&warmup);
+        assert_eq!(main.host_ops, 2000);
+        assert_eq!(main.sim_time, Nanos::from_micros(4_000_000));
+        assert_eq!(main.ftl.nand_programs, 2000);
+        assert_eq!(main.ftl.host_write_pages, 2000);
+        // WAF recomputed from the deltas, not inherited.
+        assert!((main.waf - 1.0).abs() < 1e-12);
+        // IOPS from delta ops over delta time.
+        assert!((main.iops - 2000.0 / 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,60 @@
+//! Busy-timeline resources for event timing.
+//!
+//! Each chip and each channel is a serial resource: an operation occupies it
+//! for a latency window starting no earlier than both the resource's free
+//! time and the operation's dependency time. Total simulated time is the
+//! maximum busy-until across resources.
+
+use evanesco_nand::timing::Nanos;
+
+/// A serially-occupied hardware resource.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Resource {
+    busy_until: Nanos,
+}
+
+impl Resource {
+    /// A free resource at time zero.
+    pub fn new() -> Self {
+        Resource { busy_until: Nanos::ZERO }
+    }
+
+    /// Reserves the resource for `dur`, starting no earlier than
+    /// `earliest`. Returns `(start, end)`.
+    pub fn reserve(&mut self, earliest: Nanos, dur: Nanos) -> (Nanos, Nanos) {
+        let start = self.busy_until.max(earliest);
+        let end = start + dur;
+        self.busy_until = end;
+        (start, end)
+    }
+
+    /// When the resource becomes free.
+    pub fn busy_until(&self) -> Nanos {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_serializes() {
+        let mut r = Resource::new();
+        let (s1, e1) = r.reserve(Nanos::ZERO, Nanos::from_micros(100));
+        assert_eq!(s1, Nanos::ZERO);
+        assert_eq!(e1, Nanos::from_micros(100));
+        let (s2, e2) = r.reserve(Nanos::ZERO, Nanos::from_micros(50));
+        assert_eq!(s2, e1, "second op waits for the first");
+        assert_eq!(e2, Nanos::from_micros(150));
+    }
+
+    #[test]
+    fn reserve_respects_dependency() {
+        let mut r = Resource::new();
+        let (s, e) = r.reserve(Nanos::from_micros(500), Nanos::from_micros(10));
+        assert_eq!(s, Nanos::from_micros(500));
+        assert_eq!(e, Nanos::from_micros(510));
+        assert_eq!(r.busy_until(), e);
+    }
+}

@@ -1,0 +1,236 @@
+//! A minimal file-system model over the logical page space.
+//!
+//! The generators need realistic file behaviour — creation, append,
+//! overwrite, deletion, fragmentation of the logical address space — without
+//! a full file system. `FileModel` tracks which logical pages belong to
+//! which file and hands out free pages (first from a recycled pool, so the
+//! space fragments over time like a real aged file system).
+
+use crate::trace::FileId;
+use evanesco_ftl::Lpa;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Metadata of one live file.
+#[derive(Debug, Clone)]
+pub struct FileInfo {
+    /// Logical pages of the file, in file order.
+    pub lpas: Vec<Lpa>,
+    /// Security requirement of the file's data.
+    pub secure: bool,
+}
+
+/// The file/LPA bookkeeping model.
+#[derive(Debug, Clone)]
+pub struct FileModel {
+    logical_pages: u64,
+    free: Vec<Lpa>,
+    files: HashMap<FileId, FileInfo>,
+    live_ids: Vec<FileId>,
+    next_id: FileId,
+}
+
+impl FileModel {
+    /// Creates an empty model over `logical_pages` pages.
+    pub fn new(logical_pages: u64) -> Self {
+        FileModel {
+            logical_pages,
+            free: (0..logical_pages).rev().collect(),
+            files: HashMap::new(),
+            live_ids: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Number of free logical pages.
+    pub fn free_pages(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Number of used logical pages.
+    pub fn used_pages(&self) -> u64 {
+        self.logical_pages - self.free_pages()
+    }
+
+    /// Current utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.used_pages() as f64 / self.logical_pages as f64
+    }
+
+    /// Number of live files.
+    pub fn n_files(&self) -> usize {
+        self.live_ids.len()
+    }
+
+    /// A live file's metadata.
+    pub fn file(&self, id: FileId) -> Option<&FileInfo> {
+        self.files.get(&id)
+    }
+
+    /// Creates a file of `npages`, allocating logical pages.
+    ///
+    /// Returns the new file id, or `None` if there is not enough free space.
+    pub fn create(&mut self, npages: u64, secure: bool) -> Option<FileId> {
+        if self.free_pages() < npages {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let lpas: Vec<Lpa> = (0..npages).map(|_| self.free.pop().expect("checked")).collect();
+        self.files.insert(id, FileInfo { lpas, secure });
+        self.live_ids.push(id);
+        Some(id)
+    }
+
+    /// Appends `npages` to a file. Returns the appended pages, or `None` on
+    /// missing file / insufficient space.
+    pub fn append(&mut self, id: FileId, npages: u64) -> Option<Vec<Lpa>> {
+        if self.free_pages() < npages || !self.files.contains_key(&id) {
+            return None;
+        }
+        let new: Vec<Lpa> = (0..npages).map(|_| self.free.pop().expect("checked")).collect();
+        self.files.get_mut(&id).expect("checked").lpas.extend(&new);
+        Some(new)
+    }
+
+    /// Picks a random in-place overwrite range of up to `npages` within the
+    /// file: returns the affected pages (existing LPAs, rewritten in place).
+    pub fn overwrite_range<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        id: FileId,
+        npages: u64,
+    ) -> Option<Vec<Lpa>> {
+        let f = self.files.get(&id)?;
+        if f.lpas.is_empty() {
+            return None;
+        }
+        let n = npages.min(f.lpas.len() as u64) as usize;
+        let start = rng.gen_range(0..=(f.lpas.len() - n));
+        Some(f.lpas[start..start + n].to_vec())
+    }
+
+    /// Deletes a file, returning its pages to the free pool. Returns the
+    /// freed pages (for the trim trace op).
+    pub fn delete(&mut self, id: FileId) -> Option<Vec<Lpa>> {
+        let f = self.files.remove(&id)?;
+        let pos = self.live_ids.iter().position(|&x| x == id).expect("live file listed");
+        self.live_ids.swap_remove(pos);
+        self.free.extend(f.lpas.iter().copied());
+        Some(f.lpas)
+    }
+
+    /// A uniformly random live file, if any.
+    pub fn random_file<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<FileId> {
+        if self.live_ids.is_empty() {
+            None
+        } else {
+            Some(self.live_ids[rng.gen_range(0..self.live_ids.len())])
+        }
+    }
+
+    /// Splits a page list into maximal contiguous runs `(start, len)`.
+    pub fn contiguous_runs(lpas: &[Lpa]) -> Vec<(Lpa, u64)> {
+        let mut runs = Vec::new();
+        let mut iter = lpas.iter().copied();
+        let Some(first) = iter.next() else { return runs };
+        let (mut start, mut len) = (first, 1u64);
+        for l in iter {
+            if l == start + len {
+                len += 1;
+            } else {
+                runs.push((start, len));
+                start = l;
+                len = 1;
+            }
+        }
+        runs.push((start, len));
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn create_append_delete_lifecycle() {
+        let mut fs = FileModel::new(100);
+        let f = fs.create(10, true).unwrap();
+        assert_eq!(fs.used_pages(), 10);
+        let appended = fs.append(f, 5).unwrap();
+        assert_eq!(appended.len(), 5);
+        assert_eq!(fs.file(f).unwrap().lpas.len(), 15);
+        let freed = fs.delete(f).unwrap();
+        assert_eq!(freed.len(), 15);
+        assert_eq!(fs.used_pages(), 0);
+        assert_eq!(fs.n_files(), 0);
+    }
+
+    #[test]
+    fn create_fails_when_full() {
+        let mut fs = FileModel::new(10);
+        assert!(fs.create(8, false).is_some());
+        assert!(fs.create(3, false).is_none());
+        assert!(fs.create(2, false).is_some());
+        assert_eq!(fs.utilization(), 1.0);
+    }
+
+    #[test]
+    fn freed_pages_are_reused() {
+        let mut fs = FileModel::new(10);
+        let a = fs.create(10, false).unwrap();
+        fs.delete(a).unwrap();
+        let b = fs.create(10, false).unwrap();
+        let mut lpas = fs.file(b).unwrap().lpas.clone();
+        lpas.sort_unstable();
+        assert_eq!(lpas, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn overwrite_range_stays_in_file() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut fs = FileModel::new(100);
+        let f = fs.create(20, true).unwrap();
+        for _ in 0..50 {
+            let pages = fs.overwrite_range(&mut rng, f, 8).unwrap();
+            assert!(pages.len() == 8);
+            for p in &pages {
+                assert!(fs.file(f).unwrap().lpas.contains(p));
+            }
+        }
+        // Larger than the file: clamped.
+        assert_eq!(fs.overwrite_range(&mut rng, f, 100).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn random_file_uniformish() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut fs = FileModel::new(100);
+        let a = fs.create(1, false).unwrap();
+        let b = fs.create(1, false).unwrap();
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..100 {
+            match fs.random_file(&mut rng).unwrap() {
+                x if x == a => seen_a = true,
+                x if x == b => seen_b = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(seen_a && seen_b);
+        assert_eq!(FileModel::new(5).random_file(&mut rng), None);
+    }
+
+    #[test]
+    fn contiguous_runs_split_correctly() {
+        assert_eq!(
+            FileModel::contiguous_runs(&[0, 1, 2, 5, 6, 9]),
+            vec![(0, 3), (5, 2), (9, 1)]
+        );
+        assert_eq!(FileModel::contiguous_runs(&[]), vec![]);
+        assert_eq!(FileModel::contiguous_runs(&[7]), vec![(7, 1)]);
+    }
+}

@@ -1,0 +1,281 @@
+//! The trace-generation engine: turns a [`WorkloadSpec`] into a concrete,
+//! seeded, replayable [`Trace`].
+//!
+//! Methodology follows the paper's §3/§7 setup: prefill the device to the
+//! target utilization, then generate write events per the workload's mix
+//! until the measured phase has written the requested volume, interleaving
+//! reads at the workload's read:write ratio and keeping utilization around
+//! the target with watermark-driven deletions.
+
+use crate::fs::FileModel;
+use crate::spec::WorkloadSpec;
+use crate::trace::{Trace, TraceOp};
+use evanesco_ftl::Lpa;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// High watermark above which the generator deletes files down to the
+/// target utilization.
+const HIGH_WATERMARK_SLACK: f64 = 0.05;
+
+/// Generates a trace for `spec` over a logical space of `logical_pages`,
+/// writing `main_write_pages` in the measured phase.
+///
+/// Deterministic for a given `(spec, logical_pages, main_write_pages,
+/// seed)`.
+pub fn generate(
+    spec: &WorkloadSpec,
+    logical_pages: u64,
+    main_write_pages: u64,
+    seed: u64,
+) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fs = FileModel::new(logical_pages);
+    let mut trace = Trace { name: spec.name.to_string(), ..Default::default() };
+
+    // ---- Prefill to target utilization with file creations.
+    let mut prefill_ops = Vec::new();
+    while fs.utilization() < spec.target_utilization {
+        let size = sample_range(&mut rng, spec.file_pages)
+            .min(fs.free_pages())
+            .max(1);
+        if fs.free_pages() == 0 {
+            break;
+        }
+        let secure = rng.gen::<f64>() < spec.secure_fraction;
+        let id = fs.create(size, secure).expect("space checked");
+        emit_write(&mut prefill_ops, &fs, id, false);
+    }
+    trace.prefill = prefill_ops;
+
+    // ---- Measured phase.
+    let mut written = 0u64;
+    let mut read_credit = 0.0f64;
+    let mut guard = 0u64;
+    while written < main_write_pages {
+        guard += 1;
+        assert!(
+            guard < main_write_pages * 64 + 1_000_000,
+            "generator failed to make progress for {}",
+            spec.name
+        );
+        // Watermark deletions keep utilization near target.
+        while fs.utilization() > spec.target_utilization + HIGH_WATERMARK_SLACK {
+            let Some(id) = fs.random_file(&mut rng) else { break };
+            emit_delete(&mut trace.ops, &mut fs, id);
+        }
+        let ev = pick_event(&mut rng, spec);
+        let pages = match ev {
+            Event::Create => {
+                let size = sample_range(&mut rng, spec.file_pages);
+                if fs.free_pages() < size {
+                    // Make room first.
+                    if let Some(id) = fs.random_file(&mut rng) {
+                        emit_delete(&mut trace.ops, &mut fs, id);
+                    }
+                    continue;
+                }
+                let secure = rng.gen::<f64>() < spec.secure_fraction;
+                let id = fs.create(size, secure).expect("space checked");
+                emit_write(&mut trace.ops, &fs, id, false)
+            }
+            Event::Append => {
+                let Some(id) = fs.random_file(&mut rng) else { continue };
+                let n = sample_range(&mut rng, spec.write_pages);
+                if fs.free_pages() < n {
+                    continue;
+                }
+                let secure = fs.file(id).expect("live").secure;
+                let new = fs.append(id, n).expect("space checked");
+                emit_runs(&mut trace.ops, id, &new, secure, false)
+            }
+            Event::Overwrite => {
+                let Some(id) = fs.random_file(&mut rng) else { continue };
+                let n = sample_range(&mut rng, spec.write_pages);
+                let Some(pages) = fs.overwrite_range(&mut rng, id, n) else { continue };
+                let secure = fs.file(id).expect("live").secure;
+                emit_runs(&mut trace.ops, id, &pages, secure, true)
+            }
+            Event::Delete => {
+                let Some(id) = fs.random_file(&mut rng) else { continue };
+                emit_delete(&mut trace.ops, &mut fs, id);
+                0
+            }
+        };
+        written += pages;
+
+        // Interleave reads by volume ratio.
+        read_credit += pages as f64 * spec.reads_per_write;
+        while read_credit >= 1.0 {
+            let Some(id) = fs.random_file(&mut rng) else { break };
+            let f = fs.file(id).expect("live");
+            let n = sample_range(&mut rng, spec.write_pages).min(f.lpas.len() as u64).max(1);
+            let start = rng.gen_range(0..f.lpas.len() - (n as usize - 1));
+            let lpas = &f.lpas[start..start + n as usize];
+            for (lpa, len) in FileModel::contiguous_runs(lpas) {
+                trace.ops.push(TraceOp::Read { lpa, npages: len });
+            }
+            read_credit -= n as f64;
+        }
+    }
+    trace
+}
+
+enum Event {
+    Create,
+    Append,
+    Overwrite,
+    Delete,
+}
+
+fn pick_event(rng: &mut StdRng, spec: &WorkloadSpec) -> Event {
+    let total = spec.mix.total();
+    let mut x = rng.gen_range(0..total);
+    if x < spec.mix.create {
+        return Event::Create;
+    }
+    x -= spec.mix.create;
+    if x < spec.mix.append {
+        return Event::Append;
+    }
+    x -= spec.mix.append;
+    if x < spec.mix.overwrite {
+        return Event::Overwrite;
+    }
+    Event::Delete
+}
+
+fn sample_range(rng: &mut StdRng, (lo, hi): (u64, u64)) -> u64 {
+    rng.gen_range(lo..=hi)
+}
+
+/// Emits the full current content of a (new) file as write runs.
+fn emit_write(ops: &mut Vec<TraceOp>, fs: &FileModel, id: u32, overwrite: bool) -> u64 {
+    let f = fs.file(id).expect("live file");
+    emit_runs(ops, id, &f.lpas.clone(), f.secure, overwrite)
+}
+
+fn emit_runs(ops: &mut Vec<TraceOp>, file: u32, lpas: &[Lpa], secure: bool, overwrite: bool) -> u64 {
+    for (lpa, npages) in FileModel::contiguous_runs(lpas) {
+        ops.push(TraceOp::Write { file, lpa, npages, secure, overwrite });
+    }
+    lpas.len() as u64
+}
+
+fn emit_delete(ops: &mut Vec<TraceOp>, fs: &mut FileModel, id: u32) {
+    let lpas = fs.delete(id).expect("live file");
+    for (lpa, npages) in FileModel::contiguous_runs(&lpas) {
+        ops.push(TraceOp::Trim { file: id, lpa, npages });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOGICAL: u64 = 4096;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::mail_server();
+        let a = generate(&spec, LOGICAL, 2000, 7);
+        let b = generate(&spec, LOGICAL, 2000, 7);
+        assert_eq!(a.ops.len(), b.ops.len());
+        assert_eq!(a.prefill.len(), b.prefill.len());
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = WorkloadSpec::mail_server();
+        let a = generate(&spec, LOGICAL, 2000, 7);
+        let b = generate(&spec, LOGICAL, 2000, 8);
+        assert_ne!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn main_phase_reaches_requested_volume() {
+        for spec in WorkloadSpec::table2() {
+            let t = generate(&spec, LOGICAL, 3000, 1);
+            assert!(
+                t.main_write_pages() >= 3000,
+                "{}: only {} pages",
+                spec.name,
+                t.main_write_pages()
+            );
+            // Prefill roughly hits the target utilization.
+            assert!(
+                t.prefill_write_pages() as f64 >= 0.74 * LOGICAL as f64,
+                "{}: prefill {}",
+                spec.name,
+                t.prefill_write_pages()
+            );
+        }
+    }
+
+    #[test]
+    fn read_volume_tracks_ratio() {
+        for spec in WorkloadSpec::table2() {
+            let t = generate(&spec, LOGICAL, 5000, 3);
+            let written = t.main_write_pages() as f64;
+            let read: u64 = t
+                .ops
+                .iter()
+                .map(|op| match op {
+                    TraceOp::Read { npages, .. } => *npages,
+                    _ => 0,
+                })
+                .sum();
+            let ratio = read as f64 / written;
+            assert!(
+                (ratio - spec.reads_per_write).abs() < 0.25 * spec.reads_per_write.max(0.05),
+                "{}: read ratio {ratio} vs spec {}",
+                spec.name,
+                spec.reads_per_write
+            );
+        }
+    }
+
+    #[test]
+    fn addresses_stay_in_bounds() {
+        for spec in WorkloadSpec::table2() {
+            let t = generate(&spec, LOGICAL, 2000, 5);
+            for op in t.prefill.iter().chain(&t.ops) {
+                let (lpa, n) = match *op {
+                    TraceOp::Write { lpa, npages, .. } => (lpa, npages),
+                    TraceOp::Read { lpa, npages } => (lpa, npages),
+                    TraceOp::Trim { lpa, npages, .. } => (lpa, npages),
+                };
+                assert!(lpa + n <= LOGICAL, "{}: op out of bounds", spec.name);
+                assert!(n > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn db_server_emits_overwrites_mobile_does_not() {
+        let db = generate(&WorkloadSpec::db_server(), LOGICAL, 3000, 1);
+        let mobile = generate(&WorkloadSpec::mobile(), LOGICAL, 3000, 1);
+        let count_ow = |t: &Trace| {
+            t.ops
+                .iter()
+                .filter(|op| matches!(op, TraceOp::Write { overwrite: true, .. }))
+                .count()
+        };
+        assert!(count_ow(&db) > 0);
+        assert_eq!(count_ow(&mobile), 0);
+        // Mobile deletes whole (large) files.
+        assert!(db.ops.iter().any(|op| matches!(op, TraceOp::Trim { .. })));
+    }
+
+    #[test]
+    fn secure_fraction_zero_marks_nothing_secure() {
+        let spec = WorkloadSpec::file_server().with_secure_fraction(0.0);
+        let t = generate(&spec, LOGICAL, 2000, 2);
+        for op in t.prefill.iter().chain(&t.ops) {
+            if let TraceOp::Write { secure, .. } = op {
+                assert!(!secure);
+            }
+        }
+    }
+}

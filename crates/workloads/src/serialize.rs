@@ -1,0 +1,175 @@
+//! Plain-text trace serialization.
+//!
+//! One line per operation, whitespace-separated — diff-friendly, grep-able,
+//! and free of extra dependencies:
+//!
+//! ```text
+//! # trace <name>
+//! # phase prefill
+//! W <file> <lpa> <npages> <secure:0|1> <overwrite:0|1>
+//! # phase main
+//! R <lpa> <npages>
+//! T <file> <lpa> <npages>
+//! ```
+
+use crate::trace::{Trace, TraceOp};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+fn op_line(op: &TraceOp) -> String {
+    match *op {
+        TraceOp::Write { file, lpa, npages, secure, overwrite } => {
+            format!("W {file} {lpa} {npages} {} {}", secure as u8, overwrite as u8)
+        }
+        TraceOp::Read { lpa, npages } => format!("R {lpa} {npages}"),
+        TraceOp::Trim { file, lpa, npages } => format!("T {file} {lpa} {npages}"),
+    }
+}
+
+/// Serializes a trace to the text format.
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# trace {}\n", trace.name));
+    out.push_str("# phase prefill\n");
+    for op in &trace.prefill {
+        out.push_str(&op_line(op));
+        out.push('\n');
+    }
+    out.push_str("# phase main\n");
+    for op in &trace.ops {
+        out.push_str(&op_line(op));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a trace from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] with the offending line on malformed input.
+pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut trace = Trace::default();
+    let mut in_main = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        let err = |reason: &str| ParseTraceError { line: lineno, reason: reason.to_string() };
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(name) = rest.strip_prefix("trace ") {
+                trace.name = name.to_string();
+            } else if rest == "phase main" {
+                in_main = true;
+            } else if rest == "phase prefill" {
+                in_main = false;
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().ok_or_else(|| err("empty op"))?;
+        let mut num = |what: &str| -> Result<u64, ParseTraceError> {
+            parts
+                .next()
+                .ok_or_else(|| err(&format!("missing {what}")))?
+                .parse()
+                .map_err(|_| err(&format!("bad {what}")))
+        };
+        let op = match kind {
+            "W" => {
+                let file = num("file")? as u32;
+                let lpa = num("lpa")?;
+                let npages = num("npages")?;
+                let secure = num("secure flag")? != 0;
+                let overwrite = num("overwrite flag")? != 0;
+                TraceOp::Write { file, lpa, npages, secure, overwrite }
+            }
+            "R" => TraceOp::Read { lpa: num("lpa")?, npages: num("npages")? },
+            "T" => {
+                let file = num("file")? as u32;
+                TraceOp::Trim { file, lpa: num("lpa")?, npages: num("npages")? }
+            }
+            other => return Err(err(&format!("unknown op kind '{other}'"))),
+        };
+        if in_main {
+            trace.ops.push(op);
+        } else {
+            trace.prefill.push(op);
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+    use crate::spec::WorkloadSpec;
+
+    #[test]
+    fn roundtrip_generated_trace() {
+        let trace = generate(&WorkloadSpec::file_server(), 2048, 1500, 7);
+        let text = to_text(&trace);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.name, trace.name);
+        assert_eq!(back.prefill, trace.prefill);
+        assert_eq!(back.ops, trace.ops);
+    }
+
+    #[test]
+    fn parses_hand_written_trace() {
+        let text = "\
+# trace handmade
+# phase prefill
+W 1 0 4 1 0
+# phase main
+R 0 2
+T 1 0 4
+";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.name, "handmade");
+        assert_eq!(t.prefill.len(), 1);
+        assert_eq!(t.ops.len(), 2);
+        assert_eq!(
+            t.ops[1],
+            TraceOp::Trim { file: 1, lpa: 0, npages: 4 }
+        );
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let bad = "# trace x\n# phase main\nW 1 0\n";
+        let err = from_text(bad).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
+
+        let unknown = "# phase main\nQ 1 2\n";
+        assert!(from_text(unknown).unwrap_err().to_string().contains("unknown op"));
+        assert!(from_text("# phase main\nW 1 0 4 2x 0\n").is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_lines_are_skipped() {
+        let t = from_text("\n# just a comment\n\n").unwrap();
+        assert!(t.prefill.is_empty());
+        assert!(t.ops.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Host I/O trace model.
+//!
+//! A trace is a sequence of page-granular host operations annotated with
+//! the owning file, so the VerTrace study can attribute page versions to
+//! files (the paper's per-page file annotations, §3).
+
+use evanesco_ftl::Lpa;
+
+/// File identifier within a trace.
+pub type FileId = u32;
+
+/// One host operation over a contiguous logical range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Write `npages` pages starting at `lpa` on behalf of `file`.
+    Write {
+        /// Owning file.
+        file: FileId,
+        /// Start logical page.
+        lpa: Lpa,
+        /// Page count.
+        npages: u64,
+        /// Security requirement of the data.
+        secure: bool,
+        /// Whether this write replaces existing file content (overwrite) —
+        /// makes the file multi-version.
+        overwrite: bool,
+    },
+    /// Read `npages` pages starting at `lpa`.
+    Read {
+        /// Start logical page.
+        lpa: Lpa,
+        /// Page count.
+        npages: u64,
+    },
+    /// Trim (delete) `npages` pages starting at `lpa`, formerly owned by
+    /// `file`.
+    Trim {
+        /// Owning file.
+        file: FileId,
+        /// Start logical page.
+        lpa: Lpa,
+        /// Page count.
+        npages: u64,
+    },
+}
+
+impl TraceOp {
+    /// Pages written by this operation.
+    pub fn write_pages(&self) -> u64 {
+        match self {
+            TraceOp::Write { npages, .. } => *npages,
+            _ => 0,
+        }
+    }
+}
+
+/// A complete benchmark trace: a prefill phase (fills the SSD to its target
+/// utilization, excluded from measurement) and a measured main phase.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Workload name (e.g. "DBServer").
+    pub name: String,
+    /// Warm-up operations (excluded from measured metrics).
+    pub prefill: Vec<TraceOp>,
+    /// Measured operations.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Total pages written in the measured phase.
+    pub fn main_write_pages(&self) -> u64 {
+        self.ops.iter().map(TraceOp::write_pages).sum()
+    }
+
+    /// Total pages written in the prefill phase.
+    pub fn prefill_write_pages(&self) -> u64 {
+        self.prefill.iter().map(TraceOp::write_pages).sum()
+    }
+
+    /// Measured-phase statistics.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_ops(&self.ops)
+    }
+}
+
+/// Aggregate statistics of a trace's operations — used to validate the
+/// generators against the Table-2 targets from the data itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceStats {
+    /// Write operations.
+    pub write_ops: u64,
+    /// Pages written.
+    pub write_pages: u64,
+    /// Pages written by in-place overwrites.
+    pub overwrite_pages: u64,
+    /// Pages written with a security requirement.
+    pub secure_pages: u64,
+    /// Read operations.
+    pub read_ops: u64,
+    /// Pages read.
+    pub read_pages: u64,
+    /// Trim operations.
+    pub trim_ops: u64,
+    /// Pages trimmed.
+    pub trim_pages: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics over a slice of operations.
+    pub fn from_ops(ops: &[TraceOp]) -> Self {
+        let mut s = TraceStats::default();
+        for op in ops {
+            match *op {
+                TraceOp::Write { npages, secure, overwrite, .. } => {
+                    s.write_ops += 1;
+                    s.write_pages += npages;
+                    if overwrite {
+                        s.overwrite_pages += npages;
+                    }
+                    if secure {
+                        s.secure_pages += npages;
+                    }
+                }
+                TraceOp::Read { npages, .. } => {
+                    s.read_ops += 1;
+                    s.read_pages += npages;
+                }
+                TraceOp::Trim { npages, .. } => {
+                    s.trim_ops += 1;
+                    s.trim_pages += npages;
+                }
+            }
+        }
+        s
+    }
+
+    /// Measured read:write volume ratio.
+    pub fn read_write_ratio(&self) -> f64 {
+        if self.write_pages == 0 {
+            0.0
+        } else {
+            self.read_pages as f64 / self.write_pages as f64
+        }
+    }
+
+    /// Fraction of written pages that are in-place overwrites.
+    pub fn overwrite_fraction(&self) -> f64 {
+        if self.write_pages == 0 {
+            0.0
+        } else {
+            self.overwrite_pages as f64 / self.write_pages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_page_accounting() {
+        let t = Trace {
+            name: "t".into(),
+            prefill: vec![TraceOp::Write { file: 0, lpa: 0, npages: 4, secure: true, overwrite: false }],
+            ops: vec![
+                TraceOp::Write { file: 0, lpa: 4, npages: 2, secure: true, overwrite: false },
+                TraceOp::Read { lpa: 0, npages: 8 },
+                TraceOp::Trim { file: 0, lpa: 0, npages: 4 },
+            ],
+        };
+        assert_eq!(t.prefill_write_pages(), 4);
+        assert_eq!(t.main_write_pages(), 2);
+        assert_eq!(t.ops[1].write_pages(), 0);
+    }
+
+    #[test]
+    fn trace_stats_aggregate_correctly() {
+        let ops = vec![
+            TraceOp::Write { file: 0, lpa: 0, npages: 4, secure: true, overwrite: false },
+            TraceOp::Write { file: 0, lpa: 0, npages: 2, secure: false, overwrite: true },
+            TraceOp::Read { lpa: 0, npages: 3 },
+            TraceOp::Trim { file: 0, lpa: 0, npages: 6 },
+        ];
+        let s = TraceStats::from_ops(&ops);
+        assert_eq!(s.write_ops, 2);
+        assert_eq!(s.write_pages, 6);
+        assert_eq!(s.overwrite_pages, 2);
+        assert_eq!(s.secure_pages, 4);
+        assert_eq!(s.read_pages, 3);
+        assert_eq!(s.trim_pages, 6);
+        assert!((s.read_write_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.overwrite_fraction() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(TraceStats::default().read_write_ratio(), 0.0);
+        assert_eq!(TraceStats::default().overwrite_fraction(), 0.0);
+    }
+}

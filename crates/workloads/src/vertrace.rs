@@ -1,0 +1,393 @@
+//! VerTrace — the paper's data-versioning measurement tool (§3).
+//!
+//! VerTrace annotates every physical page with the file it belongs to and
+//! tracks, per file and over logical time, the number of valid pages
+//! `N_valid(f, t)` and invalid (stale but physically present) pages
+//! `N_invalid(f, t)`. From these it derives the paper's two metrics:
+//!
+//! * **VAF** (version amplification factor) = `max_t N_invalid / max_t
+//!   N_valid` — how many stale versions accumulate;
+//! * **T_insecure** = total logical time with `N_invalid > 0`, normalized
+//!   to the number of writes that fill the SSD capacity.
+//!
+//! Files are classified **uni-version (UV)** if their content only ever
+//! grows (no overwrite, no delete), else **multi-version (MV)**.
+//!
+//! Logical time advances by one tick per host page write (the paper uses
+//! one tick per 4-KiB write; ours is per 16-KiB page — a constant factor
+//! absorbed by the normalization).
+
+use crate::trace::FileId;
+use evanesco_ftl::observer::FtlObserver;
+use evanesco_ftl::{GlobalPpa, Lpa};
+use std::collections::HashMap;
+
+/// Per-file versioning statistics.
+#[derive(Debug, Clone, Default)]
+pub struct FileVersionStats {
+    /// Live pages now.
+    pub valid: u64,
+    /// Stale-but-present pages now.
+    pub invalid: u64,
+    /// Peak live pages.
+    pub max_valid: u64,
+    /// Peak stale pages.
+    pub max_invalid: u64,
+    /// Accumulated ticks with `invalid > 0`.
+    pub insecure_ticks: u64,
+    /// Whether the file was ever overwritten or deleted (multi-version).
+    pub multi_version: bool,
+    insecure_since: Option<u64>,
+    /// Optional `(tick, valid, invalid)` timeline (Figure 4).
+    pub timeline: Vec<(u64, u64, u64)>,
+}
+
+impl FileVersionStats {
+    /// Version amplification factor of the file.
+    pub fn vaf(&self) -> f64 {
+        if self.max_valid == 0 {
+            0.0
+        } else {
+            self.max_invalid as f64 / self.max_valid as f64
+        }
+    }
+}
+
+/// Aggregated statistics for one file class (UV or MV).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassStats {
+    /// Number of files in the class.
+    pub n_files: u64,
+    /// Mean VAF.
+    pub vaf_avg: f64,
+    /// Max VAF.
+    pub vaf_max: f64,
+    /// Mean normalized T_insecure.
+    pub tinsec_avg: f64,
+    /// Max normalized T_insecure.
+    pub tinsec_max: f64,
+}
+
+/// The Table-1 style report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VerTraceReport {
+    /// Uni-version files.
+    pub uv: ClassStats,
+    /// Multi-version files.
+    pub mv: ClassStats,
+}
+
+/// The VerTrace observer.
+#[derive(Debug, Clone, Default)]
+pub struct VerTrace {
+    tick: u64,
+    record_timelines: bool,
+    lpa_file: HashMap<Lpa, FileId>,
+    /// `(chip, block)` → page → `(file, live)`.
+    phys: HashMap<(usize, u32), HashMap<u32, (FileId, bool)>>,
+    files: HashMap<FileId, FileVersionStats>,
+}
+
+impl VerTrace {
+    /// Creates a VerTrace logger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables per-file `(tick, valid, invalid)` timeline recording
+    /// (memory-proportional to the number of page-state changes).
+    pub fn with_timelines() -> Self {
+        VerTrace { record_timelines: true, ..Self::default() }
+    }
+
+    /// Current logical time.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Replayer hook: called before the host writes `[lpa, lpa+n)` on
+    /// behalf of `file`; `overwrite` marks in-place file updates.
+    pub fn before_write(&mut self, file: FileId, lpa: Lpa, npages: u64, overwrite: bool) {
+        for l in lpa..lpa + npages {
+            self.lpa_file.insert(l, file);
+        }
+        let f = self.files.entry(file).or_default();
+        if overwrite {
+            f.multi_version = true;
+        }
+    }
+
+    /// Replayer hook: called before the host trims `[lpa, lpa+n)`.
+    pub fn before_trim(&mut self, file: FileId, lpa: Lpa, npages: u64) {
+        self.files.entry(file).or_default().multi_version = true;
+        for l in lpa..lpa + npages {
+            self.lpa_file.remove(&l);
+        }
+    }
+
+    /// Per-file statistics (finalizing open insecure intervals).
+    pub fn finalize(&mut self) {
+        let tick = self.tick;
+        for f in self.files.values_mut() {
+            if let Some(since) = f.insecure_since.take() {
+                f.insecure_ticks += tick - since;
+            }
+        }
+    }
+
+    /// All per-file statistics.
+    pub fn files(&self) -> &HashMap<FileId, FileVersionStats> {
+        &self.files
+    }
+
+    /// Builds the Table-1 report, normalizing T_insecure by
+    /// `capacity_pages` (writes needed to fill the SSD).
+    pub fn report(&mut self, capacity_pages: u64) -> VerTraceReport {
+        self.finalize();
+        let mut uv: Vec<&FileVersionStats> = Vec::new();
+        let mut mv: Vec<&FileVersionStats> = Vec::new();
+        for f in self.files.values() {
+            if f.max_valid == 0 {
+                continue;
+            }
+            if f.multi_version {
+                mv.push(f);
+            } else {
+                uv.push(f);
+            }
+        }
+        let agg = |class: &[&FileVersionStats]| {
+            if class.is_empty() {
+                return ClassStats::default();
+            }
+            let n = class.len() as f64;
+            let vafs: Vec<f64> = class.iter().map(|f| f.vaf()).collect();
+            let tins: Vec<f64> = class
+                .iter()
+                .map(|f| f.insecure_ticks as f64 / capacity_pages as f64)
+                .collect();
+            ClassStats {
+                n_files: class.len() as u64,
+                vaf_avg: vafs.iter().sum::<f64>() / n,
+                vaf_max: vafs.iter().copied().fold(0.0, f64::max),
+                tinsec_avg: tins.iter().sum::<f64>() / n,
+                tinsec_max: tins.iter().copied().fold(0.0, f64::max),
+            }
+        };
+        VerTraceReport { uv: agg(&uv), mv: agg(&mv) }
+    }
+
+    /// The file with the largest peak invalid count in the given class,
+    /// for the Figure 4 timeplots.
+    pub fn worst_file(&self, multi_version: bool) -> Option<(FileId, &FileVersionStats)> {
+        self.files
+            .iter()
+            .filter(|(_, f)| f.multi_version == multi_version && f.max_valid > 0)
+            .max_by_key(|(_, f)| f.max_invalid)
+            .map(|(&id, f)| (id, f))
+    }
+
+    fn note_change(&mut self, file: FileId) {
+        let tick = self.tick;
+        let record = self.record_timelines;
+        let f = self.files.entry(file).or_default();
+        f.max_valid = f.max_valid.max(f.valid);
+        f.max_invalid = f.max_invalid.max(f.invalid);
+        match (f.invalid > 0, f.insecure_since) {
+            (true, None) => f.insecure_since = Some(tick),
+            (false, Some(since)) => {
+                f.insecure_ticks += tick - since;
+                f.insecure_since = None;
+            }
+            _ => {}
+        }
+        if record {
+            f.timeline.push((tick, f.valid, f.invalid));
+        }
+    }
+}
+
+impl FtlObserver for VerTrace {
+    fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, _relocation: bool) {
+        let Some(&file) = self.lpa_file.get(&lpa) else { return };
+        self.phys
+            .entry((at.chip, at.ppa.block.0))
+            .or_default()
+            .insert(at.ppa.page.0, (file, true));
+        self.files.entry(file).or_default().valid += 1;
+        self.note_change(file);
+    }
+
+    fn on_invalidate(&mut self, at: GlobalPpa, sanitized: bool) {
+        let key = (at.chip, at.ppa.block.0);
+        let Some(block) = self.phys.get_mut(&key) else { return };
+        let Some(entry) = block.get_mut(&at.ppa.page.0) else { return };
+        let file = entry.0;
+        if entry.1 {
+            entry.1 = false;
+            self.files.entry(file).or_default().valid -= 1;
+        }
+        if sanitized {
+            // Content immediately unrecoverable: never counts as an invalid
+            // version.
+            block.remove(&at.ppa.page.0);
+        } else {
+            self.files.entry(file).or_default().invalid += 1;
+        }
+        self.note_change(file);
+    }
+
+    fn on_erase(&mut self, chip: usize, block: evanesco_nand::geometry::BlockId) {
+        let Some(entries) = self.phys.remove(&(chip, block.0)) else { return };
+        let mut touched = Vec::new();
+        for (_, (file, live)) in entries {
+            let f = self.files.entry(file).or_default();
+            if live {
+                f.valid = f.valid.saturating_sub(1);
+            } else {
+                f.invalid = f.invalid.saturating_sub(1);
+            }
+            touched.push(file);
+        }
+        for file in touched {
+            self.note_change(file);
+        }
+    }
+
+    fn on_host_tick(&mut self) {
+        self.tick += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evanesco_nand::geometry::{BlockId, Ppa};
+
+    fn at(chip: usize, block: u32, page: u32) -> GlobalPpa {
+        GlobalPpa::new(chip, Ppa::new(block, page))
+    }
+
+    #[test]
+    fn valid_invalid_counting() {
+        let mut vt = VerTrace::new();
+        vt.before_write(1, 0, 2, false);
+        vt.on_host_tick();
+        vt.on_program(0, at(0, 0, 0), false);
+        vt.on_host_tick();
+        vt.on_program(1, at(0, 0, 1), false);
+        let f = &vt.files()[&1];
+        assert_eq!((f.valid, f.invalid), (2, 0));
+
+        // Overwrite lpa 0: new program + invalidate old (not sanitized).
+        vt.before_write(1, 0, 1, true);
+        vt.on_host_tick();
+        vt.on_program(0, at(0, 0, 2), false);
+        vt.on_invalidate(at(0, 0, 0), false);
+        let f = &vt.files()[&1];
+        assert_eq!((f.valid, f.invalid), (2, 1));
+        assert!(f.multi_version);
+        assert_eq!(f.max_invalid, 1);
+    }
+
+    #[test]
+    fn sanitized_invalidation_never_counts() {
+        let mut vt = VerTrace::new();
+        vt.before_write(7, 0, 1, false);
+        vt.on_program(0, at(0, 0, 0), false);
+        vt.on_invalidate(at(0, 0, 0), true);
+        let f = &vt.files()[&7];
+        assert_eq!((f.valid, f.invalid), (0, 0));
+        assert_eq!(f.vaf(), 0.0);
+    }
+
+    #[test]
+    fn erase_clears_invalid_versions() {
+        let mut vt = VerTrace::new();
+        vt.before_write(1, 0, 1, false);
+        vt.on_program(0, at(0, 3, 0), false);
+        vt.on_invalidate(at(0, 3, 0), false);
+        assert_eq!(vt.files()[&1].invalid, 1);
+        vt.on_erase(0, BlockId(3));
+        assert_eq!(vt.files()[&1].invalid, 0);
+    }
+
+    #[test]
+    fn insecure_time_accumulates_between_transitions() {
+        let mut vt = VerTrace::new();
+        vt.before_write(1, 0, 1, false);
+        vt.on_program(0, at(0, 0, 0), false);
+        for _ in 0..10 {
+            vt.on_host_tick();
+        }
+        vt.on_invalidate(at(0, 0, 0), false); // insecure from tick 10
+        for _ in 0..5 {
+            vt.on_host_tick();
+        }
+        vt.on_erase(0, BlockId(0)); // secure again at tick 15
+        for _ in 0..100 {
+            vt.on_host_tick();
+        }
+        vt.finalize();
+        assert_eq!(vt.files()[&1].insecure_ticks, 5);
+    }
+
+    #[test]
+    fn report_classifies_uv_and_mv() {
+        let mut vt = VerTrace::new();
+        // UV file: only grows.
+        vt.before_write(1, 0, 2, false);
+        vt.on_program(0, at(0, 0, 0), false);
+        vt.on_program(1, at(0, 0, 1), false);
+        // MV file: overwritten.
+        vt.before_write(2, 10, 1, false);
+        vt.on_program(10, at(0, 1, 0), false);
+        vt.before_write(2, 10, 1, true);
+        vt.on_program(10, at(0, 1, 1), false);
+        vt.on_invalidate(at(0, 1, 0), false);
+        let report = vt.report(1000);
+        assert_eq!(report.uv.n_files, 1);
+        assert_eq!(report.mv.n_files, 1);
+        assert_eq!(report.uv.vaf_max, 0.0);
+        assert!(report.mv.vaf_max > 0.0);
+    }
+
+    #[test]
+    fn vaf_definition_matches_paper() {
+        let f = FileVersionStats { max_valid: 4, max_invalid: 6, ..Default::default() };
+        assert!((f.vaf() - 1.5).abs() < 1e-12);
+        let g = FileVersionStats::default();
+        assert_eq!(g.vaf(), 0.0);
+    }
+
+    #[test]
+    fn timelines_record_when_enabled() {
+        let mut vt = VerTrace::with_timelines();
+        vt.before_write(1, 0, 1, false);
+        vt.on_program(0, at(0, 0, 0), false);
+        vt.on_host_tick();
+        vt.on_invalidate(at(0, 0, 0), false);
+        let tl = &vt.files()[&1].timeline;
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0], (0, 1, 0));
+        assert_eq!(tl[1], (1, 0, 1));
+        assert!(vt.worst_file(false).is_none() || vt.worst_file(false).is_some());
+    }
+
+    #[test]
+    fn worst_file_selection() {
+        let mut vt = VerTrace::new();
+        for (file, n) in [(1u32, 2u32), (2, 5)] {
+            vt.before_write(file, file as u64 * 100, 1, false);
+            vt.on_program(file as u64 * 100, at(0, file, 0), false);
+            for i in 0..n {
+                vt.before_write(file, file as u64 * 100, 1, true);
+                vt.on_program(file as u64 * 100, at(0, file, i + 1), false);
+                vt.on_invalidate(at(0, file, i), false);
+            }
+        }
+        let (id, stats) = vt.worst_file(true).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(stats.max_invalid, 5);
+    }
+}

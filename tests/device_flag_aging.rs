@@ -1,0 +1,73 @@
+//! End-to-end device-mode flag test: the whole SecureSSD stack running on
+//! *physical* flag cells, aged for years, attacked afterwards. The paper's
+//! DSE selections must keep the system sealed; the rejected design corners
+//! must leak.
+
+use evanesco::core::bap::BapConfig;
+use evanesco::core::calibration::DesignPoint;
+use evanesco::core::pap::PapConfig;
+use evanesco::ftl::SanitizePolicy;
+use evanesco::ssd::{Emulator, SsdConfig};
+
+fn run_aged(pap: PapConfig, bap: BapConfig, age_days: f64) -> (bool, usize) {
+    let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+    ssd.enable_device_flags(pap, bap, 1234);
+    // Write and delete a mix that exercises both pLock (scattered pages)
+    // and bLock (whole blocks).
+    let ppb = ssd.config().ftl.geometry.pages_per_block() as u64;
+    ssd.write(0, 2 * ppb, true); // fills one block per chip -> bLock on trim
+    ssd.write(2 * ppb, 6, true); // partial -> pLocks on trim
+    ssd.trim(0, 2 * ppb + 6);
+    ssd.age_flags(age_days);
+    let ok = ssd.verify_sanitized(0, 2 * ppb + 6);
+    let recovered = ssd.attacker_recoverable_tags().len();
+    (ok, recovered)
+}
+
+#[test]
+fn paper_selections_hold_for_five_years() {
+    let (ok, recovered) = run_aged(PapConfig::paper(), BapConfig::paper(), 5.0 * 365.0);
+    assert!(ok, "paper flag design leaked after 5 years");
+    assert_eq!(recovered, 0);
+}
+
+#[test]
+fn rejected_bap_corner_reopens_blocks_within_a_year() {
+    let weak_bap = BapConfig { point: DesignPoint::new(5, 200) };
+    let (ok, recovered) = run_aged(PapConfig::paper(), weak_bap, 365.0);
+    assert!(!ok, "weak SSL programming should have leaked");
+    assert!(recovered > 0);
+}
+
+#[test]
+fn rejected_pap_corner_leaks_pages_at_five_years() {
+    let weak_pap = PapConfig { k: 9, point: DesignPoint::new(2, 200) };
+    let (ok, _) = run_aged(weak_pap, BapConfig::paper(), 5.0 * 365.0);
+    assert!(!ok, "weak pAP programming should have leaked");
+}
+
+#[test]
+fn fresh_weak_flags_still_hold() {
+    // The rejected corners are not broken at programming time — only
+    // retention kills them. (That is why the DSE needs the aging study.)
+    let weak_pap = PapConfig { k: 9, point: DesignPoint::new(2, 200) };
+    let weak_bap = BapConfig { point: DesignPoint::new(5, 200) };
+    let (ok, recovered) = run_aged(weak_pap, weak_bap, 0.0);
+    assert!(ok);
+    assert_eq!(recovered, 0);
+}
+
+#[test]
+fn erase_count_stats_reflect_wear() {
+    let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+    let logical = ssd.logical_pages();
+    for _ in 0..3 {
+        for l in 0..logical {
+            ssd.write(l, 1, true);
+        }
+    }
+    let (min, max, mean) = ssd.erase_count_stats();
+    assert!(max >= 1, "GC churn must erase blocks");
+    assert!(mean > 0.0);
+    assert!(min <= max);
+}

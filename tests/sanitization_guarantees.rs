@@ -1,0 +1,165 @@
+//! End-to-end verification of the paper's sanitization conditions (§1):
+//!
+//! * **C1** — after a file is deleted, the storage system stores none of
+//!   its content;
+//! * **C2** — after a file is updated, no old content remains;
+//!
+//! checked against the full threat model (§5.1): the attacker de-solders
+//! chips and reads them through every interface path, bypassing FTL and
+//! file system.
+
+use evanesco::core::threat::Attacker;
+use evanesco::ftl::SanitizePolicy;
+use evanesco::ssd::{Emulator, SsdConfig};
+
+fn ssd(policy: SanitizePolicy) -> Emulator {
+    Emulator::new(SsdConfig::tiny_for_tests(), policy)
+}
+
+fn secure_policies() -> [SanitizePolicy; 4] {
+    [
+        SanitizePolicy::evanesco(),
+        SanitizePolicy::evanesco_no_block(),
+        SanitizePolicy::erase_based(),
+        SanitizePolicy::scrub(),
+    ]
+}
+
+#[test]
+fn c1_delete_is_irrecoverable_under_every_secure_policy() {
+    for policy in secure_policies() {
+        let mut s = ssd(policy);
+        let tags = s.write(0, 6, true);
+        s.trim(0, 6);
+        let recoverable = s.attacker_recoverable_tags();
+        for t in tags {
+            assert!(
+                !recoverable.contains(&t),
+                "{policy}: deleted tag {t} recoverable"
+            );
+        }
+        assert!(s.verify_sanitized(0, 6), "{policy}: C1 violated");
+    }
+}
+
+#[test]
+fn c2_update_leaves_no_old_version_under_every_secure_policy() {
+    for policy in secure_policies() {
+        let mut s = ssd(policy);
+        let old_tags = s.write(0, 4, true);
+        let new_tags = s.write(0, 4, true); // in-place update
+        let recoverable = s.attacker_recoverable_tags();
+        for t in &old_tags {
+            assert!(!recoverable.contains(t), "{policy}: old version recoverable");
+        }
+        for t in &new_tags {
+            assert!(recoverable.contains(t), "{policy}: current version lost");
+        }
+        assert!(s.verify_sanitized(0, 4), "{policy}: C2 violated");
+    }
+}
+
+#[test]
+fn baseline_violates_both_conditions() {
+    let mut s = ssd(SanitizePolicy::none());
+    let deleted = s.write(0, 4, true);
+    s.trim(0, 4);
+    let overwritten = s.write(10, 2, true);
+    s.write(10, 2, true);
+    let recoverable = s.attacker_recoverable_tags();
+    assert!(deleted.iter().any(|t| recoverable.contains(t)), "C1 should fail");
+    assert!(overwritten.iter().any(|t| recoverable.contains(t)), "C2 should fail");
+}
+
+#[test]
+fn sanitization_survives_gc_churn() {
+    // Force GC by writing several times the logical capacity, then verify
+    // that no superseded version of anything is recoverable.
+    for policy in [SanitizePolicy::evanesco(), SanitizePolicy::evanesco_no_block()] {
+        let mut s = ssd(policy);
+        let logical = s.logical_pages();
+        for _round in 0..3 {
+            for l in 0..logical {
+                s.write(l, 1, true);
+            }
+        }
+        assert!(s.ftl().stats().gc_invocations > 0, "GC must have run");
+        assert!(s.verify_sanitized(0, logical), "{policy}: stale version leaked via GC");
+        s.ftl().check_invariants();
+    }
+}
+
+#[test]
+fn desoldered_image_is_equally_sealed() {
+    let mut s = ssd(SanitizePolicy::evanesco());
+    let tags = s.write(0, 4, true);
+    s.trim(0, 4);
+    let attacker = Attacker::new();
+    // Steal every chip and scan each image exhaustively.
+    let images: Vec<_> = s.device_mut().chips().to_vec();
+    for chip in images {
+        let mut image = attacker.desolder(&chip);
+        for &t in &tags {
+            assert!(!attacker.exhaustive_page_scan(&mut image, t));
+        }
+    }
+}
+
+#[test]
+fn insec_files_opt_out_and_pay_nothing() {
+    let mut s = ssd(SanitizePolicy::evanesco());
+    s.write(0, 4, false); // O_INSEC
+    s.trim(0, 4);
+    let r = s.result();
+    assert_eq!(r.plocks + r.blocks_locked, 0, "insecure data must not be locked");
+}
+
+#[test]
+fn mixed_security_only_locks_secured_pages() {
+    let mut s = ssd(SanitizePolicy::evanesco());
+    s.write(0, 2, true);
+    s.write(2, 2, false);
+    s.trim(0, 4);
+    let r = s.result();
+    assert_eq!(r.plocks, 2, "exactly the two secured pages are pLocked");
+    assert!(s.verify_sanitized(0, 2));
+}
+
+#[test]
+fn whole_block_delete_uses_single_block() {
+    let mut s = ssd(SanitizePolicy::evanesco());
+    let ppb = s.config().ftl.geometry.pages_per_block() as u64;
+    let n = 2 * ppb; // one full block per chip
+    s.write(0, n, true);
+    s.trim(0, n);
+    let r = s.result();
+    assert_eq!(r.blocks_locked, 2, "one bLock per fully-dead block");
+    assert_eq!(r.plocks, 0);
+    assert!(s.verify_sanitized(0, n));
+}
+
+#[test]
+fn locked_data_returns_none_through_host_reads_too() {
+    // Not only the attacker: a host read of a trimmed LPA returns nothing.
+    let mut s = ssd(SanitizePolicy::evanesco());
+    s.write(0, 1, true);
+    s.trim(0, 1);
+    assert_eq!(s.read(0, 1), vec![None]);
+}
+
+#[test]
+fn erase_recycles_locked_blocks_for_new_data() {
+    // Locks must not leak capacity: after deleting everything, the SSD can
+    // be refilled completely.
+    let mut s = ssd(SanitizePolicy::evanesco());
+    let logical = s.logical_pages();
+    for l in 0..logical {
+        s.write(l, 1, true);
+    }
+    s.trim(0, logical);
+    for l in 0..logical {
+        s.write(l, 1, true);
+    }
+    assert!(s.verify_sanitized(0, logical));
+    s.ftl().check_invariants();
+}
