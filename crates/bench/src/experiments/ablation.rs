@@ -15,8 +15,7 @@ use std::fmt::Write;
 /// Ablation: flag-cell redundancy `k` — retention robustness vs area.
 pub fn ablation_k() -> String {
     let mut out = String::new();
-    writeln!(out, "== Ablation: pAP flag redundancy k (5-year majority-failure prob) ==")
-        .unwrap();
+    writeln!(out, "== Ablation: pAP flag redundancy k (5-year majority-failure prob) ==").unwrap();
     writeln!(
         out,
         "{:<6} {:>16} {:>16} {:>14}",
@@ -26,15 +25,8 @@ pub fn ablation_k() -> String {
     for k in [1usize, 3, 5, 7, 9, 11] {
         let sel = majority_failure_prob(DesignPoint::new(4, 100), RETENTION_REQUIREMENT_DAYS, k);
         let weak = majority_failure_prob(DesignPoint::new(3, 100), RETENTION_REQUIREMENT_DAYS, k);
-        writeln!(
-            out,
-            "{:<6} {:>16.3e} {:>16.3e} {:>14}",
-            k,
-            sel,
-            weak,
-            transistor_estimate(k)
-        )
-        .unwrap();
+        writeln!(out, "{:<6} {:>16.3e} {:>16.3e} {:>14}", k, sel, weak, transistor_estimate(k))
+            .unwrap();
     }
     writeln!(
         out,
@@ -71,8 +63,7 @@ pub fn ablation_blocktrig(scale: &Scale) -> String {
         let mut ssd = Emulator::new(cfg, SanitizePolicy::evanesco());
         let r = replay(&mut ssd, &trace);
         let t = cfg.ftl.timing;
-        let lock_ms =
-            (r.plocks * t.t_plock.0 + r.blocks_locked * t.t_block.0) as f64 / 1e6;
+        let lock_ms = (r.plocks * t.t_plock.0 + r.blocks_locked * t.t_block.0) as f64 / 1e6;
         let label = if min == usize::MAX { "never".to_string() } else { min.to_string() };
         writeln!(
             out,
@@ -114,8 +105,12 @@ pub fn ablation_lazy(scale: &Scale) -> String {
         cfg.track_tags = false;
         let mut ssd = Emulator::new(cfg, SanitizePolicy::none());
         let logical = ssd.logical_pages();
-        let trace =
-            generate(&WorkloadSpec::file_server(), logical, scale.main_write_pages(logical), scale.seed);
+        let trace = generate(
+            &WorkloadSpec::file_server(),
+            logical,
+            scale.main_write_pages(logical),
+            scale.seed,
+        );
         let mut vt = VerTrace::new();
         let r = replay_with(&mut ssd, &trace, &mut vt);
         let report = vt.report(logical);

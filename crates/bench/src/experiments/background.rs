@@ -14,9 +14,15 @@ pub fn fig2() -> String {
     writeln!(out, "== Figure 2: Vth distributions of 2^m-state NAND flash ==").unwrap();
     for tech in [CellTech::Mlc, CellTech::Tlc] {
         writeln!(out, "\n[{tech}] ({} states)", tech.n_states()).unwrap();
-        writeln!(out, "{:<6} {:>8} {:>8}  bits({})", "state", "mean[V]", "sigma[V]",
-            tech.page_types().iter().map(|t| t.to_string()).collect::<Vec<_>>().join("/"))
-            .unwrap();
+        writeln!(
+            out,
+            "{:<6} {:>8} {:>8}  bits({})",
+            "state",
+            "mean[V]",
+            "sigma[V]",
+            tech.page_types().iter().map(|t| t.to_string()).collect::<Vec<_>>().join("/")
+        )
+        .unwrap();
         for (s, (mean, sigma)) in nominal_states(tech).iter().enumerate() {
             let bits: String = tech
                 .page_types()
@@ -24,8 +30,15 @@ pub fn fig2() -> String {
                 .rev()
                 .map(|&ty| state_bit(tech, VthState(s as u8), ty).to_string())
                 .collect();
-            writeln!(out, "{:<6} {:>8.2} {:>8.3}  {}", VthState(s as u8).to_string(), mean, sigma, bits)
-                .unwrap();
+            writeln!(
+                out,
+                "{:<6} {:>8.2} {:>8.3}  {}",
+                VthState(s as u8).to_string(),
+                mean,
+                sigma,
+                bits
+            )
+            .unwrap();
         }
         for &ty in tech.page_types() {
             let refs: Vec<String> =
@@ -68,11 +81,7 @@ pub fn table2(scale: &crate::scale::Scale) -> String {
             "Mobile" => "create/delete pictures",
             _ => "custom",
         };
-        let size = format!(
-            "{}-{} KiB",
-            spec.write_pages.0 * 16,
-            spec.write_pages.1 * 16
-        );
+        let size = format!("{}-{} KiB", spec.write_pages.0 * 16, spec.write_pages.1 * 16);
         writeln!(out, "{:<12} {:>10} {:<38} {:>14}", spec.name, ratio, pattern, size).unwrap();
     }
 
@@ -130,12 +139,8 @@ pub fn overhead() -> String {
         "  flag cells: 9 cells/flag x 3 pages = 27 spare cells per WL (existing OOB cells)"
     )
     .unwrap();
-    writeln!(
-        out,
-        "  majority circuit: ~{} transistors per chip (9-bit)",
-        transistor_estimate(9)
-    )
-    .unwrap();
+    writeln!(out, "  majority circuit: ~{} transistors per chip (9-bit)", transistor_estimate(9))
+        .unwrap();
     writeln!(out, "  bridge transistors: 8 per x8-I/O chip (one per data-out pin)").unwrap();
     out
 }

@@ -39,7 +39,11 @@ pub fn fig9() -> String {
             region_str(e.region),
             e.label.unwrap_or("-"),
             if e.region == Region::Candidate {
-                if e.retention_ok { "yes" } else { "no" }
+                if e.retention_ok {
+                    "yes"
+                } else {
+                    "no"
+                }
             } else {
                 "-"
             }
@@ -90,7 +94,11 @@ pub fn fig12() -> String {
             region_str(e.region),
             e.label.unwrap_or("-"),
             if e.region == Region::Candidate {
-                if e.retention_ok { "yes" } else { "no" }
+                if e.retention_ok {
+                    "yes"
+                } else {
+                    "no"
+                }
             } else {
                 "-"
             }
@@ -145,11 +153,7 @@ mod tests {
         // The strongest combination stays above 4V at the 5-year horizon
         // (between the 1000d and 10000d samples) and above 3V at 10000 days.
         let line = s.lines().find(|l| l.starts_with("(i) ")).expect("(i) row");
-        let cols: Vec<f64> = line
-            .split_whitespace()
-            .skip(1)
-            .map(|c| c.parse().unwrap())
-            .collect();
+        let cols: Vec<f64> = line.split_whitespace().skip(1).map(|c| c.parse().unwrap()).collect();
         assert!(cols[2] > 4.0, "1000-day center vth {}", cols[2]);
         assert!(cols[3] > 3.0, "10000-day center vth {}", cols[3]);
     }

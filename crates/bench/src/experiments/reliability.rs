@@ -34,8 +34,7 @@ pub fn fig6(scale: &Scale) -> String {
     let ecc = EccModel::default();
     let params = OsrParams::default();
     let mut out = String::new();
-    writeln!(out, "== Figure 6: RBER of MSB pages under OSR (normalized to ECC limit) ==")
-        .unwrap();
+    writeln!(out, "== Figure 6: RBER of MSB pages under OSR (normalized to ECC limit) ==").unwrap();
     let cases: [(&str, CellTech, u32, &[PageType]); 2] = [
         ("MLC, 3K P/E, sanitize LSB", CellTech::Mlc, 3000, &[PageType::Lsb]),
         ("TLC, 1K P/E, sanitize LSB & CSB", CellTech::Tlc, 1000, &[PageType::Lsb, PageType::Csb]),
@@ -84,10 +83,7 @@ pub fn fig10() -> String {
         out,
         "{:<24} {}",
         "condition",
-        OpenInterval::ALL
-            .iter()
-            .map(|c| format!("{:>11}", c.to_string()))
-            .collect::<String>()
+        OpenInterval::ALL.iter().map(|c| format!("{:>11}", c.to_string())).collect::<String>()
     )
     .unwrap();
     for (name, cond) in conds {
@@ -100,10 +96,8 @@ pub fn fig10() -> String {
     }
     writeln!(out, "\n(factors only, normalized to zero interval)").unwrap();
     let cond = Condition::one_year_retention(1000);
-    let row: String = OpenInterval::ALL
-        .iter()
-        .map(|c| format!("{:>11.3}", c.rber_factor(cond)))
-        .collect();
+    let row: String =
+        OpenInterval::ALL.iter().map(|c| format!("{:>11.3}", c.rber_factor(cond))).collect();
     writeln!(out, "{:<24} {}", "worst-case factor", row).unwrap();
     writeln!(out, "paper anchor: ~30% RBER increase at the longest interval -> erase lazily.")
         .unwrap();
@@ -117,7 +111,10 @@ pub fn fig11() -> String {
     writeln!(out, "== Figure 11(b): RBER vs center Vth of SSL ==").unwrap();
     let baselines = [
         ("0K P/E", page_rber(&adjusted_states(CellTech::Tlc, Condition::fresh()), PageType::Msb)),
-        ("1K P/E", page_rber(&adjusted_states(CellTech::Tlc, Condition::cycled(1000)), PageType::Msb)),
+        (
+            "1K P/E",
+            page_rber(&adjusted_states(CellTech::Tlc, Condition::cycled(1000)), PageType::Msb),
+        ),
     ];
     write!(out, "{:<10}", "Vth[V]").unwrap();
     for (name, _) in &baselines {

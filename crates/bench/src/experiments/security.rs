@@ -46,28 +46,13 @@ fn leak_fraction(pap: PapConfig, bap: BapConfig, age_days: f64, seed: u64) -> f6
 /// The flag-aging attack table.
 pub fn security_flagaging() -> String {
     let mut out = String::new();
-    writeln!(
-        out,
-        "== Security: deleted-data recovery vs flag design point and age =="
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "(4 blocks of locked pages; half pLock'd, half bLock'd; raw-chip attacker)"
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "\n{:<34} {:>10} {:>10} {:>10}",
-        "configuration", "fresh", "1 year", "5 years"
-    )
-    .unwrap();
+    writeln!(out, "== Security: deleted-data recovery vs flag design point and age ==").unwrap();
+    writeln!(out, "(4 blocks of locked pages; half pLock'd, half bLock'd; raw-chip attacker)")
+        .unwrap();
+    writeln!(out, "\n{:<34} {:>10} {:>10} {:>10}", "configuration", "fresh", "1 year", "5 years")
+        .unwrap();
     let configs: [(&str, PapConfig, BapConfig); 4] = [
-        (
-            "paper: pAP(Vp4,100) bAP(Vb6,300)",
-            PapConfig::paper(),
-            BapConfig::paper(),
-        ),
+        ("paper: pAP(Vp4,100) bAP(Vb6,300)", PapConfig::paper(), BapConfig::paper()),
         (
             "weak pAP (vi): (Vp2,200)",
             PapConfig { k: 9, point: DesignPoint::new(2, 200) },

@@ -47,10 +47,7 @@ pub fn run_matrix(scale: &Scale) -> Vec<WorkloadRuns> {
         .map(|spec| {
             let trace = generate(spec, logical, scale.main_write_pages(logical), scale.seed);
             let baseline = run_one(scale, &trace, SanitizePolicy::none());
-            let runs = policies()
-                .iter()
-                .map(|&p| (p, run_one(scale, &trace, p)))
-                .collect();
+            let runs = policies().iter().map(|&p| (p, run_one(scale, &trace, p))).collect();
             WorkloadRuns { name: spec.name, baseline, runs }
         })
         .collect()
@@ -209,12 +206,8 @@ pub fn headline(scale: &Scale) -> String {
         avg(&plock_cuts)
     )
     .unwrap();
-    writeln!(
-        out,
-        "secSSD IOPS vs baseline: avg {:.1}%   [paper: 94.5%]",
-        100.0 * avg(&vs_base)
-    )
-    .unwrap();
+    writeln!(out, "secSSD IOPS vs baseline: avg {:.1}%   [paper: 94.5%]", 100.0 * avg(&vs_base))
+        .unwrap();
     out
 }
 
@@ -243,11 +236,7 @@ mod tests {
                 scr.iops,
                 er.iops
             );
-            assert!(
-                er.waf >= scr.waf && scr.waf >= sec.waf,
-                "{}: WAF ordering broken",
-                w.name
-            );
+            assert!(er.waf >= scr.waf && scr.waf >= sec.waf, "{}: WAF ordering broken", w.name);
             assert!(
                 sec.iops >= nob.iops * 0.98,
                 "{}: bLock should not hurt IOPS materially",

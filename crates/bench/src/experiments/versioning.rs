@@ -38,8 +38,15 @@ pub fn table1(scale: &Scale) -> String {
     writeln!(
         out,
         "{:<12} | {:>8} {:>8} {:>9} {:>9} | {:>8} {:>8} {:>9} {:>9}",
-        "Workload", "VAF avg", "VAF max", "Tins avg", "Tins max", "VAF avg", "VAF max",
-        "Tins avg", "Tins max"
+        "Workload",
+        "VAF avg",
+        "VAF max",
+        "Tins avg",
+        "Tins max",
+        "VAF avg",
+        "VAF max",
+        "Tins avg",
+        "Tins max"
     )
     .unwrap();
     for spec in [WorkloadSpec::mobile(), WorkloadSpec::mail_server(), WorkloadSpec::db_server()] {

@@ -64,9 +64,27 @@ pub fn run_experiment(name: &str, scale: &Scale) -> String {
 
 /// All experiment names accepted by [`run_experiment`], in report order.
 pub const EXPERIMENT_NAMES: [&str; 21] = [
-    "table2", "fig2", "table1", "fig4", "fig6", "fig9", "fig10", "fig11", "fig12", "overhead",
-    "fig14a", "fig14b", "fig14c", "headline", "breakdown", "delete-latency", "ablation-k",
-    "ablation-blocktrig", "ablation-lazy", "ablation-gc", "security-flagaging",
+    "table2",
+    "fig2",
+    "table1",
+    "fig4",
+    "fig6",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "overhead",
+    "fig14a",
+    "fig14b",
+    "fig14c",
+    "headline",
+    "breakdown",
+    "delete-latency",
+    "ablation-k",
+    "ablation-blocktrig",
+    "ablation-lazy",
+    "ablation-gc",
+    "security-flagaging",
 ];
 
 #[cfg(test)]
@@ -76,8 +94,8 @@ mod tests {
     #[test]
     fn cheap_experiments_run_by_name() {
         let scale = Scale::smoke();
-        for name in ["table2", "fig2", "fig9", "fig10", "fig11", "fig12", "overhead",
-                     "ablation-k"] {
+        for name in ["table2", "fig2", "fig9", "fig10", "fig11", "fig12", "overhead", "ablation-k"]
+        {
             let out = run_experiment(name, &scale);
             assert!(!out.is_empty(), "{name} produced no output");
         }

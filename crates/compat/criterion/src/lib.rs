@@ -1,0 +1,193 @@
+//! A dependency-free, API-compatible subset of the `criterion` crate.
+//!
+//! The workspace builds in environments without network access, so it
+//! vendors the benchmark-harness surface its benches use: [`Criterion`],
+//! benchmark groups, [`Bencher::iter`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — a calibrated loop around
+//! `Instant::now()` with mean/min reporting — because the simulator's
+//! canonical performance numbers come from its own simulated-time model,
+//! not wall-clock microbenchmarks. The harness exists so `cargo bench`
+//! runs everywhere and regressions of an order of magnitude are visible.
+
+use std::fmt;
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing loop handed to each benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { samples: Vec::new(), iters_per_sample: 1 }
+    }
+
+    /// Runs `f` repeatedly and records per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until one sample takes >= 1ms, capped.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                self.samples.push(dt);
+                break;
+            }
+            iters *= 4;
+        }
+        // A few more samples at the calibrated batch size.
+        for _ in 0..4 {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let per_iter = |d: &Duration| d.as_nanos() as f64 / self.iters_per_sample as f64;
+        let min = self.samples.iter().map(per_iter).fold(f64::INFINITY, f64::min);
+        let mean = self.samples.iter().map(per_iter).sum::<f64>() / self.samples.len() as f64;
+        println!("{id:<40} mean {mean:>12.1} ns/iter   min {min:>12.1} ns/iter");
+    }
+}
+
+/// A benchmark identifier (`BenchmarkId::from_parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier made from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Identifier made from a parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Sets the sample count (accepted for API compatibility; the simple
+    /// harness keeps its own fixed sampling).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("inc", |b| b.iter(|| ran = ran.wrapping_add(1)));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert!(ran > 0, "body must have run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("mail").to_string(), "mail");
+        assert_eq!(BenchmarkId::new("a", "b").to_string(), "a/b");
+    }
+}

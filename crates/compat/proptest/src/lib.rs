@@ -1,0 +1,539 @@
+//! A dependency-free, API-compatible subset of the `proptest` crate.
+//!
+//! The workspace builds in environments without network access, so it
+//! vendors the property-testing surface its suites use: the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map`/`boxed`, range / tuple /
+//! [`strategy::Just`] / [`any`](strategy::any) strategies,
+//! [`collection::vec`], [`prop_oneof!`], the `prop_assert*` macros and
+//! [`prop_assume!`].
+//!
+//! Differences from upstream, chosen deliberately:
+//!
+//! * **No shrinking.** On failure the runner prints the generated inputs
+//!   and a replay seed instead. Set `PROPTEST_SEED=<seed>` (and usually
+//!   `PROPTEST_CASES=1`) to re-run exactly the failing case.
+//! * **Deterministic by default.** The base seed is derived from the test
+//!   name, not from OS entropy, so CI failures always reproduce locally.
+//! * `PROPTEST_CASES=<n>` scales every suite's case count (upstream honors
+//!   this too).
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange};
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Chains a value-dependent follow-up strategy.
+        fn prop_flat_map<U, S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            U: Debug,
+            S2: Strategy<Value = U>,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        U: Debug,
+        S2: Strategy<Value = U>,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// A type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut StdRng) -> T>);
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform over the whole domain of `T` (see [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The `any::<T>()` strategy: uniform over `T`'s domain.
+    pub fn any<T: rand::StandardSample + Debug>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: rand::StandardSample + Debug> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    /// Weighted choice between strategies (the [`prop_oneof!`](crate::prop_oneof) backend).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the arms are empty or all weights are zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.sample(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    /// Re-export so `rng.gen_range(range.clone())` type-checks above.
+    trait _Seal {}
+    #[allow(unused)]
+    fn _assert_sample_range<T, R: SampleRange<T>>() {}
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Per-suite configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+        /// Upper bound on rejected cases before the runner gives up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is re-drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection (assumption not met).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// Prepends the generated-input dump to a failure message.
+        pub fn with_context(self, inputs: String) -> Self {
+            match self {
+                TestCaseError::Fail(m) => TestCaseError::Fail(format!("{m}\n  inputs: {inputs}")),
+                r => r,
+            }
+        }
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// The seed for case number `attempt` of a run with base seed `base`.
+    pub fn case_seed(base: u64, attempt: u64) -> u64 {
+        base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Drives one property test: draws inputs, runs the body, replays
+    /// panics with seed diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails, when the body panics, or when too many
+    /// cases are rejected.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut f: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or_else(|| fnv1a(name));
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or(config.cases)
+            .max(1);
+
+        let mut accepted: u32 = 0;
+        let mut attempt: u64 = 0;
+        let mut rejected: u32 = 0;
+        while accepted < cases {
+            let seed = case_seed(base, attempt);
+            attempt += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+            match outcome {
+                Ok(Ok(())) => accepted += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "{name}: too many prop_assume! rejections ({rejected})"
+                    );
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!(
+                        "{name}: property failed at case seed {seed}\n  {msg}\n  \
+                         replay: PROPTEST_SEED={seed} PROPTEST_CASES=1 cargo test {short}",
+                        short = name.rsplit("::").next().unwrap_or(name)
+                    );
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "{name}: body panicked at case seed {seed}; \
+                         replay: PROPTEST_SEED={seed} PROPTEST_CASES=1 cargo test {short}",
+                        short = name.rsplit("::").next().unwrap_or(name)
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run(
+                &__config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        let __value = $crate::strategy::Strategy::sample(&($strat), __rng);
+                        __inputs.push_str(&format!(
+                            concat!(stringify!($arg), " = {:?}; "),
+                            &__value
+                        ));
+                        let $arg = __value;
+                    )+
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    __result.map_err(|e| e.with_context(__inputs))
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5u64..=6), f in -1.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!(b == 5 || b == 6);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn oneof_and_map_and_vec(
+            v in crate::collection::vec(
+                prop_oneof![2 => (0u8..4).prop_map(|x| x * 2), 1 => Just(99u8)],
+                1..20
+            )
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for x in v {
+                prop_assert!(x == 99 || (x % 2 == 0 && x < 8), "bad value {x}");
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = (0u64..1000, 0u64..1000);
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_replay_seed() {
+        let cfg = crate::test_runner::ProptestConfig { cases: 8, ..Default::default() };
+        crate::test_runner::run(&cfg, "demo::always_fails", |_rng| {
+            Err(crate::test_runner::TestCaseError::fail("nope"))
+        });
+    }
+}

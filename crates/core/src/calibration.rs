@@ -261,17 +261,13 @@ mod tests {
         // Vb1..Vb4 cannot push the SSL center past 3 V at any latency.
         for vi in 1u8..=4 {
             for t in BLOCK_T_US {
-                assert!(
-                    block_initial_center_vth(DesignPoint::new(vi, t)) < BLOCK_READ_KILL_VTH
-                );
+                assert!(block_initial_center_vth(DesignPoint::new(vi, t)) < BLOCK_READ_KILL_VTH);
             }
         }
         // Vb5/Vb6 all reach 3 V.
         for vi in 5u8..=6 {
             for t in BLOCK_T_US {
-                assert!(
-                    block_initial_center_vth(DesignPoint::new(vi, t)) >= BLOCK_READ_KILL_VTH
-                );
+                assert!(block_initial_center_vth(DesignPoint::new(vi, t)) >= BLOCK_READ_KILL_VTH);
             }
         }
     }

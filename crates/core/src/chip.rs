@@ -26,6 +26,64 @@ use evanesco_nand::chip::{Chip, PageContent, PageData};
 use evanesco_nand::geometry::{BlockId, Geometry, Ppa};
 use evanesco_nand::timing::{Nanos, TimingSpec};
 
+/// Fraction of `tBERS` after which an interrupted erase has wiped the
+/// pAP/bAP flag cells. Flags are programmed at low voltage (shallow charge),
+/// so erase pulses clear them *before* the data pages are destroyed — an
+/// interrupted erase can therefore unlock still-recoverable data. The
+/// torn-erase signature ([`evanesco_nand::chip::Chip::block_torn_erase`])
+/// closes this hole: recovery re-erases every torn block before serving
+/// reads.
+pub const TORN_ERASE_FLAG_WIPE_FRACTION: f64 = 0.15;
+
+/// Number of SSL cells modeled for a torn `bLock` draw.
+const SSL_CELLS: u32 = 4;
+
+/// Decoded state of one lock-flag group (the k pAP cells of a page, or the
+/// SSL cells of a block).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FlagState {
+    /// No lock command ever touched these cells.
+    #[default]
+    Clean,
+    /// A lock command (or an erase of locked cells) was interrupted:
+    /// some cells carry charge, some do not. `reads_locked` is what the
+    /// k=9 majority circuit / SSL sensing decodes *today*, but the margin
+    /// is degraded — a margin read distinguishes this from both `Clean`
+    /// and `Locked`, and recovery must re-issue the lock either way.
+    Torn {
+        /// Current (unreliable) decode of the degraded cells.
+        reads_locked: bool,
+    },
+    /// Lock completed; decodes as locked with full margin.
+    Locked,
+}
+
+impl FlagState {
+    /// What the access-control circuit decodes right now.
+    pub fn reads_locked(self) -> bool {
+        matches!(self, FlagState::Locked | FlagState::Torn { reads_locked: true })
+    }
+
+    /// Whether the cells are in the degraded partial-program state.
+    pub fn is_torn(self) -> bool {
+        matches!(self, FlagState::Torn { .. })
+    }
+}
+
+/// Deterministic per-cell uniform draw in `[0, 1)` for torn-operation
+/// modeling (SplitMix64 finalizer over the operation salt and cell
+/// coordinates). Pure function: identical runs make identical draws.
+fn unit_draw(salt: u64, a: u64, b: u64, cell: u64) -> f64 {
+    let mut z = salt
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.rotate_left(17).wrapping_mul(0xD1B5_4A32_D192_ED03)
+        ^ cell.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// What an Evanesco-gated read returns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReadResult {
@@ -69,15 +127,18 @@ pub struct LockStats {
 #[derive(Debug, Clone)]
 pub struct EvanescoChip {
     inner: Chip,
-    /// Decoded pAP flag per page, indexed `[block][page]`; `true` = locked.
-    /// In behavioral mode this is the truth; in device mode it records the
-    /// FTL's *intent* while the physical cells decide actual gating.
-    pap_locked: Vec<Vec<bool>>,
-    /// Decoded bAP flag per block; `true` = locked (intent in device mode).
-    bap_locked: Vec<bool>,
+    /// pAP flag state per page, indexed `[block][page]`. In behavioral mode
+    /// this is the truth; in device mode it records the FTL's *intent*
+    /// while the physical cells decide actual gating.
+    pap_locked: Vec<Vec<FlagState>>,
+    /// bAP flag state per block (intent in device mode).
+    bap_locked: Vec<FlagState>,
     pap_config: PapConfig,
     bap_config: BapConfig,
     lock_stats: LockStats,
+    /// Fault injection: the next N lock commands leave their cells torn
+    /// (program-verify failure) instead of completing.
+    forced_lock_failures: u32,
     /// Optional physical flag-cell simulation (see
     /// [`crate::device_flags`]); when present, read gating consults the
     /// physical cells instead of the decoded intent.
@@ -95,11 +156,12 @@ impl EvanescoChip {
         let pages = geom.pages_per_block() as usize;
         EvanescoChip {
             inner: Chip::with_timing(geom, timing),
-            pap_locked: vec![vec![false; pages]; geom.blocks as usize],
-            bap_locked: vec![false; geom.blocks as usize],
+            pap_locked: vec![vec![FlagState::Clean; pages]; geom.blocks as usize],
+            bap_locked: vec![FlagState::Clean; geom.blocks as usize],
             pap_config: PapConfig::paper(),
             bap_config: BapConfig::paper(),
             lock_stats: LockStats::default(),
+            forced_lock_failures: 0,
             device_flags: None,
         }
     }
@@ -174,7 +236,7 @@ impl EvanescoChip {
     pub fn is_page_locked(&self, ppa: Ppa) -> bool {
         match &self.device_flags {
             Some(sim) => sim.page_reads_locked(ppa),
-            None => self.pap_locked[ppa.block.0 as usize][ppa.page.0 as usize],
+            None => self.pap_locked[ppa.block.0 as usize][ppa.page.0 as usize].reads_locked(),
         }
     }
 
@@ -183,8 +245,23 @@ impl EvanescoChip {
     pub fn is_block_locked(&self, block: BlockId) -> bool {
         match &self.device_flags {
             Some(sim) => sim.block_reads_locked(block),
-            None => self.bap_locked[block.0 as usize],
+            None => self.bap_locked[block.0 as usize].reads_locked(),
         }
+    }
+
+    /// Margin-read probe of a page's pAP cells: distinguishes clean,
+    /// torn (degraded), and fully-locked cells. This is what the recovery
+    /// scan uses to find locks that were lost mid-flight. In device mode
+    /// it reports the recorded intent (the physical sim keeps only the
+    /// decoded value).
+    pub fn page_flag_state(&self, ppa: Ppa) -> FlagState {
+        self.pap_locked[ppa.block.0 as usize][ppa.page.0 as usize]
+    }
+
+    /// Margin-read probe of a block's SSL cells (see
+    /// [`EvanescoChip::page_flag_state`]).
+    pub fn block_flag_state(&self, block: BlockId) -> FlagState {
+        self.bap_locked[block.0 as usize]
     }
 
     /// Whether a read of this page would be blocked (bAP checked first,
@@ -233,7 +310,13 @@ impl EvanescoChip {
         if !self.inner.page_is_written(ppa)? {
             return Err(EvanescoError::LockOnUnwrittenPage { ppa });
         }
-        self.pap_locked[ppa.block.0 as usize][ppa.page.0 as usize] = true;
+        if self.consume_forced_failure() {
+            self.pap_locked[ppa.block.0 as usize][ppa.page.0 as usize] =
+                FlagState::Torn { reads_locked: false };
+            self.lock_stats.plocks += 1;
+            return Ok(self.timing().t_plock);
+        }
+        self.pap_locked[ppa.block.0 as usize][ppa.page.0 as usize] = FlagState::Locked;
         if let Some(sim) = &mut self.device_flags {
             sim.program_page_flag(ppa);
         }
@@ -249,12 +332,33 @@ impl EvanescoChip {
     /// Returns [`EvanescoError::BadBlock`] for an out-of-range block.
     pub fn b_lock(&mut self, block: BlockId) -> Result<Nanos, EvanescoError> {
         self.check_block(block)?;
-        self.bap_locked[block.0 as usize] = true;
+        if self.consume_forced_failure() {
+            self.bap_locked[block.0 as usize] = FlagState::Torn { reads_locked: false };
+            self.lock_stats.blocks += 1;
+            return Ok(self.timing().t_block);
+        }
+        self.bap_locked[block.0 as usize] = FlagState::Locked;
         if let Some(sim) = &mut self.device_flags {
             sim.program_block_flag(block);
         }
         self.lock_stats.blocks += 1;
         Ok(self.timing().t_block)
+    }
+
+    /// Fault injection: makes the next `n` lock commands (`pLock` or
+    /// `bLock`) fail program-verify, leaving their flag cells torn. Used
+    /// to exercise the recovery scan's bounded-retry path.
+    pub fn inject_lock_verify_failures(&mut self, n: u32) {
+        self.forced_lock_failures += n;
+    }
+
+    fn consume_forced_failure(&mut self) -> bool {
+        if self.forced_lock_failures > 0 {
+            self.forced_lock_failures -= 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Erases a block: destroys all data **and only then** re-enables the
@@ -266,13 +370,196 @@ impl EvanescoChip {
     pub fn erase(&mut self, block: BlockId, now: Nanos) -> Result<Nanos, EvanescoError> {
         let lat = self.inner.erase(block, now)?;
         for f in &mut self.pap_locked[block.0 as usize] {
-            *f = false;
+            *f = FlagState::Clean;
         }
-        self.bap_locked[block.0 as usize] = false;
+        self.bap_locked[block.0 as usize] = FlagState::Clean;
         if let Some(sim) = &mut self.device_flags {
             sim.erase_block(block);
         }
         Ok(lat)
+    }
+
+    /// Models a `pLock` interrupted after `fraction` of `tpLock`: each of
+    /// the k pAP cells independently got programmed with probability
+    /// `fraction` (deterministic draws keyed on `salt`). The result is
+    /// `Clean` (no cell fired), `Locked` (all fired), or `Torn` with
+    /// whatever the majority circuit decodes from the partial set.
+    ///
+    /// # Errors
+    ///
+    /// Same preconditions as [`EvanescoChip::p_lock`].
+    pub fn interrupt_p_lock(
+        &mut self,
+        ppa: Ppa,
+        fraction: f64,
+        salt: u64,
+    ) -> Result<(), EvanescoError> {
+        if !self.inner.page_is_written(ppa)? {
+            return Err(EvanescoError::LockOnUnwrittenPage { ppa });
+        }
+        let slot = &mut self.pap_locked[ppa.block.0 as usize][ppa.page.0 as usize];
+        if *slot == FlagState::Locked {
+            return Ok(()); // re-lock of completed cells: nothing to degrade
+        }
+        let k = self.pap_config.k;
+        let fired = (0..k)
+            .filter(|&c| {
+                unit_draw(salt, u64::from(ppa.block.0), u64::from(ppa.page.0), c as u64) < fraction
+            })
+            .count();
+        *slot = if fired == 0 {
+            FlagState::Clean
+        } else if fired == k {
+            FlagState::Locked
+        } else {
+            FlagState::Torn { reads_locked: 2 * fired > k }
+        };
+        Ok(())
+    }
+
+    /// Models a `bLock` interrupted after `fraction` of `tbLock` (see
+    /// [`EvanescoChip::interrupt_p_lock`]; the SSL is modeled as a small
+    /// group of cells).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvanescoError::BadBlock`] for an out-of-range block.
+    pub fn interrupt_b_lock(
+        &mut self,
+        block: BlockId,
+        fraction: f64,
+        salt: u64,
+    ) -> Result<(), EvanescoError> {
+        self.check_block(block)?;
+        let slot = &mut self.bap_locked[block.0 as usize];
+        if *slot == FlagState::Locked {
+            return Ok(());
+        }
+        let fired = (0..SSL_CELLS)
+            .filter(|&c| unit_draw(salt, u64::from(block.0), 0x55AA, u64::from(c)) < fraction)
+            .count() as u32;
+        *slot = if fired == 0 {
+            FlagState::Clean
+        } else if fired == SSL_CELLS {
+            FlagState::Locked
+        } else {
+            FlagState::Torn { reads_locked: 2 * fired > SSL_CELLS }
+        };
+        Ok(())
+    }
+
+    /// Models an erase interrupted after `fraction` of `tBERS`. Data decays
+    /// per [`evanesco_nand::chip::Chip::interrupt_erase`]; the low-voltage
+    /// flag cells decay *faster* (fully cleared past
+    /// [`TORN_ERASE_FLAG_WIPE_FRACTION`]), so a torn erase can drop a lock
+    /// while the locked data is still recoverable. The block keeps its
+    /// torn-erase signature, which recovery uses to finish the erase before
+    /// any host read is served.
+    ///
+    /// # Errors
+    ///
+    /// Returns a bad-block error for an out-of-range block.
+    pub fn interrupt_erase(
+        &mut self,
+        block: BlockId,
+        fraction: f64,
+        salt: u64,
+    ) -> Result<(), EvanescoError> {
+        self.check_block(block)?;
+        self.inner.interrupt_erase(block, fraction)?;
+        let progress = fraction / TORN_ERASE_FLAG_WIPE_FRACTION;
+        let k = self.pap_config.k;
+        let bi = block.0 as usize;
+        for (page, slot) in self.pap_locked[bi].iter_mut().enumerate() {
+            if *slot == FlagState::Clean {
+                continue;
+            }
+            let surviving = (0..k)
+                .filter(|&c| {
+                    unit_draw(salt, u64::from(block.0), page as u64, c as u64 | 1 << 32) >= progress
+                })
+                .count();
+            *slot = if surviving == 0 {
+                FlagState::Clean
+            } else {
+                // Even surviving cells lost margin: always torn.
+                FlagState::Torn { reads_locked: 2 * surviving > k }
+            };
+        }
+        let bslot = &mut self.bap_locked[bi];
+        if *bslot != FlagState::Clean {
+            let surviving = (0..SSL_CELLS)
+                .filter(|&c| {
+                    unit_draw(salt, u64::from(block.0), 0xB10C, u64::from(c) | 1 << 33) >= progress
+                })
+                .count() as u32;
+            *bslot = if surviving == 0 {
+                FlagState::Clean
+            } else {
+                FlagState::Torn { reads_locked: 2 * surviving > SSL_CELLS }
+            };
+        }
+        if let Some(sim) = &mut self.device_flags {
+            if progress >= 1.0 {
+                sim.erase_block(block);
+            }
+        }
+        Ok(())
+    }
+
+    /// Models a program interrupted after `fraction` of `tPROG`
+    /// (passthrough to [`evanesco_nand::chip::Chip::interrupt_program`];
+    /// SBPI keeps the flag cells inhibited, so they are unaffected).
+    ///
+    /// # Errors
+    ///
+    /// Same preconditions as [`EvanescoChip::program`].
+    pub fn interrupt_program(
+        &mut self,
+        ppa: Ppa,
+        data: PageData,
+        fraction: f64,
+    ) -> Result<(), EvanescoError> {
+        Ok(self.inner.interrupt_program(ppa, data, fraction)?)
+    }
+
+    /// Models a scrub interrupted after `fraction` of `tscrub`
+    /// (passthrough to [`evanesco_nand::chip::Chip::interrupt_scrub`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates address errors from the underlying chip.
+    pub fn interrupt_scrub(&mut self, ppa: Ppa, fraction: f64) -> Result<(), EvanescoError> {
+        Ok(self.inner.interrupt_scrub(ppa, fraction)?)
+    }
+
+    /// Whether a page has been written since the last erase (metadata
+    /// probe; includes torn and destroyed pages).
+    ///
+    /// # Errors
+    ///
+    /// Propagates address errors from the underlying chip.
+    pub fn page_is_written(&self, ppa: Ppa) -> Result<bool, EvanescoError> {
+        Ok(self.inner.page_is_written(ppa)?)
+    }
+
+    /// Whether a page holds a torn (interrupted) program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address errors from the underlying chip.
+    pub fn page_is_torn(&self, ppa: Ppa) -> Result<bool, EvanescoError> {
+        Ok(self.inner.page_is_torn(ppa)?)
+    }
+
+    /// Whether the last erase of `block` was interrupted (power-up
+    /// blank-check signature).
+    ///
+    /// # Errors
+    ///
+    /// Propagates address errors from the underlying chip.
+    pub fn block_torn_erase(&self, block: BlockId) -> Result<bool, EvanescoError> {
+        Ok(self.inner.block_torn_erase(block)?)
     }
 
     /// Destroys a page in place (scrubbing; used by the scrSSD baseline,
@@ -338,14 +625,8 @@ mod tests {
         c.p_lock(Ppa::new(0, 1)).unwrap();
         assert_eq!(c.read(Ppa::new(0, 1)).unwrap().result, ReadResult::Locked);
         // Sibling pages still readable (Figure 7a).
-        assert_eq!(
-            c.read(Ppa::new(0, 0)).unwrap().result.data().unwrap().tag(),
-            1000
-        );
-        assert_eq!(
-            c.read(Ppa::new(0, 2)).unwrap().result.data().unwrap().tag(),
-            1002
-        );
+        assert_eq!(c.read(Ppa::new(0, 0)).unwrap().result.data().unwrap().tag(), 1000);
+        assert_eq!(c.read(Ppa::new(0, 2)).unwrap().result.data().unwrap().tag(), 1002);
     }
 
     #[test]
@@ -440,10 +721,7 @@ mod tests {
         let mut c = chip();
         fill(&mut c, 0, 1);
         let err = c.program(Ppa::new(0, 0), PageData::tagged(5)).unwrap_err();
-        assert!(matches!(
-            err,
-            EvanescoError::Nand(NandError::ProgramOnProgrammedPage { .. })
-        ));
+        assert!(matches!(err, EvanescoError::Nand(NandError::ProgramOnProgrammedPage { .. })));
     }
 
     #[test]
@@ -463,6 +741,59 @@ mod tests {
         fill(&mut c, 2, 1);
         let ppa = Ppa { block: BlockId(2), page: PageId(0) };
         assert!(c.read(ppa).unwrap().result.data().is_some());
+    }
+
+    #[test]
+    fn interrupted_plock_spans_clean_to_locked() {
+        let mut c = chip();
+        fill(&mut c, 0, 3);
+        c.interrupt_p_lock(Ppa::new(0, 0), 0.0, 1).unwrap();
+        assert_eq!(c.page_flag_state(Ppa::new(0, 0)), FlagState::Clean);
+        c.interrupt_p_lock(Ppa::new(0, 1), 1.0, 1).unwrap();
+        assert_eq!(c.page_flag_state(Ppa::new(0, 1)), FlagState::Locked);
+        // A mid-flight cut leaves torn cells; a margin read sees it, and
+        // re-issuing the lock completes it.
+        c.interrupt_p_lock(Ppa::new(0, 2), 0.5, 1).unwrap();
+        assert!(c.page_flag_state(Ppa::new(0, 2)).is_torn());
+        c.p_lock(Ppa::new(0, 2)).unwrap();
+        assert_eq!(c.page_flag_state(Ppa::new(0, 2)), FlagState::Locked);
+        assert_eq!(c.read(Ppa::new(0, 2)).unwrap().result, ReadResult::Locked);
+    }
+
+    #[test]
+    fn interrupted_erase_wipes_flags_before_data() {
+        // The dangerous window: flags cleared, data intact — but the block
+        // carries the torn-erase signature so recovery can close it.
+        let mut c = chip();
+        fill(&mut c, 0, 2);
+        c.p_lock(Ppa::new(0, 0)).unwrap();
+        c.b_lock(BlockId(0)).unwrap();
+        let f = (TORN_ERASE_FLAG_WIPE_FRACTION
+            + evanesco_nand::chip::TORN_ERASE_DATA_WIPE_FRACTION)
+            / 2.0;
+        c.interrupt_erase(BlockId(0), f, 42).unwrap();
+        assert_eq!(c.page_flag_state(Ppa::new(0, 0)), FlagState::Clean);
+        assert_eq!(c.block_flag_state(BlockId(0)), FlagState::Clean);
+        assert!(c.block_torn_erase(BlockId(0)).unwrap());
+        // Data survived the partial erase and is now unprotected...
+        assert!(c.read(Ppa::new(0, 0)).unwrap().result.data().is_some());
+        // ...until the erase is finished.
+        c.erase(BlockId(0), Nanos::ZERO).unwrap();
+        assert!(!c.block_torn_erase(BlockId(0)).unwrap());
+        assert!(c.read(Ppa::new(0, 0)).unwrap().result.data().is_none());
+    }
+
+    #[test]
+    fn injected_verify_failures_leave_torn_flags() {
+        let mut c = chip();
+        fill(&mut c, 0, 2);
+        c.inject_lock_verify_failures(1);
+        c.p_lock(Ppa::new(0, 0)).unwrap();
+        assert_eq!(c.page_flag_state(Ppa::new(0, 0)), FlagState::Torn { reads_locked: false });
+        assert!(c.read(Ppa::new(0, 0)).unwrap().result.data().is_some());
+        // The injection is consumed: the retry completes the lock.
+        c.p_lock(Ppa::new(0, 0)).unwrap();
+        assert_eq!(c.page_flag_state(Ppa::new(0, 0)), FlagState::Locked);
     }
 
     #[test]
@@ -499,9 +830,8 @@ mod tests {
         let (page_leaks, _) = c.flag_leaks();
         assert!(page_leaks > 5, "weak flags should leak: {page_leaks}/{n}");
         // And the leak is exploitable: some locked page reads data again.
-        let readable = (0..n)
-            .filter(|&p| c.read(Ppa::new(0, p)).unwrap().result.data().is_some())
-            .count();
+        let readable =
+            (0..n).filter(|&p| c.read(Ppa::new(0, p)).unwrap().result.data().is_some()).count();
         assert_eq!(readable, page_leaks);
     }
 }

@@ -86,18 +86,12 @@ impl FlagDeviceSim {
     /// *disabled* (locked). A page that was never flag-programmed decodes
     /// enabled.
     pub fn page_reads_locked(&self, ppa: Ppa) -> bool {
-        self.page_flags
-            .get(&(ppa.block.0, ppa.page.0))
-            .map(|f| f.read_disabled())
-            .unwrap_or(false)
+        self.page_flags.get(&(ppa.block.0, ppa.page.0)).map(|f| f.read_disabled()).unwrap_or(false)
     }
 
     /// Whether the physical SSL of the block currently blocks reads.
     pub fn block_reads_locked(&self, block: BlockId) -> bool {
-        self.block_ssl
-            .get(&block.0)
-            .map(|s| s.blocks_reads())
-            .unwrap_or(false)
+        self.block_ssl.get(&block.0).map(|s| s.blocks_reads()).unwrap_or(false)
     }
 
     /// Number of page flags that were programmed but currently decode as
@@ -156,10 +150,7 @@ mod tests {
         lock_n_pages(&mut sim, 500);
         sim.age(5.0 * 365.0);
         let leaked = sim.leaked_page_flags();
-        assert!(
-            leaked > 100,
-            "weak config should leak substantially at 5 years: {leaked}/500"
-        );
+        assert!(leaked > 100, "weak config should leak substantially at 5 years: {leaked}/500");
     }
 
     #[test]

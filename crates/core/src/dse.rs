@@ -138,11 +138,7 @@ pub fn explore_plock(k: usize) -> DseReport {
         e.retention_ok = ok;
     }
     let selected_eval = select(&evals);
-    DseReport {
-        selected: selected_eval.0,
-        selected_label: selected_eval.1,
-        evals,
-    }
+    DseReport { selected: selected_eval.0, selected_label: selected_eval.1, evals }
 }
 
 /// Runs the `bLock` design-space exploration (Figure 12).
@@ -174,18 +170,13 @@ pub fn explore_block() -> DseReport {
     }
     let labeled = label_candidates(&mut cands);
     for (p, l) in &labeled {
-        let ok =
-            block_center_vth_after(*p, RETENTION_REQUIREMENT_DAYS) >= BLOCK_READ_KILL_VTH;
+        let ok = block_center_vth_after(*p, RETENTION_REQUIREMENT_DAYS) >= BLOCK_READ_KILL_VTH;
         let e = evals.iter_mut().find(|e| e.point == *p).expect("candidate in grid");
         e.label = Some(l);
         e.retention_ok = ok;
     }
     let selected_eval = select(&evals);
-    DseReport {
-        selected: selected_eval.0,
-        selected_label: selected_eval.1,
-        evals,
-    }
+    DseReport { selected: selected_eval.0, selected_label: selected_eval.1, evals }
 }
 
 /// Final selection: among retention-passing candidates, minimize latency;
@@ -261,9 +252,7 @@ mod tests {
         let c = report.evals.iter().filter(|e| e.region == Region::Candidate).count();
         assert_eq!((r1, c), (12, 6));
         // Paper: (i) = (Vb6, 400µs) reliable, (vi) = (Vb5, 200µs) unreliable.
-        let by_label = |l: &'static str| {
-            report.evals.iter().find(|e| e.label == Some(l)).unwrap()
-        };
+        let by_label = |l: &'static str| report.evals.iter().find(|e| e.label == Some(l)).unwrap();
         assert_eq!(by_label("(i)").point, DesignPoint::new(6, 400));
         assert!(by_label("(i)").retention_ok);
         assert_eq!(by_label("(vi)").point, DesignPoint::new(5, 200));

@@ -61,10 +61,7 @@ impl FtlConfig {
     /// Paper structure with a reduced block count per chip (capacity scaling
     /// knob for tractable experiments).
     pub fn paper_scaled(blocks_per_chip: u32) -> Self {
-        FtlConfig {
-            geometry: Geometry::paper_tlc_with_blocks(blocks_per_chip),
-            ..Self::paper()
-        }
+        FtlConfig { geometry: Geometry::paper_tlc_with_blocks(blocks_per_chip), ..Self::paper() }
     }
 
     /// A tiny configuration for unit tests: 2 chips × 16 blocks × 24 pages.
@@ -85,6 +82,37 @@ impl FtlConfig {
             gc_victim: GcVictimPolicy::Greedy,
             timing: TimingSpec::paper(),
         }
+    }
+
+    /// Validates structural invariants of the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on any violation: zero chips or
+    /// blocks, an over-provisioning ratio outside `(0, 1)`, an empty
+    /// logical address space, or a GC threshold the geometry cannot
+    /// satisfy.
+    pub fn validate(&self) {
+        assert!(self.n_chips > 0, "FtlConfig: n_chips must be positive");
+        assert!(self.geometry.blocks > 0, "FtlConfig: geometry needs at least one block");
+        assert!(
+            self.geometry.wordlines_per_block > 0,
+            "FtlConfig: geometry needs at least one wordline per block"
+        );
+        assert!(
+            self.op_ratio > 0.0 && self.op_ratio < 1.0,
+            "FtlConfig: op_ratio must be in (0, 1), got {}",
+            self.op_ratio
+        );
+        assert!(self.logical_pages() > 0, "FtlConfig: logical address space is empty");
+        assert!(self.gc_free_threshold >= 1, "FtlConfig: gc_free_threshold must be >= 1");
+        assert!(
+            (self.geometry.blocks as usize) > self.gc_free_threshold,
+            "FtlConfig: gc_free_threshold {} needs more than {} blocks per chip",
+            self.gc_free_threshold,
+            self.geometry.blocks
+        );
+        assert!(self.block_min_plocks >= 1, "FtlConfig: block_min_plocks must be >= 1");
     }
 
     /// Total physical pages across all chips.

@@ -7,10 +7,35 @@
 //! emulator add timing without touching FTL logic.
 
 use crate::addr::GlobalPpa;
-use evanesco_core::chip::{EvanescoChip, ReadResult};
-use evanesco_nand::chip::{PageContent, PageData};
-use evanesco_nand::geometry::{BlockId, Geometry};
+use evanesco_core::chip::{EvanescoChip, FlagState, ReadResult};
+use evanesco_nand::chip::{PageContent, PageData, PageOob};
+use evanesco_nand::geometry::{BlockId, Geometry, Ppa};
 use evanesco_nand::timing::Nanos;
+
+/// What a recovery scan learns about one physical page: occupancy, torn
+/// state, lock margin, and (when readable) the FTL's OOB metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageProbe {
+    /// Written (programmed, torn, or destroyed) since the last erase.
+    pub written: bool,
+    /// Holds a program interrupted by a power cut.
+    pub torn: bool,
+    /// Margin-read state of the page's pAP cells.
+    pub lock: FlagState,
+    /// OOB metadata, when the page decodes and is not access-blocked.
+    pub oob: Option<PageOob>,
+}
+
+/// What a recovery scan learns about one block before touching its pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockProbe {
+    /// Next in-order program index (pages `0..next_program` are occupied).
+    pub next_program: u32,
+    /// The last erase of this block was interrupted (blank-check signature).
+    pub torn_erase: bool,
+    /// Margin-read state of the block's SSL (bAP) cells.
+    pub lock: FlagState,
+}
 
 /// Executes NAND operations for the FTL.
 ///
@@ -29,6 +54,36 @@ pub trait NandExecutor {
     fn b_lock(&mut self, chip: usize, block: BlockId);
     /// Destroys a page in place (one-shot scrub).
     fn scrub(&mut self, at: GlobalPpa);
+    /// Recovery-scan probe of one page (costs a page read on timed
+    /// implementations: the scan reads the page to get its OOB).
+    fn probe_page(&mut self, at: GlobalPpa) -> PageProbe;
+    /// Recovery-scan probe of one block (status-register class, untimed).
+    fn probe_block(&mut self, chip: usize, block: BlockId) -> BlockProbe;
+    /// Busy-waits `dur` on a chip (lock-retry backoff). Untimed
+    /// implementations ignore it.
+    fn stall(&mut self, _chip: usize, _dur: Nanos) {}
+}
+
+/// Shared [`NandExecutor::probe_page`] logic over one chip.
+pub fn probe_page_on(chip: &mut EvanescoChip, ppa: Ppa) -> PageProbe {
+    let written = chip.page_is_written(ppa).expect("probe in range");
+    let torn = chip.page_is_torn(ppa).expect("probe in range");
+    let lock = chip.page_flag_state(ppa);
+    let oob = if written && !chip.is_access_blocked(ppa) {
+        chip.read(ppa).expect("probe in range").result.data().and_then(|d| d.oob())
+    } else {
+        None
+    };
+    PageProbe { written, torn, lock, oob }
+}
+
+/// Shared [`NandExecutor::probe_block`] logic over one chip.
+pub fn probe_block_on(chip: &EvanescoChip, block: BlockId) -> BlockProbe {
+    BlockProbe {
+        next_program: chip.next_program_index(block),
+        torn_erase: chip.block_torn_erase(block).expect("probe in range"),
+        lock: chip.block_flag_state(block),
+    }
 }
 
 /// A plain executor over an array of Evanesco chips with no timing — used
@@ -93,6 +148,14 @@ impl NandExecutor for MemExecutor {
 
     fn scrub(&mut self, at: GlobalPpa) {
         self.chips[at.chip].destroy_page(at.ppa).expect("FTL scrubs in-range pages");
+    }
+
+    fn probe_page(&mut self, at: GlobalPpa) -> PageProbe {
+        probe_page_on(&mut self.chips[at.chip], at.ppa)
+    }
+
+    fn probe_block(&mut self, chip: usize, block: BlockId) -> BlockProbe {
+        probe_block_on(&self.chips[chip], block)
     }
 }
 

@@ -29,10 +29,13 @@ use crate::config::FtlConfig;
 use crate::executor::NandExecutor;
 use crate::observer::FtlObserver;
 use crate::policy::SanitizePolicy;
+use crate::recovery::{RecoveryReport, MAX_LOCK_RETRIES};
 use crate::stats::FtlStats;
 use crate::status::PageStatus;
-use evanesco_nand::chip::PageData;
+use evanesco_core::chip::FlagState;
+use evanesco_nand::chip::{PageData, PageOob};
 use evanesco_nand::geometry::{BlockId, PageId, Ppa};
+use evanesco_nand::timing::Nanos;
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,20 +108,35 @@ pub struct Ftl {
     chips: Vec<ChipState>,
     next_chip: usize,
     stats: FtlStats,
+    /// Next program sequence number; stamped into every page's OOB so a
+    /// power-up recovery scan can order versions of the same logical page.
+    seq: u64,
 }
 
 impl Ftl {
     /// Creates an FTL over `cfg.n_chips` erased chips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`FtlConfig::validate`].
     pub fn new(cfg: FtlConfig, policy: SanitizePolicy) -> Self {
+        cfg.validate();
         let ppb = cfg.geometry.pages_per_block();
         Ftl {
             l2p: vec![None; cfg.logical_pages() as usize],
             chips: (0..cfg.n_chips).map(|_| ChipState::new(cfg.geometry.blocks, ppb)).collect(),
             next_chip: 0,
             stats: FtlStats::default(),
+            seq: 0,
             cfg,
             policy,
         }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
     }
 
     /// The configuration.
@@ -198,7 +216,8 @@ impl Ftl {
             self.invalidate_batch(ex, obs, &[old]);
         }
         let at = self.allocate(ex, obs);
-        ex.program(at, data);
+        let seq = self.next_seq();
+        ex.program(at, data.with_oob(PageOob { lpa, secure, seq }));
         self.stats.nand_programs += 1;
         self.commit_mapping(lpa, at, secure);
         obs.on_program(lpa, at, false);
@@ -219,12 +238,7 @@ impl Ftl {
     /// Physical addresses are resolved one block-group at a time because a
     /// group's sanitization (relocation under erSSD/scrSSD, or GC pressure)
     /// can move pages that later groups still have to invalidate.
-    pub fn trim<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
-        lpas: &[Lpa],
-    ) {
+    pub fn trim<E: NandExecutor, O: FtlObserver>(&mut self, ex: &mut E, obs: &mut O, lpas: &[Lpa]) {
         self.stats.host_trim_pages += lpas.len() as u64;
         let mut pending: Vec<Lpa> =
             lpas.iter().copied().filter(|&l| (l as usize) < self.l2p.len()).collect();
@@ -281,10 +295,7 @@ impl Ftl {
         if self.chips[chip].active.is_none() {
             if self.chips[chip].available_blocks() == 0 {
                 let reclaimed = self.gc_once(ex, obs, chip);
-                assert!(
-                    reclaimed,
-                    "chip {chip} out of blocks: over-provisioning misconfigured"
-                );
+                assert!(reclaimed, "chip {chip} out of blocks: over-provisioning misconfigured");
             }
             self.open_block(ex, obs, chip);
         }
@@ -302,7 +313,12 @@ impl Ftl {
         at
     }
 
-    fn open_block<E: NandExecutor, O: FtlObserver>(&mut self, ex: &mut E, obs: &mut O, chip: usize) {
+    fn open_block<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        chip: usize,
+    ) {
         let cs = &mut self.chips[chip];
         let id = if let Some(id) = cs.free.pop_front() {
             id
@@ -450,10 +466,12 @@ impl Ftl {
             let data = ex.read(old).expect("live page is readable");
             self.stats.nand_reads += 1;
             let new_at = self.allocate_on_chip(ex, obs, chip);
-            ex.program(new_at, data);
+            let secure = st == PageStatus::Secured;
+            let seq = self.next_seq();
+            ex.program(new_at, data.with_oob(PageOob { lpa, secure, seq }));
             self.stats.nand_programs += 1;
             self.stats.copied_pages += 1;
-            self.commit_mapping(lpa, new_at, st == PageStatus::Secured);
+            self.commit_mapping(lpa, new_at, secure);
             obs.on_program(lpa, new_at, true);
 
             // Invalidate the old slot (bookkeeping only; sanitization of the
@@ -668,10 +686,12 @@ impl Ftl {
             let data = ex.read(at).expect("live page readable");
             self.stats.nand_reads += 1;
             let new_at = self.allocate_on_chip(ex, obs, chip);
-            ex.program(new_at, data);
+            let secure = st == PageStatus::Secured;
+            let seq = self.next_seq();
+            ex.program(new_at, data.with_oob(PageOob { lpa, secure, seq }));
             self.stats.nand_programs += 1;
             self.stats.copied_pages += 1;
-            self.commit_mapping(lpa, new_at, st == PageStatus::Secured);
+            self.commit_mapping(lpa, new_at, secure);
             obs.on_program(lpa, new_at, true);
             let cs = &mut self.chips[chip];
             cs.status[idx] = PageStatus::Invalid;
@@ -711,27 +731,304 @@ impl Ftl {
     }
 
     // ---------------------------------------------------------------------
+    // Power-up recovery (see crate::recovery for the algorithm overview)
+    // ---------------------------------------------------------------------
+
+    /// Rebuilds all RAM state from on-flash state after an unclean
+    /// shutdown and re-establishes every lock lost mid-flight, *before*
+    /// any host operation is served.
+    ///
+    /// Cumulative [`FtlStats`] are deliberately preserved: they are
+    /// simulator-level observability, not FTL RAM state.
+    pub fn recover<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+    ) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let ppb = self.cfg.geometry.pages_per_block();
+        let n_blocks = self.cfg.geometry.blocks;
+
+        // Phase 0: forget everything RAM held. The on-flash truth wins.
+        for m in self.l2p.iter_mut() {
+            *m = None;
+        }
+        for cs in &mut self.chips {
+            cs.p2l.iter_mut().for_each(|p| *p = None);
+            cs.status.iter_mut().for_each(|s| *s = PageStatus::Free);
+            cs.blocks.iter_mut().for_each(|b| {
+                *b = BlockMeta { state: BlockState::Free, live: 0, written: 0, closed_at: 0 }
+            });
+            cs.free.clear();
+            cs.reclaimable.clear();
+            cs.active = None;
+            cs.gc_in_progress.clear();
+        }
+        self.next_chip = 0;
+
+        // Best version of each logical page seen so far: (seq, at, secure).
+        let mut winner: Vec<Option<(u64, GlobalPpa, bool)>> = vec![None; self.l2p.len()];
+        // Every readable mapped page: (at, lpa, seq, secure).
+        let mut candidates: Vec<(GlobalPpa, Lpa, u64, bool)> = Vec::new();
+        // Decodable torn writes of secured data (never acknowledged).
+        let mut orphans: Vec<GlobalPpa> = Vec::new();
+        let mut max_seq = 0u64;
+
+        // Phase 1: physical scan.
+        for chip in 0..self.chips.len() {
+            for b in 0..n_blocks {
+                let bid = BlockId(b);
+                let bp = ex.probe_block(chip, bid);
+
+                // A torn erase is finished first: its low-voltage flag
+                // cells may already be clear while data pages survive, so
+                // the block must be sealed before anything is served.
+                if bp.torn_erase {
+                    self.erase_block(ex, obs, chip, b);
+                    self.chips[chip].free.push_back(b);
+                    report.resealed_blocks += 1;
+                    continue;
+                }
+
+                // A bLock — torn or complete — only ever covers dead data:
+                // complete it if torn, mark every occupied page invalid.
+                if bp.lock.is_torn() {
+                    self.reissue_b_lock(ex, chip, b, bp.next_program, &mut report);
+                    report.reissued_blocks += 1;
+                }
+                if bp.lock.reads_locked() || bp.lock.is_torn() {
+                    let cs = &mut self.chips[chip];
+                    let base = (b * ppb) as usize;
+                    for i in 0..bp.next_program as usize {
+                        cs.status[base + i] = PageStatus::Invalid;
+                    }
+                    cs.blocks[b as usize].written = bp.next_program;
+                    if bp.next_program == 0 {
+                        cs.free.push_back(b);
+                    } else {
+                        cs.blocks[b as usize].state = BlockState::Full;
+                    }
+                    continue;
+                }
+
+                if bp.next_program == 0 {
+                    self.chips[chip].free.push_back(b);
+                    continue;
+                }
+
+                // Page-by-page scan of the occupied prefix.
+                for p in 0..bp.next_program {
+                    let at = GlobalPpa::new(chip, Ppa { block: bid, page: PageId(p) });
+                    let idx = self.flat(at.ppa);
+                    let probe = ex.probe_page(at);
+                    report.scanned_pages += 1;
+                    self.stats.nand_reads += 1;
+                    self.chips[chip].blocks[b as usize].written += 1;
+                    self.chips[chip].status[idx] = PageStatus::Invalid;
+
+                    if probe.torn {
+                        report.torn_writes += 1;
+                        if probe.oob.is_some_and(|o| o.secure) {
+                            report.orphaned_pages += 1;
+                            orphans.push(at);
+                        }
+                        continue;
+                    }
+                    if probe.lock.is_torn() {
+                        // The pLock's page is by definition a dead secured
+                        // version; completing the lock sanitizes it.
+                        self.relock_page(ex, at, &mut report);
+                        report.relocked_pages += 1;
+                        continue;
+                    }
+                    if probe.lock.reads_locked() {
+                        continue; // completed lock: sealed dead data
+                    }
+                    match probe.oob {
+                        Some(oob) if (oob.lpa as usize) < winner.len() => {
+                            max_seq = max_seq.max(oob.seq);
+                            candidates.push((at, oob.lpa, oob.seq, oob.secure));
+                            let w = &mut winner[oob.lpa as usize];
+                            if w.is_none_or(|(ws, _, _)| oob.seq > ws) {
+                                *w = Some((oob.seq, at, oob.secure));
+                            }
+                        }
+                        // Garbage / destroyed / out-of-range OOB: stays
+                        // Invalid.
+                        _ => {}
+                    }
+                }
+                // Partially-written blocks are sealed, not resumed: the
+                // interrupted tail page makes in-order append unsafe.
+                self.chips[chip].blocks[b as usize].state = BlockState::Full;
+            }
+        }
+        self.seq = max_seq + 1;
+
+        // Phase 2: commit the newest version of each logical page.
+        for (lpa, won) in winner.iter().enumerate() {
+            if let Some((_, at, secure)) = *won {
+                // commit_mapping expects the slot not to be counted live yet.
+                self.commit_mapping(lpa as Lpa, at, secure);
+                report.rebuilt_mappings += 1;
+            }
+        }
+
+        // Phase 3: classify fully-dead blocks as reclaimable (lazy erase).
+        for cs in &mut self.chips {
+            for b in 0..n_blocks {
+                let meta = &mut cs.blocks[b as usize];
+                if meta.state == BlockState::Full && meta.live == 0 {
+                    meta.state = BlockState::Reclaimable;
+                    cs.reclaimable.push_back(b);
+                }
+            }
+        }
+
+        // Phase 4: sanitize sequence-contest losers that carried the
+        // secure mark, plus decodable secured orphans, through the active
+        // policy's own mechanism.
+        let mut to_sanitize: Vec<GlobalPpa> = Vec::new();
+        for &(at, lpa, seq, secure) in &candidates {
+            let lost = winner[lpa as usize] != Some((seq, at, secure));
+            if lost && secure {
+                report.stale_secured += 1;
+                to_sanitize.push(at);
+            }
+        }
+        to_sanitize.extend_from_slice(&orphans);
+        self.sanitize_after_recovery(ex, obs, &to_sanitize, &mut report);
+
+        obs.on_recovery(&report);
+        report
+    }
+
+    /// Applies the active policy to pages recovery found to need
+    /// sanitization (stale secured versions and orphaned torn writes).
+    fn sanitize_after_recovery<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        targets: &[GlobalPpa],
+        report: &mut RecoveryReport,
+    ) {
+        if targets.is_empty() {
+            return;
+        }
+        // Group by (chip, block) — same batching the runtime paths use.
+        let mut groups: Vec<(usize, u32, Vec<GlobalPpa>)> = Vec::new();
+        for &at in targets {
+            let key = (at.chip, at.ppa.block.0);
+            match groups.iter_mut().find(|(c, b, _)| (*c, *b) == key) {
+                Some((_, _, v)) => v.push(at),
+                None => groups.push((key.0, key.1, vec![at])),
+            }
+        }
+        match self.policy {
+            SanitizePolicy::None => {}
+            SanitizePolicy::Evanesco { use_block } => {
+                for (chip, block, group) in groups {
+                    let meta = self.chips[chip].blocks[block as usize];
+                    let fully_dead = meta.live == 0
+                        && matches!(meta.state, BlockState::Full | BlockState::Reclaimable);
+                    if use_block && fully_dead && group.len() >= self.cfg.block_min_plocks {
+                        self.reissue_b_lock(ex, chip, block, meta.written, report);
+                        self.stats.blocks_locked += 1;
+                    } else {
+                        for &at in &group {
+                            self.relock_page(ex, at, report);
+                        }
+                    }
+                }
+            }
+            SanitizePolicy::EraseBased => {
+                for (chip, block, _) in groups {
+                    // The block may already have been consumed (lazy-erased
+                    // on reuse) by a previous group's relocations.
+                    match self.chips[chip].blocks[block as usize].state {
+                        BlockState::Free | BlockState::Open => continue,
+                        BlockState::Full | BlockState::Reclaimable => {}
+                    }
+                    let _ = self.relocate_live_pages(ex, obs, chip, block);
+                    self.detach_block(chip, block);
+                    self.erase_block(ex, obs, chip, block);
+                    self.stats.sanitize_erases += 1;
+                    self.chips[chip].free.push_back(block);
+                }
+            }
+            SanitizePolicy::Scrub => {
+                for (_, _, group) in groups {
+                    for &at in &group {
+                        self.scrub_sanitize(ex, obs, at);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Issues `pLock` with verify; bounded retry with exponential backoff
+    /// on verify failure, destructive scrub as the final fallback.
+    fn relock_page<E: NandExecutor>(
+        &mut self,
+        ex: &mut E,
+        at: GlobalPpa,
+        report: &mut RecoveryReport,
+    ) {
+        let base = self.cfg.timing.t_plock;
+        for attempt in 0..MAX_LOCK_RETRIES {
+            ex.p_lock(at);
+            self.stats.plocks += 1;
+            if ex.probe_page(at).lock == FlagState::Locked {
+                return;
+            }
+            report.lock_retries += 1;
+            ex.stall(at.chip, Nanos(base.0 << attempt));
+        }
+        ex.scrub(at);
+        self.stats.scrubs += 1;
+        report.lock_fallbacks += 1;
+    }
+
+    /// Issues `bLock` with verify and bounded retry; falls back to
+    /// per-page locks (which themselves fall back to scrubs).
+    fn reissue_b_lock<E: NandExecutor>(
+        &mut self,
+        ex: &mut E,
+        chip: usize,
+        block: u32,
+        written: u32,
+        report: &mut RecoveryReport,
+    ) {
+        let base = self.cfg.timing.t_block;
+        for attempt in 0..MAX_LOCK_RETRIES {
+            ex.b_lock(chip, BlockId(block));
+            if ex.probe_block(chip, BlockId(block)).lock == FlagState::Locked {
+                return;
+            }
+            report.lock_retries += 1;
+            ex.stall(chip, Nanos(base.0 << attempt));
+        }
+        report.lock_fallbacks += 1;
+        for p in 0..written {
+            let at = GlobalPpa::new(chip, Ppa { block: BlockId(block), page: PageId(p) });
+            self.relock_page(ex, at, report);
+        }
+    }
+
+    // ---------------------------------------------------------------------
     // Introspection for tests and experiments
     // ---------------------------------------------------------------------
 
     /// Number of live (valid or secured) pages across all chips.
     pub fn live_pages(&self) -> u64 {
-        self.chips
-            .iter()
-            .map(|c| c.blocks.iter().map(|b| b.live as u64).sum::<u64>())
-            .sum()
+        self.chips.iter().map(|c| c.blocks.iter().map(|b| b.live as u64).sum::<u64>()).sum()
     }
 
     /// Number of invalid (dead, not yet erased) pages across all chips.
     pub fn invalid_pages(&self) -> u64 {
         self.chips
             .iter()
-            .map(|c| {
-                c.status
-                    .iter()
-                    .filter(|s| matches!(s, PageStatus::Invalid))
-                    .count() as u64
-            })
+            .map(|c| c.status.iter().filter(|s| matches!(s, PageStatus::Invalid)).count() as u64)
             .sum()
     }
 
@@ -762,9 +1059,8 @@ impl Ftl {
         for (ci, c) in self.chips.iter().enumerate() {
             for (bi, b) in c.blocks.iter().enumerate() {
                 let base = bi * ppb as usize;
-                let live = (0..ppb as usize)
-                    .filter(|&i| c.status[base + i].is_live())
-                    .count() as u32;
+                let live =
+                    (0..ppb as usize).filter(|&i| c.status[base + i].is_live()).count() as u32;
                 assert_eq!(live, b.live, "block live count drift at chip {ci} block {bi}");
             }
         }
@@ -1145,6 +1441,143 @@ mod tests {
         for l in 0..logical {
             assert_eq!(ftl.read(&mut ex, l).unwrap().tag(), 200_000 + l);
         }
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn recover_rebuilds_mapping_after_ram_loss() {
+        // Crash with no in-flight op: recovery must reproduce the exact
+        // pre-crash mapping from OOB metadata alone.
+        let cfg = FtlConfig::tiny_for_tests();
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::evanesco());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        let logical = ftl.logical_pages();
+        for round in 0..3u64 {
+            for l in 0..logical {
+                ftl.write(&mut ex, &mut NullObserver, l, l % 2 == 0, round * 100_000 + l);
+            }
+        }
+        ftl.trim(&mut ex, &mut NullObserver, &[0, 1, 2]);
+        let before: Vec<_> = (0..logical).map(|l| ftl.mapped(l)).collect();
+        let report = ftl.recover(&mut ex, &mut NullObserver);
+        ftl.check_invariants();
+        // Secured trims (lpa 0, 2) are locked on flash and stay deleted.
+        // The insecure trim (lpa 1) is advisory: its old version is still
+        // readable on flash, so the scan legitimately resurrects it.
+        assert_eq!(report.rebuilt_mappings, logical - 2);
+        assert!(report.scanned_pages > 0);
+        assert_eq!(ftl.mapped(0), None);
+        assert_eq!(ftl.mapped(2), None);
+        assert_eq!(ftl.read(&mut ex, 1).unwrap().tag(), 200_001);
+        let after: Vec<_> = (0..logical).map(|l| ftl.mapped(l)).collect();
+        assert_eq!(before[3..], after[3..], "recovery changed surviving mappings");
+        for l in 3..logical {
+            assert_eq!(ftl.read(&mut ex, l).unwrap().tag(), 200_000 + l);
+        }
+        // The device still takes writes after recovery.
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 555);
+        assert_eq!(ftl.read(&mut ex, 0).unwrap().tag(), 555);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn recover_completes_torn_plock() {
+        // Power cut mid-pLock during a secure trim: the only version of the
+        // page has a torn lock. Recovery completes the lock; the data is
+        // unrecoverable and the mapping stays gone.
+        let (mut ftl, mut ex) = setup_one_chip(SanitizePolicy::evanesco());
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 4242);
+        let at = ftl.mapped(0).unwrap();
+        ex.chips_mut()[at.chip].interrupt_p_lock(at.ppa, 0.5, 7).unwrap();
+        let report = ftl.recover(&mut ex, &mut NullObserver);
+        assert_eq!(report.relocked_pages, 1);
+        assert_eq!(ftl.mapped(0), None);
+        let attacker = Attacker::new();
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[at.chip], 4242));
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn recover_reerases_torn_erase_block() {
+        // Power cut early in an erase: flag cells (low-voltage) are already
+        // clear but the data survived — momentarily unlocked. Recovery must
+        // finish the erase before serving anything.
+        let cfg = FtlConfig::tiny_for_tests();
+        let ppb = cfg.geometry.pages_per_block() as u64;
+        let (mut ftl, mut ex) = setup_one_chip(SanitizePolicy::evanesco());
+        let lpas: Vec<Lpa> = (0..ppb).collect();
+        for &l in &lpas {
+            ftl.write(&mut ex, &mut NullObserver, l, true, 9000 + l);
+        }
+        ftl.trim(&mut ex, &mut NullObserver, &lpas); // one bLock
+        assert_eq!(ftl.stats().blocks_locked, 1);
+        // Interrupt an erase of the locked block at 20% of tBERS: past the
+        // flag-wipe point, before the data-wipe point.
+        ex.chips_mut()[0].interrupt_erase(BlockId(0), 0.2, 11).unwrap();
+        let attacker = Attacker::new();
+        assert!(
+            attacker.recover_tag(&mut ex.chips_mut()[0], 9000),
+            "the partial erase should have dropped the lock while data survives"
+        );
+        let report = ftl.recover(&mut ex, &mut NullObserver);
+        assert_eq!(report.resealed_blocks, 1);
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[0], 9000));
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn recover_retries_lock_verify_failures_with_backoff() {
+        let (mut ftl, mut ex) = setup_one_chip(SanitizePolicy::evanesco());
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 1);
+        let at = ftl.mapped(0).unwrap();
+        ex.chips_mut()[at.chip].interrupt_p_lock(at.ppa, 0.5, 3).unwrap();
+        // The first two re-issues fail program-verify; the third succeeds.
+        ex.chips_mut()[at.chip].inject_lock_verify_failures(2);
+        let report = ftl.recover(&mut ex, &mut NullObserver);
+        assert_eq!(report.relocked_pages, 1);
+        assert_eq!(report.lock_retries, 2);
+        assert_eq!(report.lock_fallbacks, 0);
+        let attacker = Attacker::new();
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[at.chip], 1));
+    }
+
+    #[test]
+    fn recover_falls_back_to_scrub_after_retry_budget() {
+        let (mut ftl, mut ex) = setup_one_chip(SanitizePolicy::evanesco());
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 1);
+        let at = ftl.mapped(0).unwrap();
+        ex.chips_mut()[at.chip].interrupt_p_lock(at.ppa, 0.5, 3).unwrap();
+        // Every re-issue fails: recovery must not loop forever.
+        ex.chips_mut()[at.chip].inject_lock_verify_failures(100);
+        let report = ftl.recover(&mut ex, &mut NullObserver);
+        assert_eq!(report.lock_fallbacks, 1);
+        assert_eq!(report.lock_retries, u64::from(crate::recovery::MAX_LOCK_RETRIES));
+        let attacker = Attacker::new();
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[at.chip], 1), "scrub fallback");
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn recover_sanitizes_torn_secure_overwrite_orphan() {
+        // Power cut mid-program of a secure overwrite, late enough that the
+        // partial page decodes: the old version must win the seq contest and
+        // the unacknowledged orphan must not be attacker-readable.
+        let (mut ftl, mut ex) = setup_one_chip(SanitizePolicy::evanesco());
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 100);
+        let old = ftl.mapped(0).unwrap();
+        // Hand-craft the torn overwrite on the next append slot.
+        let next = GlobalPpa::new(0, Ppa::new(0, 1));
+        let data = PageData::tagged(200).with_oob(PageOob { lpa: 0, secure: true, seq: 999 });
+        ex.chips_mut()[0].interrupt_program(next.ppa, data, 0.9).unwrap();
+        let report = ftl.recover(&mut ex, &mut NullObserver);
+        assert_eq!(report.torn_writes, 1);
+        assert_eq!(report.orphaned_pages, 1);
+        // The acknowledged old version is still served...
+        assert_eq!(ftl.mapped(0), Some(old));
+        assert_eq!(ftl.read(&mut ex, 0).unwrap().tag(), 100);
+        // ...and the torn orphan is sealed against forensics.
+        let attacker = Attacker::new();
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[0], 200));
         ftl.check_invariants();
     }
 

@@ -35,6 +35,7 @@ pub mod executor;
 pub mod ftl;
 pub mod observer;
 pub mod policy;
+pub mod recovery;
 pub mod stats;
 pub mod status;
 
@@ -42,4 +43,5 @@ pub use addr::{GlobalPpa, Lpa};
 pub use config::FtlConfig;
 pub use ftl::Ftl;
 pub use policy::SanitizePolicy;
+pub use recovery::RecoveryReport;
 pub use stats::FtlStats;

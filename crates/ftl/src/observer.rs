@@ -19,6 +19,8 @@ pub trait FtlObserver {
     fn on_erase(&mut self, _chip: usize, _block: BlockId) {}
     /// One host logical-time tick (a host page write was accepted).
     fn on_host_tick(&mut self) {}
+    /// A power-up recovery scan finished (see [`crate::recovery`]).
+    fn on_recovery(&mut self, _report: &crate::recovery::RecoveryReport) {}
 }
 
 /// The no-op observer.

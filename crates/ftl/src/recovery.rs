@@ -1,0 +1,79 @@
+//! Power-up recovery after an unclean shutdown.
+//!
+//! A power cut can interrupt any in-flight NAND operation — a program, an
+//! erase, a `pLock`/`bLock` — leaving partially-written pages, half-erased
+//! blocks, and lock-flag cells with degraded margin. On the next power-up
+//! the FTL's RAM tables are gone; [`crate::ftl::Ftl::recover`] rebuilds
+//! them from on-flash state (per-page OOB metadata stamped on every
+//! program) and, critically for Evanesco's security conditions C1/C2,
+//! **re-establishes every lock that was lost mid-flight before any host
+//! read is served**:
+//!
+//! 1. blocks with a torn-erase signature are re-erased (their low-voltage
+//!    flag cells decay before the data does, so a half-erased block may
+//!    hold unlocked-but-recoverable secured data);
+//! 2. torn `bLock`s are completed (a bLock only ever covers dead data);
+//! 3. torn `pLock`s are completed, with bounded retry and exponential
+//!    backoff when the lock's program-verify reports failure, and a
+//!    destructive scrub as the final fallback;
+//! 4. readable pages are entered into a sequence-number contest per
+//!    logical page; losers are stale versions, and stale *secured*
+//!    versions are sanitized through the active policy's own mechanism;
+//! 5. torn writes carrying a `secure` OOB mark are orphans — data the
+//!    host never acknowledged — and are sanitized the same way.
+//!
+//! The scan costs one page read per occupied page on timed executors,
+//! which is what the recovery-time metric measures.
+
+/// Maximum times a lock command is re-issued when its verify fails before
+/// recovery falls back to destroying the page in place.
+pub const MAX_LOCK_RETRIES: u32 = 4;
+
+/// Counters describing one recovery scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Occupied pages probed (one flash read each).
+    pub scanned_pages: u64,
+    /// Logical mappings rebuilt from OOB metadata.
+    pub rebuilt_mappings: u64,
+    /// Pages found holding a program interrupted by the power cut.
+    pub torn_writes: u64,
+    /// Torn writes of *secured* data that were still decodable — never
+    /// acknowledged to the host, so they are sanitized, not mapped.
+    pub orphaned_pages: u64,
+    /// Pages whose `pLock` was found torn and was re-issued.
+    pub relocked_pages: u64,
+    /// Blocks whose `bLock` was found torn and was re-issued.
+    pub reissued_blocks: u64,
+    /// Blocks with a torn-erase signature that were re-erased.
+    pub resealed_blocks: u64,
+    /// Stale secured versions (sequence-contest losers) sanitized.
+    pub stale_secured: u64,
+    /// Lock commands re-issued after a verify failure.
+    pub lock_retries: u64,
+    /// Locks abandoned after [`MAX_LOCK_RETRIES`] and replaced by a scrub.
+    pub lock_fallbacks: u64,
+}
+
+impl RecoveryReport {
+    /// Total lock commands issued by this scan (initial + retries).
+    pub fn lock_commands(&self) -> u64 {
+        self.relocked_pages + self.reissued_blocks + self.lock_retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_commands_sums_reissues() {
+        let r = RecoveryReport {
+            relocked_pages: 3,
+            reissued_blocks: 1,
+            lock_retries: 2,
+            ..RecoveryReport::default()
+        };
+        assert_eq!(r.lock_commands(), 6);
+    }
+}

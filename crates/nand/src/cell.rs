@@ -106,10 +106,7 @@ impl PageType {
     /// Panics if the index is out of range for the technology.
     pub fn from_index(idx: u8, tech: CellTech) -> Self {
         let types = tech.page_types();
-        assert!(
-            (idx as usize) < types.len(),
-            "page-type index {idx} out of range for {tech}"
-        );
+        assert!((idx as usize) < types.len(), "page-type index {idx} out of range for {tech}");
         types[idx as usize]
     }
 }
@@ -240,10 +237,7 @@ pub fn nominal_states(tech: CellTech) -> Vec<(f64, f64)> {
 /// the page's bit flips, computed from [`nominal_states`].
 pub fn read_ref_voltages(tech: CellTech, ty: PageType) -> Vec<f64> {
     let states = nominal_states(tech);
-    read_boundaries(tech, ty)
-        .into_iter()
-        .map(|b| (states[b].0 + states[b + 1].0) / 2.0)
-        .collect()
+    read_boundaries(tech, ty).into_iter().map(|b| (states[b].0 + states[b + 1].0) / 2.0).collect()
 }
 
 /// Decodes the bit read from a cell at voltage `vth` for page `ty`:
@@ -316,11 +310,8 @@ mod tests {
     #[test]
     fn total_boundaries_cover_each_state_gap_once() {
         for tech in [CellTech::Mlc, CellTech::Tlc, CellTech::Qlc] {
-            let mut all: Vec<usize> = tech
-                .page_types()
-                .iter()
-                .flat_map(|&ty| read_boundaries(tech, ty))
-                .collect();
+            let mut all: Vec<usize> =
+                tech.page_types().iter().flat_map(|&ty| read_boundaries(tech, ty)).collect();
             all.sort_unstable();
             let expected: Vec<usize> = (0..tech.n_states() - 1).collect();
             assert_eq!(all, expected);
@@ -335,11 +326,7 @@ mod tests {
                 let refs = read_ref_voltages(tech, ty);
                 for (s, &(mean, _)) in states.iter().enumerate() {
                     let expect = state_bit(tech, VthState(s as u8), ty);
-                    assert_eq!(
-                        decode_bit(tech, ty, &refs, mean),
-                        expect,
-                        "{tech} {ty} state {s}"
-                    );
+                    assert_eq!(decode_bit(tech, ty, &refs, mean), expect, "{tech} {ty} state {s}");
                 }
             }
         }

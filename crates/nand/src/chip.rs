@@ -17,6 +17,35 @@ use crate::error::NandError;
 use crate::geometry::{BlockId, Geometry, Ppa};
 use crate::timing::{Nanos, TimingSpec};
 
+/// Fraction of `tPROG` that must have elapsed before a torn (power-cut)
+/// program leaves ECC-decodable data behind. Below this, the page reads as
+/// uncorrectable garbage; above it, the content (and its OOB metadata) is
+/// recoverable — by the controller *and* by a forensic attacker.
+pub const TORN_PROGRAM_READABLE_FRACTION: f64 = 0.5;
+
+/// Fraction of `tBERS` after which an interrupted erase has destroyed the
+/// block's data. Erase pulses strip charge quickly: beyond this point the
+/// old contents are gone even though the block is not cleanly erased.
+pub const TORN_ERASE_DATA_WIPE_FRACTION: f64 = 0.25;
+
+/// Fraction of `tscrub` needed for an interrupted one-shot reprogram to
+/// have destroyed the target page. Below it, the original data survives.
+pub const TORN_SCRUB_DESTROY_FRACTION: f64 = 0.5;
+
+/// OOB (spare-area) metadata the FTL stores alongside each page. This is
+/// what a power-up recovery scan reads to rebuild the mapping tables: the
+/// logical address, the security requirement of the content, and a
+/// monotonically-increasing write sequence number that orders versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageOob {
+    /// Logical page address the content belongs to.
+    pub lpa: u64,
+    /// Whether the content requires sanitization on invalidation.
+    pub secure: bool,
+    /// FTL-wide program sequence number (higher = newer version).
+    pub seq: u64,
+}
+
 /// The payload stored in one page.
 ///
 /// For system-level simulations carrying full 16-KiB buffers around would
@@ -28,12 +57,13 @@ use crate::timing::{Nanos, TimingSpec};
 pub struct PageData {
     tag: u64,
     payload: Option<Box<[u8]>>,
+    oob: Option<PageOob>,
 }
 
 impl PageData {
     /// A page identified only by a content tag.
     pub fn tagged(tag: u64) -> Self {
-        PageData { tag, payload: None }
+        PageData { tag, payload: None, oob: None }
     }
 
     /// A page with a real byte payload (tag is a cheap FNV-1a of the bytes).
@@ -43,7 +73,15 @@ impl PageData {
             tag ^= b as u64;
             tag = tag.wrapping_mul(0x100_0000_01b3);
         }
-        PageData { tag, payload: Some(bytes.into()) }
+        PageData { tag, payload: Some(bytes.into()), oob: None }
+    }
+
+    /// Attaches (or replaces) OOB metadata; the FTL stamps every program
+    /// with this so a recovery scan can rebuild its tables.
+    #[must_use]
+    pub fn with_oob(mut self, oob: PageOob) -> Self {
+        self.oob = Some(oob);
+        self
     }
 
     /// The content tag.
@@ -54,6 +92,11 @@ impl PageData {
     /// The byte payload, if one was stored.
     pub fn payload(&self) -> Option<&[u8]> {
         self.payload.as_deref()
+    }
+
+    /// The OOB metadata, if the writer stamped any.
+    pub fn oob(&self) -> Option<PageOob> {
+        self.oob
     }
 }
 
@@ -67,15 +110,26 @@ pub enum PageContent {
     /// Page was destroyed in place (scrubbed / one-shot reprogrammed);
     /// the original data is unrecoverable, reads return garbage.
     Destroyed,
+    /// Program was interrupted by a power cut. `data` is `Some` when enough
+    /// of `tPROG` elapsed for ECC to still decode the partial page — in
+    /// which case the content is visible both to the controller and to a
+    /// forensic attacker — and `None` when the page reads as garbage.
+    Torn { data: Option<PageData> },
 }
 
 impl PageContent {
-    /// Programmed data, if present.
+    /// Programmed data, if present (including decodable torn data).
     pub fn data(&self) -> Option<&PageData> {
         match self {
             PageContent::Data(d) => Some(d),
+            PageContent::Torn { data } => data.as_ref(),
             _ => None,
         }
+    }
+
+    /// Whether this content came from an interrupted program.
+    pub fn is_torn(&self) -> bool {
+        matches!(self, PageContent::Torn { .. })
     }
 }
 
@@ -101,6 +155,12 @@ enum Slot {
     Erased,
     Programmed(PageData),
     Destroyed,
+    /// Program interrupted mid-flight; `readable` says whether the partial
+    /// page still decodes under ECC.
+    Torn {
+        data: PageData,
+        readable: bool,
+    },
 }
 
 /// One erase block.
@@ -112,6 +172,10 @@ struct Block {
     erase_count: u64,
     /// Simulation time of the last erase, for open-interval tracking.
     last_erase_at: Option<Nanos>,
+    /// An erase of this block was interrupted by a power cut. Detectable
+    /// on power-up via a blank-check / margin read: the block is neither
+    /// cleanly erased nor validly programmed.
+    torn_erase: bool,
 }
 
 impl Block {
@@ -121,6 +185,7 @@ impl Block {
             next_program: 0,
             erase_count: 0,
             last_erase_at: None,
+            torn_erase: false,
         }
     }
 }
@@ -136,6 +201,19 @@ pub struct ChipStats {
     pub erases: u64,
     /// In-place page destructions (scrubs).
     pub scrubs: u64,
+    /// Programs interrupted by a power cut.
+    pub torn_programs: u64,
+    /// Erases interrupted by a power cut.
+    pub torn_erases: u64,
+}
+
+fn slot_content(slot: &Slot) -> PageContent {
+    match slot {
+        Slot::Erased => PageContent::Erased,
+        Slot::Programmed(d) => PageContent::Data(d.clone()),
+        Slot::Destroyed => PageContent::Destroyed,
+        Slot::Torn { data, readable } => PageContent::Torn { data: readable.then(|| data.clone()) },
+    }
 }
 
 /// A behavioral NAND flash chip.
@@ -199,11 +277,7 @@ impl Chip {
         self.check_addr(ppa)?;
         self.stats.reads += 1;
         let slot = &self.blocks[ppa.block.0 as usize].slots[ppa.page.0 as usize];
-        let content = match slot {
-            Slot::Erased => PageContent::Erased,
-            Slot::Programmed(d) => PageContent::Data(d.clone()),
-            Slot::Destroyed => PageContent::Destroyed,
-        };
+        let content = slot_content(slot);
         Ok(ReadOutput { content, latency: self.timing.t_read })
     }
 
@@ -249,8 +323,104 @@ impl Chip {
         b.next_program = 0;
         b.erase_count += 1;
         b.last_erase_at = Some(now);
+        b.torn_erase = false;
         self.stats.erases += 1;
         Ok(self.timing.t_bers)
+    }
+
+    /// Models a program interrupted by a power cut after `fraction` of
+    /// `tPROG` had elapsed. The slot ends up [torn](PageContent::Torn):
+    /// occupied (it must be erased before reuse), decodable only when
+    /// `fraction >= `[`TORN_PROGRAM_READABLE_FRACTION`].
+    ///
+    /// # Errors
+    ///
+    /// Same preconditions as [`Chip::program`].
+    pub fn interrupt_program(
+        &mut self,
+        ppa: Ppa,
+        data: PageData,
+        fraction: f64,
+    ) -> Result<(), NandError> {
+        self.check_addr(ppa)?;
+        let block = &mut self.blocks[ppa.block.0 as usize];
+        if !matches!(block.slots[ppa.page.0 as usize], Slot::Erased) {
+            return Err(NandError::ProgramOnProgrammedPage { ppa });
+        }
+        if ppa.page.0 != block.next_program {
+            return Err(NandError::OutOfOrderProgram { ppa, expected: block.next_program });
+        }
+        let readable = fraction >= TORN_PROGRAM_READABLE_FRACTION;
+        block.slots[ppa.page.0 as usize] = Slot::Torn { data, readable };
+        block.next_program += 1;
+        self.stats.torn_programs += 1;
+        Ok(())
+    }
+
+    /// Models an erase interrupted by a power cut after `fraction` of
+    /// `tBERS` had elapsed. The block is flagged as torn-erased (always
+    /// detectable on power-up); past [`TORN_ERASE_DATA_WIPE_FRACTION`] the
+    /// old contents are additionally destroyed. Either way the block must
+    /// be re-erased before reuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BadBlock`] for an out-of-range block.
+    pub fn interrupt_erase(&mut self, block: BlockId, fraction: f64) -> Result<(), NandError> {
+        self.check_block(block)?;
+        let b = &mut self.blocks[block.0 as usize];
+        if fraction >= TORN_ERASE_DATA_WIPE_FRACTION {
+            for slot in &mut b.slots {
+                if !matches!(slot, Slot::Erased) {
+                    *slot = Slot::Destroyed;
+                }
+            }
+        }
+        b.torn_erase = true;
+        self.stats.torn_erases += 1;
+        Ok(())
+    }
+
+    /// Models a scrub (one-shot destructive reprogram) interrupted after
+    /// `fraction` of `tscrub`. Past [`TORN_SCRUB_DESTROY_FRACTION`] the
+    /// page is destroyed as intended; before it, the original data
+    /// survives untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BadAddress`] for an out-of-range address.
+    pub fn interrupt_scrub(&mut self, ppa: Ppa, fraction: f64) -> Result<(), NandError> {
+        self.check_addr(ppa)?;
+        if fraction >= TORN_SCRUB_DESTROY_FRACTION {
+            let block = &mut self.blocks[ppa.block.0 as usize];
+            block.slots[ppa.page.0 as usize] = Slot::Destroyed;
+            if ppa.page.0 >= block.next_program {
+                block.next_program = ppa.page.0 + 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the last erase of `block` was interrupted (power-up
+    /// blank-check signature). Metadata probe, not a flash operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BadBlock`] for an out-of-range block.
+    pub fn block_torn_erase(&self, block: BlockId) -> Result<bool, NandError> {
+        self.check_block(block)?;
+        Ok(self.blocks[block.0 as usize].torn_erase)
+    }
+
+    /// Whether a page holds a torn (interrupted) program. Metadata probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BadAddress`] for an out-of-range address.
+    pub fn page_is_torn(&self, ppa: Ppa) -> Result<bool, NandError> {
+        self.check_addr(ppa)?;
+        let slot = &self.blocks[ppa.block.0 as usize].slots[ppa.page.0 as usize];
+        Ok(matches!(slot, Slot::Torn { .. }))
     }
 
     /// Destroys a page's data in place (models scrubbing / one-shot
@@ -308,15 +478,7 @@ impl Chip {
     /// Raw interface dump of a whole block, as a forensic attacker sees it
     /// through standard flash commands (no FTL, no file system).
     pub fn raw_block_dump(&self, block: BlockId) -> Vec<PageContent> {
-        self.blocks[block.0 as usize]
-            .slots
-            .iter()
-            .map(|s| match s {
-                Slot::Erased => PageContent::Erased,
-                Slot::Programmed(d) => PageContent::Data(d.clone()),
-                Slot::Destroyed => PageContent::Destroyed,
-            })
-            .collect()
+        self.blocks[block.0 as usize].slots.iter().map(slot_content).collect()
     }
 }
 
@@ -404,22 +566,13 @@ mod tests {
     #[test]
     fn bad_addresses_rejected() {
         let mut chip = small_chip();
-        assert!(matches!(
-            chip.read(Ppa::new(1000, 0)),
-            Err(NandError::BadAddress { .. })
-        ));
+        assert!(matches!(chip.read(Ppa::new(1000, 0)), Err(NandError::BadAddress { .. })));
         assert!(matches!(
             chip.program(Ppa::new(0, 1000), PageData::tagged(0)),
             Err(NandError::BadAddress { .. })
         ));
-        assert!(matches!(
-            chip.erase(BlockId(1000), Nanos::ZERO),
-            Err(NandError::BadBlock { .. })
-        ));
-        assert!(matches!(
-            chip.destroy_page(Ppa::new(1000, 0)),
-            Err(NandError::BadAddress { .. })
-        ));
+        assert!(matches!(chip.erase(BlockId(1000), Nanos::ZERO), Err(NandError::BadBlock { .. })));
+        assert!(matches!(chip.destroy_page(Ppa::new(1000, 0)), Err(NandError::BadAddress { .. })));
     }
 
     #[test]
@@ -449,6 +602,58 @@ mod tests {
         assert_eq!(dump[0].data().unwrap().tag(), 7);
         assert_eq!(dump[1].data().unwrap().tag(), 8);
         assert_eq!(dump[2], PageContent::Erased);
+    }
+
+    #[test]
+    fn torn_program_occupies_slot_and_gates_on_fraction() {
+        let mut chip = small_chip();
+        let oob = PageOob { lpa: 17, secure: true, seq: 3 };
+        // Early cut: unreadable garbage.
+        chip.interrupt_program(Ppa::new(0, 0), PageData::tagged(1).with_oob(oob), 0.2).unwrap();
+        let out = chip.read(Ppa::new(0, 0)).unwrap();
+        assert_eq!(out.content, PageContent::Torn { data: None });
+        assert!(chip.page_is_torn(Ppa::new(0, 0)).unwrap());
+        assert!(chip.page_is_written(Ppa::new(0, 0)).unwrap());
+        // Late cut: partial page still decodes, OOB included.
+        chip.interrupt_program(Ppa::new(0, 1), PageData::tagged(2).with_oob(oob), 0.9).unwrap();
+        let out = chip.read(Ppa::new(0, 1)).unwrap();
+        assert!(out.content.is_torn());
+        assert_eq!(out.data().unwrap().oob(), Some(oob));
+        // The slot is occupied: erase-before-program still applies, and
+        // in-order programming continues past the torn page.
+        assert!(chip.program(Ppa::new(0, 1), PageData::tagged(3)).is_err());
+        chip.program(Ppa::new(0, 2), PageData::tagged(3)).unwrap();
+        assert_eq!(chip.stats().torn_programs, 2);
+    }
+
+    #[test]
+    fn torn_erase_flagged_and_wipes_past_threshold() {
+        let mut chip = small_chip();
+        for p in 0..2 {
+            chip.program(Ppa::new(4, p), PageData::tagged(p as u64)).unwrap();
+        }
+        // Early cut: data survives but the torn-erase signature is set.
+        chip.interrupt_erase(BlockId(4), 0.1).unwrap();
+        assert!(chip.block_torn_erase(BlockId(4)).unwrap());
+        assert!(chip.read(Ppa::new(4, 0)).unwrap().data().is_some());
+        // Late cut: data destroyed.
+        chip.interrupt_erase(BlockId(4), 0.8).unwrap();
+        assert_eq!(chip.read(Ppa::new(4, 0)).unwrap().content, PageContent::Destroyed);
+        // A clean erase clears the signature.
+        chip.erase(BlockId(4), Nanos::ZERO).unwrap();
+        assert!(!chip.block_torn_erase(BlockId(4)).unwrap());
+        assert_eq!(chip.read(Ppa::new(4, 0)).unwrap().content, PageContent::Erased);
+        assert_eq!(chip.stats().torn_erases, 2);
+    }
+
+    #[test]
+    fn torn_scrub_destroys_only_past_threshold() {
+        let mut chip = small_chip();
+        chip.program(Ppa::new(2, 0), PageData::tagged(5)).unwrap();
+        chip.interrupt_scrub(Ppa::new(2, 0), 0.3).unwrap();
+        assert_eq!(chip.read(Ppa::new(2, 0)).unwrap().data().unwrap().tag(), 5);
+        chip.interrupt_scrub(Ppa::new(2, 0), 0.7).unwrap();
+        assert_eq!(chip.read(Ppa::new(2, 0)).unwrap().content, PageContent::Destroyed);
     }
 
     #[test]

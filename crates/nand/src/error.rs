@@ -50,10 +50,9 @@ impl fmt::Display for NandError {
             NandError::ProgramOnProgrammedPage { ppa } => {
                 write!(f, "program on already-programmed page {ppa} (erase-before-program)")
             }
-            NandError::OutOfOrderProgram { ppa, expected } => write!(
-                f,
-                "out-of-order program at {ppa}, expected page index {expected}"
-            ),
+            NandError::OutOfOrderProgram { ppa, expected } => {
+                write!(f, "out-of-order program at {ppa}, expected page index {expected}")
+            }
             NandError::ReadOfErasedPage { ppa } => {
                 write!(f, "read of erased (never programmed) page {ppa}")
             }

@@ -55,7 +55,7 @@ pub use error::NandError;
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
     pub use crate::cell::{CellTech, PageType, VthState};
-    pub use crate::chip::{Chip, PageData, ReadOutput};
+    pub use crate::chip::{Chip, PageContent, PageData, PageOob, ReadOutput};
     pub use crate::ecc::EccModel;
     pub use crate::error::NandError;
     pub use crate::geometry::{BlockId, Geometry, PageId, Ppa, WordlineId};

@@ -140,11 +140,7 @@ pub fn age_wordline<R: rand::Rng + ?Sized>(
     let groups = wl.groups().to_vec();
     for (i, group) in groups.iter().enumerate() {
         let frac = if n > 1 { group.0 as f64 / (n - 1) as f64 } else { 0.0 };
-        let shift = if group.is_erased() {
-            0.0
-        } else {
-            retention_mean_shift(tech, cond, frac)
-        };
+        let shift = if group.is_erased() { 0.0 } else { retention_mean_shift(tech, cond, frac) };
         let sigma_n = base_sigma[group.0 as usize] * noise_scale;
         wl.vth_mut()[i] += sample_normal(rng, -shift, sigma_n);
     }

@@ -58,20 +58,12 @@ pub fn page_rber(dists: &StateDistributions, ty: PageType) -> f64 {
 pub fn page_rber_with_refs(dists: &StateDistributions, ty: PageType, refs: &[f64]) -> f64 {
     let tech = dists.tech();
     let n = tech.n_states();
-    (0..n)
-        .map(|s| cell_error_prob(dists, VthState(s as u8), ty, refs))
-        .sum::<f64>()
-        / n as f64
+    (0..n).map(|s| cell_error_prob(dists, VthState(s as u8), ty, refs)).sum::<f64>() / n as f64
 }
 
 /// Worst page RBER across all page types of the technology.
 pub fn worst_page_rber(dists: &StateDistributions) -> f64 {
-    dists
-        .tech()
-        .page_types()
-        .iter()
-        .map(|&ty| page_rber(dists, ty))
-        .fold(0.0, f64::max)
+    dists.tech().page_types().iter().map(|&ty| page_rber(dists, ty)).fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -152,11 +144,8 @@ mod tests {
     fn worst_page_is_one_of_the_types() {
         let dists = adjusted_states(CellTech::Tlc, Condition::cycled(1000));
         let worst = worst_page_rber(&dists);
-        let max_individual = CellTech::Tlc
-            .page_types()
-            .iter()
-            .map(|&ty| page_rber(&dists, ty))
-            .fold(0.0, f64::max);
+        let max_individual =
+            CellTech::Tlc.page_types().iter().map(|&ty| page_rber(&dists, ty)).fold(0.0, f64::max);
         assert_eq!(worst, max_individual);
     }
 

@@ -41,10 +41,8 @@ pub struct StateDistributions {
 impl StateDistributions {
     /// Nominal (fresh, zero-retention) distributions for a technology.
     pub fn nominal(tech: CellTech) -> Self {
-        let params = nominal_states(tech)
-            .into_iter()
-            .map(|(m, s)| NormalParams::new(m, s))
-            .collect();
+        let params =
+            nominal_states(tech).into_iter().map(|(m, s)| NormalParams::new(m, s)).collect();
         StateDistributions { tech, params }
     }
 
@@ -209,10 +207,7 @@ impl WordlineSim {
     /// Number of raw bit errors on page `ty` (read vs. programmed data).
     pub fn count_errors(&self, ty: PageType) -> usize {
         let read = self.read_page(ty);
-        read.iter()
-            .zip(self.expected_bits(ty))
-            .filter(|(r, e)| r != e)
-            .count()
+        read.iter().zip(self.expected_bits(ty)).filter(|(r, e)| r != e).count()
     }
 
     /// Raw bit-error rate of page `ty`.
@@ -237,10 +232,7 @@ mod tests {
         let ecc = EccModel::default();
         for &ty in CellTech::Tlc.page_types() {
             let rber = wl.rber(ty);
-            assert!(
-                rber < ecc.limit_rber(),
-                "fresh {ty} rber {rber} above ECC limit"
-            );
+            assert!(rber < ecc.limit_rber(), "fresh {ty} rber {rber} above ECC limit");
         }
     }
 
@@ -263,8 +255,7 @@ mod tests {
         let states: Vec<VthState> = (0..8).map(|i| VthState(i as u8)).collect();
         wl.program_states(&mut rng, &dists, &states);
         for &ty in CellTech::Tlc.page_types() {
-            let expect: Vec<u8> =
-                states.iter().map(|&s| state_bit(CellTech::Tlc, s, ty)).collect();
+            let expect: Vec<u8> = states.iter().map(|&s| state_bit(CellTech::Tlc, s, ty)).collect();
             assert_eq!(wl.expected_bits(ty), expect.as_slice());
         }
     }

@@ -16,12 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn tech_strategy() -> impl Strategy<Value = CellTech> {
-    prop_oneof![
-        Just(CellTech::Slc),
-        Just(CellTech::Mlc),
-        Just(CellTech::Tlc),
-        Just(CellTech::Qlc)
-    ]
+    prop_oneof![Just(CellTech::Slc), Just(CellTech::Mlc), Just(CellTech::Tlc), Just(CellTech::Qlc)]
 }
 
 proptest! {

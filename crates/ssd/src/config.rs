@@ -44,17 +44,23 @@ impl SsdConfig {
         self.channels as usize * self.chips_per_channel as usize
     }
 
-    /// Validates internal consistency.
+    /// Validates internal consistency, including the embedded
+    /// [`FtlConfig`]'s structural invariants.
     ///
     /// # Panics
     ///
-    /// Panics if the FTL chip count disagrees with the channel topology.
+    /// Panics with a descriptive message on a zero-channel or zero-chip
+    /// topology, on an FTL chip count that disagrees with the channel
+    /// topology, or on any [`FtlConfig::validate`] violation.
     pub fn validate(&self) {
+        assert!(self.channels > 0, "SsdConfig: channels must be positive");
+        assert!(self.chips_per_channel > 0, "SsdConfig: chips_per_channel must be positive");
         assert_eq!(
             self.n_chips(),
             self.ftl.n_chips,
             "channel topology and FTL chip count disagree"
         );
+        self.ftl.validate();
     }
 }
 

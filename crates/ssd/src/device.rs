@@ -15,11 +15,24 @@
 use crate::config::SsdConfig;
 use crate::timeline::Resource;
 use evanesco_core::chip::{EvanescoChip, ReadResult};
-use evanesco_ftl::executor::NandExecutor;
+use evanesco_ftl::executor::{probe_block_on, probe_page_on, BlockProbe, NandExecutor, PageProbe};
 use evanesco_ftl::GlobalPpa;
 use evanesco_nand::chip::{PageContent, PageData};
 use evanesco_nand::geometry::BlockId;
 use evanesco_nand::timing::{Nanos, TimingSpec};
+
+/// How a device command fares against an armed power cut.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum OpFate {
+    /// Finishes before the cut; carries the reserved array window.
+    Completes { start: Nanos, end: Nanos },
+    /// In flight when power drops: interrupted after this fraction of its
+    /// latency.
+    Torn(f64),
+    /// Power was already gone when the command would have started; the
+    /// chip never sees it.
+    Lost,
+}
 
 /// Accumulated chip busy time per operation class — where the device's
 /// time actually goes under each policy.
@@ -61,6 +74,16 @@ pub struct TimedExecutor {
     open_interval_sum: Nanos,
     open_interval_count: u64,
     breakdown: TimeBreakdown,
+    /// Armed power-cut instant (absolute simulated time), if any.
+    power_cut: Option<Nanos>,
+    /// True once the cut has fired: all later mutating commands are lost.
+    powered_off: bool,
+    /// Salt for the deterministic torn-state draws, derived from the cut
+    /// instant so every fault plan replays bit-identically.
+    fault_salt: u64,
+    /// False once any command in the current commit window was torn or
+    /// lost (see [`TimedExecutor::begin_commit`]).
+    window_clean: bool,
 }
 
 impl TimedExecutor {
@@ -79,6 +102,84 @@ impl TimedExecutor {
             open_interval_sum: Nanos::ZERO,
             open_interval_count: 0,
             breakdown: TimeBreakdown::default(),
+            power_cut: None,
+            powered_off: false,
+            fault_salt: 0,
+            window_clean: true,
+        }
+    }
+
+    /// Arms a power cut at absolute simulated time `at`: the command in
+    /// flight at `at` is interrupted mid-operation (leaving torn NAND
+    /// state), every later command is lost before reaching a chip, and no
+    /// further time accrues. [`TimedExecutor::power_on`] clears the cut.
+    pub fn arm_power_cut(&mut self, at: Nanos) {
+        self.power_cut = Some(at);
+        self.powered_off = false;
+        // Scramble the cut instant so nearby cuts draw unrelated torn
+        // states (the per-cell hash downstream gets a well-mixed salt).
+        self.fault_salt = at.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xE7A2_E5C0;
+    }
+
+    /// Restores power: clears any armed cut and advances every resource to
+    /// the cut instant, so post-recovery work is timed from the moment the
+    /// device came back, not from each chip's pre-cut idle point.
+    pub fn power_on(&mut self) {
+        if let Some(cut) = self.power_cut.take() {
+            for r in self.chip_res.iter_mut().chain(self.channel_res.iter_mut()) {
+                r.reserve(cut, Nanos::ZERO);
+            }
+        }
+        self.powered_off = false;
+    }
+
+    /// True once an armed cut has fired.
+    pub fn powered_off(&self) -> bool {
+        self.powered_off
+    }
+
+    /// Opens a commit window: [`TimedExecutor::commit_clean`] then reports
+    /// whether every command issued since completed before the power cut.
+    /// The emulator brackets each host request with this pair to decide
+    /// whether the request was acknowledged.
+    pub fn begin_commit(&mut self) {
+        self.window_clean = true;
+    }
+
+    /// True iff no command since [`TimedExecutor::begin_commit`] was torn
+    /// or lost to a power cut — i.e. the request's effects are durable.
+    pub fn commit_clean(&self) -> bool {
+        self.window_clean
+    }
+
+    /// Decides the fate of an array command of duration `dur` on `chip`,
+    /// reserving exactly the time that was really consumed: the full
+    /// window when it completes, the window up to the cut when torn, and
+    /// nothing when power was already gone. Returns the fate and the
+    /// consumed time (for breakdown accounting).
+    fn op_fate(&mut self, chip: usize, earliest: Nanos, dur: Nanos) -> (OpFate, Nanos) {
+        if self.powered_off {
+            self.window_clean = false;
+            return (OpFate::Lost, Nanos::ZERO);
+        }
+        let Some(cut) = self.power_cut else {
+            let (start, end) = self.chip_res[chip].reserve(earliest, dur);
+            return (OpFate::Completes { start, end }, dur);
+        };
+        let start = self.chip_res[chip].busy_until().max(earliest);
+        if start >= cut {
+            self.powered_off = true;
+            self.window_clean = false;
+            (OpFate::Lost, Nanos::ZERO)
+        } else if start + dur > cut {
+            let partial = cut - start;
+            self.chip_res[chip].reserve(earliest, partial);
+            self.powered_off = true;
+            self.window_clean = false;
+            (OpFate::Torn(partial.0 as f64 / dur.0 as f64), partial)
+        } else {
+            let (start, end) = self.chip_res[chip].reserve(earliest, dur);
+            (OpFate::Completes { start, end }, dur)
         }
     }
 
@@ -124,10 +225,7 @@ impl TimedExecutor {
     /// Mean erase→first-program gap (open interval) observed so far, if any
     /// block was reused after an erase.
     pub fn mean_open_interval(&self) -> Option<Nanos> {
-        self.open_interval_sum
-            .0
-            .checked_div(self.open_interval_count)
-            .map(Nanos)
+        self.open_interval_sum.0.checked_div(self.open_interval_count).map(Nanos)
     }
 
     fn reserve_chip(&mut self, chip: usize, dur: Nanos) -> (Nanos, Nanos) {
@@ -137,11 +235,17 @@ impl TimedExecutor {
 
 impl NandExecutor for TimedExecutor {
     fn read(&mut self, at: GlobalPpa) -> Option<PageData> {
-        let (_, array_end) = self.reserve_chip(at.chip, self.timing.t_read);
-        let ch = self.channel_of(at.chip);
-        self.channel_res[ch].reserve(array_end, self.timing.t_xfer_page);
-        self.breakdown.read += self.timing.t_read;
-        self.breakdown.xfer += self.timing.t_xfer_page;
+        let (fate, consumed) = self.op_fate(at.chip, Nanos::ZERO, self.timing.t_read);
+        self.breakdown.read += consumed;
+        if let OpFate::Completes { end, .. } = fate {
+            let ch = self.channel_of(at.chip);
+            self.channel_res[ch].reserve(end, self.timing.t_xfer_page);
+            self.breakdown.xfer += self.timing.t_xfer_page;
+        }
+        // The array stays readable through the discharge: the read is
+        // performed even when its window crossed the cut, so in-flight FTL
+        // logic (e.g. a GC copy loop) sees consistent data. Its RAM-side
+        // effects are discarded at recovery; only mutations are gated.
         let out = self.chips[at.chip].read(at.ppa).expect("FTL issues in-range reads");
         match out.result {
             ReadResult::Locked => None,
@@ -151,46 +255,139 @@ impl NandExecutor for TimedExecutor {
     }
 
     fn program(&mut self, at: GlobalPpa, data: PageData) {
-        // Data-in transfer on the channel, then the array program.
-        let ch = self.channel_of(at.chip);
-        let (_, xfer_end) = self.channel_res[ch].reserve(Nanos::ZERO, self.timing.t_xfer_page);
-        let (start, _) = self.chip_res[at.chip].reserve(xfer_end, self.timing.t_prog);
-        self.breakdown.program += self.timing.t_prog;
-        self.breakdown.xfer += self.timing.t_xfer_page;
-        // Track the open interval on the first program after an erase.
-        if at.ppa.page.0 == 0 {
-            if let Some(erased_at) = self.chips[at.chip].last_erase_at(at.ppa.block) {
-                self.open_interval_sum += start.saturating_sub(erased_at);
-                self.open_interval_count += 1;
-            }
+        if self.powered_off {
+            self.window_clean = false;
+            return;
         }
-        self.chips[at.chip].program(at.ppa, data).expect("FTL issues legal programs");
+        // Data-in transfer on the channel, then the array program. A cut
+        // during the transfer means the array never saw the data: the
+        // program is lost outright, not torn.
+        let ch = self.channel_of(at.chip);
+        let xfer_start = self.channel_res[ch].busy_until();
+        let xfer_end = match self.power_cut {
+            Some(cut) if xfer_start >= cut => {
+                self.powered_off = true;
+                self.window_clean = false;
+                return;
+            }
+            Some(cut) if xfer_start + self.timing.t_xfer_page > cut => {
+                self.channel_res[ch].reserve(Nanos::ZERO, cut - xfer_start);
+                self.breakdown.xfer += cut - xfer_start;
+                self.powered_off = true;
+                self.window_clean = false;
+                return;
+            }
+            _ => {
+                let (_, end) = self.channel_res[ch].reserve(Nanos::ZERO, self.timing.t_xfer_page);
+                self.breakdown.xfer += self.timing.t_xfer_page;
+                end
+            }
+        };
+        let (fate, consumed) = self.op_fate(at.chip, xfer_end, self.timing.t_prog);
+        self.breakdown.program += consumed;
+        match fate {
+            OpFate::Completes { start, .. } => {
+                // Track the open interval on the first program after an erase.
+                if at.ppa.page.0 == 0 {
+                    if let Some(erased_at) = self.chips[at.chip].last_erase_at(at.ppa.block) {
+                        self.open_interval_sum += start.saturating_sub(erased_at);
+                        self.open_interval_count += 1;
+                    }
+                }
+                self.chips[at.chip].program(at.ppa, data).expect("FTL issues legal programs");
+            }
+            OpFate::Torn(fraction) => {
+                self.chips[at.chip]
+                    .interrupt_program(at.ppa, data, fraction)
+                    .expect("FTL issues legal programs");
+            }
+            OpFate::Lost => {}
+        }
     }
 
     fn erase(&mut self, chip: usize, block: BlockId) {
-        let (_, end) = self.reserve_chip(chip, self.timing.t_bers);
-        self.breakdown.erase += self.timing.t_bers;
-        // Record the erase *completion* time: the open interval is the gap
-        // between an erase finishing and the first program starting.
-        self.chips[chip].erase(block, end).expect("FTL erases in-range blocks");
+        let (fate, consumed) = self.op_fate(chip, Nanos::ZERO, self.timing.t_bers);
+        self.breakdown.erase += consumed;
+        match fate {
+            OpFate::Completes { end, .. } => {
+                // Record the erase *completion* time: the open interval is
+                // the gap between an erase finishing and the first program
+                // starting.
+                self.chips[chip].erase(block, end).expect("FTL erases in-range blocks");
+            }
+            OpFate::Torn(fraction) => {
+                let salt = self.fault_salt;
+                self.chips[chip]
+                    .interrupt_erase(block, fraction, salt)
+                    .expect("FTL erases in-range blocks");
+            }
+            OpFate::Lost => {}
+        }
     }
 
     fn p_lock(&mut self, at: GlobalPpa) {
-        self.reserve_chip(at.chip, self.timing.t_plock);
-        self.breakdown.plock += self.timing.t_plock;
-        self.chips[at.chip].p_lock(at.ppa).expect("FTL locks programmed pages");
+        let (fate, consumed) = self.op_fate(at.chip, Nanos::ZERO, self.timing.t_plock);
+        self.breakdown.plock += consumed;
+        match fate {
+            OpFate::Completes { .. } => {
+                self.chips[at.chip].p_lock(at.ppa).expect("FTL locks programmed pages");
+            }
+            OpFate::Torn(fraction) => {
+                let salt = self.fault_salt;
+                self.chips[at.chip]
+                    .interrupt_p_lock(at.ppa, fraction, salt)
+                    .expect("FTL locks programmed pages");
+            }
+            OpFate::Lost => {}
+        }
     }
 
     fn b_lock(&mut self, chip: usize, block: BlockId) {
-        self.reserve_chip(chip, self.timing.t_block);
-        self.breakdown.block += self.timing.t_block;
-        self.chips[chip].b_lock(block).expect("FTL locks in-range blocks");
+        let (fate, consumed) = self.op_fate(chip, Nanos::ZERO, self.timing.t_block);
+        self.breakdown.block += consumed;
+        match fate {
+            OpFate::Completes { .. } => {
+                self.chips[chip].b_lock(block).expect("FTL locks in-range blocks");
+            }
+            OpFate::Torn(fraction) => {
+                let salt = self.fault_salt;
+                self.chips[chip]
+                    .interrupt_b_lock(block, fraction, salt)
+                    .expect("FTL locks in-range blocks");
+            }
+            OpFate::Lost => {}
+        }
     }
 
     fn scrub(&mut self, at: GlobalPpa) {
-        self.reserve_chip(at.chip, self.timing.t_scrub);
-        self.breakdown.scrub += self.timing.t_scrub;
-        self.chips[at.chip].destroy_page(at.ppa).expect("FTL scrubs in-range pages");
+        let (fate, consumed) = self.op_fate(at.chip, Nanos::ZERO, self.timing.t_scrub);
+        self.breakdown.scrub += consumed;
+        match fate {
+            OpFate::Completes { .. } => {
+                self.chips[at.chip].destroy_page(at.ppa).expect("FTL scrubs in-range pages");
+            }
+            OpFate::Torn(fraction) => {
+                self.chips[at.chip]
+                    .interrupt_scrub(at.ppa, fraction)
+                    .expect("FTL scrubs in-range pages");
+            }
+            OpFate::Lost => {}
+        }
+    }
+
+    fn probe_page(&mut self, at: GlobalPpa) -> PageProbe {
+        // Recovery runs powered-on: the scan pays one page read per probe.
+        self.reserve_chip(at.chip, self.timing.t_read);
+        self.breakdown.read += self.timing.t_read;
+        probe_page_on(&mut self.chips[at.chip], at.ppa)
+    }
+
+    fn probe_block(&mut self, chip: usize, block: BlockId) -> BlockProbe {
+        probe_block_on(&self.chips[chip], block)
+    }
+
+    fn stall(&mut self, chip: usize, dur: Nanos) {
+        self.reserve_chip(chip, dur);
     }
 }
 
@@ -270,9 +467,109 @@ mod tests {
         assert_eq!(b.xfer, t.t_xfer_page * 3);
         assert_eq!(
             b.total(),
-            t.t_read + t.t_prog * 2 + t.t_bers + t.t_plock + t.t_block + t.t_scrub
+            t.t_read
+                + t.t_prog * 2
+                + t.t_bers
+                + t.t_plock
+                + t.t_block
+                + t.t_scrub
                 + t.t_xfer_page * 3
         );
+    }
+
+    #[test]
+    fn power_cut_tears_the_inflight_program() {
+        let mut ex = exec();
+        let t = TimingSpec::paper();
+        // Array window: [tXFER, tXFER + tPROG). Cut past the halfway point
+        // of the array time leaves a torn-but-decodable page.
+        ex.arm_power_cut(t.t_xfer_page + Nanos(t.t_prog.0 * 3 / 4));
+        ex.begin_commit();
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 0)), PageData::tagged(7));
+        assert!(ex.powered_off());
+        assert!(!ex.commit_clean());
+        assert!(ex.chips()[0].page_is_torn(Ppa::new(0, 0)).unwrap());
+        // Time stops at the cut instant.
+        assert_eq!(ex.simulated_time(), t.t_xfer_page + Nanos(t.t_prog.0 * 3 / 4));
+    }
+
+    #[test]
+    fn commands_after_the_cut_never_reach_the_chips() {
+        let mut ex = exec();
+        ex.arm_power_cut(Nanos(1)); // fires on the first array command
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 0)), PageData::tagged(1));
+        assert!(ex.powered_off());
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 1)), PageData::tagged(2));
+        ex.erase(1, BlockId(0));
+        assert_eq!(ex.chips()[0].next_program_index(BlockId(0)), 0);
+        assert_eq!(ex.erase_total(), 0);
+    }
+
+    #[test]
+    fn cut_during_data_transfer_loses_the_program_outright() {
+        let mut ex = exec();
+        let t = TimingSpec::paper();
+        ex.arm_power_cut(Nanos(t.t_xfer_page.0 / 2));
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 0)), PageData::tagged(1));
+        assert!(ex.powered_off());
+        // The array never saw the data: no slot consumed, nothing torn.
+        assert!(!ex.chips()[0].page_is_written(Ppa::new(0, 0)).unwrap());
+    }
+
+    #[test]
+    fn torn_erase_carries_the_fault_salt() {
+        let mut ex = exec();
+        let t = TimingSpec::paper();
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 0)), PageData::tagged(1));
+        let busy = ex.simulated_time();
+        // Cut a fifth into the erase: data survives, signature is set.
+        ex.arm_power_cut(busy + Nanos(t.t_bers.0 / 5));
+        ex.erase(0, BlockId(0));
+        assert!(ex.powered_off());
+        assert!(ex.chips()[0].block_torn_erase(BlockId(0)).unwrap());
+    }
+
+    #[test]
+    fn power_on_advances_idle_resources_to_the_cut() {
+        let mut ex = exec();
+        ex.arm_power_cut(Nanos::from_micros(5000));
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 0)), PageData::tagged(1));
+        assert!(!ex.powered_off(), "op finished before the cut");
+        ex.erase(1, BlockId(0)); // 3.5 ms erase crosses the 5 ms cut? no: starts at 0
+        ex.power_on();
+        assert!(!ex.powered_off());
+        assert!(ex.simulated_time() >= Nanos::from_micros(5000));
+        // Post-recovery work accrues from the cut, not from idle chips.
+        let before = ex.simulated_time();
+        ex.probe_page(GlobalPpa::new(1, Ppa::new(1, 0)));
+        assert_eq!(ex.simulated_time() - before, TimingSpec::paper().t_read);
+    }
+
+    #[test]
+    fn commit_window_reports_clean_completion() {
+        let mut ex = exec();
+        ex.begin_commit();
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 0)), PageData::tagged(1));
+        assert!(ex.commit_clean(), "no cut armed: always clean");
+        ex.arm_power_cut(ex.simulated_time() + Nanos(1));
+        ex.begin_commit();
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 1)), PageData::tagged(2));
+        assert!(!ex.commit_clean());
+    }
+
+    #[test]
+    fn probes_and_stalls_account_time() {
+        let mut ex = exec();
+        let t = TimingSpec::paper();
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 0)), PageData::tagged(9));
+        let before = ex.simulated_time();
+        let probe = ex.probe_page(GlobalPpa::new(0, Ppa::new(0, 0)));
+        assert!(probe.written);
+        assert_eq!(probe.oob, None, "plain test data has no OOB");
+        let block = ex.probe_block(0, BlockId(0));
+        assert_eq!(block.next_program, 1);
+        ex.stall(0, Nanos::from_micros(50));
+        assert_eq!(ex.simulated_time() - before, t.t_read + Nanos::from_micros(50));
     }
 
     #[test]

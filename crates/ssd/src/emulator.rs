@@ -7,11 +7,12 @@
 
 use crate::config::SsdConfig;
 use crate::device::TimedExecutor;
-use crate::metrics::{LatencyHistogram, RunResult};
+use crate::metrics::{LatencyHistogram, RecoveryTotals, RunResult};
 use evanesco_core::threat::Attacker;
 use evanesco_ftl::ftl::Ftl;
 use evanesco_ftl::observer::{FtlObserver, NullObserver};
-use evanesco_ftl::{Lpa, SanitizePolicy};
+use evanesco_ftl::{Lpa, RecoveryReport, SanitizePolicy};
+use evanesco_nand::timing::Nanos;
 use std::collections::HashSet;
 
 /// An emulated flash storage device.
@@ -29,6 +30,7 @@ pub struct Emulator {
     host_ops: u64,
     write_latency: LatencyHistogram,
     trim_latency: LatencyHistogram,
+    recovery: RecoveryTotals,
 }
 
 impl Emulator {
@@ -45,9 +47,48 @@ impl Emulator {
             host_ops: 0,
             write_latency: LatencyHistogram::new(),
             trim_latency: LatencyHistogram::new(),
+            recovery: RecoveryTotals::default(),
             cfg,
             ftl,
         }
+    }
+
+    /// Schedules a power cut at absolute simulated time `at`. The device
+    /// command in flight at `at` is interrupted mid-operation, every later
+    /// command is lost before reaching a chip, and host requests submitted
+    /// after the cut fires are rejected until [`Emulator::recover`].
+    pub fn power_cut_at(&mut self, at: Nanos) {
+        self.ex.arm_power_cut(at);
+    }
+
+    /// True once a scheduled power cut has fired.
+    pub fn powered_off(&self) -> bool {
+        self.ex.powered_off()
+    }
+
+    /// Powers the device back on and runs the FTL's recovery scan (see
+    /// `evanesco_ftl::recovery`): RAM tables are rebuilt from on-flash OOB
+    /// metadata and every lock lost mid-flight is re-established before
+    /// any host request is served. Returns this scan's report; totals
+    /// (including the measured scan time) accumulate into
+    /// [`Emulator::result`].
+    pub fn recover(&mut self) -> RecoveryReport {
+        self.recover_with(&mut NullObserver)
+    }
+
+    /// [`Emulator::recover`] with an observer attached.
+    pub fn recover_with<O: FtlObserver>(&mut self, obs: &mut O) -> RecoveryReport {
+        self.ex.power_on();
+        let before = self.ex.simulated_time();
+        let report = self.ftl.recover(&mut self.ex, obs);
+        let scan_time = self.ex.simulated_time().saturating_sub(before);
+        self.recovery.absorb(&report, scan_time);
+        report
+    }
+
+    /// Accumulated recovery work so far.
+    pub fn recovery_totals(&self) -> RecoveryTotals {
+        self.recovery
     }
 
     /// The configuration.
@@ -84,21 +125,54 @@ impl Emulator {
         npages: u64,
         secure: bool,
     ) -> Vec<u64> {
+        self.write_tracked_with(obs, lpa, npages, secure).into_iter().map(|(t, _)| t).collect()
+    }
+
+    /// Writes like [`Emulator::write`] but also reports, per page, whether
+    /// the write was **acknowledged**: it completed durably before any
+    /// power cut. An unacknowledged write's data may be partially on
+    /// flash (torn) or absent entirely; either way the device owes the
+    /// host nothing for it, and recovery sanitizes any decodable secured
+    /// remnant as an orphan.
+    pub fn write_tracked(&mut self, lpa: Lpa, npages: u64, secure: bool) -> Vec<(u64, bool)> {
+        self.write_tracked_with(&mut NullObserver, lpa, npages, secure)
+    }
+
+    /// [`Emulator::write_tracked`] with an observer attached.
+    pub fn write_tracked_with<O: FtlObserver>(
+        &mut self,
+        obs: &mut O,
+        lpa: Lpa,
+        npages: u64,
+        secure: bool,
+    ) -> Vec<(u64, bool)> {
         let mut tags = Vec::with_capacity(npages as usize);
         for i in 0..npages {
             let l = lpa + i;
             let tag = self.next_tag;
             self.next_tag += 1;
-            if self.cfg.track_tags {
-                if let Some((old, was_secure)) = self.tag_of[l as usize].replace((tag, secure)) {
-                    self.stale.push((l, old, was_secure));
-                }
+            if self.ex.powered_off() {
+                tags.push((tag, false));
+                continue;
             }
+            self.ex.begin_commit();
             let before = self.ex.simulated_time();
             self.ftl.write(&mut self.ex, obs, l, secure, tag);
-            self.write_latency.record(self.ex.simulated_time().saturating_sub(before));
-            self.host_ops += 1;
-            tags.push(tag);
+            let acked = self.ex.commit_clean();
+            if acked {
+                // Tag bookkeeping follows the ack: an unacknowledged write
+                // never supersedes the previous version from the host's
+                // point of view.
+                if self.cfg.track_tags {
+                    if let Some((old, was_secure)) = self.tag_of[l as usize].replace((tag, secure))
+                    {
+                        self.stale.push((l, old, was_secure));
+                    }
+                }
+                self.write_latency.record(self.ex.simulated_time().saturating_sub(before));
+                self.host_ops += 1;
+            }
+            tags.push((tag, acked));
         }
         tags
     }
@@ -116,13 +190,21 @@ impl Emulator {
         for (i, data) in pages.into_iter().enumerate() {
             let l = lpa + i as u64;
             let tag = data.tag();
-            if self.cfg.track_tags {
-                if let Some((old, was_secure)) = self.tag_of[l as usize].replace((tag, secure)) {
-                    self.stale.push((l, old, was_secure));
-                }
+            if self.ex.powered_off() {
+                tags.push(tag);
+                continue;
             }
+            self.ex.begin_commit();
             self.ftl.write_data(&mut self.ex, &mut NullObserver, l, secure, data);
-            self.host_ops += 1;
+            if self.ex.commit_clean() {
+                if self.cfg.track_tags {
+                    if let Some((old, was_secure)) = self.tag_of[l as usize].replace((tag, secure))
+                    {
+                        self.stale.push((l, old, was_secure));
+                    }
+                }
+                self.host_ops += 1;
+            }
             tags.push(tag);
         }
         tags
@@ -136,6 +218,9 @@ impl Emulator {
     ) -> Vec<Option<evanesco_nand::chip::PageData>> {
         (0..npages)
             .map(|i| {
+                if self.ex.powered_off() {
+                    return None;
+                }
                 self.host_ops += 1;
                 self.ftl.read(&mut self.ex, lpa + i)
             })
@@ -147,6 +232,10 @@ impl Emulator {
     pub fn read(&mut self, lpa: Lpa, npages: u64) -> Vec<Option<u64>> {
         let mut out = Vec::with_capacity(npages as usize);
         for i in 0..npages {
+            if self.ex.powered_off() {
+                out.push(None);
+                continue;
+            }
             let d = self.ftl.read(&mut self.ex, lpa + i);
             self.host_ops += 1;
             out.push(d.map(|d| d.tag()));
@@ -156,23 +245,35 @@ impl Emulator {
 
     /// Trims (deletes) `npages` consecutive logical pages.
     pub fn trim(&mut self, lpa: Lpa, npages: u64) {
-        self.trim_with(&mut NullObserver, lpa, npages)
+        self.trim_with(&mut NullObserver, lpa, npages);
     }
 
     /// [`Emulator::trim`] with an observer attached.
-    pub fn trim_with<O: FtlObserver>(&mut self, obs: &mut O, lpa: Lpa, npages: u64) {
-        let lpas: Vec<Lpa> = (lpa..lpa + npages).collect();
-        if self.cfg.track_tags {
-            for &l in &lpas {
-                if let Some((old, was_secure)) = self.tag_of[l as usize].take() {
-                    self.stale.push((l, old, was_secure));
-                }
-            }
+    ///
+    /// Returns `true` when the trim was acknowledged (it completed durably
+    /// before any power cut). An unacknowledged trim may have sanitized
+    /// some of the range and not the rest; the host must re-issue it.
+    pub fn trim_with<O: FtlObserver>(&mut self, obs: &mut O, lpa: Lpa, npages: u64) -> bool {
+        if self.ex.powered_off() {
+            return false;
         }
+        let lpas: Vec<Lpa> = (lpa..lpa + npages).collect();
+        self.ex.begin_commit();
         let before = self.ex.simulated_time();
         self.ftl.trim(&mut self.ex, obs, &lpas);
-        self.trim_latency.record(self.ex.simulated_time().saturating_sub(before));
-        self.host_ops += npages;
+        let acked = self.ex.commit_clean();
+        if acked {
+            if self.cfg.track_tags {
+                for &l in &lpas {
+                    if let Some((old, was_secure)) = self.tag_of[l as usize].take() {
+                        self.stale.push((l, old, was_secure));
+                    }
+                }
+            }
+            self.trim_latency.record(self.ex.simulated_time().saturating_sub(before));
+            self.host_ops += npages;
+        }
+        acked
     }
 
     /// Switches every chip to device-mode flags (physical pAP/bAP cells;
@@ -269,6 +370,7 @@ impl Emulator {
             self.ftl.stats(),
             self.ex.lock_totals(),
             self.ex.erase_total(),
+            self.recovery,
         )
     }
 }
@@ -337,6 +439,65 @@ mod tests {
         assert!(r.iops > 0.0);
         assert!((r.waf - 1.0).abs() < 1e-9, "no GC yet: waf {}", r.waf);
         assert_eq!(r.host_ops, 8);
+    }
+
+    #[test]
+    fn power_cut_mid_workload_recovers_and_serves_acked_data() {
+        let mut s = ssd(SanitizePolicy::evanesco());
+        let first = s.write(0, 8, true);
+        let horizon = s.result().sim_time;
+        // Cut partway through a second batch of secure overwrites: some
+        // complete, one is interrupted mid-flight, the rest never reach
+        // the device.
+        s.power_cut_at(horizon + Nanos::from_micros(1800));
+        let tracked = s.write_tracked(0, 8, true);
+        assert!(s.powered_off());
+        assert!(tracked.iter().any(|&(_, a)| a), "early overwrites complete before the cut");
+        let idx = tracked
+            .iter()
+            .position(|&(_, a)| !a)
+            .expect("an 8-overwrite batch cannot finish in 1.8 ms");
+        // The dark device rejects host requests.
+        assert_eq!(s.read(0, 1), vec![None]);
+
+        let report = s.recover();
+        assert!(report.scanned_pages > 0);
+        assert!(report.rebuilt_mappings > 0);
+
+        let after = s.read(0, 8);
+        for (i, &(tag, acked)) in tracked.iter().enumerate().take(idx) {
+            assert!(acked);
+            assert_eq!(after[i], Some(tag), "acked overwrite served after recovery");
+        }
+        // The interrupted overwrite is atomic: either nothing happened
+        // (the old version is still current) or the old version was
+        // invalidated and the unacked new one was sanitized — never a
+        // half-written mix, never the new tag.
+        match after[idx] {
+            Some(t) => assert_eq!(t, first[idx], "old version or nothing"),
+            None => {
+                let rec = s.attacker_recoverable_tags();
+                assert!(
+                    !rec.contains(&first[idx]),
+                    "invalidated old version must be sanitized, not just unmapped"
+                );
+            }
+        }
+        // Overwrites after the interrupted one never reached the device.
+        for i in idx + 1..8 {
+            assert_eq!(after[i], Some(first[i]));
+        }
+        // No superseded secured version is attacker-recoverable.
+        assert!(s.verify_sanitized(0, 8));
+
+        // Recovery metrics flow into the run result.
+        let r = s.result();
+        assert_eq!(r.recovery.recoveries, 1);
+        assert!(r.recovery.scan_time > evanesco_nand::timing::Nanos::ZERO);
+        assert_eq!(r.recovery.scanned_pages, report.scanned_pages);
+
+        // The device accepts and acknowledges new work after recovery.
+        assert!(s.write_tracked(3, 1, true)[0].1);
     }
 
     #[test]

@@ -119,15 +119,18 @@ impl HostFs {
     ///
     /// * [`HostFsError::AlreadyExists`] if the name is taken;
     /// * [`HostFsError::NoSpace`] if the contents do not fit.
-    pub fn create(&mut self, name: &str, contents: &[u8], mode: OpenMode) -> Result<(), HostFsError> {
+    pub fn create(
+        &mut self,
+        name: &str,
+        contents: &[u8],
+        mode: OpenMode,
+    ) -> Result<(), HostFsError> {
         if self.files.contains_key(name) {
             return Err(HostFsError::AlreadyExists { name: name.to_string() });
         }
         let lpas = self.store(contents, mode)?;
-        self.files.insert(
-            name.to_string(),
-            FileEntry { lpas, len_bytes: contents.len() as u64, mode },
-        );
+        self.files
+            .insert(name.to_string(), FileEntry { lpas, len_bytes: contents.len() as u64, mode });
         Ok(())
     }
 
@@ -146,10 +149,8 @@ impl HostFs {
         self.trim_extent(&old.lpas);
         self.free.extend(old.lpas.iter().copied());
         let lpas = self.store(contents, mode)?;
-        self.files.insert(
-            name.to_string(),
-            FileEntry { lpas, len_bytes: contents.len() as u64, mode },
-        );
+        self.files
+            .insert(name.to_string(), FileEntry { lpas, len_bytes: contents.len() as u64, mode });
         Ok(())
     }
 
@@ -166,10 +167,8 @@ impl HostFs {
         let mut out = Vec::with_capacity(len);
         for lpa in lpas {
             let page = self.ssd.read_pages(lpa, 1).pop().flatten();
-            let payload = page
-                .as_ref()
-                .and_then(|d| d.payload())
-                .expect("mapped file page has a payload");
+            let payload =
+                page.as_ref().and_then(|d| d.payload()).expect("mapped file page has a payload");
             out.extend_from_slice(payload);
         }
         out.truncate(len);
@@ -200,10 +199,7 @@ impl HostFs {
         let mut lpas = Vec::with_capacity(n_pages);
         for i in 0..n_pages {
             let lpa = self.free.pop().expect("space checked");
-            let chunk = contents
-                .chunks(self.page_bytes)
-                .nth(i)
-                .unwrap_or(&[]);
+            let chunk = contents.chunks(self.page_bytes).nth(i).unwrap_or(&[]);
             self.ssd.write_pages(lpa, vec![PageData::with_payload(chunk)], secure);
             lpas.push(lpa);
         }
@@ -302,10 +298,7 @@ mod tests {
         let mut f = fs();
         let logical = f.ssd.logical_pages();
         let huge = vec![0u8; (logical as usize + 1) * 16 * 1024];
-        assert!(matches!(
-            f.create("huge", &huge, OpenMode::Secure),
-            Err(HostFsError::NoSpace)
-        ));
+        assert!(matches!(f.create("huge", &huge, OpenMode::Secure), Err(HostFsError::NoSpace)));
     }
 
     #[test]

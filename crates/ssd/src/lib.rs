@@ -10,7 +10,10 @@
 //!   timelines;
 //! * [`emulator::Emulator`] — the host-facing facade: writes with security
 //!   requirements, reads, trims, attacker verification, and run metrics;
-//! * [`metrics::RunResult`] — IOPS / WAF / erase / lock-mix summary.
+//! * [`metrics::RunResult`] — IOPS / WAF / erase / lock-mix / recovery
+//!   summary;
+//! * [`faultplan::FaultPlan`] — deterministic power-cut schedules for
+//!   crash-recovery testing.
 //!
 //! ```rust
 //! use evanesco_ssd::config::SsdConfig;
@@ -29,10 +32,12 @@
 pub mod config;
 pub mod device;
 pub mod emulator;
+pub mod faultplan;
 pub mod hostfs;
 pub mod metrics;
 pub mod timeline;
 
 pub use config::SsdConfig;
 pub use emulator::Emulator;
-pub use metrics::RunResult;
+pub use faultplan::FaultPlan;
+pub use metrics::{RecoveryTotals, RunResult};

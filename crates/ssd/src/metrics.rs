@@ -1,6 +1,7 @@
-//! Run-level metrics: IOPS, WAF, erases, lock mix, latency histograms.
+//! Run-level metrics: IOPS, WAF, erases, lock mix, recovery, latency
+//! histograms.
 
-use evanesco_ftl::FtlStats;
+use evanesco_ftl::{FtlStats, RecoveryReport};
 use evanesco_nand::timing::Nanos;
 
 /// A log₂-bucketed latency histogram (nanosecond samples, 48 buckets up to
@@ -64,6 +65,72 @@ impl Default for LatencyHistogram {
     }
 }
 
+/// Aggregated power-up recovery work across a run (zero until the first
+/// [`crate::emulator::Emulator::recover`] call).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryTotals {
+    /// Number of recovery scans performed.
+    pub recoveries: u64,
+    /// Simulated device time spent scanning and re-locking.
+    pub scan_time: Nanos,
+    /// Occupied pages probed across all scans.
+    pub scanned_pages: u64,
+    /// Logical mappings rebuilt from OOB metadata.
+    pub rebuilt_mappings: u64,
+    /// Torn writes found (programs interrupted by a power cut).
+    pub torn_writes: u64,
+    /// Decodable torn *secured* writes sanitized as unacknowledged orphans.
+    pub orphaned_pages: u64,
+    /// Torn `pLock`s completed.
+    pub relocked_pages: u64,
+    /// Torn `bLock`s re-issued.
+    pub reissued_blocks: u64,
+    /// Torn-erase blocks re-erased before serving the host.
+    pub resealed_blocks: u64,
+    /// Stale secured versions sanitized after the mapping contest.
+    pub stale_secured: u64,
+    /// Lock commands re-issued after a verify failure.
+    pub lock_retries: u64,
+    /// Locks replaced by a destructive scrub after the retry budget.
+    pub lock_fallbacks: u64,
+}
+
+impl RecoveryTotals {
+    /// Folds one scan's report (and its measured device time) in.
+    pub fn absorb(&mut self, r: &RecoveryReport, scan_time: Nanos) {
+        self.recoveries += 1;
+        self.scan_time += scan_time;
+        self.scanned_pages += r.scanned_pages;
+        self.rebuilt_mappings += r.rebuilt_mappings;
+        self.torn_writes += r.torn_writes;
+        self.orphaned_pages += r.orphaned_pages;
+        self.relocked_pages += r.relocked_pages;
+        self.reissued_blocks += r.reissued_blocks;
+        self.resealed_blocks += r.resealed_blocks;
+        self.stale_secured += r.stale_secured;
+        self.lock_retries += r.lock_retries;
+        self.lock_fallbacks += r.lock_fallbacks;
+    }
+
+    /// Difference against an earlier snapshot of the same run.
+    pub fn since(&self, earlier: &RecoveryTotals) -> RecoveryTotals {
+        RecoveryTotals {
+            recoveries: self.recoveries - earlier.recoveries,
+            scan_time: self.scan_time.saturating_sub(earlier.scan_time),
+            scanned_pages: self.scanned_pages - earlier.scanned_pages,
+            rebuilt_mappings: self.rebuilt_mappings - earlier.rebuilt_mappings,
+            torn_writes: self.torn_writes - earlier.torn_writes,
+            orphaned_pages: self.orphaned_pages - earlier.orphaned_pages,
+            relocked_pages: self.relocked_pages - earlier.relocked_pages,
+            reissued_blocks: self.reissued_blocks - earlier.reissued_blocks,
+            resealed_blocks: self.resealed_blocks - earlier.resealed_blocks,
+            stale_secured: self.stale_secured - earlier.stale_secured,
+            lock_retries: self.lock_retries - earlier.lock_retries,
+            lock_fallbacks: self.lock_fallbacks - earlier.lock_fallbacks,
+        }
+    }
+}
+
 /// Summary of an emulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunResult {
@@ -83,11 +150,20 @@ pub struct RunResult {
     pub blocks_locked: u64,
     /// Full FTL counters.
     pub ftl: FtlStats,
+    /// Power-up recovery work (zero if the run never lost power).
+    pub recovery: RecoveryTotals,
 }
 
 impl RunResult {
     /// Builds a result from raw counters.
-    pub fn new(host_ops: u64, sim_time: Nanos, ftl: FtlStats, locks: (u64, u64), erases: u64) -> Self {
+    pub fn new(
+        host_ops: u64,
+        sim_time: Nanos,
+        ftl: FtlStats,
+        locks: (u64, u64),
+        erases: u64,
+        recovery: RecoveryTotals,
+    ) -> Self {
         let secs = sim_time.as_secs_f64();
         RunResult {
             host_ops,
@@ -98,6 +174,7 @@ impl RunResult {
             plocks: locks.0,
             blocks_locked: locks.1,
             ftl,
+            recovery,
         }
     }
 
@@ -128,6 +205,7 @@ impl RunResult {
             self.ftl.since(&earlier.ftl),
             (self.plocks - earlier.plocks, self.blocks_locked - earlier.blocks_locked),
             self.erases - earlier.erases,
+            self.recovery.since(&earlier.recovery),
         )
     }
 }
@@ -137,12 +215,16 @@ mod tests {
     use super::*;
 
     fn result(host_ops: u64, micros: u64, programs: u64, writes: u64) -> RunResult {
-        let ftl = FtlStats {
-            host_write_pages: writes,
-            nand_programs: programs,
-            ..Default::default()
-        };
-        RunResult::new(host_ops, Nanos::from_micros(micros), ftl, (0, 0), 0)
+        let ftl =
+            FtlStats { host_write_pages: writes, nand_programs: programs, ..Default::default() };
+        RunResult::new(
+            host_ops,
+            Nanos::from_micros(micros),
+            ftl,
+            (0, 0),
+            0,
+            RecoveryTotals::default(),
+        )
     }
 
     #[test]
@@ -190,6 +272,35 @@ mod tests {
         h.record(Nanos(u64::MAX));
         assert_eq!(h.count(), 2);
         assert_eq!(h.percentile(100.0), Nanos(u64::MAX));
+    }
+
+    #[test]
+    fn recovery_totals_absorb_and_since() {
+        let mut t = RecoveryTotals::default();
+        let r = RecoveryReport {
+            scanned_pages: 40,
+            rebuilt_mappings: 30,
+            torn_writes: 2,
+            orphaned_pages: 1,
+            relocked_pages: 3,
+            reissued_blocks: 1,
+            resealed_blocks: 1,
+            stale_secured: 2,
+            lock_retries: 4,
+            lock_fallbacks: 1,
+        };
+        t.absorb(&r, Nanos::from_micros(500));
+        let snapshot = t;
+        t.absorb(&r, Nanos::from_micros(700));
+        assert_eq!(t.recoveries, 2);
+        assert_eq!(t.scanned_pages, 80);
+        assert_eq!(t.scan_time, Nanos::from_micros(1200));
+        let d = t.since(&snapshot);
+        assert_eq!(d.recoveries, 1);
+        assert_eq!(d.scan_time, Nanos::from_micros(700));
+        assert_eq!(d.scanned_pages, 40);
+        assert_eq!(d.relocked_pages, 3);
+        assert_eq!(d.lock_fallbacks, 1);
     }
 
     #[test]

@@ -226,10 +226,7 @@ mod tests {
 
     #[test]
     fn contiguous_runs_split_correctly() {
-        assert_eq!(
-            FileModel::contiguous_runs(&[0, 1, 2, 5, 6, 9]),
-            vec![(0, 3), (5, 2), (9, 1)]
-        );
+        assert_eq!(FileModel::contiguous_runs(&[0, 1, 2, 5, 6, 9]), vec![(0, 3), (5, 2), (9, 1)]);
         assert_eq!(FileModel::contiguous_runs(&[]), vec![]);
         assert_eq!(FileModel::contiguous_runs(&[7]), vec![(7, 1)]);
     }

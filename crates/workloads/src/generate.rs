@@ -30,15 +30,17 @@ pub fn generate(
     seed: u64,
 ) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);
+    // Reads draw from their own stream so the number of interleaved read
+    // bursts (which varies with the read:write ratio) cannot perturb the
+    // write-side event sequence.
+    let mut read_rng = StdRng::seed_from_u64(seed ^ 0x5245_4144); // "READ"
     let mut fs = FileModel::new(logical_pages);
     let mut trace = Trace { name: spec.name.to_string(), ..Default::default() };
 
     // ---- Prefill to target utilization with file creations.
     let mut prefill_ops = Vec::new();
     while fs.utilization() < spec.target_utilization {
-        let size = sample_range(&mut rng, spec.file_pages)
-            .min(fs.free_pages())
-            .max(1);
+        let size = sample_range(&mut rng, spec.file_pages).min(fs.free_pages()).max(1);
         if fs.free_pages() == 0 {
             break;
         }
@@ -107,10 +109,17 @@ pub fn generate(
         // Interleave reads by volume ratio.
         read_credit += pages as f64 * spec.reads_per_write;
         while read_credit >= 1.0 {
-            let Some(id) = fs.random_file(&mut rng) else { break };
+            let Some(id) = fs.random_file(&mut read_rng) else { break };
             let f = fs.file(id).expect("live");
-            let n = sample_range(&mut rng, spec.write_pages).min(f.lpas.len() as u64).max(1);
-            let start = rng.gen_range(0..f.lpas.len() - (n as usize - 1));
+            // Cap the burst at the outstanding credit: otherwise a single
+            // large-file read (Mobile reads up to 512 pages against a 0.02
+            // ratio) overshoots the requested read volume by orders of
+            // magnitude.
+            let n = sample_range(&mut read_rng, spec.write_pages)
+                .min(read_credit.ceil() as u64)
+                .min(f.lpas.len() as u64)
+                .max(1);
+            let start = read_rng.gen_range(0..f.lpas.len() - (n as usize - 1));
             let lpas = &f.lpas[start..start + n as usize];
             for (lpa, len) in FileModel::contiguous_runs(lpas) {
                 trace.ops.push(TraceOp::Read { lpa, npages: len });
@@ -155,7 +164,13 @@ fn emit_write(ops: &mut Vec<TraceOp>, fs: &FileModel, id: u32, overwrite: bool) 
     emit_runs(ops, id, &f.lpas.clone(), f.secure, overwrite)
 }
 
-fn emit_runs(ops: &mut Vec<TraceOp>, file: u32, lpas: &[Lpa], secure: bool, overwrite: bool) -> u64 {
+fn emit_runs(
+    ops: &mut Vec<TraceOp>,
+    file: u32,
+    lpas: &[Lpa],
+    secure: bool,
+    overwrite: bool,
+) -> u64 {
     for (lpa, npages) in FileModel::contiguous_runs(lpas) {
         ops.push(TraceOp::Write { file, lpa, npages, secure, overwrite });
     }
@@ -257,10 +272,7 @@ mod tests {
         let db = generate(&WorkloadSpec::db_server(), LOGICAL, 3000, 1);
         let mobile = generate(&WorkloadSpec::mobile(), LOGICAL, 3000, 1);
         let count_ow = |t: &Trace| {
-            t.ops
-                .iter()
-                .filter(|op| matches!(op, TraceOp::Write { overwrite: true, .. }))
-                .count()
+            t.ops.iter().filter(|op| matches!(op, TraceOp::Write { overwrite: true, .. })).count()
         };
         assert!(count_ow(&db) > 0);
         assert_eq!(count_ow(&mobile), 0);

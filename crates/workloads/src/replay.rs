@@ -32,11 +32,7 @@ pub fn replay(ssd: &mut Emulator, trace: &Trace) -> RunResult {
 }
 
 /// [`replay`] with an observer (e.g. [`VerTrace`]) attached to both phases.
-pub fn replay_with<O: ReplayObserver>(
-    ssd: &mut Emulator,
-    trace: &Trace,
-    obs: &mut O,
-) -> RunResult {
+pub fn replay_with<O: ReplayObserver>(ssd: &mut Emulator, trace: &Trace, obs: &mut O) -> RunResult {
     for op in &trace.prefill {
         apply(ssd, obs, op);
     }

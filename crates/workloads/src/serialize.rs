@@ -148,10 +148,7 @@ T 1 0 4
         assert_eq!(t.name, "handmade");
         assert_eq!(t.prefill.len(), 1);
         assert_eq!(t.ops.len(), 2);
-        assert_eq!(
-            t.ops[1],
-            TraceOp::Trim { file: 1, lpa: 0, npages: 4 }
-        );
+        assert_eq!(t.ops[1], TraceOp::Trim { file: 1, lpa: 0, npages: 4 });
     }
 
     #[test]

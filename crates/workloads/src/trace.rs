@@ -162,7 +162,13 @@ mod tests {
     fn write_page_accounting() {
         let t = Trace {
             name: "t".into(),
-            prefill: vec![TraceOp::Write { file: 0, lpa: 0, npages: 4, secure: true, overwrite: false }],
+            prefill: vec![TraceOp::Write {
+                file: 0,
+                lpa: 0,
+                npages: 4,
+                secure: true,
+                overwrite: false,
+            }],
             ops: vec![
                 TraceOp::Write { file: 0, lpa: 4, npages: 2, secure: true, overwrite: false },
                 TraceOp::Read { lpa: 0, npages: 8 },

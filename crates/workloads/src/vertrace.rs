@@ -162,10 +162,8 @@ impl VerTrace {
             }
             let n = class.len() as f64;
             let vafs: Vec<f64> = class.iter().map(|f| f.vaf()).collect();
-            let tins: Vec<f64> = class
-                .iter()
-                .map(|f| f.insecure_ticks as f64 / capacity_pages as f64)
-                .collect();
+            let tins: Vec<f64> =
+                class.iter().map(|f| f.insecure_ticks as f64 / capacity_pages as f64).collect();
             ClassStats {
                 n_files: class.len() as u64,
                 vaf_avg: vafs.iter().sum::<f64>() / n,
@@ -210,10 +208,7 @@ impl VerTrace {
 impl FtlObserver for VerTrace {
     fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, _relocation: bool) {
         let Some(&file) = self.lpa_file.get(&lpa) else { return };
-        self.phys
-            .entry((at.chip, at.ppa.block.0))
-            .or_default()
-            .insert(at.ppa.page.0, (file, true));
+        self.phys.entry((at.chip, at.ppa.block.0)).or_default().insert(at.ppa.page.0, (file, true));
         self.files.entry(file).or_default().valid += 1;
         self.note_change(file);
     }

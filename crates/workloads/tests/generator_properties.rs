@@ -9,14 +9,14 @@ use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
     (
-        0.0f64..2.0,   // reads_per_write
-        1u32..60,      // create weight
-        0u32..60,      // append weight
-        0u32..60,      // overwrite weight
-        0u32..60,      // delete weight
-        1u64..8,       // write size lo
-        0u64..24,      // write size extra
-        0.0f64..1.0,   // secure fraction
+        0.0f64..2.0, // reads_per_write
+        1u32..60,    // create weight
+        0u32..60,    // append weight
+        0u32..60,    // overwrite weight
+        0u32..60,    // delete weight
+        1u64..8,     // write size lo
+        0u64..24,    // write size extra
+        0.0f64..1.0, // secure fraction
     )
         .prop_map(|(rpw, c, a, o, d, lo, extra, sf)| WorkloadSpec {
             name: "prop",

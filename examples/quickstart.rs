@@ -20,10 +20,7 @@ fn main() {
     // Delete it. The FTL locks the pages the moment they are invalidated.
     ssd.trim(0, 4);
     let r = ssd.result();
-    println!(
-        "deleted; lock commands issued: {} pLock / {} bLock",
-        r.plocks, r.blocks_locked
-    );
+    println!("deleted; lock commands issued: {} pLock / {} bLock", r.plocks, r.blocks_locked);
 
     // A maximally-capable attacker (de-soldered chips, raw interface access,
     // all keys) cannot recover any deleted version.

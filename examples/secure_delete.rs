@@ -25,10 +25,7 @@ fn main() {
 
     // The user deletes photo A. One trim, immediate locks.
     ssd.trim(0, 3);
-    println!(
-        "deleted photo A ({} pLocks issued so far)",
-        ssd.result().plocks
-    );
+    println!("deleted photo A ({} pLocks issued so far)", ssd.result().plocks);
 
     // The phone is stolen. The attacker de-solders every chip and dumps it.
     let attacker = Attacker::new();

@@ -1,0 +1,151 @@
+//! Edge-case tests for configuration validation: every structural
+//! invariant of [`FtlConfig::validate`] and [`SsdConfig::validate`] must
+//! reject its violation with a descriptive panic, and the shipped presets
+//! must all pass.
+
+use evanesco::ftl::FtlConfig;
+use evanesco::ssd::SsdConfig;
+
+fn tiny_ftl() -> FtlConfig {
+    FtlConfig::tiny_for_tests()
+}
+
+#[test]
+fn shipped_presets_validate() {
+    FtlConfig::paper().validate();
+    FtlConfig::paper_scaled(32).validate();
+    FtlConfig::tiny_for_tests().validate();
+    SsdConfig::paper().validate();
+    SsdConfig::scaled(32).validate();
+    SsdConfig::tiny_for_tests().validate();
+}
+
+// ---- FtlConfig -------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "n_chips must be positive")]
+fn ftl_rejects_zero_chips() {
+    let mut cfg = tiny_ftl();
+    cfg.n_chips = 0;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "at least one block")]
+fn ftl_rejects_zero_blocks() {
+    let mut cfg = tiny_ftl();
+    cfg.geometry.blocks = 0;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "at least one wordline")]
+fn ftl_rejects_zero_wordlines() {
+    let mut cfg = tiny_ftl();
+    cfg.geometry.wordlines_per_block = 0;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "op_ratio must be in (0, 1)")]
+fn ftl_rejects_zero_op_ratio() {
+    let mut cfg = tiny_ftl();
+    cfg.op_ratio = 0.0;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "op_ratio must be in (0, 1)")]
+fn ftl_rejects_full_op_ratio() {
+    let mut cfg = tiny_ftl();
+    cfg.op_ratio = 1.0;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "op_ratio must be in (0, 1)")]
+fn ftl_rejects_negative_op_ratio() {
+    let mut cfg = tiny_ftl();
+    cfg.op_ratio = -0.2;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "logical address space is empty")]
+fn ftl_rejects_op_ratio_that_swallows_the_address_space() {
+    let mut cfg = tiny_ftl();
+    // 768 physical pages × (1 − 0.999) rounds down to zero logical pages.
+    cfg.op_ratio = 0.999;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "gc_free_threshold must be >= 1")]
+fn ftl_rejects_zero_gc_threshold() {
+    let mut cfg = tiny_ftl();
+    cfg.gc_free_threshold = 0;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "needs more than")]
+fn ftl_rejects_gc_threshold_beyond_block_count() {
+    let mut cfg = tiny_ftl();
+    cfg.gc_free_threshold = cfg.geometry.blocks as usize;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "block_min_plocks must be >= 1")]
+fn ftl_rejects_zero_block_min_plocks() {
+    let mut cfg = tiny_ftl();
+    cfg.block_min_plocks = 0;
+    cfg.validate();
+}
+
+// ---- SsdConfig -------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "channels must be positive")]
+fn ssd_rejects_zero_channels() {
+    let mut cfg = SsdConfig::tiny_for_tests();
+    cfg.channels = 0;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "chips_per_channel must be positive")]
+fn ssd_rejects_zero_chips_per_channel() {
+    let mut cfg = SsdConfig::tiny_for_tests();
+    cfg.chips_per_channel = 0;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "channel topology and FTL chip count disagree")]
+fn ssd_rejects_topology_chip_count_mismatch() {
+    let mut cfg = SsdConfig::tiny_for_tests();
+    cfg.chips_per_channel = 2; // 4 chips vs the FTL's 2
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "gc_free_threshold must be >= 1")]
+fn ssd_validate_reaches_the_embedded_ftl_config() {
+    // Topology is consistent; the only violation sits inside the nested
+    // FtlConfig, so the panic must come from its validate().
+    let mut cfg = SsdConfig::tiny_for_tests();
+    cfg.ftl.gc_free_threshold = 0;
+    cfg.validate();
+}
+
+#[test]
+fn emulator_construction_validates_config() {
+    // Emulator::new calls validate(): a bad config cannot slip through.
+    let result = std::panic::catch_unwind(|| {
+        let mut cfg = SsdConfig::tiny_for_tests();
+        cfg.channels = 5;
+        evanesco::ssd::Emulator::new(cfg, evanesco::ftl::SanitizePolicy::evanesco())
+    });
+    assert!(result.is_err(), "Emulator must reject an inconsistent topology");
+}

@@ -33,10 +33,7 @@ fn c1_delete_is_irrecoverable_under_every_secure_policy() {
         s.trim(0, 6);
         let recoverable = s.attacker_recoverable_tags();
         for t in tags {
-            assert!(
-                !recoverable.contains(&t),
-                "{policy}: deleted tag {t} recoverable"
-            );
+            assert!(!recoverable.contains(&t), "{policy}: deleted tag {t} recoverable");
         }
         assert!(s.verify_sanitized(0, 6), "{policy}: C1 violated");
     }
