@@ -1,29 +1,54 @@
 //! Regenerates the Evanesco paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick|--smoke] [--seed N] <name>... | all
+//! experiments [--quick|--smoke|--scale NAME] [--seed N] <name>... | all
 //! ```
 //!
 //! Names: table1 table2 fig2 fig4 fig6 fig9 fig10 fig11 fig12 fig14a
 //! fig14b fig14c headline overhead ablation-k ablation-blocktrig
-//! ablation-lazy. Default scale is `full` (use `--release`!).
+//! ablation-lazy scheduler. Default scale is `full` (use `--release`!).
+//!
+//! The `scheduler` name is special: besides printing the throughput
+//! table it writes `BENCH_scheduler.json` to the current directory and
+//! exits non-zero when the queue-depth-8 speedup over the serialized
+//! baseline falls under the regression gate.
 
+use evanesco_bench::experiments::scheduler;
 use evanesco_bench::{run_experiment, Scale, EXPERIMENT_NAMES};
 
 fn main() {
     let mut scale = Scale::full();
+    let mut scale_name = "full".to_string();
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--quick" => scale = Scale::quick(),
-            "--smoke" => scale = Scale::smoke(),
+            "--quick" => {
+                scale = Scale::quick();
+                scale_name = "quick".to_string();
+            }
+            "--smoke" => {
+                scale = Scale::smoke();
+                scale_name = "smoke".to_string();
+            }
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value (full|quick|smoke)");
+                scale = match v.as_str() {
+                    "full" => Scale::full(),
+                    "quick" => Scale::quick(),
+                    "smoke" => Scale::smoke(),
+                    other => panic!("unknown scale '{other}' (full|quick|smoke)"),
+                };
+                scale_name = v;
+            }
             "--seed" => {
                 let v = args.next().expect("--seed needs a value");
                 scale.seed = v.parse().expect("--seed needs an integer");
             }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick|--smoke] [--seed N] <name>...|all");
+                eprintln!(
+                    "usage: experiments [--quick|--smoke|--scale NAME] [--seed N] <name>...|all"
+                );
                 eprintln!("names: {}", EXPERIMENT_NAMES.join(" "));
                 return;
             }
@@ -33,8 +58,29 @@ fn main() {
     if names.is_empty() || names.iter().any(|n| n == "all") {
         names = EXPERIMENT_NAMES.iter().map(|s| s.to_string()).collect();
     }
+    let mut gate_failed = false;
     for name in names {
-        println!("{}", run_experiment(&name, &scale));
+        if name == "scheduler" {
+            let report = scheduler::run(&scale, &scale_name);
+            println!("{}", report.render());
+            std::fs::write("BENCH_scheduler.json", report.to_json())
+                .expect("write BENCH_scheduler.json");
+            println!("wrote BENCH_scheduler.json");
+            if !report.gate_passes() {
+                eprintln!(
+                    "scheduler gate FAILED: qd {} speedup {:.2}x < {:.1}x",
+                    scheduler::GATE_QD,
+                    report.gate_speedup(),
+                    scheduler::GATE_MIN_SPEEDUP,
+                );
+                gate_failed = true;
+            }
+        } else {
+            println!("{}", run_experiment(&name, &scale));
+        }
         println!();
+    }
+    if gate_failed {
+        std::process::exit(1);
     }
 }

@@ -58,12 +58,13 @@ pub fn run_experiment(name: &str, scale: &Scale) -> String {
         "breakdown" => experiments::breakdown::breakdown(scale),
         "delete-latency" => experiments::latency::delete_latency(),
         "ablation-lazy" => experiments::ablation::ablation_lazy(scale),
+        "scheduler" => experiments::scheduler::scheduler(scale, "custom"),
         other => panic!("unknown experiment '{other}'; known: {EXPERIMENT_NAMES:?}"),
     }
 }
 
 /// All experiment names accepted by [`run_experiment`], in report order.
-pub const EXPERIMENT_NAMES: [&str; 21] = [
+pub const EXPERIMENT_NAMES: [&str; 22] = [
     "table2",
     "fig2",
     "table1",
@@ -85,6 +86,7 @@ pub const EXPERIMENT_NAMES: [&str; 21] = [
     "ablation-lazy",
     "ablation-gc",
     "security-flagaging",
+    "scheduler",
 ];
 
 #[cfg(test)]

@@ -82,6 +82,10 @@ impl Scale {
             let ftl = FtlConfig {
                 geometry,
                 n_chips: 2,
+                chips_per_channel: 1,
+                write_alloc: Default::default(),
+                lock_coalescing: false,
+                coalesce_window: 64,
                 op_ratio: 0.125,
                 gc_free_threshold: 2,
                 block_min_plocks: 4,

@@ -15,6 +15,21 @@ pub enum GcVictimPolicy {
     CostBenefit,
 }
 
+/// Order in which the write frontier visits chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteAlloc {
+    /// Chip-major round-robin (`0, 1, 2, …`): with multi-way channels,
+    /// consecutive pages land on *neighbouring chips of the same channel*
+    /// and their data-in transfers serialize on the shared bus.
+    RoundRobin,
+    /// Die-interleaved: the frontier alternates channels first, then ways
+    /// (`0, cpc, 1, cpc+1, …` in chip numbering), so consecutive pages
+    /// transfer over different channels and the array programs of a burst
+    /// overlap maximally (paper §6's multi-channel/multi-way parallelism).
+    #[default]
+    ChannelInterleaved,
+}
+
 /// Static configuration of an FTL instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FtlConfig {
@@ -22,6 +37,22 @@ pub struct FtlConfig {
     pub geometry: Geometry,
     /// Number of chips managed (channels × chips-per-channel).
     pub n_chips: usize,
+    /// Chips sharing one channel (bus). The FTL uses this only to order the
+    /// die-interleaved write frontier; `1` degenerates to chip-major
+    /// round-robin regardless of [`FtlConfig::write_alloc`].
+    pub chips_per_channel: usize,
+    /// Write-frontier chip order.
+    pub write_alloc: WriteAlloc,
+    /// When true, the lock manager defers `pLock`s for overwrite- and
+    /// GC-invalidated secured pages in a per-block queue (bounded by
+    /// [`FtlConfig::coalesce_window`] host writes) and promotes the batch
+    /// to a single `bLock` once every valid page of the block has died —
+    /// the paper's lock-queue merging policy. Trim-invalidated pages are
+    /// always locked synchronously (the trim ack promises durability).
+    pub lock_coalescing: bool,
+    /// Maximum host-write ticks a coalesced `pLock` may stay pending
+    /// before it is force-flushed (bounds the insecure window).
+    pub coalesce_window: u64,
     /// Over-provisioning ratio: fraction of physical capacity hidden from
     /// the logical address space (needed for GC headroom).
     pub op_ratio: f64,
@@ -49,6 +80,10 @@ impl FtlConfig {
         FtlConfig {
             geometry: Geometry::paper_tlc(),
             n_chips: 8,
+            chips_per_channel: 4,
+            write_alloc: WriteAlloc::ChannelInterleaved,
+            lock_coalescing: false,
+            coalesce_window: 64,
             op_ratio: 0.125,
             gc_free_threshold: 2,
             block_min_plocks: 4,
@@ -75,6 +110,10 @@ impl FtlConfig {
                 spare_bytes: 1024,
             },
             n_chips: 2,
+            chips_per_channel: 1,
+            write_alloc: WriteAlloc::ChannelInterleaved,
+            lock_coalescing: false,
+            coalesce_window: 64,
             op_ratio: 0.2,
             gc_free_threshold: 2,
             block_min_plocks: 4,
@@ -106,6 +145,14 @@ impl FtlConfig {
         );
         assert!(self.logical_pages() > 0, "FtlConfig: logical address space is empty");
         assert!(self.gc_free_threshold >= 1, "FtlConfig: gc_free_threshold must be >= 1");
+        assert!(self.chips_per_channel >= 1, "FtlConfig: chips_per_channel must be >= 1");
+        assert!(
+            self.n_chips.is_multiple_of(self.chips_per_channel),
+            "FtlConfig: chips_per_channel {} must divide n_chips {}",
+            self.chips_per_channel,
+            self.n_chips
+        );
+        assert!(self.coalesce_window >= 1, "FtlConfig: coalesce_window must be >= 1");
         assert!(
             (self.geometry.blocks as usize) > self.gc_free_threshold,
             "FtlConfig: gc_free_threshold {} needs more than {} blocks per chip",

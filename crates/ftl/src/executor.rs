@@ -62,6 +62,30 @@ pub trait NandExecutor {
     /// Busy-waits `dur` on a chip (lock-retry backoff). Untimed
     /// implementations ignore it.
     fn stall(&mut self, _chip: usize, _dur: Nanos) {}
+
+    // -----------------------------------------------------------------
+    // Dispatch/complete split (out-of-order host scheduling)
+    // -----------------------------------------------------------------
+    //
+    // The multi-queue scheduler dispatches independent host requests with
+    // an explicit dependency time (the moment the request's queue slot and
+    // its per-LPA predecessors are done). A timed executor must therefore
+    // distinguish *when a command chain may start* from *when it finishes*:
+    // `begin_dispatch(earliest)` opens a window whose commands start no
+    // earlier than `earliest` on their chip/channel resources, and
+    // `end_dispatch` reports the completion time of everything issued in
+    // the window. Untimed executors have no clock, so the defaults are
+    // no-ops returning time zero.
+
+    /// Opens a dispatch window: until [`NandExecutor::end_dispatch`], every
+    /// command starts no earlier than `earliest` on its resources.
+    fn begin_dispatch(&mut self, _earliest: Nanos) {}
+
+    /// Closes the dispatch window and returns the simulated completion
+    /// time of all commands issued inside it (zero on untimed executors).
+    fn end_dispatch(&mut self) -> Nanos {
+        Nanos::ZERO
+    }
 }
 
 /// Shared [`NandExecutor::probe_page`] logic over one chip.
@@ -88,19 +112,35 @@ pub fn probe_block_on(chip: &EvanescoChip, block: BlockId) -> BlockProbe {
 
 /// A plain executor over an array of Evanesco chips with no timing — used
 /// by FTL unit tests and functional (non-performance) experiments.
+///
+/// It keeps a monotonic operation counter as its clock: every NAND command
+/// advances it by one, so erase timestamps are distinct and strictly
+/// ordered no matter how calls interleave (the chips use the timestamp to
+/// order erase→program open intervals).
 #[derive(Debug, Clone)]
 pub struct MemExecutor {
     chips: Vec<EvanescoChip>,
-    now: Nanos,
+    /// Monotonic operation counter; doubles as the clock for operations
+    /// (like erase) that must record a strictly increasing timestamp.
+    ops: u64,
 }
 
 impl MemExecutor {
     /// Creates `n_chips` chips with the given geometry.
     pub fn new(geom: Geometry, n_chips: usize) -> Self {
-        MemExecutor {
-            chips: (0..n_chips).map(|_| EvanescoChip::new(geom)).collect(),
-            now: Nanos::ZERO,
-        }
+        MemExecutor { chips: (0..n_chips).map(|_| EvanescoChip::new(geom)).collect(), ops: 0 }
+    }
+
+    /// Advances the monotonic op counter and returns its new value as a
+    /// timestamp (one tick per NAND command).
+    fn tick(&mut self) -> Nanos {
+        self.ops += 1;
+        Nanos(self.ops)
+    }
+
+    /// Total NAND commands executed (the op-counter clock's current value).
+    pub fn ops_executed(&self) -> u64 {
+        self.ops
     }
 
     /// The underlying chips.
@@ -121,6 +161,7 @@ impl MemExecutor {
 
 impl NandExecutor for MemExecutor {
     fn read(&mut self, at: GlobalPpa) -> Option<PageData> {
+        self.tick();
         let out = self.chips[at.chip].read(at.ppa).expect("FTL issues in-range reads");
         match out.result {
             ReadResult::Locked => None,
@@ -130,27 +171,32 @@ impl NandExecutor for MemExecutor {
     }
 
     fn program(&mut self, at: GlobalPpa, data: PageData) {
+        self.tick();
         self.chips[at.chip].program(at.ppa, data).expect("FTL issues legal programs");
     }
 
     fn erase(&mut self, chip: usize, block: BlockId) {
-        self.now += Nanos(1);
-        self.chips[chip].erase(block, self.now).expect("FTL erases in-range blocks");
+        let now = self.tick();
+        self.chips[chip].erase(block, now).expect("FTL erases in-range blocks");
     }
 
     fn p_lock(&mut self, at: GlobalPpa) {
+        self.tick();
         self.chips[at.chip].p_lock(at.ppa).expect("FTL locks programmed pages");
     }
 
     fn b_lock(&mut self, chip: usize, block: BlockId) {
+        self.tick();
         self.chips[chip].b_lock(block).expect("FTL locks in-range blocks");
     }
 
     fn scrub(&mut self, at: GlobalPpa) {
+        self.tick();
         self.chips[at.chip].destroy_page(at.ppa).expect("FTL scrubs in-range pages");
     }
 
     fn probe_page(&mut self, at: GlobalPpa) -> PageProbe {
+        self.tick();
         probe_page_on(&mut self.chips[at.chip], at.ppa)
     }
 
@@ -184,6 +230,32 @@ mod tests {
         ex.program(at, PageData::tagged(9));
         ex.b_lock(0, BlockId(2));
         assert_eq!(ex.read(at), None);
+    }
+
+    #[test]
+    fn erase_timestamps_are_distinct_and_ordered() {
+        // The op-counter clock must hand every erase a strictly increasing
+        // timestamp even when other commands interleave arbitrarily.
+        let mut ex = MemExecutor::new(Geometry::small_tlc(), 2);
+        ex.erase(0, BlockId(0));
+        let t0 = ex.chips()[0].last_erase_at(BlockId(0)).unwrap();
+        ex.program(GlobalPpa::new(1, Ppa::new(0, 0)), PageData::tagged(1));
+        ex.read(GlobalPpa::new(1, Ppa::new(0, 0)));
+        ex.erase(1, BlockId(3));
+        let t1 = ex.chips()[1].last_erase_at(BlockId(3)).unwrap();
+        ex.erase(0, BlockId(1));
+        let t2 = ex.chips()[0].last_erase_at(BlockId(1)).unwrap();
+        assert!(t0 < t1 && t1 < t2, "erase clock must be strictly monotonic: {t0} {t1} {t2}");
+        assert_eq!(ex.ops_executed(), 5);
+    }
+
+    #[test]
+    fn dispatch_split_is_a_no_op_on_untimed_executors() {
+        let mut ex = MemExecutor::new(Geometry::small_tlc(), 1);
+        ex.begin_dispatch(Nanos(123));
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 0)), PageData::tagged(1));
+        assert_eq!(ex.end_dispatch(), Nanos::ZERO);
+        assert_eq!(ex.read(GlobalPpa::new(0, Ppa::new(0, 0))).unwrap().tag(), 1);
     }
 
     #[test]

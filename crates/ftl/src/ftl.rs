@@ -51,6 +51,8 @@ struct BlockMeta {
     state: BlockState,
     /// Live (valid + secured) pages.
     live: u32,
+    /// Invalid (dead, not yet erased) pages.
+    invalid: u32,
     /// Programmed pages since last erase.
     written: u32,
     /// Host-write tick at which the block became full (age reference for
@@ -58,10 +60,98 @@ struct BlockMeta {
     closed_at: u64,
 }
 
+impl BlockMeta {
+    const EMPTY: BlockMeta =
+        BlockMeta { state: BlockState::Free, live: 0, invalid: 0, written: 0, closed_at: 0 };
+}
+
 #[derive(Debug, Clone, Copy)]
 struct ActiveBlock {
     id: u32,
     next_page: u32,
+}
+
+/// Live-count-bucketed index over the chip's `Full` blocks, so GC victim
+/// selection is O(1) amortized instead of an O(blocks) scan per call.
+///
+/// Invariant: a block is indexed iff its state is [`BlockState::Full`], in
+/// the bucket matching its current live count.
+#[derive(Debug, Clone)]
+struct VictimIndex {
+    /// `buckets[live]` holds the Full blocks with that live count.
+    buckets: Vec<Vec<u32>>,
+    /// Per-block `(live, slot in buckets[live])` when indexed.
+    pos: Vec<Option<(u32, u32)>>,
+    /// Lower bound on the lowest non-empty bucket (advanced lazily).
+    min_live: u32,
+}
+
+impl VictimIndex {
+    fn new(blocks: u32, pages_per_block: u32) -> Self {
+        VictimIndex {
+            buckets: vec![Vec::new(); pages_per_block as usize + 1],
+            pos: vec![None; blocks as usize],
+            min_live: 0,
+        }
+    }
+
+    fn insert(&mut self, block: u32, live: u32) {
+        debug_assert!(self.pos[block as usize].is_none(), "block {block} indexed twice");
+        let bucket = &mut self.buckets[live as usize];
+        self.pos[block as usize] = Some((live, bucket.len() as u32));
+        bucket.push(block);
+        self.min_live = self.min_live.min(live);
+    }
+
+    fn remove(&mut self, block: u32) {
+        let Some((live, slot)) = self.pos[block as usize].take() else { return };
+        let bucket = &mut self.buckets[live as usize];
+        bucket.swap_remove(slot as usize);
+        if let Some(&moved) = bucket.get(slot as usize) {
+            self.pos[moved as usize] = Some((live, slot));
+        }
+    }
+
+    /// Re-buckets `block` after a live-count change (no-op if unindexed).
+    fn update(&mut self, block: u32, live: u32) {
+        if let Some((old, _)) = self.pos[block as usize] {
+            if old != live {
+                self.remove(block);
+                self.insert(block, live);
+            }
+        }
+    }
+
+    fn contains(&self, block: u32) -> bool {
+        self.pos[block as usize].is_some()
+    }
+
+    /// The indexed block with the fewest live pages, excluding fully-live
+    /// blocks and `skip` (in-flight GC victims). Ties break to the lowest
+    /// block id. Amortized O(1): `min_live` only moves down on insert and
+    /// is advanced past drained buckets here.
+    fn min_live_candidate(&mut self, skip: &std::collections::HashSet<u32>) -> Option<u32> {
+        let full_live = self.buckets.len() as u32 - 1;
+        while self.min_live < full_live && self.buckets[self.min_live as usize].is_empty() {
+            self.min_live += 1;
+        }
+        for live in self.min_live..full_live {
+            let bucket = &self.buckets[live as usize];
+            if let Some(&b) = bucket.iter().filter(|b| !skip.contains(b)).min() {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Iterates every indexed `(block, live)` pair (cost-benefit GC scans
+    /// the Full blocks only, never the whole block array).
+    fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .flat_map(|(live, bucket)| bucket.iter().map(move |&b| (b, live as u32)))
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -75,6 +165,12 @@ struct ChipState {
     /// Blocks whose live pages are being relocated right now; nested
     /// (emergency) GC passes must not pick them again.
     gc_in_progress: std::collections::HashSet<u32>,
+    /// GC victim index over the Full blocks.
+    victims: VictimIndex,
+    /// Running live (valid + secured) page count across the chip.
+    live_total: u64,
+    /// Running invalid (dead, not yet erased) page count across the chip.
+    invalid_total: u64,
 }
 
 impl ChipState {
@@ -83,20 +179,97 @@ impl ChipState {
         ChipState {
             p2l: vec![None; pages],
             status: vec![PageStatus::Free; pages],
-            blocks: vec![
-                BlockMeta { state: BlockState::Free, live: 0, written: 0, closed_at: 0 };
-                blocks as usize
-            ],
+            blocks: vec![BlockMeta::EMPTY; blocks as usize],
             free: (0..blocks).collect(),
             reclaimable: VecDeque::new(),
             active: None,
             gc_in_progress: std::collections::HashSet::new(),
+            victims: VictimIndex::new(blocks, pages_per_block),
+            live_total: 0,
+            invalid_total: 0,
         }
     }
 
     fn available_blocks(&self) -> usize {
         self.free.len() + self.reclaimable.len()
     }
+
+    /// Transitions a block's state, keeping the victim index in sync
+    /// (indexed iff `Full`).
+    fn set_block_state(&mut self, block: u32, new: BlockState) {
+        let meta = &mut self.blocks[block as usize];
+        let was_full = meta.state == BlockState::Full;
+        meta.state = new;
+        let live = meta.live;
+        match (was_full, new == BlockState::Full) {
+            (false, true) => self.victims.insert(block, live),
+            (true, false) => self.victims.remove(block),
+            _ => {}
+        }
+    }
+
+    /// Maps a page live (valid or secured), maintaining every counter.
+    /// The slot must be `Free` (normal append) or `Invalid` (recovery
+    /// re-commits scanned pages).
+    fn mark_live(&mut self, idx: usize, block: u32, lpa: Lpa, secure: bool) {
+        let old = self.status[idx];
+        debug_assert!(!old.is_live(), "double-map of physical page {idx}");
+        if old == PageStatus::Invalid {
+            self.blocks[block as usize].invalid -= 1;
+            self.invalid_total -= 1;
+        }
+        self.status[idx] = if secure { PageStatus::Secured } else { PageStatus::Valid };
+        self.p2l[idx] = Some(lpa);
+        self.blocks[block as usize].live += 1;
+        self.live_total += 1;
+        self.victims.update(block, self.blocks[block as usize].live);
+    }
+
+    /// Marks a page invalid (dead), maintaining every counter. Accepts a
+    /// live page (normal invalidation) or a `Free` slot (scrub destroying
+    /// a never-written sibling). Returns the page's previous status.
+    fn mark_invalid(&mut self, idx: usize, block: u32) -> PageStatus {
+        let old = self.status[idx];
+        debug_assert!(old != PageStatus::Invalid, "double invalidate of page {idx}");
+        if old.is_live() {
+            self.p2l[idx] = None;
+            self.blocks[block as usize].live -= 1;
+            self.live_total -= 1;
+        }
+        self.status[idx] = PageStatus::Invalid;
+        self.blocks[block as usize].invalid += 1;
+        self.invalid_total += 1;
+        self.victims.update(block, self.blocks[block as usize].live);
+        old
+    }
+
+    /// Forgets a block's pages and counters after a physical erase.
+    fn reset_block(&mut self, block: u32, pages_per_block: u32) {
+        let meta = self.blocks[block as usize];
+        self.live_total -= u64::from(meta.live);
+        self.invalid_total -= u64::from(meta.invalid);
+        self.victims.remove(block);
+        let base = (block * pages_per_block) as usize;
+        for i in 0..pages_per_block as usize {
+            self.p2l[base + i] = None;
+            self.status[base + i] = PageStatus::Free;
+        }
+        self.blocks[block as usize] = BlockMeta::EMPTY;
+    }
+}
+
+/// One block's worth of deferred `pLock`s in the coalescing queue (paper
+/// §4.3 lock-queue merge): secured pages invalidated by overwrite or GC
+/// whose locks wait for the block to die — at which point the whole batch
+/// becomes a single `bLock` — or for the age window to expire.
+#[derive(Debug, Clone)]
+struct CoalesceEntry {
+    chip: usize,
+    block: u32,
+    pages: Vec<GlobalPpa>,
+    /// Host-write tick at which the first page entered (age reference for
+    /// the bounded coalescing window).
+    since: u64,
 }
 
 /// A page-mapping FTL with pluggable sanitization policy.
@@ -106,11 +279,18 @@ pub struct Ftl {
     policy: SanitizePolicy,
     l2p: Vec<Option<GlobalPpa>>,
     chips: Vec<ChipState>,
+    /// Chip visit order of the write frontier (see [`WriteAlloc`]); the
+    /// frontier position `next_chip` indexes into this permutation.
+    chip_order: Vec<usize>,
     next_chip: usize,
     stats: FtlStats,
     /// Next program sequence number; stamped into every page's OOB so a
     /// power-up recovery scan can order versions of the same logical page.
     seq: u64,
+    /// Deferred-lock queue, oldest entry first ([`FtlConfig::lock_coalescing`]).
+    /// RAM-only: a power cut loses it, and recovery's sequence contest
+    /// re-identifies every queued page as a stale secured version to reseal.
+    pending_locks: VecDeque<CoalesceEntry>,
 }
 
 impl Ftl {
@@ -125,11 +305,29 @@ impl Ftl {
         Ftl {
             l2p: vec![None; cfg.logical_pages() as usize],
             chips: (0..cfg.n_chips).map(|_| ChipState::new(cfg.geometry.blocks, ppb)).collect(),
+            chip_order: Self::chip_order_for(&cfg),
             next_chip: 0,
             stats: FtlStats::default(),
             seq: 0,
+            pending_locks: VecDeque::new(),
             cfg,
             policy,
+        }
+    }
+
+    /// The frontier's chip visit order. With chips numbered as
+    /// `channel × cpc + way`, the die-interleaved order walks `way 0` of
+    /// every channel, then `way 1`, and so on — consecutive host pages
+    /// always cross channel boundaries, so their data-in transfers never
+    /// share a bus.
+    fn chip_order_for(cfg: &FtlConfig) -> Vec<usize> {
+        match cfg.write_alloc {
+            crate::config::WriteAlloc::RoundRobin => (0..cfg.n_chips).collect(),
+            crate::config::WriteAlloc::ChannelInterleaved => {
+                let cpc = cfg.chips_per_channel;
+                let channels = cfg.n_chips / cpc;
+                (0..cpc).flat_map(|way| (0..channels).map(move |ch| ch * cpc + way)).collect()
+            }
         }
     }
 
@@ -212,6 +410,9 @@ impl Ftl {
         assert!((lpa as usize) < self.l2p.len(), "lpa {lpa} out of logical space");
         self.stats.host_write_pages += 1;
         obs.on_host_tick();
+        if self.cfg.lock_coalescing {
+            self.flush_aged_locks(ex);
+        }
         if let Some(old) = self.l2p[lpa as usize] {
             self.invalidate_batch(ex, obs, &[old]);
         }
@@ -254,7 +455,9 @@ impl Ftl {
                 Some(_) => true,
                 None => false,
             });
-            self.invalidate_block_group(ex, obs, key.0, key.1, &group);
+            // Trim locks stay synchronous: the trim ack promises the data
+            // is sealed, so trimmed pages never enter the coalescing queue.
+            self.invalidate_block_group(ex, obs, key.0, key.1, &group, false);
         }
     }
 
@@ -264,10 +467,7 @@ impl Ftl {
 
     fn commit_mapping(&mut self, lpa: Lpa, at: GlobalPpa, secure: bool) {
         let idx = self.flat(at.ppa);
-        let chip = &mut self.chips[at.chip];
-        chip.p2l[idx] = Some(lpa);
-        chip.status[idx] = if secure { PageStatus::Secured } else { PageStatus::Valid };
-        chip.blocks[at.ppa.block.0 as usize].live += 1;
+        self.chips[at.chip].mark_live(idx, at.ppa.block.0, lpa, secure);
         self.l2p[lpa as usize] = Some(at);
     }
 
@@ -276,10 +476,17 @@ impl Ftl {
     // ---------------------------------------------------------------------
 
     fn allocate<E: NandExecutor, O: FtlObserver>(&mut self, ex: &mut E, obs: &mut O) -> GlobalPpa {
-        let chip = self.next_chip;
-        self.next_chip = (self.next_chip + 1) % self.chips.len();
+        let chip = self.chip_order[self.next_chip];
+        self.next_chip = (self.next_chip + 1) % self.chip_order.len();
         self.ensure_space(ex, obs, chip);
         self.allocate_on_chip(ex, obs, chip)
+    }
+
+    /// The chip the next host-write page will land on (frontier preview for
+    /// the out-of-order scheduler; the scheduler uses it to predict which
+    /// chip a queued write occupies before actually dispatching it).
+    pub fn peek_alloc_chip(&self) -> usize {
+        self.chip_order[self.next_chip]
     }
 
     /// Allocates the next page on a specific chip. Normally space was
@@ -304,11 +511,13 @@ impl Ftl {
         let ab = cs.active.as_mut().expect("just opened");
         let at = GlobalPpa::new(chip, Ppa { block: BlockId(ab.id), page: PageId(ab.next_page) });
         ab.next_page += 1;
-        cs.blocks[ab.id as usize].written += 1;
-        if ab.next_page == ppb {
-            cs.blocks[ab.id as usize].state = BlockState::Full;
-            cs.blocks[ab.id as usize].closed_at = self.stats.host_write_pages;
+        let full = ab.next_page == ppb;
+        let id = ab.id;
+        cs.blocks[id as usize].written += 1;
+        if full {
+            cs.blocks[id as usize].closed_at = self.stats.host_write_pages;
             cs.active = None;
+            cs.set_block_state(id, BlockState::Full);
         }
         at
     }
@@ -331,7 +540,7 @@ impl Ftl {
             panic!("chip {chip} has no block to open: over-provisioning misconfigured");
         };
         let cs = &mut self.chips[chip];
-        cs.blocks[id as usize].state = BlockState::Open;
+        cs.set_block_state(id, BlockState::Open);
         cs.active = Some(ActiveBlock { id, next_page: 0 });
     }
 
@@ -342,17 +551,16 @@ impl Ftl {
         chip: usize,
         id: u32,
     ) {
+        // A physical erase sanitizes harder than any lock: locks still
+        // queued for this block are satisfied for free.
+        if self.cfg.lock_coalescing {
+            let dropped = self.take_pending_locks(chip, id).len() as u64;
+            self.stats.coalesced_plocks += dropped;
+        }
         ex.erase(chip, BlockId(id));
         self.stats.nand_erases += 1;
         let ppb = self.cfg.geometry.pages_per_block();
-        let cs = &mut self.chips[chip];
-        let base = (id * ppb) as usize;
-        for i in 0..ppb as usize {
-            cs.p2l[base + i] = None;
-            cs.status[base + i] = PageStatus::Free;
-        }
-        cs.blocks[id as usize] =
-            BlockMeta { state: BlockState::Free, live: 0, written: 0, closed_at: 0 };
+        self.chips[chip].reset_block(id, ppb);
         obs.on_erase(chip, BlockId(id));
     }
 
@@ -392,28 +600,30 @@ impl Ftl {
         chip: usize,
     ) -> bool {
         let ppb = self.cfg.geometry.pages_per_block();
+        // Victim selection runs over the Full-block index, never the whole
+        // block array: greedy is an amortized-O(1) bucket lookup,
+        // cost-benefit an O(|Full|) scan of indexed blocks only.
         let victim = {
-            let cs = &self.chips[chip];
+            let cs = &mut self.chips[chip];
             let now = self.stats.host_write_pages;
-            let eligible = cs.blocks.iter().enumerate().filter(|(id, b)| {
-                b.state == BlockState::Full
-                    && b.live < ppb
-                    && !cs.gc_in_progress.contains(&(*id as u32))
-            });
             match self.cfg.gc_victim {
                 crate::config::GcVictimPolicy::Greedy => {
-                    eligible.min_by_key(|(_, b)| b.live).map(|(id, _)| id as u32)
+                    cs.victims.min_live_candidate(&cs.gc_in_progress)
                 }
-                crate::config::GcVictimPolicy::CostBenefit => eligible
-                    .max_by(|(_, a), (_, b)| {
-                        let score = |m: &BlockMeta| {
+                crate::config::GcVictimPolicy::CostBenefit => cs
+                    .victims
+                    .iter()
+                    .filter(|&(id, live)| live < ppb && !cs.gc_in_progress.contains(&id))
+                    .max_by(|&(a, _), &(b, _)| {
+                        let score = |id: u32| {
+                            let m = &cs.blocks[id as usize];
                             let invalid = (ppb - m.live) as f64;
                             let age = (now.saturating_sub(m.closed_at) + 1) as f64;
                             invalid * age / (m.live as f64 + 1.0)
                         };
                         score(a).partial_cmp(&score(b)).expect("finite score")
                     })
-                    .map(|(id, _)| id as u32),
+                    .map(|(id, _)| id),
             }
         };
         let Some(victim) = victim else { return false };
@@ -436,7 +646,7 @@ impl Ftl {
                 self.chips[chip].free.push_back(victim);
             } else {
                 let cs = &mut self.chips[chip];
-                cs.blocks[victim as usize].state = BlockState::Reclaimable;
+                cs.set_block_state(victim, BlockState::Reclaimable);
                 cs.reclaimable.push_back(victim);
             }
         }
@@ -476,10 +686,7 @@ impl Ftl {
 
             // Invalidate the old slot (bookkeeping only; sanitization of the
             // whole dead block happens after all copies complete).
-            let cs = &mut self.chips[chip];
-            cs.status[idx] = PageStatus::Invalid;
-            cs.p2l[idx] = None;
-            cs.blocks[block as usize].live -= 1;
+            self.chips[chip].mark_invalid(idx, block);
             if st == PageStatus::Secured {
                 secured_olds.push(old);
             }
@@ -501,15 +708,26 @@ impl Ftl {
         match self.policy {
             SanitizePolicy::None => {}
             SanitizePolicy::Evanesco { use_block } => {
-                if !secured_olds.is_empty() {
-                    if use_block && secured_olds.len() >= self.cfg.block_min_plocks {
+                // The victim is fully dead now; any locks still queued for
+                // it coalesce into this one settlement.
+                let mut all: Vec<GlobalPpa> = secured_olds.to_vec();
+                let mut queued = 0u64;
+                if self.cfg.lock_coalescing {
+                    let pending = self.take_pending_locks(chip, block);
+                    queued = pending.len() as u64;
+                    all.extend(pending);
+                }
+                if !all.is_empty() {
+                    if use_block && all.len() >= self.cfg.block_min_plocks {
                         ex.b_lock(chip, BlockId(block));
                         self.stats.blocks_locked += 1;
+                        self.stats.coalesced_plocks += queued;
                     } else {
-                        for &old in secured_olds {
+                        for &old in &all {
                             ex.p_lock(old);
                             self.stats.plocks += 1;
                         }
+                        self.stats.coalesce_flushed_plocks += queued;
                     }
                 }
             }
@@ -553,7 +771,10 @@ impl Ftl {
             }
         }
         for (chip, block, group) in groups {
-            self.invalidate_block_group(ex, obs, chip, block, &group);
+            // Overwrite invalidations are deferrable: the host never waits
+            // on them (unlike a trim ack), so they may sit in the
+            // coalescing queue.
+            self.invalidate_block_group(ex, obs, chip, block, &group, true);
         }
     }
 
@@ -564,21 +785,55 @@ impl Ftl {
         chip: usize,
         block: u32,
         group: &[GlobalPpa],
+        defer: bool,
     ) {
         // Mark invalid first, collecting the secured subset.
         let mut secured: Vec<GlobalPpa> = Vec::new();
         for &old in group {
             let idx = self.flat(old.ppa);
-            let cs = &mut self.chips[chip];
-            let st = cs.status[idx];
+            let st = self.chips[chip].status[idx];
             debug_assert!(st.is_live(), "invalidate of non-live page {old}");
-            cs.status[idx] = PageStatus::Invalid;
-            cs.p2l[idx] = None;
-            cs.blocks[block as usize].live -= 1;
+            self.chips[chip].mark_invalid(idx, block);
             if st == PageStatus::Secured {
                 secured.push(old);
             }
             obs.on_invalidate(old, self.policy.is_immediate() && st == PageStatus::Secured);
+        }
+        // Lock coalescing (Evanesco policies only): deferrable locks queue
+        // until the block dies — one bLock then covers the whole batch — or
+        // until the age window expires. Synchronous (trim) locks settle now,
+        // merging any queued locks of a block that just died.
+        if self.cfg.lock_coalescing {
+            if let SanitizePolicy::Evanesco { use_block } = self.policy {
+                let meta = self.chips[chip].blocks[block as usize];
+                let fully_dead = meta.state == BlockState::Full && meta.live == 0;
+                if defer && !fully_dead {
+                    if !secured.is_empty() {
+                        self.enqueue_pending_locks(chip, block, &secured);
+                    }
+                    return;
+                }
+                let pending =
+                    if fully_dead { self.take_pending_locks(chip, block) } else { Vec::new() };
+                let queued = pending.len() as u64;
+                let mut all = secured;
+                all.extend(pending);
+                if all.is_empty() {
+                    return;
+                }
+                if use_block && fully_dead && all.len() >= self.cfg.block_min_plocks {
+                    ex.b_lock(chip, BlockId(block));
+                    self.stats.blocks_locked += 1;
+                    self.stats.coalesced_plocks += queued;
+                } else {
+                    for &old in &all {
+                        ex.p_lock(old);
+                        self.stats.plocks += 1;
+                    }
+                    self.stats.coalesce_flushed_plocks += queued;
+                }
+                return;
+            }
         }
         if secured.is_empty() {
             return;
@@ -609,6 +864,80 @@ impl Ftl {
         }
     }
 
+    // ---------------------------------------------------------------------
+    // Lock coalescing queue
+    // ---------------------------------------------------------------------
+
+    fn enqueue_pending_locks(&mut self, chip: usize, block: u32, pages: &[GlobalPpa]) {
+        match self.pending_locks.iter_mut().find(|e| e.chip == chip && e.block == block) {
+            Some(e) => e.pages.extend_from_slice(pages),
+            None => self.pending_locks.push_back(CoalesceEntry {
+                chip,
+                block,
+                pages: pages.to_vec(),
+                since: self.stats.host_write_pages,
+            }),
+        }
+    }
+
+    /// Removes and returns the queued locks of one block (empty if none).
+    fn take_pending_locks(&mut self, chip: usize, block: u32) -> Vec<GlobalPpa> {
+        self.pending_locks
+            .iter()
+            .position(|e| e.chip == chip && e.block == block)
+            .and_then(|i| self.pending_locks.remove(i))
+            .map(|e| e.pages)
+            .unwrap_or_default()
+    }
+
+    /// Settles one queue entry *now*: promotes to `bLock` when the block is
+    /// fully dead and the batch is large enough, else issues the `pLock`s
+    /// individually.
+    fn settle_pending_entry<E: NandExecutor>(&mut self, ex: &mut E, entry: CoalesceEntry) {
+        let use_block = matches!(self.policy, SanitizePolicy::Evanesco { use_block: true });
+        let meta = self.chips[entry.chip].blocks[entry.block as usize];
+        let fully_dead =
+            meta.live == 0 && matches!(meta.state, BlockState::Full | BlockState::Reclaimable);
+        if use_block && fully_dead && entry.pages.len() >= self.cfg.block_min_plocks {
+            ex.b_lock(entry.chip, BlockId(entry.block));
+            self.stats.blocks_locked += 1;
+            self.stats.coalesced_plocks += entry.pages.len() as u64;
+        } else {
+            for &at in &entry.pages {
+                ex.p_lock(at);
+                self.stats.plocks += 1;
+            }
+            self.stats.coalesce_flushed_plocks += entry.pages.len() as u64;
+        }
+    }
+
+    /// Flushes queue entries older than the coalescing window (called once
+    /// per host write; entries are in age order, so this stops at the first
+    /// young one).
+    fn flush_aged_locks<E: NandExecutor>(&mut self, ex: &mut E) {
+        let now = self.stats.host_write_pages;
+        while let Some(front) = self.pending_locks.front() {
+            if now.saturating_sub(front.since) < self.cfg.coalesce_window {
+                break;
+            }
+            let entry = self.pending_locks.pop_front().expect("front exists");
+            self.settle_pending_entry(ex, entry);
+        }
+    }
+
+    /// Drains the whole coalescing queue (quiesce: end of run, or before a
+    /// planned shutdown). Afterwards no deferred lock is outstanding.
+    pub fn flush_coalesced<E: NandExecutor>(&mut self, ex: &mut E) {
+        while let Some(entry) = self.pending_locks.pop_front() {
+            self.settle_pending_entry(ex, entry);
+        }
+    }
+
+    /// Number of deferred `pLock`s currently queued by lock coalescing.
+    pub fn pending_coalesced_locks(&self) -> usize {
+        self.pending_locks.iter().map(|e| e.pages.len()).sum()
+    }
+
     /// erSSD: relocate all live pages of `block`, then erase it immediately.
     fn erase_based_sanitize<E: NandExecutor, O: FtlObserver>(
         &mut self,
@@ -622,8 +951,8 @@ impl Ftl {
         let cs = &mut self.chips[chip];
         if let Some(ab) = cs.active {
             if ab.id == block {
-                cs.blocks[block as usize].state = BlockState::Full;
                 cs.active = None;
+                cs.set_block_state(block, BlockState::Full);
             }
         }
         // The relocation burst can consume up to two blocks before the
@@ -693,10 +1022,7 @@ impl Ftl {
             self.stats.copied_pages += 1;
             self.commit_mapping(lpa, new_at, secure);
             obs.on_program(lpa, new_at, true);
-            let cs = &mut self.chips[chip];
-            cs.status[idx] = PageStatus::Invalid;
-            cs.p2l[idx] = None;
-            cs.blocks[block.0 as usize].live -= 1;
+            self.chips[chip].mark_invalid(idx, block.0);
             obs.on_invalidate(at, true);
         }
 
@@ -707,7 +1033,7 @@ impl Ftl {
             let at = GlobalPpa::new(chip, Ppa { block, page: p });
             let idx = self.flat(at.ppa);
             if self.chips[chip].status[idx] == PageStatus::Free {
-                self.chips[chip].status[idx] = PageStatus::Invalid;
+                self.chips[chip].mark_invalid(idx, block.0);
                 self.chips[chip].blocks[block.0 as usize].written += 1;
             }
             ex.scrub(at);
@@ -723,8 +1049,8 @@ impl Ftl {
             if ab.id == block.0 && ab.next_page <= last_destroyed {
                 ab.next_page = last_destroyed + 1;
                 if ab.next_page >= ppb {
-                    cs.blocks[block.0 as usize].state = BlockState::Full;
                     cs.active = None;
+                    cs.set_block_state(block.0, BlockState::Full);
                 }
             }
         }
@@ -756,15 +1082,20 @@ impl Ftl {
         for cs in &mut self.chips {
             cs.p2l.iter_mut().for_each(|p| *p = None);
             cs.status.iter_mut().for_each(|s| *s = PageStatus::Free);
-            cs.blocks.iter_mut().for_each(|b| {
-                *b = BlockMeta { state: BlockState::Free, live: 0, written: 0, closed_at: 0 }
-            });
+            cs.blocks.iter_mut().for_each(|b| *b = BlockMeta::EMPTY);
             cs.free.clear();
             cs.reclaimable.clear();
             cs.active = None;
             cs.gc_in_progress.clear();
+            cs.victims = VictimIndex::new(n_blocks, ppb);
+            cs.live_total = 0;
+            cs.invalid_total = 0;
         }
         self.next_chip = 0;
+        // The deferred-lock queue died with RAM. Its pages are rediscovered
+        // below as stale secured versions (sequence-contest losers) and
+        // resealed through the policy's own mechanism.
+        self.pending_locks.clear();
 
         // Best version of each logical page seen so far: (seq, at, secure).
         let mut winner: Vec<Option<(u64, GlobalPpa, bool)>> = vec![None; self.l2p.len()];
@@ -800,13 +1131,13 @@ impl Ftl {
                     let cs = &mut self.chips[chip];
                     let base = (b * ppb) as usize;
                     for i in 0..bp.next_program as usize {
-                        cs.status[base + i] = PageStatus::Invalid;
+                        cs.mark_invalid(base + i, b);
                     }
                     cs.blocks[b as usize].written = bp.next_program;
                     if bp.next_program == 0 {
                         cs.free.push_back(b);
                     } else {
-                        cs.blocks[b as usize].state = BlockState::Full;
+                        cs.set_block_state(b, BlockState::Full);
                     }
                     continue;
                 }
@@ -824,7 +1155,7 @@ impl Ftl {
                     report.scanned_pages += 1;
                     self.stats.nand_reads += 1;
                     self.chips[chip].blocks[b as usize].written += 1;
-                    self.chips[chip].status[idx] = PageStatus::Invalid;
+                    self.chips[chip].mark_invalid(idx, b);
 
                     if probe.torn {
                         report.torn_writes += 1;
@@ -860,7 +1191,7 @@ impl Ftl {
                 }
                 // Partially-written blocks are sealed, not resumed: the
                 // interrupted tail page makes in-order append unsafe.
-                self.chips[chip].blocks[b as usize].state = BlockState::Full;
+                self.chips[chip].set_block_state(b, BlockState::Full);
             }
         }
         self.seq = max_seq + 1;
@@ -877,9 +1208,10 @@ impl Ftl {
         // Phase 3: classify fully-dead blocks as reclaimable (lazy erase).
         for cs in &mut self.chips {
             for b in 0..n_blocks {
-                let meta = &mut cs.blocks[b as usize];
-                if meta.state == BlockState::Full && meta.live == 0 {
-                    meta.state = BlockState::Reclaimable;
+                if cs.blocks[b as usize].state == BlockState::Full
+                    && cs.blocks[b as usize].live == 0
+                {
+                    cs.set_block_state(b, BlockState::Reclaimable);
                     cs.reclaimable.push_back(b);
                 }
             }
@@ -1019,20 +1351,21 @@ impl Ftl {
     // Introspection for tests and experiments
     // ---------------------------------------------------------------------
 
-    /// Number of live (valid or secured) pages across all chips.
+    /// Number of live (valid or secured) pages across all chips. O(chips):
+    /// reads the running totals, no page scan.
     pub fn live_pages(&self) -> u64 {
-        self.chips.iter().map(|c| c.blocks.iter().map(|b| b.live as u64).sum::<u64>()).sum()
+        self.chips.iter().map(|c| c.live_total).sum()
     }
 
     /// Number of invalid (dead, not yet erased) pages across all chips.
+    /// O(chips): reads the running totals, no page scan.
     pub fn invalid_pages(&self) -> u64 {
-        self.chips
-            .iter()
-            .map(|c| c.status.iter().filter(|s| matches!(s, PageStatus::Invalid)).count() as u64)
-            .sum()
+        self.chips.iter().map(|c| c.invalid_total).sum()
     }
 
-    /// Verifies internal consistency (mapping tables and counters agree).
+    /// Verifies internal consistency: mapping tables, the per-block and
+    /// per-chip live/invalid counters, and the GC victim index all agree
+    /// with a ground-truth scan of the page status table.
     ///
     /// # Panics
     ///
@@ -1057,12 +1390,33 @@ impl Ftl {
         }
         assert_eq!(mapped, self.live_pages(), "live-page counter drift");
         for (ci, c) in self.chips.iter().enumerate() {
+            let mut live_sum = 0u64;
+            let mut invalid_sum = 0u64;
             for (bi, b) in c.blocks.iter().enumerate() {
                 let base = bi * ppb as usize;
                 let live =
                     (0..ppb as usize).filter(|&i| c.status[base + i].is_live()).count() as u32;
+                let invalid = (0..ppb as usize)
+                    .filter(|&i| c.status[base + i] == PageStatus::Invalid)
+                    .count() as u32;
                 assert_eq!(live, b.live, "block live count drift at chip {ci} block {bi}");
+                assert_eq!(invalid, b.invalid, "block invalid count drift at chip {ci} block {bi}");
+                live_sum += u64::from(live);
+                invalid_sum += u64::from(invalid);
+                let indexed = c.victims.contains(bi as u32);
+                assert_eq!(
+                    indexed,
+                    b.state == BlockState::Full,
+                    "victim index membership drift at chip {ci} block {bi} ({:?})",
+                    b.state
+                );
+                if indexed {
+                    let (bucket, _) = c.victims.pos[bi].expect("indexed block has a position");
+                    assert_eq!(bucket, b.live, "victim index bucket drift at chip {ci} block {bi}");
+                }
             }
+            assert_eq!(live_sum, c.live_total, "chip live total drift at chip {ci}");
+            assert_eq!(invalid_sum, c.invalid_total, "chip invalid total drift at chip {ci}");
         }
     }
 }
@@ -1590,5 +1944,149 @@ mod tests {
         assert_eq!(ftl.mapped(0), None);
         assert_eq!(ftl.stats().plocks, 1);
         ftl.check_invariants();
+    }
+
+    #[test]
+    fn channel_interleaved_frontier_crosses_channels() {
+        // 2 channels × 2 ways, chip numbering channel*cpc + way: the
+        // frontier must alternate channels (0, 2, 1, 3), not fill one
+        // channel's chips back to back.
+        let cfg = FtlConfig { n_chips: 4, chips_per_channel: 2, ..FtlConfig::tiny_for_tests() };
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::none());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        let mut order = Vec::new();
+        for l in 0..4u64 {
+            let predicted = ftl.peek_alloc_chip();
+            ftl.write(&mut ex, &mut NullObserver, l as Lpa, false, l);
+            let landed = ftl.mapped(l as Lpa).unwrap().chip;
+            assert_eq!(predicted, landed, "peek_alloc_chip must predict placement");
+            order.push(landed);
+        }
+        assert_eq!(order, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn round_robin_frontier_visits_chips_in_numbering_order() {
+        let cfg = FtlConfig {
+            n_chips: 4,
+            chips_per_channel: 2,
+            write_alloc: crate::config::WriteAlloc::RoundRobin,
+            ..FtlConfig::tiny_for_tests()
+        };
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::none());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        for l in 0..4u64 {
+            ftl.write(&mut ex, &mut NullObserver, l as Lpa, false, l);
+        }
+        let order: Vec<usize> = (0..4).map(|l| ftl.mapped(l).unwrap().chip).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn coalescing_promotes_block_death_to_single_block_lock() {
+        // A block whose secured pages die one by one (overwrites) must end
+        // with exactly one bLock and zero per-page pLocks.
+        let cfg = FtlConfig { n_chips: 1, lock_coalescing: true, ..FtlConfig::tiny_for_tests() };
+        let ppb = cfg.geometry.pages_per_block() as u64;
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::evanesco());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        for l in 0..ppb {
+            ftl.write(&mut ex, &mut NullObserver, l as Lpa, true, l);
+        }
+        for l in 0..ppb {
+            ftl.write(&mut ex, &mut NullObserver, l as Lpa, true, 100 + l);
+            ftl.check_invariants();
+        }
+        let s = ftl.stats();
+        assert_eq!(s.blocks_locked, 1, "one bLock for the whole dead block");
+        assert_eq!(s.plocks, 0, "no redundant per-page locks");
+        assert_eq!(s.coalesced_plocks, ppb - 1, "all queued locks coalesced");
+        assert_eq!(ftl.pending_coalesced_locks(), 0);
+        // The batch bLock actually seals the stale data.
+        let attacker = Attacker::new();
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[0], 0));
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[0], ppb - 1));
+    }
+
+    #[test]
+    fn coalescing_age_window_flushes_individual_plocks() {
+        // A queued lock whose block never dies must still be issued within
+        // the bounded window.
+        let cfg = FtlConfig {
+            n_chips: 1,
+            lock_coalescing: true,
+            coalesce_window: 4,
+            ..FtlConfig::tiny_for_tests()
+        };
+        let ppb = cfg.geometry.pages_per_block() as u64;
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::evanesco());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        for l in 0..ppb {
+            ftl.write(&mut ex, &mut NullObserver, l as Lpa, true, l);
+        }
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 999); // queue one lock
+        assert_eq!(ftl.pending_coalesced_locks(), 1);
+        assert_eq!(ftl.stats().plocks, 0);
+        for i in 0..6u64 {
+            ftl.write(&mut ex, &mut NullObserver, (ppb + 1 + i) as Lpa, false, 5000 + i);
+        }
+        assert_eq!(ftl.pending_coalesced_locks(), 0, "window expired");
+        let s = ftl.stats();
+        assert_eq!(s.plocks, 1);
+        assert_eq!(s.coalesce_flushed_plocks, 1);
+        assert_eq!(s.blocks_locked, 0);
+        let attacker = Attacker::new();
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[0], 0));
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn flush_coalesced_drains_the_queue_on_demand() {
+        let cfg = FtlConfig { n_chips: 1, lock_coalescing: true, ..FtlConfig::tiny_for_tests() };
+        let ppb = cfg.geometry.pages_per_block() as u64;
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::evanesco());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        for l in 0..ppb {
+            ftl.write(&mut ex, &mut NullObserver, l as Lpa, true, l);
+        }
+        ftl.write(&mut ex, &mut NullObserver, 3, true, 999);
+        assert_eq!(ftl.pending_coalesced_locks(), 1);
+        ftl.flush_coalesced(&mut ex);
+        assert_eq!(ftl.pending_coalesced_locks(), 0);
+        assert_eq!(ftl.stats().plocks, 1, "block still has live pages: pLock, not bLock");
+        let attacker = Attacker::new();
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[0], 3));
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn incremental_counters_survive_churn_gc_and_coalescing() {
+        // Heavy overwrite/trim churn with GC and coalescing enabled: the
+        // O(chips) live/invalid totals and the victim index must stay in
+        // lockstep with the ground-truth page scan the whole way.
+        let cfg =
+            FtlConfig { lock_coalescing: true, coalesce_window: 8, ..FtlConfig::tiny_for_tests() };
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::evanesco());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        let span = 200u64;
+        for i in 0..2200u64 {
+            let lpa = (i * 17 + i / 31) % span;
+            ftl.write(&mut ex, &mut NullObserver, lpa as Lpa, i % 2 == 0, i);
+            if i % 97 == 0 {
+                let t = (i % span) as Lpa;
+                ftl.trim(&mut ex, &mut NullObserver, &[t, t + 1, t + 2]);
+            }
+            if i % 256 == 0 {
+                ftl.check_invariants();
+            }
+        }
+        assert!(ftl.stats().gc_invocations > 0, "churn must exercise the victim index");
+        ftl.flush_coalesced(&mut ex);
+        assert_eq!(ftl.pending_coalesced_locks(), 0);
+        ftl.check_invariants();
+        // The O(1)-maintained aggregates agree with a fresh scan of reality.
+        let mapped = (0..span).filter(|&l| ftl.mapped(l as Lpa).is_some()).count() as u64;
+        assert_eq!(ftl.live_pages(), mapped);
+        assert!(ftl.invalid_pages() > 0);
     }
 }

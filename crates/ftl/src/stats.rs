@@ -27,6 +27,13 @@ pub struct FtlStats {
     pub scrubs: u64,
     /// Immediate block erases forced by sanitization (erSSD).
     pub sanitize_erases: u64,
+    /// Deferred `pLock`s retired *without* a per-page command: their block
+    /// was promoted to one `bLock`, or physically erased while they were
+    /// queued (lock coalescing, paper §4.3's lock-queue merge).
+    pub coalesced_plocks: u64,
+    /// Deferred `pLock`s that aged out of the coalescing window and were
+    /// issued individually after all.
+    pub coalesce_flushed_plocks: u64,
 }
 
 impl FtlStats {
@@ -64,6 +71,8 @@ impl FtlStats {
             blocks_locked: self.blocks_locked - earlier.blocks_locked,
             scrubs: self.scrubs - earlier.scrubs,
             sanitize_erases: self.sanitize_erases - earlier.sanitize_erases,
+            coalesced_plocks: self.coalesced_plocks - earlier.coalesced_plocks,
+            coalesce_flushed_plocks: self.coalesce_flushed_plocks - earlier.coalesce_flushed_plocks,
         }
     }
 }

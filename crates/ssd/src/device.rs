@@ -84,6 +84,16 @@ pub struct TimedExecutor {
     /// False once any command in the current commit window was torn or
     /// lost (see [`TimedExecutor::begin_commit`]).
     window_clean: bool,
+    /// Cached running maximum of every resource's `busy_until`, so
+    /// [`TimedExecutor::simulated_time`] is O(1) instead of an O(chips)
+    /// recompute per call (it is read on every host page).
+    horizon: Nanos,
+    /// Lower bound applied to every reservation while a dispatch window is
+    /// open (see [`NandExecutor::begin_dispatch`]).
+    dispatch_floor: Option<Nanos>,
+    /// Completion time of everything issued inside the open dispatch
+    /// window.
+    dispatch_end: Nanos,
 }
 
 impl TimedExecutor {
@@ -106,6 +116,27 @@ impl TimedExecutor {
             powered_off: false,
             fault_salt: 0,
             window_clean: true,
+            horizon: Nanos::ZERO,
+            dispatch_floor: None,
+            dispatch_end: Nanos::ZERO,
+        }
+    }
+
+    /// The dependency floor for a reservation: the caller's `earliest`,
+    /// raised to the open dispatch window's floor if one is set.
+    fn floored(&self, earliest: Nanos) -> Nanos {
+        match self.dispatch_floor {
+            Some(f) => earliest.max(f),
+            None => earliest,
+        }
+    }
+
+    /// Records a reservation's end: maintains the simulated-time horizon
+    /// and, inside a dispatch window, the window's completion time.
+    fn note_end(&mut self, end: Nanos) {
+        self.horizon = self.horizon.max(end);
+        if self.dispatch_floor.is_some() {
+            self.dispatch_end = self.dispatch_end.max(end);
         }
     }
 
@@ -129,6 +160,7 @@ impl TimedExecutor {
             for r in self.chip_res.iter_mut().chain(self.channel_res.iter_mut()) {
                 r.reserve(cut, Nanos::ZERO);
             }
+            self.horizon = self.horizon.max(cut);
         }
         self.powered_off = false;
     }
@@ -158,12 +190,14 @@ impl TimedExecutor {
     /// nothing when power was already gone. Returns the fate and the
     /// consumed time (for breakdown accounting).
     fn op_fate(&mut self, chip: usize, earliest: Nanos, dur: Nanos) -> (OpFate, Nanos) {
+        let earliest = self.floored(earliest);
         if self.powered_off {
             self.window_clean = false;
             return (OpFate::Lost, Nanos::ZERO);
         }
         let Some(cut) = self.power_cut else {
             let (start, end) = self.chip_res[chip].reserve(earliest, dur);
+            self.note_end(end);
             return (OpFate::Completes { start, end }, dur);
         };
         let start = self.chip_res[chip].busy_until().max(earliest);
@@ -173,12 +207,14 @@ impl TimedExecutor {
             (OpFate::Lost, Nanos::ZERO)
         } else if start + dur > cut {
             let partial = cut - start;
-            self.chip_res[chip].reserve(earliest, partial);
+            let (_, end) = self.chip_res[chip].reserve(earliest, partial);
+            self.note_end(end);
             self.powered_off = true;
             self.window_clean = false;
             (OpFate::Torn(partial.0 as f64 / dur.0 as f64), partial)
         } else {
             let (start, end) = self.chip_res[chip].reserve(earliest, dur);
+            self.note_end(end);
             (OpFate::Completes { start, end }, dur)
         }
     }
@@ -187,11 +223,27 @@ impl TimedExecutor {
         chip / self.chips_per_channel
     }
 
-    /// Total simulated time: when the last resource goes idle.
+    /// Total simulated time: when the last resource goes idle. O(1) — the
+    /// running maximum is maintained at every reservation.
     pub fn simulated_time(&self) -> Nanos {
-        let chips = self.chip_res.iter().map(|r| r.busy_until()).max().unwrap_or(Nanos::ZERO);
-        let chans = self.channel_res.iter().map(|r| r.busy_until()).max().unwrap_or(Nanos::ZERO);
-        chips.max(chans)
+        self.horizon
+    }
+
+    /// When `chip`'s array becomes free (scheduler input: dispatch the
+    /// next independent request to the chip that idles first).
+    pub fn chip_free_at(&self, chip: usize) -> Nanos {
+        self.chip_res[chip].busy_until()
+    }
+
+    /// Per-chip occupied time (idle gaps excluded).
+    pub fn chip_utilized(&self) -> Vec<Nanos> {
+        self.chip_res.iter().map(|r| r.utilized()).collect()
+    }
+
+    /// Per-channel occupied time (idle gaps excluded). Divide by
+    /// [`TimedExecutor::simulated_time`] for a utilization fraction.
+    pub fn channel_utilized(&self) -> Vec<Nanos> {
+        self.channel_res.iter().map(|r| r.utilized()).collect()
     }
 
     /// The chips (for attacker verification and stats).
@@ -229,7 +281,10 @@ impl TimedExecutor {
     }
 
     fn reserve_chip(&mut self, chip: usize, dur: Nanos) -> (Nanos, Nanos) {
-        self.chip_res[chip].reserve(Nanos::ZERO, dur)
+        let earliest = self.floored(Nanos::ZERO);
+        let (start, end) = self.chip_res[chip].reserve(earliest, dur);
+        self.note_end(end);
+        (start, end)
     }
 }
 
@@ -239,7 +294,8 @@ impl NandExecutor for TimedExecutor {
         self.breakdown.read += consumed;
         if let OpFate::Completes { end, .. } = fate {
             let ch = self.channel_of(at.chip);
-            self.channel_res[ch].reserve(end, self.timing.t_xfer_page);
+            let (_, xfer_end) = self.channel_res[ch].reserve(end, self.timing.t_xfer_page);
+            self.note_end(xfer_end);
             self.breakdown.xfer += self.timing.t_xfer_page;
         }
         // The array stays readable through the discharge: the read is
@@ -263,7 +319,8 @@ impl NandExecutor for TimedExecutor {
         // during the transfer means the array never saw the data: the
         // program is lost outright, not torn.
         let ch = self.channel_of(at.chip);
-        let xfer_start = self.channel_res[ch].busy_until();
+        let dep = self.floored(Nanos::ZERO);
+        let xfer_start = self.channel_res[ch].busy_until().max(dep);
         let xfer_end = match self.power_cut {
             Some(cut) if xfer_start >= cut => {
                 self.powered_off = true;
@@ -271,14 +328,16 @@ impl NandExecutor for TimedExecutor {
                 return;
             }
             Some(cut) if xfer_start + self.timing.t_xfer_page > cut => {
-                self.channel_res[ch].reserve(Nanos::ZERO, cut - xfer_start);
+                let (_, end) = self.channel_res[ch].reserve(dep, cut - xfer_start);
+                self.note_end(end);
                 self.breakdown.xfer += cut - xfer_start;
                 self.powered_off = true;
                 self.window_clean = false;
                 return;
             }
             _ => {
-                let (_, end) = self.channel_res[ch].reserve(Nanos::ZERO, self.timing.t_xfer_page);
+                let (_, end) = self.channel_res[ch].reserve(dep, self.timing.t_xfer_page);
+                self.note_end(end);
                 self.breakdown.xfer += self.timing.t_xfer_page;
                 end
             }
@@ -388,6 +447,16 @@ impl NandExecutor for TimedExecutor {
 
     fn stall(&mut self, chip: usize, dur: Nanos) {
         self.reserve_chip(chip, dur);
+    }
+
+    fn begin_dispatch(&mut self, earliest: Nanos) {
+        self.dispatch_floor = Some(earliest);
+        self.dispatch_end = earliest;
+    }
+
+    fn end_dispatch(&mut self) -> Nanos {
+        self.dispatch_floor = None;
+        self.dispatch_end
     }
 }
 
@@ -570,6 +639,49 @@ mod tests {
         assert_eq!(block.next_program, 1);
         ex.stall(0, Nanos::from_micros(50));
         assert_eq!(ex.simulated_time() - before, t.t_read + Nanos::from_micros(50));
+    }
+
+    #[test]
+    fn dispatch_window_floors_starts_and_reports_completion() {
+        let mut ex = exec();
+        let t = TimingSpec::paper();
+        ex.begin_dispatch(Nanos::from_micros(1000));
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 0)), PageData::tagged(1));
+        let done = ex.end_dispatch();
+        // Both the transfer and the array program started no earlier than
+        // the window's floor.
+        assert_eq!(done, Nanos::from_micros(1000) + t.t_xfer_page + t.t_prog);
+        assert_eq!(ex.simulated_time(), done);
+        // After the window closes, reservations are unfloored again: work
+        // on an idle chip starts at its own free time, not at the floor.
+        ex.program(GlobalPpa::new(1, Ppa::new(0, 0)), PageData::tagged(2));
+        assert_eq!(ex.chip_free_at(1), t.t_xfer_page + t.t_prog, "chip 1 never saw the floor");
+    }
+
+    #[test]
+    fn simulated_time_cache_matches_resource_maximum() {
+        let mut ex = exec();
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 0)), PageData::tagged(1));
+        ex.program(GlobalPpa::new(1, Ppa::new(0, 0)), PageData::tagged(2));
+        ex.erase(0, BlockId(1));
+        ex.read(GlobalPpa::new(1, Ppa::new(0, 0)));
+        // The 3.5 ms erase dominates chip 1's read chain, so the cached
+        // horizon must equal chip 0's free time exactly.
+        let max_chip = (0..2).map(|c| ex.chip_free_at(c)).max().unwrap();
+        assert_eq!(ex.simulated_time(), max_chip);
+        assert_eq!(ex.simulated_time(), ex.chip_free_at(0));
+    }
+
+    #[test]
+    fn utilization_getters_track_busy_time() {
+        let mut ex = exec();
+        let t = TimingSpec::paper();
+        ex.program(GlobalPpa::new(0, Ppa::new(0, 0)), PageData::tagged(1));
+        assert_eq!(ex.chip_utilized()[0], t.t_prog);
+        assert_eq!(ex.chip_utilized()[1], Nanos::ZERO);
+        assert_eq!(ex.channel_utilized()[0], t.t_xfer_page);
+        assert_eq!(ex.chip_free_at(0), t.t_xfer_page + t.t_prog);
+        assert_eq!(ex.chip_free_at(1), Nanos::ZERO);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   timelines;
 //! * [`emulator::Emulator`] — the host-facing facade: writes with security
 //!   requirements, reads, trims, attacker verification, and run metrics;
+//! * [`sched::Scheduler`] — out-of-order multi-queue (NCQ) request
+//!   scheduling with bounded queue depth and per-LPA ordering;
 //! * [`metrics::RunResult`] — IOPS / WAF / erase / lock-mix / recovery
 //!   summary;
 //! * [`faultplan::FaultPlan`] — deterministic power-cut schedules for
@@ -35,9 +37,11 @@ pub mod emulator;
 pub mod faultplan;
 pub mod hostfs;
 pub mod metrics;
+pub mod sched;
 pub mod timeline;
 
 pub use config::SsdConfig;
 pub use emulator::Emulator;
 pub use faultplan::FaultPlan;
 pub use metrics::{RecoveryTotals, RunResult};
+pub use sched::{HostOp, OpResult, SchedRun, Scheduler};

@@ -11,12 +11,15 @@ use evanesco_nand::timing::Nanos;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Resource {
     busy_until: Nanos,
+    /// Total time actually occupied (sum of reserved durations, gaps
+    /// excluded) — the numerator of this resource's utilization.
+    utilized: Nanos,
 }
 
 impl Resource {
     /// A free resource at time zero.
     pub fn new() -> Self {
-        Resource { busy_until: Nanos::ZERO }
+        Resource { busy_until: Nanos::ZERO, utilized: Nanos::ZERO }
     }
 
     /// Reserves the resource for `dur`, starting no earlier than
@@ -25,12 +28,18 @@ impl Resource {
         let start = self.busy_until.max(earliest);
         let end = start + dur;
         self.busy_until = end;
+        self.utilized += dur;
         (start, end)
     }
 
     /// When the resource becomes free.
     pub fn busy_until(&self) -> Nanos {
         self.busy_until
+    }
+
+    /// Total occupied time so far (excludes idle gaps).
+    pub fn utilized(&self) -> Nanos {
+        self.utilized
     }
 }
 
@@ -56,5 +65,14 @@ mod tests {
         assert_eq!(s, Nanos::from_micros(500));
         assert_eq!(e, Nanos::from_micros(510));
         assert_eq!(r.busy_until(), e);
+    }
+
+    #[test]
+    fn utilized_excludes_idle_gaps() {
+        let mut r = Resource::new();
+        r.reserve(Nanos::from_micros(500), Nanos::from_micros(10));
+        r.reserve(Nanos::from_micros(900), Nanos::from_micros(10));
+        assert_eq!(r.busy_until(), Nanos::from_micros(910));
+        assert_eq!(r.utilized(), Nanos::from_micros(20), "the 390 µs gap is idle, not busy");
     }
 }

@@ -564,3 +564,65 @@ fn identical_seeded_crash_runs_are_byte_identical() {
     assert!(a.contains("recoveries: "), "at least one cut must fire: {a}");
     assert_eq!(a, transcript(), "two identical seeded crash runs diverged");
 }
+
+/// Mid-coalesce power cut: the lock-coalescing queue is RAM-only, so
+/// `pLock`s deferred while a block drains toward a single `bLock` are
+/// *lost* by a power cut — the superseded secured versions they were
+/// meant to seal sit decodable on-flash when power returns. The recovery
+/// scan's mapping contest must find every such stale secured version and
+/// reseal it before the device serves the host again (PR 1's crash
+/// contract extended to the coalescing pass of this PR).
+#[test]
+fn power_cut_with_deferred_coalesced_locks_is_resealed_by_recovery() {
+    let mut cfg = SsdConfig::tiny_for_tests();
+    cfg.ftl.lock_coalescing = true;
+    // A window far wider than the trace: nothing ages out, every deferred
+    // lock is still queued (unissued) when the power dies.
+    cfg.ftl.coalesce_window = 1_000_000;
+    let mut ssd = Emulator::new(cfg, SanitizePolicy::evanesco());
+
+    // Fill one block per chip with secured data, then overwrite most of
+    // it: the old versions become secured-invalid, and their pLocks are
+    // deferred (queued toward a bLock promotion that never comes, since
+    // neither block fully dies).
+    let first = ssd.write(0, 48, true);
+    ssd.write(0, 40, true);
+    let queued = ssd.ftl().pending_coalesced_locks();
+    assert_eq!(queued, 40, "all 40 superseded versions must be deferred, not locked");
+    // The deferral is real: before any flush, a de-soldering attacker can
+    // still read the superseded secured versions.
+    let exposed = ssd.attacker_recoverable_tags();
+    assert!(
+        first.iter().take(40).all(|t| exposed.contains(t)),
+        "deferred locks must not have sealed anything yet"
+    );
+
+    // Power dies with the queue pending; the write in flight is lost.
+    let cut = ssd.result().sim_time + Nanos::from_micros(50);
+    ssd.power_cut_at(cut);
+    ssd.write_tracked(100, 8, true);
+    assert!(ssd.powered_off(), "the cut must fire during the post-queue batch");
+
+    let report = ssd.recover();
+    ssd.ftl().check_invariants();
+    assert_eq!(ssd.ftl().pending_coalesced_locks(), 0, "recovery clears the RAM queue");
+    assert!(
+        report.stale_secured >= 40,
+        "every version the lost queue owed must be resealed by the scan: {report:?}"
+    );
+
+    // The crash contract holds: no superseded secured version survives
+    // for the attacker...
+    let recoverable = ssd.attacker_recoverable_tags();
+    for (l, t) in first.iter().take(40).enumerate() {
+        assert!(!recoverable.contains(t), "stale secured lpa {l} still attacker-readable");
+    }
+    assert!(ssd.verify_sanitized(0, 48));
+    // ...current data is intact...
+    let after = ssd.read(0, 48);
+    for (l, got) in after.iter().enumerate().skip(40).take(8) {
+        assert_eq!(*got, Some(first[l]), "untouched lpa {l} lost its content");
+    }
+    // ...and the device serves and acknowledges fresh work.
+    assert!(ssd.write_tracked(0, 1, true)[0].1);
+}

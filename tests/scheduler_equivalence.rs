@@ -1,0 +1,145 @@
+//! Scheduler correctness properties: out-of-order multi-queue execution
+//! must be invisible to the host.
+//!
+//! The out-of-order scheduler ([`evanesco::ssd::sched`]) may dispatch
+//! independent requests onto idle chips in any order, but requests that
+//! touch a common logical page never reorder. These tests pin the
+//! contract down:
+//!
+//! * **byte identity** — a random mixed trace produces identical
+//!   per-request results, an identical final device image, and identical
+//!   sanitization outcomes at queue depths 1, 8 and 32, with and without
+//!   lock coalescing;
+//! * **same-LPA ordering** — reads racing overwrites of one hot page at
+//!   depth 32 always observe the most recently submitted write (RAW), and
+//!   never a later one (WAR/WAW), even with unrelated traffic saturating
+//!   the queue.
+
+use evanesco::ftl::SanitizePolicy;
+use evanesco::ssd::{Emulator, HostOp, OpResult, SsdConfig};
+use proptest::prelude::*;
+
+/// Raw op parameters; clamped against the device's logical space once,
+/// so every queue depth replays the exact same trace.
+fn sched_op(logical: u64) -> impl Strategy<Value = HostOp> {
+    let max_run = 6u64;
+    prop_oneof![
+        4 => (0..logical - max_run, 1..=max_run, any::<bool>())
+            .prop_map(|(lpa, npages, secure)| HostOp::Write { lpa, npages, secure }),
+        2 => (0..logical - max_run, 1..=max_run)
+            .prop_map(|(lpa, npages)| HostOp::Read { lpa, npages }),
+        1 => (0..logical - max_run, 1..=max_run)
+            .prop_map(|(lpa, npages)| HostOp::Trim { lpa, npages }),
+    ]
+}
+
+/// Runs the trace at one queue depth on a fresh device and returns
+/// everything the host can observe.
+fn observe(cfg: SsdConfig, ops: &[HostOp], qd: usize) -> (Vec<OpResult>, Vec<Option<u64>>, bool) {
+    let mut ssd = Emulator::new(cfg, SanitizePolicy::evanesco());
+    let run = ssd.run_scheduled(ops, qd);
+    assert!(run.max_outstanding <= qd, "queue depth {qd} violated");
+    // Settle deferred sanitization locks before the attacker looks.
+    ssd.flush_coalesced_locks();
+    ssd.ftl().check_invariants();
+    let logical = ssd.logical_pages();
+    let image = (0..logical).map(|l| ssd.read(l, 1)[0]).collect();
+    let sanitized = ssd.verify_sanitized(0, logical);
+    (run.results, image, sanitized)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Queue depth changes timing, never results.
+    #[test]
+    fn queue_depth_never_changes_host_visible_results(
+        ops in proptest::collection::vec(sched_op(600), 1..100),
+        coalesce in any::<bool>(),
+    ) {
+        let mut cfg = SsdConfig::tiny_for_tests();
+        if coalesce {
+            cfg.ftl.lock_coalescing = true;
+            cfg.ftl.coalesce_window = 32;
+        }
+        let baseline = observe(cfg, &ops, 1);
+        prop_assert!(baseline.2, "secured overwrites must be sanitized at qd 1");
+        for qd in [8usize, 32] {
+            let got = observe(cfg, &ops, qd);
+            prop_assert_eq!(
+                &got, &baseline,
+                "qd {} diverged from the serialized baseline (coalesce={})", qd, coalesce
+            );
+        }
+    }
+}
+
+/// An adversarial hot-page trace: one LPA is overwritten and read in
+/// strict alternation while enough independent traffic is queued that a
+/// depth-32 scheduler has every opportunity to reorder.
+#[test]
+fn hot_page_reads_always_observe_the_latest_submitted_write() {
+    let mut ops = Vec::new();
+    let hot = 7u64;
+    for round in 0..40u64 {
+        ops.push(HostOp::Write { lpa: hot, npages: 1, secure: true });
+        // Independent noise the scheduler may freely hoist past the hot
+        // page's traffic.
+        for k in 0..6 {
+            ops.push(HostOp::Write {
+                lpa: 50 + ((round * 6 + k) * 3) % 400,
+                npages: 2,
+                secure: k % 2 == 0,
+            });
+        }
+        ops.push(HostOp::Read { lpa: hot, npages: 1 });
+    }
+    let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+    let run = ssd.run_scheduled(&ops, 32);
+    let mut last_write: Option<u64> = None;
+    for (i, (op, res)) in ops.iter().zip(&run.results).enumerate() {
+        match (op, res) {
+            (HostOp::Write { lpa, .. }, OpResult::Write(tags, acked)) => {
+                assert!(acked, "no power cut: every write acks");
+                if *lpa == hot {
+                    last_write = Some(tags[0]);
+                }
+            }
+            (HostOp::Read { lpa, .. }, OpResult::Read(got)) if *lpa == hot => {
+                assert_eq!(
+                    got[0], last_write,
+                    "request {i}: read of the hot page must see the write submitted \
+                     immediately before it — neither an older nor a newer version"
+                );
+            }
+            _ => {}
+        }
+    }
+    // The overwrite churn itself stayed secure.
+    ssd.flush_coalesced_locks();
+    assert!(ssd.verify_sanitized(hot, 1));
+}
+
+/// The scheduler's speed claim, end to end at the integration level:
+/// deeper queues strictly dominate on a parallel-friendly trace while
+/// returning identical results.
+#[test]
+fn deeper_queues_are_no_slower_at_every_step() {
+    let ops: Vec<HostOp> = (0..96)
+        .map(|i| HostOp::Write { lpa: (i * 5) % 480, npages: 1, secure: i % 2 == 0 })
+        .collect();
+    let mut prev = None;
+    for qd in [1usize, 2, 4, 8] {
+        let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+        let run = ssd.run_scheduled(&ops, qd);
+        if let Some((prev_qd, prev_time, prev_results)) = prev {
+            assert!(
+                run.sim_time <= prev_time,
+                "qd {qd} ({:?}) slower than qd {prev_qd} ({prev_time:?})",
+                run.sim_time
+            );
+            assert_eq!(run.results, prev_results, "qd {qd} changed results");
+        }
+        prev = Some((qd, run.sim_time, run.results));
+    }
+}
