@@ -61,6 +61,13 @@ pub struct QdPoint {
     pub coalesced_plocks: u64,
     /// Deferred `pLock`s that aged out and were issued individually.
     pub coalesce_flushed_plocks: u64,
+    /// Reliability-ladder responses (lock retries, escalations, fallbacks,
+    /// program remaps, erase retries, retirements) during this run. Zero
+    /// unless the config arms a fault model.
+    pub reliability_events: u64,
+    /// Chip-level injected faults (command failures plus uncorrectable
+    /// reads) during this run.
+    pub injected_faults: u64,
 }
 
 /// The full benchmark result: one [`QdPoint`] per entry of
@@ -107,6 +114,8 @@ pub fn sched_config(scale: &Scale) -> SsdConfig {
             eager_gc_erase: false,
             gc_victim: Default::default(),
             timing: TimingSpec::paper(),
+            faults: evanesco_ftl::config::FaultConfig::none(),
+            reliability: evanesco_ftl::config::ReliabilityConfig::paper(),
         };
         SsdConfig { channels: 2, chips_per_channel: 4, ftl, track_tags: false }
     } else {
@@ -214,6 +223,11 @@ pub fn run(scale: &Scale, scale_name: &str) -> SchedulerReport {
             blocks_locked: stats.blocks_locked,
             coalesced_plocks: stats.coalesced_plocks,
             coalesce_flushed_plocks: stats.coalesce_flushed_plocks,
+            reliability_events: stats.reliability_events(),
+            injected_faults: {
+                let f = ssd.result().faults;
+                f.command_failures() + f.unc_reads
+            },
         });
     }
     SchedulerReport {
@@ -336,7 +350,8 @@ impl SchedulerReport {
                 "    {{\"qd\": {}, \"iops\": {}, \"speedup_vs_qd1\": {}, \"sim_time_ns\": {}, \
                  \"max_outstanding\": {}, \"channel_utilization\": [{}], \
                  \"mean_chip_utilization\": {}, \"plocks\": {}, \"blocks_locked\": {}, \
-                 \"coalesced_plocks\": {}, \"coalesce_flushed_plocks\": {}}}",
+                 \"coalesced_plocks\": {}, \"coalesce_flushed_plocks\": {}, \
+                 \"reliability_events\": {}, \"injected_faults\": {}}}",
                 p.qd,
                 f(p.iops),
                 f(p.speedup),
@@ -348,6 +363,8 @@ impl SchedulerReport {
                 p.blocks_locked,
                 p.coalesced_plocks,
                 p.coalesce_flushed_plocks,
+                p.reliability_events,
+                p.injected_faults,
             )
             .unwrap();
             out.push_str(if i + 1 < self.points.len() { ",\n" } else { "\n" });
@@ -389,6 +406,12 @@ mod tests {
         // Lock coalescing did real work on this overwrite-heavy trace.
         let p8 = &r.points[3];
         assert!(p8.coalesced_plocks > 0, "no locks coalesced");
+        // The bench runs fault-free: the reliability counters it surfaces
+        // must read zero (nonzero would mean phantom ladder activity).
+        for p in &r.points {
+            assert_eq!(p.reliability_events, 0, "qd {}: phantom reliability events", p.qd);
+            assert_eq!(p.injected_faults, 0, "qd {}: phantom injected faults", p.qd);
+        }
     }
 
     #[test]
@@ -398,6 +421,8 @@ mod tests {
         assert!(j.starts_with("{\n") && j.ends_with("}\n"));
         assert_eq!(j.matches("\"qd\":").count(), QUEUE_DEPTHS.len() + 1);
         assert!(j.contains("\"pass\": true"));
+        assert_eq!(j.matches("\"reliability_events\":").count(), QUEUE_DEPTHS.len());
+        assert_eq!(j.matches("\"injected_faults\":").count(), QUEUE_DEPTHS.len());
         assert_eq!(
             j.matches('{').count(),
             j.matches('}').count(),

@@ -92,6 +92,8 @@ impl Scale {
                 eager_gc_erase: false,
                 gc_victim: Default::default(),
                 timing: TimingSpec::paper(),
+                faults: evanesco_ftl::config::FaultConfig::none(),
+                reliability: evanesco_ftl::config::ReliabilityConfig::paper(),
             };
             SsdConfig { channels: 2, chips_per_channel: 1, ftl, track_tags: false }
         } else {

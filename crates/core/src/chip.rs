@@ -21,6 +21,7 @@
 
 use crate::bap::BapConfig;
 use crate::error::EvanescoError;
+use crate::fault::{FaultConfig, FaultModel, FaultStats, OpStatus, ReadReliability};
 use crate::pap::PapConfig;
 use evanesco_nand::chip::{Chip, PageContent, PageData};
 use evanesco_nand::geometry::{BlockId, Geometry, Ppa};
@@ -73,7 +74,8 @@ impl FlagState {
 /// Deterministic per-cell uniform draw in `[0, 1)` for torn-operation
 /// modeling (SplitMix64 finalizer over the operation salt and cell
 /// coordinates). Pure function: identical runs make identical draws.
-fn unit_draw(salt: u64, a: u64, b: u64, cell: u64) -> f64 {
+/// Shared with [`crate::fault`] for runtime fault draws.
+pub(crate) fn unit_draw(salt: u64, a: u64, b: u64, cell: u64) -> f64 {
     let mut z = salt
         ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ b.rotate_left(17).wrapping_mul(0xD1B5_4A32_D192_ED03)
@@ -136,9 +138,21 @@ pub struct EvanescoChip {
     pap_config: PapConfig,
     bap_config: BapConfig,
     lock_stats: LockStats,
-    /// Fault injection: the next N lock commands leave their cells torn
-    /// (program-verify failure) instead of completing.
-    forced_lock_failures: u32,
+    /// Runtime fault model: probabilistic program/erase/lock/read failures
+    /// plus the forced lock-failure test hook (one injection path for tests
+    /// and runtime — see [`crate::fault`]).
+    fault: FaultModel,
+    /// Status register: pass/fail of the last fallible command (the NAND
+    /// `READ STATUS` model). Executors read this after each op.
+    status: OpStatus,
+    /// Reference-shift retries the last data read needed (timed executors
+    /// charge `tR` per retry).
+    last_read_retries: u32,
+    /// Grown-bad-block marks: a sentinel programmed into the block's spare
+    /// area when the FTL retires it. Never cleared — firmware does not
+    /// erase retired blocks, so the mark survives power loss like any
+    /// flash-resident state.
+    bad_mark: Vec<bool>,
     /// Optional physical flag-cell simulation (see
     /// [`crate::device_flags`]); when present, read gating consults the
     /// physical cells instead of the decoded intent.
@@ -161,9 +175,34 @@ impl EvanescoChip {
             pap_config: PapConfig::paper(),
             bap_config: BapConfig::paper(),
             lock_stats: LockStats::default(),
-            forced_lock_failures: 0,
+            fault: FaultModel::disabled(),
+            status: OpStatus::Ok,
+            last_read_retries: 0,
+            bad_mark: vec![false; geom.blocks as usize],
             device_flags: None,
         }
+    }
+
+    /// Arms the runtime fault model. `chip_id` decorrelates chips that
+    /// share a seed. Both `run` and `run_scheduled` paths go through the
+    /// chip, so both see the same hazards.
+    pub fn enable_faults(&mut self, cfg: FaultConfig, chip_id: u64) {
+        self.fault = FaultModel::new(cfg, chip_id);
+    }
+
+    /// Injected-failure counters of the fault model.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.stats()
+    }
+
+    /// Pass/fail status of the last fallible command (`READ STATUS`).
+    pub fn status(&self) -> OpStatus {
+        self.status
+    }
+
+    /// Reference-shift retries the last data read performed.
+    pub fn last_read_retries(&self) -> u32 {
+        self.last_read_retries
     }
 
     /// Switches the chip to **device mode**: locks program physical flag
@@ -282,17 +321,39 @@ impl EvanescoChip {
         } else {
             ReadResult::Content(out.content)
         };
+        // Read-retry ladder: only a data read runs ECC decode; locked and
+        // erased/torn reads never declare UNC. Terminal UNC is recovered by
+        // soft-decision decoding (the host still gets the data), counted as
+        // a reliability event.
+        let rel = if matches!(&result, ReadResult::Content(PageContent::Data(_))) {
+            self.fault.read_outcome(ppa.block.0, ppa.page.0)
+        } else {
+            ReadReliability::default()
+        };
+        self.last_read_retries = rel.retries;
         Ok(SecureReadOutput { result, latency: out.latency })
     }
 
     /// Programs a page (passes through to the underlying chip; programming
     /// uses SBPI to inhibit the flag cells, so pAP flags stay enabled).
     ///
+    /// Under the fault model a program can fail status: the page is
+    /// consumed and holds an unreliable partial program (torn), and
+    /// [`EvanescoChip::status`] reports `Failed` — the FTL must remap the
+    /// write to a fresh page.
+    ///
     /// # Errors
     ///
     /// Propagates the underlying chip's program-rule violations.
     pub fn program(&mut self, ppa: Ppa, data: PageData) -> Result<Nanos, EvanescoError> {
-        Ok(self.inner.program(ppa, data)?)
+        if self.fault.program_fails(ppa.block.0, ppa.page.0) {
+            self.inner.interrupt_program(ppa, data, 0.8)?;
+            self.status = OpStatus::Failed;
+            return Ok(self.timing().t_prog);
+        }
+        let lat = self.inner.program(ppa, data)?;
+        self.status = OpStatus::Ok;
+        Ok(lat)
     }
 
     /// `pLock <ppn>`: disables access to one page by programming its pAP
@@ -310,10 +371,11 @@ impl EvanescoChip {
         if !self.inner.page_is_written(ppa)? {
             return Err(EvanescoError::LockOnUnwrittenPage { ppa });
         }
-        if self.consume_forced_failure() {
+        if self.fault.plock_fails(ppa.block.0, ppa.page.0) {
             self.pap_locked[ppa.block.0 as usize][ppa.page.0 as usize] =
                 FlagState::Torn { reads_locked: false };
             self.lock_stats.plocks += 1;
+            self.status = OpStatus::Failed;
             return Ok(self.timing().t_plock);
         }
         self.pap_locked[ppa.block.0 as usize][ppa.page.0 as usize] = FlagState::Locked;
@@ -321,6 +383,7 @@ impl EvanescoChip {
             sim.program_page_flag(ppa);
         }
         self.lock_stats.plocks += 1;
+        self.status = OpStatus::Ok;
         Ok(self.timing().t_plock)
     }
 
@@ -332,9 +395,10 @@ impl EvanescoChip {
     /// Returns [`EvanescoError::BadBlock`] for an out-of-range block.
     pub fn b_lock(&mut self, block: BlockId) -> Result<Nanos, EvanescoError> {
         self.check_block(block)?;
-        if self.consume_forced_failure() {
+        if self.fault.block_lock_fails(block.0) {
             self.bap_locked[block.0 as usize] = FlagState::Torn { reads_locked: false };
             self.lock_stats.blocks += 1;
+            self.status = OpStatus::Failed;
             return Ok(self.timing().t_block);
         }
         self.bap_locked[block.0 as usize] = FlagState::Locked;
@@ -342,32 +406,35 @@ impl EvanescoChip {
             sim.program_block_flag(block);
         }
         self.lock_stats.blocks += 1;
+        self.status = OpStatus::Ok;
         Ok(self.timing().t_block)
     }
 
     /// Fault injection: makes the next `n` lock commands (`pLock` or
-    /// `bLock`) fail program-verify, leaving their flag cells torn. Used
-    /// to exercise the recovery scan's bounded-retry path.
+    /// `bLock`) fail program-verify, leaving their flag cells torn. This is
+    /// the same injection path the probabilistic fault model uses (see
+    /// [`crate::fault::FaultModel::force_lock_failures`]).
     pub fn inject_lock_verify_failures(&mut self, n: u32) {
-        self.forced_lock_failures += n;
-    }
-
-    fn consume_forced_failure(&mut self) -> bool {
-        if self.forced_lock_failures > 0 {
-            self.forced_lock_failures -= 1;
-            true
-        } else {
-            false
-        }
+        self.fault.force_lock_failures(n);
     }
 
     /// Erases a block: destroys all data **and only then** re-enables the
     /// pAP/bAP flags — the single path by which a lock disappears.
     ///
+    /// Under the fault model an erase can fail status: nothing is erased
+    /// (data *and* lock flags keep their state) and
+    /// [`EvanescoChip::status`] reports `Failed` — the FTL retries and
+    /// eventually retires the block.
+    ///
     /// # Errors
     ///
     /// Propagates address errors from the underlying chip.
     pub fn erase(&mut self, block: BlockId, now: Nanos) -> Result<Nanos, EvanescoError> {
+        self.check_block(block)?;
+        if self.fault.erase_fails(block.0) {
+            self.status = OpStatus::Failed;
+            return Ok(self.timing().t_bers);
+        }
         let lat = self.inner.erase(block, now)?;
         for f in &mut self.pap_locked[block.0 as usize] {
             *f = FlagState::Clean;
@@ -376,7 +443,29 @@ impl EvanescoChip {
         if let Some(sim) = &mut self.device_flags {
             sim.erase_block(block);
         }
+        self.status = OpStatus::Ok;
         Ok(lat)
+    }
+
+    /// Marks a block grown-bad by programming a retirement sentinel into
+    /// its spare area (the factory bad-block-marking idiom: programming
+    /// bits toward `0` works even on a block whose erase fails). The mark
+    /// is never cleared — firmware never erases a retired block — so it
+    /// survives power loss and is rebuilt by the recovery scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvanescoError::BadBlock`] for an out-of-range block.
+    pub fn mark_bad_block(&mut self, block: BlockId) -> Result<Nanos, EvanescoError> {
+        self.check_block(block)?;
+        self.bad_mark[block.0 as usize] = true;
+        self.status = OpStatus::Ok;
+        Ok(self.timing().t_prog)
+    }
+
+    /// Whether the block carries the grown-bad retirement mark.
+    pub fn is_marked_bad(&self, block: BlockId) -> bool {
+        self.bad_mark[block.0 as usize]
     }
 
     /// Models a `pLock` interrupted after `fraction` of `tpLock`: each of
@@ -794,6 +883,62 @@ mod tests {
         // The injection is consumed: the retry completes the lock.
         c.p_lock(Ppa::new(0, 0)).unwrap();
         assert_eq!(c.page_flag_state(Ppa::new(0, 0)), FlagState::Locked);
+    }
+
+    #[test]
+    fn status_register_reports_lock_verify_failures() {
+        let mut c = chip();
+        fill(&mut c, 0, 1);
+        c.inject_lock_verify_failures(1);
+        c.p_lock(Ppa::new(0, 0)).unwrap();
+        assert_eq!(c.status(), crate::fault::OpStatus::Failed);
+        assert_eq!(c.fault_stats().plock_failures, 1);
+        c.p_lock(Ppa::new(0, 0)).unwrap();
+        assert_eq!(c.status(), crate::fault::OpStatus::Ok);
+    }
+
+    #[test]
+    fn failed_erase_leaves_data_and_locks_intact() {
+        let mut c = chip();
+        c.enable_faults(
+            crate::fault::FaultConfig { erase_fail: 1.0, ..crate::fault::FaultConfig::none() },
+            0,
+        );
+        fill(&mut c, 0, 2);
+        c.p_lock(Ppa::new(0, 1)).unwrap();
+        c.erase(BlockId(0), Nanos::ZERO).unwrap();
+        assert_eq!(c.status(), crate::fault::OpStatus::Failed);
+        assert_eq!(c.fault_stats().erase_failures, 1);
+        // Nothing was destroyed or unlocked.
+        assert!(c.read(Ppa::new(0, 0)).unwrap().result.data().is_some());
+        assert_eq!(c.read(Ppa::new(0, 1)).unwrap().result, ReadResult::Locked);
+    }
+
+    #[test]
+    fn failed_program_consumes_the_page_as_torn() {
+        let mut c = chip();
+        c.enable_faults(
+            crate::fault::FaultConfig { program_fail: 1.0, ..crate::fault::FaultConfig::none() },
+            0,
+        );
+        c.program(Ppa::new(0, 0), PageData::tagged(7)).unwrap();
+        assert_eq!(c.status(), crate::fault::OpStatus::Failed);
+        assert!(c.page_is_written(Ppa::new(0, 0)).unwrap());
+        assert!(c.page_is_torn(Ppa::new(0, 0)).unwrap());
+        assert_eq!(c.next_program_index(BlockId(0)), 1);
+    }
+
+    #[test]
+    fn bad_block_mark_survives_erase_attempts() {
+        let mut c = chip();
+        assert!(!c.is_marked_bad(BlockId(3)));
+        c.mark_bad_block(BlockId(3)).unwrap();
+        assert!(c.is_marked_bad(BlockId(3)));
+        c.erase(BlockId(3), Nanos::ZERO).unwrap();
+        assert!(c.is_marked_bad(BlockId(3)), "spare-area mark is never cleared");
+        // And like the lock flags, it is flash-resident: cloning (chip
+        // de-soldering / power cycling) preserves it.
+        assert!(c.clone().is_marked_bad(BlockId(3)));
     }
 
     #[test]

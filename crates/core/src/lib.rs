@@ -48,6 +48,7 @@ pub mod chip;
 pub mod device_flags;
 pub mod dse;
 pub mod error;
+pub mod fault;
 pub mod majority;
 pub mod pap;
 pub mod threat;

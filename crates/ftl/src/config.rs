@@ -1,7 +1,51 @@
 //! FTL configuration.
 
+pub use evanesco_core::fault::FaultConfig;
 use evanesco_nand::geometry::Geometry;
-use evanesco_nand::timing::TimingSpec;
+use evanesco_nand::timing::{Nanos, TimingSpec};
+
+/// Knobs of the runtime reliability manager: how hard the FTL fights each
+/// fault class before escalating, and how much grown-bad-block headroom it
+/// keeps before degrading service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityConfig {
+    /// Extra `pLock` attempts (with exponential backoff) after a verify
+    /// failure before escalating to a block-level sanitize.
+    pub plock_retry_budget: u32,
+    /// Extra `bLock` attempts before falling back to per-page locks or an
+    /// immediate erase.
+    pub block_retry_budget: u32,
+    /// Extra `erase` attempts before retiring the block as grown-bad.
+    pub erase_retry_budget: u32,
+    /// Base of the exponential lock-retry backoff (`base << attempt`).
+    pub backoff_base: Nanos,
+    /// Grown-bad blocks a chip may absorb before the drive goes read-only
+    /// (the spare-block reserve).
+    pub spare_blocks: usize,
+    /// Remaining-reserve level at or below which the drive enters the
+    /// `SpareLow` warning state.
+    pub spare_low_watermark: usize,
+}
+
+impl ReliabilityConfig {
+    /// Production-shaped defaults: a few retries everywhere, 100 µs
+    /// backoff base, and a reserve of 8 spare blocks per chip.
+    pub fn paper() -> Self {
+        ReliabilityConfig {
+            plock_retry_budget: 3,
+            block_retry_budget: 2,
+            erase_retry_budget: 1,
+            backoff_base: Nanos::from_micros(100),
+            spare_blocks: 8,
+            spare_low_watermark: 2,
+        }
+    }
+
+    /// Small-reserve variant for the tiny test geometry.
+    pub fn tiny_for_tests() -> Self {
+        ReliabilityConfig { spare_blocks: 2, spare_low_watermark: 1, ..Self::paper() }
+    }
+}
 
 /// How GC selects its victim block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,6 +115,11 @@ pub struct FtlConfig {
     pub gc_victim: GcVictimPolicy,
     /// Operation latencies (shared with the chips).
     pub timing: TimingSpec,
+    /// Chip fault model armed on every chip (zero probabilities = the
+    /// fault-free ideal device).
+    pub faults: FaultConfig,
+    /// Reliability-manager knobs (retry budgets, backoff, spare reserve).
+    pub reliability: ReliabilityConfig,
 }
 
 impl FtlConfig {
@@ -90,6 +139,8 @@ impl FtlConfig {
             eager_gc_erase: false,
             gc_victim: GcVictimPolicy::Greedy,
             timing: TimingSpec::paper(),
+            faults: FaultConfig::none(),
+            reliability: ReliabilityConfig::paper(),
         }
     }
 
@@ -120,6 +171,8 @@ impl FtlConfig {
             eager_gc_erase: false,
             gc_victim: GcVictimPolicy::Greedy,
             timing: TimingSpec::paper(),
+            faults: FaultConfig::none(),
+            reliability: ReliabilityConfig::tiny_for_tests(),
         }
     }
 
@@ -160,6 +213,46 @@ impl FtlConfig {
             self.geometry.blocks
         );
         assert!(self.block_min_plocks >= 1, "FtlConfig: block_min_plocks must be >= 1");
+        for (name, p) in [
+            ("program_fail", self.faults.program_fail),
+            ("erase_fail", self.faults.erase_fail),
+            ("plock_fail", self.faults.plock_fail),
+            ("block_lock_fail", self.faults.block_lock_fail),
+            ("read_unc", self.faults.read_unc),
+            ("read_retry_decay", self.faults.read_retry_decay),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "FtlConfig: fault probability {name} must be in [0, 1], got {p}"
+            );
+        }
+        // A certain program failure makes the write-remap loop diverge: no
+        // page would ever accept data.
+        assert!(
+            self.faults.program_fail < 1.0,
+            "FtlConfig: fault probability program_fail must be below 1, got {}",
+            self.faults.program_fail
+        );
+        assert!(
+            self.reliability.backoff_base.0 >= 1,
+            "FtlConfig: reliability backoff_base must be positive"
+        );
+        assert!(
+            self.reliability.spare_blocks >= 1,
+            "FtlConfig: reliability spare_blocks must be >= 1"
+        );
+        assert!(
+            self.reliability.spare_low_watermark < self.reliability.spare_blocks,
+            "FtlConfig: spare_low_watermark {} must be below spare_blocks {}",
+            self.reliability.spare_low_watermark,
+            self.reliability.spare_blocks
+        );
+        assert!(
+            self.reliability.spare_blocks < self.geometry.blocks as usize,
+            "FtlConfig: spare_blocks {} must be below the {} blocks per chip",
+            self.reliability.spare_blocks,
+            self.geometry.blocks
+        );
     }
 
     /// Total physical pages across all chips.

@@ -8,6 +8,8 @@
 
 use crate::addr::GlobalPpa;
 use evanesco_core::chip::{EvanescoChip, FlagState, ReadResult};
+use evanesco_core::fault::FaultConfig;
+pub use evanesco_core::fault::OpStatus;
 use evanesco_nand::chip::{PageContent, PageData, PageOob};
 use evanesco_nand::geometry::{BlockId, Geometry, Ppa};
 use evanesco_nand::timing::Nanos;
@@ -35,6 +37,8 @@ pub struct BlockProbe {
     pub torn_erase: bool,
     /// Margin-read state of the block's SSL (bAP) cells.
     pub lock: FlagState,
+    /// The block carries the grown-bad retirement mark in its spare area.
+    pub bad: bool,
 }
 
 /// Executes NAND operations for the FTL.
@@ -44,16 +48,24 @@ pub struct BlockProbe {
 pub trait NandExecutor {
     /// Reads a page; returns its data if it is programmed and not locked.
     fn read(&mut self, at: GlobalPpa) -> Option<PageData>;
-    /// Programs a page.
-    fn program(&mut self, at: GlobalPpa, data: PageData);
-    /// Erases a block.
-    fn erase(&mut self, chip: usize, block: BlockId);
-    /// Issues `pLock` on a page.
-    fn p_lock(&mut self, at: GlobalPpa);
-    /// Issues `bLock` on a block.
-    fn b_lock(&mut self, chip: usize, block: BlockId);
-    /// Destroys a page in place (one-shot scrub).
+    /// Programs a page, reporting the chip's pass/fail status. On `Failed`
+    /// the page is consumed but holds an unreliable partial program.
+    fn program(&mut self, at: GlobalPpa, data: PageData) -> OpStatus;
+    /// Erases a block, reporting pass/fail. On `Failed` nothing was erased:
+    /// data and lock flags keep their state.
+    fn erase(&mut self, chip: usize, block: BlockId) -> OpStatus;
+    /// Issues `pLock` on a page, reporting flag-program verify status. On
+    /// `Failed` the flag cells are left torn (page still readable).
+    fn p_lock(&mut self, at: GlobalPpa) -> OpStatus;
+    /// Issues `bLock` on a block, reporting SSL-program verify status.
+    fn b_lock(&mut self, chip: usize, block: BlockId) -> OpStatus;
+    /// Destroys a page in place (one-shot scrub). Infallible: the scrub
+    /// pulse needs no verify — it only has to move cells off their read
+    /// levels, which a partial pulse already does.
     fn scrub(&mut self, at: GlobalPpa);
+    /// Programs the grown-bad retirement sentinel into a block's spare
+    /// area (see [`EvanescoChip::mark_bad_block`]).
+    fn mark_bad(&mut self, chip: usize, block: BlockId);
     /// Recovery-scan probe of one page (costs a page read on timed
     /// implementations: the scan reads the page to get its OOB).
     fn probe_page(&mut self, at: GlobalPpa) -> PageProbe;
@@ -107,6 +119,7 @@ pub fn probe_block_on(chip: &EvanescoChip, block: BlockId) -> BlockProbe {
         next_program: chip.next_program_index(block),
         torn_erase: chip.block_torn_erase(block).expect("probe in range"),
         lock: chip.block_flag_state(block),
+        bad: chip.is_marked_bad(block),
     }
 }
 
@@ -129,6 +142,25 @@ impl MemExecutor {
     /// Creates `n_chips` chips with the given geometry.
     pub fn new(geom: Geometry, n_chips: usize) -> Self {
         MemExecutor { chips: (0..n_chips).map(|_| EvanescoChip::new(geom)).collect(), ops: 0 }
+    }
+
+    /// Creates `n_chips` chips with the fault model armed on each (chips
+    /// are decorrelated by index).
+    pub fn with_faults(geom: Geometry, n_chips: usize, faults: FaultConfig) -> Self {
+        let mut ex = Self::new(geom, n_chips);
+        for (i, chip) in ex.chips.iter_mut().enumerate() {
+            chip.enable_faults(faults, i as u64);
+        }
+        ex
+    }
+
+    /// Aggregated injected-fault counters across all chips.
+    pub fn fault_totals(&self) -> evanesco_core::fault::FaultStats {
+        let mut total = evanesco_core::fault::FaultStats::default();
+        for chip in &self.chips {
+            total.absorb(chip.fault_stats());
+        }
+        total
     }
 
     /// Advances the monotonic op counter and returns its new value as a
@@ -170,29 +202,38 @@ impl NandExecutor for MemExecutor {
         }
     }
 
-    fn program(&mut self, at: GlobalPpa, data: PageData) {
+    fn program(&mut self, at: GlobalPpa, data: PageData) -> OpStatus {
         self.tick();
         self.chips[at.chip].program(at.ppa, data).expect("FTL issues legal programs");
+        self.chips[at.chip].status()
     }
 
-    fn erase(&mut self, chip: usize, block: BlockId) {
+    fn erase(&mut self, chip: usize, block: BlockId) -> OpStatus {
         let now = self.tick();
         self.chips[chip].erase(block, now).expect("FTL erases in-range blocks");
+        self.chips[chip].status()
     }
 
-    fn p_lock(&mut self, at: GlobalPpa) {
+    fn p_lock(&mut self, at: GlobalPpa) -> OpStatus {
         self.tick();
         self.chips[at.chip].p_lock(at.ppa).expect("FTL locks programmed pages");
+        self.chips[at.chip].status()
     }
 
-    fn b_lock(&mut self, chip: usize, block: BlockId) {
+    fn b_lock(&mut self, chip: usize, block: BlockId) -> OpStatus {
         self.tick();
         self.chips[chip].b_lock(block).expect("FTL locks in-range blocks");
+        self.chips[chip].status()
     }
 
     fn scrub(&mut self, at: GlobalPpa) {
         self.tick();
         self.chips[at.chip].destroy_page(at.ppa).expect("FTL scrubs in-range pages");
+    }
+
+    fn mark_bad(&mut self, chip: usize, block: BlockId) {
+        self.tick();
+        self.chips[chip].mark_bad_block(block).expect("FTL marks in-range blocks");
     }
 
     fn probe_page(&mut self, at: GlobalPpa) -> PageProbe {

@@ -44,6 +44,27 @@ enum BlockState {
     Open,
     Full,
     Reclaimable,
+    /// Grown-bad: the erase retry budget was exhausted. The block's
+    /// contents were scrubbed, its spare area carries the retirement
+    /// sentinel, and it never re-enters circulation.
+    Retired,
+}
+
+/// Service level of the drive under grown-bad-block pressure (the
+/// degraded-mode state machine: `Normal → SpareLow → ReadOnly`, never
+/// backwards except through a full recovery rebuild).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Full service.
+    #[default]
+    Normal,
+    /// Some chip's spare-block reserve fell to its low watermark; service
+    /// continues but the drive should be replaced.
+    SpareLow,
+    /// Some chip exhausted its spare reserve: host writes are rejected;
+    /// reads, trims, and sanitization still run (deleting data must keep
+    /// working on a dying drive).
+    ReadOnly,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -171,6 +192,9 @@ struct ChipState {
     live_total: u64,
     /// Running invalid (dead, not yet erased) page count across the chip.
     invalid_total: u64,
+    /// Grown-bad blocks retired on this chip (counts against the
+    /// spare-block reserve).
+    retired: u32,
 }
 
 impl ChipState {
@@ -187,6 +211,7 @@ impl ChipState {
             victims: VictimIndex::new(blocks, pages_per_block),
             live_total: 0,
             invalid_total: 0,
+            retired: 0,
         }
     }
 
@@ -291,6 +316,9 @@ pub struct Ftl {
     /// RAM-only: a power cut loses it, and recovery's sequence contest
     /// re-identifies every queued page as a stale secured version to reseal.
     pending_locks: VecDeque<CoalesceEntry>,
+    /// Degraded-mode state (driven by the per-chip retired counts against
+    /// the spare reserve).
+    mode: DegradedMode,
 }
 
 impl Ftl {
@@ -310,6 +338,7 @@ impl Ftl {
             stats: FtlStats::default(),
             seq: 0,
             pending_locks: VecDeque::new(),
+            mode: DegradedMode::Normal,
             cfg,
             policy,
         }
@@ -379,6 +408,9 @@ impl Ftl {
     /// sanitization on invalidation (the default; `O_INSEC` files pass
     /// `false`). `tag` identifies the content (for forensic verification).
     ///
+    /// Returns `false` when the drive is in read-only degraded mode and the
+    /// write was rejected.
+    ///
     /// # Panics
     ///
     /// Panics if `lpa` is outside the logical address space.
@@ -389,12 +421,15 @@ impl Ftl {
         lpa: Lpa,
         secure: bool,
         tag: u64,
-    ) {
-        self.write_data(ex, obs, lpa, secure, PageData::tagged(tag));
+    ) -> bool {
+        self.write_data(ex, obs, lpa, secure, PageData::tagged(tag))
     }
 
     /// [`Ftl::write`] with an explicit page payload (byte contents travel
     /// to the chip; used by the host file-system layer).
+    ///
+    /// Returns `false` when the drive is in read-only degraded mode and the
+    /// write was rejected.
     ///
     /// # Panics
     ///
@@ -406,22 +441,35 @@ impl Ftl {
         lpa: Lpa,
         secure: bool,
         data: PageData,
-    ) {
+    ) -> bool {
         assert!((lpa as usize) < self.l2p.len(), "lpa {lpa} out of logical space");
+        if self.mode == DegradedMode::ReadOnly {
+            self.stats.writes_rejected_readonly += 1;
+            return false;
+        }
         self.stats.host_write_pages += 1;
         obs.on_host_tick();
         if self.cfg.lock_coalescing {
-            self.flush_aged_locks(ex);
+            self.flush_aged_locks(ex, obs);
         }
         if let Some(old) = self.l2p[lpa as usize] {
             self.invalidate_batch(ex, obs, &[old]);
         }
-        let at = self.allocate(ex, obs);
         let seq = self.next_seq();
-        ex.program(at, data.with_oob(PageOob { lpa, secure, seq }));
-        self.stats.nand_programs += 1;
-        self.commit_mapping(lpa, at, secure);
-        obs.on_program(lpa, at, false);
+        let payload = data.with_oob(PageOob { lpa, secure, seq });
+        // Program-status failures remap to a fresh page; the consumed slot
+        // is quarantined by `note_program_failure`. Termination is
+        // guaranteed by `validate()` (program_fail < 1).
+        loop {
+            let at = self.allocate(ex, obs);
+            self.stats.nand_programs += 1;
+            if ex.program(at, payload.clone()).is_ok() {
+                self.commit_mapping(lpa, at, secure);
+                obs.on_program(lpa, at, false);
+                return true;
+            }
+            self.note_program_failure(ex, at, secure);
+        }
     }
 
     /// Handles a host page read; returns the stored data if mapped.
@@ -499,10 +547,14 @@ impl Ftl {
         obs: &mut O,
         chip: usize,
     ) -> GlobalPpa {
-        if self.chips[chip].active.is_none() {
+        // Looped rather than a single attempt: opening a block can fail
+        // when a lazy erase retires the candidate as grown-bad, in which
+        // case another candidate (or an emergency GC pass) is needed.
+        while self.chips[chip].active.is_none() {
             if self.chips[chip].available_blocks() == 0 {
                 let reclaimed = self.gc_once(ex, obs, chip);
                 assert!(reclaimed, "chip {chip} out of blocks: over-provisioning misconfigured");
+                continue;
             }
             self.open_block(ex, obs, chip);
         }
@@ -522,46 +574,70 @@ impl Ftl {
         at
     }
 
+    /// Opens a write frontier on `chip` if any candidate block survives.
+    /// May leave `active` unset when every candidate's lazy erase failed
+    /// terminally (the blocks were retired); the caller loops.
     fn open_block<E: NandExecutor, O: FtlObserver>(
         &mut self,
         ex: &mut E,
         obs: &mut O,
         chip: usize,
     ) {
-        let cs = &mut self.chips[chip];
-        let id = if let Some(id) = cs.free.pop_front() {
-            id
-        } else if let Some(id) = cs.reclaimable.pop_front() {
-            // Lazy erase: the block is erased only now, right before reuse,
-            // keeping the open interval short (paper §5.4).
-            self.erase_block(ex, obs, chip, id);
-            id
-        } else {
-            panic!("chip {chip} has no block to open: over-provisioning misconfigured");
-        };
-        let cs = &mut self.chips[chip];
-        cs.set_block_state(id, BlockState::Open);
-        cs.active = Some(ActiveBlock { id, next_page: 0 });
+        loop {
+            let cs = &mut self.chips[chip];
+            let id = if let Some(id) = cs.free.pop_front() {
+                id
+            } else if let Some(id) = cs.reclaimable.pop_front() {
+                // Lazy erase: the block is erased only now, right before
+                // reuse, keeping the open interval short (paper §5.4).
+                if !self.erase_block(ex, obs, chip, id) {
+                    // Candidate retired as grown-bad; try the next one.
+                    continue;
+                }
+                id
+            } else {
+                panic!("chip {chip} has no block to open: over-provisioning misconfigured");
+            };
+            let cs = &mut self.chips[chip];
+            cs.set_block_state(id, BlockState::Open);
+            cs.active = Some(ActiveBlock { id, next_page: 0 });
+            return;
+        }
     }
 
+    /// Erases a block with bounded retries. Returns `true` on success;
+    /// `false` when the retry budget was exhausted and the block was
+    /// retired as grown-bad (contents scrubbed, never reused).
     fn erase_block<E: NandExecutor, O: FtlObserver>(
         &mut self,
         ex: &mut E,
         obs: &mut O,
         chip: usize,
         id: u32,
-    ) {
+    ) -> bool {
         // A physical erase sanitizes harder than any lock: locks still
         // queued for this block are satisfied for free.
         if self.cfg.lock_coalescing {
             let dropped = self.take_pending_locks(chip, id).len() as u64;
             self.stats.coalesced_plocks += dropped;
         }
-        ex.erase(chip, BlockId(id));
-        self.stats.nand_erases += 1;
-        let ppb = self.cfg.geometry.pages_per_block();
-        self.chips[chip].reset_block(id, ppb);
-        obs.on_erase(chip, BlockId(id));
+        let budget = self.cfg.reliability.erase_retry_budget;
+        for attempt in 0..=budget {
+            let st = ex.erase(chip, BlockId(id));
+            self.stats.nand_erases += 1;
+            if st.is_ok() {
+                let ppb = self.cfg.geometry.pages_per_block();
+                self.chips[chip].reset_block(id, ppb);
+                obs.on_erase(chip, BlockId(id));
+                return true;
+            }
+            if attempt < budget {
+                self.stats.erase_retries += 1;
+                ex.stall(chip, Nanos(self.cfg.reliability.backoff_base.0 << attempt));
+            }
+        }
+        self.retire_block(ex, chip, id);
+        false
     }
 
     fn ensure_space<E: NandExecutor, O: FtlObserver>(
@@ -642,8 +718,9 @@ impl Ftl {
         // the ablation flag or when erSSD already erased the block above.
         if self.chips[chip].blocks[victim as usize].state == BlockState::Full {
             if self.cfg.eager_gc_erase {
-                self.erase_block(ex, obs, chip, victim);
-                self.chips[chip].free.push_back(victim);
+                if self.erase_block(ex, obs, chip, victim) {
+                    self.chips[chip].free.push_back(victim);
+                }
             } else {
                 let cs = &mut self.chips[chip];
                 cs.set_block_state(victim, BlockState::Reclaimable);
@@ -675,11 +752,17 @@ impl Ftl {
             let lpa = self.chips[chip].p2l[idx].expect("live page has a reverse mapping");
             let data = ex.read(old).expect("live page is readable");
             self.stats.nand_reads += 1;
-            let new_at = self.allocate_on_chip(ex, obs, chip);
             let secure = st == PageStatus::Secured;
             let seq = self.next_seq();
-            ex.program(new_at, data.with_oob(PageOob { lpa, secure, seq }));
-            self.stats.nand_programs += 1;
+            let payload = data.with_oob(PageOob { lpa, secure, seq });
+            let new_at = loop {
+                let new_at = self.allocate_on_chip(ex, obs, chip);
+                self.stats.nand_programs += 1;
+                if ex.program(new_at, payload.clone()).is_ok() {
+                    break new_at;
+                }
+                self.note_program_failure(ex, new_at, secure);
+            };
             self.stats.copied_pages += 1;
             self.commit_mapping(lpa, new_at, secure);
             obs.on_program(lpa, new_at, true);
@@ -719,13 +802,11 @@ impl Ftl {
                 }
                 if !all.is_empty() {
                     if use_block && all.len() >= self.cfg.block_min_plocks {
-                        ex.b_lock(chip, BlockId(block));
-                        self.stats.blocks_locked += 1;
+                        self.secure_block(ex, chip, block, &all);
                         self.stats.coalesced_plocks += queued;
                     } else {
                         for &old in &all {
-                            ex.p_lock(old);
-                            self.stats.plocks += 1;
+                            self.secure_page(ex, obs, old);
                         }
                         self.stats.coalesce_flushed_plocks += queued;
                     }
@@ -735,9 +816,10 @@ impl Ftl {
                 if !secured_olds.is_empty() {
                     // Eager erase destroys every invalid page in the block.
                     self.detach_block(chip, block);
-                    self.erase_block(ex, obs, chip, block);
-                    self.stats.sanitize_erases += 1;
-                    self.chips[chip].free.push_back(block);
+                    if self.erase_block(ex, obs, chip, block) {
+                        self.stats.sanitize_erases += 1;
+                        self.chips[chip].free.push_back(block);
+                    }
                 }
             }
             SanitizePolicy::Scrub => {
@@ -822,13 +904,11 @@ impl Ftl {
                     return;
                 }
                 if use_block && fully_dead && all.len() >= self.cfg.block_min_plocks {
-                    ex.b_lock(chip, BlockId(block));
-                    self.stats.blocks_locked += 1;
+                    self.secure_block(ex, chip, block, &all);
                     self.stats.coalesced_plocks += queued;
                 } else {
                     for &old in &all {
-                        ex.p_lock(old);
-                        self.stats.plocks += 1;
+                        self.secure_page(ex, obs, old);
                     }
                     self.stats.coalesce_flushed_plocks += queued;
                 }
@@ -844,12 +924,10 @@ impl Ftl {
                 let meta = self.chips[chip].blocks[block as usize];
                 let fully_dead = meta.state == BlockState::Full && meta.live == 0;
                 if use_block && fully_dead && secured.len() >= self.cfg.block_min_plocks {
-                    ex.b_lock(chip, BlockId(block));
-                    self.stats.blocks_locked += 1;
+                    self.secure_block(ex, chip, block, &secured);
                 } else {
                     for &old in &secured {
-                        ex.p_lock(old);
-                        self.stats.plocks += 1;
+                        self.secure_page(ex, obs, old);
                     }
                 }
             }
@@ -893,19 +971,22 @@ impl Ftl {
     /// Settles one queue entry *now*: promotes to `bLock` when the block is
     /// fully dead and the batch is large enough, else issues the `pLock`s
     /// individually.
-    fn settle_pending_entry<E: NandExecutor>(&mut self, ex: &mut E, entry: CoalesceEntry) {
+    fn settle_pending_entry<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        entry: CoalesceEntry,
+    ) {
         let use_block = matches!(self.policy, SanitizePolicy::Evanesco { use_block: true });
         let meta = self.chips[entry.chip].blocks[entry.block as usize];
         let fully_dead =
             meta.live == 0 && matches!(meta.state, BlockState::Full | BlockState::Reclaimable);
         if use_block && fully_dead && entry.pages.len() >= self.cfg.block_min_plocks {
-            ex.b_lock(entry.chip, BlockId(entry.block));
-            self.stats.blocks_locked += 1;
+            self.secure_block(ex, entry.chip, entry.block, &entry.pages);
             self.stats.coalesced_plocks += entry.pages.len() as u64;
         } else {
             for &at in &entry.pages {
-                ex.p_lock(at);
-                self.stats.plocks += 1;
+                self.secure_page(ex, obs, at);
             }
             self.stats.coalesce_flushed_plocks += entry.pages.len() as u64;
         }
@@ -914,22 +995,22 @@ impl Ftl {
     /// Flushes queue entries older than the coalescing window (called once
     /// per host write; entries are in age order, so this stops at the first
     /// young one).
-    fn flush_aged_locks<E: NandExecutor>(&mut self, ex: &mut E) {
+    fn flush_aged_locks<E: NandExecutor, O: FtlObserver>(&mut self, ex: &mut E, obs: &mut O) {
         let now = self.stats.host_write_pages;
         while let Some(front) = self.pending_locks.front() {
             if now.saturating_sub(front.since) < self.cfg.coalesce_window {
                 break;
             }
             let entry = self.pending_locks.pop_front().expect("front exists");
-            self.settle_pending_entry(ex, entry);
+            self.settle_pending_entry(ex, obs, entry);
         }
     }
 
     /// Drains the whole coalescing queue (quiesce: end of run, or before a
     /// planned shutdown). Afterwards no deferred lock is outstanding.
-    pub fn flush_coalesced<E: NandExecutor>(&mut self, ex: &mut E) {
+    pub fn flush_coalesced<E: NandExecutor, O: FtlObserver>(&mut self, ex: &mut E, obs: &mut O) {
         while let Some(entry) = self.pending_locks.pop_front() {
-            self.settle_pending_entry(ex, entry);
+            self.settle_pending_entry(ex, obs, entry);
         }
     }
 
@@ -960,18 +1041,20 @@ impl Ftl {
         // pressure is part of erSSD's cost and is accounted normally).
         self.ensure_space_target(ex, obs, chip, self.cfg.gc_free_threshold + 1);
         // The reservation GC may already have collected — and lazy-erased —
-        // this very block; if so the secured data is physically gone.
+        // this very block (or retired it); if so the secured data is
+        // physically gone.
         match self.chips[chip].blocks[block as usize].state {
-            BlockState::Free | BlockState::Open => return,
+            BlockState::Free | BlockState::Open | BlockState::Retired => return,
             BlockState::Full | BlockState::Reclaimable => {}
         }
         let _ = self.relocate_live_pages(ex, obs, chip, block);
         // An emergency GC during the relocation may already have queued the
         // (now dead) block as reclaimable; detach it to avoid double listing.
         self.detach_block(chip, block);
-        self.erase_block(ex, obs, chip, block);
-        self.stats.sanitize_erases += 1;
-        self.chips[chip].free.push_back(block);
+        if self.erase_block(ex, obs, chip, block) {
+            self.stats.sanitize_erases += 1;
+            self.chips[chip].free.push_back(block);
+        }
     }
 
     /// Removes a block from the free/reclaimable queues (it is about to be
@@ -1014,11 +1097,17 @@ impl Ftl {
             let lpa = self.chips[chip].p2l[idx].expect("live page mapped");
             let data = ex.read(at).expect("live page readable");
             self.stats.nand_reads += 1;
-            let new_at = self.allocate_on_chip(ex, obs, chip);
             let secure = st == PageStatus::Secured;
             let seq = self.next_seq();
-            ex.program(new_at, data.with_oob(PageOob { lpa, secure, seq }));
-            self.stats.nand_programs += 1;
+            let payload = data.with_oob(PageOob { lpa, secure, seq });
+            let new_at = loop {
+                let new_at = self.allocate_on_chip(ex, obs, chip);
+                self.stats.nand_programs += 1;
+                if ex.program(new_at, payload.clone()).is_ok() {
+                    break new_at;
+                }
+                self.note_program_failure(ex, new_at, secure);
+            };
             self.stats.copied_pages += 1;
             self.commit_mapping(lpa, new_at, secure);
             obs.on_program(lpa, new_at, true);
@@ -1057,6 +1146,215 @@ impl Ftl {
     }
 
     // ---------------------------------------------------------------------
+    // Runtime reliability manager (lock ladders, remap, block retirement)
+    // ---------------------------------------------------------------------
+
+    /// Current degraded-mode service level.
+    pub fn degraded(&self) -> DegradedMode {
+        self.mode
+    }
+
+    /// Size of the grown-bad-block table (retired blocks across all chips).
+    pub fn retired_block_count(&self) -> u32 {
+        self.chips.iter().map(|c| c.retired).sum()
+    }
+
+    /// Issues one `pLock` with bounded, backed-off retries. Returns whether
+    /// the flag verified. Does not escalate — callers pick the next rung.
+    fn plock_with_retry<E: NandExecutor>(&mut self, ex: &mut E, at: GlobalPpa) -> bool {
+        let budget = self.cfg.reliability.plock_retry_budget;
+        let base = self.cfg.reliability.backoff_base;
+        for attempt in 0..=budget {
+            self.stats.plocks += 1;
+            if ex.p_lock(at).is_ok() {
+                return true;
+            }
+            if attempt < budget {
+                self.stats.plock_retries += 1;
+                ex.stall(at.chip, Nanos(base.0 << attempt));
+            }
+        }
+        false
+    }
+
+    /// Secures one dead page — the hot-path escalation ladder: `pLock`
+    /// retries, then block-level escalation (relocate + `bLock`, erase as
+    /// last resort). On return the page is never host-readable.
+    fn secure_page<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        at: GlobalPpa,
+    ) {
+        // An earlier escalation in the same batch may already have erased,
+        // scrubbed, or even recycled the slot; only still-invalid slots
+        // need a lock.
+        if self.chips[at.chip].status[self.flat(at.ppa)] != PageStatus::Invalid {
+            return;
+        }
+        if self.plock_with_retry(ex, at) {
+            return;
+        }
+        self.stats.plock_escalations += 1;
+        self.escalate_block(ex, obs, at.chip, at.ppa.block.0);
+    }
+
+    /// Terminal per-page rung inside a failed block-level settle: `pLock`
+    /// retries, then an in-place scrub (infallible — the partial pulse
+    /// physically destroys the wordline's charge).
+    fn plock_or_scrub<E: NandExecutor>(&mut self, ex: &mut E, at: GlobalPpa) {
+        if self.chips[at.chip].status[self.flat(at.ppa)] != PageStatus::Invalid {
+            return;
+        }
+        if self.plock_with_retry(ex, at) {
+            return;
+        }
+        self.stats.lock_scrub_fallbacks += 1;
+        ex.scrub(at);
+        self.stats.scrubs += 1;
+    }
+
+    /// `bLock` with bounded, backed-off retries. Returns verify success;
+    /// counts the terminal failure as a fallback.
+    fn block_lock_with_retry<E: NandExecutor>(
+        &mut self,
+        ex: &mut E,
+        chip: usize,
+        block: u32,
+    ) -> bool {
+        let budget = self.cfg.reliability.block_retry_budget;
+        let base = self.cfg.reliability.backoff_base;
+        for attempt in 0..=budget {
+            self.stats.blocks_locked += 1;
+            if ex.b_lock(chip, BlockId(block)).is_ok() {
+                return true;
+            }
+            if attempt < budget {
+                self.stats.block_lock_retries += 1;
+                ex.stall(chip, Nanos(base.0 << attempt));
+            }
+        }
+        self.stats.block_lock_fallbacks += 1;
+        false
+    }
+
+    /// Settles a batch of dead secured pages of one block with a `bLock`,
+    /// demoting to per-page locks (scrub as last resort) when the SSL
+    /// program keeps failing its verify.
+    fn secure_block<E: NandExecutor>(
+        &mut self,
+        ex: &mut E,
+        chip: usize,
+        block: u32,
+        pages: &[GlobalPpa],
+    ) {
+        if self.block_lock_with_retry(ex, chip, block) {
+            return;
+        }
+        for &at in pages {
+            self.plock_or_scrub(ex, at);
+        }
+    }
+
+    /// Block-level escalation after a page's `pLock` ladder is exhausted:
+    /// stop appending to the block, relocate its live pages, then `bLock`
+    /// the whole block; if even that fails, erase it immediately (the
+    /// erSSD fallback — which retires the block if the erase fails too).
+    fn escalate_block<E: NandExecutor, O: FtlObserver>(
+        &mut self,
+        ex: &mut E,
+        obs: &mut O,
+        chip: usize,
+        block: u32,
+    ) {
+        let cs = &mut self.chips[chip];
+        if cs.active.is_some_and(|ab| ab.id == block) {
+            // Sacrifice the write pointer: the block's remaining free pages
+            // are wasted until the eventual erase reclaims them.
+            cs.active = None;
+            cs.set_block_state(block, BlockState::Full);
+        }
+        if self.chips[chip].blocks[block as usize].live > 0 {
+            // The relocation burst consumes pages; reserve headroom first.
+            self.ensure_space_target(ex, obs, chip, self.cfg.gc_free_threshold + 1);
+            match self.chips[chip].blocks[block as usize].state {
+                // The reservation GC consumed (or retired) the block: the
+                // offending page is already physically gone.
+                BlockState::Free | BlockState::Open | BlockState::Retired => return,
+                BlockState::Full | BlockState::Reclaimable => {}
+            }
+            let before = self.stats.copied_pages;
+            let _ = self.relocate_live_pages(ex, obs, chip, block);
+            self.stats.reliability_relocations += self.stats.copied_pages - before;
+        }
+        match self.chips[chip].blocks[block as usize].state {
+            BlockState::Free | BlockState::Open | BlockState::Retired => return,
+            BlockState::Full | BlockState::Reclaimable => {}
+        }
+        if self.block_lock_with_retry(ex, chip, block) {
+            let cs = &mut self.chips[chip];
+            if cs.blocks[block as usize].state == BlockState::Full {
+                cs.set_block_state(block, BlockState::Reclaimable);
+                cs.reclaimable.push_back(block);
+            }
+            return;
+        }
+        // erSSD rung: physically destroy the block's contents now.
+        self.detach_block(chip, block);
+        if self.erase_block(ex, obs, chip, block) {
+            self.stats.sanitize_erases += 1;
+            self.chips[chip].free.push_back(block);
+        }
+    }
+
+    /// Quarantines the slot consumed by a failed program: the page holds a
+    /// torn remnant of the payload. If the payload was secure-class the
+    /// remnant is destroyed on the spot (a torn page can still decode).
+    fn note_program_failure<E: NandExecutor>(&mut self, ex: &mut E, at: GlobalPpa, secure: bool) {
+        self.stats.program_fail_remaps += 1;
+        let idx = self.flat(at.ppa);
+        self.chips[at.chip].mark_invalid(idx, at.ppa.block.0);
+        if secure {
+            ex.scrub(at);
+            self.stats.scrubs += 1;
+        }
+    }
+
+    /// Retires a block as grown-bad: scrubs every written page (the erase
+    /// pulse no longer completes, but single-wordline scrub pulses still
+    /// destroy charge, so no remnant survives), programs the spare-area
+    /// retirement sentinel, removes the block from circulation, and
+    /// re-evaluates the degraded mode.
+    fn retire_block<E: NandExecutor>(&mut self, ex: &mut E, chip: usize, id: u32) {
+        let written = ex.probe_block(chip, BlockId(id)).next_program;
+        for p in 0..written {
+            ex.scrub(GlobalPpa::new(chip, Ppa { block: BlockId(id), page: PageId(p) }));
+            self.stats.scrubs += 1;
+        }
+        ex.mark_bad(chip, BlockId(id));
+        self.detach_block(chip, id);
+        let cs = &mut self.chips[chip];
+        cs.set_block_state(id, BlockState::Retired);
+        cs.retired += 1;
+        self.stats.retired_blocks += 1;
+        self.update_degraded(chip);
+    }
+
+    /// Re-derives the degraded mode from `chip`'s retired count. The mode
+    /// only escalates at runtime; recovery rebuilds it from scratch.
+    fn update_degraded(&mut self, chip: usize) {
+        let res = &self.cfg.reliability;
+        let used = self.chips[chip].retired as usize;
+        if used >= res.spare_blocks {
+            self.mode = DegradedMode::ReadOnly;
+        } else if res.spare_blocks - used <= res.spare_low_watermark
+            && self.mode == DegradedMode::Normal
+        {
+            self.mode = DegradedMode::SpareLow;
+        }
+    }
+
+    // ---------------------------------------------------------------------
     // Power-up recovery (see crate::recovery for the algorithm overview)
     // ---------------------------------------------------------------------
 
@@ -1090,8 +1388,11 @@ impl Ftl {
             cs.victims = VictimIndex::new(n_blocks, ppb);
             cs.live_total = 0;
             cs.invalid_total = 0;
+            cs.retired = 0;
         }
         self.next_chip = 0;
+        // Rebuilt below from the on-flash grown-bad-block marks.
+        self.mode = DegradedMode::Normal;
         // The deferred-lock queue died with RAM. Its pages are rediscovered
         // below as stale secured versions (sequence-contest losers) and
         // resealed through the policy's own mechanism.
@@ -1111,12 +1412,26 @@ impl Ftl {
                 let bid = BlockId(b);
                 let bp = ex.probe_block(chip, bid);
 
+                // A grown-bad mark short-circuits everything: the block was
+                // retired (its contents scrubbed at retirement) and never
+                // re-enters circulation. The spare-area sentinel is the
+                // persistent bad-block table.
+                if bp.bad {
+                    let cs = &mut self.chips[chip];
+                    cs.set_block_state(b, BlockState::Retired);
+                    cs.retired += 1;
+                    continue;
+                }
+
                 // A torn erase is finished first: its low-voltage flag
                 // cells may already be clear while data pages survive, so
                 // the block must be sealed before anything is served.
+                // (A terminal erase failure retires the block instead —
+                // either way the hazard is closed.)
                 if bp.torn_erase {
-                    self.erase_block(ex, obs, chip, b);
-                    self.chips[chip].free.push_back(b);
+                    if self.erase_block(ex, obs, chip, b) {
+                        self.chips[chip].free.push_back(b);
+                    }
                     report.resealed_blocks += 1;
                     continue;
                 }
@@ -1231,6 +1546,13 @@ impl Ftl {
         to_sanitize.extend_from_slice(&orphans);
         self.sanitize_after_recovery(ex, obs, &to_sanitize, &mut report);
 
+        // Phase 5: re-derive the degraded mode from the rebuilt grown-bad
+        // table (blocks retired during this recovery included).
+        report.retired_blocks = u64::from(self.retired_block_count());
+        for chip in 0..self.chips.len() {
+            self.update_degraded(chip);
+        }
+
         obs.on_recovery(&report);
         report
     }
@@ -1276,16 +1598,17 @@ impl Ftl {
             SanitizePolicy::EraseBased => {
                 for (chip, block, _) in groups {
                     // The block may already have been consumed (lazy-erased
-                    // on reuse) by a previous group's relocations.
+                    // on reuse, or retired) by a previous group's relocations.
                     match self.chips[chip].blocks[block as usize].state {
-                        BlockState::Free | BlockState::Open => continue,
+                        BlockState::Free | BlockState::Open | BlockState::Retired => continue,
                         BlockState::Full | BlockState::Reclaimable => {}
                     }
                     let _ = self.relocate_live_pages(ex, obs, chip, block);
                     self.detach_block(chip, block);
-                    self.erase_block(ex, obs, chip, block);
-                    self.stats.sanitize_erases += 1;
-                    self.chips[chip].free.push_back(block);
+                    if self.erase_block(ex, obs, chip, block) {
+                        self.stats.sanitize_erases += 1;
+                        self.chips[chip].free.push_back(block);
+                    }
                 }
             }
             SanitizePolicy::Scrub => {
@@ -1417,6 +1740,21 @@ impl Ftl {
             }
             assert_eq!(live_sum, c.live_total, "chip live total drift at chip {ci}");
             assert_eq!(invalid_sum, c.invalid_total, "chip invalid total drift at chip {ci}");
+            let retired = c.blocks.iter().filter(|b| b.state == BlockState::Retired).count() as u32;
+            assert_eq!(retired, c.retired, "retired count drift at chip {ci}");
+            for (bi, b) in c.blocks.iter().enumerate() {
+                if b.state == BlockState::Retired {
+                    let bi = bi as u32;
+                    assert!(
+                        !c.free.contains(&bi) && !c.reclaimable.contains(&bi),
+                        "retired block {bi} still in circulation on chip {ci}"
+                    );
+                    assert!(
+                        c.active.is_none_or(|ab| ab.id != bi),
+                        "retired block {bi} is the active frontier on chip {ci}"
+                    );
+                }
+            }
         }
     }
 }
@@ -2051,7 +2389,7 @@ mod tests {
         }
         ftl.write(&mut ex, &mut NullObserver, 3, true, 999);
         assert_eq!(ftl.pending_coalesced_locks(), 1);
-        ftl.flush_coalesced(&mut ex);
+        ftl.flush_coalesced(&mut ex, &mut NullObserver);
         assert_eq!(ftl.pending_coalesced_locks(), 0);
         assert_eq!(ftl.stats().plocks, 1, "block still has live pages: pLock, not bLock");
         let attacker = Attacker::new();
@@ -2081,12 +2419,185 @@ mod tests {
             }
         }
         assert!(ftl.stats().gc_invocations > 0, "churn must exercise the victim index");
-        ftl.flush_coalesced(&mut ex);
+        ftl.flush_coalesced(&mut ex, &mut NullObserver);
         assert_eq!(ftl.pending_coalesced_locks(), 0);
         ftl.check_invariants();
         // The O(1)-maintained aggregates agree with a fresh scan of reality.
         let mapped = (0..span).filter(|&l| ftl.mapped(l as Lpa).is_some()).count() as u64;
         assert_eq!(ftl.live_pages(), mapped);
         assert!(ftl.invalid_pages() > 0);
+    }
+
+    // -----------------------------------------------------------------
+    // Runtime reliability manager
+    // -----------------------------------------------------------------
+
+    use evanesco_core::fault::FaultConfig;
+
+    /// Single chip with the fault model armed (placement deterministic).
+    fn setup_faulty(policy: SanitizePolicy, faults: FaultConfig) -> (Ftl, MemExecutor) {
+        let cfg = FtlConfig { n_chips: 1, faults, ..FtlConfig::tiny_for_tests() };
+        let ftl = Ftl::new(cfg, policy);
+        let ex = MemExecutor::with_faults(cfg.geometry, cfg.n_chips, faults);
+        (ftl, ex)
+    }
+
+    #[test]
+    fn plock_retry_absorbs_transient_verify_failures() {
+        let (mut ftl, mut ex) = setup_one_chip(SanitizePolicy::evanesco());
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 10);
+        ftl.write(&mut ex, &mut NullObserver, 1, true, 20);
+        // Two forced verify failures: within the retry budget of 3.
+        ex.chips_mut()[0].inject_lock_verify_failures(2);
+        ftl.trim(&mut ex, &mut NullObserver, &[0]);
+        let s = ftl.stats();
+        assert_eq!(s.plocks, 3, "two failed attempts plus the success");
+        assert_eq!(s.plock_retries, 2);
+        assert_eq!(s.plock_escalations, 0);
+        let attacker = Attacker::new();
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[0], 10));
+        assert_eq!(ftl.read(&mut ex, 1).unwrap().tag(), 20);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn plock_exhaustion_escalates_to_block_settlement() {
+        let (mut ftl, mut ex) = setup_one_chip(SanitizePolicy::evanesco());
+        ftl.write(&mut ex, &mut NullObserver, 0, true, 10);
+        ftl.write(&mut ex, &mut NullObserver, 1, true, 20);
+        // Exhaust the pLock ladder (budget 3 -> 4 attempts); the subsequent
+        // bLock succeeds.
+        ex.chips_mut()[0].inject_lock_verify_failures(4);
+        ftl.trim(&mut ex, &mut NullObserver, &[0]);
+        let s = ftl.stats();
+        assert_eq!(s.plocks, 4);
+        assert_eq!(s.plock_retries, 3);
+        assert_eq!(s.plock_escalations, 1);
+        assert_eq!(s.blocks_locked, 1, "escalation settles the block with one bLock");
+        assert_eq!(s.reliability_relocations, 1, "live sibling moved out first");
+        // The injected hazards are fully accounted for by the responses.
+        let f = ex.fault_totals();
+        assert_eq!(f.plock_failures, s.plock_retries + s.plock_escalations);
+        let attacker = Attacker::new();
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[0], 10));
+        assert_eq!(ftl.read(&mut ex, 1).unwrap().tag(), 20, "relocated page survives");
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn block_lock_fallback_demotes_to_per_page_locks() {
+        let cfg = FtlConfig { n_chips: 1, ..FtlConfig::tiny_for_tests() };
+        let ppb = cfg.geometry.pages_per_block() as u64;
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::evanesco());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        let lpas: Vec<Lpa> = (0..ppb).collect();
+        for &l in &lpas {
+            ftl.write(&mut ex, &mut NullObserver, l, true, l);
+        }
+        // Exhaust the bLock ladder (budget 2 -> 3 attempts); per-page locks
+        // then succeed.
+        ex.chips_mut()[0].inject_lock_verify_failures(3);
+        ftl.trim(&mut ex, &mut NullObserver, &lpas);
+        let s = ftl.stats();
+        assert_eq!(s.blocks_locked, 3);
+        assert_eq!(s.block_lock_retries, 2);
+        assert_eq!(s.block_lock_fallbacks, 1);
+        assert_eq!(s.plocks, ppb, "every dead page sealed individually");
+        assert_eq!(s.lock_scrub_fallbacks, 0);
+        assert_eq!(ex.fault_totals().block_lock_failures, 3);
+        let attacker = Attacker::new();
+        for &l in &lpas {
+            assert!(!attacker.recover_tag(&mut ex.chips_mut()[0], l));
+        }
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn erase_failure_retires_block_after_relocating_live_pages() {
+        let faults = FaultConfig { erase_fail: 1.0, seed: 11, ..FaultConfig::none() };
+        let (mut ftl, mut ex) = setup_faulty(SanitizePolicy::erase_based(), faults);
+        for (l, tag) in [(0u64, 10u64), (1, 20), (2, 30)] {
+            ftl.write(&mut ex, &mut NullObserver, l, true, tag);
+        }
+        ftl.trim(&mut ex, &mut NullObserver, &[0]);
+        let s = ftl.stats();
+        assert_eq!(s.erase_retries, 1, "one backed-off retry before giving up");
+        assert_eq!(s.retired_blocks, 1);
+        assert_eq!(s.sanitize_erases, 0, "the erase never succeeded");
+        assert!(s.copied_pages >= 2, "live pages relocated before the erase: {s:?}");
+        assert_eq!(ftl.retired_block_count(), 1);
+        assert_eq!(ftl.degraded(), DegradedMode::SpareLow, "one of two spares consumed");
+        // Retirement scrubs every written page of the dead block.
+        let attacker = Attacker::new();
+        assert!(!attacker.recover_tag(&mut ex.chips_mut()[0], 10));
+        assert_eq!(ftl.read(&mut ex, 1).unwrap().tag(), 20);
+        assert_eq!(ftl.read(&mut ex, 2).unwrap().tag(), 30);
+        // Both erase attempts were injected faults.
+        assert_eq!(ex.fault_totals().erase_failures, 2);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn spare_exhaustion_enters_read_only_mode() {
+        let faults = FaultConfig { erase_fail: 1.0, seed: 11, ..FaultConfig::none() };
+        let (mut ftl, mut ex) = setup_faulty(SanitizePolicy::erase_based(), faults);
+        for (l, tag) in [(0u64, 10u64), (1, 20), (2, 30)] {
+            ftl.write(&mut ex, &mut NullObserver, l, true, tag);
+        }
+        ftl.trim(&mut ex, &mut NullObserver, &[0]); // retires block 0
+        assert_eq!(ftl.degraded(), DegradedMode::SpareLow);
+        ftl.trim(&mut ex, &mut NullObserver, &[1]); // retires the next block
+        assert_eq!(ftl.retired_block_count(), 2);
+        assert_eq!(ftl.degraded(), DegradedMode::ReadOnly, "spare reserve exhausted");
+        // Host writes are rejected; reads still serve.
+        assert!(!ftl.write(&mut ex, &mut NullObserver, 7, false, 70));
+        assert_eq!(ftl.stats().writes_rejected_readonly, 1);
+        assert_eq!(ftl.mapped(7), None);
+        assert_eq!(ftl.read(&mut ex, 2).unwrap().tag(), 30);
+        // The accounting identity holds: every injected erase failure is an
+        // FTL retry or a retirement.
+        let s = ftl.stats();
+        assert_eq!(ex.fault_totals().erase_failures, s.erase_retries + s.retired_blocks);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn recovery_rebuilds_bad_block_table_and_degraded_mode() {
+        let faults = FaultConfig { erase_fail: 1.0, seed: 11, ..FaultConfig::none() };
+        let (mut ftl, mut ex) = setup_faulty(SanitizePolicy::erase_based(), faults);
+        for (l, tag) in [(0u64, 10u64), (1, 20), (2, 30)] {
+            ftl.write(&mut ex, &mut NullObserver, l, true, tag);
+        }
+        ftl.trim(&mut ex, &mut NullObserver, &[0]);
+        assert_eq!(ftl.retired_block_count(), 1);
+        // Power cycle: all RAM state (mapping, bad-block table, mode) lost.
+        let cfg = FtlConfig { n_chips: 1, faults, ..FtlConfig::tiny_for_tests() };
+        let mut fresh = Ftl::new(cfg, SanitizePolicy::erase_based());
+        let report = fresh.recover(&mut ex, &mut NullObserver);
+        assert_eq!(report.retired_blocks, 1, "table rebuilt from spare-area marks");
+        assert_eq!(fresh.retired_block_count(), 1);
+        assert_eq!(fresh.degraded(), DegradedMode::SpareLow);
+        assert_eq!(fresh.read(&mut ex, 1).unwrap().tag(), 20);
+        assert_eq!(fresh.read(&mut ex, 2).unwrap().tag(), 30);
+        fresh.check_invariants();
+    }
+
+    #[test]
+    fn program_failure_remaps_and_destroys_secure_remnant() {
+        let faults = FaultConfig { program_fail: 0.5, seed: 3, ..FaultConfig::none() };
+        let (mut ftl, mut ex) = setup_faulty(SanitizePolicy::evanesco(), faults);
+        for l in 0..30u64 {
+            assert!(ftl.write(&mut ex, &mut NullObserver, l, true, 1000 + l));
+        }
+        for l in 0..30u64 {
+            assert_eq!(ftl.read(&mut ex, l).unwrap().tag(), 1000 + l, "remap preserved data");
+        }
+        let s = ftl.stats();
+        assert!(s.program_fail_remaps > 0, "p=0.5 over 30 writes must fail sometimes");
+        // Every injected program failure is one remap, and every secure
+        // remnant was destroyed on the spot.
+        assert_eq!(ex.fault_totals().program_failures, s.program_fail_remaps);
+        assert_eq!(s.scrubs, s.program_fail_remaps);
+        ftl.check_invariants();
     }
 }

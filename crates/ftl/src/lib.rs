@@ -41,7 +41,7 @@ pub mod status;
 
 pub use addr::{GlobalPpa, Lpa};
 pub use config::FtlConfig;
-pub use ftl::Ftl;
+pub use ftl::{DegradedMode, Ftl};
 pub use policy::SanitizePolicy;
 pub use recovery::RecoveryReport;
 pub use stats::FtlStats;

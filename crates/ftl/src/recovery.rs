@@ -53,6 +53,9 @@ pub struct RecoveryReport {
     pub lock_retries: u64,
     /// Locks abandoned after [`MAX_LOCK_RETRIES`] and replaced by a scrub.
     pub lock_fallbacks: u64,
+    /// Grown-bad blocks in the rebuilt bad-block table after this scan
+    /// (spare-area marks rediscovered plus blocks retired mid-recovery).
+    pub retired_blocks: u64,
 }
 
 impl RecoveryReport {

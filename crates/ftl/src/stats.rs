@@ -34,6 +34,33 @@ pub struct FtlStats {
     /// Deferred `pLock`s that aged out of the coalescing window and were
     /// issued individually after all.
     pub coalesce_flushed_plocks: u64,
+    /// Reliability manager — `pLock` verify failures answered with a
+    /// backed-off retry.
+    pub plock_retries: u64,
+    /// `pLock` retry budgets exhausted, escalating the page's block to a
+    /// block-level sanitize (relocate + `bLock`/erase).
+    pub plock_escalations: u64,
+    /// `pLock` retry budgets exhausted inside a block-level fallback,
+    /// answered with an in-place scrub (the infallible terminal rung).
+    pub lock_scrub_fallbacks: u64,
+    /// `bLock` verify failures answered with a backed-off retry.
+    pub block_lock_retries: u64,
+    /// `bLock` retry budgets exhausted, falling back to per-page locks or
+    /// an immediate erase.
+    pub block_lock_fallbacks: u64,
+    /// Program-status failures remapped to a fresh page (the consumed slot
+    /// is marked invalid-suspect and scrubbed if it held secure data).
+    pub program_fail_remaps: u64,
+    /// Erase-status failures answered with a retry.
+    pub erase_retries: u64,
+    /// Blocks retired as grown-bad after exhausting the erase retry budget.
+    pub retired_blocks: u64,
+    /// Live pages relocated because their block was escalated to a
+    /// block-level sanitize (subset of `copied_pages`).
+    pub reliability_relocations: u64,
+    /// Host writes rejected because the drive is in read-only degraded
+    /// mode (spare-block reserve exhausted).
+    pub writes_rejected_readonly: u64,
 }
 
 impl FtlStats {
@@ -73,7 +100,31 @@ impl FtlStats {
             sanitize_erases: self.sanitize_erases - earlier.sanitize_erases,
             coalesced_plocks: self.coalesced_plocks - earlier.coalesced_plocks,
             coalesce_flushed_plocks: self.coalesce_flushed_plocks - earlier.coalesce_flushed_plocks,
+            plock_retries: self.plock_retries - earlier.plock_retries,
+            plock_escalations: self.plock_escalations - earlier.plock_escalations,
+            lock_scrub_fallbacks: self.lock_scrub_fallbacks - earlier.lock_scrub_fallbacks,
+            block_lock_retries: self.block_lock_retries - earlier.block_lock_retries,
+            block_lock_fallbacks: self.block_lock_fallbacks - earlier.block_lock_fallbacks,
+            program_fail_remaps: self.program_fail_remaps - earlier.program_fail_remaps,
+            erase_retries: self.erase_retries - earlier.erase_retries,
+            retired_blocks: self.retired_blocks - earlier.retired_blocks,
+            reliability_relocations: self.reliability_relocations - earlier.reliability_relocations,
+            writes_rejected_readonly: self.writes_rejected_readonly
+                - earlier.writes_rejected_readonly,
         }
+    }
+
+    /// Total reliability-manager interventions (every injected command
+    /// failure is answered by exactly one of these).
+    pub fn reliability_events(&self) -> u64 {
+        self.plock_retries
+            + self.plock_escalations
+            + self.lock_scrub_fallbacks
+            + self.block_lock_retries
+            + self.block_lock_fallbacks
+            + self.program_fail_remaps
+            + self.erase_retries
+            + self.retired_blocks
     }
 }
 

@@ -15,6 +15,7 @@
 use crate::config::SsdConfig;
 use crate::timeline::Resource;
 use evanesco_core::chip::{EvanescoChip, ReadResult};
+use evanesco_core::fault::{FaultStats, OpStatus};
 use evanesco_ftl::executor::{probe_block_on, probe_page_on, BlockProbe, NandExecutor, PageProbe};
 use evanesco_ftl::GlobalPpa;
 use evanesco_nand::chip::{PageContent, PageData};
@@ -103,7 +104,11 @@ impl TimedExecutor {
         let n = cfg.n_chips();
         TimedExecutor {
             chips: (0..n)
-                .map(|_| EvanescoChip::with_timing(cfg.ftl.geometry, cfg.ftl.timing))
+                .map(|i| {
+                    let mut c = EvanescoChip::with_timing(cfg.ftl.geometry, cfg.ftl.timing);
+                    c.enable_faults(cfg.ftl.faults, i as u64);
+                    c
+                })
                 .collect(),
             chip_res: vec![Resource::new(); n],
             channel_res: vec![Resource::new(); cfg.channels as usize],
@@ -269,6 +274,15 @@ impl TimedExecutor {
         self.chips.iter().map(|c| c.nand_stats().erases).sum()
     }
 
+    /// Aggregated injected-fault counters across chips.
+    pub fn fault_totals(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for c in &self.chips {
+            total.absorb(c.fault_stats());
+        }
+        total
+    }
+
     /// Busy-time accounting per operation class.
     pub fn time_breakdown(&self) -> TimeBreakdown {
         self.breakdown
@@ -303,6 +317,16 @@ impl NandExecutor for TimedExecutor {
         // logic (e.g. a GC copy loop) sees consistent data. Its RAM-side
         // effects are discarded at recovery; only mutations are gated.
         let out = self.chips[at.chip].read(at.ppa).expect("FTL issues in-range reads");
+        // Read-retry ladder: each chip-internal re-read re-occupies the
+        // array for another sensing pass.
+        let retries = self.chips[at.chip].last_read_retries();
+        if retries > 0 {
+            if let OpFate::Completes { .. } = fate {
+                let extra = Nanos(self.timing.t_read.0 * u64::from(retries));
+                self.reserve_chip(at.chip, extra);
+                self.breakdown.read += extra;
+            }
+        }
         match out.result {
             ReadResult::Locked => None,
             ReadResult::Content(PageContent::Data(d)) => Some(d),
@@ -310,10 +334,13 @@ impl NandExecutor for TimedExecutor {
         }
     }
 
-    fn program(&mut self, at: GlobalPpa, data: PageData) {
+    fn program(&mut self, at: GlobalPpa, data: PageData) -> OpStatus {
+        // Status never reaches the firmware across a power loss: torn and
+        // lost commands report `Ok` and are healed by the recovery scan
+        // instead (retrying against a dead bus would spin forever).
         if self.powered_off {
             self.window_clean = false;
-            return;
+            return OpStatus::Ok;
         }
         // Data-in transfer on the channel, then the array program. A cut
         // during the transfer means the array never saw the data: the
@@ -325,7 +352,7 @@ impl NandExecutor for TimedExecutor {
             Some(cut) if xfer_start >= cut => {
                 self.powered_off = true;
                 self.window_clean = false;
-                return;
+                return OpStatus::Ok;
             }
             Some(cut) if xfer_start + self.timing.t_xfer_page > cut => {
                 let (_, end) = self.channel_res[ch].reserve(dep, cut - xfer_start);
@@ -333,7 +360,7 @@ impl NandExecutor for TimedExecutor {
                 self.breakdown.xfer += cut - xfer_start;
                 self.powered_off = true;
                 self.window_clean = false;
-                return;
+                return OpStatus::Ok;
             }
             _ => {
                 let (_, end) = self.channel_res[ch].reserve(dep, self.timing.t_xfer_page);
@@ -354,17 +381,19 @@ impl NandExecutor for TimedExecutor {
                     }
                 }
                 self.chips[at.chip].program(at.ppa, data).expect("FTL issues legal programs");
+                self.chips[at.chip].status()
             }
             OpFate::Torn(fraction) => {
                 self.chips[at.chip]
                     .interrupt_program(at.ppa, data, fraction)
                     .expect("FTL issues legal programs");
+                OpStatus::Ok
             }
-            OpFate::Lost => {}
+            OpFate::Lost => OpStatus::Ok,
         }
     }
 
-    fn erase(&mut self, chip: usize, block: BlockId) {
+    fn erase(&mut self, chip: usize, block: BlockId) -> OpStatus {
         let (fate, consumed) = self.op_fate(chip, Nanos::ZERO, self.timing.t_bers);
         self.breakdown.erase += consumed;
         match fate {
@@ -373,48 +402,54 @@ impl NandExecutor for TimedExecutor {
                 // the gap between an erase finishing and the first program
                 // starting.
                 self.chips[chip].erase(block, end).expect("FTL erases in-range blocks");
+                self.chips[chip].status()
             }
             OpFate::Torn(fraction) => {
                 let salt = self.fault_salt;
                 self.chips[chip]
                     .interrupt_erase(block, fraction, salt)
                     .expect("FTL erases in-range blocks");
+                OpStatus::Ok
             }
-            OpFate::Lost => {}
+            OpFate::Lost => OpStatus::Ok,
         }
     }
 
-    fn p_lock(&mut self, at: GlobalPpa) {
+    fn p_lock(&mut self, at: GlobalPpa) -> OpStatus {
         let (fate, consumed) = self.op_fate(at.chip, Nanos::ZERO, self.timing.t_plock);
         self.breakdown.plock += consumed;
         match fate {
             OpFate::Completes { .. } => {
                 self.chips[at.chip].p_lock(at.ppa).expect("FTL locks programmed pages");
+                self.chips[at.chip].status()
             }
             OpFate::Torn(fraction) => {
                 let salt = self.fault_salt;
                 self.chips[at.chip]
                     .interrupt_p_lock(at.ppa, fraction, salt)
                     .expect("FTL locks programmed pages");
+                OpStatus::Ok
             }
-            OpFate::Lost => {}
+            OpFate::Lost => OpStatus::Ok,
         }
     }
 
-    fn b_lock(&mut self, chip: usize, block: BlockId) {
+    fn b_lock(&mut self, chip: usize, block: BlockId) -> OpStatus {
         let (fate, consumed) = self.op_fate(chip, Nanos::ZERO, self.timing.t_block);
         self.breakdown.block += consumed;
         match fate {
             OpFate::Completes { .. } => {
                 self.chips[chip].b_lock(block).expect("FTL locks in-range blocks");
+                self.chips[chip].status()
             }
             OpFate::Torn(fraction) => {
                 let salt = self.fault_salt;
                 self.chips[chip]
                     .interrupt_b_lock(block, fraction, salt)
                     .expect("FTL locks in-range blocks");
+                OpStatus::Ok
             }
-            OpFate::Lost => {}
+            OpFate::Lost => OpStatus::Ok,
         }
     }
 
@@ -443,6 +478,17 @@ impl NandExecutor for TimedExecutor {
 
     fn probe_block(&mut self, chip: usize, block: BlockId) -> BlockProbe {
         probe_block_on(&self.chips[chip], block)
+    }
+
+    fn mark_bad(&mut self, chip: usize, block: BlockId) {
+        // The retirement sentinel is a spare-area program (tPROG). A cut
+        // mid-mark simply loses the mark: the next boot re-discovers the
+        // failing erase and retires the block again.
+        let (fate, consumed) = self.op_fate(chip, Nanos::ZERO, self.timing.t_prog);
+        self.breakdown.program += consumed;
+        if let OpFate::Completes { .. } = fate {
+            self.chips[chip].mark_bad_block(block).expect("FTL marks in-range blocks");
+        }
     }
 
     fn stall(&mut self, chip: usize, dur: Nanos) {

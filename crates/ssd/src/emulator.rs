@@ -122,7 +122,7 @@ impl Emulator {
     /// before end-of-run attacker verification so queued pages are locked
     /// rather than merely scheduled to be.
     pub fn flush_coalesced_locks(&mut self) {
-        self.ftl.flush_coalesced(&mut self.ex);
+        self.ftl.flush_coalesced(&mut self.ex, &mut NullObserver);
     }
 
     /// Writes `npages` consecutive logical pages starting at `lpa`.
@@ -171,8 +171,9 @@ impl Emulator {
             }
             self.ex.begin_commit();
             let before = self.ex.simulated_time();
-            self.ftl.write(&mut self.ex, obs, l, secure, tag);
-            let acked = self.ex.commit_clean();
+            let accepted = self.ftl.write(&mut self.ex, obs, l, secure, tag);
+            // A write the degraded-mode gate rejected is never acked.
+            let acked = accepted && self.ex.commit_clean();
             if acked {
                 // Tag bookkeeping follows the ack: an unacknowledged write
                 // never supersedes the previous version from the host's
@@ -209,8 +210,8 @@ impl Emulator {
                 continue;
             }
             self.ex.begin_commit();
-            self.ftl.write_data(&mut self.ex, &mut NullObserver, l, secure, data);
-            if self.ex.commit_clean() {
+            let accepted = self.ftl.write_data(&mut self.ex, &mut NullObserver, l, secure, data);
+            if accepted && self.ex.commit_clean() {
                 if self.cfg.track_tags {
                     if let Some((old, was_secure)) = self.tag_of[l as usize].replace((tag, secure))
                     {
@@ -364,10 +365,11 @@ impl Emulator {
         let res = match d.op {
             HostOp::Write { lpa, npages, secure } => {
                 let tags: Vec<u64> = (0..npages).map(|i| tag_base + i).collect();
+                let mut accepted = true;
                 for (i, &tag) in tags.iter().enumerate() {
-                    self.ftl.write(&mut self.ex, obs, lpa + i as u64, secure, tag);
+                    accepted &= self.ftl.write(&mut self.ex, obs, lpa + i as u64, secure, tag);
                 }
-                let acked = self.ex.commit_clean();
+                let acked = accepted && self.ex.commit_clean();
                 if acked {
                     if self.cfg.track_tags {
                         for (i, &tag) in tags.iter().enumerate() {
@@ -531,6 +533,7 @@ impl Emulator {
             self.ex.lock_totals(),
             self.ex.erase_total(),
             self.recovery,
+            self.ex.fault_totals(),
         )
     }
 }

@@ -1,6 +1,7 @@
 //! Run-level metrics: IOPS, WAF, erases, lock mix, recovery, latency
 //! histograms.
 
+use evanesco_core::fault::FaultStats;
 use evanesco_ftl::{FtlStats, RecoveryReport};
 use evanesco_nand::timing::Nanos;
 
@@ -93,6 +94,9 @@ pub struct RecoveryTotals {
     pub lock_retries: u64,
     /// Locks replaced by a destructive scrub after the retry budget.
     pub lock_fallbacks: u64,
+    /// Grown-bad-block table size after the most recent scan (rebuilt from
+    /// the on-flash spare-area marks; a snapshot, not a running sum).
+    pub retired_blocks: u64,
 }
 
 impl RecoveryTotals {
@@ -110,6 +114,7 @@ impl RecoveryTotals {
         self.stale_secured += r.stale_secured;
         self.lock_retries += r.lock_retries;
         self.lock_fallbacks += r.lock_fallbacks;
+        self.retired_blocks = r.retired_blocks;
     }
 
     /// Difference against an earlier snapshot of the same run.
@@ -127,6 +132,7 @@ impl RecoveryTotals {
             stale_secured: self.stale_secured - earlier.stale_secured,
             lock_retries: self.lock_retries - earlier.lock_retries,
             lock_fallbacks: self.lock_fallbacks - earlier.lock_fallbacks,
+            retired_blocks: self.retired_blocks,
         }
     }
 }
@@ -152,6 +158,9 @@ pub struct RunResult {
     pub ftl: FtlStats,
     /// Power-up recovery work (zero if the run never lost power).
     pub recovery: RecoveryTotals,
+    /// Chip-level injected-fault counters (zero unless a fault model is
+    /// configured).
+    pub faults: FaultStats,
 }
 
 impl RunResult {
@@ -163,6 +172,7 @@ impl RunResult {
         locks: (u64, u64),
         erases: u64,
         recovery: RecoveryTotals,
+        faults: FaultStats,
     ) -> Self {
         let secs = sim_time.as_secs_f64();
         RunResult {
@@ -175,6 +185,7 @@ impl RunResult {
             blocks_locked: locks.1,
             ftl,
             recovery,
+            faults,
         }
     }
 
@@ -206,6 +217,7 @@ impl RunResult {
             (self.plocks - earlier.plocks, self.blocks_locked - earlier.blocks_locked),
             self.erases - earlier.erases,
             self.recovery.since(&earlier.recovery),
+            self.faults.since(&earlier.faults),
         )
     }
 }
@@ -224,6 +236,7 @@ mod tests {
             (0, 0),
             0,
             RecoveryTotals::default(),
+            FaultStats::default(),
         )
     }
 
@@ -288,6 +301,7 @@ mod tests {
             stale_secured: 2,
             lock_retries: 4,
             lock_fallbacks: 1,
+            retired_blocks: 1,
         };
         t.absorb(&r, Nanos::from_micros(500));
         let snapshot = t;

@@ -1,0 +1,143 @@
+//! Fault-storm demonstration: the runtime reliability manager under
+//! deterministic, seedable chip-failure injection.
+//!
+//! Drives an overwrite/trim-heavy secure workload while the chips fail
+//! `pLock`/`bLock` verifies, program statuses, and erases at a chosen
+//! storm severity, then prints the full reliability ledger: every
+//! injected hazard next to the escalation-ladder response that absorbed
+//! it (retry, escalation, per-page fallback, remap, retirement). Ends
+//! with a power cycle to show the grown-bad-block table being rebuilt
+//! from the on-flash spare-area marks.
+//!
+//! Exits non-zero if any secured version is recoverable by a
+//! de-soldered-chip attacker, or if an injected fault is unaccounted for.
+//!
+//! ```bash
+//! cargo run --example fault_storm             # low, mid, and high storms
+//! cargo run --example fault_storm -- high     # one severity (CI matrix)
+//! cargo run --example fault_storm -- 0.42 7   # custom severity and seed
+//! ```
+
+use evanesco::core::fault::FaultConfig;
+use evanesco::ftl::observer::NullObserver;
+use evanesco::ftl::SanitizePolicy;
+use evanesco::ssd::{Emulator, SsdConfig};
+
+fn severity_of(name: &str) -> f64 {
+    match name {
+        "low" => 0.05,
+        "mid" => 0.35,
+        "high" => 0.8,
+        other => other.parse().expect("severity: low | mid | high | <float in [0,1]>"),
+    }
+}
+
+/// Overwrite/trim churn over secured data: plenty of dead pages for the
+/// lock ladders, plenty of GC erases for the retirement path.
+fn churn(ssd: &mut Emulator, rounds: u64) {
+    let span = ssd.logical_pages() / 2;
+    for round in 0..rounds {
+        for l in 0..span {
+            let _ = ssd.write_tracked((l * 7 + round) % span, 1, true);
+        }
+        let _ = ssd.trim_with(&mut NullObserver, (round * 13) % (span / 2), span / 8);
+    }
+    ssd.flush_coalesced_locks();
+}
+
+fn run_storm(name: &str, severity: f64, seed: u64) -> bool {
+    let mut cfg = SsdConfig::tiny_for_tests();
+    cfg.ftl.faults = FaultConfig::storm(severity, seed);
+    let mut ssd = Emulator::new(cfg, SanitizePolicy::evanesco());
+    churn(&mut ssd, 3);
+
+    let r = ssd.result();
+    let f = r.faults;
+    let s = r.ftl;
+    println!("== fault storm `{name}` (severity {severity}, seed {seed}) ==");
+    println!(
+        "injected:  {} pLock, {} bLock, {} program, {} erase failures; \
+         {} read retries, {} uncorrectable",
+        f.plock_failures,
+        f.block_lock_failures,
+        f.program_failures,
+        f.erase_failures,
+        f.read_retries,
+        f.unc_reads,
+    );
+    println!(
+        "responses: {} pLock retries, {} block escalations, {} scrub fallbacks",
+        s.plock_retries, s.plock_escalations, s.lock_scrub_fallbacks,
+    );
+    println!(
+        "           {} bLock retries, {} per-page fallbacks, {} program remaps",
+        s.block_lock_retries, s.block_lock_fallbacks, s.program_fail_remaps,
+    );
+    println!(
+        "           {} erase retries, {} blocks retired, {} pages relocated, \
+         {} writes rejected (read-only)",
+        s.erase_retries, s.retired_blocks, s.reliability_relocations, s.writes_rejected_readonly,
+    );
+    println!("mode: {:?}, grown-bad table: {} blocks", ssd.ftl().degraded(), s.retired_blocks);
+
+    // Every injected command failure must map to exactly one response.
+    let accounted = f.plock_failures
+        == s.plock_retries + s.plock_escalations + s.lock_scrub_fallbacks
+        && f.block_lock_failures == s.block_lock_retries + s.block_lock_fallbacks
+        && f.program_failures == s.program_fail_remaps
+        && f.erase_failures == s.erase_retries + s.retired_blocks;
+    if !accounted {
+        println!("FAIL: injected faults not fully accounted for");
+        return false;
+    }
+
+    // The sanitization contract: no superseded or deleted secured version
+    // is recoverable even by de-soldering every chip.
+    let logical = ssd.logical_pages();
+    if !ssd.verify_sanitized(0, logical) {
+        println!("FAIL: a secured version is attacker-recoverable");
+        return false;
+    }
+    ssd.ftl().check_invariants();
+
+    // Power cycle: the grown-bad-block table and the degraded mode must
+    // be rebuilt from the on-flash retirement marks alone.
+    let retired = ssd.ftl().retired_block_count();
+    let report = ssd.recover();
+    if report.retired_blocks != u64::from(retired) {
+        println!(
+            "FAIL: bad-block table lost across power cycle ({} vs {retired})",
+            report.retired_blocks
+        );
+        return false;
+    }
+    if !ssd.verify_sanitized(0, logical) {
+        println!("FAIL: leak after recovery");
+        return false;
+    }
+    println!(
+        "power cycle: {} retired blocks rediscovered, mode {:?}, still sanitized\n",
+        report.retired_blocks,
+        ssd.ftl().degraded(),
+    );
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = args.get(1).map(|s| s.parse().expect("seed")).unwrap_or(42);
+    let storms: Vec<(String, f64)> = match args.first() {
+        Some(name) => vec![(name.clone(), severity_of(name))],
+        None => {
+            ["low", "mid", "high"].into_iter().map(|n| (n.to_string(), severity_of(n))).collect()
+        }
+    };
+    let mut ok = true;
+    for (name, severity) in &storms {
+        ok &= run_storm(name, *severity, seed);
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("all storms absorbed: sanitization guarantee held throughout");
+}

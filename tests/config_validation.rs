@@ -103,6 +103,91 @@ fn ftl_rejects_zero_block_min_plocks() {
     cfg.validate();
 }
 
+// ---- Fault model & reliability knobs ---------------------------------------
+
+#[test]
+#[should_panic(expected = "fault probability plock_fail must be in [0, 1]")]
+fn ftl_rejects_out_of_range_fault_probability() {
+    let mut cfg = tiny_ftl();
+    cfg.faults.plock_fail = 1.5;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "fault probability erase_fail must be in [0, 1]")]
+fn ftl_rejects_negative_fault_probability() {
+    let mut cfg = tiny_ftl();
+    cfg.faults.erase_fail = -0.1;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "fault probability read_retry_decay must be in [0, 1]")]
+fn ftl_rejects_out_of_range_retry_decay() {
+    let mut cfg = tiny_ftl();
+    cfg.faults.read_retry_decay = 2.0;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "program_fail must be below 1")]
+fn ftl_rejects_certain_program_failure() {
+    // p = 1.0 would make the write-remap loop diverge.
+    let mut cfg = tiny_ftl();
+    cfg.faults.program_fail = 1.0;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "backoff_base must be positive")]
+fn ftl_rejects_zero_backoff() {
+    let mut cfg = tiny_ftl();
+    cfg.reliability.backoff_base = evanesco::nand::timing::Nanos(0);
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "spare_blocks must be >= 1")]
+fn ftl_rejects_zero_spare_blocks() {
+    let mut cfg = tiny_ftl();
+    cfg.reliability.spare_blocks = 0;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "must be below spare_blocks")]
+fn ftl_rejects_watermark_at_or_above_spares() {
+    let mut cfg = tiny_ftl();
+    cfg.reliability.spare_low_watermark = cfg.reliability.spare_blocks;
+    cfg.validate();
+}
+
+#[test]
+#[should_panic(expected = "must be below the")]
+fn ftl_rejects_spares_exceeding_block_count() {
+    let mut cfg = tiny_ftl();
+    cfg.reliability.spare_blocks = cfg.geometry.blocks as usize;
+    cfg.validate();
+}
+
+#[test]
+fn storm_and_calibrated_fault_configs_validate() {
+    for severity in [0.0, 0.5, 1.0] {
+        let mut cfg = tiny_ftl();
+        cfg.faults = evanesco::core::fault::FaultConfig::storm(severity, 7);
+        // A full-severity storm saturates program_fail below the divergence
+        // limit by construction.
+        cfg.validate();
+    }
+    let mut cfg = tiny_ftl();
+    cfg.faults = evanesco::core::fault::FaultConfig::calibrated(
+        evanesco::core::calibration::DesignPoint::new(1, 100),
+        1e-3,
+        7,
+    );
+    cfg.validate();
+}
+
 // ---- SsdConfig -------------------------------------------------------------
 
 #[test]
