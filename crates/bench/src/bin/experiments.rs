@@ -11,9 +11,11 @@
 //! The `scheduler` name is special: besides printing the throughput
 //! table it writes `BENCH_scheduler.json` to the current directory and
 //! exits non-zero when the queue-depth-8 speedup over the serialized
-//! baseline falls under the regression gate.
+//! baseline falls under the regression gate. `trace` is likewise special:
+//! it writes the chrome://tracing export to `TRACE_scheduler.json` and
+//! exits non-zero if the export drifts from the checked-in schema.
 
-use evanesco_bench::experiments::scheduler;
+use evanesco_bench::experiments::{scheduler, tracing};
 use evanesco_bench::{run_experiment, Scale, EXPERIMENT_NAMES};
 
 fn main() {
@@ -73,6 +75,16 @@ fn main() {
                     report.gate_speedup(),
                     scheduler::GATE_MIN_SPEEDUP,
                 );
+                gate_failed = true;
+            }
+        } else if name == "trace" {
+            let report = tracing::run(&scale, &scale_name);
+            println!("{}", report.render());
+            std::fs::write("TRACE_scheduler.json", &report.chrome_json)
+                .expect("write TRACE_scheduler.json");
+            println!("wrote TRACE_scheduler.json (open in chrome://tracing or Perfetto)");
+            if let Err(e) = report.validate() {
+                eprintln!("trace schema DRIFT: {e}");
                 gate_failed = true;
             }
         } else {

@@ -11,4 +11,5 @@ pub mod reliability;
 pub mod scheduler;
 pub mod security;
 pub mod system;
+pub mod tracing;
 pub mod versioning;

@@ -117,7 +117,7 @@ pub fn sched_config(scale: &Scale) -> SsdConfig {
             faults: evanesco_ftl::config::FaultConfig::none(),
             reliability: evanesco_ftl::config::ReliabilityConfig::paper(),
         };
-        SsdConfig { channels: 2, chips_per_channel: 4, ftl, track_tags: false }
+        SsdConfig { channels: 2, chips_per_channel: 4, ftl, track_tags: false, stale_audit: false }
     } else {
         SsdConfig::scaled(scale.blocks_per_chip)
     };

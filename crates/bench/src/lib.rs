@@ -59,12 +59,13 @@ pub fn run_experiment(name: &str, scale: &Scale) -> String {
         "delete-latency" => experiments::latency::delete_latency(),
         "ablation-lazy" => experiments::ablation::ablation_lazy(scale),
         "scheduler" => experiments::scheduler::scheduler(scale, "custom"),
+        "trace" => experiments::tracing::trace(scale, "custom"),
         other => panic!("unknown experiment '{other}'; known: {EXPERIMENT_NAMES:?}"),
     }
 }
 
 /// All experiment names accepted by [`run_experiment`], in report order.
-pub const EXPERIMENT_NAMES: [&str; 22] = [
+pub const EXPERIMENT_NAMES: [&str; 23] = [
     "table2",
     "fig2",
     "table1",
@@ -87,6 +88,7 @@ pub const EXPERIMENT_NAMES: [&str; 22] = [
     "ablation-gc",
     "security-flagaging",
     "scheduler",
+    "trace",
 ];
 
 #[cfg(test)]

@@ -465,7 +465,7 @@ impl Ftl {
             self.stats.nand_programs += 1;
             if ex.program(at, payload.clone()).is_ok() {
                 self.commit_mapping(lpa, at, secure);
-                obs.on_program(lpa, at, false);
+                obs.on_program(lpa, at, false, secure);
                 return true;
             }
             self.note_program_failure(ex, at, secure);
@@ -765,7 +765,7 @@ impl Ftl {
             };
             self.stats.copied_pages += 1;
             self.commit_mapping(lpa, new_at, secure);
-            obs.on_program(lpa, new_at, true);
+            obs.on_program(lpa, new_at, true, secure);
 
             // Invalidate the old slot (bookkeeping only; sanitization of the
             // whole dead block happens after all copies complete).
@@ -773,7 +773,7 @@ impl Ftl {
             if st == PageStatus::Secured {
                 secured_olds.push(old);
             }
-            obs.on_invalidate(old, self.policy.is_immediate());
+            obs.on_invalidate(old, secure, self.policy.is_immediate() && secure);
         }
         secured_olds
     }
@@ -879,7 +879,8 @@ impl Ftl {
             if st == PageStatus::Secured {
                 secured.push(old);
             }
-            obs.on_invalidate(old, self.policy.is_immediate() && st == PageStatus::Secured);
+            let sec = st == PageStatus::Secured;
+            obs.on_invalidate(old, sec, self.policy.is_immediate() && sec);
         }
         // Lock coalescing (Evanesco policies only): deferrable locks queue
         // until the block dies — one bLock then covers the whole batch — or
@@ -1110,9 +1111,9 @@ impl Ftl {
             };
             self.stats.copied_pages += 1;
             self.commit_mapping(lpa, new_at, secure);
-            obs.on_program(lpa, new_at, true);
+            obs.on_program(lpa, new_at, true, secure);
             self.chips[chip].mark_invalid(idx, block.0);
-            obs.on_invalidate(at, true);
+            obs.on_invalidate(at, secure, true);
         }
 
         // Destroy the wordline: the target, the siblings' old slots, and any

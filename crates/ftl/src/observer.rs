@@ -1,5 +1,6 @@
 //! Observation hooks for instrumentation (the VerTrace data-versioning
-//! study attaches here; see `evanesco-workloads`).
+//! study and the live telemetry gauges attach here; see
+//! `evanesco-workloads` and `evanesco-ssd::gauges`).
 
 use crate::addr::{GlobalPpa, Lpa};
 use evanesco_nand::geometry::BlockId;
@@ -9,12 +10,15 @@ use evanesco_nand::geometry::BlockId;
 /// All methods have empty default bodies so observers implement only what
 /// they need.
 pub trait FtlObserver {
-    /// A logical page was (re)written; `relocation` is true for GC copies.
-    fn on_program(&mut self, _lpa: Lpa, _at: GlobalPpa, _relocation: bool) {}
-    /// A physical page was invalidated. `sanitized` is true when the policy
-    /// made its content immediately unrecoverable (lock / scrub / the
-    /// erase that is about to follow).
-    fn on_invalidate(&mut self, _at: GlobalPpa, _sanitized: bool) {}
+    /// A logical page was (re)written; `relocation` is true for GC copies,
+    /// `secure` for pages written under a security requirement (the
+    /// non-`O_INSEC` path).
+    fn on_program(&mut self, _lpa: Lpa, _at: GlobalPpa, _relocation: bool, _secure: bool) {}
+    /// A physical page was invalidated. `secure` is true when the page held
+    /// secured content; `sanitized` is true when the policy made its
+    /// content immediately unrecoverable (lock / scrub / the erase that is
+    /// about to follow).
+    fn on_invalidate(&mut self, _at: GlobalPpa, _secure: bool, _sanitized: bool) {}
     /// A block was physically erased: all its invalid content is gone.
     fn on_erase(&mut self, _chip: usize, _block: BlockId) {}
     /// One host logical-time tick (a host page write was accepted).
@@ -29,6 +33,82 @@ pub struct NullObserver;
 
 impl FtlObserver for NullObserver {}
 
+impl<O: FtlObserver + ?Sized> FtlObserver for &mut O {
+    fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, relocation: bool, secure: bool) {
+        (**self).on_program(lpa, at, relocation, secure);
+    }
+    fn on_invalidate(&mut self, at: GlobalPpa, secure: bool, sanitized: bool) {
+        (**self).on_invalidate(at, secure, sanitized);
+    }
+    fn on_erase(&mut self, chip: usize, block: BlockId) {
+        (**self).on_erase(chip, block);
+    }
+    fn on_host_tick(&mut self) {
+        (**self).on_host_tick();
+    }
+    fn on_recovery(&mut self, report: &crate::recovery::RecoveryReport) {
+        (**self).on_recovery(report);
+    }
+}
+
+/// `Some(observer)` forwards, `None` drops every event — the shape of an
+/// optional, always-attached telemetry sink.
+impl<O: FtlObserver> FtlObserver for Option<O> {
+    fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, relocation: bool, secure: bool) {
+        if let Some(o) = self {
+            o.on_program(lpa, at, relocation, secure);
+        }
+    }
+    fn on_invalidate(&mut self, at: GlobalPpa, secure: bool, sanitized: bool) {
+        if let Some(o) = self {
+            o.on_invalidate(at, secure, sanitized);
+        }
+    }
+    fn on_erase(&mut self, chip: usize, block: BlockId) {
+        if let Some(o) = self {
+            o.on_erase(chip, block);
+        }
+    }
+    fn on_host_tick(&mut self) {
+        if let Some(o) = self {
+            o.on_host_tick();
+        }
+    }
+    fn on_recovery(&mut self, report: &crate::recovery::RecoveryReport) {
+        if let Some(o) = self {
+            o.on_recovery(report);
+        }
+    }
+}
+
+/// Broadcasts every event to two observers (attach built-in telemetry
+/// alongside a caller-supplied observer).
+#[derive(Debug)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: FtlObserver, B: FtlObserver> FtlObserver for Tee<A, B> {
+    fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, relocation: bool, secure: bool) {
+        self.0.on_program(lpa, at, relocation, secure);
+        self.1.on_program(lpa, at, relocation, secure);
+    }
+    fn on_invalidate(&mut self, at: GlobalPpa, secure: bool, sanitized: bool) {
+        self.0.on_invalidate(at, secure, sanitized);
+        self.1.on_invalidate(at, secure, sanitized);
+    }
+    fn on_erase(&mut self, chip: usize, block: BlockId) {
+        self.0.on_erase(chip, block);
+        self.1.on_erase(chip, block);
+    }
+    fn on_host_tick(&mut self) {
+        self.0.on_host_tick();
+        self.1.on_host_tick();
+    }
+    fn on_recovery(&mut self, report: &crate::recovery::RecoveryReport) {
+        self.0.on_recovery(report);
+        self.1.on_recovery(report);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,9 +117,49 @@ mod tests {
     #[test]
     fn null_observer_accepts_everything() {
         let mut o = NullObserver;
-        o.on_program(0, GlobalPpa::new(0, Ppa::new(0, 0)), false);
-        o.on_invalidate(GlobalPpa::new(0, Ppa::new(0, 0)), true);
+        o.on_program(0, GlobalPpa::new(0, Ppa::new(0, 0)), false, true);
+        o.on_invalidate(GlobalPpa::new(0, Ppa::new(0, 0)), true, true);
         o.on_erase(0, BlockId(0));
         o.on_host_tick();
+    }
+
+    #[derive(Default)]
+    struct Counter {
+        programs: u32,
+        invalidates: u32,
+        ticks: u32,
+    }
+
+    impl FtlObserver for Counter {
+        fn on_program(&mut self, _: Lpa, _: GlobalPpa, _: bool, _: bool) {
+            self.programs += 1;
+        }
+        fn on_invalidate(&mut self, _: GlobalPpa, _: bool, _: bool) {
+            self.invalidates += 1;
+        }
+        fn on_host_tick(&mut self) {
+            self.ticks += 1;
+        }
+    }
+
+    #[test]
+    fn tee_broadcasts_and_option_gates() {
+        let mut a = Counter::default();
+        let mut b: Option<&mut Counter> = None;
+        {
+            let mut tee = Tee(&mut a, &mut b);
+            tee.on_program(0, GlobalPpa::new(0, Ppa::new(0, 0)), false, true);
+            tee.on_host_tick();
+        }
+        assert_eq!((a.programs, a.ticks), (1, 1));
+
+        let mut c = Counter::default();
+        let mut some = Some(&mut c);
+        {
+            let mut tee = Tee(&mut a, &mut some);
+            tee.on_invalidate(GlobalPpa::new(0, Ppa::new(0, 0)), true, false);
+        }
+        assert_eq!(a.invalidates, 1);
+        assert_eq!(c.invalidates, 1);
     }
 }

@@ -15,12 +15,23 @@ pub struct SsdConfig {
     /// Whether the emulator records content tags for forensic verification
     /// (cheap for tests; disable for large performance runs).
     pub track_tags: bool,
+    /// Whether the emulator keeps the stale-tag audit log that backs
+    /// `verify_sanitized` (requires `track_tags`). The log grows with
+    /// every overwrite/trim; long performance runs should disable it or
+    /// compact it periodically (`Emulator::compact_stale`).
+    pub stale_audit: bool,
 }
 
 impl SsdConfig {
     /// The paper's SecureSSD (§7): 2 channels × 4 chips of 3D TLC.
     pub fn paper() -> Self {
-        SsdConfig { channels: 2, chips_per_channel: 4, ftl: FtlConfig::paper(), track_tags: false }
+        SsdConfig {
+            channels: 2,
+            chips_per_channel: 4,
+            ftl: FtlConfig::paper(),
+            track_tags: false,
+            stale_audit: false,
+        }
     }
 
     /// Paper structure with a scaled-down block count per chip.
@@ -30,13 +41,14 @@ impl SsdConfig {
             chips_per_channel: 4,
             ftl: FtlConfig::paper_scaled(blocks_per_chip),
             track_tags: false,
+            stale_audit: false,
         }
     }
 
-    /// A tiny SSD for unit tests, with tag tracking on.
+    /// A tiny SSD for unit tests, with tag tracking and auditing on.
     pub fn tiny_for_tests() -> Self {
         let ftl = FtlConfig::tiny_for_tests();
-        SsdConfig { channels: 2, chips_per_channel: 1, ftl, track_tags: true }
+        SsdConfig { channels: 2, chips_per_channel: 1, ftl, track_tags: true, stale_audit: true }
     }
 
     /// Total chips.
@@ -60,6 +72,7 @@ impl SsdConfig {
             self.ftl.n_chips,
             "channel topology and FTL chip count disagree"
         );
+        assert!(!self.stale_audit || self.track_tags, "SsdConfig: stale_audit requires track_tags");
         self.ftl.validate();
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::config::SsdConfig;
 use crate::timeline::Resource;
+use crate::trace::{ResourceId, SpanKind, TraceEvent};
 use evanesco_core::chip::{EvanescoChip, ReadResult};
 use evanesco_core::fault::{FaultStats, OpStatus};
 use evanesco_ftl::executor::{probe_block_on, probe_page_on, BlockProbe, NandExecutor, PageProbe};
@@ -95,6 +96,13 @@ pub struct TimedExecutor {
     /// Completion time of everything issued inside the open dispatch
     /// window.
     dispatch_end: Nanos,
+    /// When true, every reservation is mirrored into `trace_events` (one
+    /// branch per reservation when disabled — the cost the CI overhead
+    /// gate bounds).
+    trace_on: bool,
+    /// Resource intervals reserved since the last
+    /// [`TimedExecutor::take_trace_events`] drain.
+    trace_events: Vec<TraceEvent>,
 }
 
 impl TimedExecutor {
@@ -124,6 +132,35 @@ impl TimedExecutor {
             horizon: Nanos::ZERO,
             dispatch_floor: None,
             dispatch_end: Nanos::ZERO,
+            trace_on: false,
+            trace_events: Vec::new(),
+        }
+    }
+
+    /// Enables or disables op-level tracing. While enabled, every chip
+    /// and channel reservation is recorded as a [`TraceEvent`]; timing is
+    /// never affected — the same reservations are made either way.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace_on = on;
+        if !on {
+            self.trace_events = Vec::new();
+        }
+    }
+
+    /// Whether op-level tracing is enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace_on
+    }
+
+    /// Drains the events reserved since the last drain (the emulator
+    /// calls this at each host-request boundary).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace_events)
+    }
+
+    fn trace_push(&mut self, kind: SpanKind, resource: ResourceId, start: Nanos, end: Nanos) {
+        if self.trace_on && end > start {
+            self.trace_events.push(TraceEvent { kind, resource, start, end });
         }
     }
 
@@ -194,7 +231,13 @@ impl TimedExecutor {
     /// window when it completes, the window up to the cut when torn, and
     /// nothing when power was already gone. Returns the fate and the
     /// consumed time (for breakdown accounting).
-    fn op_fate(&mut self, chip: usize, earliest: Nanos, dur: Nanos) -> (OpFate, Nanos) {
+    fn op_fate(
+        &mut self,
+        chip: usize,
+        earliest: Nanos,
+        dur: Nanos,
+        kind: SpanKind,
+    ) -> (OpFate, Nanos) {
         let earliest = self.floored(earliest);
         if self.powered_off {
             self.window_clean = false;
@@ -203,6 +246,7 @@ impl TimedExecutor {
         let Some(cut) = self.power_cut else {
             let (start, end) = self.chip_res[chip].reserve(earliest, dur);
             self.note_end(end);
+            self.trace_push(kind, ResourceId::Chip(chip), start, end);
             return (OpFate::Completes { start, end }, dur);
         };
         let start = self.chip_res[chip].busy_until().max(earliest);
@@ -212,14 +256,16 @@ impl TimedExecutor {
             (OpFate::Lost, Nanos::ZERO)
         } else if start + dur > cut {
             let partial = cut - start;
-            let (_, end) = self.chip_res[chip].reserve(earliest, partial);
+            let (start, end) = self.chip_res[chip].reserve(earliest, partial);
             self.note_end(end);
+            self.trace_push(kind, ResourceId::Chip(chip), start, end);
             self.powered_off = true;
             self.window_clean = false;
             (OpFate::Torn(partial.0 as f64 / dur.0 as f64), partial)
         } else {
             let (start, end) = self.chip_res[chip].reserve(earliest, dur);
             self.note_end(end);
+            self.trace_push(kind, ResourceId::Chip(chip), start, end);
             (OpFate::Completes { start, end }, dur)
         }
     }
@@ -294,22 +340,30 @@ impl TimedExecutor {
         self.open_interval_sum.0.checked_div(self.open_interval_count).map(Nanos)
     }
 
-    fn reserve_chip(&mut self, chip: usize, dur: Nanos) -> (Nanos, Nanos) {
+    fn reserve_chip(&mut self, chip: usize, dur: Nanos, kind: SpanKind) -> (Nanos, Nanos) {
         let earliest = self.floored(Nanos::ZERO);
         let (start, end) = self.chip_res[chip].reserve(earliest, dur);
         self.note_end(end);
+        self.trace_push(kind, ResourceId::Chip(chip), start, end);
+        (start, end)
+    }
+
+    fn reserve_channel(&mut self, ch: usize, earliest: Nanos, dur: Nanos) -> (Nanos, Nanos) {
+        let (start, end) = self.channel_res[ch].reserve(earliest, dur);
+        self.note_end(end);
+        self.trace_push(SpanKind::Xfer, ResourceId::Channel(ch), start, end);
         (start, end)
     }
 }
 
 impl NandExecutor for TimedExecutor {
     fn read(&mut self, at: GlobalPpa) -> Option<PageData> {
-        let (fate, consumed) = self.op_fate(at.chip, Nanos::ZERO, self.timing.t_read);
+        let (fate, consumed) =
+            self.op_fate(at.chip, Nanos::ZERO, self.timing.t_read, SpanKind::Read);
         self.breakdown.read += consumed;
         if let OpFate::Completes { end, .. } = fate {
             let ch = self.channel_of(at.chip);
-            let (_, xfer_end) = self.channel_res[ch].reserve(end, self.timing.t_xfer_page);
-            self.note_end(xfer_end);
+            self.reserve_channel(ch, end, self.timing.t_xfer_page);
             self.breakdown.xfer += self.timing.t_xfer_page;
         }
         // The array stays readable through the discharge: the read is
@@ -323,7 +377,7 @@ impl NandExecutor for TimedExecutor {
         if retries > 0 {
             if let OpFate::Completes { .. } = fate {
                 let extra = Nanos(self.timing.t_read.0 * u64::from(retries));
-                self.reserve_chip(at.chip, extra);
+                self.reserve_chip(at.chip, extra, SpanKind::Read);
                 self.breakdown.read += extra;
             }
         }
@@ -355,21 +409,20 @@ impl NandExecutor for TimedExecutor {
                 return OpStatus::Ok;
             }
             Some(cut) if xfer_start + self.timing.t_xfer_page > cut => {
-                let (_, end) = self.channel_res[ch].reserve(dep, cut - xfer_start);
-                self.note_end(end);
+                self.reserve_channel(ch, dep, cut - xfer_start);
                 self.breakdown.xfer += cut - xfer_start;
                 self.powered_off = true;
                 self.window_clean = false;
                 return OpStatus::Ok;
             }
             _ => {
-                let (_, end) = self.channel_res[ch].reserve(dep, self.timing.t_xfer_page);
-                self.note_end(end);
+                let (_, end) = self.reserve_channel(ch, dep, self.timing.t_xfer_page);
                 self.breakdown.xfer += self.timing.t_xfer_page;
                 end
             }
         };
-        let (fate, consumed) = self.op_fate(at.chip, xfer_end, self.timing.t_prog);
+        let (fate, consumed) =
+            self.op_fate(at.chip, xfer_end, self.timing.t_prog, SpanKind::Program);
         self.breakdown.program += consumed;
         match fate {
             OpFate::Completes { start, .. } => {
@@ -394,7 +447,7 @@ impl NandExecutor for TimedExecutor {
     }
 
     fn erase(&mut self, chip: usize, block: BlockId) -> OpStatus {
-        let (fate, consumed) = self.op_fate(chip, Nanos::ZERO, self.timing.t_bers);
+        let (fate, consumed) = self.op_fate(chip, Nanos::ZERO, self.timing.t_bers, SpanKind::Erase);
         self.breakdown.erase += consumed;
         match fate {
             OpFate::Completes { end, .. } => {
@@ -416,7 +469,8 @@ impl NandExecutor for TimedExecutor {
     }
 
     fn p_lock(&mut self, at: GlobalPpa) -> OpStatus {
-        let (fate, consumed) = self.op_fate(at.chip, Nanos::ZERO, self.timing.t_plock);
+        let (fate, consumed) =
+            self.op_fate(at.chip, Nanos::ZERO, self.timing.t_plock, SpanKind::PLock);
         self.breakdown.plock += consumed;
         match fate {
             OpFate::Completes { .. } => {
@@ -435,7 +489,8 @@ impl NandExecutor for TimedExecutor {
     }
 
     fn b_lock(&mut self, chip: usize, block: BlockId) -> OpStatus {
-        let (fate, consumed) = self.op_fate(chip, Nanos::ZERO, self.timing.t_block);
+        let (fate, consumed) =
+            self.op_fate(chip, Nanos::ZERO, self.timing.t_block, SpanKind::BLock);
         self.breakdown.block += consumed;
         match fate {
             OpFate::Completes { .. } => {
@@ -454,7 +509,8 @@ impl NandExecutor for TimedExecutor {
     }
 
     fn scrub(&mut self, at: GlobalPpa) {
-        let (fate, consumed) = self.op_fate(at.chip, Nanos::ZERO, self.timing.t_scrub);
+        let (fate, consumed) =
+            self.op_fate(at.chip, Nanos::ZERO, self.timing.t_scrub, SpanKind::Scrub);
         self.breakdown.scrub += consumed;
         match fate {
             OpFate::Completes { .. } => {
@@ -471,7 +527,7 @@ impl NandExecutor for TimedExecutor {
 
     fn probe_page(&mut self, at: GlobalPpa) -> PageProbe {
         // Recovery runs powered-on: the scan pays one page read per probe.
-        self.reserve_chip(at.chip, self.timing.t_read);
+        self.reserve_chip(at.chip, self.timing.t_read, SpanKind::Read);
         self.breakdown.read += self.timing.t_read;
         probe_page_on(&mut self.chips[at.chip], at.ppa)
     }
@@ -484,7 +540,8 @@ impl NandExecutor for TimedExecutor {
         // The retirement sentinel is a spare-area program (tPROG). A cut
         // mid-mark simply loses the mark: the next boot re-discovers the
         // failing erase and retires the block again.
-        let (fate, consumed) = self.op_fate(chip, Nanos::ZERO, self.timing.t_prog);
+        let (fate, consumed) =
+            self.op_fate(chip, Nanos::ZERO, self.timing.t_prog, SpanKind::Program);
         self.breakdown.program += consumed;
         if let OpFate::Completes { .. } = fate {
             self.chips[chip].mark_bad_block(block).expect("FTL marks in-range blocks");
@@ -492,7 +549,7 @@ impl NandExecutor for TimedExecutor {
     }
 
     fn stall(&mut self, chip: usize, dur: Nanos) {
-        self.reserve_chip(chip, dur);
+        self.reserve_chip(chip, dur, SpanKind::Stall);
     }
 
     fn begin_dispatch(&mut self, earliest: Nanos) {

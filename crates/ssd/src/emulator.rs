@@ -7,11 +7,13 @@
 
 use crate::config::SsdConfig;
 use crate::device::TimedExecutor;
-use crate::metrics::{LatencyHistogram, RecoveryTotals, RunResult};
+use crate::gauges::LiveGauges;
+use crate::metrics::{LatencyBreakdown, LatencyHistogram, RecoveryTotals, RunResult};
 use crate::sched::{Dispatch, HostOp, OpResult, SchedRun, Scheduler};
+use crate::trace::{ReqKind, TraceRecorder};
 use evanesco_core::threat::Attacker;
 use evanesco_ftl::ftl::Ftl;
-use evanesco_ftl::observer::{FtlObserver, NullObserver};
+use evanesco_ftl::observer::{FtlObserver, NullObserver, Tee};
 use evanesco_ftl::{Lpa, RecoveryReport, SanitizePolicy};
 use evanesco_nand::timing::Nanos;
 use std::collections::HashSet;
@@ -25,13 +27,20 @@ pub struct Emulator {
     /// Current content tag and security flag per logical page (tag
     /// tracking only).
     tag_of: Vec<Option<(u64, bool)>>,
-    /// Superseded or deleted tags: `(lpa, tag, was_secure)`.
+    /// Superseded or deleted tags: `(lpa, tag, was_secure)` — the audit
+    /// log behind [`Emulator::verify_sanitized`]. Only populated when
+    /// `cfg.stale_audit` is on; see [`Emulator::compact_stale`].
     stale: Vec<(Lpa, u64, bool)>,
     next_tag: u64,
     host_ops: u64,
+    read_latency: LatencyHistogram,
     write_latency: LatencyHistogram,
     trim_latency: LatencyHistogram,
     recovery: RecoveryTotals,
+    /// Live T_insecure / VAF gauges ([`Emulator::enable_gauges`]).
+    gauges: Option<LiveGauges>,
+    /// Per-request span recorder ([`Emulator::enable_tracing`]).
+    trace: Option<TraceRecorder>,
 }
 
 impl Emulator {
@@ -46,11 +55,80 @@ impl Emulator {
             stale: Vec::new(),
             next_tag: 1,
             host_ops: 0,
+            read_latency: LatencyHistogram::new(),
             write_latency: LatencyHistogram::new(),
             trim_latency: LatencyHistogram::new(),
             recovery: RecoveryTotals::default(),
+            gauges: None,
+            trace: None,
             cfg,
             ftl,
+        }
+    }
+
+    /// Attaches the live T_insecure / VAF gauges (see [`LiveGauges`]).
+    /// They observe every FTL event from this point on, alongside any
+    /// caller-supplied observer. Idempotent; returns `&mut self` for
+    /// chaining at construction.
+    pub fn enable_gauges(&mut self) -> &mut Self {
+        if self.gauges.is_none() {
+            self.gauges = Some(LiveGauges::new());
+        }
+        self
+    }
+
+    /// The live gauges, if enabled.
+    pub fn gauges(&self) -> Option<&LiveGauges> {
+        self.gauges.as_ref()
+    }
+
+    /// Enables op-level tracing with a ring of `capacity` request traces
+    /// (see [`TraceRecorder`]). Simulated timing is unaffected: the same
+    /// reservations are made with tracing on or off.
+    pub fn enable_tracing(&mut self, capacity: usize) -> &mut Self {
+        self.trace = Some(TraceRecorder::new(capacity));
+        self.ex.set_tracing(true);
+        self
+    }
+
+    /// The trace recorder, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.as_ref()
+    }
+
+    /// Detaches and returns the trace recorder, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<TraceRecorder> {
+        self.ex.set_tracing(false);
+        self.trace.take()
+    }
+
+    /// Finishes the open trace bracket for one host request, if tracing.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_finish(
+        &mut self,
+        kind: ReqKind,
+        lpa: Lpa,
+        npages: u64,
+        acked: bool,
+        submit: Nanos,
+        earliest: Nanos,
+        end: Nanos,
+    ) {
+        if let Some(tr) = self.trace.as_mut() {
+            let events = self.ex.take_trace_events();
+            // Zero-work brackets (e.g. a maintenance flush with nothing
+            // queued) are not worth a ring slot.
+            if !events.is_empty() || end > submit {
+                tr.record(kind, lpa, npages, acked, submit, earliest, end, events);
+            }
+        }
+    }
+
+    /// Discards device events that accrued outside any request bracket
+    /// (maintenance work between traced requests).
+    fn trace_discard_leftovers(&mut self) {
+        if self.trace.is_some() {
+            let _ = self.ex.take_trace_events();
         }
     }
 
@@ -79,11 +157,14 @@ impl Emulator {
 
     /// [`Emulator::recover`] with an observer attached.
     pub fn recover_with<O: FtlObserver>(&mut self, obs: &mut O) -> RecoveryReport {
+        self.trace_discard_leftovers();
         self.ex.power_on();
         let before = self.ex.simulated_time();
-        let report = self.ftl.recover(&mut self.ex, obs);
-        let scan_time = self.ex.simulated_time().saturating_sub(before);
+        let report = self.ftl.recover(&mut self.ex, &mut Tee(self.gauges.as_mut(), &mut *obs));
+        let end = self.ex.simulated_time();
+        let scan_time = end.saturating_sub(before);
         self.recovery.absorb(&report, scan_time);
+        self.trace_finish(ReqKind::Recovery, 0, report.scanned_pages, true, before, before, end);
         report
     }
 
@@ -122,7 +203,11 @@ impl Emulator {
     /// before end-of-run attacker verification so queued pages are locked
     /// rather than merely scheduled to be.
     pub fn flush_coalesced_locks(&mut self) {
-        self.ftl.flush_coalesced(&mut self.ex, &mut NullObserver);
+        self.trace_discard_leftovers();
+        let before = self.ex.simulated_time();
+        self.ftl.flush_coalesced(&mut self.ex, &mut Tee(self.gauges.as_mut(), NullObserver));
+        let end = self.ex.simulated_time();
+        self.trace_finish(ReqKind::Maintenance, 0, 0, true, before, before, end);
     }
 
     /// Writes `npages` consecutive logical pages starting at `lpa`.
@@ -169,24 +254,35 @@ impl Emulator {
                 tags.push((tag, false));
                 continue;
             }
+            self.trace_discard_leftovers();
             self.ex.begin_commit();
             let before = self.ex.simulated_time();
-            let accepted = self.ftl.write(&mut self.ex, obs, l, secure, tag);
+            let accepted = self.ftl.write(
+                &mut self.ex,
+                &mut Tee(self.gauges.as_mut(), &mut *obs),
+                l,
+                secure,
+                tag,
+            );
             // A write the degraded-mode gate rejected is never acked.
             let acked = accepted && self.ex.commit_clean();
             if acked {
                 // Tag bookkeeping follows the ack: an unacknowledged write
                 // never supersedes the previous version from the host's
                 // point of view.
-                if self.cfg.track_tags {
+                if self.cfg.track_tags && self.cfg.stale_audit {
                     if let Some((old, was_secure)) = self.tag_of[l as usize].replace((tag, secure))
                     {
                         self.stale.push((l, old, was_secure));
                     }
+                } else if self.cfg.track_tags {
+                    self.tag_of[l as usize] = Some((tag, secure));
                 }
                 self.write_latency.record(self.ex.simulated_time().saturating_sub(before));
                 self.host_ops += 1;
             }
+            let end = self.ex.simulated_time();
+            self.trace_finish(ReqKind::Write, l, 1, acked, before, before, end);
             tags.push((tag, acked));
         }
         tags
@@ -209,17 +305,31 @@ impl Emulator {
                 tags.push(tag);
                 continue;
             }
+            self.trace_discard_leftovers();
             self.ex.begin_commit();
-            let accepted = self.ftl.write_data(&mut self.ex, &mut NullObserver, l, secure, data);
-            if accepted && self.ex.commit_clean() {
-                if self.cfg.track_tags {
+            let before = self.ex.simulated_time();
+            let accepted = self.ftl.write_data(
+                &mut self.ex,
+                &mut Tee(self.gauges.as_mut(), NullObserver),
+                l,
+                secure,
+                data,
+            );
+            let acked = accepted && self.ex.commit_clean();
+            if acked {
+                if self.cfg.track_tags && self.cfg.stale_audit {
                     if let Some((old, was_secure)) = self.tag_of[l as usize].replace((tag, secure))
                     {
                         self.stale.push((l, old, was_secure));
                     }
+                } else if self.cfg.track_tags {
+                    self.tag_of[l as usize] = Some((tag, secure));
                 }
+                self.write_latency.record(self.ex.simulated_time().saturating_sub(before));
                 self.host_ops += 1;
             }
+            let end = self.ex.simulated_time();
+            self.trace_finish(ReqKind::Write, l, 1, acked, before, before, end);
             tags.push(tag);
         }
         tags
@@ -236,8 +346,11 @@ impl Emulator {
                 if self.ex.powered_off() {
                     return None;
                 }
-                self.host_ops += 1;
-                self.ftl.read(&mut self.ex, lpa + i)
+                self.trace_discard_leftovers();
+                let before = self.ex.simulated_time();
+                let d = self.ftl.read(&mut self.ex, lpa + i);
+                self.note_sync_read(lpa + i, before, d.is_some());
+                d
             })
             .collect()
     }
@@ -251,11 +364,28 @@ impl Emulator {
                 out.push(None);
                 continue;
             }
+            self.trace_discard_leftovers();
+            let before = self.ex.simulated_time();
             let d = self.ftl.read(&mut self.ex, lpa + i);
-            self.host_ops += 1;
+            self.note_sync_read(lpa + i, before, d.is_some());
             out.push(d.map(|d| d.tag()));
         }
         out
+    }
+
+    /// Books one serialized-path read: host-op count, the read latency
+    /// histogram, and the trace bracket.
+    ///
+    /// The serialized paths time by horizon delta, so a read that
+    /// backfills an idle chip *below* the device horizon records a
+    /// (truthful) zero — the device added no time the host had to wait
+    /// past. The scheduled path ([`Emulator::run_scheduled`]) records the
+    /// full per-request service latency instead.
+    fn note_sync_read(&mut self, lpa: Lpa, before: Nanos, _mapped: bool) {
+        self.host_ops += 1;
+        let end = self.ex.simulated_time();
+        self.read_latency.record(end.saturating_sub(before));
+        self.trace_finish(ReqKind::Read, lpa, 1, true, before, before, end);
     }
 
     /// Trims (deletes) `npages` consecutive logical pages.
@@ -273,21 +403,26 @@ impl Emulator {
             return false;
         }
         let lpas: Vec<Lpa> = (lpa..lpa + npages).collect();
+        self.trace_discard_leftovers();
         self.ex.begin_commit();
         let before = self.ex.simulated_time();
-        self.ftl.trim(&mut self.ex, obs, &lpas);
+        self.ftl.trim(&mut self.ex, &mut Tee(self.gauges.as_mut(), &mut *obs), &lpas);
         let acked = self.ex.commit_clean();
         if acked {
             if self.cfg.track_tags {
                 for &l in &lpas {
                     if let Some((old, was_secure)) = self.tag_of[l as usize].take() {
-                        self.stale.push((l, old, was_secure));
+                        if self.cfg.stale_audit {
+                            self.stale.push((l, old, was_secure));
+                        }
                     }
                 }
             }
             self.trim_latency.record(self.ex.simulated_time().saturating_sub(before));
             self.host_ops += npages;
         }
+        let end = self.ex.simulated_time();
+        self.trace_finish(ReqKind::Trim, lpa, npages, acked, before, before, end);
         acked
     }
 
@@ -360,14 +495,22 @@ impl Emulator {
         sched: &mut Scheduler,
     ) -> OpResult {
         use evanesco_ftl::executor::NandExecutor;
+        self.trace_discard_leftovers();
         self.ex.begin_dispatch(d.earliest);
         self.ex.begin_commit();
+        let mut acked_for_trace = true;
         let res = match d.op {
             HostOp::Write { lpa, npages, secure } => {
                 let tags: Vec<u64> = (0..npages).map(|i| tag_base + i).collect();
                 let mut accepted = true;
                 for (i, &tag) in tags.iter().enumerate() {
-                    accepted &= self.ftl.write(&mut self.ex, obs, lpa + i as u64, secure, tag);
+                    accepted &= self.ftl.write(
+                        &mut self.ex,
+                        &mut Tee(self.gauges.as_mut(), &mut *obs),
+                        lpa + i as u64,
+                        secure,
+                        tag,
+                    );
                 }
                 let acked = accepted && self.ex.commit_clean();
                 if acked {
@@ -375,12 +518,15 @@ impl Emulator {
                         for (i, &tag) in tags.iter().enumerate() {
                             let l = (lpa + i as u64) as usize;
                             if let Some((old, was_secure)) = self.tag_of[l].replace((tag, secure)) {
-                                self.stale.push((lpa + i as u64, old, was_secure));
+                                if self.cfg.stale_audit {
+                                    self.stale.push((lpa + i as u64, old, was_secure));
+                                }
                             }
                         }
                     }
                     self.host_ops += npages;
                 }
+                acked_for_trace = acked;
                 OpResult::Write(tags, acked)
             }
             HostOp::Read { lpa, npages } => {
@@ -394,18 +540,21 @@ impl Emulator {
             }
             HostOp::Trim { lpa, npages } => {
                 let lpas: Vec<Lpa> = (lpa..lpa + npages).collect();
-                self.ftl.trim(&mut self.ex, obs, &lpas);
+                self.ftl.trim(&mut self.ex, &mut Tee(self.gauges.as_mut(), &mut *obs), &lpas);
                 let acked = self.ex.commit_clean();
                 if acked {
                     if self.cfg.track_tags {
                         for &l in &lpas {
                             if let Some((old, was_secure)) = self.tag_of[l as usize].take() {
-                                self.stale.push((l, old, was_secure));
+                                if self.cfg.stale_audit {
+                                    self.stale.push((l, old, was_secure));
+                                }
                             }
                         }
                     }
                     self.host_ops += npages;
                 }
+                acked_for_trace = acked;
                 OpResult::Trim(acked)
             }
         };
@@ -413,11 +562,21 @@ impl Emulator {
         // Service latency: completion minus the earliest legal start
         // (queueing behind one's own dependencies excluded).
         let service = done.saturating_sub(d.earliest);
-        match d.op {
-            HostOp::Write { .. } => self.write_latency.record(service),
-            HostOp::Trim { .. } => self.trim_latency.record(service),
-            HostOp::Read { .. } => {}
-        }
+        let (kind, lpa, npages) = match d.op {
+            HostOp::Write { lpa, npages, .. } => {
+                self.write_latency.record(service);
+                (ReqKind::Write, lpa, npages)
+            }
+            HostOp::Trim { lpa, npages } => {
+                self.trim_latency.record(service);
+                (ReqKind::Trim, lpa, npages)
+            }
+            HostOp::Read { lpa, npages } => {
+                self.read_latency.record(service);
+                (ReqKind::Read, lpa, npages)
+            }
+        };
+        self.trace_finish(kind, lpa, npages, acked_for_trace, d.submit, d.earliest, done);
         sched.complete(done);
         res
     }
@@ -504,12 +663,44 @@ impl Emulator {
     ///
     /// Panics if tag tracking is disabled in the configuration.
     pub fn verify_sanitized(&mut self, lpa: Lpa, npages: u64) -> bool {
-        assert!(self.cfg.track_tags, "verify_sanitized requires track_tags");
+        assert!(
+            self.cfg.track_tags && self.cfg.stale_audit,
+            "verify_sanitized requires track_tags and stale_audit"
+        );
         let recoverable = self.attacker_recoverable_tags();
         self.stale
             .iter()
             .filter(|(l, _, secure)| *secure && (lpa..lpa + npages).contains(l))
             .all(|(_, t, _)| !recoverable.contains(t))
+    }
+
+    /// Current length of the stale-tag audit log.
+    pub fn stale_len(&self) -> usize {
+        self.stale.len()
+    }
+
+    /// Compacts the stale-tag audit log: drops every entry whose tag is no
+    /// longer attacker-recoverable (its physical copies were all locked,
+    /// scrubbed, or erased) and every insecure entry (exempt from C1/C2 by
+    /// definition). Returns the number of entries dropped.
+    ///
+    /// [`Emulator::verify_sanitized`] is unaffected for the retained
+    /// window: a dropped entry could only have passed. Caveat: under
+    /// *aged* physical flags (see [`Emulator::age_flags`]) a lock can
+    /// decay and re-expose a page later, so compact only after the aging
+    /// horizon of interest, or not at all for forensic runs.
+    pub fn compact_stale(&mut self) -> usize {
+        let recoverable = self.attacker_recoverable_tags();
+        let before = self.stale.len();
+        self.stale.retain(|(_, t, secure)| *secure && recoverable.contains(t));
+        before - self.stale.len()
+    }
+
+    /// Device busy-time added per host page read (the serialized paths
+    /// record horizon deltas; [`Emulator::run_scheduled`] records full
+    /// per-request service latency).
+    pub fn read_latency(&self) -> &LatencyHistogram {
+        &self.read_latency
     }
 
     /// Device busy-time added per host page write (a tail-latency proxy
@@ -534,7 +725,19 @@ impl Emulator {
             self.ex.erase_total(),
             self.recovery,
             self.ex.fault_totals(),
+            LatencyBreakdown {
+                read: self.read_latency,
+                write: self.write_latency,
+                trim: self.trim_latency,
+            },
         )
+    }
+
+    /// Renders every run metric — host counters, FTL/fault/recovery
+    /// stats, per-resource utilization, latency histograms, and the live
+    /// gauges — as one Prometheus text-exposition scrape.
+    pub fn prometheus_scrape(&self) -> String {
+        crate::prom::render(self)
     }
 }
 

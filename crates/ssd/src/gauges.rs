@@ -1,0 +1,262 @@
+//! Live device-wide sanitization gauges.
+//!
+//! [`LiveGauges`] is an [`FtlObserver`] computing, incrementally and
+//! device-wide, the paper's two exposure metrics over **secured** data
+//! (§3, Table 1):
+//!
+//! * **VAF** (version amplification factor) = peak invalid secured pages
+//!   over peak valid secured pages — how many unsanitized stale versions
+//!   pile up;
+//! * **T_insecure** = logical time (one tick per accepted host page
+//!   write) during which at least one deleted-but-recoverable secured
+//!   page exists, normalized by the writes needed to fill the device.
+//!
+//! Unlike the per-file VerTrace study in `evanesco-workloads`, these are
+//! whole-device gauges meant for live exposition: attach via
+//! [`crate::emulator::Emulator::enable_gauges`] and scrape through
+//! [`crate::emulator::Emulator::prometheus_scrape`]. Under an immediate
+//! sanitization policy (secSSD/scrSSD) every invalidation is sanitized on
+//! the spot, so the invalid count stays at zero and T_insecure stays ≈0 —
+//! the paper's headline claim, now observable while a run executes.
+
+use evanesco_ftl::observer::FtlObserver;
+use evanesco_ftl::{GlobalPpa, Lpa};
+use std::collections::HashMap;
+
+/// A point-in-time view of the gauges (what the exposition renders).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Logical time: accepted host page writes so far.
+    pub tick: u64,
+    /// Valid (live) secured pages on flash now.
+    pub valid_secured: u64,
+    /// Invalid secured pages still physically recoverable now.
+    pub invalid_secured: u64,
+    /// Peak of `valid_secured`.
+    pub max_valid: u64,
+    /// Peak of `invalid_secured`.
+    pub max_invalid: u64,
+    /// Ticks with `invalid_secured > 0`, open interval included.
+    pub insecure_ticks: u64,
+    /// Secured invalidations sanitized immediately (lock/scrub/erase).
+    pub sanitized_immediately: u64,
+    /// Invalid secured pages whose content was finally destroyed by a
+    /// later erase — each spent a nonzero window exposed.
+    pub exposed_then_erased: u64,
+    /// Version amplification factor (`max_invalid / max_valid`).
+    pub vaf: f64,
+}
+
+impl GaugeSnapshot {
+    /// T_insecure normalized by `capacity_pages` (host writes that fill
+    /// the device) — the Table-1 unit.
+    pub fn t_insecure(&self, capacity_pages: u64) -> f64 {
+        if capacity_pages == 0 {
+            0.0
+        } else {
+            self.insecure_ticks as f64 / capacity_pages as f64
+        }
+    }
+}
+
+/// Incremental device-wide VAF / T_insecure gauges.
+#[derive(Debug, Clone, Default)]
+pub struct LiveGauges {
+    tick: u64,
+    valid: u64,
+    invalid: u64,
+    max_valid: u64,
+    max_invalid: u64,
+    insecure_ticks: u64,
+    insecure_since: Option<u64>,
+    sanitized_immediately: u64,
+    exposed_then_erased: u64,
+    /// `(chip, block)` → page → live? — only secured pages are tracked,
+    /// and sanitized pages leave immediately, so this holds exactly the
+    /// valid + exposed secured population (bounded by physical capacity).
+    phys: HashMap<(usize, u32), HashMap<u32, bool>>,
+}
+
+impl LiveGauges {
+    /// Fresh gauges at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current logical time (accepted host page writes).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Point-in-time snapshot (open insecure interval folded in).
+    pub fn snapshot(&self) -> GaugeSnapshot {
+        let open = self.insecure_since.map_or(0, |since| self.tick - since);
+        GaugeSnapshot {
+            tick: self.tick,
+            valid_secured: self.valid,
+            invalid_secured: self.invalid,
+            max_valid: self.max_valid,
+            max_invalid: self.max_invalid,
+            insecure_ticks: self.insecure_ticks + open,
+            sanitized_immediately: self.sanitized_immediately,
+            exposed_then_erased: self.exposed_then_erased,
+            vaf: if self.max_valid == 0 {
+                0.0
+            } else {
+                self.max_invalid as f64 / self.max_valid as f64
+            },
+        }
+    }
+
+    fn note_change(&mut self) {
+        self.max_valid = self.max_valid.max(self.valid);
+        self.max_invalid = self.max_invalid.max(self.invalid);
+        match (self.invalid > 0, self.insecure_since) {
+            (true, None) => self.insecure_since = Some(self.tick),
+            (false, Some(since)) => {
+                self.insecure_ticks += self.tick - since;
+                self.insecure_since = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+impl FtlObserver for LiveGauges {
+    fn on_program(&mut self, _lpa: Lpa, at: GlobalPpa, _relocation: bool, secure: bool) {
+        if !secure {
+            return;
+        }
+        let prev =
+            self.phys.entry((at.chip, at.ppa.block.0)).or_default().insert(at.ppa.page.0, true);
+        match prev {
+            // Normal case: a fresh page in an erased block.
+            None => self.valid += 1,
+            // Defensive: a re-program over a tracked exposed page (e.g. a
+            // recovery rewrite) flips it back to valid, never double-counts.
+            Some(false) => {
+                self.valid += 1;
+                self.invalid = self.invalid.saturating_sub(1);
+            }
+            Some(true) => {}
+        }
+        self.note_change();
+    }
+
+    fn on_invalidate(&mut self, at: GlobalPpa, secure: bool, sanitized: bool) {
+        if !secure {
+            return;
+        }
+        let key = (at.chip, at.ppa.block.0);
+        let Some(block) = self.phys.get_mut(&key) else { return };
+        let Some(live) = block.get_mut(&at.ppa.page.0) else { return };
+        if *live {
+            *live = false;
+            self.valid -= 1;
+        }
+        if sanitized {
+            block.remove(&at.ppa.page.0);
+            self.sanitized_immediately += 1;
+        } else {
+            self.invalid += 1;
+        }
+        self.note_change();
+    }
+
+    fn on_erase(&mut self, chip: usize, block: evanesco_nand::geometry::BlockId) {
+        let Some(entries) = self.phys.remove(&(chip, block.0)) else { return };
+        for live in entries.into_values() {
+            if live {
+                self.valid = self.valid.saturating_sub(1);
+            } else {
+                self.invalid = self.invalid.saturating_sub(1);
+                self.exposed_then_erased += 1;
+            }
+        }
+        self.note_change();
+    }
+
+    fn on_host_tick(&mut self) {
+        self.tick += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evanesco_nand::geometry::{BlockId, Ppa};
+
+    fn at(chip: usize, block: u32, page: u32) -> GlobalPpa {
+        GlobalPpa::new(chip, Ppa::new(block, page))
+    }
+
+    #[test]
+    fn sanitized_invalidations_keep_tinsec_zero() {
+        let mut g = LiveGauges::new();
+        g.on_host_tick();
+        g.on_program(0, at(0, 0, 0), false, true);
+        g.on_host_tick();
+        g.on_program(0, at(0, 0, 1), false, true);
+        g.on_invalidate(at(0, 0, 0), true, true); // immediate sanitize
+        for _ in 0..50 {
+            g.on_host_tick();
+        }
+        let s = g.snapshot();
+        assert_eq!(s.valid_secured, 1);
+        assert_eq!(s.invalid_secured, 0);
+        assert_eq!(s.insecure_ticks, 0);
+        assert_eq!(s.sanitized_immediately, 1);
+        assert_eq!(s.vaf, 0.0);
+        assert_eq!(s.t_insecure(1000), 0.0);
+    }
+
+    #[test]
+    fn unsanitized_invalidations_accrue_insecure_time() {
+        let mut g = LiveGauges::new();
+        g.on_program(0, at(0, 0, 0), false, true);
+        for _ in 0..10 {
+            g.on_host_tick();
+        }
+        g.on_invalidate(at(0, 0, 0), true, false); // exposed from tick 10
+        for _ in 0..5 {
+            g.on_host_tick();
+        }
+        assert_eq!(g.snapshot().insecure_ticks, 5, "open interval counts");
+        g.on_erase(0, BlockId(0)); // destroyed at tick 15
+        for _ in 0..100 {
+            g.on_host_tick();
+        }
+        let s = g.snapshot();
+        assert_eq!(s.insecure_ticks, 5);
+        assert_eq!(s.exposed_then_erased, 1);
+        assert!((s.t_insecure(100) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insecure_writes_are_invisible() {
+        let mut g = LiveGauges::new();
+        g.on_program(0, at(0, 0, 0), false, false);
+        g.on_invalidate(at(0, 0, 0), false, false);
+        g.on_host_tick();
+        let s = g.snapshot();
+        assert_eq!((s.valid_secured, s.invalid_secured), (0, 0));
+        assert_eq!(s.insecure_ticks, 0);
+    }
+
+    #[test]
+    fn vaf_tracks_peaks() {
+        let mut g = LiveGauges::new();
+        // Two generations of two secured pages, never sanitized.
+        for p in 0..2 {
+            g.on_program(p as u64, at(0, 0, p), false, true);
+        }
+        for p in 0..2 {
+            g.on_invalidate(at(0, 0, p), true, false);
+            g.on_program(p as u64, at(0, 1, p), false, true);
+        }
+        let s = g.snapshot();
+        assert_eq!(s.max_valid, 2);
+        assert_eq!(s.max_invalid, 2);
+        assert!((s.vaf - 1.0).abs() < 1e-12);
+    }
+}

@@ -35,13 +35,19 @@ pub mod config;
 pub mod device;
 pub mod emulator;
 pub mod faultplan;
+pub mod gauges;
 pub mod hostfs;
+pub mod jsonlite;
 pub mod metrics;
+pub mod prom;
 pub mod sched;
 pub mod timeline;
+pub mod trace;
 
 pub use config::SsdConfig;
 pub use emulator::Emulator;
 pub use faultplan::FaultPlan;
-pub use metrics::{RecoveryTotals, RunResult};
+pub use gauges::{GaugeSnapshot, LiveGauges};
+pub use metrics::{LatencyBreakdown, RecoveryTotals, RunResult};
 pub use sched::{HostOp, OpResult, SchedRun, Scheduler};
+pub use trace::{validate_chrome_trace, RequestTrace, SpanKind, TraceRecorder};

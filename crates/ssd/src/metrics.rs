@@ -7,17 +7,18 @@ use evanesco_nand::timing::Nanos;
 
 /// A log₂-bucketed latency histogram (nanosecond samples, 48 buckets up to
 /// ~3 days) with O(1) recording and approximate percentiles.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: [u64; 48],
     count: u64,
+    sum: Nanos,
     max: Nanos,
 }
 
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram { buckets: [0; 48], count: 0, max: Nanos::ZERO }
+        LatencyHistogram { buckets: [0; 48], count: 0, sum: Nanos::ZERO, max: Nanos::ZERO }
     }
 
     /// Records one sample.
@@ -25,6 +26,7 @@ impl LatencyHistogram {
         let idx = (64 - sample.0.max(1).leading_zeros() as usize - 1).min(47);
         self.buckets[idx] += 1;
         self.count += 1;
+        self.sum += sample;
         self.max = self.max.max(sample);
     }
 
@@ -33,36 +35,104 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Sum of all recorded samples (exact, unlike the bucketed shape).
+    pub fn sum(&self) -> Nanos {
+        self.sum
+    }
+
+    /// Mean recorded sample (exact); zero for an empty histogram.
+    pub fn mean(&self) -> Nanos {
+        Nanos(self.sum.0.checked_div(self.count).unwrap_or(0))
+    }
+
     /// Largest recorded sample.
     pub fn max(&self) -> Nanos {
         self.max
     }
 
-    /// Approximate percentile (upper bucket bound), `p` in `[0, 100]`.
-    /// Returns zero for an empty histogram.
+    /// Raw bucket counts; bucket `i` covers `[2^i, 2^(i+1))` nanoseconds
+    /// (bucket 0 also absorbs zero samples, bucket 47 everything above).
+    pub fn buckets(&self) -> &[u64; 48] {
+        &self.buckets
+    }
+
+    /// Approximate percentile, `p` in `[0, 100]`. Returns zero for an
+    /// empty histogram.
+    ///
+    /// Reports the **geometric midpoint** of the bucket holding the
+    /// nearest-rank sample (`2^(i+0.5)` for bucket `[2^i, 2^(i+1))`),
+    /// clamped to the observed maximum — an unbiased estimate under the
+    /// log₂ bucketing, off by at most `√2×` from the exact nearest-rank
+    /// value. (The previous upper-bucket-bound convention overstated
+    /// percentiles by up to 2×.)
     pub fn percentile(&self, p: f64) -> Nanos {
         if self.count == 0 {
             return Nanos::ZERO;
         }
         let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if target >= self.count {
+            // The nearest-rank sample is the largest one, which is tracked
+            // exactly.
+            return self.max;
+        }
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                // Upper bucket bound; the overflow bucket reports the max.
+                // The overflow bucket has no finite midpoint: report the max.
                 if i + 1 >= self.buckets.len() {
                     return self.max;
                 }
-                return Nanos(1u64 << (i + 1)).min(self.max);
+                let mid = ((1u64 << i) as f64 * std::f64::consts::SQRT_2) as u64;
+                return Nanos(mid).min(self.max);
             }
         }
         self.max
+    }
+
+    /// The samples accumulated since an `earlier` snapshot of the same
+    /// histogram (bucket-wise difference). The `max` of the difference is
+    /// this histogram's max — the per-phase maximum is not recoverable
+    /// from bucketed state.
+    pub fn since(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut buckets = [0u64; 48];
+        for (b, (s, e)) in buckets.iter_mut().zip(self.buckets.iter().zip(earlier.buckets.iter())) {
+            *b = s - e;
+        }
+        LatencyHistogram {
+            buckets,
+            count: self.count - earlier.count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
     }
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Per-operation host service-latency histograms, one per host op class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Read service latency.
+    pub read: LatencyHistogram,
+    /// Write service latency.
+    pub write: LatencyHistogram,
+    /// Trim (secure-delete) service latency.
+    pub trim: LatencyHistogram,
+}
+
+impl LatencyBreakdown {
+    /// Field-wise [`LatencyHistogram::since`].
+    pub fn since(&self, earlier: &LatencyBreakdown) -> LatencyBreakdown {
+        LatencyBreakdown {
+            read: self.read.since(&earlier.read),
+            write: self.write.since(&earlier.write),
+            trim: self.trim.since(&earlier.trim),
+        }
     }
 }
 
@@ -161,10 +231,14 @@ pub struct RunResult {
     /// Chip-level injected-fault counters (zero unless a fault model is
     /// configured).
     pub faults: FaultStats,
+    /// Host service-latency histograms per op class (reads included; see
+    /// the read path in `emulator::dispatch_scheduled` and the sync ops).
+    pub latency: LatencyBreakdown,
 }
 
 impl RunResult {
     /// Builds a result from raw counters.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         host_ops: u64,
         sim_time: Nanos,
@@ -173,6 +247,7 @@ impl RunResult {
         erases: u64,
         recovery: RecoveryTotals,
         faults: FaultStats,
+        latency: LatencyBreakdown,
     ) -> Self {
         let secs = sim_time.as_secs_f64();
         RunResult {
@@ -186,6 +261,7 @@ impl RunResult {
             ftl,
             recovery,
             faults,
+            latency,
         }
     }
 
@@ -218,6 +294,7 @@ impl RunResult {
             self.erases - earlier.erases,
             self.recovery.since(&earlier.recovery),
             self.faults.since(&earlier.faults),
+            self.latency.since(&earlier.latency),
         )
     }
 }
@@ -237,6 +314,7 @@ mod tests {
             0,
             RecoveryTotals::default(),
             FaultStats::default(),
+            LatencyBreakdown::default(),
         )
     }
 
@@ -276,6 +354,65 @@ mod tests {
         assert_eq!(h.percentile(100.0), Nanos::from_micros(5000));
         // Monotone in p.
         assert!(h.percentile(99.0) >= h.percentile(50.0));
+    }
+
+    /// Exact nearest-rank percentile over raw samples (the reference the
+    /// bucketed estimate is regression-tested against).
+    fn nearest_rank(samples: &mut [u64], p: f64) -> u64 {
+        samples.sort_unstable();
+        let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+        samples[rank - 1]
+    }
+
+    #[test]
+    fn percentile_tracks_nearest_rank_within_sqrt2() {
+        // A mixed distribution spanning several log2 buckets: a cluster of
+        // fast ops, a mid band, and slow outliers.
+        let mut samples: Vec<u64> = Vec::new();
+        samples.extend(std::iter::repeat_n(9_800, 50)); // ~10us cluster
+        samples.extend((0..30).map(|i| 90_000 + i * 1_000)); // ~90-120us band
+        samples.extend((0..15).map(|i| 700_000 + i * 10_000)); // ~0.7-0.85ms
+        samples.extend([4_000_000, 4_100_000, 4_200_000, 9_000_000, 30_000_000]);
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(Nanos(s));
+        }
+        assert_eq!(h.sum(), Nanos(samples.iter().sum::<u64>()));
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let exact = nearest_rank(&mut samples, p) as f64;
+            let approx = h.percentile(p).0 as f64;
+            // The geometric bucket midpoint is within sqrt(2) of any sample
+            // in its bucket; the old upper-bound convention failed this for
+            // the clusters sitting just above a power of two.
+            assert!(
+                approx <= exact * std::f64::consts::SQRT_2 + 1.0
+                    && approx >= exact / std::f64::consts::SQRT_2 - 1.0,
+                "p{p}: approx {approx} vs exact {exact}"
+            );
+        }
+        // Regression: p50 of the ~9.8us cluster must not report the 16.4us
+        // bucket upper bound (the old behaviour, a 1.7x overstatement).
+        assert!(h.percentile(50.0) < Nanos(13_000));
+        // The estimate never exceeds the observed maximum.
+        assert_eq!(h.percentile(100.0), Nanos(30_000_000));
+    }
+
+    #[test]
+    fn histogram_since_subtracts_phases() {
+        let mut h = LatencyHistogram::new();
+        h.record(Nanos(1_000));
+        h.record(Nanos(2_000));
+        let warmup = h;
+        h.record(Nanos(70_000));
+        h.record(Nanos(80_000));
+        h.record(Nanos(90_000));
+        let main = h.since(&warmup);
+        assert_eq!(main.count(), 3);
+        assert_eq!(main.sum(), Nanos(240_000));
+        // All main-phase samples live in the 65.5..131us bucket; its
+        // geometric midpoint (~92.7us) clamps to the observed max.
+        assert!(main.percentile(50.0) >= Nanos(65_536));
+        assert!(main.percentile(50.0) <= Nanos(90_000));
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! Prometheus text exposition for a running [`crate::emulator::Emulator`].
+//!
+//! [`render`] flattens every run metric — host counters, the full
+//! [`evanesco_ftl::FtlStats`] table, fault and recovery counters,
+//! per-resource utilization, the log₂ latency histograms (as cumulative
+//! `le` buckets in seconds), and the live sanitization gauges — into one
+//! text-format scrape (version 0.0.4, the format every Prometheus server
+//! and `promtool` accepts). No client library is involved: the emulator
+//! is single-threaded and a scrape is a pure read of its counters.
+//!
+//! Conventions: cumulative counters end in `_total`, durations are in
+//! seconds, utilizations are 0..=1 ratios, and everything is prefixed
+//! `evanesco_`.
+
+use crate::emulator::Emulator;
+use crate::metrics::LatencyHistogram;
+use crate::trace::SpanKind;
+use evanesco_nand::timing::Nanos;
+use std::fmt::Write as _;
+
+/// Renders one full scrape of `em`'s metrics.
+pub fn render(em: &Emulator) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+    let r = em.result();
+    let dev = em.device();
+    let sim = dev.simulated_time();
+
+    counter(&mut out, "evanesco_host_ops_total", "Host page operations executed.", r.host_ops);
+    gauge_f(
+        &mut out,
+        "evanesco_sim_time_seconds",
+        "Total simulated device time.",
+        sim.as_secs_f64(),
+    );
+    gauge_f(&mut out, "evanesco_iops", "Host page operations per simulated second.", r.iops);
+    gauge_f(&mut out, "evanesco_waf", "Write amplification factor.", r.waf);
+    counter(
+        &mut out,
+        "evanesco_stale_audit_entries",
+        "Entries in the stale-tag audit log (0 unless stale_audit).",
+        em.stale_len() as u64,
+    );
+
+    let f = &r.ftl;
+    let ftl: [(&str, &str, u64); 24] = [
+        ("host_write_pages", "Host-initiated page writes.", f.host_write_pages),
+        ("host_read_pages", "Host-initiated page reads.", f.host_read_pages),
+        ("host_trim_pages", "Host-initiated trimmed pages.", f.host_trim_pages),
+        ("nand_programs", "NAND page programs (host + relocation).", f.nand_programs),
+        ("nand_reads", "NAND page reads (host + relocation).", f.nand_reads),
+        ("nand_erases", "NAND block erases.", f.nand_erases),
+        ("copied_pages", "Pages copied by GC or forced relocation.", f.copied_pages),
+        ("gc_invocations", "GC invocations.", f.gc_invocations),
+        ("plocks", "pLock commands issued.", f.plocks),
+        ("blocks_locked", "bLock commands issued.", f.blocks_locked),
+        ("scrubs", "Wordline scrubs performed.", f.scrubs),
+        ("sanitize_erases", "Immediate erases forced by sanitization.", f.sanitize_erases),
+        ("coalesced_plocks", "Deferred pLocks retired without a command.", f.coalesced_plocks),
+        (
+            "coalesce_flushed_plocks",
+            "Deferred pLocks aged out and issued individually.",
+            f.coalesce_flushed_plocks,
+        ),
+        ("plock_retries", "pLock verify failures retried.", f.plock_retries),
+        ("plock_escalations", "pLock budgets escalated to block sanitize.", f.plock_escalations),
+        ("lock_scrub_fallbacks", "Lock failures resolved by a scrub.", f.lock_scrub_fallbacks),
+        ("block_lock_retries", "bLock verify failures retried.", f.block_lock_retries),
+        (
+            "block_lock_fallbacks",
+            "bLock budgets exhausted, fallback taken.",
+            f.block_lock_fallbacks,
+        ),
+        ("program_fail_remaps", "Program failures remapped to fresh pages.", f.program_fail_remaps),
+        ("erase_retries", "Erase-status failures retried.", f.erase_retries),
+        ("retired_blocks", "Blocks retired as grown-bad.", f.retired_blocks),
+        (
+            "reliability_relocations",
+            "Live pages relocated by escalations.",
+            f.reliability_relocations,
+        ),
+        (
+            "writes_rejected_readonly",
+            "Host writes rejected in read-only degraded mode.",
+            f.writes_rejected_readonly,
+        ),
+    ];
+    for (name, help, v) in ftl {
+        counter(&mut out, &format!("evanesco_ftl_{name}_total"), help, v);
+    }
+
+    let fa = &r.faults;
+    let faults: [(&str, &str, u64); 6] = [
+        ("program_failures", "Injected program-status failures.", fa.program_failures),
+        ("erase_failures", "Injected erase-status failures.", fa.erase_failures),
+        ("plock_failures", "Injected pLock verify failures.", fa.plock_failures),
+        ("block_lock_failures", "Injected bLock verify failures.", fa.block_lock_failures),
+        ("read_retries", "Read-retry rounds performed.", fa.read_retries),
+        ("unc_reads", "Uncorrectable reads after all retries.", fa.unc_reads),
+    ];
+    for (name, help, v) in faults {
+        counter(&mut out, &format!("evanesco_fault_{name}_total"), help, v);
+    }
+
+    let rec = &r.recovery;
+    let recovery: [(&str, &str, u64); 12] = [
+        ("recoveries", "Power-up recovery scans performed.", rec.recoveries),
+        ("scanned_pages", "Occupied pages probed across scans.", rec.scanned_pages),
+        ("rebuilt_mappings", "Logical mappings rebuilt from OOB.", rec.rebuilt_mappings),
+        ("torn_writes", "Torn writes found.", rec.torn_writes),
+        ("orphaned_pages", "Torn secured writes sanitized as orphans.", rec.orphaned_pages),
+        ("relocked_pages", "Torn pLocks completed.", rec.relocked_pages),
+        ("reissued_blocks", "Torn bLocks re-issued.", rec.reissued_blocks),
+        ("resealed_blocks", "Torn-erase blocks re-erased.", rec.resealed_blocks),
+        ("stale_secured", "Stale secured versions sanitized.", rec.stale_secured),
+        ("lock_retries", "Recovery lock commands re-issued.", rec.lock_retries),
+        ("lock_fallbacks", "Recovery locks replaced by a scrub.", rec.lock_fallbacks),
+        ("retired_blocks", "Grown-bad table size after the last scan.", rec.retired_blocks),
+    ];
+    for (name, help, v) in recovery {
+        counter(&mut out, &format!("evanesco_recovery_{name}_total"), help, v);
+    }
+    gauge_f(
+        &mut out,
+        "evanesco_recovery_scan_seconds",
+        "Simulated device time spent in recovery scans.",
+        rec.scan_time.as_secs_f64(),
+    );
+
+    let tb = dev.time_breakdown();
+    let classes: [(&str, Nanos); 7] = [
+        ("read", tb.read),
+        ("program", tb.program),
+        ("erase", tb.erase),
+        ("plock", tb.plock),
+        ("block_lock", tb.block),
+        ("scrub", tb.scrub),
+        ("xfer", tb.xfer),
+    ];
+    header(
+        &mut out,
+        "evanesco_device_busy_seconds_total",
+        "Device busy time per command class.",
+        "counter",
+    );
+    for (class, t) in classes {
+        let _ = writeln!(
+            out,
+            "evanesco_device_busy_seconds_total{{class=\"{class}\"}} {}",
+            fmt_f64(t.as_secs_f64())
+        );
+    }
+
+    header(
+        &mut out,
+        "evanesco_resource_utilization_ratio",
+        "Busy fraction of each serial resource over the run.",
+        "gauge",
+    );
+    let secs = sim.as_secs_f64();
+    for (i, t) in dev.chip_utilized().iter().enumerate() {
+        let ratio = if secs > 0.0 { t.as_secs_f64() / secs } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "evanesco_resource_utilization_ratio{{resource=\"chip{i}\"}} {}",
+            fmt_f64(ratio)
+        );
+    }
+    for (c, t) in dev.channel_utilized().iter().enumerate() {
+        let ratio = if secs > 0.0 { t.as_secs_f64() / secs } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "evanesco_resource_utilization_ratio{{resource=\"channel{c}\"}} {}",
+            fmt_f64(ratio)
+        );
+    }
+
+    header(
+        &mut out,
+        "evanesco_latency_seconds",
+        "Host service latency per op class (log2 buckets).",
+        "histogram",
+    );
+    histogram(&mut out, "read", em.read_latency());
+    histogram(&mut out, "write", em.write_latency());
+    histogram(&mut out, "trim", em.trim_latency());
+
+    if let Some(g) = em.gauges() {
+        let s = g.snapshot();
+        let cap = em.logical_pages();
+        gauge_u(&mut out, "evanesco_gauge_tick", "Logical time (host page writes).", s.tick);
+        gauge_u(
+            &mut out,
+            "evanesco_valid_secured_pages",
+            "Live secured pages on flash now.",
+            s.valid_secured,
+        );
+        gauge_u(
+            &mut out,
+            "evanesco_invalid_secured_pages",
+            "Deleted-but-recoverable secured pages now.",
+            s.invalid_secured,
+        );
+        gauge_u(&mut out, "evanesco_max_valid_secured_pages", "Peak live secured.", s.max_valid);
+        gauge_u(
+            &mut out,
+            "evanesco_max_invalid_secured_pages",
+            "Peak recoverable secured.",
+            s.max_invalid,
+        );
+        counter(
+            &mut out,
+            "evanesco_insecure_ticks_total",
+            "Ticks with at least one recoverable secured page.",
+            s.insecure_ticks,
+        );
+        counter(
+            &mut out,
+            "evanesco_sanitized_immediately_total",
+            "Secured invalidations sanitized on the spot.",
+            s.sanitized_immediately,
+        );
+        counter(
+            &mut out,
+            "evanesco_exposed_then_erased_total",
+            "Secured pages destroyed only by a later erase.",
+            s.exposed_then_erased,
+        );
+        gauge_f(&mut out, "evanesco_vaf", "Version amplification factor (Table 1).", s.vaf);
+        gauge_f(
+            &mut out,
+            "evanesco_t_insecure",
+            "Insecure time normalized by device capacity (Table 1).",
+            s.t_insecure(cap),
+        );
+    }
+
+    if let Some(t) = em.trace() {
+        counter(
+            &mut out,
+            "evanesco_trace_recorded_total",
+            "Request traces recorded.",
+            t.recorded(),
+        );
+        counter(
+            &mut out,
+            "evanesco_trace_dropped_total",
+            "Request traces evicted from the ring.",
+            t.dropped(),
+        );
+        header(
+            &mut out,
+            "evanesco_trace_span_seconds_total",
+            "Attributed time across recorded traces, per span kind.",
+            "counter",
+        );
+        for kind in SpanKind::ALL {
+            let _ = writeln!(
+                out,
+                "evanesco_trace_span_seconds_total{{kind=\"{}\"}} {}",
+                kind.label(),
+                fmt_f64(t.span_total(kind).as_secs_f64())
+            );
+        }
+    }
+
+    out
+}
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn counter(out: &mut String, name: &str, help: &str, v: u64) {
+    header(out, name, help, "counter");
+    let _ = writeln!(out, "{name} {v}");
+}
+
+fn gauge_u(out: &mut String, name: &str, help: &str, v: u64) {
+    header(out, name, help, "gauge");
+    let _ = writeln!(out, "{name} {v}");
+}
+
+fn gauge_f(out: &mut String, name: &str, help: &str, v: f64) {
+    header(out, name, help, "gauge");
+    let _ = writeln!(out, "{name} {}", fmt_f64(v));
+}
+
+/// Finite decimal rendering (Prometheus accepts scientific notation, but a
+/// plain decimal keeps the scrape greppable in tests and terminals).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.9}")
+    }
+}
+
+/// One op class of `evanesco_latency_seconds`: cumulative `le` buckets in
+/// seconds up to the highest occupied bucket, then `+Inf`, `_sum`, `_count`.
+fn histogram(out: &mut String, op: &str, h: &LatencyHistogram) {
+    let buckets = h.buckets();
+    let last = buckets.iter().rposition(|&c| c > 0);
+    let mut cum = 0u64;
+    if let Some(last) = last {
+        for (i, &c) in buckets.iter().enumerate().take(last + 1) {
+            cum += c;
+            // Bucket i covers [2^i, 2^(i+1)) ns.
+            let le = Nanos(1u64 << (i + 1).min(63)).as_secs_f64();
+            let _ = writeln!(
+                out,
+                "evanesco_latency_seconds_bucket{{op=\"{op}\",le=\"{}\"}} {cum}",
+                fmt_f64(le)
+            );
+        }
+    }
+    let _ =
+        writeln!(out, "evanesco_latency_seconds_bucket{{op=\"{op}\",le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(
+        out,
+        "evanesco_latency_seconds_sum{{op=\"{op}\"}} {}",
+        fmt_f64(h.sum().as_secs_f64())
+    );
+    let _ = writeln!(out, "evanesco_latency_seconds_count{{op=\"{op}\"}} {}", h.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SsdConfig;
+    use evanesco_ftl::SanitizePolicy;
+
+    #[test]
+    fn scrape_covers_every_metric_family() {
+        let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+        ssd.enable_gauges();
+        ssd.enable_tracing(64);
+        ssd.write(0, 8, true);
+        ssd.read(0, 4);
+        ssd.trim(0, 8);
+        let scrape = ssd.prometheus_scrape();
+        for family in [
+            "evanesco_host_ops_total",
+            "evanesco_sim_time_seconds",
+            "evanesco_iops",
+            "evanesco_waf",
+            "evanesco_ftl_host_write_pages_total",
+            "evanesco_ftl_writes_rejected_readonly_total",
+            "evanesco_fault_unc_reads_total",
+            "evanesco_recovery_recoveries_total",
+            "evanesco_recovery_scan_seconds",
+            "evanesco_device_busy_seconds_total{class=\"plock\"}",
+            "evanesco_resource_utilization_ratio{resource=\"chip0\"}",
+            "evanesco_resource_utilization_ratio{resource=\"channel1\"}",
+            "evanesco_latency_seconds_bucket{op=\"read\",le=\"+Inf\"}",
+            "evanesco_latency_seconds_sum{op=\"write\"}",
+            "evanesco_latency_seconds_count{op=\"trim\"}",
+            "evanesco_vaf",
+            "evanesco_t_insecure",
+            "evanesco_trace_recorded_total",
+            "evanesco_trace_span_seconds_total{kind=\"plock\"}",
+        ] {
+            assert!(scrape.contains(family), "scrape missing {family}:\n{scrape}");
+        }
+    }
+
+    #[test]
+    fn scrape_is_well_formed_exposition() {
+        let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+        ssd.enable_gauges();
+        ssd.write(0, 4, true);
+        let scrape = ssd.prometheus_scrape();
+        let mut typed = std::collections::HashSet::new();
+        for line in scrape.lines() {
+            assert!(!line.is_empty(), "no blank lines in the exposition");
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().unwrap().to_string();
+                let kind = it.next().unwrap();
+                assert!(["counter", "gauge", "histogram"].contains(&kind), "{line}");
+                assert!(typed.insert(name), "duplicate TYPE for {line}");
+            } else if !line.starts_with('#') {
+                // `name{labels} value` or `name value`; value parses as f64.
+                let (head, value) = line.rsplit_once(' ').expect("sample has a value");
+                let v: f64 = value.parse().unwrap_or_else(|_| panic!("bad value in {line}"));
+                assert!(v.is_finite(), "{line}");
+                let name = head.split('{').next().unwrap();
+                let family = name
+                    .trim_end_matches("_bucket")
+                    .trim_end_matches("_sum")
+                    .trim_end_matches("_count");
+                assert!(
+                    typed.contains(name) || typed.contains(family),
+                    "sample {name} missing TYPE header"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_capped() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 200, 90_000, 90_000, 5_000_000] {
+            h.record(Nanos(ns));
+        }
+        let mut out = String::new();
+        histogram(&mut out, "read", &h);
+        let counts: Vec<u64> = out
+            .lines()
+            .filter(|l| l.contains("_bucket") && !l.contains("+Inf"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "cumulative: {out}");
+        assert_eq!(*counts.last().unwrap(), 5, "last finite bucket holds all: {out}");
+        assert!(out.contains("le=\"+Inf\"} 5"));
+        assert!(out.contains("evanesco_latency_seconds_count{op=\"read\"} 5"));
+    }
+}

@@ -99,6 +99,9 @@ pub struct Dispatch {
     pub idx: usize,
     /// The request itself.
     pub op: HostOp,
+    /// When the request's NCQ slot became available (queue wait is
+    /// measured from here).
+    pub submit: Nanos,
     /// Earliest legal start: the request's submission time (slot
     /// availability) joined with the completion of every earlier request
     /// touching an overlapping logical page.
@@ -232,7 +235,7 @@ impl Scheduler {
         let (pos, _, earliest) = best?;
         let q = self.window.remove(pos).expect("selected position exists");
         self.dispatched = Some(q);
-        Some(Dispatch { idx: q.idx, op: q.op, earliest })
+        Some(Dispatch { idx: q.idx, op: q.op, submit: q.submit, earliest })
     }
 
     /// Records the completion time of the request returned by the last

@@ -23,6 +23,7 @@
 //! # fn main() {
 //! let mut cfg = SsdConfig::tiny_for_tests();
 //! cfg.track_tags = false;
+//! cfg.stale_audit = false;
 //! let mut ssd = Emulator::new(cfg, SanitizePolicy::evanesco());
 //! let trace = generate(&WorkloadSpec::mail_server(), ssd.logical_pages(), 200, 42);
 //! let result = replay(&mut ssd, &trace);

@@ -70,6 +70,7 @@ mod tests {
     fn small_ssd(policy: SanitizePolicy) -> Emulator {
         let mut cfg = SsdConfig::tiny_for_tests();
         cfg.track_tags = false;
+        cfg.stale_audit = false;
         Emulator::new(cfg, policy)
     }
 

@@ -206,14 +206,14 @@ impl VerTrace {
 }
 
 impl FtlObserver for VerTrace {
-    fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, _relocation: bool) {
+    fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, _relocation: bool, _secure: bool) {
         let Some(&file) = self.lpa_file.get(&lpa) else { return };
         self.phys.entry((at.chip, at.ppa.block.0)).or_default().insert(at.ppa.page.0, (file, true));
         self.files.entry(file).or_default().valid += 1;
         self.note_change(file);
     }
 
-    fn on_invalidate(&mut self, at: GlobalPpa, sanitized: bool) {
+    fn on_invalidate(&mut self, at: GlobalPpa, _secure: bool, sanitized: bool) {
         let key = (at.chip, at.ppa.block.0);
         let Some(block) = self.phys.get_mut(&key) else { return };
         let Some(entry) = block.get_mut(&at.ppa.page.0) else { return };
@@ -268,17 +268,17 @@ mod tests {
         let mut vt = VerTrace::new();
         vt.before_write(1, 0, 2, false);
         vt.on_host_tick();
-        vt.on_program(0, at(0, 0, 0), false);
+        vt.on_program(0, at(0, 0, 0), false, true);
         vt.on_host_tick();
-        vt.on_program(1, at(0, 0, 1), false);
+        vt.on_program(1, at(0, 0, 1), false, true);
         let f = &vt.files()[&1];
         assert_eq!((f.valid, f.invalid), (2, 0));
 
         // Overwrite lpa 0: new program + invalidate old (not sanitized).
         vt.before_write(1, 0, 1, true);
         vt.on_host_tick();
-        vt.on_program(0, at(0, 0, 2), false);
-        vt.on_invalidate(at(0, 0, 0), false);
+        vt.on_program(0, at(0, 0, 2), false, true);
+        vt.on_invalidate(at(0, 0, 0), true, false);
         let f = &vt.files()[&1];
         assert_eq!((f.valid, f.invalid), (2, 1));
         assert!(f.multi_version);
@@ -289,8 +289,8 @@ mod tests {
     fn sanitized_invalidation_never_counts() {
         let mut vt = VerTrace::new();
         vt.before_write(7, 0, 1, false);
-        vt.on_program(0, at(0, 0, 0), false);
-        vt.on_invalidate(at(0, 0, 0), true);
+        vt.on_program(0, at(0, 0, 0), false, true);
+        vt.on_invalidate(at(0, 0, 0), true, true);
         let f = &vt.files()[&7];
         assert_eq!((f.valid, f.invalid), (0, 0));
         assert_eq!(f.vaf(), 0.0);
@@ -300,8 +300,8 @@ mod tests {
     fn erase_clears_invalid_versions() {
         let mut vt = VerTrace::new();
         vt.before_write(1, 0, 1, false);
-        vt.on_program(0, at(0, 3, 0), false);
-        vt.on_invalidate(at(0, 3, 0), false);
+        vt.on_program(0, at(0, 3, 0), false, true);
+        vt.on_invalidate(at(0, 3, 0), true, false);
         assert_eq!(vt.files()[&1].invalid, 1);
         vt.on_erase(0, BlockId(3));
         assert_eq!(vt.files()[&1].invalid, 0);
@@ -311,11 +311,11 @@ mod tests {
     fn insecure_time_accumulates_between_transitions() {
         let mut vt = VerTrace::new();
         vt.before_write(1, 0, 1, false);
-        vt.on_program(0, at(0, 0, 0), false);
+        vt.on_program(0, at(0, 0, 0), false, true);
         for _ in 0..10 {
             vt.on_host_tick();
         }
-        vt.on_invalidate(at(0, 0, 0), false); // insecure from tick 10
+        vt.on_invalidate(at(0, 0, 0), true, false); // insecure from tick 10
         for _ in 0..5 {
             vt.on_host_tick();
         }
@@ -332,14 +332,14 @@ mod tests {
         let mut vt = VerTrace::new();
         // UV file: only grows.
         vt.before_write(1, 0, 2, false);
-        vt.on_program(0, at(0, 0, 0), false);
-        vt.on_program(1, at(0, 0, 1), false);
+        vt.on_program(0, at(0, 0, 0), false, true);
+        vt.on_program(1, at(0, 0, 1), false, true);
         // MV file: overwritten.
         vt.before_write(2, 10, 1, false);
-        vt.on_program(10, at(0, 1, 0), false);
+        vt.on_program(10, at(0, 1, 0), false, true);
         vt.before_write(2, 10, 1, true);
-        vt.on_program(10, at(0, 1, 1), false);
-        vt.on_invalidate(at(0, 1, 0), false);
+        vt.on_program(10, at(0, 1, 1), false, true);
+        vt.on_invalidate(at(0, 1, 0), true, false);
         let report = vt.report(1000);
         assert_eq!(report.uv.n_files, 1);
         assert_eq!(report.mv.n_files, 1);
@@ -359,9 +359,9 @@ mod tests {
     fn timelines_record_when_enabled() {
         let mut vt = VerTrace::with_timelines();
         vt.before_write(1, 0, 1, false);
-        vt.on_program(0, at(0, 0, 0), false);
+        vt.on_program(0, at(0, 0, 0), false, true);
         vt.on_host_tick();
-        vt.on_invalidate(at(0, 0, 0), false);
+        vt.on_invalidate(at(0, 0, 0), true, false);
         let tl = &vt.files()[&1].timeline;
         assert_eq!(tl.len(), 2);
         assert_eq!(tl[0], (0, 1, 0));
@@ -374,11 +374,11 @@ mod tests {
         let mut vt = VerTrace::new();
         for (file, n) in [(1u32, 2u32), (2, 5)] {
             vt.before_write(file, file as u64 * 100, 1, false);
-            vt.on_program(file as u64 * 100, at(0, file, 0), false);
+            vt.on_program(file as u64 * 100, at(0, file, 0), false, true);
             for i in 0..n {
                 vt.before_write(file, file as u64 * 100, 1, true);
-                vt.on_program(file as u64 * 100, at(0, file, i + 1), false);
-                vt.on_invalidate(at(0, file, i), false);
+                vt.on_program(file as u64 * 100, at(0, file, i + 1), false, true);
+                vt.on_invalidate(at(0, file, i), true, false);
             }
         }
         let (id, stats) = vt.worst_file(true).unwrap();

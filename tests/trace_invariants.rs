@@ -1,0 +1,226 @@
+//! Observability-layer invariants, end to end through the public API.
+//!
+//! * **span accounting** — for every traced request, the derived segments
+//!   tile `[submit, end)` exactly, so their durations sum to the recorded
+//!   end-to-end latency, at queue depths 1, 8 and 32;
+//! * **serial resources** — device-level trace events never overlap on
+//!   one chip or one channel (they mirror real `Resource` reservations);
+//! * **export** — the chrome trace-event JSON parses and validates
+//!   against the checked-in schema, and tracing never changes simulated
+//!   results;
+//! * **read latency** — the histogram is populated on read-bearing
+//!   workloads at qd 1 and qd 8 (the bug this PR fixes discarded it);
+//! * **gauges** — a sanitizing policy holds live T_insecure at zero
+//!   while the no-sanitization baseline accrues it;
+//! * **stale audit log** — gated by config, compactable, and still
+//!   sufficient for `verify_sanitized`.
+
+use evanesco::ftl::SanitizePolicy;
+use evanesco::ssd::trace::ResourceId;
+use evanesco::ssd::{validate_chrome_trace, Emulator, HostOp, SsdConfig};
+use std::collections::HashMap;
+
+const SCHEMA: &str = include_str!("data/trace_schema.json");
+
+/// A deterministic mixed workload with plenty of reads and overwrites.
+fn mixed_ops(logical: u64, n: usize) -> Vec<HostOp> {
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x >> 33
+    };
+    (0..n)
+        .map(|_| {
+            let lpa = step() % (logical - 4);
+            let npages = 1 + step() % 4;
+            match step() % 8 {
+                0..=3 => HostOp::Write { lpa, npages, secure: step() % 2 == 0 },
+                4..=6 => HostOp::Read { lpa, npages },
+                _ => HostOp::Trim { lpa, npages },
+            }
+        })
+        .collect()
+}
+
+fn traced_run(qd: usize) -> Emulator {
+    let cfg = SsdConfig::tiny_for_tests();
+    let mut ssd = Emulator::new(cfg, SanitizePolicy::evanesco());
+    ssd.enable_gauges();
+    ssd.enable_tracing(1 << 14);
+    let ops = mixed_ops(ssd.logical_pages(), 400);
+    ssd.run_scheduled(&ops, qd);
+    ssd.flush_coalesced_locks();
+    ssd
+}
+
+#[test]
+fn spans_sum_to_e2e_at_every_queue_depth() {
+    for qd in [1usize, 8, 32] {
+        let ssd = traced_run(qd);
+        let rec = ssd.trace().expect("tracing enabled");
+        assert!(rec.recorded() > 0, "qd {qd}: nothing traced");
+        for t in rec.traces() {
+            let sum: u64 = t.segments.iter().map(|s| s.dur().0).sum();
+            assert_eq!(
+                sum,
+                t.e2e().0,
+                "qd {qd}: request {} ({:?}) segments do not tile its window",
+                t.id,
+                t.kind
+            );
+            // Segments are contiguous and ordered, starting at submit.
+            let mut cursor = t.submit;
+            for s in &t.segments {
+                assert_eq!(s.start, cursor, "qd {qd}: gap or overlap in request {}", t.id);
+                assert!(s.end > s.start, "qd {qd}: empty segment in request {}", t.id);
+                cursor = s.end;
+            }
+            assert_eq!(cursor, t.end, "qd {qd}: segments stop short in request {}", t.id);
+        }
+    }
+}
+
+#[test]
+fn device_events_never_overlap_on_a_serial_resource() {
+    let ssd = traced_run(8);
+    let rec = ssd.trace().expect("tracing enabled");
+    let mut by_resource: HashMap<ResourceId, Vec<(u64, u64)>> = HashMap::new();
+    for t in rec.traces() {
+        for e in &t.events {
+            by_resource.entry(e.resource).or_default().push((e.start.0, e.end.0));
+        }
+    }
+    assert!(!by_resource.is_empty(), "no device events recorded");
+    for (res, mut windows) in by_resource {
+        windows.sort_unstable();
+        for w in windows.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "{}: [{}, {}) overlaps [{}, {})",
+                res.name(),
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+    }
+}
+
+#[test]
+fn chrome_export_validates_and_tracing_is_timing_neutral() {
+    let cfg = SsdConfig::tiny_for_tests();
+    let ops = mixed_ops(64, 300);
+
+    let mut plain = Emulator::new(cfg, SanitizePolicy::evanesco());
+    plain.run_scheduled(&ops, 8);
+
+    let mut traced = Emulator::new(cfg, SanitizePolicy::evanesco());
+    traced.enable_gauges();
+    traced.enable_tracing(1 << 14);
+    traced.run_scheduled(&ops, 8);
+
+    let (a, b) = (plain.result(), traced.result());
+    assert_eq!(a.sim_time, b.sim_time, "tracing changed simulated time");
+    assert_eq!(a.host_ops, b.host_ops);
+    assert_eq!(a.ftl, b.ftl, "tracing changed FTL behaviour");
+
+    let json = traced.take_trace().unwrap().to_chrome_json();
+    validate_chrome_trace(&json, SCHEMA).expect("export matches the checked-in schema");
+}
+
+#[test]
+fn read_latency_is_recorded_at_qd1_and_qd8() {
+    for qd in [1usize, 8] {
+        let cfg = SsdConfig::tiny_for_tests();
+        let mut ssd = Emulator::new(cfg, SanitizePolicy::evanesco());
+        let logical = ssd.logical_pages();
+        let mut ops = Vec::new();
+        for l in (0..32).step_by(4) {
+            ops.push(HostOp::Write { lpa: l % logical, npages: 4, secure: false });
+        }
+        for l in (0..32).step_by(2) {
+            ops.push(HostOp::Read { lpa: l % logical, npages: 2 });
+        }
+        ssd.run_scheduled(&ops, qd);
+        let reads = ssd.result().latency.read;
+        assert!(reads.count() > 0, "qd {qd}: no read latency samples");
+        assert!(reads.max().0 > 0, "qd {qd}: read latency all zero");
+        assert!(
+            reads.percentile(50.0) <= reads.percentile(99.0),
+            "qd {qd}: percentiles not monotone"
+        );
+        // The scrape renders the same histogram.
+        let scrape = ssd.prometheus_scrape();
+        assert!(
+            scrape.contains(&format!(
+                "evanesco_latency_seconds_count{{op=\"read\"}} {}",
+                reads.count()
+            )),
+            "scrape disagrees with the histogram:\n{scrape}"
+        );
+    }
+}
+
+#[test]
+fn gauges_separate_sanitizing_from_baseline_policies() {
+    let run = |policy: SanitizePolicy| {
+        let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), policy);
+        ssd.enable_gauges();
+        // Secure writes, then overwrite them all: every old version is a
+        // deleted secured page until something sanitizes it.
+        ssd.write(0, 16, true);
+        ssd.write(0, 16, true);
+        for l in 16..48 {
+            ssd.write(l, 1, false);
+        }
+        ssd.gauges().unwrap().snapshot()
+    };
+
+    let secured = run(SanitizePolicy::evanesco());
+    assert_eq!(secured.invalid_secured, 0, "evanesco leaves no recoverable versions");
+    assert_eq!(secured.insecure_ticks, 0, "evanesco holds T_insecure at zero");
+    assert!(secured.sanitized_immediately >= 16);
+
+    let exposed = run(SanitizePolicy::none());
+    assert!(exposed.invalid_secured > 0, "baseline leaves recoverable versions");
+    assert!(exposed.insecure_ticks > 0, "baseline accrues insecure time");
+    assert!(exposed.vaf > 0.0);
+    assert!(exposed.t_insecure(1024) > secured.t_insecure(1024));
+}
+
+#[test]
+fn stale_audit_log_is_gated_and_compactable() {
+    // Auditing on (the test default): the log grows, compaction drops
+    // sanitized entries, and verification still works afterwards.
+    let mut audited = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+    audited.write(0, 8, true);
+    audited.write(0, 8, true); // overwrite: 8 stale secured versions
+    assert!(audited.stale_len() >= 8, "audit log should grow on overwrite");
+    assert!(audited.verify_sanitized(0, 8));
+    let dropped = audited.compact_stale();
+    assert!(dropped >= 8, "sanitized entries should compact away");
+    assert_eq!(audited.stale_len(), 0);
+    assert!(audited.verify_sanitized(0, 8), "verification survives compaction");
+
+    // Auditing off: the log must not grow at all.
+    let mut cfg = SsdConfig::tiny_for_tests();
+    cfg.stale_audit = false;
+    let mut bare = Emulator::new(cfg, SanitizePolicy::evanesco());
+    bare.write(0, 8, true);
+    bare.write(0, 8, true);
+    bare.trim(0, 8);
+    assert_eq!(bare.stale_len(), 0, "stale log must stay empty without stale_audit");
+}
+
+#[test]
+#[should_panic(expected = "stale_audit")]
+fn verify_without_audit_log_panics() {
+    let mut cfg = SsdConfig::tiny_for_tests();
+    cfg.stale_audit = false;
+    let mut ssd = Emulator::new(cfg, SanitizePolicy::evanesco());
+    ssd.write(0, 4, true);
+    ssd.verify_sanitized(0, 4);
+}
