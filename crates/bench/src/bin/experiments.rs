@@ -8,15 +8,25 @@
 //! fig14b fig14c headline overhead ablation-k ablation-blocktrig
 //! ablation-lazy scheduler. Default scale is `full` (use `--release`!).
 //!
-//! The `scheduler` name is special: besides printing the throughput
-//! table it writes `BENCH_scheduler.json` to the current directory and
-//! exits non-zero when the queue-depth-8 speedup over the serialized
-//! baseline falls under the regression gate. `trace` is likewise special:
-//! it writes the chrome://tracing export to `TRACE_scheduler.json` and
-//! exits non-zero if the export drifts from the checked-in schema.
+//! Three names carry regression gates (and fail the process with exit 1
+//! when breached):
+//!
+//! * `scheduler` — writes `BENCH_scheduler.json` and fails when the
+//!   queue-depth-8 speedup over the serialized baseline falls under the
+//!   gate;
+//! * `trace` — writes the chrome://tracing export to
+//!   `TRACE_scheduler.json` and fails if the export drifts from the
+//!   checked-in schema;
+//! * `report` — writes the consolidated observability report to
+//!   `BENCH_report.json` and fails on a timing-neutrality violation,
+//!   live-vs-offline attribution disagreement, broken Table-1 ordering,
+//!   or numeric drift against a checked-in same-scale baseline.
+//!
+//! Unknown experiment names are rejected up front (exit 1) before any
+//! experiment runs.
 
-use evanesco_bench::experiments::{scheduler, tracing};
-use evanesco_bench::{run_experiment, Scale, EXPERIMENT_NAMES};
+use evanesco_bench::experiments::{report, scheduler, tracing};
+use evanesco_bench::{is_experiment_name, run_experiment, Scale, EXPERIMENT_NAMES};
 
 fn main() {
     let mut scale = Scale::full();
@@ -52,10 +62,26 @@ fn main() {
                     "usage: experiments [--quick|--smoke|--scale NAME] [--seed N] <name>...|all"
                 );
                 eprintln!("names: {}", EXPERIMENT_NAMES.join(" "));
+                eprintln!(
+                    "gate-bearing (write an artifact and exit 1 on regression): \
+                     scheduler (BENCH_scheduler.json), trace (TRACE_scheduler.json), \
+                     report (BENCH_report.json)"
+                );
                 return;
             }
             other => names.push(other.to_string()),
         }
+    }
+    // Reject typos before running anything: a bad name at the end of a
+    // long list must not cost the hours of runs before it.
+    let unknown: Vec<&String> =
+        names.iter().filter(|n| *n != "all" && !is_experiment_name(n)).collect();
+    if !unknown.is_empty() {
+        for n in unknown {
+            eprintln!("unknown experiment '{n}'");
+        }
+        eprintln!("known: {}", EXPERIMENT_NAMES.join(" "));
+        std::process::exit(1);
     }
     if names.is_empty() || names.iter().any(|n| n == "all") {
         names = EXPERIMENT_NAMES.iter().map(|s| s.to_string()).collect();
@@ -85,6 +111,23 @@ fn main() {
             println!("wrote TRACE_scheduler.json (open in chrome://tracing or Perfetto)");
             if let Err(e) = report.validate() {
                 eprintln!("trace schema DRIFT: {e}");
+                gate_failed = true;
+            }
+        } else if name == "report" {
+            let bundle = report::run(&scale, &scale_name);
+            println!("{}", bundle.render());
+            let mut violations = bundle.self_check();
+            // Gate against the checked-in baseline *before* overwriting it.
+            match std::fs::read_to_string("BENCH_report.json") {
+                Ok(baseline) => violations.extend(bundle.drift_against(&baseline)),
+                Err(_) => println!("no BENCH_report.json baseline found; drift gate skipped"),
+            }
+            std::fs::write("BENCH_report.json", bundle.to_json()).expect("write BENCH_report.json");
+            println!("wrote BENCH_report.json");
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("report gate FAILED: {v}");
+                }
                 gate_failed = true;
             }
         } else {

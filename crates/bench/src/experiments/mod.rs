@@ -8,6 +8,7 @@ pub mod breakdown;
 pub mod dse;
 pub mod latency;
 pub mod reliability;
+pub mod report;
 pub mod scheduler;
 pub mod security;
 pub mod system;

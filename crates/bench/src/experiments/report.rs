@@ -1,0 +1,645 @@
+//! The consolidated observability report (`BENCH_report.json`).
+//!
+//! One `experiments report` run exercises the whole PR-5 telemetry stack
+//! and renders it as a regression-gated report:
+//!
+//! * **scheduler** — the out-of-order throughput gate numbers (same
+//!   machinery as the `scheduler` subcommand);
+//! * **attribution** — for Mobile, MailServer and DBServer on the
+//!   baseline SSD, the live [`ExposureLedger`] Table-1 numbers side by
+//!   side with the offline [`VerTrace`] numbers from the *same* run
+//!   (attached through one observer [`Tee`]), plus retirement-path
+//!   counters and the exposure-window histogram summary;
+//! * **timeseries + decisions** — a telemetry-enabled DBServer run on the
+//!   Evanesco SSD: windowed samples, peak invalid-secured gauge, and the
+//!   FTL decision-log level counts;
+//! * **timing neutrality** — the same run with every telemetry layer off
+//!   must produce an identical [`evanesco_ssd::RunResult`].
+//!
+//! The `report` subcommand of the `experiments` binary writes
+//! `BENCH_report.json`, checks the bundle's own invariants (neutrality,
+//! live-vs-offline agreement within [`MAX_LIVE_OFFLINE_REL_DIFF`], the
+//! paper's Table-1 orderings, the scheduler gate) and, when a checked-in
+//! `BENCH_report.json` baseline exists at the same scale, gates numeric
+//! drift against it with per-field tolerances. Any violation exits 1.
+
+use crate::experiments::scheduler;
+use crate::scale::Scale;
+use evanesco_ftl::observer::Tee;
+use evanesco_ftl::{DecisionLevel, SanitizePolicy};
+use evanesco_nand::timing::Nanos;
+use evanesco_ssd::jsonlite::Json;
+use evanesco_ssd::Emulator;
+use evanesco_workloads::generate::generate;
+use evanesco_workloads::ledger::ExposureLedger;
+use evanesco_workloads::replay::{replay, replay_with};
+use evanesco_workloads::vertrace::{ClassStats, VerTrace};
+use evanesco_workloads::WorkloadSpec;
+use std::fmt::Write as _;
+
+/// Largest tolerated relative disagreement between the live ledger and
+/// the offline VerTrace on any Table-1 field (the acceptance bar; the
+/// two share counting rules, so the observed value is 0).
+pub const MAX_LIVE_OFFLINE_REL_DIFF: f64 = 0.05;
+
+/// Live and offline Table-1 stats for one file class of one workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassPair {
+    /// From the live [`ExposureLedger`].
+    pub live: ClassStats,
+    /// From the offline [`VerTrace`], same run.
+    pub offline: ClassStats,
+}
+
+impl ClassPair {
+    /// Largest relative live-vs-offline difference across the class's
+    /// fields (1.0 when the file counts disagree).
+    pub fn max_rel_diff(&self) -> f64 {
+        if self.live.n_files != self.offline.n_files {
+            return 1.0;
+        }
+        [
+            (self.live.vaf_avg, self.offline.vaf_avg),
+            (self.live.vaf_max, self.offline.vaf_max),
+            (self.live.tinsec_avg, self.offline.tinsec_avg),
+            (self.live.tinsec_max, self.offline.tinsec_max),
+        ]
+        .iter()
+        .map(|&(a, b)| rel_diff(a, b))
+        .fold(0.0, f64::max)
+    }
+}
+
+/// Live attribution for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadAttribution {
+    /// Workload name (Table-2 spelling).
+    pub workload: String,
+    /// Uni-version files.
+    pub uv: ClassPair,
+    /// Multi-version files.
+    pub mv: ClassPair,
+    /// Device-wide secured retirements by path `[host_update, trim,
+    /// gc_copy]`.
+    pub causes_secured: [u64; 3],
+    /// The exposed (not sanitized at invalidation) subset.
+    pub causes_exposed: [u64; 3],
+    /// Mean exposure window in ticks (MV + UV files).
+    pub exposure_mean_ticks: f64,
+    /// Fraction of zero-tick windows (sanitized on the spot).
+    pub exposure_zero_fraction: f64,
+    /// Largest exposure window in ticks.
+    pub exposure_max_ticks: u64,
+}
+
+impl WorkloadAttribution {
+    /// Largest live-vs-offline relative difference across both classes.
+    pub fn max_rel_diff(&self) -> f64 {
+        self.uv.max_rel_diff().max(self.mv.max_rel_diff())
+    }
+}
+
+/// The telemetry-enabled run's windowed-sample summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeseriesSection {
+    /// Windows closed over the run (retained + dropped).
+    pub windows: u64,
+    /// Windows still in the ring.
+    pub retained: u64,
+    /// Mean windowed IOPS across retained samples.
+    pub mean_window_iops: f64,
+    /// Peak `invalid_secured` gauge across retained samples.
+    pub peak_invalid_secured: u64,
+    /// T_insecure at the final sample.
+    pub final_t_insecure: f64,
+}
+
+/// The decision log's level counts from the telemetry-enabled run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionSection {
+    /// Info-level records.
+    pub info: u64,
+    /// Warn-level records.
+    pub warn: u64,
+    /// Error-level records.
+    pub error: u64,
+    /// Records evicted from the ring.
+    pub dropped: u64,
+}
+
+/// Everything `BENCH_report.json` serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportBundle {
+    /// Scale preset name (provenance; drift gating is same-scale only).
+    pub scale_name: String,
+    /// Scheduler-gate queue-depth speedup over serialized.
+    pub scheduler_speedup: f64,
+    /// IOPS at the gate queue depth.
+    pub scheduler_iops: f64,
+    /// Whether the scheduler gate passes.
+    pub scheduler_pass: bool,
+    /// One row per workload.
+    pub attribution: Vec<WorkloadAttribution>,
+    /// Table-1 ordering: every workload with both classes has MV VAF
+    /// (avg) at or above UV.
+    pub mv_vaf_exceeds_uv: bool,
+    /// Table-1 ordering: DBServer has the largest MV VAF (avg).
+    pub dbserver_mv_vaf_largest: bool,
+    /// Windowed telemetry summary.
+    pub timeseries: TimeseriesSection,
+    /// Decision-log summary.
+    pub decisions: DecisionSection,
+    /// Telemetry-on and telemetry-off runs produced identical simulated
+    /// results.
+    pub timing_neutral: bool,
+    /// Largest live-vs-offline relative difference across all workloads.
+    pub live_offline_max_rel_diff: f64,
+}
+
+/// Relative difference with a small absolute floor, so near-zero pairs
+/// don't explode.
+fn rel_diff(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom < 1e-9 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+fn class_pair(live: &evanesco_workloads::ledger::ClassExposure, offline: &ClassStats) -> ClassPair {
+    ClassPair { live: live.stats, offline: *offline }
+}
+
+/// One baseline-SSD workload run with the ledger and VerTrace attached
+/// through a single [`Tee`] (shared run, so the comparison is apples to
+/// apples).
+fn run_attribution(scale: &Scale, spec: &WorkloadSpec) -> WorkloadAttribution {
+    let mut cfg = scale.ssd_config();
+    cfg.track_tags = false;
+    let mut ssd = Emulator::new(cfg, SanitizePolicy::none());
+    let logical = ssd.logical_pages();
+    let trace = generate(spec, logical, scale.main_write_pages(logical), scale.seed);
+    let mut lg = ExposureLedger::new();
+    let mut vt = VerTrace::new();
+    replay_with(&mut ssd, &trace, &mut Tee(&mut lg, &mut vt));
+    let offline = vt.report(logical);
+    let live = lg.report(logical);
+    let mut exposure = live.uv.exposure;
+    exposure.absorb(&live.mv.exposure);
+    WorkloadAttribution {
+        workload: spec.name.to_string(),
+        uv: class_pair(&live.uv, &offline.uv),
+        mv: class_pair(&live.mv, &offline.mv),
+        causes_secured: live.device_causes.secured,
+        causes_exposed: live.device_causes.exposed,
+        exposure_mean_ticks: exposure.mean(),
+        exposure_zero_fraction: exposure.zero_fraction(),
+        exposure_max_ticks: exposure.max,
+    }
+}
+
+/// Runs every section and assembles the bundle.
+pub fn run(scale: &Scale, scale_name: &str) -> ReportBundle {
+    let sched = scheduler::run(scale, scale_name);
+    let sched_iops =
+        sched.points.iter().find(|p| p.qd == scheduler::GATE_QD).map_or(0.0, |p| p.iops);
+
+    let attribution: Vec<WorkloadAttribution> =
+        [WorkloadSpec::mobile(), WorkloadSpec::mail_server(), WorkloadSpec::db_server()]
+            .iter()
+            .map(|spec| run_attribution(scale, spec))
+            .collect();
+    let live_offline_max_rel_diff =
+        attribution.iter().map(|a| a.max_rel_diff()).fold(0.0, f64::max);
+    let mv_vaf_exceeds_uv = attribution
+        .iter()
+        .filter(|a| a.uv.live.n_files > 0 && a.mv.live.n_files > 0)
+        .all(|a| a.mv.live.vaf_avg >= a.uv.live.vaf_avg);
+    let db = attribution.iter().find(|a| a.workload == "DBServer");
+    let dbserver_mv_vaf_largest = db.is_some_and(|db| {
+        attribution.iter().all(|a| db.mv.live.vaf_avg >= a.mv.live.vaf_avg)
+            && db.mv.live.vaf_avg > 0.0
+    });
+
+    // Telemetry-enabled DBServer run on the Evanesco SSD, and the same
+    // run with everything off for the neutrality check.
+    let telemetry_run = |enable: bool| {
+        let mut cfg = scale.ssd_config();
+        cfg.track_tags = false;
+        let mut ssd = Emulator::new(cfg, SanitizePolicy::evanesco());
+        if enable {
+            ssd.enable_gauges();
+            ssd.enable_timeseries(Nanos::from_micros(250), 512);
+            ssd.enable_decision_log(4096, DecisionLevel::Info);
+        }
+        let logical = ssd.logical_pages();
+        let trace = generate(
+            &WorkloadSpec::db_server(),
+            logical,
+            scale.main_write_pages(logical),
+            scale.seed,
+        );
+        replay(&mut ssd, &trace);
+        ssd.sample_timeseries_now();
+        ssd
+    };
+    let on = telemetry_run(true);
+    let off = telemetry_run(false);
+    let timing_neutral = on.result() == off.result();
+
+    let ts = on.timeseries().expect("timeseries enabled");
+    let samples: Vec<_> = ts.samples().collect();
+    let timeseries = TimeseriesSection {
+        windows: ts.total(),
+        retained: samples.len() as u64,
+        mean_window_iops: if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().map(|s| s.delta.iops).sum::<f64>() / samples.len() as f64
+        },
+        peak_invalid_secured: samples
+            .iter()
+            .filter_map(|s| s.gauges.map(|g| g.invalid_secured))
+            .max()
+            .unwrap_or(0),
+        final_t_insecure: samples.last().map_or(0.0, |s| s.t_insecure),
+    };
+    let dl = on.decision_log();
+    let decisions = DecisionSection {
+        info: dl.counts[0],
+        warn: dl.counts[1],
+        error: dl.counts[2],
+        dropped: dl.dropped,
+    };
+
+    ReportBundle {
+        scale_name: scale_name.to_string(),
+        scheduler_speedup: sched.gate_speedup(),
+        scheduler_iops: sched_iops,
+        scheduler_pass: sched.gate_passes(),
+        attribution,
+        mv_vaf_exceeds_uv,
+        dbserver_mv_vaf_largest,
+        timeseries,
+        decisions,
+        timing_neutral,
+        live_offline_max_rel_diff,
+    }
+}
+
+impl ReportBundle {
+    /// The bundle's own invariants — violations independent of any
+    /// baseline. Empty means healthy.
+    pub fn self_check(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if !self.timing_neutral {
+            v.push("telemetry is not timing-neutral: enabled run diverged".into());
+        }
+        if !self.scheduler_pass {
+            v.push(format!(
+                "scheduler gate failed: qd {} speedup {:.2}x < {:.1}x",
+                scheduler::GATE_QD,
+                self.scheduler_speedup,
+                scheduler::GATE_MIN_SPEEDUP
+            ));
+        }
+        if self.live_offline_max_rel_diff > MAX_LIVE_OFFLINE_REL_DIFF {
+            v.push(format!(
+                "live ledger disagrees with offline VerTrace: max rel diff {:.4} > {:.2}",
+                self.live_offline_max_rel_diff, MAX_LIVE_OFFLINE_REL_DIFF
+            ));
+        }
+        if !self.mv_vaf_exceeds_uv {
+            v.push("Table-1 ordering broken: a workload has MV VAF below UV VAF".into());
+        }
+        if !self.dbserver_mv_vaf_largest {
+            v.push("Table-1 ordering broken: DBServer MV VAF is not the largest".into());
+        }
+        if self.timeseries.windows == 0 {
+            v.push("timeseries produced no windows".into());
+        }
+        if self.decisions.info + self.decisions.warn + self.decisions.error == 0 {
+            v.push("decision log recorded nothing".into());
+        }
+        v
+    }
+
+    /// Numeric-drift violations against a previously written
+    /// `BENCH_report.json`. An unparseable baseline is a violation; a
+    /// baseline from a different scale is skipped (empty result) since
+    /// its magnitudes aren't comparable.
+    pub fn drift_against(&self, baseline: &str) -> Vec<String> {
+        let base = match Json::parse(baseline) {
+            Ok(b) => b,
+            Err(e) => return vec![format!("unparseable BENCH_report.json baseline: {e}")],
+        };
+        if base.get("scale").and_then(Json::as_str) != Some(self.scale_name.as_str()) {
+            return Vec::new();
+        }
+        let mut v = Vec::new();
+        let mut num = |path: &str, cur: f64, tol: f64, floor: f64| {
+            let mut node = &base;
+            for key in path.split('.') {
+                match node.get(key) {
+                    Some(n) => node = n,
+                    None => {
+                        v.push(format!("baseline missing field '{path}'"));
+                        return;
+                    }
+                }
+            }
+            let Some(b) = node.as_num() else {
+                v.push(format!("baseline field '{path}' is not a number"));
+                return;
+            };
+            if (cur - b).abs() > floor && rel_diff(cur, b) > tol {
+                v.push(format!(
+                    "'{path}' drifted: {cur:.4} vs baseline {b:.4} (tol {:.0}%)",
+                    tol * 100.0
+                ));
+            }
+        };
+        num("scheduler.speedup", self.scheduler_speedup, 0.15, 0.05);
+        num("scheduler.iops", self.scheduler_iops, 0.15, 1.0);
+        num("timeseries.windows", self.timeseries.windows as f64, 0.25, 2.0);
+        num(
+            "timeseries.peak_invalid_secured",
+            self.timeseries.peak_invalid_secured as f64,
+            0.25,
+            4.0,
+        );
+        num("live_offline_max_rel_diff", self.live_offline_max_rel_diff, 0.0, 0.05);
+        if let Some(rows) = base.get("attribution").and_then(Json::as_arr) {
+            for row in rows {
+                let Some(name) = row.get("workload").and_then(Json::as_str) else { continue };
+                let Some(cur) = self.attribution.iter().find(|a| a.workload == name) else {
+                    v.push(format!("workload '{name}' missing from this run"));
+                    continue;
+                };
+                for (field, val) in [
+                    ("mv_vaf_avg", cur.mv.live.vaf_avg),
+                    ("mv_tinsec_avg", cur.mv.live.tinsec_avg),
+                    ("uv_vaf_avg", cur.uv.live.vaf_avg),
+                ] {
+                    let Some(b) = row.get("live").and_then(|l| l.get(field)).and_then(Json::as_num)
+                    else {
+                        v.push(format!("baseline missing field 'attribution.{name}.live.{field}'"));
+                        continue;
+                    };
+                    if (val - b).abs() > 0.05 && rel_diff(val, b) > 0.05 {
+                        v.push(format!(
+                            "'{name}.{field}' drifted: {val:.4} vs baseline {b:.4} (tol 5%)"
+                        ));
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Human-readable markdown report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "== Observability report (scale {}) ==", self.scale_name).unwrap();
+        writeln!(
+            out,
+            "\nscheduler: qd {} speedup {:.2}x, {:.0} iops -> {}",
+            scheduler::GATE_QD,
+            self.scheduler_speedup,
+            self.scheduler_iops,
+            if self.scheduler_pass { "PASS" } else { "FAIL" },
+        )
+        .unwrap();
+        writeln!(out, "\nattribution (live ledger | offline VerTrace, baseline SSD):").unwrap();
+        writeln!(
+            out,
+            "{:<12} {:>5} | {:>9} {:>9} {:>9} {:>9} | {:>8}",
+            "workload", "class", "vaf_avg", "(offl)", "tins_avg", "(offl)", "rel_diff"
+        )
+        .unwrap();
+        for a in &self.attribution {
+            for (class, pair) in [("UV", &a.uv), ("MV", &a.mv)] {
+                writeln!(
+                    out,
+                    "{:<12} {:>5} | {:>9.3} {:>9.3} {:>9.3} {:>9.3} | {:>8.4}",
+                    a.workload,
+                    class,
+                    pair.live.vaf_avg,
+                    pair.offline.vaf_avg,
+                    pair.live.tinsec_avg,
+                    pair.offline.tinsec_avg,
+                    pair.max_rel_diff(),
+                )
+                .unwrap();
+            }
+            writeln!(
+                out,
+                "{:<12} paths: secured {:?} exposed {:?}; exposure mean {:.1} ticks, \
+                 zero {:.0}%, max {}",
+                "",
+                a.causes_secured,
+                a.causes_exposed,
+                a.exposure_mean_ticks,
+                a.exposure_zero_fraction * 100.0,
+                a.exposure_max_ticks,
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "orderings: MV >= UV {}; DBServer MV largest {}",
+            self.mv_vaf_exceeds_uv, self.dbserver_mv_vaf_largest
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "\ntimeseries (Evanesco SSD, DBServer): {} windows ({} retained), \
+             mean {:.0} iops/window, peak invalid_secured {}, final T_insecure {:.4}",
+            self.timeseries.windows,
+            self.timeseries.retained,
+            self.timeseries.mean_window_iops,
+            self.timeseries.peak_invalid_secured,
+            self.timeseries.final_t_insecure,
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "decision log: {} info / {} warn / {} error ({} dropped)",
+            self.decisions.info, self.decisions.warn, self.decisions.error, self.decisions.dropped,
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "timing-neutral: {}; live-vs-offline max rel diff: {:.4}",
+            self.timing_neutral, self.live_offline_max_rel_diff,
+        )
+        .unwrap();
+        out
+    }
+
+    /// Machine-readable JSON (`BENCH_report.json`), hand-rendered — the
+    /// build has no serde.
+    pub fn to_json(&self) -> String {
+        fn f(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.4}")
+            } else {
+                "0.0".to_string()
+            }
+        }
+        fn class(c: &ClassStats) -> String {
+            format!(
+                "{{\"n_files\": {}, \"vaf_avg\": {}, \"vaf_max\": {}, \"tinsec_avg\": {}, \
+                 \"tinsec_max\": {}}}",
+                c.n_files,
+                f(c.vaf_avg),
+                f(c.vaf_max),
+                f(c.tinsec_avg),
+                f(c.tinsec_max)
+            )
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        writeln!(out, "  \"bench\": \"report\",").unwrap();
+        writeln!(out, "  \"scale\": \"{}\",", self.scale_name).unwrap();
+        writeln!(
+            out,
+            "  \"scheduler\": {{\"gate_qd\": {}, \"speedup\": {}, \"iops\": {}, \"pass\": {}}},",
+            scheduler::GATE_QD,
+            f(self.scheduler_speedup),
+            f(self.scheduler_iops),
+            self.scheduler_pass,
+        )
+        .unwrap();
+        writeln!(out, "  \"attribution\": [").unwrap();
+        for (i, a) in self.attribution.iter().enumerate() {
+            writeln!(out, "    {{\"workload\": \"{}\",", a.workload).unwrap();
+            writeln!(
+                out,
+                "     \"live\": {{\"uv\": {}, \"mv\": {}, \"uv_vaf_avg\": {}, \
+                 \"mv_vaf_avg\": {}, \"mv_tinsec_avg\": {}}},",
+                class(&a.uv.live),
+                class(&a.mv.live),
+                f(a.uv.live.vaf_avg),
+                f(a.mv.live.vaf_avg),
+                f(a.mv.live.tinsec_avg),
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "     \"offline\": {{\"uv\": {}, \"mv\": {}}},",
+                class(&a.uv.offline),
+                class(&a.mv.offline)
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "     \"causes\": {{\"secured\": [{}, {}, {}], \"exposed\": [{}, {}, {}]}},",
+                a.causes_secured[0],
+                a.causes_secured[1],
+                a.causes_secured[2],
+                a.causes_exposed[0],
+                a.causes_exposed[1],
+                a.causes_exposed[2],
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "     \"exposure\": {{\"mean_ticks\": {}, \"zero_fraction\": {}, \
+                 \"max_ticks\": {}}},",
+                f(a.exposure_mean_ticks),
+                f(a.exposure_zero_fraction),
+                a.exposure_max_ticks,
+            )
+            .unwrap();
+            write!(out, "     \"max_rel_diff\": {}}}", f(a.max_rel_diff())).unwrap();
+            out.push_str(if i + 1 < self.attribution.len() { ",\n" } else { "\n" });
+        }
+        writeln!(out, "  ],").unwrap();
+        writeln!(
+            out,
+            "  \"orderings\": {{\"mv_vaf_exceeds_uv\": {}, \"dbserver_mv_vaf_largest\": {}}},",
+            self.mv_vaf_exceeds_uv, self.dbserver_mv_vaf_largest,
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  \"timeseries\": {{\"windows\": {}, \"retained\": {}, \"mean_window_iops\": {}, \
+             \"peak_invalid_secured\": {}, \"final_t_insecure\": {}}},",
+            self.timeseries.windows,
+            self.timeseries.retained,
+            f(self.timeseries.mean_window_iops),
+            self.timeseries.peak_invalid_secured,
+            f(self.timeseries.final_t_insecure),
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  \"decisions\": {{\"info\": {}, \"warn\": {}, \"error\": {}, \"dropped\": {}}},",
+            self.decisions.info, self.decisions.warn, self.decisions.error, self.decisions.dropped,
+        )
+        .unwrap();
+        writeln!(out, "  \"timing_neutral\": {},", self.timing_neutral).unwrap();
+        writeln!(out, "  \"live_offline_max_rel_diff\": {}", f(self.live_offline_max_rel_diff))
+            .unwrap();
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The `report` experiment as printable text (no file output, no gate;
+/// the `experiments` binary's subcommand adds both).
+pub fn report(scale: &Scale, scale_name: &str) -> String {
+    run(scale, scale_name).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bundle_is_healthy() {
+        let b = run(&Scale::smoke(), "smoke");
+        assert!(b.timing_neutral, "telemetry changed simulated results");
+        // Identical counting rules; only float summation order (HashMap
+        // iteration) separates the two.
+        assert!(
+            b.live_offline_max_rel_diff < 1e-9,
+            "ledger must match VerTrace: {}",
+            b.live_offline_max_rel_diff
+        );
+        assert!(b.mv_vaf_exceeds_uv && b.dbserver_mv_vaf_largest, "Table-1 orderings broken");
+        assert!(b.timeseries.windows > 0);
+        assert!(b.decisions.info + b.decisions.warn + b.decisions.error > 0);
+        assert!(b.self_check().is_empty(), "{:?}", b.self_check());
+    }
+
+    #[test]
+    fn json_round_trips_and_gates_against_itself() {
+        let b = run(&Scale::smoke(), "smoke");
+        let j = b.to_json();
+        let parsed = Json::parse(&j).expect("well-formed JSON");
+        assert_eq!(parsed.get("bench").and_then(Json::as_str), Some("report"));
+        assert_eq!(
+            parsed.get("attribution").and_then(Json::as_arr).map(|a| a.len()),
+            Some(b.attribution.len())
+        );
+        // Gating a bundle against its own serialization finds no drift.
+        assert!(b.drift_against(&j).is_empty(), "{:?}", b.drift_against(&j));
+        // A different scale's baseline is skipped, not a violation.
+        let other = j.replace("\"scale\": \"smoke\"", "\"scale\": \"full\"");
+        assert!(b.drift_against(&other).is_empty());
+        // A corrupt baseline is a violation.
+        assert!(!b.drift_against("{not json").is_empty());
+    }
+
+    #[test]
+    fn drift_gate_catches_a_moved_number() {
+        let b = run(&Scale::smoke(), "smoke");
+        let mut doctored = b.clone();
+        doctored.scheduler_speedup *= 2.0;
+        let violations = doctored.drift_against(&b.to_json());
+        assert!(violations.iter().any(|v| v.contains("scheduler.speedup")), "{violations:?}");
+    }
+}

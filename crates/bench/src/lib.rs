@@ -60,12 +60,19 @@ pub fn run_experiment(name: &str, scale: &Scale) -> String {
         "ablation-lazy" => experiments::ablation::ablation_lazy(scale),
         "scheduler" => experiments::scheduler::scheduler(scale, "custom"),
         "trace" => experiments::tracing::trace(scale, "custom"),
+        "report" => experiments::report::report(scale, "custom"),
         other => panic!("unknown experiment '{other}'; known: {EXPERIMENT_NAMES:?}"),
     }
 }
 
+/// Whether [`run_experiment`] accepts `name` (for up-front CLI
+/// validation, so a typo is reported before hours of runs, not after).
+pub fn is_experiment_name(name: &str) -> bool {
+    EXPERIMENT_NAMES.contains(&name)
+}
+
 /// All experiment names accepted by [`run_experiment`], in report order.
-pub const EXPERIMENT_NAMES: [&str; 23] = [
+pub const EXPERIMENT_NAMES: [&str; 24] = [
     "table2",
     "fig2",
     "table1",
@@ -89,6 +96,7 @@ pub const EXPERIMENT_NAMES: [&str; 23] = [
     "security-flagaging",
     "scheduler",
     "trace",
+    "report",
 ];
 
 #[cfg(test)]

@@ -1,0 +1,317 @@
+//! Bounded, leveled FTL decision log.
+//!
+//! Answers "why did the FTL do that?" for the decisions that matter to
+//! sanitization behaviour: GC victim selection (with the score that won),
+//! the lock-coalescing queue lifecycle (enqueue / bLock promotion / aged
+//! flush / erase supersession), the reliability escalation ladder, and
+//! degraded-mode transitions. Every record carries the simulated timestamp
+//! and the host logical tick at which the decision was taken, so entries
+//! line up with the timeseries windows and VerTrace timelines.
+//!
+//! The log is observational only: recording reads the executor clock but
+//! never issues a command or advances time, so enabled vs disabled runs
+//! produce byte-identical simulated results (the same guarantee tracing
+//! makes). It is disabled (zero capacity) by default and bounded when on —
+//! the ring keeps the most recent `capacity` records and counts the rest
+//! in [`DecisionLog::dropped`].
+
+use crate::ftl::DegradedMode;
+use evanesco_nand::timing::Nanos;
+use std::collections::VecDeque;
+
+/// Severity of a logged decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum DecisionLevel {
+    /// Routine policy decisions (GC victim picks, coalescing traffic).
+    #[default]
+    Info,
+    /// Reliability escalations: the preferred mechanism failed and a
+    /// stronger rung took over.
+    Warn,
+    /// Permanent state loss: block retirement, degraded-mode transitions.
+    Error,
+}
+
+impl DecisionLevel {
+    /// Stable lowercase label for exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionLevel::Info => "info",
+            DecisionLevel::Warn => "warn",
+            DecisionLevel::Error => "error",
+        }
+    }
+}
+
+/// The rung of the lock-failure escalation ladder that fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscalationRung {
+    /// A page's `pLock` retry budget ran out; block-level escalation began.
+    PlockExhausted,
+    /// A `bLock` settle failed its verify; demoted to per-page locks.
+    BlockLockDemoted,
+    /// A page's terminal `pLock` rung failed; in-place scrub destroyed it.
+    ScrubFallback,
+    /// Even the `bLock` after relocation failed; the block was erased on
+    /// the spot (the erSSD fallback).
+    SanitizeErase,
+}
+
+impl EscalationRung {
+    /// Stable lowercase label for exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EscalationRung::PlockExhausted => "plock_exhausted",
+            EscalationRung::BlockLockDemoted => "block_lock_demoted",
+            EscalationRung::ScrubFallback => "scrub_fallback",
+            EscalationRung::SanitizeErase => "sanitize_erase",
+        }
+    }
+}
+
+/// One loggable FTL decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// GC picked `block` as the victim; `score` is the value that won the
+    /// selection (invalid count for greedy, the cost-benefit ratio
+    /// otherwise).
+    GcVictim { chip: usize, block: u32, live: u32, invalid: u32, score: f64 },
+    /// `pages` deferred `pLock`s joined the coalescing queue for `block`.
+    CoalesceEnqueue { chip: usize, block: u32, pages: usize },
+    /// A queue entry settled as one `bLock` covering `pages` locks.
+    CoalescePromote { chip: usize, block: u32, pages: usize },
+    /// A queue entry settled as `pages` individual `pLock`s (block not
+    /// dead, or the batch was below the promotion threshold).
+    CoalesceFlush { chip: usize, block: u32, pages: usize },
+    /// A physical erase superseded `pages` locks still queued for `block`.
+    CoalesceSupersede { chip: usize, block: u32, pages: usize },
+    /// A reliability-escalation rung fired on `block`.
+    Escalation { chip: usize, block: u32, rung: EscalationRung },
+    /// `block` was retired as grown-bad.
+    BlockRetired { chip: usize, block: u32 },
+    /// The drive's service level degraded.
+    DegradedTransition { from: DegradedMode, to: DegradedMode },
+}
+
+impl Decision {
+    /// The severity this decision is logged at.
+    pub fn level(&self) -> DecisionLevel {
+        match self {
+            Decision::GcVictim { .. }
+            | Decision::CoalesceEnqueue { .. }
+            | Decision::CoalescePromote { .. }
+            | Decision::CoalesceFlush { .. }
+            | Decision::CoalesceSupersede { .. } => DecisionLevel::Info,
+            Decision::Escalation { .. } => DecisionLevel::Warn,
+            Decision::BlockRetired { .. } | Decision::DegradedTransition { .. } => {
+                DecisionLevel::Error
+            }
+        }
+    }
+
+    /// Stable kind label for exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Decision::GcVictim { .. } => "gc_victim",
+            Decision::CoalesceEnqueue { .. } => "coalesce_enqueue",
+            Decision::CoalescePromote { .. } => "coalesce_promote",
+            Decision::CoalesceFlush { .. } => "coalesce_flush",
+            Decision::CoalesceSupersede { .. } => "coalesce_supersede",
+            Decision::Escalation { .. } => "escalation",
+            Decision::BlockRetired { .. } => "block_retired",
+            Decision::DegradedTransition { .. } => "degraded_transition",
+        }
+    }
+}
+
+/// One record in the log: a decision plus when it was taken.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionRecord {
+    /// Monotone sequence number across the whole run (survives ring
+    /// eviction: `seq` of the oldest retained record tells how far back
+    /// the window reaches).
+    pub seq: u64,
+    /// Simulated time of the decision.
+    pub at: Nanos,
+    /// Host logical tick (accepted host page writes so far).
+    pub tick: u64,
+    /// What was decided.
+    pub decision: Decision,
+}
+
+impl DecisionRecord {
+    /// Human-readable one-line rendering.
+    pub fn render(&self) -> String {
+        let head = format!(
+            "[{}] t={}ns tick={} {}",
+            self.decision.level().label(),
+            self.at.0,
+            self.tick,
+            self.decision.kind()
+        );
+        let tail = match self.decision {
+            Decision::GcVictim { chip, block, live, invalid, score } => {
+                format!("chip={chip} block={block} live={live} invalid={invalid} score={score:.2}")
+            }
+            Decision::CoalesceEnqueue { chip, block, pages }
+            | Decision::CoalescePromote { chip, block, pages }
+            | Decision::CoalesceFlush { chip, block, pages }
+            | Decision::CoalesceSupersede { chip, block, pages } => {
+                format!("chip={chip} block={block} pages={pages}")
+            }
+            Decision::Escalation { chip, block, rung } => {
+                format!("chip={chip} block={block} rung={}", rung.label())
+            }
+            Decision::BlockRetired { chip, block } => format!("chip={chip} block={block}"),
+            Decision::DegradedTransition { from, to } => format!("{from:?} -> {to:?}"),
+        };
+        format!("{head} {tail}")
+    }
+}
+
+/// The bounded, leveled ring of [`DecisionRecord`]s.
+///
+/// `capacity == 0` means disabled: recording is a no-op and nothing is
+/// counted. When enabled, records below `min_level` are filtered out
+/// (not counted as dropped), and the ring evicts oldest-first once full.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionLog {
+    capacity: usize,
+    min_level: DecisionLevel,
+    ring: VecDeque<DecisionRecord>,
+    /// Records evicted from the ring because it was full.
+    pub dropped: u64,
+    /// Total records accepted (retained + dropped), by level
+    /// `[info, warn, error]`.
+    pub counts: [u64; 3],
+    seq: u64,
+}
+
+impl DecisionLog {
+    /// A disabled log (the default state of a fresh FTL).
+    pub fn disabled() -> Self {
+        DecisionLog::default()
+    }
+
+    /// An enabled log keeping at most `capacity` records at `min_level`+.
+    pub fn new(capacity: usize, min_level: DecisionLevel) -> Self {
+        DecisionLog { capacity, min_level, ..DecisionLog::default() }
+    }
+
+    /// Whether recording does anything.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Appends a record (no-op when disabled or below the level filter).
+    pub fn record(&mut self, at: Nanos, tick: u64, decision: Decision) {
+        if self.capacity == 0 || decision.level() < self.min_level {
+            return;
+        }
+        self.counts[decision.level() as usize] += 1;
+        self.ring.push_back(DecisionRecord { seq: self.seq, at, tick, decision });
+        self.seq += 1;
+        if self.ring.len() > self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &DecisionRecord> {
+        self.ring.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total records accepted over the run (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Renders the retained records as text, one line each.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} older records dropped ...\n", self.dropped));
+        }
+        for r in &self.ring {
+            out.push_str(&r.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(log: &mut DecisionLog, i: u64, d: Decision) {
+        log.record(Nanos(i * 10), i, d);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = DecisionLog::disabled();
+        rec(&mut log, 1, Decision::BlockRetired { chip: 0, block: 3 });
+        assert!(!log.enabled());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.total(), 0);
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut log = DecisionLog::new(2, DecisionLevel::Info);
+        for i in 0..5 {
+            rec(&mut log, i, Decision::CoalesceEnqueue { chip: 0, block: i as u32, pages: 1 });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped, 3);
+        assert_eq!(log.total(), 5);
+        let seqs: Vec<u64> = log.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, [3, 4]);
+    }
+
+    #[test]
+    fn level_filter_drops_below_min() {
+        let mut log = DecisionLog::new(8, DecisionLevel::Warn);
+        rec(&mut log, 0, Decision::GcVictim { chip: 0, block: 1, live: 2, invalid: 3, score: 3.0 });
+        rec(
+            &mut log,
+            1,
+            Decision::Escalation { chip: 0, block: 1, rung: EscalationRung::ScrubFallback },
+        );
+        rec(&mut log, 2, Decision::BlockRetired { chip: 0, block: 1 });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.counts, [0, 1, 1]);
+    }
+
+    #[test]
+    fn render_is_one_line_per_record() {
+        let mut log = DecisionLog::new(4, DecisionLevel::Info);
+        rec(
+            &mut log,
+            7,
+            Decision::GcVictim { chip: 1, block: 9, live: 0, invalid: 24, score: 24.0 },
+        );
+        rec(
+            &mut log,
+            8,
+            Decision::DegradedTransition { from: DegradedMode::Normal, to: DegradedMode::SpareLow },
+        );
+        let text = log.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("gc_victim"), "{text}");
+        assert!(text.contains("[error]"), "{text}");
+        assert!(text.contains("tick=7"), "{text}");
+    }
+}

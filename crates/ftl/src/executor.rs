@@ -75,6 +75,14 @@ pub trait NandExecutor {
     /// implementations ignore it.
     fn stall(&mut self, _chip: usize, _dur: Nanos) {}
 
+    /// Current value of the executor's clock, for observational timestamps
+    /// (the FTL decision log). Reading it never advances time or issues a
+    /// command, so instrumentation stays timing-neutral. Untimed
+    /// implementations without any clock return zero.
+    fn now(&self) -> Nanos {
+        Nanos::ZERO
+    }
+
     // -----------------------------------------------------------------
     // Dispatch/complete split (out-of-order host scheduling)
     // -----------------------------------------------------------------
@@ -243,6 +251,10 @@ impl NandExecutor for MemExecutor {
 
     fn probe_block(&mut self, chip: usize, block: BlockId) -> BlockProbe {
         probe_block_on(&self.chips[chip], block)
+    }
+
+    fn now(&self) -> Nanos {
+        Nanos(self.ops)
     }
 }
 

@@ -26,8 +26,9 @@
 
 use crate::addr::{GlobalPpa, Lpa};
 use crate::config::FtlConfig;
+use crate::decision::{Decision, DecisionLog};
 use crate::executor::NandExecutor;
-use crate::observer::FtlObserver;
+use crate::observer::{FtlObserver, InvalidateCause};
 use crate::policy::SanitizePolicy;
 use crate::recovery::{RecoveryReport, MAX_LOCK_RETRIES};
 use crate::stats::FtlStats;
@@ -319,6 +320,9 @@ pub struct Ftl {
     /// Degraded-mode state (driven by the per-chip retired counts against
     /// the spare reserve).
     mode: DegradedMode,
+    /// Bounded "explain why" log of policy decisions (disabled by default;
+    /// see [`Ftl::enable_decision_log`]). Purely observational.
+    decisions: DecisionLog,
 }
 
 impl Ftl {
@@ -339,6 +343,7 @@ impl Ftl {
             seq: 0,
             pending_locks: VecDeque::new(),
             mode: DegradedMode::Normal,
+            decisions: DecisionLog::disabled(),
             cfg,
             policy,
         }
@@ -379,6 +384,31 @@ impl Ftl {
     /// Cumulative statistics.
     pub fn stats(&self) -> FtlStats {
         self.stats
+    }
+
+    /// Turns the decision log on, keeping at most `capacity` records at
+    /// `min_level` and above. Observational only: enabling it never
+    /// changes simulated results.
+    pub fn enable_decision_log(
+        &mut self,
+        capacity: usize,
+        min_level: crate::decision::DecisionLevel,
+    ) {
+        self.decisions = DecisionLog::new(capacity, min_level);
+    }
+
+    /// The decision log (empty and disabled unless
+    /// [`Ftl::enable_decision_log`] was called).
+    pub fn decision_log(&self) -> &DecisionLog {
+        &self.decisions
+    }
+
+    /// Records a decision with the executor's current clock (no-op while
+    /// the log is disabled; never issues a command).
+    fn note_decision<E: NandExecutor>(&mut self, ex: &E, decision: Decision) {
+        if self.decisions.enabled() {
+            self.decisions.record(ex.now(), self.stats.host_write_pages, decision);
+        }
     }
 
     /// Number of logical pages exposed to the host.
@@ -505,7 +535,7 @@ impl Ftl {
             });
             // Trim locks stay synchronous: the trim ack promises the data
             // is sealed, so trimmed pages never enter the coalescing queue.
-            self.invalidate_block_group(ex, obs, key.0, key.1, &group, false);
+            self.invalidate_block_group(ex, obs, key.0, key.1, &group, InvalidateCause::Trim);
         }
     }
 
@@ -618,8 +648,14 @@ impl Ftl {
         // A physical erase sanitizes harder than any lock: locks still
         // queued for this block are satisfied for free.
         if self.cfg.lock_coalescing {
-            let dropped = self.take_pending_locks(chip, id).len() as u64;
-            self.stats.coalesced_plocks += dropped;
+            let dropped = self.take_pending_locks(chip, id).len();
+            self.stats.coalesced_plocks += dropped as u64;
+            if dropped > 0 {
+                self.note_decision(
+                    ex,
+                    Decision::CoalesceSupersede { chip, block: id, pages: dropped },
+                );
+            }
         }
         let budget = self.cfg.reliability.erase_retry_budget;
         for attempt in 0..=budget {
@@ -703,6 +739,22 @@ impl Ftl {
             }
         };
         let Some(victim) = victim else { return false };
+        if self.decisions.enabled() {
+            let m = self.chips[chip].blocks[victim as usize];
+            let invalid = ppb - m.live;
+            let score = match self.cfg.gc_victim {
+                crate::config::GcVictimPolicy::Greedy => f64::from(invalid),
+                crate::config::GcVictimPolicy::CostBenefit => {
+                    let now = self.stats.host_write_pages;
+                    let age = (now.saturating_sub(m.closed_at) + 1) as f64;
+                    f64::from(invalid) * age / (f64::from(m.live) + 1.0)
+                }
+            };
+            self.note_decision(
+                ex,
+                Decision::GcVictim { chip, block: victim, live: m.live, invalid, score },
+            );
+        }
         self.stats.gc_invocations += 1;
         self.chips[chip].gc_in_progress.insert(victim);
 
@@ -773,7 +825,12 @@ impl Ftl {
             if st == PageStatus::Secured {
                 secured_olds.push(old);
             }
-            obs.on_invalidate(old, secure, self.policy.is_immediate() && secure);
+            obs.on_invalidate(
+                old,
+                secure,
+                self.policy.is_immediate() && secure,
+                InvalidateCause::GcCopy,
+            );
         }
         secured_olds
     }
@@ -856,7 +913,7 @@ impl Ftl {
             // Overwrite invalidations are deferrable: the host never waits
             // on them (unlike a trim ack), so they may sit in the
             // coalescing queue.
-            self.invalidate_block_group(ex, obs, chip, block, &group, true);
+            self.invalidate_block_group(ex, obs, chip, block, &group, InvalidateCause::HostUpdate);
         }
     }
 
@@ -867,8 +924,11 @@ impl Ftl {
         chip: usize,
         block: u32,
         group: &[GlobalPpa],
-        defer: bool,
+        cause: InvalidateCause,
     ) {
+        // Host-update invalidations are deferrable (the host never waits on
+        // them); trim invalidations must settle synchronously before the ack.
+        let defer = cause == InvalidateCause::HostUpdate;
         // Mark invalid first, collecting the secured subset.
         let mut secured: Vec<GlobalPpa> = Vec::new();
         for &old in group {
@@ -880,7 +940,7 @@ impl Ftl {
                 secured.push(old);
             }
             let sec = st == PageStatus::Secured;
-            obs.on_invalidate(old, sec, self.policy.is_immediate() && sec);
+            obs.on_invalidate(old, sec, self.policy.is_immediate() && sec, cause);
         }
         // Lock coalescing (Evanesco policies only): deferrable locks queue
         // until the block dies — one bLock then covers the whole batch — or
@@ -892,6 +952,10 @@ impl Ftl {
                 let fully_dead = meta.state == BlockState::Full && meta.live == 0;
                 if defer && !fully_dead {
                     if !secured.is_empty() {
+                        self.note_decision(
+                            ex,
+                            Decision::CoalesceEnqueue { chip, block, pages: secured.len() },
+                        );
                         self.enqueue_pending_locks(chip, block, &secured);
                     }
                     return;
@@ -983,9 +1047,25 @@ impl Ftl {
         let fully_dead =
             meta.live == 0 && matches!(meta.state, BlockState::Full | BlockState::Reclaimable);
         if use_block && fully_dead && entry.pages.len() >= self.cfg.block_min_plocks {
+            self.note_decision(
+                ex,
+                Decision::CoalescePromote {
+                    chip: entry.chip,
+                    block: entry.block,
+                    pages: entry.pages.len(),
+                },
+            );
             self.secure_block(ex, entry.chip, entry.block, &entry.pages);
             self.stats.coalesced_plocks += entry.pages.len() as u64;
         } else {
+            self.note_decision(
+                ex,
+                Decision::CoalesceFlush {
+                    chip: entry.chip,
+                    block: entry.block,
+                    pages: entry.pages.len(),
+                },
+            );
             for &at in &entry.pages {
                 self.secure_page(ex, obs, at);
             }
@@ -1113,7 +1193,7 @@ impl Ftl {
             self.commit_mapping(lpa, new_at, secure);
             obs.on_program(lpa, new_at, true, secure);
             self.chips[chip].mark_invalid(idx, block.0);
-            obs.on_invalidate(at, secure, true);
+            obs.on_invalidate(at, secure, true, InvalidateCause::GcCopy);
         }
 
         // Destroy the wordline: the target, the siblings' old slots, and any
@@ -1197,6 +1277,14 @@ impl Ftl {
             return;
         }
         self.stats.plock_escalations += 1;
+        self.note_decision(
+            ex,
+            Decision::Escalation {
+                chip: at.chip,
+                block: at.ppa.block.0,
+                rung: crate::decision::EscalationRung::PlockExhausted,
+            },
+        );
         self.escalate_block(ex, obs, at.chip, at.ppa.block.0);
     }
 
@@ -1211,6 +1299,14 @@ impl Ftl {
             return;
         }
         self.stats.lock_scrub_fallbacks += 1;
+        self.note_decision(
+            ex,
+            Decision::Escalation {
+                chip: at.chip,
+                block: at.ppa.block.0,
+                rung: crate::decision::EscalationRung::ScrubFallback,
+            },
+        );
         ex.scrub(at);
         self.stats.scrubs += 1;
     }
@@ -1252,6 +1348,14 @@ impl Ftl {
         if self.block_lock_with_retry(ex, chip, block) {
             return;
         }
+        self.note_decision(
+            ex,
+            Decision::Escalation {
+                chip,
+                block,
+                rung: crate::decision::EscalationRung::BlockLockDemoted,
+            },
+        );
         for &at in pages {
             self.plock_or_scrub(ex, at);
         }
@@ -1301,6 +1405,14 @@ impl Ftl {
             return;
         }
         // erSSD rung: physically destroy the block's contents now.
+        self.note_decision(
+            ex,
+            Decision::Escalation {
+                chip,
+                block,
+                rung: crate::decision::EscalationRung::SanitizeErase,
+            },
+        );
         self.detach_block(chip, block);
         if self.erase_block(ex, obs, chip, block) {
             self.stats.sanitize_erases += 1;
@@ -1338,20 +1450,30 @@ impl Ftl {
         cs.set_block_state(id, BlockState::Retired);
         cs.retired += 1;
         self.stats.retired_blocks += 1;
-        self.update_degraded(chip);
+        self.note_decision(ex, Decision::BlockRetired { chip, block: id });
+        self.update_degraded(chip, ex.now());
     }
 
     /// Re-derives the degraded mode from `chip`'s retired count. The mode
     /// only escalates at runtime; recovery rebuilds it from scratch.
-    fn update_degraded(&mut self, chip: usize) {
+    /// `now` timestamps the transition in the decision log.
+    fn update_degraded(&mut self, chip: usize, now: Nanos) {
         let res = &self.cfg.reliability;
         let used = self.chips[chip].retired as usize;
+        let from = self.mode;
         if used >= res.spare_blocks {
             self.mode = DegradedMode::ReadOnly;
         } else if res.spare_blocks - used <= res.spare_low_watermark
             && self.mode == DegradedMode::Normal
         {
             self.mode = DegradedMode::SpareLow;
+        }
+        if self.mode != from {
+            self.decisions.record(
+                now,
+                self.stats.host_write_pages,
+                Decision::DegradedTransition { from, to: self.mode },
+            );
         }
     }
 
@@ -1551,7 +1673,7 @@ impl Ftl {
         // table (blocks retired during this recovery included).
         report.retired_blocks = u64::from(self.retired_block_count());
         for chip in 0..self.chips.len() {
-            self.update_degraded(chip);
+            self.update_degraded(chip, ex.now());
         }
 
         obs.on_recovery(&report);

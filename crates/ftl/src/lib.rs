@@ -31,6 +31,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod decision;
 pub mod executor;
 pub mod ftl;
 pub mod observer;
@@ -41,7 +42,9 @@ pub mod status;
 
 pub use addr::{GlobalPpa, Lpa};
 pub use config::FtlConfig;
+pub use decision::{Decision, DecisionLevel, DecisionLog, DecisionRecord, EscalationRung};
 pub use ftl::{DegradedMode, Ftl};
+pub use observer::InvalidateCause;
 pub use policy::SanitizePolicy;
 pub use recovery::RecoveryReport;
 pub use stats::FtlStats;

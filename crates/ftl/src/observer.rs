@@ -5,6 +5,37 @@
 use crate::addr::{GlobalPpa, Lpa};
 use evanesco_nand::geometry::BlockId;
 
+/// Why a physical page was invalidated — the path that retired it.
+///
+/// Attribution by retirement path is what lets the exposure ledger split
+/// VAF / T_insecure contributions between host-driven updates, explicit
+/// deletes, and background GC movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvalidateCause {
+    /// The host overwrote the logical page, superseding this version.
+    HostUpdate,
+    /// The host trimmed (deleted) the logical range covering this page.
+    Trim,
+    /// GC relocated the live copy (or scrub-sanitized a sibling), retiring
+    /// this physical page as part of block reclamation.
+    GcCopy,
+}
+
+impl InvalidateCause {
+    /// Stable lowercase label for exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            InvalidateCause::HostUpdate => "host_update",
+            InvalidateCause::Trim => "trim",
+            InvalidateCause::GcCopy => "gc_copy",
+        }
+    }
+
+    /// All causes, in export order.
+    pub const ALL: [InvalidateCause; 3] =
+        [InvalidateCause::HostUpdate, InvalidateCause::Trim, InvalidateCause::GcCopy];
+}
+
 /// Receives FTL page-lifecycle events.
 ///
 /// All methods have empty default bodies so observers implement only what
@@ -17,8 +48,15 @@ pub trait FtlObserver {
     /// A physical page was invalidated. `secure` is true when the page held
     /// secured content; `sanitized` is true when the policy made its
     /// content immediately unrecoverable (lock / scrub / the erase that is
-    /// about to follow).
-    fn on_invalidate(&mut self, _at: GlobalPpa, _secure: bool, _sanitized: bool) {}
+    /// about to follow); `cause` names the path that retired the page.
+    fn on_invalidate(
+        &mut self,
+        _at: GlobalPpa,
+        _secure: bool,
+        _sanitized: bool,
+        _cause: InvalidateCause,
+    ) {
+    }
     /// A block was physically erased: all its invalid content is gone.
     fn on_erase(&mut self, _chip: usize, _block: BlockId) {}
     /// One host logical-time tick (a host page write was accepted).
@@ -37,8 +75,14 @@ impl<O: FtlObserver + ?Sized> FtlObserver for &mut O {
     fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, relocation: bool, secure: bool) {
         (**self).on_program(lpa, at, relocation, secure);
     }
-    fn on_invalidate(&mut self, at: GlobalPpa, secure: bool, sanitized: bool) {
-        (**self).on_invalidate(at, secure, sanitized);
+    fn on_invalidate(
+        &mut self,
+        at: GlobalPpa,
+        secure: bool,
+        sanitized: bool,
+        cause: InvalidateCause,
+    ) {
+        (**self).on_invalidate(at, secure, sanitized, cause);
     }
     fn on_erase(&mut self, chip: usize, block: BlockId) {
         (**self).on_erase(chip, block);
@@ -59,9 +103,15 @@ impl<O: FtlObserver> FtlObserver for Option<O> {
             o.on_program(lpa, at, relocation, secure);
         }
     }
-    fn on_invalidate(&mut self, at: GlobalPpa, secure: bool, sanitized: bool) {
+    fn on_invalidate(
+        &mut self,
+        at: GlobalPpa,
+        secure: bool,
+        sanitized: bool,
+        cause: InvalidateCause,
+    ) {
         if let Some(o) = self {
-            o.on_invalidate(at, secure, sanitized);
+            o.on_invalidate(at, secure, sanitized, cause);
         }
     }
     fn on_erase(&mut self, chip: usize, block: BlockId) {
@@ -91,9 +141,15 @@ impl<A: FtlObserver, B: FtlObserver> FtlObserver for Tee<A, B> {
         self.0.on_program(lpa, at, relocation, secure);
         self.1.on_program(lpa, at, relocation, secure);
     }
-    fn on_invalidate(&mut self, at: GlobalPpa, secure: bool, sanitized: bool) {
-        self.0.on_invalidate(at, secure, sanitized);
-        self.1.on_invalidate(at, secure, sanitized);
+    fn on_invalidate(
+        &mut self,
+        at: GlobalPpa,
+        secure: bool,
+        sanitized: bool,
+        cause: InvalidateCause,
+    ) {
+        self.0.on_invalidate(at, secure, sanitized, cause);
+        self.1.on_invalidate(at, secure, sanitized, cause);
     }
     fn on_erase(&mut self, chip: usize, block: BlockId) {
         self.0.on_erase(chip, block);
@@ -118,7 +174,7 @@ mod tests {
     fn null_observer_accepts_everything() {
         let mut o = NullObserver;
         o.on_program(0, GlobalPpa::new(0, Ppa::new(0, 0)), false, true);
-        o.on_invalidate(GlobalPpa::new(0, Ppa::new(0, 0)), true, true);
+        o.on_invalidate(GlobalPpa::new(0, Ppa::new(0, 0)), true, true, InvalidateCause::HostUpdate);
         o.on_erase(0, BlockId(0));
         o.on_host_tick();
     }
@@ -134,7 +190,7 @@ mod tests {
         fn on_program(&mut self, _: Lpa, _: GlobalPpa, _: bool, _: bool) {
             self.programs += 1;
         }
-        fn on_invalidate(&mut self, _: GlobalPpa, _: bool, _: bool) {
+        fn on_invalidate(&mut self, _: GlobalPpa, _: bool, _: bool, _: InvalidateCause) {
             self.invalidates += 1;
         }
         fn on_host_tick(&mut self) {
@@ -157,9 +213,20 @@ mod tests {
         let mut some = Some(&mut c);
         {
             let mut tee = Tee(&mut a, &mut some);
-            tee.on_invalidate(GlobalPpa::new(0, Ppa::new(0, 0)), true, false);
+            tee.on_invalidate(
+                GlobalPpa::new(0, Ppa::new(0, 0)),
+                true,
+                false,
+                InvalidateCause::Trim,
+            );
         }
         assert_eq!(a.invalidates, 1);
         assert_eq!(c.invalidates, 1);
+    }
+
+    #[test]
+    fn cause_labels_are_stable() {
+        let labels: Vec<&str> = InvalidateCause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, ["host_update", "trim", "gc_copy"]);
     }
 }

@@ -561,6 +561,10 @@ impl NandExecutor for TimedExecutor {
         self.dispatch_floor = None;
         self.dispatch_end
     }
+
+    fn now(&self) -> Nanos {
+        self.simulated_time()
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use crate::device::TimedExecutor;
 use crate::gauges::LiveGauges;
 use crate::metrics::{LatencyBreakdown, LatencyHistogram, RecoveryTotals, RunResult};
 use crate::sched::{Dispatch, HostOp, OpResult, SchedRun, Scheduler};
+use crate::timeseries::TimeSeries;
 use crate::trace::{ReqKind, TraceRecorder};
 use evanesco_core::threat::Attacker;
 use evanesco_ftl::ftl::Ftl;
@@ -41,6 +42,8 @@ pub struct Emulator {
     gauges: Option<LiveGauges>,
     /// Per-request span recorder ([`Emulator::enable_tracing`]).
     trace: Option<TraceRecorder>,
+    /// Windowed telemetry ring ([`Emulator::enable_timeseries`]).
+    timeseries: Option<TimeSeries>,
 }
 
 impl Emulator {
@@ -61,6 +64,7 @@ impl Emulator {
             recovery: RecoveryTotals::default(),
             gauges: None,
             trace: None,
+            timeseries: None,
             cfg,
             ftl,
         }
@@ -100,6 +104,61 @@ impl Emulator {
     pub fn take_trace(&mut self) -> Option<TraceRecorder> {
         self.ex.set_tracing(false);
         self.trace.take()
+    }
+
+    /// Enables windowed telemetry: every `interval` of simulated time a
+    /// [`crate::timeseries::WindowSample`] closes (a `RunResult::since`
+    /// delta plus gauge snapshots), keeping the most recent `capacity`
+    /// windows. Timing-neutral, like tracing. Enable gauges first (or
+    /// too) if the samples should carry VAF / T_insecure.
+    pub fn enable_timeseries(&mut self, interval: Nanos, capacity: usize) -> &mut Self {
+        self.timeseries = Some(TimeSeries::new(interval, capacity, self));
+        self
+    }
+
+    /// The telemetry series, if enabled.
+    pub fn timeseries(&self) -> Option<&TimeSeries> {
+        self.timeseries.as_ref()
+    }
+
+    /// Detaches and returns the telemetry series, disabling sampling.
+    pub fn take_timeseries(&mut self) -> Option<TimeSeries> {
+        self.timeseries.take()
+    }
+
+    /// Force-closes a final partial telemetry window at the current clock
+    /// (call at end of run so the tail of the run is represented).
+    pub fn sample_timeseries_now(&mut self) {
+        if let Some(mut ts) = self.timeseries.take() {
+            ts.sample_now(self);
+            self.timeseries = Some(ts);
+        }
+    }
+
+    /// Closes due telemetry windows after a host-operation boundary.
+    fn poll_timeseries(&mut self) {
+        if let Some(mut ts) = self.timeseries.take() {
+            ts.poll(self);
+            self.timeseries = Some(ts);
+        }
+    }
+
+    /// Turns on the FTL decision log ("explain why" records for GC victim
+    /// picks, lock-coalescing traffic, escalation rungs, and degraded-mode
+    /// transitions), keeping at most `capacity` records at `min_level` and
+    /// above. Observational only — simulated results are unchanged.
+    pub fn enable_decision_log(
+        &mut self,
+        capacity: usize,
+        min_level: evanesco_ftl::DecisionLevel,
+    ) -> &mut Self {
+        self.ftl.enable_decision_log(capacity, min_level);
+        self
+    }
+
+    /// The FTL decision log (disabled and empty by default).
+    pub fn decision_log(&self) -> &evanesco_ftl::DecisionLog {
+        self.ftl.decision_log()
     }
 
     /// Finishes the open trace bracket for one host request, if tracing.
@@ -208,6 +267,7 @@ impl Emulator {
         self.ftl.flush_coalesced(&mut self.ex, &mut Tee(self.gauges.as_mut(), NullObserver));
         let end = self.ex.simulated_time();
         self.trace_finish(ReqKind::Maintenance, 0, 0, true, before, before, end);
+        self.poll_timeseries();
     }
 
     /// Writes `npages` consecutive logical pages starting at `lpa`.
@@ -283,6 +343,7 @@ impl Emulator {
             }
             let end = self.ex.simulated_time();
             self.trace_finish(ReqKind::Write, l, 1, acked, before, before, end);
+            self.poll_timeseries();
             tags.push((tag, acked));
         }
         tags
@@ -330,6 +391,7 @@ impl Emulator {
             }
             let end = self.ex.simulated_time();
             self.trace_finish(ReqKind::Write, l, 1, acked, before, before, end);
+            self.poll_timeseries();
             tags.push(tag);
         }
         tags
@@ -386,6 +448,7 @@ impl Emulator {
         let end = self.ex.simulated_time();
         self.read_latency.record(end.saturating_sub(before));
         self.trace_finish(ReqKind::Read, lpa, 1, true, before, before, end);
+        self.poll_timeseries();
     }
 
     /// Trims (deletes) `npages` consecutive logical pages.
@@ -423,6 +486,7 @@ impl Emulator {
         }
         let end = self.ex.simulated_time();
         self.trace_finish(ReqKind::Trim, lpa, npages, acked, before, before, end);
+        self.poll_timeseries();
         acked
     }
 
@@ -577,6 +641,7 @@ impl Emulator {
             }
         };
         self.trace_finish(kind, lpa, npages, acked_for_trace, d.submit, d.earliest, done);
+        self.poll_timeseries();
         sched.complete(done);
         res
     }

@@ -19,7 +19,7 @@
 //! the spot, so the invalid count stays at zero and T_insecure stays ≈0 —
 //! the paper's headline claim, now observable while a run executes.
 
-use evanesco_ftl::observer::FtlObserver;
+use evanesco_ftl::observer::{FtlObserver, InvalidateCause};
 use evanesco_ftl::{GlobalPpa, Lpa};
 use std::collections::HashMap;
 
@@ -143,7 +143,13 @@ impl FtlObserver for LiveGauges {
         self.note_change();
     }
 
-    fn on_invalidate(&mut self, at: GlobalPpa, secure: bool, sanitized: bool) {
+    fn on_invalidate(
+        &mut self,
+        at: GlobalPpa,
+        secure: bool,
+        sanitized: bool,
+        _cause: InvalidateCause,
+    ) {
         if !secure {
             return;
         }
@@ -197,7 +203,7 @@ mod tests {
         g.on_program(0, at(0, 0, 0), false, true);
         g.on_host_tick();
         g.on_program(0, at(0, 0, 1), false, true);
-        g.on_invalidate(at(0, 0, 0), true, true); // immediate sanitize
+        g.on_invalidate(at(0, 0, 0), true, true, InvalidateCause::HostUpdate); // immediate sanitize
         for _ in 0..50 {
             g.on_host_tick();
         }
@@ -217,7 +223,7 @@ mod tests {
         for _ in 0..10 {
             g.on_host_tick();
         }
-        g.on_invalidate(at(0, 0, 0), true, false); // exposed from tick 10
+        g.on_invalidate(at(0, 0, 0), true, false, InvalidateCause::HostUpdate); // exposed from tick 10
         for _ in 0..5 {
             g.on_host_tick();
         }
@@ -236,7 +242,7 @@ mod tests {
     fn insecure_writes_are_invisible() {
         let mut g = LiveGauges::new();
         g.on_program(0, at(0, 0, 0), false, false);
-        g.on_invalidate(at(0, 0, 0), false, false);
+        g.on_invalidate(at(0, 0, 0), false, false, InvalidateCause::HostUpdate);
         g.on_host_tick();
         let s = g.snapshot();
         assert_eq!((s.valid_secured, s.invalid_secured), (0, 0));
@@ -251,7 +257,7 @@ mod tests {
             g.on_program(p as u64, at(0, 0, p), false, true);
         }
         for p in 0..2 {
-            g.on_invalidate(at(0, 0, p), true, false);
+            g.on_invalidate(at(0, 0, p), true, false, InvalidateCause::HostUpdate);
             g.on_program(p as u64, at(0, 1, p), false, true);
         }
         let s = g.snapshot();

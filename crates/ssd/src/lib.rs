@@ -42,6 +42,7 @@ pub mod metrics;
 pub mod prom;
 pub mod sched;
 pub mod timeline;
+pub mod timeseries;
 pub mod trace;
 
 pub use config::SsdConfig;
@@ -50,4 +51,5 @@ pub use faultplan::FaultPlan;
 pub use gauges::{GaugeSnapshot, LiveGauges};
 pub use metrics::{LatencyBreakdown, RecoveryTotals, RunResult};
 pub use sched::{HostOp, OpResult, SchedRun, Scheduler};
+pub use timeseries::{TimeSeries, UtilWindow, WindowSample};
 pub use trace::{validate_chrome_trace, RequestTrace, SpanKind, TraceRecorder};

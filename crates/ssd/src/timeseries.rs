@@ -1,0 +1,327 @@
+//! Windowed run telemetry: a bounded ring of periodic samples.
+//!
+//! PR 4's instrumentation exposes instantaneous gauges and end-of-run
+//! totals; this module adds the time axis. At a fixed simulated-time
+//! interval the emulator closes a *window*: a [`RunResult::since`] delta
+//! over the window (windowed IOPS, WAF, lock/erase/GC/reliability
+//! counters, latency histograms) plus a [`GaugeSnapshot`] of the live
+//! VAF / T_insecure gauges and per-resource utilization fractions. The
+//! paper's Figure 4 timeplots (N_valid / N_invalid over time) fall out of
+//! the gauge fields of consecutive samples.
+//!
+//! Simulated time only advances at host-operation boundaries, so a window
+//! closes at the first boundary at or after its due time; its recorded
+//! `end` is that boundary. Quiet periods produce no empty windows — the
+//! next window simply spans the gap. The ring keeps the most recent
+//! `capacity` samples and counts evictions in [`TimeSeries::dropped`].
+//!
+//! Sampling is observational: it reads the clock and copies counters but
+//! never issues device work, so runs with the series enabled are
+//! byte-identical (simulated-time-wise) to runs without.
+
+use crate::emulator::Emulator;
+use crate::gauges::GaugeSnapshot;
+use crate::metrics::RunResult;
+use evanesco_nand::timing::Nanos;
+use std::collections::VecDeque;
+
+/// Mean and peak busy fraction over one window for one resource class.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UtilWindow {
+    /// Mean busy fraction across the class's resources.
+    pub mean: f64,
+    /// Busiest single resource's busy fraction.
+    pub max: f64,
+}
+
+/// One closed telemetry window.
+#[derive(Debug, Clone)]
+pub struct WindowSample {
+    /// Zero-based window number (monotone across ring eviction).
+    pub index: u64,
+    /// Simulated time the window opened (previous window's `end`).
+    pub start: Nanos,
+    /// Simulated time the window closed (first host-op boundary at or
+    /// after the due time).
+    pub end: Nanos,
+    /// Everything that happened inside the window, as a whole-run delta:
+    /// `iops` and `waf` are the *windowed* rates.
+    pub delta: RunResult,
+    /// Live gauges at `end` (present when gauges are enabled).
+    pub gauges: Option<GaugeSnapshot>,
+    /// T_insecure at `end`, normalized by device capacity (0 without
+    /// gauges).
+    pub t_insecure: f64,
+    /// Chip busy fractions over the window.
+    pub chip_util: UtilWindow,
+    /// Channel busy fractions over the window.
+    pub channel_util: UtilWindow,
+}
+
+/// The bounded ring of [`WindowSample`]s plus the cumulative baselines
+/// needed to close the next window.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    interval: Nanos,
+    capacity: usize,
+    ring: VecDeque<WindowSample>,
+    /// Samples evicted because the ring was full.
+    pub dropped: u64,
+    next_index: u64,
+    next_due: Nanos,
+    window_start: Nanos,
+    baseline: RunResult,
+    chip_busy: Vec<Nanos>,
+    channel_busy: Vec<Nanos>,
+    capacity_pages: u64,
+}
+
+impl TimeSeries {
+    /// Creates a series sampling every `interval` of simulated time,
+    /// keeping at most `capacity` windows, armed on `em`'s current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval or zero capacity (both would be
+    /// degenerate: an unbounded ring or an infinite loop of windows).
+    pub fn new(interval: Nanos, capacity: usize, em: &Emulator) -> Self {
+        assert!(interval > Nanos::ZERO, "timeseries interval must be positive");
+        assert!(capacity > 0, "timeseries capacity must be positive");
+        let now = em.device().simulated_time();
+        TimeSeries {
+            interval,
+            capacity,
+            ring: VecDeque::new(),
+            dropped: 0,
+            next_index: 0,
+            next_due: Nanos(now.0 + interval.0),
+            window_start: now,
+            baseline: em.result(),
+            chip_busy: em.device().chip_utilized(),
+            channel_busy: em.device().channel_utilized(),
+            capacity_pages: em.logical_pages(),
+        }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> Nanos {
+        self.interval
+    }
+
+    /// Closes a window if the clock has reached the due time (called by
+    /// the emulator after each host-operation boundary).
+    pub fn poll(&mut self, em: &Emulator) {
+        let now = em.device().simulated_time();
+        if now < self.next_due {
+            return;
+        }
+        self.close_window(em, now);
+        // One window spans the whole gap when the clock jumped several
+        // intervals (e.g. across an erase); re-arm past it.
+        while self.next_due <= now {
+            self.next_due = Nanos(self.next_due.0 + self.interval.0);
+        }
+    }
+
+    /// Force-closes a final partial window at the current clock (end of
+    /// run). No-op when nothing happened since the last close. The window
+    /// may be zero-span: operations overlapping earlier ones on parallel
+    /// chips complete without advancing the device horizon.
+    pub fn sample_now(&mut self, em: &Emulator) {
+        let now = em.device().simulated_time();
+        if now > self.window_start || em.result() != self.baseline {
+            self.close_window(em, now);
+            while self.next_due <= now {
+                self.next_due = Nanos(self.next_due.0 + self.interval.0);
+            }
+        }
+    }
+
+    fn close_window(&mut self, em: &Emulator, now: Nanos) {
+        let cur = em.result();
+        let delta = cur.since(&self.baseline);
+        let span = now.saturating_sub(self.window_start);
+        let chip_now = em.device().chip_utilized();
+        let channel_now = em.device().channel_utilized();
+        let gauges = em.gauges().map(|g| g.snapshot());
+        let t_insecure = gauges.map_or(0.0, |g| g.t_insecure(self.capacity_pages));
+        let sample = WindowSample {
+            index: self.next_index,
+            start: self.window_start,
+            end: now,
+            delta,
+            gauges,
+            t_insecure,
+            chip_util: util_window(&self.chip_busy, &chip_now, span),
+            channel_util: util_window(&self.channel_busy, &channel_now, span),
+        };
+        self.next_index += 1;
+        self.window_start = now;
+        self.baseline = cur;
+        self.chip_busy = chip_now;
+        self.channel_busy = channel_now;
+        self.ring.push_back(sample);
+        if self.ring.len() > self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &WindowSample> {
+        self.ring.iter()
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no window has closed yet (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total windows closed over the run (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Renders the retained samples as an aligned text table (one row per
+    /// window), for reports and debugging.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "window      start_ns        end_ns     iops      waf  valid_sec  invalid_sec  t_insec  chip_util\n",
+        );
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} older windows dropped ...\n", self.dropped));
+        }
+        for s in &self.ring {
+            let (v, i) = s.gauges.map_or((0, 0), |g| (g.valid_secured, g.invalid_secured));
+            out.push_str(&format!(
+                "{:>6} {:>13} {:>13} {:>8.0} {:>8.3} {:>10} {:>12} {:>8.4} {:>10.3}\n",
+                s.index,
+                s.start.0,
+                s.end.0,
+                s.delta.iops,
+                s.delta.waf,
+                v,
+                i,
+                s.t_insecure,
+                s.chip_util.mean,
+            ));
+        }
+        out
+    }
+}
+
+/// Busy fractions of one resource class over a window of length `span`.
+fn util_window(before: &[Nanos], now: &[Nanos], span: Nanos) -> UtilWindow {
+    if span == Nanos::ZERO || before.is_empty() {
+        return UtilWindow::default();
+    }
+    let fracs: Vec<f64> = now
+        .iter()
+        .zip(before)
+        .map(|(n, b)| n.saturating_sub(*b).0 as f64 / span.0 as f64)
+        .collect();
+    UtilWindow {
+        mean: fracs.iter().sum::<f64>() / fracs.len() as f64,
+        max: fracs.iter().cloned().fold(0.0, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SsdConfig;
+    use evanesco_ftl::SanitizePolicy;
+
+    fn ssd() -> Emulator {
+        Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco())
+    }
+
+    #[test]
+    fn windows_tile_the_run_and_deltas_sum() {
+        let mut em = ssd();
+        em.enable_timeseries(Nanos::from_micros(200), 1024);
+        let before = em.result();
+        for i in 0..200 {
+            em.write(i % 64, 1, true);
+        }
+        em.sample_timeseries_now();
+        let after = em.result();
+        let ts = em.timeseries().unwrap();
+        assert!(ts.len() >= 2, "expected several windows, got {}", ts.len());
+        // Adjacent windows tile [enable, last-close) exactly.
+        let samples: Vec<&WindowSample> = ts.samples().collect();
+        for pair in samples.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        // Window deltas sum to the whole-run delta.
+        let total_pages: u64 = samples.iter().map(|s| s.delta.host_ops).sum();
+        assert_eq!(total_pages, after.since(&before).host_ops);
+        let total_erases: u64 = samples.iter().map(|s| s.delta.erases).sum();
+        assert_eq!(total_erases, after.since(&before).erases);
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut em = ssd();
+        em.enable_timeseries(Nanos::from_micros(100), 2);
+        for i in 0..300 {
+            em.write(i % 64, 1, true);
+        }
+        let ts = em.timeseries().unwrap();
+        assert_eq!(ts.len(), 2);
+        assert!(ts.dropped > 0);
+        assert_eq!(ts.total(), ts.len() as u64 + ts.dropped);
+    }
+
+    #[test]
+    fn gauge_fields_populate_when_gauges_enabled() {
+        let mut em = ssd();
+        em.enable_gauges();
+        em.enable_timeseries(Nanos::from_micros(200), 256);
+        for i in 0..120 {
+            em.write(i % 48, 1, true);
+        }
+        let ts = em.timeseries().unwrap();
+        let last = ts.samples().last().unwrap();
+        let g = last.gauges.expect("gauges attached");
+        assert!(g.valid_secured > 0);
+        assert!(last.chip_util.mean > 0.0);
+        assert!(last.chip_util.max <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn timeseries_is_timing_neutral() {
+        let run = |enable: bool| {
+            let mut em = ssd();
+            if enable {
+                em.enable_gauges();
+                em.enable_timeseries(Nanos::from_micros(50), 128);
+            }
+            for i in 0..150 {
+                em.write(i % 64, 1, true);
+                if i % 7 == 0 {
+                    em.trim(i % 32, 1);
+                }
+            }
+            em.result()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn render_has_one_row_per_window() {
+        let mut em = ssd();
+        em.enable_timeseries(Nanos::from_micros(200), 64);
+        for i in 0..100 {
+            em.write(i % 64, 1, true);
+        }
+        let ts = em.timeseries().unwrap();
+        let text = ts.render();
+        assert_eq!(text.lines().count(), 1 + ts.len());
+    }
+}

@@ -1,0 +1,513 @@
+//! The live exposure ledger: per-stream (file/class) sanitization
+//! attribution, computed online from FTL observer events.
+//!
+//! [`VerTrace`](crate::vertrace::VerTrace) is the paper's *offline*
+//! measurement tool; the ledger produces the same per-file N_valid /
+//! N_invalid accounting (identical counting rules, so the two can be
+//! cross-checked run-for-run) and adds what a post-hoc scan cannot see:
+//!
+//! * **retirement-path attribution** — which invalidation path retired
+//!   each page (host update vs trim vs GC copy; [`InvalidateCause`]),
+//!   split by secured / exposed;
+//! * **exposure-window histogram** — for every invalidated page, the
+//!   logical-time window from invalidation until its content became
+//!   unrecoverable (zero when the policy sanitized on the spot, the
+//!   wait-for-erase window otherwise; still-open windows are
+//!   right-censored at [`ExposureLedger::finalize`]).
+//!
+//! Both are reported per file class (UV / MV) in the Table-1 shape, so
+//! "which data was exposed, for how long, and which path exposed it" is
+//! observable while a run executes.
+
+use crate::trace::FileId;
+use crate::vertrace::ClassStats;
+use evanesco_ftl::observer::{FtlObserver, InvalidateCause};
+use evanesco_ftl::{GlobalPpa, Lpa};
+use std::collections::HashMap;
+
+/// Log2-bucketed histogram of exposure windows, in logical ticks.
+///
+/// Bucket 0 holds zero-tick windows (sanitized at invalidation); bucket
+/// `k > 0` holds windows in `[2^(k-1), 2^k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExposureHistogram {
+    /// Window counts per log2 bucket.
+    pub buckets: [u64; 34],
+    /// Total windows recorded.
+    pub count: u64,
+    /// Sum of all windows (ticks).
+    pub sum: u64,
+    /// Largest window (ticks).
+    pub max: u64,
+}
+
+impl Default for ExposureHistogram {
+    fn default() -> Self {
+        ExposureHistogram { buckets: [0; 34], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl ExposureHistogram {
+    fn bucket_of(ticks: u64) -> usize {
+        ((u64::BITS - ticks.leading_zeros()) as usize).min(33)
+    }
+
+    /// Records one exposure window of `ticks`.
+    pub fn record(&mut self, ticks: u64) {
+        self.buckets[Self::bucket_of(ticks)] += 1;
+        self.count += 1;
+        self.sum += ticks;
+        self.max = self.max.max(ticks);
+    }
+
+    /// Mean window in ticks (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fraction of windows that were zero (sanitized immediately).
+    pub fn zero_fraction(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.buckets[0] as f64 / self.count as f64
+        }
+    }
+
+    /// Merges `other` into `self`.
+    pub fn absorb(&mut self, other: &ExposureHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Per-cause page-retirement counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CauseCounts {
+    /// All invalidations by cause `[host_update, trim, gc_copy]`.
+    pub total: [u64; 3],
+    /// Secured-page subset.
+    pub secured: [u64; 3],
+    /// Secured pages left *exposed* (not sanitized at invalidation).
+    pub exposed: [u64; 3],
+}
+
+impl CauseCounts {
+    fn idx(cause: InvalidateCause) -> usize {
+        match cause {
+            InvalidateCause::HostUpdate => 0,
+            InvalidateCause::Trim => 1,
+            InvalidateCause::GcCopy => 2,
+        }
+    }
+
+    fn note(&mut self, cause: InvalidateCause, secure: bool, sanitized: bool) {
+        let i = Self::idx(cause);
+        self.total[i] += 1;
+        if secure {
+            self.secured[i] += 1;
+            if !sanitized {
+                self.exposed[i] += 1;
+            }
+        }
+    }
+
+    fn absorb(&mut self, other: &CauseCounts) {
+        for i in 0..3 {
+            self.total[i] += other.total[i];
+            self.secured[i] += other.secured[i];
+            self.exposed[i] += other.exposed[i];
+        }
+    }
+}
+
+/// Per-file exposure accounting (the ledger's unit of attribution).
+#[derive(Debug, Clone, Default)]
+pub struct FileExposure {
+    /// Live pages now.
+    pub valid: u64,
+    /// Stale-but-present pages now.
+    pub invalid: u64,
+    /// Peak live pages.
+    pub max_valid: u64,
+    /// Peak stale pages.
+    pub max_invalid: u64,
+    /// Accumulated ticks with `invalid > 0`.
+    pub insecure_ticks: u64,
+    /// Whether the file was ever overwritten or deleted (multi-version).
+    pub multi_version: bool,
+    /// Which paths retired this file's pages.
+    pub causes: CauseCounts,
+    /// Exposure windows of this file's invalidated pages.
+    pub exposure: ExposureHistogram,
+    insecure_since: Option<u64>,
+}
+
+impl FileExposure {
+    /// Version amplification factor of the file.
+    pub fn vaf(&self) -> f64 {
+        if self.max_valid == 0 {
+            0.0
+        } else {
+            self.max_invalid as f64 / self.max_valid as f64
+        }
+    }
+}
+
+/// Aggregated attribution for one file class (UV or MV).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassExposure {
+    /// The Table-1 numbers, aggregated exactly like
+    /// [`VerTrace::report`](crate::vertrace::VerTrace::report).
+    pub stats: ClassStats,
+    /// Retirement paths across the class's files.
+    pub causes: CauseCounts,
+    /// Exposure windows across the class's files.
+    pub exposure: ExposureHistogram,
+}
+
+/// The ledger's end-of-run report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LedgerReport {
+    /// Uni-version files.
+    pub uv: ClassExposure,
+    /// Multi-version files.
+    pub mv: ClassExposure,
+    /// Device-wide retirement paths (files with no live peak included).
+    pub device_causes: CauseCounts,
+}
+
+/// One tracked physical page: owning file, liveness, and — when invalid
+/// and still recoverable — when/how it became exposed.
+#[derive(Debug, Clone, Copy)]
+struct PageEntry {
+    file: FileId,
+    live: bool,
+    exposed_since: Option<u64>,
+}
+
+/// The live per-stream exposure ledger (an [`FtlObserver`]).
+///
+/// Counting rules are identical to VerTrace's: a sanitized invalidation
+/// never counts as an invalid version; an erase removes every tracked
+/// page of the block; logical time is one tick per accepted host page
+/// write. The `secure` flag does not affect version counting (VerTrace
+/// parity) — it drives the per-cause secured/exposed split only.
+#[derive(Debug, Clone, Default)]
+pub struct ExposureLedger {
+    tick: u64,
+    lpa_file: HashMap<Lpa, FileId>,
+    /// `(chip, block)` → page → entry.
+    phys: HashMap<(usize, u32), HashMap<u32, PageEntry>>,
+    files: HashMap<FileId, FileExposure>,
+    device_causes: CauseCounts,
+}
+
+impl ExposureLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current logical time.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Replayer hook: called before the host writes `[lpa, lpa+n)` on
+    /// behalf of `file`; `overwrite` marks in-place file updates.
+    pub fn before_write(&mut self, file: FileId, lpa: Lpa, npages: u64, overwrite: bool) {
+        for l in lpa..lpa + npages {
+            self.lpa_file.insert(l, file);
+        }
+        let f = self.files.entry(file).or_default();
+        if overwrite {
+            f.multi_version = true;
+        }
+    }
+
+    /// Replayer hook: called before the host trims `[lpa, lpa+n)`.
+    pub fn before_trim(&mut self, file: FileId, lpa: Lpa, npages: u64) {
+        self.files.entry(file).or_default().multi_version = true;
+        for l in lpa..lpa + npages {
+            self.lpa_file.remove(&l);
+        }
+    }
+
+    /// All per-file accounting.
+    pub fn files(&self) -> &HashMap<FileId, FileExposure> {
+        &self.files
+    }
+
+    /// Closes open insecure intervals and right-censors still-open
+    /// exposure windows at the current tick (pages whose stale content
+    /// was never destroyed during the run).
+    pub fn finalize(&mut self) {
+        let tick = self.tick;
+        for f in self.files.values_mut() {
+            if let Some(since) = f.insecure_since.take() {
+                f.insecure_ticks += tick - since;
+            }
+        }
+        for block in self.phys.values_mut() {
+            for entry in block.values_mut() {
+                if let Some(since) = entry.exposed_since.take() {
+                    if let Some(f) = self.files.get_mut(&entry.file) {
+                        f.exposure.record(tick - since);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the per-class report, normalizing T_insecure by
+    /// `capacity_pages` — the live Table 1, with attribution.
+    pub fn report(&mut self, capacity_pages: u64) -> LedgerReport {
+        self.finalize();
+        let mut uv: Vec<&FileExposure> = Vec::new();
+        let mut mv: Vec<&FileExposure> = Vec::new();
+        for f in self.files.values() {
+            if f.max_valid == 0 {
+                continue;
+            }
+            if f.multi_version {
+                mv.push(f);
+            } else {
+                uv.push(f);
+            }
+        }
+        let agg = |class: &[&FileExposure]| {
+            let mut out = ClassExposure::default();
+            if class.is_empty() {
+                return out;
+            }
+            let n = class.len() as f64;
+            let vafs: Vec<f64> = class.iter().map(|f| f.vaf()).collect();
+            let tins: Vec<f64> =
+                class.iter().map(|f| f.insecure_ticks as f64 / capacity_pages as f64).collect();
+            out.stats = ClassStats {
+                n_files: class.len() as u64,
+                vaf_avg: vafs.iter().sum::<f64>() / n,
+                vaf_max: vafs.iter().copied().fold(0.0, f64::max),
+                tinsec_avg: tins.iter().sum::<f64>() / n,
+                tinsec_max: tins.iter().copied().fold(0.0, f64::max),
+            };
+            for f in class {
+                out.causes.absorb(&f.causes);
+                out.exposure.absorb(&f.exposure);
+            }
+            out
+        };
+        LedgerReport { uv: agg(&uv), mv: agg(&mv), device_causes: self.device_causes }
+    }
+
+    fn note_change(&mut self, file: FileId) {
+        let tick = self.tick;
+        let f = self.files.entry(file).or_default();
+        f.max_valid = f.max_valid.max(f.valid);
+        f.max_invalid = f.max_invalid.max(f.invalid);
+        match (f.invalid > 0, f.insecure_since) {
+            (true, None) => f.insecure_since = Some(tick),
+            (false, Some(since)) => {
+                f.insecure_ticks += tick - since;
+                f.insecure_since = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+impl FtlObserver for ExposureLedger {
+    fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, _relocation: bool, _secure: bool) {
+        let Some(&file) = self.lpa_file.get(&lpa) else { return };
+        self.phys
+            .entry((at.chip, at.ppa.block.0))
+            .or_default()
+            .insert(at.ppa.page.0, PageEntry { file, live: true, exposed_since: None });
+        self.files.entry(file).or_default().valid += 1;
+        self.note_change(file);
+    }
+
+    fn on_invalidate(
+        &mut self,
+        at: GlobalPpa,
+        secure: bool,
+        sanitized: bool,
+        cause: InvalidateCause,
+    ) {
+        self.device_causes.note(cause, secure, sanitized);
+        let key = (at.chip, at.ppa.block.0);
+        let Some(block) = self.phys.get_mut(&key) else { return };
+        let Some(entry) = block.get_mut(&at.ppa.page.0) else { return };
+        let file = entry.file;
+        if entry.live {
+            entry.live = false;
+            self.files.entry(file).or_default().valid -= 1;
+        }
+        let f = self.files.entry(file).or_default();
+        f.causes.note(cause, secure, sanitized);
+        if sanitized {
+            // Content immediately unrecoverable: a zero exposure window,
+            // and never an invalid version.
+            f.exposure.record(0);
+            block.remove(&at.ppa.page.0);
+        } else {
+            f.invalid += 1;
+            entry.exposed_since = Some(self.tick);
+        }
+        self.note_change(file);
+    }
+
+    fn on_erase(&mut self, chip: usize, block: evanesco_nand::geometry::BlockId) {
+        let Some(entries) = self.phys.remove(&(chip, block.0)) else { return };
+        let tick = self.tick;
+        let mut touched = Vec::new();
+        for (_, entry) in entries {
+            let f = self.files.entry(entry.file).or_default();
+            if entry.live {
+                f.valid = f.valid.saturating_sub(1);
+            } else {
+                f.invalid = f.invalid.saturating_sub(1);
+            }
+            if let Some(since) = entry.exposed_since {
+                // The erase finally destroyed this stale version: close
+                // its exposure window.
+                f.exposure.record(tick - since);
+            }
+            touched.push(entry.file);
+        }
+        for file in touched {
+            self.note_change(file);
+        }
+    }
+
+    fn on_host_tick(&mut self) {
+        self.tick += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evanesco_nand::geometry::{BlockId, Ppa};
+
+    fn at(chip: usize, block: u32, page: u32) -> GlobalPpa {
+        GlobalPpa::new(chip, Ppa::new(block, page))
+    }
+
+    #[test]
+    fn mirrors_vertrace_version_counting() {
+        let mut lg = ExposureLedger::new();
+        lg.before_write(1, 0, 2, false);
+        lg.on_host_tick();
+        lg.on_program(0, at(0, 0, 0), false, true);
+        lg.on_host_tick();
+        lg.on_program(1, at(0, 0, 1), false, true);
+        lg.before_write(1, 0, 1, true);
+        lg.on_host_tick();
+        lg.on_program(0, at(0, 0, 2), false, true);
+        lg.on_invalidate(at(0, 0, 0), true, false, InvalidateCause::HostUpdate);
+        let f = &lg.files()[&1];
+        assert_eq!((f.valid, f.invalid), (2, 1));
+        assert!(f.multi_version);
+        assert_eq!(f.max_invalid, 1);
+    }
+
+    #[test]
+    fn cause_attribution_splits_secured_and_exposed() {
+        let mut lg = ExposureLedger::new();
+        lg.before_write(1, 0, 3, false);
+        lg.on_program(0, at(0, 0, 0), false, true);
+        lg.on_program(1, at(0, 0, 1), false, true);
+        lg.on_program(2, at(0, 0, 2), false, true);
+        lg.on_invalidate(at(0, 0, 0), true, true, InvalidateCause::HostUpdate);
+        lg.on_invalidate(at(0, 0, 1), true, false, InvalidateCause::Trim);
+        lg.on_invalidate(at(0, 0, 2), false, false, InvalidateCause::GcCopy);
+        let f = &lg.files()[&1];
+        assert_eq!(f.causes.total, [1, 1, 1]);
+        assert_eq!(f.causes.secured, [1, 1, 0]);
+        assert_eq!(f.causes.exposed, [0, 1, 0]);
+        assert_eq!(lg.device_causes.total, [1, 1, 1]);
+    }
+
+    #[test]
+    fn exposure_windows_measure_invalidate_to_erase() {
+        let mut lg = ExposureLedger::new();
+        lg.before_write(1, 0, 1, false);
+        lg.on_program(0, at(0, 3, 0), false, true);
+        for _ in 0..10 {
+            lg.on_host_tick();
+        }
+        lg.on_invalidate(at(0, 3, 0), true, false, InvalidateCause::HostUpdate);
+        for _ in 0..5 {
+            lg.on_host_tick();
+        }
+        lg.on_erase(0, BlockId(3)); // exposed ticks 10..15 → window 5
+        let f = &lg.files()[&1];
+        assert_eq!(f.exposure.count, 1);
+        assert_eq!((f.exposure.sum, f.exposure.max), (5, 5));
+        // Bucket: 5 ∈ [4, 8) → bucket 3.
+        assert_eq!(f.exposure.buckets[3], 1);
+    }
+
+    #[test]
+    fn sanitized_invalidations_record_zero_windows() {
+        let mut lg = ExposureLedger::new();
+        lg.before_write(1, 0, 1, false);
+        lg.on_program(0, at(0, 0, 0), false, true);
+        lg.on_invalidate(at(0, 0, 0), true, true, InvalidateCause::Trim);
+        let f = &lg.files()[&1];
+        assert_eq!((f.valid, f.invalid), (0, 0));
+        assert_eq!(f.exposure.count, 1);
+        assert_eq!(f.exposure.buckets[0], 1);
+        assert_eq!(f.exposure.zero_fraction(), 1.0);
+    }
+
+    #[test]
+    fn finalize_right_censors_open_windows() {
+        let mut lg = ExposureLedger::new();
+        lg.before_write(1, 0, 1, false);
+        lg.on_program(0, at(0, 0, 0), false, true);
+        lg.on_invalidate(at(0, 0, 0), true, false, InvalidateCause::HostUpdate);
+        for _ in 0..7 {
+            lg.on_host_tick();
+        }
+        lg.finalize();
+        let f = &lg.files()[&1];
+        assert_eq!(f.exposure.count, 1);
+        assert_eq!(f.exposure.sum, 7);
+        // Idempotent: a second finalize records nothing new.
+        lg.finalize();
+        assert_eq!(lg.files()[&1].exposure.count, 1);
+    }
+
+    #[test]
+    fn report_aggregates_like_vertrace() {
+        let mut lg = ExposureLedger::new();
+        // UV file.
+        lg.before_write(1, 0, 2, false);
+        lg.on_program(0, at(0, 0, 0), false, true);
+        lg.on_program(1, at(0, 0, 1), false, true);
+        // MV file with one exposed stale version.
+        lg.before_write(2, 10, 1, false);
+        lg.on_program(10, at(0, 1, 0), false, true);
+        lg.before_write(2, 10, 1, true);
+        lg.on_program(10, at(0, 1, 1), false, true);
+        lg.on_invalidate(at(0, 1, 0), true, false, InvalidateCause::HostUpdate);
+        let report = lg.report(1000);
+        assert_eq!(report.uv.stats.n_files, 1);
+        assert_eq!(report.mv.stats.n_files, 1);
+        assert_eq!(report.uv.stats.vaf_max, 0.0);
+        assert!(report.mv.stats.vaf_max > 0.0);
+        assert_eq!(report.mv.causes.exposed, [1, 0, 0]);
+        assert_eq!(report.mv.exposure.count, 1);
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`vertrace::VerTrace`] — the §3 data-versioning study: per-file
 //!   `N_valid`/`N_invalid` tracking, VAF and T_insecure metrics, UV/MV
 //!   classification (Table 1, Figure 4);
+//! * [`ledger::ExposureLedger`] — the *live* counterpart of VerTrace:
+//!   identical per-class accounting plus retirement-path attribution
+//!   (host update / trim / GC copy) and exposure-window histograms;
 //! * [`replay`] — drives a trace through the `evanesco-ssd` emulator with
 //!   measured-phase isolation.
 //!
@@ -33,12 +36,14 @@
 
 pub mod fs;
 pub mod generate;
+pub mod ledger;
 pub mod replay;
 pub mod serialize;
 pub mod spec;
 pub mod trace;
 pub mod vertrace;
 
+pub use ledger::{CauseCounts, ClassExposure, ExposureHistogram, ExposureLedger, LedgerReport};
 pub use spec::WorkloadSpec;
 pub use trace::{FileId, Trace, TraceOp};
 pub use vertrace::{VerTrace, VerTraceReport};

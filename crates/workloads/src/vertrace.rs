@@ -18,7 +18,7 @@
 //! absorbed by the normalization).
 
 use crate::trace::FileId;
-use evanesco_ftl::observer::FtlObserver;
+use evanesco_ftl::observer::{FtlObserver, InvalidateCause};
 use evanesco_ftl::{GlobalPpa, Lpa};
 use std::collections::HashMap;
 
@@ -213,7 +213,13 @@ impl FtlObserver for VerTrace {
         self.note_change(file);
     }
 
-    fn on_invalidate(&mut self, at: GlobalPpa, _secure: bool, sanitized: bool) {
+    fn on_invalidate(
+        &mut self,
+        at: GlobalPpa,
+        _secure: bool,
+        sanitized: bool,
+        _cause: InvalidateCause,
+    ) {
         let key = (at.chip, at.ppa.block.0);
         let Some(block) = self.phys.get_mut(&key) else { return };
         let Some(entry) = block.get_mut(&at.ppa.page.0) else { return };
@@ -278,7 +284,7 @@ mod tests {
         vt.before_write(1, 0, 1, true);
         vt.on_host_tick();
         vt.on_program(0, at(0, 0, 2), false, true);
-        vt.on_invalidate(at(0, 0, 0), true, false);
+        vt.on_invalidate(at(0, 0, 0), true, false, InvalidateCause::HostUpdate);
         let f = &vt.files()[&1];
         assert_eq!((f.valid, f.invalid), (2, 1));
         assert!(f.multi_version);
@@ -290,7 +296,7 @@ mod tests {
         let mut vt = VerTrace::new();
         vt.before_write(7, 0, 1, false);
         vt.on_program(0, at(0, 0, 0), false, true);
-        vt.on_invalidate(at(0, 0, 0), true, true);
+        vt.on_invalidate(at(0, 0, 0), true, true, InvalidateCause::HostUpdate);
         let f = &vt.files()[&7];
         assert_eq!((f.valid, f.invalid), (0, 0));
         assert_eq!(f.vaf(), 0.0);
@@ -301,7 +307,7 @@ mod tests {
         let mut vt = VerTrace::new();
         vt.before_write(1, 0, 1, false);
         vt.on_program(0, at(0, 3, 0), false, true);
-        vt.on_invalidate(at(0, 3, 0), true, false);
+        vt.on_invalidate(at(0, 3, 0), true, false, InvalidateCause::HostUpdate);
         assert_eq!(vt.files()[&1].invalid, 1);
         vt.on_erase(0, BlockId(3));
         assert_eq!(vt.files()[&1].invalid, 0);
@@ -315,7 +321,7 @@ mod tests {
         for _ in 0..10 {
             vt.on_host_tick();
         }
-        vt.on_invalidate(at(0, 0, 0), true, false); // insecure from tick 10
+        vt.on_invalidate(at(0, 0, 0), true, false, InvalidateCause::HostUpdate); // insecure from tick 10
         for _ in 0..5 {
             vt.on_host_tick();
         }
@@ -339,7 +345,7 @@ mod tests {
         vt.on_program(10, at(0, 1, 0), false, true);
         vt.before_write(2, 10, 1, true);
         vt.on_program(10, at(0, 1, 1), false, true);
-        vt.on_invalidate(at(0, 1, 0), true, false);
+        vt.on_invalidate(at(0, 1, 0), true, false, InvalidateCause::HostUpdate);
         let report = vt.report(1000);
         assert_eq!(report.uv.n_files, 1);
         assert_eq!(report.mv.n_files, 1);
@@ -361,7 +367,7 @@ mod tests {
         vt.before_write(1, 0, 1, false);
         vt.on_program(0, at(0, 0, 0), false, true);
         vt.on_host_tick();
-        vt.on_invalidate(at(0, 0, 0), true, false);
+        vt.on_invalidate(at(0, 0, 0), true, false, InvalidateCause::HostUpdate);
         let tl = &vt.files()[&1].timeline;
         assert_eq!(tl.len(), 2);
         assert_eq!(tl[0], (0, 1, 0));
@@ -378,7 +384,7 @@ mod tests {
             for i in 0..n {
                 vt.before_write(file, file as u64 * 100, 1, true);
                 vt.on_program(file as u64 * 100, at(0, file, i + 1), false, true);
-                vt.on_invalidate(at(0, file, i), true, false);
+                vt.on_invalidate(at(0, file, i), true, false, InvalidateCause::HostUpdate);
             }
         }
         let (id, stats) = vt.worst_file(true).unwrap();

@@ -1,0 +1,165 @@
+//! Prometheus exposition contract tests for
+//! [`Emulator::prometheus_scrape`]: series uniqueness, `# TYPE`-before-
+//! sample ordering, and counter monotonicity across mid-run scrapes.
+//!
+//! A scrape that violates any of these is silently mis-ingested by a real
+//! Prometheus server (duplicate series are dropped, untyped samples lose
+//! their semantics, and a counter that moves backwards resets every rate
+//! query), so the contract is pinned here at the integration level.
+
+use evanesco::ftl::SanitizePolicy;
+use evanesco::ssd::{Emulator, SsdConfig};
+use std::collections::HashMap;
+
+fn telemetry_ssd() -> Emulator {
+    let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+    ssd.enable_gauges();
+    ssd.enable_tracing(128);
+    ssd
+}
+
+fn churn(ssd: &mut Emulator, rounds: u64) {
+    let logical = ssd.logical_pages();
+    for i in 0..rounds {
+        ssd.write((i * 3) % (logical - 4), 1 + i % 3, i % 2 == 0);
+        if i % 5 == 0 {
+            ssd.read((i * 7) % (logical - 4), 1);
+        }
+        if i % 11 == 0 {
+            ssd.trim((i * 3) % (logical - 4), 1);
+        }
+    }
+}
+
+/// Splits a scrape into `(type_by_family, samples)` where a sample is the
+/// full series identity (`name{labels}`) mapped to its parsed value.
+fn parse_scrape(scrape: &str) -> (HashMap<String, String>, Vec<(String, f64)>) {
+    let mut types = HashMap::new();
+    let mut samples = Vec::new();
+    for line in scrape.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE has a name").to_string();
+            let kind = it.next().expect("TYPE has a kind").to_string();
+            types.insert(name, kind);
+        } else if !line.starts_with('#') {
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            let v: f64 = value.parse().unwrap_or_else(|_| panic!("unparseable value: {line}"));
+            samples.push((series.to_string(), v));
+        }
+    }
+    (types, samples)
+}
+
+/// The metric family of a series: name with labels and histogram-suffix
+/// stripped.
+fn family_of(series: &str) -> String {
+    series
+        .split('{')
+        .next()
+        .unwrap()
+        .trim_end_matches("_bucket")
+        .trim_end_matches("_sum")
+        .trim_end_matches("_count")
+        .to_string()
+}
+
+#[test]
+fn every_series_is_unique() {
+    let mut ssd = telemetry_ssd();
+    churn(&mut ssd, 120);
+    let scrape = ssd.prometheus_scrape();
+    let (_, samples) = parse_scrape(&scrape);
+    assert!(!samples.is_empty());
+    let mut seen = std::collections::HashSet::new();
+    for (series, _) in &samples {
+        assert!(seen.insert(series.as_str()), "duplicate series in one scrape: {series}");
+    }
+}
+
+#[test]
+fn type_header_precedes_every_sample_of_its_family() {
+    let mut ssd = telemetry_ssd();
+    churn(&mut ssd, 80);
+    let scrape = ssd.prometheus_scrape();
+    let mut typed = std::collections::HashSet::new();
+    for line in scrape.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split_whitespace().next().unwrap().to_string();
+            assert!(typed.insert(name.clone()), "family {name} typed twice");
+        } else if !line.starts_with('#') {
+            let series = line.rsplit_once(' ').unwrap().0;
+            let exact = series.split('{').next().unwrap().to_string();
+            let family = family_of(series);
+            assert!(
+                typed.contains(&exact) || typed.contains(&family),
+                "sample appears before its # TYPE header: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn counters_are_monotone_across_mid_run_scrapes() {
+    let mut ssd = telemetry_ssd();
+    churn(&mut ssd, 60);
+    let first = ssd.prometheus_scrape();
+    churn(&mut ssd, 140);
+    let second = ssd.prometheus_scrape();
+
+    let (types1, samples1) = parse_scrape(&first);
+    let (types2, samples2) = parse_scrape(&second);
+    // Scraping is a pure read: the family set and typing are stable.
+    assert_eq!(types1, types2);
+
+    let later: HashMap<&str, f64> = samples2.iter().map(|(s, v)| (s.as_str(), *v)).collect();
+    let mut counters_checked = 0;
+    let mut grew = 0;
+    for (series, v1) in &samples1 {
+        let family = family_of(series);
+        if types1.get(&family).map(String::as_str) != Some("counter")
+            && types1.get(series.split('{').next().unwrap()).map(String::as_str) != Some("counter")
+        {
+            continue;
+        }
+        let v2 = *later
+            .get(series.as_str())
+            .unwrap_or_else(|| panic!("counter series vanished mid-run: {series}"));
+        assert!(v2 >= *v1, "counter went backwards: {series} {v1} -> {v2}");
+        counters_checked += 1;
+        if v2 > *v1 {
+            grew += 1;
+        }
+    }
+    assert!(counters_checked > 20, "only {counters_checked} counter series found");
+    // The run did real work between the scrapes, so some counters moved.
+    assert!(grew > 5, "no counter advanced between scrapes ({grew})");
+}
+
+#[test]
+fn histogram_bucket_series_are_cumulative_within_one_scrape() {
+    let mut ssd = telemetry_ssd();
+    churn(&mut ssd, 100);
+    let scrape = ssd.prometheus_scrape();
+    for op in ["read", "write", "trim"] {
+        let prefix = format!("evanesco_latency_seconds_bucket{{op=\"{op}\"");
+        let counts: Vec<f64> = scrape
+            .lines()
+            .filter(|l| l.starts_with(&prefix))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(counts.len() >= 2, "op {op} has no buckets");
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "op {op} buckets not cumulative: {counts:?}"
+        );
+        let count_line = format!("evanesco_latency_seconds_count{{op=\"{op}\"}}");
+        let total: f64 = scrape
+            .lines()
+            .find(|l| l.starts_with(&count_line))
+            .and_then(|l| l.rsplit_once(' '))
+            .map(|(_, v)| v.parse().unwrap())
+            .expect("count series present");
+        assert_eq!(*counts.last().unwrap(), total, "op {op}: +Inf bucket != count");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the snapshot/delta algebra the telemetry layer is
+//! built on: `LatencyHistogram::since` and `RunResult::since` must
+//! *compose* — the delta over `[A, C)` equals the field-wise sum of the
+//! deltas over adjacent windows `[A, B)` and `[B, C)` — and the windowed
+//! time series built from them must tile a run exactly.
+
+use evanesco::ftl::SanitizePolicy;
+use evanesco::nand::timing::Nanos;
+use evanesco::ssd::metrics::{LatencyHistogram, RunResult};
+use evanesco::ssd::{Emulator, SsdConfig};
+use proptest::prelude::*;
+
+fn histogram_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(Nanos(s));
+    }
+    h
+}
+
+/// Asserts the additive [`RunResult`] fields of `whole` equal the sums of
+/// the two adjacent window deltas. (Rates like `iops`/`waf` and the
+/// non-recoverable per-window `max` are derived, not additive.)
+fn assert_run_results_compose(whole: &RunResult, first: &RunResult, second: &RunResult) {
+    assert_eq!(whole.host_ops, first.host_ops + second.host_ops);
+    assert_eq!(whole.sim_time, first.sim_time + second.sim_time);
+    assert_eq!(whole.erases, first.erases + second.erases);
+    assert_eq!(whole.plocks, first.plocks + second.plocks);
+    assert_eq!(whole.blocks_locked, first.blocks_locked + second.blocks_locked);
+    assert_eq!(
+        whole.ftl.host_write_pages,
+        first.ftl.host_write_pages + second.ftl.host_write_pages
+    );
+    assert_eq!(whole.ftl.nand_programs, first.ftl.nand_programs + second.ftl.nand_programs);
+    assert_eq!(whole.ftl.copied_pages, first.ftl.copied_pages + second.ftl.copied_pages);
+    assert_eq!(whole.ftl.gc_invocations, first.ftl.gc_invocations + second.ftl.gc_invocations);
+    assert_eq!(
+        whole.ftl.coalesced_plocks,
+        first.ftl.coalesced_plocks + second.ftl.coalesced_plocks
+    );
+    for (w, f, s) in [
+        (&whole.latency.write, &first.latency.write, &second.latency.write),
+        (&whole.latency.read, &first.latency.read, &second.latency.read),
+        (&whole.latency.trim, &first.latency.trim, &second.latency.trim),
+    ] {
+        assert_eq!(w.count(), f.count() + s.count());
+        assert_eq!(w.sum(), f.sum() + s.sum());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// `since` composes across any two-way split of a sample stream:
+    /// delta(A→C) == delta(A→B) + delta(B→C), bucket by bucket.
+    #[test]
+    fn latency_histogram_since_composes(
+        samples in proptest::collection::vec(0u64..5_000_000_000, 1..200),
+        cut in 0usize..200,
+    ) {
+        let cut = cut % samples.len();
+        let at_cut = histogram_of(&samples[..cut]);
+        let full = histogram_of(&samples);
+
+        let first = at_cut.since(&LatencyHistogram::new());
+        let second = full.since(&at_cut);
+        let whole = full.since(&LatencyHistogram::new());
+
+        prop_assert_eq!(whole.count(), first.count() + second.count());
+        prop_assert_eq!(whole.sum(), first.sum() + second.sum());
+        for (i, (f, s)) in first.buckets().iter().zip(second.buckets().iter()).enumerate() {
+            prop_assert_eq!(whole.buckets()[i], f + s, "bucket {} mismatch", i);
+        }
+        // The delta over an empty earlier snapshot is the identity.
+        prop_assert_eq!(whole, full);
+        // max is carried from the later snapshot (documented), so the
+        // second window's max equals the whole-stream max.
+        prop_assert_eq!(second.max(), whole.max());
+    }
+
+    /// `RunResult::since` composes across adjacent windows of one live
+    /// emulator run, whatever the cut points.
+    #[test]
+    fn run_result_since_composes_across_adjacent_windows(
+        seed in any::<u64>(),
+        cut1 in 10usize..100,
+        cut2 in 100usize..200,
+    ) {
+        let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+        let logical = ssd.logical_pages();
+        let mut x = seed | 1;
+        let mut step = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let mut snapshots = Vec::new();
+        for i in 0..200usize {
+            if i == cut1 || i == cut2 {
+                snapshots.push(ssd.result());
+            }
+            let lpa = step() % (logical - 4);
+            match step() % 8 {
+                0 => ssd.trim(lpa, 1 + step() % 4),
+                1 => { ssd.read(lpa, 1 + step() % 4); }
+                _ => { ssd.write(lpa, 1 + step() % 4, step() % 2 == 0); }
+            }
+        }
+        let (a, b) = (snapshots[0], snapshots[1]);
+        let end = ssd.result();
+
+        assert_run_results_compose(&end.since(&a), &b.since(&a), &end.since(&b));
+        // Degenerate window: a zero-width delta adds nothing.
+        let zero = a.since(&a);
+        assert_eq!(zero.host_ops, 0);
+        assert_eq!(zero.sim_time, Nanos::ZERO);
+        assert_eq!(zero.latency.write.count(), 0);
+    }
+
+    /// The windowed time series is exactly the composition law applied
+    /// repeatedly: its per-window deltas tile the run.
+    #[test]
+    fn timeseries_windows_tile_any_run(
+        seed in any::<u64>(),
+        interval_us in 20u64..400,
+    ) {
+        let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+        ssd.enable_timeseries(Nanos::from_micros(interval_us), 4096);
+        let logical = ssd.logical_pages();
+        let before = ssd.result();
+        let mut x = seed | 1;
+        for i in 0..150u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let lpa = x % (logical - 4);
+            if i % 9 == 0 {
+                ssd.trim(lpa, 1);
+            } else {
+                ssd.write(lpa, 1 + x % 3, x % 2 == 0);
+            }
+        }
+        ssd.sample_timeseries_now();
+        let whole = ssd.result().since(&before);
+        let ts = ssd.timeseries().unwrap();
+        prop_assert_eq!(ts.total(), ts.len() as u64, "ring must not have dropped");
+
+        let samples: Vec<_> = ts.samples().collect();
+        for pair in samples.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start, "windows must be adjacent");
+        }
+        let sum = |f: fn(&RunResult) -> u64| samples.iter().map(|s| f(&s.delta)).sum::<u64>();
+        prop_assert_eq!(sum(|d| d.host_ops), whole.host_ops);
+        prop_assert_eq!(sum(|d| d.erases), whole.erases);
+        prop_assert_eq!(sum(|d| d.plocks), whole.plocks);
+        prop_assert_eq!(sum(|d| d.ftl.nand_programs), whole.ftl.nand_programs);
+        prop_assert_eq!(
+            sum(|d| d.latency.write.count()),
+            whole.latency.write.count()
+        );
+        let span: u64 = samples.iter().map(|s| s.end.0 - s.start.0).sum();
+        prop_assert_eq!(Nanos(span), whole.sim_time, "window spans must tile simulated time");
+    }
+}
