@@ -8,7 +8,7 @@
 //! fig14b fig14c headline overhead ablation-k ablation-blocktrig
 //! ablation-lazy scheduler. Default scale is `full` (use `--release`!).
 //!
-//! Three names carry regression gates (and fail the process with exit 1
+//! Four names carry regression gates (and fail the process with exit 1
 //! when breached):
 //!
 //! * `scheduler` — writes `BENCH_scheduler.json` and fails when the
@@ -20,18 +20,47 @@
 //! * `report` — writes the consolidated observability report to
 //!   `BENCH_report.json` and fails on a timing-neutrality violation,
 //!   live-vs-offline attribution disagreement, broken Table-1 ordering,
-//!   or numeric drift against a checked-in same-scale baseline.
+//!   or numeric drift against a checked-in same-scale baseline;
+//! * `campaign` — writes the checkpointed aging-campaign report to
+//!   `BENCH_campaign.json` and fails if any scenario's chained-through-
+//!   checkpoints run diverges from its uninterrupted control run.
 //!
-//! Unknown experiment names are rejected up front (exit 1) before any
-//! experiment runs.
+//! The campaign also has a per-process segment mode for real
+//! stop/restart chains (what the CI `campaign-gate` job byte-diffs):
+//!
+//! ```text
+//! experiments --smoke campaign --segments 2 --segment 0 --checkpoint seg0.ckpt
+//! experiments --smoke campaign --segments 2 --segment 1 \
+//!     --resume-from seg0.ckpt --checkpoint seg1.ckpt
+//! experiments --smoke campaign --segments 2 --baseline --checkpoint base.ckpt
+//! cmp seg1.ckpt base.ckpt
+//! ```
+//!
+//! Unknown experiment names, a missing `--resume-from` file, and
+//! inconsistent segment flags are all rejected up front (exit 1) before
+//! any experiment runs.
 
-use evanesco_bench::experiments::{report, scheduler, tracing};
+use evanesco_bench::experiments::{campaign, report, scheduler, tracing};
 use evanesco_bench::{is_experiment_name, run_experiment, Scale, EXPERIMENT_NAMES};
+use evanesco_ssd::{read_checkpoint, write_checkpoint};
+use std::path::PathBuf;
+
+/// Flags selecting the campaign's per-process segment mode.
+#[derive(Default)]
+struct SegmentMode {
+    segments: Option<usize>,
+    segment: Option<usize>,
+    baseline: bool,
+    checkpoint: Option<PathBuf>,
+    resume_from: Option<PathBuf>,
+    scenario: Option<String>,
+}
 
 fn main() {
     let mut scale = Scale::full();
     let mut scale_name = "full".to_string();
     let mut names: Vec<String> = Vec::new();
+    let mut seg = SegmentMode::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -57,6 +86,24 @@ fn main() {
                 let v = args.next().expect("--seed needs a value");
                 scale.seed = v.parse().expect("--seed needs an integer");
             }
+            "--segments" => {
+                let v = args.next().expect("--segments needs a value");
+                seg.segments = Some(v.parse().expect("--segments needs an integer"));
+            }
+            "--segment" => {
+                let v = args.next().expect("--segment needs a value");
+                seg.segment = Some(v.parse().expect("--segment needs an integer"));
+            }
+            "--baseline" => seg.baseline = true,
+            "--checkpoint" => {
+                seg.checkpoint = Some(args.next().expect("--checkpoint needs a path").into());
+            }
+            "--resume-from" => {
+                seg.resume_from = Some(args.next().expect("--resume-from needs a path").into());
+            }
+            "--scenario" => {
+                seg.scenario = Some(args.next().expect("--scenario needs a name"));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick|--smoke|--scale NAME] [--seed N] <name>...|all"
@@ -65,12 +112,34 @@ fn main() {
                 eprintln!(
                     "gate-bearing (write an artifact and exit 1 on regression): \
                      scheduler (BENCH_scheduler.json), trace (TRACE_scheduler.json), \
-                     report (BENCH_report.json)"
+                     report (BENCH_report.json), campaign (BENCH_campaign.json; fails \
+                     when a checkpoint-chained run diverges from its uninterrupted twin)"
+                );
+                eprintln!(
+                    "campaign segment mode (process-per-segment): campaign \
+                     [--segments N] (--segment K [--resume-from CKPT] | --baseline) \
+                     --checkpoint OUT [--scenario {}]",
+                    campaign::scenarios().map(|s| s.name).join("|")
                 );
                 return;
             }
             other => names.push(other.to_string()),
         }
+    }
+    // Reject bad segment-mode flag combinations and a dangling
+    // --resume-from path before anything runs.
+    if let Some(p) = &seg.resume_from {
+        if !p.exists() {
+            eprintln!("--resume-from {}: no such checkpoint file", p.display());
+            std::process::exit(1);
+        }
+    }
+    if seg.segment.is_some() || seg.baseline {
+        if let Err(msg) = run_campaign_segment(&scale, &seg) {
+            eprintln!("campaign segment mode: {msg}");
+            std::process::exit(1);
+        }
+        return;
     }
     // Reject typos before running anything: a bad name at the end of a
     // long list must not cost the hours of runs before it.
@@ -130,6 +199,16 @@ fn main() {
                 }
                 gate_failed = true;
             }
+        } else if name == "campaign" {
+            let bundle = campaign::run(&scale, &scale_name);
+            println!("{}", bundle.render());
+            std::fs::write("BENCH_campaign.json", bundle.to_json())
+                .expect("write BENCH_campaign.json");
+            println!("wrote BENCH_campaign.json");
+            for v in bundle.violations() {
+                eprintln!("campaign gate FAILED: {v}");
+                gate_failed = true;
+            }
         } else {
             println!("{}", run_experiment(&name, &scale));
         }
@@ -138,4 +217,69 @@ fn main() {
     if gate_failed {
         std::process::exit(1);
     }
+}
+
+/// One process of a stop/restart campaign chain: runs segment K (or the
+/// whole uninterrupted baseline) and writes the resulting checkpoint.
+/// Every process regenerates the same workload trace from the scale, so
+/// only device state travels between processes — inside the checkpoint.
+fn run_campaign_segment(scale: &Scale, seg: &SegmentMode) -> Result<(), String> {
+    let segments = seg.segments.unwrap_or(2);
+    if segments == 0 {
+        return Err("--segments must be at least 1".into());
+    }
+    let scenario = match &seg.scenario {
+        None => campaign::default_scenario(),
+        Some(name) => campaign::scenario_by_name(name).ok_or_else(|| {
+            format!(
+                "unknown scenario '{name}' (known: {})",
+                campaign::scenarios().map(|s| s.name).join(" ")
+            )
+        })?,
+    };
+    let out = seg.checkpoint.as_ref().ok_or("--checkpoint PATH is required")?;
+
+    if seg.baseline {
+        if seg.segment.is_some() {
+            return Err("--baseline and --segment are mutually exclusive".into());
+        }
+        let (bytes, _, digests) = campaign::run_uninterrupted(scale, &scenario, segments);
+        std::fs::write(out, &bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
+        let d = digests.last().expect("segments >= 1");
+        println!(
+            "baseline ({}, {} segments): {} host ops, {} erases, mode {}; wrote {}",
+            scenario.name,
+            segments,
+            d.host_ops,
+            d.erases,
+            d.mode,
+            out.display()
+        );
+        return Ok(());
+    }
+
+    let k = seg.segment.expect("checked by caller");
+    if k >= segments {
+        return Err(format!("--segment {k} out of range for --segments {segments}"));
+    }
+    let mut ssd = match (&seg.resume_from, k) {
+        (None, 0) => campaign::fresh_device(scale, &scenario),
+        (None, _) => return Err(format!("--segment {k} needs --resume-from")),
+        (Some(_), 0) => return Err("--segment 0 starts fresh; drop --resume-from".into()),
+        (Some(p), _) => read_checkpoint(p).map_err(|e| format!("{}: {e}", p.display()))?,
+    };
+    let trace = campaign::build_trace(scale, ssd.logical_pages());
+    campaign::run_segment(&mut ssd, &trace, &scenario, segments, k);
+    write_checkpoint(&ssd, out).map_err(|e| format!("write {}: {e}", out.display()))?;
+    let r = ssd.result();
+    println!(
+        "segment {k}/{segments} ({}): {} host ops, sim {} ns, {} erases, mode {:?}; wrote {}",
+        scenario.name,
+        r.host_ops,
+        r.sim_time.0,
+        r.erases,
+        ssd.ftl().degraded(),
+        out.display()
+    );
+    Ok(())
 }

@@ -5,6 +5,7 @@
 pub mod ablation;
 pub mod background;
 pub mod breakdown;
+pub mod campaign;
 pub mod dse;
 pub mod latency;
 pub mod reliability;

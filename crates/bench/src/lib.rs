@@ -61,6 +61,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> String {
         "scheduler" => experiments::scheduler::scheduler(scale, "custom"),
         "trace" => experiments::tracing::trace(scale, "custom"),
         "report" => experiments::report::report(scale, "custom"),
+        "campaign" => experiments::campaign::campaign(scale, "custom"),
         other => panic!("unknown experiment '{other}'; known: {EXPERIMENT_NAMES:?}"),
     }
 }
@@ -72,7 +73,7 @@ pub fn is_experiment_name(name: &str) -> bool {
 }
 
 /// All experiment names accepted by [`run_experiment`], in report order.
-pub const EXPERIMENT_NAMES: [&str; 24] = [
+pub const EXPERIMENT_NAMES: [&str; 25] = [
     "table2",
     "fig2",
     "table1",
@@ -97,6 +98,7 @@ pub const EXPERIMENT_NAMES: [&str; 24] = [
     "scheduler",
     "trace",
     "report",
+    "campaign",
 ];
 
 #[cfg(test)]

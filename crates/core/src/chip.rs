@@ -262,6 +262,114 @@ impl EvanescoChip {
         self.bap_config
     }
 
+    /// Serializes the full chip state — the behavioral NAND substrate, the
+    /// decoded pAP/bAP flag intent, flag configurations, lock/fault
+    /// counters, status register, bad-block marks, and (in device mode) the
+    /// physical flag-cell simulation — into a checkpoint stream.
+    pub fn encode_state(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        e.tag(0x22);
+        self.inner.encode_state(e);
+        e.usize(self.pap_locked.len());
+        for block in &self.pap_locked {
+            e.usize(block.len());
+            for &f in block {
+                e.u8(encode_flag_state(f));
+            }
+        }
+        e.usize(self.bap_locked.len());
+        for &f in &self.bap_locked {
+            e.u8(encode_flag_state(f));
+        }
+        e.usize(self.pap_config.k);
+        e.u8(self.pap_config.point.v_index);
+        e.u32(self.pap_config.point.t_us);
+        e.u8(self.bap_config.point.v_index);
+        e.u32(self.bap_config.point.t_us);
+        e.u64(self.lock_stats.plocks);
+        e.u64(self.lock_stats.blocks);
+        self.fault.encode_state(e);
+        e.u8(match self.status {
+            OpStatus::Ok => 0,
+            OpStatus::Failed => 1,
+        });
+        e.u32(self.last_read_retries);
+        e.usize(self.bad_mark.len());
+        for &b in &self.bad_mark {
+            e.bool(b);
+        }
+        e.opt(&self.device_flags, |e, sim| sim.encode_state(e));
+    }
+
+    /// Restores state written by [`EvanescoChip::encode_state`] into this
+    /// chip. The chip must have been constructed against the same geometry
+    /// and (for fault-stream continuity) the same fault configuration; the
+    /// fault model's dynamic state is overlaid on the armed model.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, structural corruption, or a geometry mismatch.
+    pub fn decode_state(
+        &mut self,
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<(), evanesco_nand::snapshot::SnapshotError> {
+        use crate::calibration::DesignPoint;
+        use evanesco_nand::snapshot::SnapshotError;
+        d.expect_tag(0x22, "evanesco-chip")?;
+        let inner = Chip::decode_state(d)?;
+        if inner.geometry() != self.inner.geometry() {
+            return Err(SnapshotError::Mismatch(format!(
+                "chip geometry {:?} does not match the configured device {:?}",
+                inner.geometry(),
+                self.inner.geometry()
+            )));
+        }
+        self.inner = inner;
+        let n_blocks = d.usize()?;
+        let mut pap_locked = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let n_pages = d.usize()?;
+            let mut pages = Vec::with_capacity(n_pages);
+            for _ in 0..n_pages {
+                pages.push(decode_flag_state(d)?);
+            }
+            pap_locked.push(pages);
+        }
+        let n_bap = d.usize()?;
+        let mut bap_locked = Vec::with_capacity(n_bap);
+        for _ in 0..n_bap {
+            bap_locked.push(decode_flag_state(d)?);
+        }
+        if pap_locked.len() != self.pap_locked.len() || bap_locked.len() != self.bap_locked.len() {
+            return Err(SnapshotError::Mismatch(
+                "flag table dimensions do not match the configured device".into(),
+            ));
+        }
+        self.pap_locked = pap_locked;
+        self.bap_locked = bap_locked;
+        let k = d.usize()?;
+        self.pap_config = PapConfig { k, point: DesignPoint::new(d.u8()?, d.u32()?) };
+        self.bap_config = BapConfig { point: DesignPoint::new(d.u8()?, d.u32()?) };
+        self.lock_stats = LockStats { plocks: d.u64()?, blocks: d.u64()? };
+        self.fault.decode_state(d)?;
+        self.status = match d.u8()? {
+            0 => OpStatus::Ok,
+            1 => OpStatus::Failed,
+            b => return Err(SnapshotError::Corrupt(format!("unknown op status {b:#04x}"))),
+        };
+        self.last_read_retries = d.u32()?;
+        let n_marks = d.usize()?;
+        if n_marks != self.bad_mark.len() {
+            return Err(SnapshotError::Mismatch(
+                "bad-block mark count does not match the configured device".into(),
+            ));
+        }
+        for m in &mut self.bad_mark {
+            *m = d.bool()?;
+        }
+        self.device_flags = d.opt(crate::device_flags::FlagDeviceSim::decode_state)?;
+        Ok(())
+    }
+
     fn check_block(&self, block: BlockId) -> Result<(), EvanescoError> {
         if block.0 < self.geometry().blocks {
             Ok(())
@@ -691,6 +799,31 @@ impl EvanescoChip {
     }
 }
 
+fn encode_flag_state(f: FlagState) -> u8 {
+    match f {
+        FlagState::Clean => 0,
+        FlagState::Torn { reads_locked: false } => 1,
+        FlagState::Torn { reads_locked: true } => 2,
+        FlagState::Locked => 3,
+    }
+}
+
+fn decode_flag_state(
+    d: &mut evanesco_nand::snapshot::Dec<'_>,
+) -> Result<FlagState, evanesco_nand::snapshot::SnapshotError> {
+    Ok(match d.u8()? {
+        0 => FlagState::Clean,
+        1 => FlagState::Torn { reads_locked: false },
+        2 => FlagState::Torn { reads_locked: true },
+        3 => FlagState::Locked,
+        b => {
+            return Err(evanesco_nand::snapshot::SnapshotError::Corrupt(format!(
+                "unknown flag state {b:#04x}"
+            )))
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -978,5 +1111,55 @@ mod tests {
         let readable =
             (0..n).filter(|&p| c.read(Ppa::new(0, p)).unwrap().result.data().is_some()).count();
         assert_eq!(readable, page_leaks);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_device_mode_chip() {
+        use evanesco_nand::snapshot::{Dec, Enc};
+        let fault_cfg = crate::fault::FaultConfig::storm(0.4, 11);
+        let build = || {
+            let mut c = chip();
+            c.enable_faults(fault_cfg, 3);
+            c.enable_device_flags(PapConfig::paper(), BapConfig::paper(), 99);
+            c
+        };
+        let mut live = build();
+        fill(&mut live, 0, 6);
+        let _ = live.p_lock(Ppa::new(0, 1));
+        let _ = live.p_lock(Ppa::new(0, 2));
+        let _ = live.b_lock(BlockId(2));
+        live.mark_bad_block(BlockId(5)).unwrap();
+        live.age_flags(30.0);
+
+        let mut e = Enc::new();
+        live.encode_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut restored = build();
+        restored.decode_state(&mut Dec::new(&bytes)).unwrap();
+
+        assert_eq!(restored.lock_stats(), live.lock_stats());
+        assert_eq!(restored.fault_stats(), live.fault_stats());
+        assert_eq!(restored.status(), live.status());
+        assert_eq!(restored.flag_leaks(), live.flag_leaks());
+        for p in 0..6 {
+            assert_eq!(
+                restored.read(Ppa::new(0, p)).unwrap().result,
+                live.read(Ppa::new(0, p)).unwrap().result
+            );
+        }
+        assert!(restored.is_marked_bad(BlockId(5)));
+        // Continued operation stays in lockstep, including fault draws.
+        for p in 0..4 {
+            let a = live.p_lock(Ppa::new(1, p));
+            let b = restored.p_lock(Ppa::new(1, p));
+            assert_eq!(a.is_ok(), b.is_ok());
+            assert_eq!(live.status(), restored.status());
+        }
+        // Re-encoding the restored chip is byte-identical.
+        let mut e2 = Enc::new();
+        let mut e3 = Enc::new();
+        live.encode_state(&mut e2);
+        restored.encode_state(&mut e3);
+        assert_eq!(e2.into_bytes(), e3.into_bytes());
     }
 }

@@ -70,8 +70,15 @@ impl FlagDeviceSim {
 
     /// Applies `days` of additional retention to every programmed flag.
     pub fn age(&mut self, days: f64) {
-        for flag in self.page_flags.values_mut() {
-            flag.age(&mut self.rng, days);
+        // Canonical (sorted) iteration: the per-cell decay draws must map
+        // to the same flags regardless of the HashMap's insertion history
+        // or per-process hash seed, or a run resumed from a checkpoint
+        // (whose map was rebuilt in sorted order) would age differently
+        // than the uninterrupted original.
+        let mut keys: Vec<_> = self.page_flags.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            self.page_flags.get_mut(&k).expect("key just listed").age(&mut self.rng, days);
         }
         let total = self.aged_days + days;
         for (_, ssl) in self.block_ssl.iter_mut() {
@@ -113,6 +120,73 @@ impl FlagDeviceSim {
     /// Total programmed block flags.
     pub fn block_flag_count(&self) -> usize {
         self.block_ssl.len()
+    }
+
+    /// Serializes the full simulation state — configurations, live RNG
+    /// stream position, every programmed flag's cell voltages, and the
+    /// accumulated retention age — into a checkpoint stream.
+    pub fn encode_state(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        e.tag(0x21);
+        e.usize(self.pap_config.k);
+        e.u8(self.pap_config.point.v_index);
+        e.u32(self.pap_config.point.t_us);
+        e.u8(self.bap_config.point.v_index);
+        e.u32(self.bap_config.point.t_us);
+        e.u64(self.rng.state());
+        e.f64(self.aged_days);
+        let mut pages: Vec<_> = self.page_flags.keys().copied().collect();
+        pages.sort_unstable();
+        e.usize(pages.len());
+        for k in pages {
+            e.u32(k.0);
+            e.u32(k.1);
+            let cells = self.page_flags[&k].cells();
+            e.usize(cells.len());
+            for &c in cells {
+                e.f64(c);
+            }
+        }
+        let mut blocks: Vec<_> = self.block_ssl.keys().copied().collect();
+        blocks.sort_unstable();
+        e.usize(blocks.len());
+        for b in blocks {
+            e.u32(b);
+            e.f64(self.block_ssl[&b].center_vth);
+        }
+    }
+
+    /// Reconstructs a simulation from a stream written by
+    /// [`FlagDeviceSim::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or structural corruption.
+    pub fn decode_state(
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<Self, evanesco_nand::snapshot::SnapshotError> {
+        use crate::calibration::DesignPoint;
+        d.expect_tag(0x21, "flag-device")?;
+        let k = d.usize()?;
+        let pap_config = PapConfig { k, point: DesignPoint::new(d.u8()?, d.u32()?) };
+        let bap_config = BapConfig { point: DesignPoint::new(d.u8()?, d.u32()?) };
+        let rng = StdRng::from_state(d.u64()?);
+        let aged_days = d.f64()?;
+        let mut page_flags = HashMap::new();
+        for _ in 0..d.usize()? {
+            let key = (d.u32()?, d.u32()?);
+            let n = d.usize()?;
+            let mut cells = Vec::with_capacity(n);
+            for _ in 0..n {
+                cells.push(d.f64()?);
+            }
+            page_flags.insert(key, PapFlag::from_cells(cells));
+        }
+        let mut block_ssl = HashMap::new();
+        for _ in 0..d.usize()? {
+            let b = d.u32()?;
+            block_ssl.insert(b, SslState { center_vth: d.f64()? });
+        }
+        Ok(FlagDeviceSim { pap_config, bap_config, rng, page_flags, block_ssl, aged_days })
     }
 }
 

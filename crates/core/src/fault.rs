@@ -358,6 +358,67 @@ impl FaultModel {
         fail
     }
 
+    /// Serializes the model's **dynamic** state — forced-failure hook,
+    /// injected-failure counters, and per-location attempt ordinals — into
+    /// a checkpoint stream. The configuration and chip salt are *not*
+    /// stored: they are rebuilt from the device config on restore, keeping
+    /// the hazard stream a pure function of `(config, state)`.
+    pub fn encode_state(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        e.tag(0x20);
+        e.u32(self.forced_lock_failures);
+        for v in [
+            self.stats.program_failures,
+            self.stats.erase_failures,
+            self.stats.plock_failures,
+            self.stats.block_lock_failures,
+            self.stats.read_retries,
+            self.stats.unc_reads,
+        ] {
+            e.u64(v);
+        }
+        // HashMap iteration order is nondeterministic per-instance; sort the
+        // keys so identical states serialize to identical bytes.
+        let mut keys: Vec<_> = self.attempts.keys().copied().collect();
+        keys.sort_unstable();
+        e.usize(keys.len());
+        for k in keys {
+            e.u8(k.0);
+            e.u32(k.1);
+            e.u32(k.2);
+            e.u32(self.attempts[&k]);
+        }
+    }
+
+    /// Restores dynamic state written by [`FaultModel::encode_state`] into
+    /// a freshly-constructed model (same config + chip id).
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or structural corruption.
+    pub fn decode_state(
+        &mut self,
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<(), evanesco_nand::snapshot::SnapshotError> {
+        d.expect_tag(0x20, "fault-model")?;
+        self.forced_lock_failures = d.u32()?;
+        self.stats = FaultStats {
+            program_failures: d.u64()?,
+            erase_failures: d.u64()?,
+            plock_failures: d.u64()?,
+            block_lock_failures: d.u64()?,
+            read_retries: d.u64()?,
+            unc_reads: d.u64()?,
+        };
+        self.attempts.clear();
+        let n = d.usize()?;
+        for _ in 0..n {
+            let k = (d.u8()?, d.u32()?, d.u32()?);
+            let v = d.u32()?;
+            self.attempts.insert(k, v);
+        }
+        Ok(())
+    }
+
     /// Runs the read-retry ladder for one data read of `(block, page)`:
     /// draws the initial-sense hazard, then up to
     /// [`FaultConfig::read_retry_budget`] reference-shift retries with the
@@ -480,6 +541,32 @@ mod tests {
         assert!(out.uncorrectable);
         assert_eq!(out.retries, 4);
         assert_eq!(m.stats().unc_reads, 1);
+    }
+
+    #[test]
+    fn snapshot_resumes_hazard_stream_exactly() {
+        use evanesco_nand::snapshot::{Dec, Enc};
+        let cfg = FaultConfig::storm(0.6, 77);
+        let mut live = FaultModel::new(cfg, 2);
+        live.force_lock_failures(3);
+        for i in 0..40u32 {
+            let _ = live.plock_fails(i % 5, i % 7);
+            let _ = live.program_fails(i % 5, i % 7);
+            let _ = live.read_outcome(i % 5, i % 7);
+        }
+        let mut e = Enc::new();
+        live.encode_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut restored = FaultModel::new(cfg, 2);
+        restored.decode_state(&mut Dec::new(&bytes)).unwrap();
+        assert_eq!(restored.stats(), live.stats());
+        // Both continue with identical draws — no lost or repeated ordinals.
+        for i in 0..60u32 {
+            assert_eq!(restored.plock_fails(i % 5, i % 7), live.plock_fails(i % 5, i % 7));
+            assert_eq!(restored.erase_fails(i % 5), live.erase_fails(i % 5));
+            assert_eq!(restored.read_outcome(i % 5, i % 7), live.read_outcome(i % 5, i % 7));
+        }
+        assert_eq!(restored.stats(), live.stats());
     }
 
     #[test]

@@ -92,6 +92,18 @@ impl PapFlag {
     pub fn programmed_cells(&self) -> usize {
         self.cells.iter().filter(|&&v| v > 0.0).count()
     }
+
+    /// Raw per-cell Vth values (relative to the read reference), for
+    /// checkpoint serialization.
+    pub fn cells(&self) -> &[f64] {
+        &self.cells
+    }
+
+    /// Rebuilds a flag from raw cell Vth values captured by
+    /// [`PapFlag::cells`].
+    pub fn from_cells(cells: Vec<f64>) -> Self {
+        PapFlag { cells }
+    }
 }
 
 /// Probability that a single programmed flag cell has flipped back to the

@@ -1880,6 +1880,274 @@ impl Ftl {
             }
         }
     }
+
+    /// Serializes every dynamic table of the FTL — the L2P map, per-chip
+    /// page/block state (including the GC victim index and free/reclaimable
+    /// queue *orders*, which affect future victim and allocation choices),
+    /// the write frontier, counters, sequence number, coalescing queue, and
+    /// degraded mode — into a checkpoint stream.
+    ///
+    /// The decision log is observational only and not checkpointed.
+    pub fn encode_state(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        e.tag(0x30);
+        e.usize(self.l2p.len());
+        for slot in &self.l2p {
+            e.opt(slot, encode_gppa);
+        }
+        e.usize(self.chips.len());
+        for c in &self.chips {
+            e.usize(c.p2l.len());
+            for slot in &c.p2l {
+                e.opt(slot, |e, lpa| e.u64(*lpa));
+            }
+            for &s in &c.status {
+                e.u8(match s {
+                    PageStatus::Free => 0,
+                    PageStatus::Valid => 1,
+                    PageStatus::Secured => 2,
+                    PageStatus::Invalid => 3,
+                });
+            }
+            e.usize(c.blocks.len());
+            for b in &c.blocks {
+                e.u8(match b.state {
+                    BlockState::Free => 0,
+                    BlockState::Open => 1,
+                    BlockState::Full => 2,
+                    BlockState::Reclaimable => 3,
+                    BlockState::Retired => 4,
+                });
+                e.u32(b.live);
+                e.u32(b.invalid);
+                e.u32(b.written);
+                e.u64(b.closed_at);
+            }
+            e.usize(c.free.len());
+            for &b in &c.free {
+                e.u32(b);
+            }
+            e.usize(c.reclaimable.len());
+            for &b in &c.reclaimable {
+                e.u32(b);
+            }
+            e.opt(&c.active, |e, a| {
+                e.u32(a.id);
+                e.u32(a.next_page);
+            });
+            let mut gc: Vec<u32> = c.gc_in_progress.iter().copied().collect();
+            gc.sort_unstable();
+            e.usize(gc.len());
+            for b in gc {
+                e.u32(b);
+            }
+            // Victim index verbatim: bucket order breaks cost-benefit GC
+            // ties, so it must survive exactly (never rebuilt sorted).
+            e.usize(c.victims.buckets.len());
+            for bucket in &c.victims.buckets {
+                e.usize(bucket.len());
+                for &b in bucket {
+                    e.u32(b);
+                }
+            }
+            e.usize(c.victims.pos.len());
+            for p in &c.victims.pos {
+                e.opt(p, |e, &(live, slot)| {
+                    e.u32(live);
+                    e.u32(slot);
+                });
+            }
+            e.u32(c.victims.min_live);
+            e.u64(c.live_total);
+            e.u64(c.invalid_total);
+            e.u32(c.retired);
+        }
+        e.usize(self.chip_order.len());
+        for &c in &self.chip_order {
+            e.usize(c);
+        }
+        e.usize(self.next_chip);
+        self.stats.encode_snapshot(e);
+        e.u64(self.seq);
+        e.usize(self.pending_locks.len());
+        for entry in &self.pending_locks {
+            e.usize(entry.chip);
+            e.u32(entry.block);
+            e.usize(entry.pages.len());
+            for p in &entry.pages {
+                encode_gppa(e, p);
+            }
+            e.u64(entry.since);
+        }
+        e.u8(match self.mode {
+            DegradedMode::Normal => 0,
+            DegradedMode::SpareLow => 1,
+            DegradedMode::ReadOnly => 2,
+        });
+    }
+
+    /// Restores state written by [`Ftl::encode_state`] into an FTL built
+    /// with the same configuration and policy.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, structural corruption, or table dimensions
+    /// that do not match this FTL's geometry.
+    pub fn decode_state(
+        &mut self,
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<(), evanesco_nand::snapshot::SnapshotError> {
+        use evanesco_nand::snapshot::SnapshotError;
+        d.expect_tag(0x30, "ftl")?;
+        let n_l2p = d.usize()?;
+        if n_l2p != self.l2p.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "L2P size {n_l2p} does not match the configured device ({})",
+                self.l2p.len()
+            )));
+        }
+        for slot in &mut self.l2p {
+            *slot = d.opt(decode_gppa)?;
+        }
+        let n_chips = d.usize()?;
+        if n_chips != self.chips.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "chip count {n_chips} does not match the configured device ({})",
+                self.chips.len()
+            )));
+        }
+        for c in &mut self.chips {
+            let n_pages = d.usize()?;
+            if n_pages != c.p2l.len() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "chip page count {n_pages} does not match geometry ({})",
+                    c.p2l.len()
+                )));
+            }
+            for slot in &mut c.p2l {
+                *slot = d.opt(|d| d.u64())?;
+            }
+            for s in &mut c.status {
+                *s = match d.u8()? {
+                    0 => PageStatus::Free,
+                    1 => PageStatus::Valid,
+                    2 => PageStatus::Secured,
+                    3 => PageStatus::Invalid,
+                    b => {
+                        return Err(SnapshotError::Corrupt(format!("unknown page status {b:#04x}")))
+                    }
+                };
+            }
+            let n_blocks = d.usize()?;
+            if n_blocks != c.blocks.len() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "block count {n_blocks} does not match geometry ({})",
+                    c.blocks.len()
+                )));
+            }
+            for b in &mut c.blocks {
+                b.state = match d.u8()? {
+                    0 => BlockState::Free,
+                    1 => BlockState::Open,
+                    2 => BlockState::Full,
+                    3 => BlockState::Reclaimable,
+                    4 => BlockState::Retired,
+                    v => {
+                        return Err(SnapshotError::Corrupt(format!("unknown block state {v:#04x}")))
+                    }
+                };
+                b.live = d.u32()?;
+                b.invalid = d.u32()?;
+                b.written = d.u32()?;
+                b.closed_at = d.u64()?;
+            }
+            c.free.clear();
+            for _ in 0..d.usize()? {
+                c.free.push_back(d.u32()?);
+            }
+            c.reclaimable.clear();
+            for _ in 0..d.usize()? {
+                c.reclaimable.push_back(d.u32()?);
+            }
+            c.active = d.opt(|d| Ok(ActiveBlock { id: d.u32()?, next_page: d.u32()? }))?;
+            c.gc_in_progress.clear();
+            for _ in 0..d.usize()? {
+                c.gc_in_progress.insert(d.u32()?);
+            }
+            let n_buckets = d.usize()?;
+            if n_buckets != c.victims.buckets.len() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "victim bucket count {n_buckets} does not match geometry ({})",
+                    c.victims.buckets.len()
+                )));
+            }
+            for bucket in &mut c.victims.buckets {
+                bucket.clear();
+                for _ in 0..d.usize()? {
+                    bucket.push(d.u32()?);
+                }
+            }
+            let n_pos = d.usize()?;
+            if n_pos != c.victims.pos.len() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "victim position count {n_pos} does not match geometry ({})",
+                    c.victims.pos.len()
+                )));
+            }
+            for p in &mut c.victims.pos {
+                *p = d.opt(|d| Ok((d.u32()?, d.u32()?)))?;
+            }
+            c.victims.min_live = d.u32()?;
+            c.live_total = d.u64()?;
+            c.invalid_total = d.u64()?;
+            c.retired = d.u32()?;
+        }
+        let n_order = d.usize()?;
+        if n_order != self.chip_order.len() {
+            return Err(SnapshotError::Mismatch(
+                "chip-order length does not match the configured device".into(),
+            ));
+        }
+        for c in &mut self.chip_order {
+            *c = d.usize()?;
+        }
+        self.next_chip = d.usize()?;
+        self.stats = FtlStats::decode_snapshot(d)?;
+        self.seq = d.u64()?;
+        self.pending_locks.clear();
+        for _ in 0..d.usize()? {
+            let chip = d.usize()?;
+            let block = d.u32()?;
+            let n = d.usize()?;
+            let mut pages = Vec::with_capacity(n);
+            for _ in 0..n {
+                pages.push(decode_gppa(d)?);
+            }
+            let since = d.u64()?;
+            self.pending_locks.push_back(CoalesceEntry { chip, block, pages, since });
+        }
+        self.mode = match d.u8()? {
+            0 => DegradedMode::Normal,
+            1 => DegradedMode::SpareLow,
+            2 => DegradedMode::ReadOnly,
+            b => return Err(SnapshotError::Corrupt(format!("unknown degraded mode {b:#04x}"))),
+        };
+        Ok(())
+    }
+}
+
+fn encode_gppa(e: &mut evanesco_nand::snapshot::Enc, at: &GlobalPpa) {
+    e.usize(at.chip);
+    e.u32(at.ppa.block.0);
+    e.u32(at.ppa.page.0);
+}
+
+fn decode_gppa(
+    d: &mut evanesco_nand::snapshot::Dec<'_>,
+) -> Result<GlobalPpa, evanesco_nand::snapshot::SnapshotError> {
+    let chip = d.usize()?;
+    let block = d.u32()?;
+    let page = d.u32()?;
+    Ok(GlobalPpa { chip, ppa: Ppa { block: BlockId(block), page: PageId(page) } })
 }
 
 #[cfg(test)]
@@ -1925,6 +2193,70 @@ mod tests {
         assert_eq!(ftl.read(&mut ex, 0).unwrap().tag(), 2);
         assert_eq!(ftl.invalid_pages(), 1);
         ftl.check_invariants();
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_ftl_exactly() {
+        use evanesco_nand::snapshot::{Dec, Enc};
+        let cfg = FtlConfig::tiny_for_tests();
+        let mut ftl = Ftl::new(cfg, SanitizePolicy::evanesco());
+        let mut ex = MemExecutor::new(cfg.geometry, cfg.n_chips);
+        // Drive enough traffic to populate GC structures and the queues.
+        let logical = cfg.logical_pages();
+        for round in 0..6u64 {
+            for lpa in 0..logical / 2 {
+                ftl.write(&mut ex, &mut NullObserver, lpa, lpa % 3 == 0, round * 1000 + lpa);
+            }
+            ftl.trim(
+                &mut ex,
+                &mut NullObserver,
+                &(0..logical / 8).map(|i| i * 4).collect::<Vec<_>>(),
+            );
+        }
+        ftl.check_invariants();
+
+        let mut e = Enc::new();
+        ftl.encode_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut restored = Ftl::new(cfg, SanitizePolicy::evanesco());
+        restored.decode_state(&mut Dec::new(&bytes)).unwrap();
+        let mut d = Dec::new(&bytes);
+        restored.check_invariants();
+        // decode_state consumed its own stream exactly.
+        Ftl::new(cfg, SanitizePolicy::evanesco()).decode_state(&mut d).unwrap();
+        d.finish().unwrap();
+
+        assert_eq!(restored.stats(), ftl.stats());
+        assert_eq!(restored.degraded(), ftl.degraded());
+        // Continue both in lockstep against identical executors.
+        let mut ex2 = ex.clone();
+        for lpa in 0..logical / 2 {
+            ftl.write(&mut ex, &mut NullObserver, lpa, lpa % 2 == 0, 9000 + lpa);
+            restored.write(&mut ex2, &mut NullObserver, lpa, lpa % 2 == 0, 9000 + lpa);
+        }
+        assert_eq!(restored.stats(), ftl.stats());
+        for lpa in 0..logical {
+            assert_eq!(restored.mapped(lpa), ftl.mapped(lpa), "mapping diverged at lpa {lpa}");
+        }
+        let mut ea = Enc::new();
+        let mut eb = Enc::new();
+        ftl.encode_state(&mut ea);
+        restored.encode_state(&mut eb);
+        assert_eq!(ea.into_bytes(), eb.into_bytes(), "post-resume state diverged");
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_geometry_mismatch() {
+        use evanesco_nand::snapshot::{Dec, Enc, SnapshotError};
+        let cfg = FtlConfig::tiny_for_tests();
+        let ftl = Ftl::new(cfg, SanitizePolicy::evanesco());
+        let mut e = Enc::new();
+        ftl.encode_state(&mut e);
+        let bytes = e.into_bytes();
+        let other = FtlConfig { n_chips: 1, ..cfg };
+        let mut wrong = Ftl::new(other, SanitizePolicy::evanesco());
+        let err = wrong.decode_state(&mut Dec::new(&bytes)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod stats;
 pub mod status;
 
 pub use addr::{GlobalPpa, Lpa};
-pub use config::FtlConfig;
+pub use config::{FaultConfig, FtlConfig, GcVictimPolicy, ReliabilityConfig, WriteAlloc};
 pub use decision::{Decision, DecisionLevel, DecisionLog, DecisionRecord, EscalationRung};
 pub use ftl::{DegradedMode, Ftl};
 pub use observer::InvalidateCause;

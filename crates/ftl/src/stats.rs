@@ -114,6 +114,78 @@ impl FtlStats {
         }
     }
 
+    /// Serializes every counter into a checkpoint stream.
+    pub fn encode_snapshot(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        for v in self.as_array() {
+            e.u64(v);
+        }
+    }
+
+    /// Inverse of [`FtlStats::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn decode_snapshot(
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<Self, evanesco_nand::snapshot::SnapshotError> {
+        Ok(FtlStats {
+            host_write_pages: d.u64()?,
+            host_read_pages: d.u64()?,
+            host_trim_pages: d.u64()?,
+            nand_programs: d.u64()?,
+            nand_reads: d.u64()?,
+            nand_erases: d.u64()?,
+            copied_pages: d.u64()?,
+            gc_invocations: d.u64()?,
+            plocks: d.u64()?,
+            blocks_locked: d.u64()?,
+            scrubs: d.u64()?,
+            sanitize_erases: d.u64()?,
+            coalesced_plocks: d.u64()?,
+            coalesce_flushed_plocks: d.u64()?,
+            plock_retries: d.u64()?,
+            plock_escalations: d.u64()?,
+            lock_scrub_fallbacks: d.u64()?,
+            block_lock_retries: d.u64()?,
+            block_lock_fallbacks: d.u64()?,
+            program_fail_remaps: d.u64()?,
+            erase_retries: d.u64()?,
+            retired_blocks: d.u64()?,
+            reliability_relocations: d.u64()?,
+            writes_rejected_readonly: d.u64()?,
+        })
+    }
+
+    fn as_array(&self) -> [u64; 24] {
+        [
+            self.host_write_pages,
+            self.host_read_pages,
+            self.host_trim_pages,
+            self.nand_programs,
+            self.nand_reads,
+            self.nand_erases,
+            self.copied_pages,
+            self.gc_invocations,
+            self.plocks,
+            self.blocks_locked,
+            self.scrubs,
+            self.sanitize_erases,
+            self.coalesced_plocks,
+            self.coalesce_flushed_plocks,
+            self.plock_retries,
+            self.plock_escalations,
+            self.lock_scrub_fallbacks,
+            self.block_lock_retries,
+            self.block_lock_fallbacks,
+            self.program_fail_remaps,
+            self.erase_retries,
+            self.retired_blocks,
+            self.reliability_relocations,
+            self.writes_rejected_readonly,
+        ]
+    }
+
     /// Total reliability-manager interventions (every injected command
     /// failure is answered by exactly one of these).
     pub fn reliability_events(&self) -> u64 {

@@ -15,6 +15,7 @@
 
 use crate::error::NandError;
 use crate::geometry::{BlockId, Geometry, Ppa};
+use crate::snapshot::{Dec, Enc, SnapshotError};
 use crate::timing::{Nanos, TimingSpec};
 
 /// Fraction of `tPROG` that must have elapsed before a torn (power-cut)
@@ -480,6 +481,128 @@ impl Chip {
     pub fn raw_block_dump(&self, block: BlockId) -> Vec<PageContent> {
         self.blocks[block.0 as usize].slots.iter().map(slot_content).collect()
     }
+
+    /// Serializes the full chip state — geometry, timing, every block's
+    /// slots and wear counters, and the operation stats — into a
+    /// checkpoint stream.
+    pub fn encode_state(&self, e: &mut Enc) {
+        e.tag(TAG_CHIP);
+        self.geom.encode_snapshot(e);
+        self.timing.encode_snapshot(e);
+        e.usize(self.blocks.len());
+        for b in &self.blocks {
+            e.u32(b.next_program);
+            e.u64(b.erase_count);
+            e.opt(&b.last_erase_at, |e, t| e.u64(t.0));
+            e.bool(b.torn_erase);
+            e.usize(b.slots.len());
+            for slot in &b.slots {
+                match slot {
+                    Slot::Erased => e.u8(0),
+                    Slot::Programmed(d) => {
+                        e.u8(1);
+                        encode_page_data(e, d);
+                    }
+                    Slot::Destroyed => e.u8(2),
+                    Slot::Torn { data, readable } => {
+                        e.u8(3);
+                        encode_page_data(e, data);
+                        e.bool(*readable);
+                    }
+                }
+            }
+        }
+        for v in [
+            self.stats.reads,
+            self.stats.programs,
+            self.stats.erases,
+            self.stats.scrubs,
+            self.stats.torn_programs,
+            self.stats.torn_erases,
+        ] {
+            e.u64(v);
+        }
+    }
+
+    /// Reconstructs a chip from a stream written by [`Chip::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or structurally invalid content.
+    pub fn decode_state(d: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        d.expect_tag(TAG_CHIP, "nand-chip")?;
+        let geom = Geometry::decode_snapshot(d)?;
+        let timing = TimingSpec::decode_snapshot(d)?;
+        let n_blocks = d.usize()?;
+        if n_blocks != geom.blocks as usize {
+            return Err(SnapshotError::Corrupt(format!(
+                "chip block count {n_blocks} does not match geometry ({})",
+                geom.blocks
+            )));
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let next_program = d.u32()?;
+            let erase_count = d.u64()?;
+            let last_erase_at = d.opt(|d| Ok(Nanos(d.u64()?)))?;
+            let torn_erase = d.bool()?;
+            let n_slots = d.usize()?;
+            if n_slots != geom.pages_per_block() as usize {
+                return Err(SnapshotError::Corrupt(format!(
+                    "block slot count {n_slots} does not match geometry ({})",
+                    geom.pages_per_block()
+                )));
+            }
+            let mut slots = Vec::with_capacity(n_slots);
+            for _ in 0..n_slots {
+                slots.push(match d.u8()? {
+                    0 => Slot::Erased,
+                    1 => Slot::Programmed(decode_page_data(d)?),
+                    2 => Slot::Destroyed,
+                    3 => {
+                        let data = decode_page_data(d)?;
+                        let readable = d.bool()?;
+                        Slot::Torn { data, readable }
+                    }
+                    b => {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "unknown page-slot tag {b:#04x}"
+                        )))
+                    }
+                });
+            }
+            blocks.push(Block { slots, next_program, erase_count, last_erase_at, torn_erase });
+        }
+        let stats = ChipStats {
+            reads: d.u64()?,
+            programs: d.u64()?,
+            erases: d.u64()?,
+            scrubs: d.u64()?,
+            torn_programs: d.u64()?,
+            torn_erases: d.u64()?,
+        };
+        Ok(Chip { geom, timing, blocks, stats })
+    }
+}
+
+/// Section tag for a behavioral chip in a checkpoint stream.
+const TAG_CHIP: u8 = 0x10;
+
+fn encode_page_data(e: &mut Enc, d: &PageData) {
+    e.u64(d.tag);
+    e.opt(&d.payload, |e, p| e.bytes(p));
+    e.opt(&d.oob, |e, oob| {
+        e.u64(oob.lpa);
+        e.bool(oob.secure);
+        e.u64(oob.seq);
+    });
+}
+
+fn decode_page_data(d: &mut Dec<'_>) -> Result<PageData, SnapshotError> {
+    let tag = d.u64()?;
+    let payload = d.opt(|d| Ok(Box::<[u8]>::from(d.bytes()?)))?;
+    let oob = d.opt(|d| Ok(PageOob { lpa: d.u64()?, secure: d.bool()?, seq: d.u64()? }))?;
+    Ok(PageData { tag, payload, oob })
 }
 
 #[cfg(test)]
@@ -654,6 +777,69 @@ mod tests {
         assert_eq!(chip.read(Ppa::new(2, 0)).unwrap().data().unwrap().tag(), 5);
         chip.interrupt_scrub(Ppa::new(2, 0), 0.7).unwrap();
         assert_eq!(chip.read(Ppa::new(2, 0)).unwrap().content, PageContent::Destroyed);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let mut chip = small_chip();
+        let oob = PageOob { lpa: 5, secure: true, seq: 11 };
+        chip.program(Ppa::new(0, 0), PageData::tagged(7).with_oob(oob)).unwrap();
+        chip.program(Ppa::new(0, 1), PageData::with_payload(b"payload")).unwrap();
+        chip.destroy_page(Ppa::new(0, 1)).unwrap();
+        chip.interrupt_program(Ppa::new(0, 2), PageData::tagged(9), 0.9).unwrap();
+        chip.interrupt_erase(BlockId(3), 0.1).unwrap();
+        chip.erase(BlockId(5), Nanos::from_millis(2)).unwrap();
+        chip.read(Ppa::new(0, 0)).unwrap();
+
+        let mut e = Enc::new();
+        chip.encode_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = Chip::decode_state(&mut d).unwrap();
+        d.finish().unwrap();
+
+        assert_eq!(back.geometry(), chip.geometry());
+        assert_eq!(back.timing(), chip.timing());
+        assert_eq!(back.stats(), chip.stats());
+        for b in 0..chip.geometry().blocks {
+            assert_eq!(back.raw_block_dump(BlockId(b)), chip.raw_block_dump(BlockId(b)));
+            assert_eq!(back.next_program_index(BlockId(b)), chip.next_program_index(BlockId(b)));
+            assert_eq!(back.erase_count(BlockId(b)), chip.erase_count(BlockId(b)));
+            assert_eq!(back.last_erase_at(BlockId(b)), chip.last_erase_at(BlockId(b)));
+            assert_eq!(back.block_torn_erase(BlockId(b)), chip.block_torn_erase(BlockId(b)));
+        }
+        // Re-encoding the restored chip is byte-identical.
+        let mut e2 = Enc::new();
+        back.encode_state(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_bad_slot_tag() {
+        let mut chip = small_chip();
+        chip.program(Ppa::new(0, 0), PageData::tagged(1)).unwrap();
+        let mut e = Enc::new();
+        chip.encode_state(&mut e);
+        let good = e.into_bytes();
+        // Walk the stream to the first slot tag, then corrupt it.
+        let mut d = Dec::new(&good);
+        d.expect_tag(0x10, "nand-chip").unwrap();
+        let _ = Geometry::decode_snapshot(&mut d).unwrap();
+        let _ = TimingSpec::decode_snapshot(&mut d).unwrap();
+        let _ = d.usize().unwrap(); // block count
+        let _ = d.u32().unwrap(); // next_program
+        let _ = d.u64().unwrap(); // erase_count
+        let _ = d.opt(|d| d.u64()).unwrap(); // last_erase_at
+        let _ = d.bool().unwrap(); // torn_erase
+        let _ = d.usize().unwrap(); // slot count
+        let slot0_off = d.offset();
+        let mut bad = good.clone();
+        bad[slot0_off] = 9;
+        let err = Chip::decode_state(&mut Dec::new(&bad)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+        // Truncation is also an error, not a panic.
+        let err = Chip::decode_state(&mut Dec::new(&good[..good.len() - 4])).unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated { .. }), "{err}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! and documented.
 
 use crate::cell::{CellTech, PageType};
+use crate::snapshot::{Dec, Enc, SnapshotError};
 use std::fmt;
 
 /// Block index within a chip.
@@ -187,6 +188,42 @@ impl Geometry {
     /// Whether a physical page address is valid for this geometry.
     pub fn contains(&self, ppa: Ppa) -> bool {
         ppa.block.0 < self.blocks && ppa.page.0 < self.pages_per_block()
+    }
+
+    /// Serializes the geometry into a checkpoint stream.
+    pub fn encode_snapshot(&self, e: &mut Enc) {
+        e.u8(match self.tech {
+            CellTech::Slc => 1,
+            CellTech::Mlc => 2,
+            CellTech::Tlc => 3,
+            CellTech::Qlc => 4,
+        });
+        e.u32(self.blocks);
+        e.u32(self.wordlines_per_block);
+        e.u32(self.page_bytes);
+        e.u32(self.spare_bytes);
+    }
+
+    /// Inverse of [`Geometry::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or an unknown cell-technology discriminant.
+    pub fn decode_snapshot(d: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        let tech = match d.u8()? {
+            1 => CellTech::Slc,
+            2 => CellTech::Mlc,
+            3 => CellTech::Tlc,
+            4 => CellTech::Qlc,
+            b => return Err(SnapshotError::Corrupt(format!("unknown cell tech {b:#04x}"))),
+        };
+        Ok(Geometry {
+            tech,
+            blocks: d.u32()?,
+            wordlines_per_block: d.u32()?,
+            page_bytes: d.u32()?,
+            spare_bytes: d.u32()?,
+        })
     }
 }
 

@@ -47,6 +47,7 @@ pub mod math;
 pub mod noise;
 pub mod osr;
 pub mod rber;
+pub mod snapshot;
 pub mod timing;
 pub mod vth;
 

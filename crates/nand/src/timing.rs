@@ -113,6 +113,40 @@ pub struct TimingSpec {
 }
 
 impl TimingSpec {
+    /// Serializes the latency table into a checkpoint stream.
+    pub fn encode_snapshot(&self, e: &mut crate::snapshot::Enc) {
+        for t in [
+            self.t_read,
+            self.t_prog,
+            self.t_bers,
+            self.t_plock,
+            self.t_block,
+            self.t_scrub,
+            self.t_xfer_page,
+        ] {
+            e.u64(t.0);
+        }
+    }
+
+    /// Inverse of [`TimingSpec::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn decode_snapshot(
+        d: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(TimingSpec {
+            t_read: Nanos(d.u64()?),
+            t_prog: Nanos(d.u64()?),
+            t_bers: Nanos(d.u64()?),
+            t_plock: Nanos(d.u64()?),
+            t_block: Nanos(d.u64()?),
+            t_scrub: Nanos(d.u64()?),
+            t_xfer_page: Nanos(d.u64()?),
+        })
+    }
+
     /// Paper values (§7 and §5.5).
     pub fn paper() -> Self {
         TimingSpec {

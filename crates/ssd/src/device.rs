@@ -340,6 +340,130 @@ impl TimedExecutor {
         self.open_interval_sum.0.checked_div(self.open_interval_count).map(Nanos)
     }
 
+    /// Serializes the device array — every chip's full NAND/flag/fault
+    /// state, the busy timelines, the simulated clock, breakdown counters,
+    /// and any armed power cut — into a checkpoint stream. Trace state
+    /// (`trace_on` / undrained `trace_events`) is deliberately excluded:
+    /// tracing is observational and re-enabled by the restoring caller if
+    /// desired.
+    pub fn encode_state(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        e.tag(0x42);
+        e.usize(self.chips.len());
+        for c in &self.chips {
+            c.encode_state(e);
+        }
+        e.usize(self.chip_res.len());
+        for r in &self.chip_res {
+            e.u64(r.busy_until().0);
+            e.u64(r.utilized().0);
+        }
+        e.usize(self.channel_res.len());
+        for r in &self.channel_res {
+            e.u64(r.busy_until().0);
+            e.u64(r.utilized().0);
+        }
+        e.usize(self.chips_per_channel);
+        self.timing.encode_snapshot(e);
+        e.u64(self.open_interval_sum.0);
+        e.u64(self.open_interval_count);
+        for n in [
+            self.breakdown.read,
+            self.breakdown.program,
+            self.breakdown.erase,
+            self.breakdown.plock,
+            self.breakdown.block,
+            self.breakdown.scrub,
+            self.breakdown.xfer,
+        ] {
+            e.u64(n.0);
+        }
+        e.opt(&self.power_cut, |e, n| e.u64(n.0));
+        e.bool(self.powered_off);
+        e.u64(self.fault_salt);
+        e.bool(self.window_clean);
+        e.u64(self.horizon.0);
+        e.opt(&self.dispatch_floor, |e, n| e.u64(n.0));
+        e.u64(self.dispatch_end.0);
+    }
+
+    /// Overlays checkpointed state written by
+    /// [`TimedExecutor::encode_state`] onto this freshly-constructed
+    /// executor (same configuration).
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, structural corruption, or a chip/channel count
+    /// that does not match this executor's configuration.
+    pub fn decode_state(
+        &mut self,
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<(), evanesco_nand::snapshot::SnapshotError> {
+        use evanesco_nand::snapshot::SnapshotError;
+        d.expect_tag(0x42, "timed-executor")?;
+        let n_chips = d.usize()?;
+        if n_chips != self.chips.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "checkpoint has {n_chips} chips, configuration has {}",
+                self.chips.len()
+            )));
+        }
+        for c in self.chips.iter_mut() {
+            c.decode_state(d)?;
+        }
+        let n_res = d.usize()?;
+        if n_res != self.chip_res.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "checkpoint has {n_res} chip timelines, configuration has {}",
+                self.chip_res.len()
+            )));
+        }
+        for r in self.chip_res.iter_mut() {
+            *r = Resource::from_parts(Nanos(d.u64()?), Nanos(d.u64()?));
+        }
+        let n_ch = d.usize()?;
+        if n_ch != self.channel_res.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "checkpoint has {n_ch} channel timelines, configuration has {}",
+                self.channel_res.len()
+            )));
+        }
+        for r in self.channel_res.iter_mut() {
+            *r = Resource::from_parts(Nanos(d.u64()?), Nanos(d.u64()?));
+        }
+        let cpc = d.usize()?;
+        if cpc != self.chips_per_channel {
+            return Err(SnapshotError::Mismatch(format!(
+                "checkpoint has {cpc} chips per channel, configuration has {}",
+                self.chips_per_channel
+            )));
+        }
+        let timing = TimingSpec::decode_snapshot(d)?;
+        if timing != self.timing {
+            return Err(SnapshotError::Mismatch(
+                "checkpoint timing spec differs from configuration".into(),
+            ));
+        }
+        self.open_interval_sum = Nanos(d.u64()?);
+        self.open_interval_count = d.u64()?;
+        self.breakdown = TimeBreakdown {
+            read: Nanos(d.u64()?),
+            program: Nanos(d.u64()?),
+            erase: Nanos(d.u64()?),
+            plock: Nanos(d.u64()?),
+            block: Nanos(d.u64()?),
+            scrub: Nanos(d.u64()?),
+            xfer: Nanos(d.u64()?),
+        };
+        self.power_cut = d.opt(|d| Ok(Nanos(d.u64()?)))?;
+        self.powered_off = d.bool()?;
+        self.fault_salt = d.u64()?;
+        self.window_clean = d.bool()?;
+        self.horizon = Nanos(d.u64()?);
+        self.dispatch_floor = d.opt(|d| Ok(Nanos(d.u64()?)))?;
+        self.dispatch_end = Nanos(d.u64()?);
+        Ok(())
+    }
+
     fn reserve_chip(&mut self, chip: usize, dur: Nanos, kind: SpanKind) -> (Nanos, Nanos) {
         let earliest = self.floored(Nanos::ZERO);
         let (start, end) = self.chip_res[chip].reserve(earliest, dur);

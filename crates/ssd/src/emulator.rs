@@ -804,6 +804,104 @@ impl Emulator {
     pub fn prometheus_scrape(&self) -> String {
         crate::prom::render(self)
     }
+
+    /// Serializes the complete device state into one self-contained,
+    /// versioned checkpoint: configuration, sanitization policy, FTL
+    /// tables, every chip's NAND/flag/fault state, busy timelines, the
+    /// simulated clock, host bookkeeping (tags, stale audit log), latency
+    /// histograms, recovery totals, and — when enabled — the live gauges
+    /// and telemetry ring. A run restored from these bytes continues
+    /// bit-identically to one that never stopped (see
+    /// `tests/checkpoint_resume.rs`).
+    ///
+    /// Not captured (observational only, never affecting results): the
+    /// op-level trace recorder and the FTL decision log.
+    pub fn save_checkpoint(&self) -> Vec<u8> {
+        let mut e = evanesco_nand::snapshot::Enc::with_header();
+        crate::checkpoint::encode_config(&self.cfg, &mut e);
+        crate::checkpoint::encode_policy(self.ftl.policy(), &mut e);
+        e.tag(0x50);
+        self.ftl.encode_state(&mut e);
+        self.ex.encode_state(&mut e);
+        e.usize(self.tag_of.len());
+        for t in &self.tag_of {
+            e.opt(t, |e, &(tag, secure)| {
+                e.u64(tag);
+                e.bool(secure);
+            });
+        }
+        e.usize(self.stale.len());
+        for &(l, tag, secure) in &self.stale {
+            e.u64(l);
+            e.u64(tag);
+            e.bool(secure);
+        }
+        e.u64(self.next_tag);
+        e.u64(self.host_ops);
+        self.read_latency.encode_snapshot(&mut e);
+        self.write_latency.encode_snapshot(&mut e);
+        self.trim_latency.encode_snapshot(&mut e);
+        self.recovery.encode_snapshot(&mut e);
+        e.opt(&self.gauges, |e, g| g.encode_state(e));
+        e.opt(&self.timeseries, |e, ts| ts.encode_state(e));
+        e.into_bytes()
+    }
+
+    /// Reconstructs an emulator from bytes written by
+    /// [`Emulator::save_checkpoint`]: builds a fresh device from the
+    /// embedded configuration and policy, then overlays every piece of
+    /// dynamic state.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a typed [`evanesco_nand::snapshot::SnapshotError`] —
+    /// never a panic — on truncation, a wrong magic, an unsupported
+    /// format version, structural corruption, or internally inconsistent
+    /// state.
+    pub fn restore_checkpoint(
+        bytes: &[u8],
+    ) -> Result<Emulator, evanesco_nand::snapshot::SnapshotError> {
+        use evanesco_nand::snapshot::{Dec, SnapshotError};
+        let mut d = Dec::with_header(bytes)?;
+        let cfg = crate::checkpoint::decode_config(&mut d)?;
+        let policy = crate::checkpoint::decode_policy(&mut d)?;
+        let mut em = Emulator::new(cfg, policy);
+        d.expect_tag(0x50, "emulator")?;
+        em.ftl.decode_state(&mut d)?;
+        em.ex.decode_state(&mut d)?;
+        let n_tags = d.usize()?;
+        if n_tags != em.tag_of.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "checkpoint tracks {n_tags} logical tags, configuration implies {}",
+                em.tag_of.len()
+            )));
+        }
+        for slot in em.tag_of.iter_mut() {
+            *slot = d.opt(|d| {
+                let tag = d.u64()?;
+                let secure = d.bool()?;
+                Ok((tag, secure))
+            })?;
+        }
+        let n_stale = d.usize()?;
+        em.stale = Vec::with_capacity(n_stale.min(1 << 20));
+        for _ in 0..n_stale {
+            let l = d.u64()?;
+            let tag = d.u64()?;
+            let secure = d.bool()?;
+            em.stale.push((l, tag, secure));
+        }
+        em.next_tag = d.u64()?;
+        em.host_ops = d.u64()?;
+        em.read_latency = LatencyHistogram::decode_snapshot(&mut d)?;
+        em.write_latency = LatencyHistogram::decode_snapshot(&mut d)?;
+        em.trim_latency = LatencyHistogram::decode_snapshot(&mut d)?;
+        em.recovery = RecoveryTotals::decode_snapshot(&mut d)?;
+        em.gauges = d.opt(LiveGauges::decode_state)?;
+        em.timeseries = d.opt(TimeSeries::decode_state)?;
+        d.finish()?;
+        Ok(em)
+    }
 }
 
 #[cfg(test)]
@@ -1002,6 +1100,61 @@ mod tests {
         let t = s.config().ftl.timing;
         let per = t.t_xfer_page + t.t_prog;
         assert!(r.sim_time >= Nanos(per.0 * 8), "qd 1 must not overlap requests");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_continues_bit_identically() {
+        let mut live = ssd(SanitizePolicy::evanesco());
+        live.enable_gauges();
+        live.enable_timeseries(Nanos::from_micros(200), 64);
+        let mut x = 7u64;
+        for _ in 0..150 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            live.write(x % 48, 1, !x.is_multiple_of(3));
+            if x.is_multiple_of(5) {
+                live.trim(x % 32, 1);
+            }
+        }
+        let bytes = live.save_checkpoint();
+        let mut restored = Emulator::restore_checkpoint(&bytes).expect("valid checkpoint");
+        assert_eq!(restored.result(), live.result());
+        assert_eq!(restored.prometheus_scrape(), live.prometheus_scrape());
+        // A restored emulator re-encodes to the exact same bytes.
+        assert_eq!(restored.save_checkpoint(), bytes);
+        // Continue both in lockstep: every host-visible result and every
+        // metric stays identical.
+        for _ in 0..150 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = live.write_tracked(x % 48, 1, !x.is_multiple_of(3));
+            let b = restored.write_tracked(x % 48, 1, !x.is_multiple_of(3));
+            assert_eq!(a, b);
+            if x.is_multiple_of(4) {
+                assert_eq!(live.read(x % 48, 2), restored.read(x % 48, 2));
+            }
+            if x.is_multiple_of(5) {
+                live.trim(x % 32, 1);
+                restored.trim(x % 32, 1);
+            }
+        }
+        live.sample_timeseries_now();
+        restored.sample_timeseries_now();
+        assert_eq!(restored.result(), live.result());
+        assert_eq!(restored.prometheus_scrape(), live.prometheus_scrape());
+        assert_eq!(restored.save_checkpoint(), live.save_checkpoint());
+    }
+
+    #[test]
+    fn restore_rejects_garbage_without_panicking() {
+        assert!(Emulator::restore_checkpoint(b"").is_err());
+        assert!(Emulator::restore_checkpoint(b"EVSCCKP1").is_err());
+        assert!(Emulator::restore_checkpoint(&[0u8; 64]).is_err());
+        let mut s = ssd(SanitizePolicy::evanesco());
+        s.write(0, 4, true);
+        let bytes = s.save_checkpoint();
+        // Truncation at any prefix must error, never panic.
+        for cut in [12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Emulator::restore_checkpoint(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

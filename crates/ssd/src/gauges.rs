@@ -108,6 +108,80 @@ impl LiveGauges {
         }
     }
 
+    /// Serializes the gauges — counters, the open insecure interval, and
+    /// the tracked secured-page population (sorted, for a canonical byte
+    /// stream) — into a checkpoint stream.
+    pub fn encode_state(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        e.tag(0x40);
+        e.u64(self.tick);
+        e.u64(self.valid);
+        e.u64(self.invalid);
+        e.u64(self.max_valid);
+        e.u64(self.max_invalid);
+        e.u64(self.insecure_ticks);
+        e.opt(&self.insecure_since, |e, &t| e.u64(t));
+        e.u64(self.sanitized_immediately);
+        e.u64(self.exposed_then_erased);
+        let mut blocks: Vec<_> = self.phys.keys().copied().collect();
+        blocks.sort_unstable();
+        e.usize(blocks.len());
+        for key in blocks {
+            e.usize(key.0);
+            e.u32(key.1);
+            let pages = &self.phys[&key];
+            let mut ids: Vec<_> = pages.keys().copied().collect();
+            ids.sort_unstable();
+            e.usize(ids.len());
+            for p in ids {
+                e.u32(p);
+                e.bool(pages[&p]);
+            }
+        }
+    }
+
+    /// Reconstructs gauges from a stream written by
+    /// [`LiveGauges::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or structural corruption.
+    pub fn decode_state(
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<Self, evanesco_nand::snapshot::SnapshotError> {
+        d.expect_tag(0x40, "live-gauges")?;
+        let tick = d.u64()?;
+        let valid = d.u64()?;
+        let invalid = d.u64()?;
+        let max_valid = d.u64()?;
+        let max_invalid = d.u64()?;
+        let insecure_ticks = d.u64()?;
+        let insecure_since = d.opt(|d| d.u64())?;
+        let sanitized_immediately = d.u64()?;
+        let exposed_then_erased = d.u64()?;
+        let mut phys = HashMap::new();
+        for _ in 0..d.usize()? {
+            let key = (d.usize()?, d.u32()?);
+            let mut pages = HashMap::new();
+            for _ in 0..d.usize()? {
+                let p = d.u32()?;
+                pages.insert(p, d.bool()?);
+            }
+            phys.insert(key, pages);
+        }
+        Ok(LiveGauges {
+            tick,
+            valid,
+            invalid,
+            max_valid,
+            max_invalid,
+            insecure_ticks,
+            insecure_since,
+            sanitized_immediately,
+            exposed_then_erased,
+            phys,
+        })
+    }
+
     fn note_change(&mut self) {
         self.max_valid = self.max_valid.max(self.valid);
         self.max_invalid = self.max_invalid.max(self.invalid);

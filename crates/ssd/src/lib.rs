@@ -31,6 +31,7 @@
 //! # }
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod device;
 pub mod emulator;
@@ -45,6 +46,7 @@ pub mod timeline;
 pub mod timeseries;
 pub mod trace;
 
+pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointError};
 pub use config::SsdConfig;
 pub use emulator::Emulator;
 pub use faultplan::FaultPlan;

@@ -90,6 +90,36 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Serializes the histogram into a checkpoint stream.
+    pub fn encode_snapshot(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        for &b in &self.buckets {
+            e.u64(b);
+        }
+        e.u64(self.count);
+        e.u64(self.sum.0);
+        e.u64(self.max.0);
+    }
+
+    /// Inverse of [`LatencyHistogram::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn decode_snapshot(
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<Self, evanesco_nand::snapshot::SnapshotError> {
+        let mut buckets = [0u64; 48];
+        for b in buckets.iter_mut() {
+            *b = d.u64()?;
+        }
+        Ok(LatencyHistogram {
+            buckets,
+            count: d.u64()?,
+            sum: Nanos(d.u64()?),
+            max: Nanos(d.u64()?),
+        })
+    }
+
     /// The samples accumulated since an `earlier` snapshot of the same
     /// histogram (bucket-wise difference). The `max` of the difference is
     /// this histogram's max — the per-phase maximum is not recoverable
@@ -133,6 +163,28 @@ impl LatencyBreakdown {
             write: self.write.since(&earlier.write),
             trim: self.trim.since(&earlier.trim),
         }
+    }
+
+    /// Serializes all three histograms into a checkpoint stream.
+    pub fn encode_snapshot(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        self.read.encode_snapshot(e);
+        self.write.encode_snapshot(e);
+        self.trim.encode_snapshot(e);
+    }
+
+    /// Inverse of [`LatencyBreakdown::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn decode_snapshot(
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<Self, evanesco_nand::snapshot::SnapshotError> {
+        Ok(LatencyBreakdown {
+            read: LatencyHistogram::decode_snapshot(d)?,
+            write: LatencyHistogram::decode_snapshot(d)?,
+            trim: LatencyHistogram::decode_snapshot(d)?,
+        })
     }
 }
 
@@ -185,6 +237,48 @@ impl RecoveryTotals {
         self.lock_retries += r.lock_retries;
         self.lock_fallbacks += r.lock_fallbacks;
         self.retired_blocks = r.retired_blocks;
+    }
+
+    /// Serializes every counter into a checkpoint stream.
+    pub fn encode_snapshot(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        e.u64(self.recoveries);
+        e.u64(self.scan_time.0);
+        e.u64(self.scanned_pages);
+        e.u64(self.rebuilt_mappings);
+        e.u64(self.torn_writes);
+        e.u64(self.orphaned_pages);
+        e.u64(self.relocked_pages);
+        e.u64(self.reissued_blocks);
+        e.u64(self.resealed_blocks);
+        e.u64(self.stale_secured);
+        e.u64(self.lock_retries);
+        e.u64(self.lock_fallbacks);
+        e.u64(self.retired_blocks);
+    }
+
+    /// Inverse of [`RecoveryTotals::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn decode_snapshot(
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<Self, evanesco_nand::snapshot::SnapshotError> {
+        Ok(RecoveryTotals {
+            recoveries: d.u64()?,
+            scan_time: Nanos(d.u64()?),
+            scanned_pages: d.u64()?,
+            rebuilt_mappings: d.u64()?,
+            torn_writes: d.u64()?,
+            orphaned_pages: d.u64()?,
+            relocked_pages: d.u64()?,
+            reissued_blocks: d.u64()?,
+            resealed_blocks: d.u64()?,
+            stale_secured: d.u64()?,
+            lock_retries: d.u64()?,
+            lock_fallbacks: d.u64()?,
+            retired_blocks: d.u64()?,
+        })
     }
 
     /// Difference against an earlier snapshot of the same run.
@@ -263,6 +357,57 @@ impl RunResult {
             faults,
             latency,
         }
+    }
+
+    /// Serializes the full result — including the derived `iops`/`waf`
+    /// floats, bit-exact via [`f64::to_bits`] — into a checkpoint stream.
+    pub fn encode_snapshot(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        e.u64(self.host_ops);
+        e.u64(self.sim_time.0);
+        e.f64(self.iops);
+        e.f64(self.waf);
+        e.u64(self.erases);
+        e.u64(self.plocks);
+        e.u64(self.blocks_locked);
+        self.ftl.encode_snapshot(e);
+        self.recovery.encode_snapshot(e);
+        e.u64(self.faults.program_failures);
+        e.u64(self.faults.erase_failures);
+        e.u64(self.faults.plock_failures);
+        e.u64(self.faults.block_lock_failures);
+        e.u64(self.faults.read_retries);
+        e.u64(self.faults.unc_reads);
+        self.latency.encode_snapshot(e);
+    }
+
+    /// Inverse of [`RunResult::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn decode_snapshot(
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<Self, evanesco_nand::snapshot::SnapshotError> {
+        Ok(RunResult {
+            host_ops: d.u64()?,
+            sim_time: Nanos(d.u64()?),
+            iops: d.f64()?,
+            waf: d.f64()?,
+            erases: d.u64()?,
+            plocks: d.u64()?,
+            blocks_locked: d.u64()?,
+            ftl: FtlStats::decode_snapshot(d)?,
+            recovery: RecoveryTotals::decode_snapshot(d)?,
+            faults: FaultStats {
+                program_failures: d.u64()?,
+                erase_failures: d.u64()?,
+                plock_failures: d.u64()?,
+                block_lock_failures: d.u64()?,
+                read_retries: d.u64()?,
+                unc_reads: d.u64()?,
+            },
+            latency: LatencyBreakdown::decode_snapshot(d)?,
+        })
     }
 
     /// IOPS normalized to a baseline run (the paper's Figure 14a unit).

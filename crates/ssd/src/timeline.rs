@@ -41,6 +41,11 @@ impl Resource {
     pub fn utilized(&self) -> Nanos {
         self.utilized
     }
+
+    /// Rebuilds a resource from checkpointed parts.
+    pub fn from_parts(busy_until: Nanos, utilized: Nanos) -> Self {
+        Resource { busy_until, utilized }
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,86 @@ impl TimeSeries {
         }
     }
 
+    /// Serializes the full series — interval, ring of closed windows, and
+    /// the cumulative baselines arming the next window — into a
+    /// checkpoint stream.
+    pub fn encode_state(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        e.tag(0x41);
+        e.u64(self.interval.0);
+        e.usize(self.capacity);
+        e.usize(self.ring.len());
+        for s in &self.ring {
+            encode_window_sample(s, e);
+        }
+        e.u64(self.dropped);
+        e.u64(self.next_index);
+        e.u64(self.next_due.0);
+        e.u64(self.window_start.0);
+        self.baseline.encode_snapshot(e);
+        e.usize(self.chip_busy.len());
+        for &n in &self.chip_busy {
+            e.u64(n.0);
+        }
+        e.usize(self.channel_busy.len());
+        for &n in &self.channel_busy {
+            e.u64(n.0);
+        }
+        e.u64(self.capacity_pages);
+    }
+
+    /// Reconstructs a series from a stream written by
+    /// [`TimeSeries::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or structural corruption.
+    pub fn decode_state(
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<Self, evanesco_nand::snapshot::SnapshotError> {
+        use evanesco_nand::snapshot::SnapshotError;
+        d.expect_tag(0x41, "timeseries")?;
+        let interval = Nanos(d.u64()?);
+        let capacity = d.usize()?;
+        if interval == Nanos::ZERO || capacity == 0 {
+            return Err(SnapshotError::Corrupt(
+                "timeseries interval/capacity must be positive".into(),
+            ));
+        }
+        let n_ring = d.usize()?;
+        let mut ring = VecDeque::with_capacity(n_ring);
+        for _ in 0..n_ring {
+            ring.push_back(decode_window_sample(d)?);
+        }
+        let dropped = d.u64()?;
+        let next_index = d.u64()?;
+        let next_due = Nanos(d.u64()?);
+        let window_start = Nanos(d.u64()?);
+        let baseline = RunResult::decode_snapshot(d)?;
+        let n_chips = d.usize()?;
+        let mut chip_busy = Vec::with_capacity(n_chips);
+        for _ in 0..n_chips {
+            chip_busy.push(Nanos(d.u64()?));
+        }
+        let n_channels = d.usize()?;
+        let mut channel_busy = Vec::with_capacity(n_channels);
+        for _ in 0..n_channels {
+            channel_busy.push(Nanos(d.u64()?));
+        }
+        Ok(TimeSeries {
+            interval,
+            capacity,
+            ring,
+            dropped,
+            next_index,
+            next_due,
+            window_start,
+            baseline,
+            chip_busy,
+            channel_busy,
+            capacity_pages: d.u64()?,
+        })
+    }
+
     /// The retained samples, oldest first.
     pub fn samples(&self) -> impl Iterator<Item = &WindowSample> {
         self.ring.iter()
@@ -213,6 +293,61 @@ impl TimeSeries {
         }
         out
     }
+}
+
+fn encode_window_sample(s: &WindowSample, e: &mut evanesco_nand::snapshot::Enc) {
+    e.u64(s.index);
+    e.u64(s.start.0);
+    e.u64(s.end.0);
+    s.delta.encode_snapshot(e);
+    e.opt(&s.gauges, |e, g| {
+        e.u64(g.tick);
+        e.u64(g.valid_secured);
+        e.u64(g.invalid_secured);
+        e.u64(g.max_valid);
+        e.u64(g.max_invalid);
+        e.u64(g.insecure_ticks);
+        e.u64(g.sanitized_immediately);
+        e.u64(g.exposed_then_erased);
+        e.f64(g.vaf);
+    });
+    e.f64(s.t_insecure);
+    e.f64(s.chip_util.mean);
+    e.f64(s.chip_util.max);
+    e.f64(s.channel_util.mean);
+    e.f64(s.channel_util.max);
+}
+
+fn decode_window_sample(
+    d: &mut evanesco_nand::snapshot::Dec<'_>,
+) -> Result<WindowSample, evanesco_nand::snapshot::SnapshotError> {
+    let index = d.u64()?;
+    let start = Nanos(d.u64()?);
+    let end = Nanos(d.u64()?);
+    let delta = RunResult::decode_snapshot(d)?;
+    let gauges = d.opt(|d| {
+        Ok(GaugeSnapshot {
+            tick: d.u64()?,
+            valid_secured: d.u64()?,
+            invalid_secured: d.u64()?,
+            max_valid: d.u64()?,
+            max_invalid: d.u64()?,
+            insecure_ticks: d.u64()?,
+            sanitized_immediately: d.u64()?,
+            exposed_then_erased: d.u64()?,
+            vaf: d.f64()?,
+        })
+    })?;
+    Ok(WindowSample {
+        index,
+        start,
+        end,
+        delta,
+        gauges,
+        t_insecure: d.f64()?,
+        chip_util: UtilWindow { mean: d.f64()?, max: d.f64()? },
+        channel_util: UtilWindow { mean: d.f64()?, max: d.f64()? },
+    })
 }
 
 /// Busy fractions of one resource class over a window of length `span`.

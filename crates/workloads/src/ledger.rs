@@ -274,7 +274,14 @@ impl ExposureLedger {
         self.finalize();
         let mut uv: Vec<&FileExposure> = Vec::new();
         let mut mv: Vec<&FileExposure> = Vec::new();
-        for f in self.files.values() {
+        // Aggregate in FileId order: float sums depend on summation order,
+        // and HashMap iteration order differs per instance — a sorted walk
+        // keeps the report bit-identical across runs and across
+        // checkpoint/resume boundaries.
+        let mut ids: Vec<FileId> = self.files.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let f = &self.files[&id];
             if f.max_valid == 0 {
                 continue;
             }
@@ -309,6 +316,117 @@ impl ExposureLedger {
         LedgerReport { uv: agg(&uv), mv: agg(&mv), device_causes: self.device_causes }
     }
 
+    /// Serializes the full ledger — logical clock, LPA→file map, tracked
+    /// physical pages with their open exposure windows, per-file
+    /// accounting, and device-wide cause counters — into a checkpoint
+    /// stream (all maps in sorted key order for a canonical byte stream).
+    pub fn encode_state(&self, e: &mut evanesco_nand::snapshot::Enc) {
+        e.tag(0x60);
+        e.u64(self.tick);
+        let mut lpas: Vec<Lpa> = self.lpa_file.keys().copied().collect();
+        lpas.sort_unstable();
+        e.usize(lpas.len());
+        for l in lpas {
+            e.u64(l);
+            e.u32(self.lpa_file[&l]);
+        }
+        let mut blocks: Vec<(usize, u32)> = self.phys.keys().copied().collect();
+        blocks.sort_unstable();
+        e.usize(blocks.len());
+        for key in blocks {
+            e.usize(key.0);
+            e.u32(key.1);
+            let pages = &self.phys[&key];
+            let mut ids: Vec<u32> = pages.keys().copied().collect();
+            ids.sort_unstable();
+            e.usize(ids.len());
+            for p in ids {
+                let entry = pages[&p];
+                e.u32(p);
+                e.u32(entry.file);
+                e.bool(entry.live);
+                e.opt(&entry.exposed_since, |e, &t| e.u64(t));
+            }
+        }
+        let mut files: Vec<FileId> = self.files.keys().copied().collect();
+        files.sort_unstable();
+        e.usize(files.len());
+        for id in files {
+            let f = &self.files[&id];
+            e.u32(id);
+            e.u64(f.valid);
+            e.u64(f.invalid);
+            e.u64(f.max_valid);
+            e.u64(f.max_invalid);
+            e.u64(f.insecure_ticks);
+            e.bool(f.multi_version);
+            encode_causes(&f.causes, e);
+            encode_histogram(&f.exposure, e);
+            e.opt(&f.insecure_since, |e, &t| e.u64(t));
+        }
+        encode_causes(&self.device_causes, e);
+    }
+
+    /// Reconstructs a ledger from a stream written by
+    /// [`ExposureLedger::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or structural corruption.
+    pub fn decode_state(
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<Self, evanesco_nand::snapshot::SnapshotError> {
+        d.expect_tag(0x60, "exposure-ledger")?;
+        let tick = d.u64()?;
+        let mut lpa_file = HashMap::new();
+        for _ in 0..d.usize()? {
+            let l = d.u64()?;
+            lpa_file.insert(l, d.u32()?);
+        }
+        let mut phys = HashMap::new();
+        for _ in 0..d.usize()? {
+            let key = (d.usize()?, d.u32()?);
+            let mut pages = HashMap::new();
+            for _ in 0..d.usize()? {
+                let p = d.u32()?;
+                let file = d.u32()?;
+                let live = d.bool()?;
+                let exposed_since = d.opt(|d| d.u64())?;
+                pages.insert(p, PageEntry { file, live, exposed_since });
+            }
+            phys.insert(key, pages);
+        }
+        let mut files = HashMap::new();
+        for _ in 0..d.usize()? {
+            let id = d.u32()?;
+            let valid = d.u64()?;
+            let invalid = d.u64()?;
+            let max_valid = d.u64()?;
+            let max_invalid = d.u64()?;
+            let insecure_ticks = d.u64()?;
+            let multi_version = d.bool()?;
+            let causes = decode_causes(d)?;
+            let exposure = decode_histogram(d)?;
+            let insecure_since = d.opt(|d| d.u64())?;
+            files.insert(
+                id,
+                FileExposure {
+                    valid,
+                    invalid,
+                    max_valid,
+                    max_invalid,
+                    insecure_ticks,
+                    multi_version,
+                    causes,
+                    exposure,
+                    insecure_since,
+                },
+            );
+        }
+        let device_causes = decode_causes(d)?;
+        Ok(ExposureLedger { tick, lpa_file, phys, files, device_causes })
+    }
+
     fn note_change(&mut self, file: FileId) {
         let tick = self.tick;
         let f = self.files.entry(file).or_default();
@@ -323,6 +441,48 @@ impl ExposureLedger {
             _ => {}
         }
     }
+}
+
+fn encode_causes(c: &CauseCounts, e: &mut evanesco_nand::snapshot::Enc) {
+    for arr in [&c.total, &c.secured, &c.exposed] {
+        for &v in arr {
+            e.u64(v);
+        }
+    }
+}
+
+fn decode_causes(
+    d: &mut evanesco_nand::snapshot::Dec<'_>,
+) -> Result<CauseCounts, evanesco_nand::snapshot::SnapshotError> {
+    let mut c = CauseCounts::default();
+    for arr in [&mut c.total, &mut c.secured, &mut c.exposed] {
+        for v in arr.iter_mut() {
+            *v = d.u64()?;
+        }
+    }
+    Ok(c)
+}
+
+fn encode_histogram(h: &ExposureHistogram, e: &mut evanesco_nand::snapshot::Enc) {
+    for &b in &h.buckets {
+        e.u64(b);
+    }
+    e.u64(h.count);
+    e.u64(h.sum);
+    e.u64(h.max);
+}
+
+fn decode_histogram(
+    d: &mut evanesco_nand::snapshot::Dec<'_>,
+) -> Result<ExposureHistogram, evanesco_nand::snapshot::SnapshotError> {
+    let mut h = ExposureHistogram::default();
+    for b in h.buckets.iter_mut() {
+        *b = d.u64()?;
+    }
+    h.count = d.u64()?;
+    h.sum = d.u64()?;
+    h.max = d.u64()?;
+    Ok(h)
 }
 
 impl FtlObserver for ExposureLedger {
@@ -487,6 +647,43 @@ mod tests {
         // Idempotent: a second finalize records nothing new.
         lg.finalize();
         assert_eq!(lg.files()[&1].exposure.count, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_ledger_and_report() {
+        let mut lg = ExposureLedger::new();
+        lg.before_write(1, 0, 2, false);
+        lg.on_host_tick();
+        lg.on_program(0, at(0, 0, 0), false, true);
+        lg.on_program(1, at(0, 0, 1), false, true);
+        lg.before_write(2, 10, 1, false);
+        lg.on_program(10, at(0, 1, 0), false, true);
+        lg.before_write(2, 10, 1, true);
+        lg.on_host_tick();
+        lg.on_program(10, at(0, 1, 1), false, true);
+        lg.on_invalidate(at(0, 1, 0), true, false, InvalidateCause::HostUpdate);
+        let mut e = evanesco_nand::snapshot::Enc::new();
+        lg.encode_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = evanesco_nand::snapshot::Dec::new(&bytes);
+        let mut back = ExposureLedger::decode_state(&mut d).unwrap();
+        d.finish().unwrap();
+        // Continue both in lockstep: closing the open exposure window via
+        // an erase must land identically.
+        for lg2 in [&mut lg, &mut back] {
+            for _ in 0..4 {
+                lg2.on_host_tick();
+            }
+            lg2.on_erase(0, BlockId(1));
+        }
+        assert_eq!(lg.report(1000), back.report(1000));
+        // A restored ledger re-encodes byte-identically.
+        let re = |l: &ExposureLedger| {
+            let mut e = evanesco_nand::snapshot::Enc::new();
+            l.encode_state(&mut e);
+            e.into_bytes()
+        };
+        assert_eq!(re(&lg), re(&back));
     }
 
     #[test]

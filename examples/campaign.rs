@@ -1,0 +1,71 @@
+//! A two-segment checkpointed aging campaign, differentially verified.
+//!
+//! Runs the same smoke-scale DB-server workload twice: once chained
+//! through a checkpoint (run segment 0, serialize the whole device,
+//! rebuild it from the bytes, run segment 1) and once uninterrupted.
+//! The two arms must end **byte-identical** — same final checkpoint,
+//! same Prometheus scrape, same per-segment digests. Exits 1 on any
+//! divergence, which is exactly the gate the CI `campaign-gate` job
+//! enforces across real process restarts.
+//!
+//! ```bash
+//! cargo run --release --example campaign            # default: midlife aging
+//! cargo run --release --example campaign -- worn    # heavy wear + 90 rest days
+//! ```
+
+use evanesco_bench::experiments::campaign;
+use evanesco_bench::Scale;
+
+fn main() {
+    let scenario = match std::env::args().nth(1) {
+        None => campaign::default_scenario(),
+        Some(name) => campaign::scenario_by_name(&name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown scenario '{name}' (known: {})",
+                campaign::scenarios().map(|s| s.name).join(" ")
+            );
+            std::process::exit(1);
+        }),
+    };
+    let scale = Scale::smoke();
+    let segments = 2;
+    println!("campaign: scenario '{}', {} segments, smoke scale", scenario.name, segments);
+
+    let (chained_ckpt, chained_scrape, chained_digests) =
+        campaign::run_chained(&scale, &scenario, segments);
+    let (base_ckpt, base_scrape, base_digests) =
+        campaign::run_uninterrupted(&scale, &scenario, segments);
+
+    for d in &chained_digests {
+        println!(
+            "  segment {}: {} host ops, {} ns simulated, {} windows, {} erases, mode {}",
+            d.segment, d.host_ops, d.sim_ns, d.windows, d.erases, d.mode
+        );
+    }
+
+    let mut diverged = false;
+    if chained_digests != base_digests {
+        eprintln!("DIVERGED: per-segment digests differ between chained and uninterrupted runs");
+        diverged = true;
+    }
+    if chained_scrape != base_scrape {
+        eprintln!("DIVERGED: final Prometheus scrapes differ");
+        diverged = true;
+    }
+    if chained_ckpt != base_ckpt {
+        eprintln!(
+            "DIVERGED: final checkpoints differ ({} vs {} bytes)",
+            chained_ckpt.len(),
+            base_ckpt.len()
+        );
+        diverged = true;
+    }
+    if diverged {
+        std::process::exit(1);
+    }
+    println!(
+        "resume-equivalent: chained and uninterrupted runs are byte-identical \
+         ({}-byte final checkpoint)",
+        chained_ckpt.len()
+    );
+}

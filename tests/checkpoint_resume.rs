@@ -1,0 +1,283 @@
+//! Bit-identical checkpoint/resume: the differential resume-equivalence
+//! suite.
+//!
+//! [`Emulator::save_checkpoint`] serializes the *complete* device state —
+//! NAND cells, flag intent, physical flag voltages, wear counters, FTL
+//! tables, coalesce queue, grown-bad blocks, busy timelines, the
+//! simulated clock, fault-model draw ordinals, RNG stream positions,
+//! latency histograms, gauges and the telemetry ring — into one
+//! versioned, self-describing blob. The contract pinned down here: a run
+//! that stops at an arbitrary host-op boundary, serializes, rebuilds the
+//! emulator from the bytes ([`Emulator::restore_checkpoint`]) and
+//! continues is **indistinguishable, byte for byte**, from the run that
+//! never stopped:
+//!
+//! * every post-resume scheduled op result is identical at every queue
+//!   depth, across all five sanitization policies, with fault storms on;
+//! * the final [`RunResult`], Prometheus scrape, exposure-ledger report
+//!   and re-serialized checkpoint are identical;
+//! * the golden fixture under `tests/data/` keeps the on-disk format
+//!   honest, and damaged checkpoints (unknown version, truncation) fail
+//!   with typed errors — never a panic.
+
+use evanesco::core::fault::FaultConfig;
+use evanesco::ftl::SanitizePolicy;
+use evanesco::nand::snapshot::{Dec, Enc, SnapshotError};
+use evanesco::nand::timing::Nanos;
+use evanesco::ssd::{Emulator, HostOp, OpResult, SsdConfig};
+use evanesco::workloads::generate::generate;
+use evanesco::workloads::ledger::ExposureLedger;
+use evanesco::workloads::trace::TraceOp;
+use evanesco::workloads::WorkloadSpec;
+use proptest::prelude::*;
+
+fn policies() -> [SanitizePolicy; 5] {
+    [
+        SanitizePolicy::none(),
+        SanitizePolicy::evanesco(),
+        SanitizePolicy::evanesco_no_block(),
+        SanitizePolicy::erase_based(),
+        SanitizePolicy::scrub(),
+    ]
+}
+
+/// A telemetry-enabled device under test (the checkpoint must carry the
+/// gauges and the windowed ring too, not just the simulation core).
+fn device(cfg: SsdConfig, policy: SanitizePolicy) -> Emulator {
+    let mut ssd = Emulator::new(cfg, policy);
+    ssd.enable_gauges();
+    ssd.enable_timeseries(Nanos::from_micros(200), 64);
+    ssd
+}
+
+fn sched_op(logical: u64) -> impl Strategy<Value = HostOp> {
+    let max_run = 6u64;
+    prop_oneof![
+        4 => (0..logical - max_run, 1..=max_run, any::<bool>())
+            .prop_map(|(lpa, npages, secure)| HostOp::Write { lpa, npages, secure }),
+        2 => (0..logical - max_run, 1..=max_run)
+            .prop_map(|(lpa, npages)| HostOp::Read { lpa, npages }),
+        1 => (0..logical - max_run, 1..=max_run)
+            .prop_map(|(lpa, npages)| HostOp::Trim { lpa, npages }),
+    ]
+}
+
+/// Everything the host (and an operator scraping metrics) can observe
+/// at the end of a run.
+fn observables(ssd: &Emulator) -> (String, String, Vec<u8>) {
+    (format!("{:?}", ssd.result()), ssd.prometheus_scrape(), ssd.save_checkpoint())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The headline differential oracle: over random (workload, policy,
+    /// queue depth, fault seed, cut point), checkpointing after batch k
+    /// and resuming from the bytes replays the remaining batches with
+    /// identical per-op results and ends in an identical device.
+    #[test]
+    fn checkpoint_at_k_then_resume_equals_uninterrupted(
+        ops in proptest::collection::vec(sched_op(600), 4..60),
+        policy_i in 0usize..5,
+        qd in prop_oneof![Just(1usize), Just(2usize), Just(8usize)],
+        severity in 0.0f64..0.5,
+        fault_seed in any::<u64>(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut cfg = SsdConfig::tiny_for_tests();
+        if severity >= 0.05 {
+            cfg.ftl.faults = FaultConfig::storm(severity, fault_seed);
+        }
+        let policy = policies()[policy_i];
+        let batches: Vec<&[HostOp]> = ops.chunks(8).collect();
+        let cut = ((batches.len() as f64) * cut_frac) as usize;
+
+        // Control arm: never stops.
+        let mut a = device(cfg, policy);
+        let mut a_results: Vec<Vec<OpResult>> = Vec::new();
+        for b in &batches {
+            a_results.push(a.run_scheduled(b, qd).results);
+        }
+
+        // Resumed arm: same batches, but the process "dies" after batch
+        // `cut` — only the checkpoint bytes survive.
+        let mut em = device(cfg, policy);
+        let mut b_results: Vec<Vec<OpResult>> = Vec::new();
+        for b in &batches[..cut] {
+            b_results.push(em.run_scheduled(b, qd).results);
+        }
+        let bytes = em.save_checkpoint();
+        drop(em);
+        let mut em = Emulator::restore_checkpoint(&bytes)
+            .expect("a checkpoint this test just wrote must restore");
+        for b in &batches[cut..] {
+            b_results.push(em.run_scheduled(b, qd).results);
+        }
+
+        prop_assert_eq!(&a_results, &b_results, "per-op results diverged after resume");
+        prop_assert_eq!(observables(&a), observables(&em));
+    }
+
+    /// The same oracle at file level: a workload trace with the live
+    /// exposure ledger attached, cut anywhere (including inside the
+    /// prefill). Both the device checkpoint *and* the serialized ledger
+    /// cross the boundary; the final Table-1 report must not notice.
+    #[test]
+    fn ledger_attribution_survives_a_mid_trace_resume(
+        spec_i in 0usize..4,
+        policy_i in 0usize..5,
+        seed in any::<u64>(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let specs = [
+            WorkloadSpec::mobile(),
+            WorkloadSpec::mail_server(),
+            WorkloadSpec::db_server(),
+            WorkloadSpec::file_server(),
+        ];
+        let mut cfg = SsdConfig::tiny_for_tests();
+        cfg.track_tags = false;
+        cfg.stale_audit = false;
+        let policy = policies()[policy_i];
+        let logical = Emulator::new(cfg, policy).logical_pages();
+        let trace = generate(&specs[spec_i], logical, 250, seed);
+        let stream: Vec<&TraceOp> = trace.prefill.iter().chain(&trace.ops).collect();
+        let cut = ((stream.len() as f64) * cut_frac) as usize;
+
+        // Control arm.
+        let mut a = device(cfg, policy);
+        let mut a_lg = ExposureLedger::new();
+        for op in &stream {
+            apply_with_ledger(&mut a, &mut a_lg, op);
+        }
+
+        // Resumed arm: both the device and the ledger travel as bytes.
+        let mut em = device(cfg, policy);
+        let mut lg = ExposureLedger::new();
+        for op in &stream[..cut] {
+            apply_with_ledger(&mut em, &mut lg, op);
+        }
+        let dev_bytes = em.save_checkpoint();
+        let mut enc = Enc::new();
+        lg.encode_state(&mut enc);
+        let lg_bytes = enc.into_bytes();
+        drop((em, lg));
+        let mut em = Emulator::restore_checkpoint(&dev_bytes).expect("device restore");
+        let mut dec = Dec::new(&lg_bytes);
+        let mut lg = ExposureLedger::decode_state(&mut dec).expect("ledger restore");
+        dec.finish().expect("no trailing ledger bytes");
+        for op in &stream[cut..] {
+            apply_with_ledger(&mut em, &mut lg, op);
+        }
+
+        prop_assert_eq!(
+            format!("{:?}", a_lg.report(logical)),
+            format!("{:?}", lg.report(logical)),
+            "exposure attribution diverged after resume"
+        );
+        prop_assert_eq!(observables(&a), observables(&em));
+    }
+}
+
+fn apply_with_ledger(ssd: &mut Emulator, lg: &mut ExposureLedger, op: &TraceOp) {
+    match *op {
+        TraceOp::Write { file, lpa, npages, secure, overwrite } => {
+            lg.before_write(file, lpa, npages, overwrite);
+            ssd.write_with(lg, lpa, npages, secure);
+        }
+        TraceOp::Read { lpa, npages } => {
+            ssd.read(lpa, npages);
+        }
+        TraceOp::Trim { file, lpa, npages } => {
+            lg.before_trim(file, lpa, npages);
+            ssd.trim_with(lg, lpa, npages);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden format: the checked-in fixture pins the on-disk byte layout.
+// ---------------------------------------------------------------------------
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/checkpoint_v1.ckpt");
+
+/// The fixed script behind the golden fixture. Deterministic: the same
+/// library version always produces the same bytes.
+fn golden_device() -> Emulator {
+    let mut ssd = device(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+    let mut x = 0xE5CAu64;
+    for _ in 0..60 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let lpa = x % 300;
+        match x % 7 {
+            0..=3 => {
+                let _ = ssd.write(lpa, 1 + x % 3, !x.is_multiple_of(4));
+            }
+            4 => ssd.trim(lpa, 1 + x % 3),
+            _ => {
+                let _ = ssd.read(lpa, 1 + x % 3);
+            }
+        }
+    }
+    ssd.sample_timeseries_now();
+    ssd
+}
+
+/// Regenerates the fixture. Run after an *intentional, reviewed* format
+/// change (bump the snapshot VERSION first):
+/// `cargo test --release --test checkpoint_resume regen -- --ignored`
+#[test]
+#[ignore = "writes the golden fixture; run only on a reviewed format change"]
+fn regen_golden_fixture() {
+    std::fs::write(GOLDEN, golden_device().save_checkpoint()).expect("write fixture");
+}
+
+/// The current encoder still produces the checked-in bytes, and the
+/// decoder round-trips them into a device that re-encodes identically.
+#[test]
+fn golden_fixture_round_trips_byte_identically() {
+    let fixture = std::fs::read(GOLDEN).expect("checked-in fixture exists");
+    assert_eq!(
+        golden_device().save_checkpoint(),
+        fixture,
+        "the checkpoint byte format changed; if intentional, bump the snapshot \
+         VERSION and regenerate the fixture (see regen_golden_fixture)"
+    );
+    let restored = Emulator::restore_checkpoint(&fixture).expect("fixture restores");
+    assert_eq!(restored.save_checkpoint(), fixture, "restore/re-encode must be the identity");
+    assert!(restored.result().host_ops > 0, "the fixture device did real work");
+}
+
+/// A checkpoint from a future (unknown) format version is rejected with
+/// a typed, descriptive error — not a panic, not garbage state.
+#[test]
+fn unknown_version_fails_with_a_clear_error() {
+    let mut bytes = std::fs::read(GOLDEN).expect("checked-in fixture exists");
+    // Layout: 8-byte magic, then the little-endian u32 format version.
+    bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    match Emulator::restore_checkpoint(&bytes) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, u32::MAX);
+            assert!(supported >= 1);
+        }
+        other => panic!("want UnsupportedVersion, got {other:?}"),
+    }
+    let msg = Emulator::restore_checkpoint(&bytes).unwrap_err().to_string();
+    assert!(msg.contains("version"), "error must name the problem: {msg}");
+}
+
+/// Truncation at *any* byte boundary fails gracefully with a typed
+/// error; a wrong magic is its own error.
+#[test]
+fn truncated_or_mislabeled_checkpoints_fail_without_panicking() {
+    let bytes = std::fs::read(GOLDEN).expect("checked-in fixture exists");
+    for len in [0, 4, 11, 12, 100, bytes.len() / 2, bytes.len() - 1] {
+        let err = Emulator::restore_checkpoint(&bytes[..len])
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {len} bytes must fail"));
+        assert!(!err.to_string().is_empty());
+    }
+    let mut wrong = bytes;
+    wrong[0] ^= 0xFF;
+    assert!(matches!(Emulator::restore_checkpoint(&wrong), Err(SnapshotError::BadMagic)));
+}

@@ -77,23 +77,45 @@ fn issue(ssd: &mut Emulator, logical: u64, op: &HostOp) {
 /// Replays `ops` with a power cut at `cut_frac` of the trace's measured
 /// horizon and checks the full crash contract for `policy`.
 fn run_crash_check(policy: SanitizePolicy, ops: &[HostOp], cut_frac: f64) {
+    run_crash_check_at(policy, ops, cut_frac, None);
+}
+
+/// [`run_crash_check`] with an optional campaign-style resume boundary:
+/// at op index `resume_at` the device is serialized, torn down, and
+/// rebuilt from the checkpoint bytes before the trace continues — and
+/// the power cut is armed only then, so it lands in "segment 2" of the
+/// chained run. The crash contract must not notice the boundary.
+fn run_crash_check_at(
+    policy: SanitizePolicy,
+    ops: &[HostOp],
+    cut_frac: f64,
+    resume_at: Option<usize>,
+) {
     let cfg = SsdConfig::tiny_for_tests();
 
     // Horizon run: same trace, no cut. Replays are deterministic, so the
     // crash run below is byte-identical up to the cut instant.
     let mut probe = Emulator::new(cfg, policy);
     let logical = probe.logical_pages();
-    for op in ops {
+    let mut t_resume = Nanos(0);
+    for (i, op) in ops.iter().enumerate() {
+        if resume_at == Some(i) {
+            t_resume = probe.result().sim_time;
+        }
         issue(&mut probe, logical, op);
     }
     let horizon = probe.result().sim_time;
-    if horizon < Nanos(2) {
-        return; // Read-only trace: nothing to interrupt.
+    if horizon < Nanos(2) || horizon.0 <= t_resume.0 + 1 {
+        return; // Nothing (left) to interrupt.
     }
-    let cut = Nanos(((horizon.0 as f64 * cut_frac) as u64).max(1));
+    let cut = Nanos(
+        (t_resume.0 + ((horizon.0 - t_resume.0) as f64 * cut_frac) as u64).max(t_resume.0 + 1),
+    );
 
     let mut ssd = Emulator::new(cfg, policy);
-    ssd.power_cut_at(cut);
+    if resume_at.is_none() {
+        ssd.power_cut_at(cut);
+    }
 
     // Shadow of what the device owes the host.
     let mut current: HashMap<u64, (u64, bool)> = HashMap::new(); // acked tag + secure flag
@@ -106,7 +128,14 @@ fn run_crash_check(policy: SanitizePolicy, ops: &[HostOp], cut_frac: f64) {
     // legitimately resurrect across a crash.
     let mut ghost: HashMap<u64, u64> = HashMap::new();
 
-    for op in ops {
+    for (i, op) in ops.iter().enumerate() {
+        if resume_at == Some(i) {
+            // The campaign boundary: only the checkpoint bytes survive
+            // the process restart; the cut threatens the second segment.
+            let bytes = ssd.save_checkpoint();
+            ssd = Emulator::restore_checkpoint(&bytes).expect("mid-campaign checkpoint restores");
+            ssd.power_cut_at(cut);
+        }
         match *op {
             HostOp::Write { lpa, n, secure } => {
                 let lpa = lpa % (logical - n);
@@ -259,6 +288,27 @@ proptest! {
     ) {
         for policy in policies() {
             run_crash_check(policy, &ops, cut_frac);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// A campaign that checkpoints mid-trace, restarts the process from
+    /// the bytes, and *then* loses power must satisfy the same crash
+    /// contract as the never-checkpointed runs above: acked secure
+    /// deletes stay unrecoverable, acked state is durable, interrupted
+    /// requests are atomic — across the resume boundary, per policy.
+    #[test]
+    fn power_cut_after_resume_preserves_the_crash_contract(
+        ops in proptest::collection::vec(host_op(2 * 16 * 24), 2..40),
+        cut_frac in 0.02f64..0.98,
+        resume_frac in 0.0f64..1.0,
+    ) {
+        let k = (((ops.len() as f64) * resume_frac) as usize).min(ops.len() - 1);
+        for policy in policies() {
+            run_crash_check_at(policy, &ops, cut_frac, Some(k));
         }
     }
 }

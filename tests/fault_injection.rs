@@ -93,16 +93,22 @@ fn observe(
 /// Deterministic churn driver: overwrites and trims secured data so the
 /// storm has plenty of locks, erases, and GC to attack.
 fn churn(ssd: &mut Emulator, rounds: u64) {
+    churn_rounds(ssd, 0..rounds);
+    ssd.flush_coalesced_locks();
+}
+
+/// One contiguous slice of the churn schedule (round indices seed the
+/// access pattern, so `0..n` split at any point replays identically).
+fn churn_rounds(ssd: &mut Emulator, rounds: std::ops::Range<u64>) {
     let logical = ssd.logical_pages();
     let span = logical / 2;
-    for round in 0..rounds {
+    for round in rounds {
         for l in 0..span {
             let _ = ssd.write_tracked((l * 7 + round) % span, 1, true);
         }
         let base = (round * 13) % (span / 2);
         let _ = ssd.trim_with(&mut evanesco::ftl::observer::NullObserver, base, span / 8);
     }
-    ssd.flush_coalesced_locks();
 }
 
 proptest! {
@@ -142,6 +148,41 @@ proptest! {
         );
         let logical = ssd.logical_pages();
         prop_assert!(ssd.verify_sanitized(0, logical), "leak at severity {severity}");
+    }
+
+    /// Fault-stream continuity: the fault model's only mutable state (the
+    /// per-location attempt ordinals behind every draw) travels in the
+    /// checkpoint, so a storm run that stops and resumes from bytes
+    /// injects *exactly* the draws of the uninterrupted run — the
+    /// injected-fault vs response accounting identities hold with no
+    /// draw double-counted or lost across the boundary.
+    #[test]
+    fn fault_accounting_survives_a_checkpoint_boundary(
+        severity in 0.05f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let cfg = storm_cfg(severity, seed);
+        let mut a = Emulator::new(cfg, SanitizePolicy::evanesco());
+        churn_rounds(&mut a, 0..3);
+
+        let mut b = Emulator::new(cfg, SanitizePolicy::evanesco());
+        churn_rounds(&mut b, 0..1);
+        let bytes = b.save_checkpoint();
+        drop(b);
+        let mut b = Emulator::restore_checkpoint(&bytes).expect("storm checkpoint restores");
+        churn_rounds(&mut b, 1..3);
+
+        let (ra, rb) = (a.result(), b.result());
+        prop_assert!(
+            ra.faults.command_failures() > 0,
+            "storm at severity {severity} must inject something"
+        );
+        assert_fault_accounting(&ra);
+        assert_fault_accounting(&rb);
+        prop_assert_eq!(&ra, &rb, "fault draws diverged across the checkpoint boundary");
+        prop_assert_eq!(a.prometheus_scrape(), b.prometheus_scrape());
+        prop_assert_eq!(a.save_checkpoint(), b.save_checkpoint());
+        b.ftl().check_invariants();
     }
 
     /// A power cut anywhere inside a fault storm — including mid-ladder,
