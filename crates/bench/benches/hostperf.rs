@@ -1,0 +1,31 @@
+//! Criterion twin of the `hostperf` experiment: wall-clock throughput of
+//! the scheduled-replay hot loop (generator trace → scheduler → FTL →
+//! device-flag data plane) at the gate queue depths.
+//!
+//! The experiment binary (`experiments hostperf`) owns the machine-
+//! normalized gate; this bench exists for interactive profiling
+//! (`cargo bench --bench hostperf`) and as the CI smoke that the timed
+//! region still builds and runs under criterion's harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evanesco_bench::experiments::hostperf::{device, replay, QUEUE_DEPTHS};
+use evanesco_bench::experiments::scheduler::mixed_trace;
+use evanesco_bench::Scale;
+
+fn bench_hostperf(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let logical = device(&scale).logical_pages();
+    let requests = ((logical / 2) as usize).clamp(512, 20_000);
+    let ops = mixed_trace(logical, requests, scale.seed);
+    let mut g = c.benchmark_group("hostperf_replay");
+    g.sample_size(10);
+    for &qd in &QUEUE_DEPTHS {
+        g.bench_with_input(BenchmarkId::new("qd", qd), &qd, |b, &qd| {
+            b.iter(|| replay(&scale, &ops, qd));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hostperf);
+criterion_main!(benches);

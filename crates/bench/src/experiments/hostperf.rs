@@ -1,0 +1,367 @@
+//! Host wall-clock throughput of the emulator itself (the `hostperf`
+//! gate).
+//!
+//! Every other experiment measures *simulated* performance; this one
+//! measures how fast the simulator executes on the host, in
+//! simulated-host-ops-per-host-second. The workload is the scheduler
+//! experiment's smoke trace (same config, same request mix) driven at
+//! queue depths 1 and 8, with the device-flag data plane enabled so the
+//! pAP/bAP tables sit on the hot path exactly as they do in a paper-mode
+//! run.
+//!
+//! Wall-clock numbers are machine-dependent, so the gate works on a
+//! **machine-normalized speedup-vs-seed ratio**: throughput is divided by
+//! the score of a small deterministic CPU calibration loop measured in
+//! the same process, and that normalized figure is compared against the
+//! value the pre-optimization seed tree produced on the reference
+//! machine ([`SEED_NORMALIZED`]). The ratio cancels the host's absolute
+//! speed to first order, which is what lets CI gate on it across
+//! runners.
+
+use crate::scale::Scale;
+use evanesco_core::bap::BapConfig;
+use evanesco_core::pap::PapConfig;
+use evanesco_ssd::emulator::Emulator;
+use evanesco_ssd::sched::HostOp;
+use std::time::Instant;
+
+use super::scheduler::{mixed_trace, sched_config};
+
+/// Queue depths measured (qd8 carries the gate).
+pub const QUEUE_DEPTHS: [usize; 2] = [1, 8];
+
+/// Queue depth the gate applies to.
+pub const GATE_QD: usize = 8;
+
+/// Aspirational machine-normalized speedup over the seed tree at
+/// [`GATE_QD`] — the number the dense-table/pooled-buffer rework aimed
+/// for. Reported in the artifact but **not** enforced: profile
+/// attribution shows the hot loop plateaus near 2.3× because the
+/// remaining cost is byte-identity-pinned work (the per-cell Box–Muller
+/// draws of the pAP settle model dominate once dispatch and allocation
+/// are gone; see EXPERIMENTS.md "hostperf").
+pub const TARGET_SPEEDUP: f64 = 5.0;
+
+/// Enforced floor on the machine-normalized speedup at [`GATE_QD`].
+/// Set below the measured ~2.3× plateau with margin for runner noise;
+/// it exists to catch regressions back toward seed-tree speed, while
+/// the drift check against the checked-in baseline catches smaller
+/// slides.
+pub const GATE_MIN_SPEEDUP: f64 = 1.5;
+
+/// Relative tolerance when comparing a fresh run's speedup ratio against
+/// a previously checked-in `BENCH_hostperf.json` (runner noise: the
+/// calibration loop and the emulator do not scale identically across
+/// microarchitectures, and 1-core CI runners jitter).
+pub const DRIFT_TOLERANCE: f64 = 0.5;
+
+/// Machine-normalized throughput of the **seed** (pre-optimization) tree
+/// on the smoke trace, per queue depth in [`QUEUE_DEPTHS`] order. Units:
+/// simulated host pages per host second, divided by the calibration
+/// score of the same process. Measured on the reference machine at the
+/// commit immediately before the dense-table rework; the gate ratio is
+/// `normalized_now / SEED_NORMALIZED[qd]`.
+pub const SEED_NORMALIZED: [f64; 2] = [0.00609, 0.00386];
+
+/// One measured throughput point.
+#[derive(Debug, Clone, Copy)]
+pub struct HostperfPoint {
+    /// Queue depth driven.
+    pub qd: usize,
+    /// Simulated host pages completed per measurement repetition.
+    pub host_pages: u64,
+    /// Best (fastest) wall time of one repetition, nanoseconds.
+    pub best_wall_ns: u64,
+    /// Host throughput: simulated host pages per host second.
+    pub pages_per_sec: f64,
+    /// Throughput divided by the calibration score.
+    pub normalized: f64,
+    /// `normalized / SEED_NORMALIZED[i]`.
+    pub speedup_vs_seed: f64,
+}
+
+/// The full hostperf report.
+#[derive(Debug, Clone)]
+pub struct HostperfReport {
+    /// Scale label (always driven at smoke in CI).
+    pub scale_name: String,
+    /// Requests per trace replay.
+    pub requests: usize,
+    /// Measurement repetitions per queue depth (best-of is reported).
+    pub reps: usize,
+    /// Calibration-loop score of this process (iterations per second).
+    pub calib_score: f64,
+    /// One point per entry of [`QUEUE_DEPTHS`].
+    pub points: Vec<HostperfPoint>,
+}
+
+/// Deterministic CPU calibration loop: integer xorshift mixing over a
+/// small working set, scored in iterations per second. The loop shape is
+/// frozen — changing it invalidates [`SEED_NORMALIZED`].
+pub fn calibrate() -> f64 {
+    // Warm up, then take the best of 3 windows of 2^21 iterations each.
+    let mut best_ns = u64::MAX;
+    let mut sink = 0u64;
+    for round in 0..4 {
+        let t0 = Instant::now();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut acc = 0u64;
+        for i in 0..(1u64 << 21) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc = acc.wrapping_add(x).rotate_left((i & 63) as u32);
+        }
+        sink = sink.wrapping_add(acc);
+        let ns = t0.elapsed().as_nanos() as u64;
+        if round > 0 {
+            best_ns = best_ns.min(ns);
+        }
+    }
+    std::hint::black_box(sink);
+    (1u64 << 21) as f64 / (best_ns as f64 / 1e9)
+}
+
+/// Builds the device-flag-mode emulator the trace is replayed against.
+pub fn device(scale: &Scale) -> Emulator {
+    let cfg = sched_config(scale);
+    let mut ssd = Emulator::new(cfg, evanesco_ftl::SanitizePolicy::evanesco());
+    ssd.enable_device_flags(PapConfig::paper(), BapConfig::paper(), scale.seed);
+    ssd
+}
+
+/// Replays `ops` at `qd` on a fresh device; returns simulated host pages
+/// completed. This is the measured region — one call is one repetition.
+pub fn replay(scale: &Scale, ops: &[HostOp], qd: usize) -> u64 {
+    let mut ssd = device(scale);
+    let run = ssd.run_scheduled(ops, qd);
+    ssd.flush_coalesced_locks();
+    run.host_pages
+}
+
+/// Runs the suite: calibration, then best-of-`reps` replay per queue
+/// depth.
+pub fn run(scale: &Scale, scale_name: &str, reps: usize) -> HostperfReport {
+    let logical = device(scale).logical_pages();
+    let requests = ((logical / 2) as usize).clamp(512, 20_000);
+    let ops = mixed_trace(logical, requests, scale.seed);
+    let calib_score = calibrate();
+    let mut points = Vec::new();
+    for (i, &qd) in QUEUE_DEPTHS.iter().enumerate() {
+        let mut host_pages = 0u64;
+        let mut best_wall_ns = u64::MAX;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            host_pages = replay(scale, &ops, qd);
+            best_wall_ns = best_wall_ns.min(t0.elapsed().as_nanos() as u64);
+        }
+        let pages_per_sec = host_pages as f64 / (best_wall_ns as f64 / 1e9);
+        let normalized = pages_per_sec / calib_score;
+        points.push(HostperfPoint {
+            qd,
+            host_pages,
+            best_wall_ns,
+            pages_per_sec,
+            normalized,
+            speedup_vs_seed: normalized / SEED_NORMALIZED[i],
+        });
+    }
+    HostperfReport { scale_name: scale_name.to_string(), requests, reps, calib_score, points }
+}
+
+impl HostperfReport {
+    /// The gate ratio: speedup-vs-seed at [`GATE_QD`].
+    pub fn gate_speedup(&self) -> f64 {
+        self.points.iter().find(|p| p.qd == GATE_QD).map(|p| p.speedup_vs_seed).unwrap_or(0.0)
+    }
+
+    /// Whether the wall-clock gate holds (≥ [`GATE_MIN_SPEEDUP`]× at
+    /// [`GATE_QD`]).
+    pub fn gate_passes(&self) -> bool {
+        self.gate_speedup() >= GATE_MIN_SPEEDUP
+    }
+
+    /// Compares this run's per-depth speedup ratios against a previously
+    /// written `BENCH_hostperf.json`; returns the relative drifts that
+    /// exceed [`DRIFT_TOLERANCE`] (empty = within tolerance).
+    pub fn drift_against(&self, baseline_json: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &self.points {
+            let key = format!("\"qd\": {}", p.qd);
+            let Some(entry) = baseline_json.split('{').find(|s| s.contains(&key)) else {
+                out.push(format!("qd{}: missing from baseline", p.qd));
+                continue;
+            };
+            let Some(base) = extract_number(entry, "speedup_vs_seed") else {
+                out.push(format!("qd{}: baseline has no speedup_vs_seed", p.qd));
+                continue;
+            };
+            if base <= 0.0 {
+                out.push(format!("qd{}: baseline speedup {base} not positive", p.qd));
+                continue;
+            }
+            let rel = (p.speedup_vs_seed - base).abs() / base;
+            if rel > DRIFT_TOLERANCE {
+                out.push(format!(
+                    "qd{}: speedup_vs_seed {:.3} drifted {:.0}% from baseline {:.3} (tolerance {:.0}%)",
+                    p.qd,
+                    p.speedup_vs_seed,
+                    rel * 100.0,
+                    base,
+                    DRIFT_TOLERANCE * 100.0
+                ));
+            }
+        }
+        out
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("== Hostperf: wall-clock simulated-host-ops throughput ==\n");
+        s.push_str(&format!(
+            "scale={}, requests={}, reps={}, calib={:.0}/s\n",
+            self.scale_name, self.requests, self.reps, self.calib_score
+        ));
+        s.push_str("qd | host_pages |    pages/s | normalized | vs seed\n");
+        s.push_str("---+------------+------------+------------+--------\n");
+        for p in &self.points {
+            s.push_str(&format!(
+                "{:>2} | {:>10} | {:>10.0} | {:>10.6} | {:>6.2}x\n",
+                p.qd, p.host_pages, p.pages_per_sec, p.normalized, p.speedup_vs_seed
+            ));
+        }
+        s.push_str(&format!(
+            "gate: {:.2}x >= {:.1}x at qd{} -> {} (aspirational target {:.1}x)\n",
+            self.gate_speedup(),
+            GATE_MIN_SPEEDUP,
+            GATE_QD,
+            if self.gate_passes() { "PASS" } else { "FAIL" },
+            TARGET_SPEEDUP,
+        ));
+        s
+    }
+
+    /// Machine-readable JSON (`BENCH_hostperf.json`).
+    pub fn to_json(&self) -> String {
+        let f = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.4}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"experiment\": \"hostperf\",\n");
+        s.push_str(&format!("  \"scale\": \"{}\",\n", self.scale_name));
+        s.push_str(&format!("  \"requests\": {},\n", self.requests));
+        s.push_str(&format!("  \"reps\": {},\n", self.reps));
+        s.push_str(&format!("  \"gate_qd\": {GATE_QD},\n"));
+        s.push_str(&format!("  \"target_speedup\": {},\n", f(TARGET_SPEEDUP)));
+        s.push_str(&format!("  \"gate_min_speedup\": {},\n", f(GATE_MIN_SPEEDUP)));
+        s.push_str(&format!("  \"gate_speedup\": {},\n", f(self.gate_speedup())));
+        s.push_str(&format!(
+            "  \"gate_passes\": {},\n",
+            if self.gate_passes() { "true" } else { "false" }
+        ));
+        s.push_str("  \"seed_normalized\": [");
+        s.push_str(&SEED_NORMALIZED.iter().map(|&v| f(v)).collect::<Vec<_>>().join(", "));
+        s.push_str("],\n");
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"qd\": {},\n", p.qd));
+            s.push_str(&format!("      \"host_pages\": {},\n", p.host_pages));
+            s.push_str(&format!("      \"best_wall_ns\": {},\n", p.best_wall_ns));
+            s.push_str(&format!("      \"pages_per_sec\": {},\n", f(p.pages_per_sec)));
+            s.push_str(&format!("      \"normalized\": {},\n", f(p.normalized)));
+            s.push_str(&format!("      \"speedup_vs_seed\": {}\n", f(p.speedup_vs_seed)));
+            s.push_str(if i + 1 < self.points.len() { "    },\n" } else { "    }\n" });
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn extract_number(hay: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = hay.find(&pat)? + pat.len();
+    let rest = hay[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Experiment entry point: render the table, emit the artifact text.
+pub fn hostperf(scale: &Scale, scale_name: &str) -> String {
+    let reps = if scale_name == "smoke" { 3 } else { 2 };
+    let report = run(scale, scale_name, reps);
+    report.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> HostperfReport {
+        HostperfReport {
+            scale_name: "smoke".into(),
+            requests: 100,
+            reps: 1,
+            calib_score: 1e9,
+            points: QUEUE_DEPTHS
+                .iter()
+                .enumerate()
+                .map(|(i, &qd)| HostperfPoint {
+                    qd,
+                    host_pages: 1000,
+                    best_wall_ns: 1_000_000,
+                    pages_per_sec: 1e6,
+                    normalized: 1e-3,
+                    speedup_vs_seed: 1e-3 / SEED_NORMALIZED[i],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_has_gate_fields() {
+        let j = tiny_report().to_json();
+        assert!(j.contains("\"experiment\": \"hostperf\""));
+        assert!(j.contains("\"gate_qd\": 8"));
+        assert!(j.contains("\"speedup_vs_seed\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn drift_check_flags_large_ratio_changes_only() {
+        let r = tiny_report();
+        let base = r.to_json();
+        assert!(r.drift_against(&base).is_empty(), "self-comparison must not drift");
+        let mut moved = r.clone();
+        for p in &mut moved.points {
+            p.speedup_vs_seed *= 1.0 + DRIFT_TOLERANCE * 4.0;
+        }
+        assert!(!moved.drift_against(&base).is_empty(), "4x-tolerance move must be flagged");
+    }
+
+    #[test]
+    fn calibration_is_positive_and_stable_shape() {
+        let s = calibrate();
+        assert!(s > 0.0 && s.is_finite());
+    }
+
+    #[test]
+    fn replay_smoke_completes_and_counts_pages() {
+        let scale = Scale::smoke();
+        let logical = device(&scale).logical_pages();
+        let ops = mixed_trace(logical, 64, scale.seed);
+        let pages = replay(&scale, &ops, 8);
+        assert!(pages > 0);
+        assert_eq!(pages, replay(&scale, &ops, 8), "replay is deterministic");
+    }
+}

@@ -7,6 +7,7 @@ pub mod background;
 pub mod breakdown;
 pub mod campaign;
 pub mod dse;
+pub mod hostperf;
 pub mod latency;
 pub mod reliability;
 pub mod report;

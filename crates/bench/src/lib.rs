@@ -62,6 +62,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> String {
         "trace" => experiments::tracing::trace(scale, "custom"),
         "report" => experiments::report::report(scale, "custom"),
         "campaign" => experiments::campaign::campaign(scale, "custom"),
+        "hostperf" => experiments::hostperf::hostperf(scale, "custom"),
         other => panic!("unknown experiment '{other}'; known: {EXPERIMENT_NAMES:?}"),
     }
 }
@@ -73,7 +74,7 @@ pub fn is_experiment_name(name: &str) -> bool {
 }
 
 /// All experiment names accepted by [`run_experiment`], in report order.
-pub const EXPERIMENT_NAMES: [&str; 25] = [
+pub const EXPERIMENT_NAMES: [&str; 26] = [
     "table2",
     "fig2",
     "table1",
@@ -99,6 +100,7 @@ pub const EXPERIMENT_NAMES: [&str; 25] = [
     "trace",
     "report",
     "campaign",
+    "hostperf",
 ];
 
 #[cfg(test)]

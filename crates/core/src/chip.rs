@@ -211,7 +211,14 @@ impl EvanescoChip {
     pub fn enable_device_flags(&mut self, pap: PapConfig, bap: BapConfig, seed: u64) {
         self.pap_config = pap;
         self.bap_config = bap;
-        self.device_flags = Some(crate::device_flags::FlagDeviceSim::new(pap, bap, seed));
+        let geom = self.inner.geometry();
+        self.device_flags = Some(crate::device_flags::FlagDeviceSim::new(
+            pap,
+            bap,
+            seed,
+            geom.blocks,
+            geom.pages_per_block(),
+        ));
     }
 
     /// Applies `days` of retention to the physical flags (device mode
@@ -366,7 +373,9 @@ impl EvanescoChip {
         for m in &mut self.bad_mark {
             *m = d.bool()?;
         }
-        self.device_flags = d.opt(crate::device_flags::FlagDeviceSim::decode_state)?;
+        let (blocks, ppb) = (self.inner.geometry().blocks, self.inner.geometry().pages_per_block());
+        self.device_flags =
+            d.opt(|d| crate::device_flags::FlagDeviceSim::decode_state(d, blocks, ppb))?;
         Ok(())
     }
 

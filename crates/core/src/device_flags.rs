@@ -9,13 +9,35 @@
 //! experiments can quantify what happens when the flag design is *weaker*
 //! than the paper's selection (the end-to-end consequence of Figures 9(d)
 //! and 12(b): locked data reappearing).
+//!
+//! Flag state is held in geometry-sized dense tables indexed by
+//! `block * pages_per_block + page` rather than hash maps: the simulation
+//! sits on the read/program/erase hot path, and dense indexing both removes
+//! the per-access hashing cost and makes the canonical (address-ordered)
+//! iteration the natural one — aging and checkpoint serialization simply
+//! scan the tables in order, which matches the sorted-key order the sparse
+//! representation had to construct explicitly.
 
 use crate::bap::{BapConfig, SslState};
-use crate::pap::{PapConfig, PapFlag};
+use crate::pap::{self, PapConfig};
 use evanesco_nand::geometry::{BlockId, Ppa};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+
+/// Per-block page-flag table. The `k · pages_per_block` cell array is
+/// allocated lazily on the block's first `pLock` and then *kept* across
+/// erases (an erase only clears the `set` bits), so steady-state operation
+/// recycles the same buffers instead of churning the allocator.
+#[derive(Debug, Clone, Default)]
+struct BlockPageFlags {
+    /// `k` cell Vth values per page, at `page * k`. Empty until the first
+    /// `pLock` of the block; entries are only meaningful where `set` holds.
+    cells: Vec<f64>,
+    /// Which pages currently hold a programmed flag.
+    set: Vec<bool>,
+    /// Number of `true` entries in `set`.
+    programmed: u32,
+}
 
 /// Physical flag state of one chip.
 #[derive(Debug, Clone)]
@@ -23,68 +45,126 @@ pub struct FlagDeviceSim {
     pap_config: PapConfig,
     bap_config: BapConfig,
     rng: StdRng,
-    page_flags: HashMap<(u32, u32), PapFlag>,
-    block_ssl: HashMap<u32, SslState>,
+    pages_per_block: u32,
+    /// Dense per-block page-flag tables, indexed by block id.
+    page_flags: Vec<BlockPageFlags>,
+    /// Dense per-block SSL center Vth; meaningful where `ssl_set` holds.
+    ssl_vth: Vec<f64>,
+    /// Which blocks currently hold a programmed SSL.
+    ssl_set: Vec<bool>,
+    /// Total programmed page flags (sum of `programmed` over all blocks).
+    page_flag_count: usize,
+    /// Total programmed block flags (`true` entries in `ssl_set`).
+    block_flag_count: usize,
     /// Days of retention already applied to every currently-programmed flag.
     aged_days: f64,
 }
 
 impl FlagDeviceSim {
-    /// Creates a device simulation with the given flag configurations.
-    pub fn new(pap_config: PapConfig, bap_config: BapConfig, seed: u64) -> Self {
+    /// Creates a device simulation with the given flag configurations for a
+    /// chip of `blocks` blocks of `pages_per_block` pages each.
+    pub fn new(
+        pap_config: PapConfig,
+        bap_config: BapConfig,
+        seed: u64,
+        blocks: u32,
+        pages_per_block: u32,
+    ) -> Self {
         FlagDeviceSim {
             pap_config,
             bap_config,
             rng: StdRng::seed_from_u64(seed),
-            page_flags: HashMap::new(),
-            block_ssl: HashMap::new(),
+            pages_per_block,
+            page_flags: vec![BlockPageFlags::default(); blocks as usize],
+            ssl_vth: vec![0.0; blocks as usize],
+            ssl_set: vec![false; blocks as usize],
+            page_flag_count: 0,
+            block_flag_count: 0,
             aged_days: 0.0,
         }
     }
 
     /// The paper's selected configurations.
-    pub fn paper(seed: u64) -> Self {
-        Self::new(PapConfig::paper(), BapConfig::paper(), seed)
+    pub fn paper(seed: u64, blocks: u32, pages_per_block: u32) -> Self {
+        Self::new(PapConfig::paper(), BapConfig::paper(), seed, blocks, pages_per_block)
     }
 
     /// Physically programs the pAP flag of a page (one-shot, per-cell
-    /// success probability from the calibrated curves).
+    /// success probability from the calibrated curves). Reprogramming a
+    /// page restarts from erased cells, like the sparse insert it replaces.
     pub fn program_page_flag(&mut self, ppa: Ppa) {
-        let mut flag = PapFlag::erased(self.pap_config.k);
-        flag.program(&mut self.rng, self.pap_config.point);
-        self.page_flags.insert((ppa.block.0, ppa.page.0), flag);
+        let k = self.pap_config.k;
+        let ppb = self.pages_per_block as usize;
+        let bf = &mut self.page_flags[ppa.block.0 as usize];
+        if bf.cells.is_empty() {
+            bf.cells = vec![pap::ERASED_CELL_VTH; ppb * k];
+            bf.set = vec![false; ppb];
+        }
+        let p = ppa.page.0 as usize;
+        let slot = &mut bf.cells[p * k..(p + 1) * k];
+        slot.fill(pap::ERASED_CELL_VTH);
+        pap::program_cells(&mut self.rng, self.pap_config.point, slot);
+        if !bf.set[p] {
+            bf.set[p] = true;
+            bf.programmed += 1;
+            self.page_flag_count += 1;
+        }
     }
 
     /// Physically programs the bAP (SSL) of a block.
     pub fn program_block_flag(&mut self, block: BlockId) {
         let mut ssl = SslState::erased();
         ssl.program(self.bap_config.point);
-        self.block_ssl.insert(block.0, ssl);
+        let b = block.0 as usize;
+        self.ssl_vth[b] = ssl.center_vth;
+        if !self.ssl_set[b] {
+            self.ssl_set[b] = true;
+            self.block_flag_count += 1;
+        }
     }
 
     /// Erase resets every flag of the block (the only unlock path).
     pub fn erase_block(&mut self, block: BlockId) {
-        self.block_ssl.remove(&block.0);
-        self.page_flags.retain(|&(b, _), _| b != block.0);
+        let b = block.0 as usize;
+        if b >= self.page_flags.len() {
+            return;
+        }
+        if self.ssl_set[b] {
+            self.ssl_set[b] = false;
+            self.block_flag_count -= 1;
+        }
+        let bf = &mut self.page_flags[b];
+        if bf.programmed > 0 {
+            self.page_flag_count -= bf.programmed as usize;
+            bf.set.fill(false);
+            bf.programmed = 0;
+        }
     }
 
     /// Applies `days` of additional retention to every programmed flag.
     pub fn age(&mut self, days: f64) {
-        // Canonical (sorted) iteration: the per-cell decay draws must map
-        // to the same flags regardless of the HashMap's insertion history
-        // or per-process hash seed, or a run resumed from a checkpoint
-        // (whose map was rebuilt in sorted order) would age differently
-        // than the uninterrupted original.
-        let mut keys: Vec<_> = self.page_flags.keys().copied().collect();
-        keys.sort_unstable();
-        for k in keys {
-            self.page_flags.get_mut(&k).expect("key just listed").age(&mut self.rng, days);
+        // Canonical address-ordered iteration: the per-cell decay draws
+        // must map to the same flags in every run, including one resumed
+        // from a checkpoint (whose tables were rebuilt in the same order),
+        // or the resumed run would age differently than the original.
+        let k = self.pap_config.k;
+        for bf in &mut self.page_flags {
+            if bf.programmed == 0 {
+                continue;
+            }
+            for (p, &s) in bf.set.iter().enumerate() {
+                if s {
+                    pap::age_cells(&mut self.rng, days, &mut bf.cells[p * k..(p + 1) * k]);
+                }
+            }
         }
         let total = self.aged_days + days;
-        for (_, ssl) in self.block_ssl.iter_mut() {
-            // SSL decay is deterministic in the calibrated model: recompute
-            // the center Vth at the accumulated age.
-            *ssl = SslState::aged(self.bap_config.point, total);
+        for (b, &s) in self.ssl_set.iter().enumerate() {
+            if s {
+                // SSL decay is deterministic in the calibrated model:
+                // recompute the center Vth at the accumulated age.
+                self.ssl_vth[b] = SslState::aged(self.bap_config.point, total).center_vth;
+            }
         }
         self.aged_days = total;
     }
@@ -93,38 +173,65 @@ impl FlagDeviceSim {
     /// *disabled* (locked). A page that was never flag-programmed decodes
     /// enabled.
     pub fn page_reads_locked(&self, ppa: Ppa) -> bool {
-        self.page_flags.get(&(ppa.block.0, ppa.page.0)).map(|f| f.read_disabled()).unwrap_or(false)
+        let Some(bf) = self.page_flags.get(ppa.block.0 as usize) else { return false };
+        let p = ppa.page.0 as usize;
+        if bf.set.get(p) != Some(&true) {
+            return false;
+        }
+        let k = self.pap_config.k;
+        pap::cells_read_disabled(&bf.cells[p * k..(p + 1) * k])
     }
 
     /// Whether the physical SSL of the block currently blocks reads.
     pub fn block_reads_locked(&self, block: BlockId) -> bool {
-        self.block_ssl.get(&block.0).map(|s| s.blocks_reads()).unwrap_or(false)
+        let b = block.0 as usize;
+        self.ssl_set.get(b) == Some(&true)
+            && SslState { center_vth: self.ssl_vth[b] }.blocks_reads()
     }
 
     /// Number of page flags that were programmed but currently decode as
     /// enabled — each one is a sanitization hole.
     pub fn leaked_page_flags(&self) -> usize {
-        self.page_flags.values().filter(|f| !f.read_disabled()).count()
+        let k = self.pap_config.k;
+        let mut leaked = 0;
+        for bf in &self.page_flags {
+            if bf.programmed == 0 {
+                continue;
+            }
+            for (p, &s) in bf.set.iter().enumerate() {
+                if s && !pap::cells_read_disabled(&bf.cells[p * k..(p + 1) * k]) {
+                    leaked += 1;
+                }
+            }
+        }
+        leaked
     }
 
     /// Number of block flags that no longer block reads.
     pub fn leaked_block_flags(&self) -> usize {
-        self.block_ssl.values().filter(|s| !s.blocks_reads()).count()
+        self.ssl_set
+            .iter()
+            .zip(&self.ssl_vth)
+            .filter(|&(&s, &vth)| s && !SslState { center_vth: vth }.blocks_reads())
+            .count()
     }
 
     /// Total programmed page flags.
     pub fn page_flag_count(&self) -> usize {
-        self.page_flags.len()
+        self.page_flag_count
     }
 
     /// Total programmed block flags.
     pub fn block_flag_count(&self) -> usize {
-        self.block_ssl.len()
+        self.block_flag_count
     }
 
     /// Serializes the full simulation state — configurations, live RNG
     /// stream position, every programmed flag's cell voltages, and the
-    /// accumulated retention age — into a checkpoint stream.
+    /// accumulated retention age — into a checkpoint stream. Programmed
+    /// flags are emitted sparsely in address order, which is byte-identical
+    /// to the sorted-key emission of the sparse representation this dense
+    /// one replaced.
     pub fn encode_state(&self, e: &mut evanesco_nand::snapshot::Enc) {
         e.tag(0x21);
         e.usize(self.pap_config.k);
@@ -134,59 +241,110 @@ impl FlagDeviceSim {
         e.u32(self.bap_config.point.t_us);
         e.u64(self.rng.state());
         e.f64(self.aged_days);
-        let mut pages: Vec<_> = self.page_flags.keys().copied().collect();
-        pages.sort_unstable();
-        e.usize(pages.len());
-        for k in pages {
-            e.u32(k.0);
-            e.u32(k.1);
-            let cells = self.page_flags[&k].cells();
-            e.usize(cells.len());
-            for &c in cells {
-                e.f64(c);
+        let k = self.pap_config.k;
+        e.usize(self.page_flag_count);
+        for (b, bf) in self.page_flags.iter().enumerate() {
+            if bf.programmed == 0 {
+                continue;
+            }
+            for (p, &s) in bf.set.iter().enumerate() {
+                if !s {
+                    continue;
+                }
+                e.u32(b as u32);
+                e.u32(p as u32);
+                e.usize(k);
+                for &c in &bf.cells[p * k..(p + 1) * k] {
+                    e.f64(c);
+                }
             }
         }
-        let mut blocks: Vec<_> = self.block_ssl.keys().copied().collect();
-        blocks.sort_unstable();
-        e.usize(blocks.len());
-        for b in blocks {
-            e.u32(b);
-            e.f64(self.block_ssl[&b].center_vth);
+        e.usize(self.block_flag_count);
+        for (b, &s) in self.ssl_set.iter().enumerate() {
+            if s {
+                e.u32(b as u32);
+                e.f64(self.ssl_vth[b]);
+            }
         }
     }
 
     /// Reconstructs a simulation from a stream written by
-    /// [`FlagDeviceSim::encode_state`].
+    /// [`FlagDeviceSim::encode_state`], for a chip of `blocks` blocks of
+    /// `pages_per_block` pages each.
     ///
     /// # Errors
     ///
-    /// Fails on truncation or structural corruption.
+    /// Fails on truncation, structural corruption, or a flag address /
+    /// cell count outside the configured geometry.
     pub fn decode_state(
         d: &mut evanesco_nand::snapshot::Dec<'_>,
+        blocks: u32,
+        pages_per_block: u32,
     ) -> Result<Self, evanesco_nand::snapshot::SnapshotError> {
         use crate::calibration::DesignPoint;
+        use evanesco_nand::snapshot::SnapshotError;
         d.expect_tag(0x21, "flag-device")?;
         let k = d.usize()?;
         let pap_config = PapConfig { k, point: DesignPoint::new(d.u8()?, d.u32()?) };
         let bap_config = BapConfig { point: DesignPoint::new(d.u8()?, d.u32()?) };
         let rng = StdRng::from_state(d.u64()?);
         let aged_days = d.f64()?;
-        let mut page_flags = HashMap::new();
-        for _ in 0..d.usize()? {
-            let key = (d.u32()?, d.u32()?);
-            let n = d.usize()?;
-            let mut cells = Vec::with_capacity(n);
-            for _ in 0..n {
-                cells.push(d.f64()?);
-            }
-            page_flags.insert(key, PapFlag::from_cells(cells));
-        }
-        let mut block_ssl = HashMap::new();
+        let mut sim = FlagDeviceSim {
+            pap_config,
+            bap_config,
+            rng,
+            pages_per_block,
+            page_flags: vec![BlockPageFlags::default(); blocks as usize],
+            ssl_vth: vec![0.0; blocks as usize],
+            ssl_set: vec![false; blocks as usize],
+            page_flag_count: 0,
+            block_flag_count: 0,
+            aged_days,
+        };
         for _ in 0..d.usize()? {
             let b = d.u32()?;
-            block_ssl.insert(b, SslState { center_vth: d.f64()? });
+            let p = d.u32()?;
+            if b >= blocks || p >= pages_per_block {
+                return Err(SnapshotError::Mismatch(format!(
+                    "page flag ({b}, {p}) outside the configured geometry \
+                     ({blocks} blocks x {pages_per_block} pages)"
+                )));
+            }
+            let n = d.usize()?;
+            if n != k {
+                return Err(SnapshotError::Mismatch(format!(
+                    "page flag ({b}, {p}) has {n} cells, config says k = {k}"
+                )));
+            }
+            let bf = &mut sim.page_flags[b as usize];
+            if bf.cells.is_empty() {
+                bf.cells = vec![pap::ERASED_CELL_VTH; pages_per_block as usize * k];
+                bf.set = vec![false; pages_per_block as usize];
+            }
+            let p = p as usize;
+            for c in &mut bf.cells[p * k..(p + 1) * k] {
+                *c = d.f64()?;
+            }
+            if !bf.set[p] {
+                bf.set[p] = true;
+                bf.programmed += 1;
+                sim.page_flag_count += 1;
+            }
         }
-        Ok(FlagDeviceSim { pap_config, bap_config, rng, page_flags, block_ssl, aged_days })
+        for _ in 0..d.usize()? {
+            let b = d.u32()?;
+            if b >= blocks {
+                return Err(SnapshotError::Mismatch(format!(
+                    "block flag {b} outside the configured geometry ({blocks} blocks)"
+                )));
+            }
+            sim.ssl_vth[b as usize] = d.f64()?;
+            if !sim.ssl_set[b as usize] {
+                sim.ssl_set[b as usize] = true;
+                sim.block_flag_count += 1;
+            }
+        }
+        Ok(sim)
     }
 }
 
@@ -201,9 +359,13 @@ mod tests {
         }
     }
 
+    /// Test geometry: 8 blocks of 512 pages.
+    const BLOCKS: u32 = 8;
+    const PPB: u32 = 512;
+
     #[test]
     fn paper_config_never_leaks_within_five_years() {
-        let mut sim = FlagDeviceSim::paper(1);
+        let mut sim = FlagDeviceSim::paper(1, BLOCKS, PPB);
         lock_n_pages(&mut sim, 500);
         sim.program_block_flag(BlockId(1));
         assert_eq!(sim.leaked_page_flags(), 0);
@@ -220,7 +382,7 @@ mod tests {
     fn weak_pap_config_leaks_after_years() {
         // Combination (vi) = (Vp2, 200µs): Figure 9(d)'s weakest candidate.
         let weak = PapConfig { k: 9, point: DesignPoint::new(2, 200) };
-        let mut sim = FlagDeviceSim::new(weak, BapConfig::paper(), 2);
+        let mut sim = FlagDeviceSim::new(weak, BapConfig::paper(), 2, BLOCKS, PPB);
         lock_n_pages(&mut sim, 500);
         sim.age(5.0 * 365.0);
         let leaked = sim.leaked_page_flags();
@@ -231,7 +393,7 @@ mod tests {
     fn weak_bap_config_unblocks_before_a_year() {
         // Combination (vi) = (Vb5, 200µs) from Figure 12(b).
         let weak = BapConfig { point: DesignPoint::new(5, 200) };
-        let mut sim = FlagDeviceSim::new(PapConfig::paper(), weak, 3);
+        let mut sim = FlagDeviceSim::new(PapConfig::paper(), weak, 3, BLOCKS, PPB);
         sim.program_block_flag(BlockId(0));
         assert!(sim.block_reads_locked(BlockId(0)));
         sim.age(365.0);
@@ -241,7 +403,7 @@ mod tests {
 
     #[test]
     fn erase_clears_flags() {
-        let mut sim = FlagDeviceSim::paper(4);
+        let mut sim = FlagDeviceSim::paper(4, BLOCKS, PPB);
         lock_n_pages(&mut sim, 4);
         sim.program_block_flag(BlockId(0));
         sim.erase_block(BlockId(0));
@@ -253,7 +415,7 @@ mod tests {
 
     #[test]
     fn unprogrammed_flags_read_enabled() {
-        let sim = FlagDeviceSim::paper(5);
+        let sim = FlagDeviceSim::paper(5, BLOCKS, PPB);
         assert!(!sim.page_reads_locked(Ppa::new(3, 3)));
         assert!(!sim.block_reads_locked(BlockId(3)));
     }
@@ -262,11 +424,56 @@ mod tests {
     fn aging_accumulates() {
         // (Vb5, 300µs) starts at 3.30V and crosses 3.0V after ~9 days.
         let weak = BapConfig { point: DesignPoint::new(5, 300) };
-        let mut sim = FlagDeviceSim::new(PapConfig::paper(), weak, 6);
+        let mut sim = FlagDeviceSim::new(PapConfig::paper(), weak, 6, BLOCKS, PPB);
         sim.program_block_flag(BlockId(0));
         sim.age(4.0);
         assert!(sim.block_reads_locked(BlockId(0)), "alive at 4 days");
         sim.age(1996.0); // total 2000 days: far below 3V
         assert!(!sim.block_reads_locked(BlockId(0)), "dead at 2000 days");
+    }
+
+    #[test]
+    fn reprogram_restarts_from_erased_cells() {
+        // Reprogramming a page must not stack charge on the old cells: the
+        // slot is reset to erased before the one-shot pulse, exactly like
+        // the fresh-insert semantics of the sparse map this replaced.
+        let mut sim = FlagDeviceSim::paper(7, BLOCKS, PPB);
+        sim.program_page_flag(Ppa::new(0, 0));
+        assert_eq!(sim.page_flag_count(), 1);
+        sim.program_page_flag(Ppa::new(0, 0));
+        assert_eq!(sim.page_flag_count(), 1, "reprogram must not double-count");
+        assert!(sim.page_reads_locked(Ppa::new(0, 0)));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_identical() {
+        use evanesco_nand::snapshot::{Dec, Enc};
+        let mut sim = FlagDeviceSim::paper(8, BLOCKS, PPB);
+        lock_n_pages(&mut sim, 20);
+        sim.program_page_flag(Ppa::new(3, 7));
+        sim.program_block_flag(BlockId(2));
+        sim.age(30.0);
+        let mut e = Enc::new();
+        sim.encode_state(&mut e);
+        let bytes = e.into_bytes();
+        let restored = FlagDeviceSim::decode_state(&mut Dec::new(&bytes), BLOCKS, PPB).unwrap();
+        assert_eq!(restored.page_flag_count(), sim.page_flag_count());
+        assert_eq!(restored.block_flag_count(), sim.block_flag_count());
+        let mut e2 = Enc::new();
+        restored.encode_state(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn decode_rejects_out_of_geometry_flags() {
+        use evanesco_nand::snapshot::{Dec, Enc};
+        let mut sim = FlagDeviceSim::paper(9, BLOCKS, PPB);
+        sim.program_page_flag(Ppa::new(5, 100));
+        let mut e = Enc::new();
+        sim.encode_state(&mut e);
+        let bytes = e.into_bytes();
+        // Decoding against a smaller chip must fail loudly, not truncate.
+        assert!(FlagDeviceSim::decode_state(&mut Dec::new(&bytes), 4, PPB).is_err());
+        assert!(FlagDeviceSim::decode_state(&mut Dec::new(&bytes), BLOCKS, 64).is_err());
     }
 }

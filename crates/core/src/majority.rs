@@ -15,10 +15,21 @@
 /// Panics if `bits` is empty or has even length (a majority circuit needs an
 /// odd input count to avoid ties).
 pub fn majority(bits: &[bool]) -> bool {
-    assert!(!bits.is_empty(), "majority of zero inputs");
-    assert!(bits.len() % 2 == 1, "majority circuit needs an odd input count");
-    let ones = bits.iter().filter(|&&b| b).count();
-    ones > bits.len() / 2
+    majority_count(bits.iter().filter(|&&b| b).count(), bits.len())
+}
+
+/// Majority vote expressed over pre-counted inputs: `true` when strictly
+/// more than half of the `total` inputs are `true`. The allocation-free
+/// form of [`majority`] for callers that already hold a count.
+///
+/// # Panics
+///
+/// Panics if `total` is zero or even (a majority circuit needs an odd
+/// input count to avoid ties).
+pub fn majority_count(ones: usize, total: usize) -> bool {
+    assert!(total != 0, "majority of zero inputs");
+    assert!(total % 2 == 1, "majority circuit needs an odd input count");
+    ones > total / 2
 }
 
 /// How many flipped inputs a `k`-input majority circuit tolerates while

@@ -13,7 +13,6 @@
 use crate::calibration::{
     plock_flag_decay, plock_flag_margin, plock_flag_success, DesignPoint, PLOCK_FLAG_SIGMA,
 };
-use crate::majority::majority;
 use evanesco_nand::math::{prob_above, sample_normal};
 use rand::Rng;
 
@@ -40,6 +39,42 @@ impl Default for PapConfig {
     }
 }
 
+/// Vth of an erased (never-programmed) flag cell, relative to the SLC flag
+/// read reference.
+pub const ERASED_CELL_VTH: f64 = -2.0;
+
+/// One-shot programs a group of flag cells in place at the given design
+/// point. Each cell independently either programs (lands at
+/// `margin ± sigma` above the read reference) or fails to program (stays
+/// erased) with the calibrated per-cell success probability.
+pub fn program_cells<R: Rng + ?Sized>(rng: &mut R, point: DesignPoint, cells: &mut [f64]) {
+    let success = plock_flag_success(point);
+    let margin = plock_flag_margin(point);
+    for c in cells {
+        if rng.gen::<f64>() < success {
+            *c = sample_normal(rng, margin, PLOCK_FLAG_SIGMA);
+        }
+    }
+}
+
+/// Applies `days` of retention to a group of flag cells: programmed cells
+/// lose charge and drift toward the read reference.
+pub fn age_cells<R: Rng + ?Sized>(rng: &mut R, days: f64, cells: &mut [f64]) {
+    let decay = plock_flag_decay(days);
+    for c in cells {
+        if *c > -1.0 {
+            // Per-cell detrapping variation around the mean decay.
+            *c -= sample_normal(rng, decay, decay * 0.15).max(0.0);
+        }
+    }
+}
+
+/// Decodes a group of flag cells through the majority circuit: `true` =
+/// disabled (page locked).
+pub fn cells_read_disabled(cells: &[f64]) -> bool {
+    crate::majority::majority_count(cells.iter().filter(|&&v| v > 0.0).count(), cells.len())
+}
+
 /// Device-level simulation of one pAP flag: the Vth of its `k` flag cells,
 /// relative to the SLC flag read reference (so `vth > 0` reads as
 /// programmed/disabled).
@@ -52,40 +87,25 @@ impl PapFlag {
     /// A fresh (erased) flag: all cells far below the read reference, so the
     /// flag reads *enabled*.
     pub fn erased(k: usize) -> Self {
-        PapFlag { cells: vec![-2.0; k] }
+        PapFlag { cells: vec![ERASED_CELL_VTH; k] }
     }
 
-    /// One-shot programs the flag at the given design point. Each cell
-    /// independently either programs (lands at `margin ± sigma` above the
-    /// read reference) or fails to program (stays erased) with the
-    /// calibrated per-cell success probability.
+    /// One-shot programs the flag at the given design point (see
+    /// [`program_cells`]).
     pub fn program<R: Rng + ?Sized>(&mut self, rng: &mut R, point: DesignPoint) {
-        let success = plock_flag_success(point);
-        let margin = plock_flag_margin(point);
-        for c in &mut self.cells {
-            if rng.gen::<f64>() < success {
-                *c = sample_normal(rng, margin, PLOCK_FLAG_SIGMA);
-            }
-        }
+        program_cells(rng, point, &mut self.cells);
     }
 
     /// Applies `days` of retention: programmed cells lose charge and drift
-    /// toward the read reference.
+    /// toward the read reference (see [`age_cells`]).
     pub fn age<R: Rng + ?Sized>(&mut self, rng: &mut R, days: f64) {
-        let decay = plock_flag_decay(days);
-        for c in &mut self.cells {
-            if *c > -1.0 {
-                // Per-cell detrapping variation around the mean decay.
-                *c -= sample_normal(rng, decay, decay * 0.15).max(0.0);
-            }
-        }
+        age_cells(rng, days, &mut self.cells);
     }
 
     /// Reads the flag through the majority circuit: `true` = disabled
     /// (page locked).
     pub fn read_disabled(&self) -> bool {
-        let bits: Vec<bool> = self.cells.iter().map(|&v| v > 0.0).collect();
-        majority(&bits)
+        cells_read_disabled(&self.cells)
     }
 
     /// Number of cells currently reading as programmed.

@@ -28,7 +28,7 @@ use crate::addr::{GlobalPpa, Lpa};
 use crate::config::FtlConfig;
 use crate::decision::{Decision, DecisionLog};
 use crate::executor::NandExecutor;
-use crate::observer::{FtlObserver, InvalidateCause};
+use crate::observer::{EventBatch, FtlObserver, InvalidateCause};
 use crate::policy::SanitizePolicy;
 use crate::recovery::{RecoveryReport, MAX_LOCK_RETRIES};
 use crate::stats::FtlStats;
@@ -298,6 +298,160 @@ struct CoalesceEntry {
     since: u64,
 }
 
+/// The deferred-lock queue behind lock coalescing, engineered for the host
+/// data plane: a dense per-`(chip, block)` table finds a block's entry in
+/// O(1) (this lookup runs on every secured overwrite), entries live in a
+/// slab whose slots and page buffers are recycled, and an age-ordered queue
+/// of generation-stamped slot references drives window expiry. Out-of-band
+/// removals (block death, erase supersede) leave stale references behind
+/// instead of shifting the queue; pops skip them by generation mismatch.
+#[derive(Debug, Clone, Default)]
+struct CoalesceQueue {
+    slab: Vec<CoalesceEntry>,
+    /// Per-slot generation, bumped when the slot is freed; an `order`
+    /// reference is live iff its stamp matches.
+    gen: Vec<u32>,
+    free: Vec<u32>,
+    /// Entry-creation order: `(slot, generation stamp)`.
+    order: VecDeque<(u32, u32)>,
+    /// `chip * blocks_per_chip + block` → slot + 1 (0 = nothing queued).
+    at: Vec<u32>,
+    blocks_per_chip: u32,
+    /// Recycled page buffers from settled entries.
+    spare: Vec<Vec<GlobalPpa>>,
+    /// Total queued pages across live entries.
+    queued_pages: usize,
+    /// Live entry count (the checkpoint codec needs it up front).
+    live: usize,
+}
+
+impl CoalesceQueue {
+    fn new(chips: usize, blocks_per_chip: u32) -> Self {
+        CoalesceQueue {
+            at: vec![0; chips * blocks_per_chip as usize],
+            blocks_per_chip,
+            ..Default::default()
+        }
+    }
+
+    fn key(&self, chip: usize, block: u32) -> usize {
+        chip * self.blocks_per_chip as usize + block as usize
+    }
+
+    /// Appends `pages` to the block's entry, creating one (age-stamped
+    /// `since`) when none is queued. Steady state never allocates: slots
+    /// and page buffers come from the recycle pools.
+    fn enqueue(&mut self, chip: usize, block: u32, pages: &[GlobalPpa], since: u64) {
+        self.queued_pages += pages.len();
+        let key = self.key(chip, block);
+        let slot = self.at[key];
+        if slot != 0 {
+            self.slab[(slot - 1) as usize].pages.extend_from_slice(pages);
+            return;
+        }
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(pages);
+        let entry = CoalesceEntry { chip, block, pages: buf, since };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = entry;
+                s
+            }
+            None => {
+                self.slab.push(entry);
+                self.gen.push(0);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.at[key] = slot + 1;
+        self.order.push_back((slot, self.gen[slot as usize]));
+        self.live += 1;
+    }
+
+    /// Removes and returns the block's queued entry, if any. The caller
+    /// owns the pages buffer; hand it back via [`CoalesceQueue::recycle`]
+    /// once drained.
+    fn take(&mut self, chip: usize, block: u32) -> Option<CoalesceEntry> {
+        let key = self.key(chip, block);
+        let slot = self.at[key];
+        if slot == 0 {
+            return None;
+        }
+        let s = (slot - 1) as usize;
+        self.at[key] = 0;
+        self.gen[s] = self.gen[s].wrapping_add(1);
+        self.free.push(slot - 1);
+        self.live -= 1;
+        let e = &mut self.slab[s];
+        let entry = CoalesceEntry {
+            chip: e.chip,
+            block: e.block,
+            pages: std::mem::take(&mut e.pages),
+            since: e.since,
+        };
+        self.queued_pages -= entry.pages.len();
+        Some(entry)
+    }
+
+    /// Age stamp of the oldest live entry, if any (prunes stale
+    /// references from the front).
+    fn front_since(&mut self) -> Option<u64> {
+        while let Some(&(slot, stamp)) = self.order.front() {
+            if self.gen[slot as usize] == stamp {
+                return Some(self.slab[slot as usize].since);
+            }
+            self.order.pop_front();
+        }
+        None
+    }
+
+    /// Removes and returns the oldest live entry.
+    fn pop_front(&mut self) -> Option<CoalesceEntry> {
+        self.front_since()?;
+        let &(slot, _) = self.order.front().expect("front is live");
+        let (chip, block) = {
+            let e = &self.slab[slot as usize];
+            (e.chip, e.block)
+        };
+        self.order.pop_front();
+        self.take(chip, block)
+    }
+
+    /// Returns a drained entry's page buffer to the recycle pool.
+    fn recycle(&mut self, pages: Vec<GlobalPpa>) {
+        if pages.capacity() > 0 && self.spare.len() < 64 {
+            self.spare.push(pages);
+        }
+    }
+
+    /// Live queued pages across all entries.
+    fn total_pages(&self) -> usize {
+        self.queued_pages
+    }
+
+    /// Live entry count.
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Live entries in age (creation) order.
+    fn iter(&self) -> impl Iterator<Item = &CoalesceEntry> {
+        self.order
+            .iter()
+            .filter(|&&(slot, stamp)| self.gen[slot as usize] == stamp)
+            .map(|&(slot, _)| &self.slab[slot as usize])
+    }
+
+    /// Drops every entry, keeping slots and buffers for reuse.
+    fn clear(&mut self) {
+        while let Some(entry) = self.pop_front() {
+            let pages = entry.pages;
+            self.recycle(pages);
+        }
+    }
+}
+
 /// A page-mapping FTL with pluggable sanitization policy.
 #[derive(Debug, Clone)]
 pub struct Ftl {
@@ -316,13 +470,22 @@ pub struct Ftl {
     /// Deferred-lock queue, oldest entry first ([`FtlConfig::lock_coalescing`]).
     /// RAM-only: a power cut loses it, and recovery's sequence contest
     /// re-identifies every queued page as a stale secured version to reseal.
-    pending_locks: VecDeque<CoalesceEntry>,
+    pending_locks: CoalesceQueue,
     /// Degraded-mode state (driven by the per-chip retired counts against
     /// the spare reserve).
     mode: DegradedMode,
     /// Bounded "explain why" log of policy decisions (disabled by default;
     /// see [`Ftl::enable_decision_log`]). Purely observational.
     decisions: DecisionLog,
+    /// Recycled buffers for the host data plane (always empty between
+    /// operations; never checkpointed — a restored FTL starts them fresh).
+    secured_scratch: Vec<GlobalPpa>,
+    trim_pending_scratch: Vec<Lpa>,
+    trim_group_scratch: Vec<GlobalPpa>,
+    /// Buffered observer events: internal paths record here and the public
+    /// entry points drain to the caller's observer once per host operation,
+    /// preserving event order exactly. Always empty between operations.
+    events: EventBatch,
 }
 
 impl Ftl {
@@ -341,9 +504,13 @@ impl Ftl {
             next_chip: 0,
             stats: FtlStats::default(),
             seq: 0,
-            pending_locks: VecDeque::new(),
+            pending_locks: CoalesceQueue::new(cfg.n_chips, cfg.geometry.blocks),
             mode: DegradedMode::Normal,
             decisions: DecisionLog::disabled(),
+            secured_scratch: Vec::new(),
+            trim_pending_scratch: Vec::new(),
+            trim_group_scratch: Vec::new(),
+            events: EventBatch::new(),
             cfg,
             policy,
         }
@@ -478,12 +645,21 @@ impl Ftl {
             return false;
         }
         self.stats.host_write_pages += 1;
-        obs.on_host_tick();
+        self.events.host_tick();
         if self.cfg.lock_coalescing {
-            self.flush_aged_locks(ex, obs);
+            self.flush_aged_locks(ex);
         }
         if let Some(old) = self.l2p[lpa as usize] {
-            self.invalidate_batch(ex, obs, &[old]);
+            // A single superseded page is one block group by construction;
+            // dispatch it directly instead of routing through the grouping
+            // pass (this is the hottest invalidation path in the system).
+            self.invalidate_block_group(
+                ex,
+                old.chip,
+                old.ppa.block.0,
+                &[old],
+                InvalidateCause::HostUpdate,
+            );
         }
         let seq = self.next_seq();
         let payload = data.with_oob(PageOob { lpa, secure, seq });
@@ -491,15 +667,17 @@ impl Ftl {
         // is quarantined by `note_program_failure`. Termination is
         // guaranteed by `validate()` (program_fail < 1).
         loop {
-            let at = self.allocate(ex, obs);
+            let at = self.allocate(ex);
             self.stats.nand_programs += 1;
             if ex.program(at, payload.clone()).is_ok() {
                 self.commit_mapping(lpa, at, secure);
-                obs.on_program(lpa, at, false, secure);
-                return true;
+                self.events.program(lpa, at, false, secure);
+                break;
             }
             self.note_program_failure(ex, at, secure);
         }
+        self.events.drain_into(obs);
+        true
     }
 
     /// Handles a host page read; returns the stored data if mapped.
@@ -519,11 +697,15 @@ impl Ftl {
     /// can move pages that later groups still have to invalidate.
     pub fn trim<E: NandExecutor, O: FtlObserver>(&mut self, ex: &mut E, obs: &mut O, lpas: &[Lpa]) {
         self.stats.host_trim_pages += lpas.len() as u64;
-        let mut pending: Vec<Lpa> =
-            lpas.iter().copied().filter(|&l| (l as usize) < self.l2p.len()).collect();
+        // Both worklists are recycled buffers: trims run on the host data
+        // plane and must not allocate per request.
+        let mut pending = std::mem::take(&mut self.trim_pending_scratch);
+        pending.clear();
+        pending.extend(lpas.iter().copied().filter(|&l| (l as usize) < self.l2p.len()));
+        let mut group = std::mem::take(&mut self.trim_group_scratch);
         while let Some(at0) = pending.iter().find_map(|&l| self.l2p[l as usize]) {
             let key = (at0.chip, at0.ppa.block.0);
-            let mut group = Vec::new();
+            group.clear();
             pending.retain(|&l| match self.l2p[l as usize] {
                 Some(at) if (at.chip, at.ppa.block.0) == key => {
                     group.push(at);
@@ -535,8 +717,11 @@ impl Ftl {
             });
             // Trim locks stay synchronous: the trim ack promises the data
             // is sealed, so trimmed pages never enter the coalescing queue.
-            self.invalidate_block_group(ex, obs, key.0, key.1, &group, InvalidateCause::Trim);
+            self.invalidate_block_group(ex, key.0, key.1, &group, InvalidateCause::Trim);
         }
+        self.trim_pending_scratch = pending;
+        self.trim_group_scratch = group;
+        self.events.drain_into(obs);
     }
 
     // ---------------------------------------------------------------------
@@ -553,11 +738,11 @@ impl Ftl {
     // Allocation & lazy erase
     // ---------------------------------------------------------------------
 
-    fn allocate<E: NandExecutor, O: FtlObserver>(&mut self, ex: &mut E, obs: &mut O) -> GlobalPpa {
+    fn allocate<E: NandExecutor>(&mut self, ex: &mut E) -> GlobalPpa {
         let chip = self.chip_order[self.next_chip];
         self.next_chip = (self.next_chip + 1) % self.chip_order.len();
-        self.ensure_space(ex, obs, chip);
-        self.allocate_on_chip(ex, obs, chip)
+        self.ensure_space(ex, chip);
+        self.allocate_on_chip(ex, chip)
     }
 
     /// The chip the next host-write page will land on (frontier preview for
@@ -571,22 +756,17 @@ impl Ftl {
     /// secured by the threshold-triggered GC, but sanitization-forced
     /// relocation bursts (erSSD, scrubbing) can drain a chip mid-operation;
     /// an emergency GC pass covers that case.
-    fn allocate_on_chip<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
-        chip: usize,
-    ) -> GlobalPpa {
+    fn allocate_on_chip<E: NandExecutor>(&mut self, ex: &mut E, chip: usize) -> GlobalPpa {
         // Looped rather than a single attempt: opening a block can fail
         // when a lazy erase retires the candidate as grown-bad, in which
         // case another candidate (or an emergency GC pass) is needed.
         while self.chips[chip].active.is_none() {
             if self.chips[chip].available_blocks() == 0 {
-                let reclaimed = self.gc_once(ex, obs, chip);
+                let reclaimed = self.gc_once(ex, chip);
                 assert!(reclaimed, "chip {chip} out of blocks: over-provisioning misconfigured");
                 continue;
             }
-            self.open_block(ex, obs, chip);
+            self.open_block(ex, chip);
         }
         let ppb = self.cfg.geometry.pages_per_block();
         let cs = &mut self.chips[chip];
@@ -607,12 +787,7 @@ impl Ftl {
     /// Opens a write frontier on `chip` if any candidate block survives.
     /// May leave `active` unset when every candidate's lazy erase failed
     /// terminally (the blocks were retired); the caller loops.
-    fn open_block<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
-        chip: usize,
-    ) {
+    fn open_block<E: NandExecutor>(&mut self, ex: &mut E, chip: usize) {
         loop {
             let cs = &mut self.chips[chip];
             let id = if let Some(id) = cs.free.pop_front() {
@@ -620,7 +795,7 @@ impl Ftl {
             } else if let Some(id) = cs.reclaimable.pop_front() {
                 // Lazy erase: the block is erased only now, right before
                 // reuse, keeping the open interval short (paper §5.4).
-                if !self.erase_block(ex, obs, chip, id) {
+                if !self.erase_block(ex, chip, id) {
                     // Candidate retired as grown-bad; try the next one.
                     continue;
                 }
@@ -638,19 +813,14 @@ impl Ftl {
     /// Erases a block with bounded retries. Returns `true` on success;
     /// `false` when the retry budget was exhausted and the block was
     /// retired as grown-bad (contents scrubbed, never reused).
-    fn erase_block<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
-        chip: usize,
-        id: u32,
-    ) -> bool {
+    fn erase_block<E: NandExecutor>(&mut self, ex: &mut E, chip: usize, id: u32) -> bool {
         // A physical erase sanitizes harder than any lock: locks still
         // queued for this block are satisfied for free.
         if self.cfg.lock_coalescing {
-            let dropped = self.take_pending_locks(chip, id).len();
-            self.stats.coalesced_plocks += dropped as u64;
-            if dropped > 0 {
+            if let Some(entry) = self.pending_locks.take(chip, id) {
+                let dropped = entry.pages.len();
+                self.pending_locks.recycle(entry.pages);
+                self.stats.coalesced_plocks += dropped as u64;
                 self.note_decision(
                     ex,
                     Decision::CoalesceSupersede { chip, block: id, pages: dropped },
@@ -664,7 +834,7 @@ impl Ftl {
             if st.is_ok() {
                 let ppb = self.cfg.geometry.pages_per_block();
                 self.chips[chip].reset_block(id, ppb);
-                obs.on_erase(chip, BlockId(id));
+                self.events.erase(chip, BlockId(id));
                 return true;
             }
             if attempt < budget {
@@ -676,24 +846,13 @@ impl Ftl {
         false
     }
 
-    fn ensure_space<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
-        chip: usize,
-    ) {
-        self.ensure_space_target(ex, obs, chip, self.cfg.gc_free_threshold);
+    fn ensure_space<E: NandExecutor>(&mut self, ex: &mut E, chip: usize) {
+        self.ensure_space_target(ex, chip, self.cfg.gc_free_threshold);
     }
 
-    fn ensure_space_target<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
-        chip: usize,
-        target: usize,
-    ) {
+    fn ensure_space_target<E: NandExecutor>(&mut self, ex: &mut E, chip: usize, target: usize) {
         while self.chips[chip].available_blocks() < target {
-            if !self.gc_once(ex, obs, chip) {
+            if !self.gc_once(ex, chip) {
                 break;
             }
         }
@@ -705,12 +864,7 @@ impl Ftl {
 
     /// One greedy GC pass on `chip`. Returns false when no profitable victim
     /// exists.
-    fn gc_once<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
-        chip: usize,
-    ) -> bool {
+    fn gc_once<E: NandExecutor>(&mut self, ex: &mut E, chip: usize) -> bool {
         let ppb = self.cfg.geometry.pages_per_block();
         // Victim selection runs over the Full-block index, never the whole
         // block array: greedy is an amortized-O(1) bucket lookup,
@@ -759,18 +913,18 @@ impl Ftl {
         self.chips[chip].gc_in_progress.insert(victim);
 
         // Relocate live pages, remembering which old slots were secured.
-        let secured_olds = self.relocate_live_pages(ex, obs, chip, victim);
+        let secured_olds = self.relocate_live_pages(ex, chip, victim);
         self.chips[chip].gc_in_progress.remove(&victim);
 
         // Sanitize the freshly-invalidated secured copies (paper Fig. 13:
         // "GC done" -> lock manager).
-        self.sanitize_dead_block(ex, obs, chip, victim, &secured_olds);
+        self.sanitize_dead_block(ex, chip, victim, &secured_olds);
 
         // Reclamation: lazy by default (erase deferred to reuse); eager under
         // the ablation flag or when erSSD already erased the block above.
         if self.chips[chip].blocks[victim as usize].state == BlockState::Full {
             if self.cfg.eager_gc_erase {
-                if self.erase_block(ex, obs, chip, victim) {
+                if self.erase_block(ex, chip, victim) {
                     self.chips[chip].free.push_back(victim);
                 }
             } else {
@@ -785,10 +939,9 @@ impl Ftl {
     /// Copies every live page out of `block` (within the same chip),
     /// remapping and invalidating the old slots. Returns the old addresses
     /// that were secured.
-    fn relocate_live_pages<E: NandExecutor, O: FtlObserver>(
+    fn relocate_live_pages<E: NandExecutor>(
         &mut self,
         ex: &mut E,
-        obs: &mut O,
         chip: usize,
         block: u32,
     ) -> Vec<GlobalPpa> {
@@ -808,7 +961,7 @@ impl Ftl {
             let seq = self.next_seq();
             let payload = data.with_oob(PageOob { lpa, secure, seq });
             let new_at = loop {
-                let new_at = self.allocate_on_chip(ex, obs, chip);
+                let new_at = self.allocate_on_chip(ex, chip);
                 self.stats.nand_programs += 1;
                 if ex.program(new_at, payload.clone()).is_ok() {
                     break new_at;
@@ -817,7 +970,7 @@ impl Ftl {
             };
             self.stats.copied_pages += 1;
             self.commit_mapping(lpa, new_at, secure);
-            obs.on_program(lpa, new_at, true, secure);
+            self.events.program(lpa, new_at, true, secure);
 
             // Invalidate the old slot (bookkeeping only; sanitization of the
             // whole dead block happens after all copies complete).
@@ -825,7 +978,7 @@ impl Ftl {
             if st == PageStatus::Secured {
                 secured_olds.push(old);
             }
-            obs.on_invalidate(
+            self.events.invalidate(
                 old,
                 secure,
                 self.policy.is_immediate() && secure,
@@ -837,10 +990,9 @@ impl Ftl {
 
     /// Applies the sanitization policy to a fully-dead block whose secured
     /// old copies are `secured_olds`.
-    fn sanitize_dead_block<E: NandExecutor, O: FtlObserver>(
+    fn sanitize_dead_block<E: NandExecutor>(
         &mut self,
         ex: &mut E,
-        obs: &mut O,
         chip: usize,
         block: u32,
         secured_olds: &[GlobalPpa],
@@ -853,9 +1005,11 @@ impl Ftl {
                 let mut all: Vec<GlobalPpa> = secured_olds.to_vec();
                 let mut queued = 0u64;
                 if self.cfg.lock_coalescing {
-                    let pending = self.take_pending_locks(chip, block);
-                    queued = pending.len() as u64;
-                    all.extend(pending);
+                    if let Some(entry) = self.pending_locks.take(chip, block) {
+                        queued = entry.pages.len() as u64;
+                        all.extend_from_slice(&entry.pages);
+                        self.pending_locks.recycle(entry.pages);
+                    }
                 }
                 if !all.is_empty() {
                     if use_block && all.len() >= self.cfg.block_min_plocks {
@@ -863,7 +1017,7 @@ impl Ftl {
                         self.stats.coalesced_plocks += queued;
                     } else {
                         for &old in &all {
-                            self.secure_page(ex, obs, old);
+                            self.secure_page(ex, old);
                         }
                         self.stats.coalesce_flushed_plocks += queued;
                     }
@@ -873,7 +1027,7 @@ impl Ftl {
                 if !secured_olds.is_empty() {
                     // Eager erase destroys every invalid page in the block.
                     self.detach_block(chip, block);
-                    if self.erase_block(ex, obs, chip, block) {
+                    if self.erase_block(ex, chip, block) {
                         self.stats.sanitize_erases += 1;
                         self.chips[chip].free.push_back(block);
                     }
@@ -892,35 +1046,9 @@ impl Ftl {
     // Invalidation & sanitization
     // ---------------------------------------------------------------------
 
-    /// Invalidates a batch of physical pages (host overwrite or trim),
-    /// applying the sanitization policy per affected block.
-    fn invalidate_batch<E: NandExecutor, O: FtlObserver>(
+    fn invalidate_block_group<E: NandExecutor>(
         &mut self,
         ex: &mut E,
-        obs: &mut O,
-        olds: &[GlobalPpa],
-    ) {
-        // Group by (chip, block) to expose bLock opportunities.
-        let mut groups: Vec<(usize, u32, Vec<GlobalPpa>)> = Vec::new();
-        for &old in olds {
-            let key = (old.chip, old.ppa.block.0);
-            match groups.iter_mut().find(|(c, b, _)| (*c, *b) == key) {
-                Some((_, _, v)) => v.push(old),
-                None => groups.push((key.0, key.1, vec![old])),
-            }
-        }
-        for (chip, block, group) in groups {
-            // Overwrite invalidations are deferrable: the host never waits
-            // on them (unlike a trim ack), so they may sit in the
-            // coalescing queue.
-            self.invalidate_block_group(ex, obs, chip, block, &group, InvalidateCause::HostUpdate);
-        }
-    }
-
-    fn invalidate_block_group<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
         chip: usize,
         block: u32,
         group: &[GlobalPpa],
@@ -929,8 +1057,11 @@ impl Ftl {
         // Host-update invalidations are deferrable (the host never waits on
         // them); trim invalidations must settle synchronously before the ack.
         let defer = cause == InvalidateCause::HostUpdate;
-        // Mark invalid first, collecting the secured subset.
-        let mut secured: Vec<GlobalPpa> = Vec::new();
+        // Mark invalid first, collecting the secured subset into a recycled
+        // buffer (this runs on every host overwrite; a fresh allocation per
+        // call would dominate the data plane).
+        let mut secured = std::mem::take(&mut self.secured_scratch);
+        secured.clear();
         for &old in group {
             let idx = self.flat(old.ppa);
             let st = self.chips[chip].status[idx];
@@ -940,7 +1071,7 @@ impl Ftl {
                 secured.push(old);
             }
             let sec = st == PageStatus::Secured;
-            obs.on_invalidate(old, sec, self.policy.is_immediate() && sec, cause);
+            self.events.invalidate(old, sec, self.policy.is_immediate() && sec, cause);
         }
         // Lock coalescing (Evanesco policies only): deferrable locks queue
         // until the block dies — one bLock then covers the whole batch — or
@@ -958,29 +1089,36 @@ impl Ftl {
                         );
                         self.enqueue_pending_locks(chip, block, &secured);
                     }
+                    self.secured_scratch = secured;
                     return;
                 }
-                let pending =
-                    if fully_dead { self.take_pending_locks(chip, block) } else { Vec::new() };
-                let queued = pending.len() as u64;
-                let mut all = secured;
-                all.extend(pending);
-                if all.is_empty() {
+                let mut queued = 0u64;
+                if fully_dead {
+                    if let Some(entry) = self.pending_locks.take(chip, block) {
+                        queued = entry.pages.len() as u64;
+                        secured.extend_from_slice(&entry.pages);
+                        self.pending_locks.recycle(entry.pages);
+                    }
+                }
+                if secured.is_empty() {
+                    self.secured_scratch = secured;
                     return;
                 }
-                if use_block && fully_dead && all.len() >= self.cfg.block_min_plocks {
-                    self.secure_block(ex, chip, block, &all);
+                if use_block && fully_dead && secured.len() >= self.cfg.block_min_plocks {
+                    self.secure_block(ex, chip, block, &secured);
                     self.stats.coalesced_plocks += queued;
                 } else {
-                    for &old in &all {
-                        self.secure_page(ex, obs, old);
+                    for &old in &secured {
+                        self.secure_page(ex, old);
                     }
                     self.stats.coalesce_flushed_plocks += queued;
                 }
+                self.secured_scratch = secured;
                 return;
             }
         }
         if secured.is_empty() {
+            self.secured_scratch = secured;
             return;
         }
         match self.policy {
@@ -992,19 +1130,20 @@ impl Ftl {
                     self.secure_block(ex, chip, block, &secured);
                 } else {
                     for &old in &secured {
-                        self.secure_page(ex, obs, old);
+                        self.secure_page(ex, old);
                     }
                 }
             }
             SanitizePolicy::EraseBased => {
-                self.erase_based_sanitize(ex, obs, chip, block);
+                self.erase_based_sanitize(ex, chip, block);
             }
             SanitizePolicy::Scrub => {
                 for &old in &secured {
-                    self.scrub_sanitize(ex, obs, old);
+                    self.scrub_sanitize(ex, old);
                 }
             }
         }
+        self.secured_scratch = secured;
     }
 
     // ---------------------------------------------------------------------
@@ -1012,78 +1151,44 @@ impl Ftl {
     // ---------------------------------------------------------------------
 
     fn enqueue_pending_locks(&mut self, chip: usize, block: u32, pages: &[GlobalPpa]) {
-        match self.pending_locks.iter_mut().find(|e| e.chip == chip && e.block == block) {
-            Some(e) => e.pages.extend_from_slice(pages),
-            None => self.pending_locks.push_back(CoalesceEntry {
-                chip,
-                block,
-                pages: pages.to_vec(),
-                since: self.stats.host_write_pages,
-            }),
-        }
-    }
-
-    /// Removes and returns the queued locks of one block (empty if none).
-    fn take_pending_locks(&mut self, chip: usize, block: u32) -> Vec<GlobalPpa> {
-        self.pending_locks
-            .iter()
-            .position(|e| e.chip == chip && e.block == block)
-            .and_then(|i| self.pending_locks.remove(i))
-            .map(|e| e.pages)
-            .unwrap_or_default()
+        let since = self.stats.host_write_pages;
+        self.pending_locks.enqueue(chip, block, pages, since);
     }
 
     /// Settles one queue entry *now*: promotes to `bLock` when the block is
     /// fully dead and the batch is large enough, else issues the `pLock`s
     /// individually.
-    fn settle_pending_entry<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
-        entry: CoalesceEntry,
-    ) {
+    fn settle_pending_entry<E: NandExecutor>(&mut self, ex: &mut E, entry: CoalesceEntry) {
+        let CoalesceEntry { chip, block, pages, since: _ } = entry;
         let use_block = matches!(self.policy, SanitizePolicy::Evanesco { use_block: true });
-        let meta = self.chips[entry.chip].blocks[entry.block as usize];
+        let meta = self.chips[chip].blocks[block as usize];
         let fully_dead =
             meta.live == 0 && matches!(meta.state, BlockState::Full | BlockState::Reclaimable);
-        if use_block && fully_dead && entry.pages.len() >= self.cfg.block_min_plocks {
-            self.note_decision(
-                ex,
-                Decision::CoalescePromote {
-                    chip: entry.chip,
-                    block: entry.block,
-                    pages: entry.pages.len(),
-                },
-            );
-            self.secure_block(ex, entry.chip, entry.block, &entry.pages);
-            self.stats.coalesced_plocks += entry.pages.len() as u64;
+        if use_block && fully_dead && pages.len() >= self.cfg.block_min_plocks {
+            self.note_decision(ex, Decision::CoalescePromote { chip, block, pages: pages.len() });
+            self.secure_block(ex, chip, block, &pages);
+            self.stats.coalesced_plocks += pages.len() as u64;
         } else {
-            self.note_decision(
-                ex,
-                Decision::CoalesceFlush {
-                    chip: entry.chip,
-                    block: entry.block,
-                    pages: entry.pages.len(),
-                },
-            );
-            for &at in &entry.pages {
-                self.secure_page(ex, obs, at);
+            self.note_decision(ex, Decision::CoalesceFlush { chip, block, pages: pages.len() });
+            for &at in &pages {
+                self.secure_page(ex, at);
             }
-            self.stats.coalesce_flushed_plocks += entry.pages.len() as u64;
+            self.stats.coalesce_flushed_plocks += pages.len() as u64;
         }
+        self.pending_locks.recycle(pages);
     }
 
     /// Flushes queue entries older than the coalescing window (called once
     /// per host write; entries are in age order, so this stops at the first
     /// young one).
-    fn flush_aged_locks<E: NandExecutor, O: FtlObserver>(&mut self, ex: &mut E, obs: &mut O) {
+    fn flush_aged_locks<E: NandExecutor>(&mut self, ex: &mut E) {
         let now = self.stats.host_write_pages;
-        while let Some(front) = self.pending_locks.front() {
-            if now.saturating_sub(front.since) < self.cfg.coalesce_window {
+        while let Some(since) = self.pending_locks.front_since() {
+            if now.saturating_sub(since) < self.cfg.coalesce_window {
                 break;
             }
             let entry = self.pending_locks.pop_front().expect("front exists");
-            self.settle_pending_entry(ex, obs, entry);
+            self.settle_pending_entry(ex, entry);
         }
     }
 
@@ -1091,23 +1196,18 @@ impl Ftl {
     /// planned shutdown). Afterwards no deferred lock is outstanding.
     pub fn flush_coalesced<E: NandExecutor, O: FtlObserver>(&mut self, ex: &mut E, obs: &mut O) {
         while let Some(entry) = self.pending_locks.pop_front() {
-            self.settle_pending_entry(ex, obs, entry);
+            self.settle_pending_entry(ex, entry);
         }
+        self.events.drain_into(obs);
     }
 
     /// Number of deferred `pLock`s currently queued by lock coalescing.
     pub fn pending_coalesced_locks(&self) -> usize {
-        self.pending_locks.iter().map(|e| e.pages.len()).sum()
+        self.pending_locks.total_pages()
     }
 
     /// erSSD: relocate all live pages of `block`, then erase it immediately.
-    fn erase_based_sanitize<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
-        chip: usize,
-        block: u32,
-    ) {
+    fn erase_based_sanitize<E: NandExecutor>(&mut self, ex: &mut E, chip: usize, block: u32) {
         // Close the block if it is the active one (cannot erase a block we
         // are appending to without losing the write pointer).
         let cs = &mut self.chips[chip];
@@ -1120,7 +1220,7 @@ impl Ftl {
         // The relocation burst can consume up to two blocks before the
         // victim's erase returns one; reserve headroom first (this GC
         // pressure is part of erSSD's cost and is accounted normally).
-        self.ensure_space_target(ex, obs, chip, self.cfg.gc_free_threshold + 1);
+        self.ensure_space_target(ex, chip, self.cfg.gc_free_threshold + 1);
         // The reservation GC may already have collected — and lazy-erased —
         // this very block (or retired it); if so the secured data is
         // physically gone.
@@ -1128,11 +1228,11 @@ impl Ftl {
             BlockState::Free | BlockState::Open | BlockState::Retired => return,
             BlockState::Full | BlockState::Reclaimable => {}
         }
-        let _ = self.relocate_live_pages(ex, obs, chip, block);
+        let _ = self.relocate_live_pages(ex, chip, block);
         // An emergency GC during the relocation may already have queued the
         // (now dead) block as reclaimable; detach it to avoid double listing.
         self.detach_block(chip, block);
-        if self.erase_block(ex, obs, chip, block) {
+        if self.erase_block(ex, chip, block) {
             self.stats.sanitize_erases += 1;
             self.chips[chip].free.push_back(block);
         }
@@ -1148,15 +1248,10 @@ impl Ftl {
 
     /// scrSSD: copy live wordline siblings elsewhere, then destroy the
     /// wordline in place.
-    fn scrub_sanitize<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
-        target: GlobalPpa,
-    ) {
+    fn scrub_sanitize<E: NandExecutor>(&mut self, ex: &mut E, target: GlobalPpa) {
         // Sibling relocation consumes pages outside the host-write path;
         // keep the usual GC headroom.
-        self.ensure_space(ex, obs, target.chip);
+        self.ensure_space(ex, target.chip);
         let geom = self.cfg.geometry;
         let chip = target.chip;
         let block = target.ppa.block;
@@ -1182,7 +1277,7 @@ impl Ftl {
             let seq = self.next_seq();
             let payload = data.with_oob(PageOob { lpa, secure, seq });
             let new_at = loop {
-                let new_at = self.allocate_on_chip(ex, obs, chip);
+                let new_at = self.allocate_on_chip(ex, chip);
                 self.stats.nand_programs += 1;
                 if ex.program(new_at, payload.clone()).is_ok() {
                     break new_at;
@@ -1191,9 +1286,9 @@ impl Ftl {
             };
             self.stats.copied_pages += 1;
             self.commit_mapping(lpa, new_at, secure);
-            obs.on_program(lpa, new_at, true, secure);
+            self.events.program(lpa, new_at, true, secure);
             self.chips[chip].mark_invalid(idx, block.0);
-            obs.on_invalidate(at, secure, true, InvalidateCause::GcCopy);
+            self.events.invalidate(at, secure, true, InvalidateCause::GcCopy);
         }
 
         // Destroy the wordline: the target, the siblings' old slots, and any
@@ -1261,12 +1356,7 @@ impl Ftl {
     /// Secures one dead page — the hot-path escalation ladder: `pLock`
     /// retries, then block-level escalation (relocate + `bLock`, erase as
     /// last resort). On return the page is never host-readable.
-    fn secure_page<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
-        at: GlobalPpa,
-    ) {
+    fn secure_page<E: NandExecutor>(&mut self, ex: &mut E, at: GlobalPpa) {
         // An earlier escalation in the same batch may already have erased,
         // scrubbed, or even recycled the slot; only still-invalid slots
         // need a lock.
@@ -1285,7 +1375,7 @@ impl Ftl {
                 rung: crate::decision::EscalationRung::PlockExhausted,
             },
         );
-        self.escalate_block(ex, obs, at.chip, at.ppa.block.0);
+        self.escalate_block(ex, at.chip, at.ppa.block.0);
     }
 
     /// Terminal per-page rung inside a failed block-level settle: `pLock`
@@ -1365,13 +1455,7 @@ impl Ftl {
     /// stop appending to the block, relocate its live pages, then `bLock`
     /// the whole block; if even that fails, erase it immediately (the
     /// erSSD fallback — which retires the block if the erase fails too).
-    fn escalate_block<E: NandExecutor, O: FtlObserver>(
-        &mut self,
-        ex: &mut E,
-        obs: &mut O,
-        chip: usize,
-        block: u32,
-    ) {
+    fn escalate_block<E: NandExecutor>(&mut self, ex: &mut E, chip: usize, block: u32) {
         let cs = &mut self.chips[chip];
         if cs.active.is_some_and(|ab| ab.id == block) {
             // Sacrifice the write pointer: the block's remaining free pages
@@ -1381,7 +1465,7 @@ impl Ftl {
         }
         if self.chips[chip].blocks[block as usize].live > 0 {
             // The relocation burst consumes pages; reserve headroom first.
-            self.ensure_space_target(ex, obs, chip, self.cfg.gc_free_threshold + 1);
+            self.ensure_space_target(ex, chip, self.cfg.gc_free_threshold + 1);
             match self.chips[chip].blocks[block as usize].state {
                 // The reservation GC consumed (or retired) the block: the
                 // offending page is already physically gone.
@@ -1389,7 +1473,7 @@ impl Ftl {
                 BlockState::Full | BlockState::Reclaimable => {}
             }
             let before = self.stats.copied_pages;
-            let _ = self.relocate_live_pages(ex, obs, chip, block);
+            let _ = self.relocate_live_pages(ex, chip, block);
             self.stats.reliability_relocations += self.stats.copied_pages - before;
         }
         match self.chips[chip].blocks[block as usize].state {
@@ -1414,7 +1498,7 @@ impl Ftl {
             },
         );
         self.detach_block(chip, block);
-        if self.erase_block(ex, obs, chip, block) {
+        if self.erase_block(ex, chip, block) {
             self.stats.sanitize_erases += 1;
             self.chips[chip].free.push_back(block);
         }
@@ -1552,7 +1636,7 @@ impl Ftl {
                 // (A terminal erase failure retires the block instead —
                 // either way the hazard is closed.)
                 if bp.torn_erase {
-                    if self.erase_block(ex, obs, chip, b) {
+                    if self.erase_block(ex, chip, b) {
                         self.chips[chip].free.push_back(b);
                     }
                     report.resealed_blocks += 1;
@@ -1667,7 +1751,7 @@ impl Ftl {
             }
         }
         to_sanitize.extend_from_slice(&orphans);
-        self.sanitize_after_recovery(ex, obs, &to_sanitize, &mut report);
+        self.sanitize_after_recovery(ex, &to_sanitize, &mut report);
 
         // Phase 5: re-derive the degraded mode from the rebuilt grown-bad
         // table (blocks retired during this recovery included).
@@ -1676,16 +1760,16 @@ impl Ftl {
             self.update_degraded(chip, ex.now());
         }
 
+        self.events.drain_into(obs);
         obs.on_recovery(&report);
         report
     }
 
     /// Applies the active policy to pages recovery found to need
     /// sanitization (stale secured versions and orphaned torn writes).
-    fn sanitize_after_recovery<E: NandExecutor, O: FtlObserver>(
+    fn sanitize_after_recovery<E: NandExecutor>(
         &mut self,
         ex: &mut E,
-        obs: &mut O,
         targets: &[GlobalPpa],
         report: &mut RecoveryReport,
     ) {
@@ -1726,9 +1810,9 @@ impl Ftl {
                         BlockState::Free | BlockState::Open | BlockState::Retired => continue,
                         BlockState::Full | BlockState::Reclaimable => {}
                     }
-                    let _ = self.relocate_live_pages(ex, obs, chip, block);
+                    let _ = self.relocate_live_pages(ex, chip, block);
                     self.detach_block(chip, block);
-                    if self.erase_block(ex, obs, chip, block) {
+                    if self.erase_block(ex, chip, block) {
                         self.stats.sanitize_erases += 1;
                         self.chips[chip].free.push_back(block);
                     }
@@ -1737,7 +1821,7 @@ impl Ftl {
             SanitizePolicy::Scrub => {
                 for (_, _, group) in groups {
                     for &at in &group {
-                        self.scrub_sanitize(ex, obs, at);
+                        self.scrub_sanitize(ex, at);
                     }
                 }
             }
@@ -1969,7 +2053,7 @@ impl Ftl {
         self.stats.encode_snapshot(e);
         e.u64(self.seq);
         e.usize(self.pending_locks.len());
-        for entry in &self.pending_locks {
+        for entry in self.pending_locks.iter() {
             e.usize(entry.chip);
             e.u32(entry.block);
             e.usize(entry.pages.len());
@@ -2123,7 +2207,12 @@ impl Ftl {
                 pages.push(decode_gppa(d)?);
             }
             let since = d.u64()?;
-            self.pending_locks.push_back(CoalesceEntry { chip, block, pages, since });
+            if chip >= self.chips.len() || block >= self.cfg.geometry.blocks {
+                return Err(SnapshotError::Corrupt(format!(
+                    "coalesce entry out of range: chip {chip}, block {block}"
+                )));
+            }
+            self.pending_locks.enqueue(chip, block, &pages, since);
         }
         self.mode = match d.u8()? {
             0 => DegradedMode::Normal,

@@ -71,6 +71,120 @@ pub struct NullObserver;
 
 impl FtlObserver for NullObserver {}
 
+/// One recorded page-lifecycle event — the batched form of the
+/// [`FtlObserver`] callbacks (minus `on_recovery`, whose report is built
+/// once at the end of recovery and dispatched directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserverEvent {
+    /// See [`FtlObserver::on_program`].
+    Program {
+        /// Logical page written.
+        lpa: Lpa,
+        /// Physical destination.
+        at: GlobalPpa,
+        /// True for GC copies.
+        relocation: bool,
+        /// True for secured content.
+        secure: bool,
+    },
+    /// See [`FtlObserver::on_invalidate`].
+    Invalidate {
+        /// Physical page invalidated.
+        at: GlobalPpa,
+        /// True when the page held secured content.
+        secure: bool,
+        /// True when the content was made immediately unrecoverable.
+        sanitized: bool,
+        /// The path that retired the page.
+        cause: InvalidateCause,
+    },
+    /// See [`FtlObserver::on_erase`].
+    Erase {
+        /// Chip index.
+        chip: usize,
+        /// Erased block.
+        block: BlockId,
+    },
+    /// See [`FtlObserver::on_host_tick`].
+    HostTick,
+}
+
+/// Dense, reusable event buffer. The FTL's hot loops push `Copy` events
+/// here and the public entry points drain them to the observer once per
+/// host operation — callback dispatch (and whatever the observer does
+/// with it) stays off the per-page inner loops, and internal helpers
+/// need no observer type parameter at all. Draining preserves recording
+/// order exactly, so a batched observer sees the same call sequence a
+/// per-event observer did.
+#[derive(Debug, Clone, Default)]
+pub struct EventBatch {
+    events: Vec<ObserverEvent>,
+}
+
+impl EventBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Records a program event.
+    #[inline]
+    pub fn program(&mut self, lpa: Lpa, at: GlobalPpa, relocation: bool, secure: bool) {
+        self.events.push(ObserverEvent::Program { lpa, at, relocation, secure });
+    }
+
+    /// Records an invalidate event.
+    #[inline]
+    pub fn invalidate(
+        &mut self,
+        at: GlobalPpa,
+        secure: bool,
+        sanitized: bool,
+        cause: InvalidateCause,
+    ) {
+        self.events.push(ObserverEvent::Invalidate { at, secure, sanitized, cause });
+    }
+
+    /// Records an erase event.
+    #[inline]
+    pub fn erase(&mut self, chip: usize, block: BlockId) {
+        self.events.push(ObserverEvent::Erase { chip, block });
+    }
+
+    /// Records a host logical-time tick.
+    #[inline]
+    pub fn host_tick(&mut self) {
+        self.events.push(ObserverEvent::HostTick);
+    }
+
+    /// Replays every buffered event into `obs` in recording order and
+    /// clears the batch (capacity is retained for reuse).
+    pub fn drain_into<O: FtlObserver + ?Sized>(&mut self, obs: &mut O) {
+        for ev in self.events.drain(..) {
+            match ev {
+                ObserverEvent::Program { lpa, at, relocation, secure } => {
+                    obs.on_program(lpa, at, relocation, secure);
+                }
+                ObserverEvent::Invalidate { at, secure, sanitized, cause } => {
+                    obs.on_invalidate(at, secure, sanitized, cause);
+                }
+                ObserverEvent::Erase { chip, block } => obs.on_erase(chip, block),
+                ObserverEvent::HostTick => obs.on_host_tick(),
+            }
+        }
+    }
+}
+
 impl<O: FtlObserver + ?Sized> FtlObserver for &mut O {
     fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, relocation: bool, secure: bool) {
         (**self).on_program(lpa, at, relocation, secure);
@@ -222,6 +336,64 @@ mod tests {
         }
         assert_eq!(a.invalidates, 1);
         assert_eq!(c.invalidates, 1);
+    }
+
+    #[derive(Default)]
+    struct Recorder(Vec<ObserverEvent>);
+
+    impl FtlObserver for Recorder {
+        fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, relocation: bool, secure: bool) {
+            self.0.push(ObserverEvent::Program { lpa, at, relocation, secure });
+        }
+        fn on_invalidate(
+            &mut self,
+            at: GlobalPpa,
+            secure: bool,
+            sanitized: bool,
+            cause: InvalidateCause,
+        ) {
+            self.0.push(ObserverEvent::Invalidate { at, secure, sanitized, cause });
+        }
+        fn on_erase(&mut self, chip: usize, block: BlockId) {
+            self.0.push(ObserverEvent::Erase { chip, block });
+        }
+        fn on_host_tick(&mut self) {
+            self.0.push(ObserverEvent::HostTick);
+        }
+    }
+
+    #[test]
+    fn event_batch_drains_in_recording_order() {
+        let at = GlobalPpa::new(2, Ppa::new(3, 4));
+        let mut batch = EventBatch::new();
+        batch.host_tick();
+        batch.invalidate(at, true, false, InvalidateCause::HostUpdate);
+        batch.program(7, at, false, true);
+        batch.erase(1, BlockId(5));
+        assert_eq!(batch.len(), 4);
+
+        let mut rec = Recorder::default();
+        batch.drain_into(&mut rec);
+        assert!(batch.is_empty());
+        assert_eq!(
+            rec.0,
+            vec![
+                ObserverEvent::HostTick,
+                ObserverEvent::Invalidate {
+                    at,
+                    secure: true,
+                    sanitized: false,
+                    cause: InvalidateCause::HostUpdate,
+                },
+                ObserverEvent::Program { lpa: 7, at, relocation: false, secure: true },
+                ObserverEvent::Erase { chip: 1, block: BlockId(5) },
+            ]
+        );
+
+        // Draining again delivers nothing: the batch resets between ops.
+        rec.0.clear();
+        batch.drain_into(&mut rec);
+        assert!(rec.0.is_empty());
     }
 
     #[test]

@@ -150,24 +150,91 @@ impl ReadOutput {
     }
 }
 
-/// Per-page slot state inside a block.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Slot {
+/// Lifecycle state of a page slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
     Erased,
-    Programmed(PageData),
+    Programmed,
     Destroyed,
-    /// Program interrupted mid-flight; `readable` says whether the partial
-    /// page still decodes under ECC.
-    Torn {
-        data: PageData,
-        readable: bool,
-    },
+    /// Torn program whose partial page still decodes under ECC.
+    TornReadable,
+    /// Torn program that reads as garbage on the interface. The tag,
+    /// payload and OOB are still retained internally: checkpoints have
+    /// always serialized torn data regardless of readability, and the
+    /// stream must stay byte-identical.
+    TornGarbage,
+}
+
+/// Dense per-page slot: fixed-size and `Copy`, no heap pointers. A byte
+/// payload (only tests and examples store one; system-level runs use
+/// content tags) lives in the chip-level [`PayloadPool`] and is referenced
+/// by index, so a block erase recycles buffers instead of freeing them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PageSlot {
+    state: SlotState,
+    tag: u64,
+    payload: Option<u32>,
+    oob: Option<PageOob>,
+}
+
+impl PageSlot {
+    const ERASED: PageSlot =
+        PageSlot { state: SlotState::Erased, tag: 0, payload: None, oob: None };
+}
+
+/// Chip-level arena for page byte payloads. Buffers are never freed while
+/// the chip lives: releasing a slot pushes its index on the free list, and
+/// the next store reuses the allocation (clear + extend keeps capacity).
+#[derive(Debug, Clone, Default)]
+struct PayloadPool {
+    bufs: Vec<Vec<u8>>,
+    free: Vec<u32>,
+}
+
+impl PayloadPool {
+    fn store(&mut self, bytes: &[u8]) -> u32 {
+        match self.free.pop() {
+            Some(idx) => {
+                let buf = &mut self.bufs[idx as usize];
+                buf.clear();
+                buf.extend_from_slice(bytes);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.bufs.len()).expect("payload pool overflow");
+                self.bufs.push(bytes.to_vec());
+                idx
+            }
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.free.push(idx);
+    }
+
+    fn get(&self, idx: u32) -> &[u8] {
+        &self.bufs[idx as usize]
+    }
+}
+
+/// Moves a [`PageData`]'s payload into the pool and returns the dense slot.
+fn intern_slot(pool: &mut PayloadPool, data: PageData, state: SlotState) -> PageSlot {
+    let PageData { tag, payload, oob } = data;
+    PageSlot { state, tag, payload: payload.map(|p| pool.store(&p)), oob }
+}
+
+/// Clears a slot, returning its payload buffer (if any) to the pool.
+fn retire_slot(pool: &mut PayloadPool, slot: &mut PageSlot, state: SlotState) {
+    if let Some(idx) = slot.payload.take() {
+        pool.release(idx);
+    }
+    *slot = PageSlot { state, ..PageSlot::ERASED };
 }
 
 /// One erase block.
 #[derive(Debug, Clone)]
 struct Block {
-    slots: Vec<Slot>,
+    slots: Vec<PageSlot>,
     /// Next in-order program index.
     next_program: u32,
     erase_count: u64,
@@ -182,7 +249,7 @@ struct Block {
 impl Block {
     fn new(pages: u32) -> Self {
         Block {
-            slots: vec![Slot::Erased; pages as usize],
+            slots: vec![PageSlot::ERASED; pages as usize],
             next_program: 0,
             erase_count: 0,
             last_erase_at: None,
@@ -208,21 +275,13 @@ pub struct ChipStats {
     pub torn_erases: u64,
 }
 
-fn slot_content(slot: &Slot) -> PageContent {
-    match slot {
-        Slot::Erased => PageContent::Erased,
-        Slot::Programmed(d) => PageContent::Data(d.clone()),
-        Slot::Destroyed => PageContent::Destroyed,
-        Slot::Torn { data, readable } => PageContent::Torn { data: readable.then(|| data.clone()) },
-    }
-}
-
 /// A behavioral NAND flash chip.
 #[derive(Debug, Clone)]
 pub struct Chip {
     geom: Geometry,
     timing: TimingSpec,
     blocks: Vec<Block>,
+    pool: PayloadPool,
     stats: ChipStats,
 }
 
@@ -235,7 +294,39 @@ impl Chip {
     /// Creates an all-erased chip with explicit timing.
     pub fn with_timing(geom: Geometry, timing: TimingSpec) -> Self {
         let blocks = (0..geom.blocks).map(|_| Block::new(geom.pages_per_block())).collect();
-        Chip { geom, timing, blocks, stats: ChipStats::default() }
+        Chip { geom, timing, blocks, pool: PayloadPool::default(), stats: ChipStats::default() }
+    }
+
+    /// Rebuilds a [`PageData`] view of a slot (copies the pooled payload).
+    fn slot_data(&self, slot: &PageSlot) -> PageData {
+        PageData {
+            tag: slot.tag,
+            payload: slot.payload.map(|idx| Box::from(self.pool.get(idx))),
+            oob: slot.oob,
+        }
+    }
+
+    /// Serializes a slot's data section exactly as the pre-pool encoding
+    /// wrote an inline [`PageData`]: tag, optional payload bytes, optional
+    /// OOB. The pool is an in-memory detail; it never reaches the stream.
+    fn encode_slot_data(&self, e: &mut Enc, slot: &PageSlot) {
+        e.u64(slot.tag);
+        e.opt(&slot.payload, |e, &idx| e.bytes(self.pool.get(idx)));
+        e.opt(&slot.oob, |e, oob| {
+            e.u64(oob.lpa);
+            e.bool(oob.secure);
+            e.u64(oob.seq);
+        });
+    }
+
+    fn slot_content(&self, slot: &PageSlot) -> PageContent {
+        match slot.state {
+            SlotState::Erased => PageContent::Erased,
+            SlotState::Programmed => PageContent::Data(self.slot_data(slot)),
+            SlotState::Destroyed => PageContent::Destroyed,
+            SlotState::TornReadable => PageContent::Torn { data: Some(self.slot_data(slot)) },
+            SlotState::TornGarbage => PageContent::Torn { data: None },
+        }
     }
 
     /// The chip geometry.
@@ -277,8 +368,8 @@ impl Chip {
     pub fn read(&mut self, ppa: Ppa) -> Result<ReadOutput, NandError> {
         self.check_addr(ppa)?;
         self.stats.reads += 1;
-        let slot = &self.blocks[ppa.block.0 as usize].slots[ppa.page.0 as usize];
-        let content = slot_content(slot);
+        let slot = self.blocks[ppa.block.0 as usize].slots[ppa.page.0 as usize];
+        let content = self.slot_content(&slot);
         Ok(ReadOutput { content, latency: self.timing.t_read })
     }
 
@@ -294,14 +385,13 @@ impl Chip {
     pub fn program(&mut self, ppa: Ppa, data: PageData) -> Result<Nanos, NandError> {
         self.check_addr(ppa)?;
         let block = &mut self.blocks[ppa.block.0 as usize];
-        let slot = &block.slots[ppa.page.0 as usize];
-        if !matches!(slot, Slot::Erased) {
+        if block.slots[ppa.page.0 as usize].state != SlotState::Erased {
             return Err(NandError::ProgramOnProgrammedPage { ppa });
         }
         if ppa.page.0 != block.next_program {
             return Err(NandError::OutOfOrderProgram { ppa, expected: block.next_program });
         }
-        block.slots[ppa.page.0 as usize] = Slot::Programmed(data);
+        block.slots[ppa.page.0 as usize] = intern_slot(&mut self.pool, data, SlotState::Programmed);
         block.next_program += 1;
         self.stats.programs += 1;
         Ok(self.timing.t_prog)
@@ -319,7 +409,7 @@ impl Chip {
         self.check_block(block)?;
         let b = &mut self.blocks[block.0 as usize];
         for slot in &mut b.slots {
-            *slot = Slot::Erased;
+            retire_slot(&mut self.pool, slot, SlotState::Erased);
         }
         b.next_program = 0;
         b.erase_count += 1;
@@ -345,14 +435,18 @@ impl Chip {
     ) -> Result<(), NandError> {
         self.check_addr(ppa)?;
         let block = &mut self.blocks[ppa.block.0 as usize];
-        if !matches!(block.slots[ppa.page.0 as usize], Slot::Erased) {
+        if block.slots[ppa.page.0 as usize].state != SlotState::Erased {
             return Err(NandError::ProgramOnProgrammedPage { ppa });
         }
         if ppa.page.0 != block.next_program {
             return Err(NandError::OutOfOrderProgram { ppa, expected: block.next_program });
         }
-        let readable = fraction >= TORN_PROGRAM_READABLE_FRACTION;
-        block.slots[ppa.page.0 as usize] = Slot::Torn { data, readable };
+        let state = if fraction >= TORN_PROGRAM_READABLE_FRACTION {
+            SlotState::TornReadable
+        } else {
+            SlotState::TornGarbage
+        };
+        block.slots[ppa.page.0 as usize] = intern_slot(&mut self.pool, data, state);
         block.next_program += 1;
         self.stats.torn_programs += 1;
         Ok(())
@@ -372,8 +466,8 @@ impl Chip {
         let b = &mut self.blocks[block.0 as usize];
         if fraction >= TORN_ERASE_DATA_WIPE_FRACTION {
             for slot in &mut b.slots {
-                if !matches!(slot, Slot::Erased) {
-                    *slot = Slot::Destroyed;
+                if slot.state != SlotState::Erased {
+                    retire_slot(&mut self.pool, slot, SlotState::Destroyed);
                 }
             }
         }
@@ -394,7 +488,11 @@ impl Chip {
         self.check_addr(ppa)?;
         if fraction >= TORN_SCRUB_DESTROY_FRACTION {
             let block = &mut self.blocks[ppa.block.0 as usize];
-            block.slots[ppa.page.0 as usize] = Slot::Destroyed;
+            retire_slot(
+                &mut self.pool,
+                &mut block.slots[ppa.page.0 as usize],
+                SlotState::Destroyed,
+            );
             if ppa.page.0 >= block.next_program {
                 block.next_program = ppa.page.0 + 1;
             }
@@ -420,8 +518,8 @@ impl Chip {
     /// Returns [`NandError::BadAddress`] for an out-of-range address.
     pub fn page_is_torn(&self, ppa: Ppa) -> Result<bool, NandError> {
         self.check_addr(ppa)?;
-        let slot = &self.blocks[ppa.block.0 as usize].slots[ppa.page.0 as usize];
-        Ok(matches!(slot, Slot::Torn { .. }))
+        let state = self.blocks[ppa.block.0 as usize].slots[ppa.page.0 as usize].state;
+        Ok(matches!(state, SlotState::TornReadable | SlotState::TornGarbage))
     }
 
     /// Destroys a page's data in place (models scrubbing / one-shot
@@ -434,7 +532,7 @@ impl Chip {
     pub fn destroy_page(&mut self, ppa: Ppa) -> Result<Nanos, NandError> {
         self.check_addr(ppa)?;
         let block = &mut self.blocks[ppa.block.0 as usize];
-        block.slots[ppa.page.0 as usize] = Slot::Destroyed;
+        retire_slot(&mut self.pool, &mut block.slots[ppa.page.0 as usize], SlotState::Destroyed);
         // Keep the in-order pointer past this page if it was still erased.
         if ppa.page.0 >= block.next_program {
             block.next_program = ppa.page.0 + 1;
@@ -452,8 +550,8 @@ impl Chip {
     /// Returns [`NandError::BadAddress`] for an out-of-range address.
     pub fn page_is_written(&self, ppa: Ppa) -> Result<bool, NandError> {
         self.check_addr(ppa)?;
-        let slot = &self.blocks[ppa.block.0 as usize].slots[ppa.page.0 as usize];
-        Ok(!matches!(slot, Slot::Erased))
+        let state = self.blocks[ppa.block.0 as usize].slots[ppa.page.0 as usize].state;
+        Ok(state != SlotState::Erased)
     }
 
     /// Erase count of a block.
@@ -479,7 +577,7 @@ impl Chip {
     /// Raw interface dump of a whole block, as a forensic attacker sees it
     /// through standard flash commands (no FTL, no file system).
     pub fn raw_block_dump(&self, block: BlockId) -> Vec<PageContent> {
-        self.blocks[block.0 as usize].slots.iter().map(slot_content).collect()
+        self.blocks[block.0 as usize].slots.iter().map(|s| self.slot_content(s)).collect()
     }
 
     /// Serializes the full chip state — geometry, timing, every block's
@@ -497,17 +595,17 @@ impl Chip {
             e.bool(b.torn_erase);
             e.usize(b.slots.len());
             for slot in &b.slots {
-                match slot {
-                    Slot::Erased => e.u8(0),
-                    Slot::Programmed(d) => {
+                match slot.state {
+                    SlotState::Erased => e.u8(0),
+                    SlotState::Programmed => {
                         e.u8(1);
-                        encode_page_data(e, d);
+                        self.encode_slot_data(e, slot);
                     }
-                    Slot::Destroyed => e.u8(2),
-                    Slot::Torn { data, readable } => {
+                    SlotState::Destroyed => e.u8(2),
+                    SlotState::TornReadable | SlotState::TornGarbage => {
                         e.u8(3);
-                        encode_page_data(e, data);
-                        e.bool(*readable);
+                        self.encode_slot_data(e, slot);
+                        e.bool(slot.state == SlotState::TornReadable);
                     }
                 }
             }
@@ -541,6 +639,7 @@ impl Chip {
             )));
         }
         let mut blocks = Vec::with_capacity(n_blocks);
+        let mut pool = PayloadPool::default();
         for _ in 0..n_blocks {
             let next_program = d.u32()?;
             let erase_count = d.u64()?;
@@ -556,13 +655,15 @@ impl Chip {
             let mut slots = Vec::with_capacity(n_slots);
             for _ in 0..n_slots {
                 slots.push(match d.u8()? {
-                    0 => Slot::Erased,
-                    1 => Slot::Programmed(decode_page_data(d)?),
-                    2 => Slot::Destroyed,
+                    0 => PageSlot::ERASED,
+                    1 => intern_slot(&mut pool, decode_page_data(d)?, SlotState::Programmed),
+                    2 => PageSlot { state: SlotState::Destroyed, ..PageSlot::ERASED },
                     3 => {
                         let data = decode_page_data(d)?;
                         let readable = d.bool()?;
-                        Slot::Torn { data, readable }
+                        let state =
+                            if readable { SlotState::TornReadable } else { SlotState::TornGarbage };
+                        intern_slot(&mut pool, data, state)
                     }
                     b => {
                         return Err(SnapshotError::Corrupt(format!(
@@ -581,22 +682,12 @@ impl Chip {
             torn_programs: d.u64()?,
             torn_erases: d.u64()?,
         };
-        Ok(Chip { geom, timing, blocks, stats })
+        Ok(Chip { geom, timing, blocks, pool, stats })
     }
 }
 
 /// Section tag for a behavioral chip in a checkpoint stream.
 const TAG_CHIP: u8 = 0x10;
-
-fn encode_page_data(e: &mut Enc, d: &PageData) {
-    e.u64(d.tag);
-    e.opt(&d.payload, |e, p| e.bytes(p));
-    e.opt(&d.oob, |e, oob| {
-        e.u64(oob.lpa);
-        e.bool(oob.secure);
-        e.u64(oob.seq);
-    });
-}
 
 fn decode_page_data(d: &mut Dec<'_>) -> Result<PageData, SnapshotError> {
     let tag = d.u64()?;
@@ -840,6 +931,23 @@ mod tests {
         // Truncation is also an error, not a panic.
         let err = Chip::decode_state(&mut Dec::new(&good[..good.len() - 4])).unwrap_err();
         assert!(matches!(err, SnapshotError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn payload_pool_recycles_buffers_across_erase() {
+        let mut chip = small_chip();
+        chip.program(Ppa::new(0, 0), PageData::with_payload(b"first")).unwrap();
+        chip.erase(BlockId(0), Nanos::ZERO).unwrap();
+        chip.program(Ppa::new(0, 0), PageData::with_payload(b"second one")).unwrap();
+        let out = chip.read(Ppa::new(0, 0)).unwrap();
+        assert_eq!(out.data().unwrap().payload().unwrap(), b"second one");
+        // The erase released the first buffer and the second program reused
+        // it: the pool still holds exactly one allocation and no free slots.
+        assert_eq!(chip.pool.bufs.len(), 1);
+        assert!(chip.pool.free.is_empty());
+        // Destroying the page releases the buffer back to the free list.
+        chip.destroy_page(Ppa::new(0, 0)).unwrap();
+        assert_eq!(chip.pool.free.len(), 1);
     }
 
     #[test]

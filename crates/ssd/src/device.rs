@@ -158,6 +158,21 @@ impl TimedExecutor {
         std::mem::take(&mut self.trace_events)
     }
 
+    /// Allocation-free drain: `into` (a recycled buffer) is cleared and
+    /// swapped in as the new accumulation buffer; the drained events come
+    /// back in the old one. Neither side reallocates, so per-request
+    /// draining reuses the same two buffers for the whole run.
+    pub fn take_trace_events_into(&mut self, mut into: Vec<TraceEvent>) -> Vec<TraceEvent> {
+        into.clear();
+        std::mem::replace(&mut self.trace_events, into)
+    }
+
+    /// Discards the accumulated events in place, keeping the buffer's
+    /// capacity (the between-requests leftover drain).
+    pub fn discard_trace_events(&mut self) {
+        self.trace_events.clear();
+    }
+
     fn trace_push(&mut self, kind: SpanKind, resource: ResourceId, start: Nanos, end: Nanos) {
         if self.trace_on && end > start {
             self.trace_events.push(TraceEvent { kind, resource, start, end });

@@ -11,7 +11,7 @@ use crate::gauges::LiveGauges;
 use crate::metrics::{LatencyBreakdown, LatencyHistogram, RecoveryTotals, RunResult};
 use crate::sched::{Dispatch, HostOp, OpResult, SchedRun, Scheduler};
 use crate::timeseries::TimeSeries;
-use crate::trace::{ReqKind, TraceRecorder};
+use crate::trace::{ReqKind, TraceEvent, TraceRecorder};
 use evanesco_core::threat::Attacker;
 use evanesco_ftl::ftl::Ftl;
 use evanesco_ftl::observer::{FtlObserver, NullObserver, Tee};
@@ -42,6 +42,9 @@ pub struct Emulator {
     gauges: Option<LiveGauges>,
     /// Per-request span recorder ([`Emulator::enable_tracing`]).
     trace: Option<TraceRecorder>,
+    /// Recycled drain buffer for the executor's trace events: unrecorded
+    /// drains hand their allocation back instead of dropping it.
+    trace_spare: Vec<TraceEvent>,
     /// Windowed telemetry ring ([`Emulator::enable_timeseries`]).
     timeseries: Option<TimeSeries>,
 }
@@ -64,6 +67,7 @@ impl Emulator {
             recovery: RecoveryTotals::default(),
             gauges: None,
             trace: None,
+            trace_spare: Vec::new(),
             timeseries: None,
             cfg,
             ftl,
@@ -174,11 +178,13 @@ impl Emulator {
         end: Nanos,
     ) {
         if let Some(tr) = self.trace.as_mut() {
-            let events = self.ex.take_trace_events();
+            let events = self.ex.take_trace_events_into(std::mem::take(&mut self.trace_spare));
             // Zero-work brackets (e.g. a maintenance flush with nothing
             // queued) are not worth a ring slot.
             if !events.is_empty() || end > submit {
                 tr.record(kind, lpa, npages, acked, submit, earliest, end, events);
+            } else {
+                self.trace_spare = events;
             }
         }
     }
@@ -187,7 +193,7 @@ impl Emulator {
     /// (maintenance work between traced requests).
     fn trace_discard_leftovers(&mut self) {
         if self.trace.is_some() {
-            let _ = self.ex.take_trace_events();
+            self.ex.discard_trace_events();
         }
     }
 
@@ -533,7 +539,21 @@ impl Emulator {
             while next < ops.len() && sched.try_submit(next, ops[next]) {
                 next += 1;
             }
-            let Some(d) = sched.take_dispatch(|op| self.chip_hint(op)) else {
+            // The write hint (allocation-frontier chip occupancy) is the
+            // same for every queued write — the FTL does not move between
+            // candidates — so compute it at most once per selection pass.
+            let write_hint = std::cell::Cell::new(None);
+            let Some(d) = sched.take_dispatch(|op| match *op {
+                HostOp::Write { .. } => match write_hint.get() {
+                    Some(h) => h,
+                    None => {
+                        let h = self.ex.chip_free_at(self.ftl.peek_alloc_chip());
+                        write_hint.set(Some(h));
+                        h
+                    }
+                },
+                _ => self.chip_hint(op),
+            }) else {
                 break;
             };
             host_pages += d.op.npages();

@@ -67,11 +67,43 @@ struct FileEntry {
     mode: OpenMode,
 }
 
+/// String interner for file names. Every name is stored once and mapped
+/// to a stable dense `u32` id; the per-file table and all internal
+/// bookkeeping key on the id, not the string. Ids survive deletion, so a
+/// recreated file keeps its id — which makes them directly usable as
+/// workload-layer `FileId`s for exposure attribution.
+#[derive(Debug, Clone, Default)]
+struct NameInterner {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl NameInterner {
+    fn get(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("file-name interner overflow");
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+}
+
 /// A file-granular interface over the emulated SecureSSD.
 #[derive(Debug, Clone)]
 pub struct HostFs {
     ssd: Emulator,
-    files: HashMap<String, FileEntry>,
+    names: NameInterner,
+    files: HashMap<u32, FileEntry>,
     free: Vec<Lpa>,
     page_bytes: usize,
 }
@@ -82,7 +114,7 @@ impl HostFs {
         let ssd = Emulator::new(cfg, policy);
         let page_bytes = cfg.ftl.geometry.page_bytes as usize;
         let free = (0..ssd.logical_pages()).rev().collect();
-        HostFs { ssd, files: HashMap::new(), free, page_bytes }
+        HostFs { ssd, names: NameInterner::default(), files: HashMap::new(), free, page_bytes }
     }
 
     /// The underlying SSD (for metrics and attacker verification).
@@ -110,7 +142,24 @@ impl HostFs {
     }
 
     fn entry(&self, name: &str) -> Result<&FileEntry, HostFsError> {
-        self.files.get(name).ok_or_else(|| HostFsError::NotFound { name: name.to_string() })
+        self.names
+            .get(name)
+            .and_then(|id| self.files.get(&id))
+            .ok_or_else(|| HostFsError::NotFound { name: name.to_string() })
+    }
+
+    /// The stable interned id of a live file, usable as a workload-layer
+    /// `FileId`. Ids are dense, assigned at first creation, and survive
+    /// delete/recreate cycles of the same name.
+    pub fn file_id(&self, name: &str) -> Option<u32> {
+        self.names.get(name).filter(|id| self.files.contains_key(id))
+    }
+
+    /// Names of all live files, in interned-id (creation) order.
+    pub fn file_names(&self) -> Vec<&str> {
+        let mut ids: Vec<u32> = self.files.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|id| self.names.resolve(id)).collect()
     }
 
     /// Creates a file with the given contents.
@@ -125,12 +174,12 @@ impl HostFs {
         contents: &[u8],
         mode: OpenMode,
     ) -> Result<(), HostFsError> {
-        if self.files.contains_key(name) {
+        if self.file_id(name).is_some() {
             return Err(HostFsError::AlreadyExists { name: name.to_string() });
         }
         let lpas = self.store(contents, mode)?;
-        self.files
-            .insert(name.to_string(), FileEntry { lpas, len_bytes: contents.len() as u64, mode });
+        let id = self.names.intern(name);
+        self.files.insert(id, FileEntry { lpas, len_bytes: contents.len() as u64, mode });
         Ok(())
     }
 
@@ -145,12 +194,12 @@ impl HostFs {
     pub fn overwrite(&mut self, name: &str, contents: &[u8]) -> Result<(), HostFsError> {
         let mode = self.entry(name)?.mode;
         // Free the old extent first (trim), then store fresh.
-        let old = self.files.remove(name).expect("checked above");
+        let id = self.names.get(name).expect("checked above");
+        let old = self.files.remove(&id).expect("checked above");
         self.trim_extent(&old.lpas);
         self.free.extend(old.lpas.iter().copied());
         let lpas = self.store(contents, mode)?;
-        self.files
-            .insert(name.to_string(), FileEntry { lpas, len_bytes: contents.len() as u64, mode });
+        self.files.insert(id, FileEntry { lpas, len_bytes: contents.len() as u64, mode });
         Ok(())
     }
 
@@ -182,8 +231,9 @@ impl HostFs {
     /// [`HostFsError::NotFound`] for a missing file.
     pub fn delete(&mut self, name: &str) -> Result<(), HostFsError> {
         let e = self
-            .files
-            .remove(name)
+            .names
+            .get(name)
+            .and_then(|id| self.files.remove(&id))
             .ok_or_else(|| HostFsError::NotFound { name: name.to_string() })?;
         self.trim_extent(&e.lpas);
         self.free.extend(e.lpas.iter().copied());
@@ -312,6 +362,25 @@ mod tests {
             f.delete(&name).unwrap();
         }
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn interned_file_ids_are_dense_and_stable() {
+        let mut f = fs();
+        f.create("a", b"1", OpenMode::Secure).unwrap();
+        f.create("b", b"2", OpenMode::Secure).unwrap();
+        assert_eq!(f.file_id("a"), Some(0));
+        assert_eq!(f.file_id("b"), Some(1));
+        assert_eq!(f.file_id("zzz"), None);
+        assert_eq!(f.file_names(), vec!["a", "b"]);
+        // Delete + recreate keeps the id; new names keep extending.
+        f.delete("a").unwrap();
+        assert_eq!(f.file_id("a"), None);
+        f.create("a", b"3", OpenMode::Secure).unwrap();
+        assert_eq!(f.file_id("a"), Some(0));
+        f.create("c", b"4", OpenMode::Secure).unwrap();
+        assert_eq!(f.file_id("c"), Some(2));
+        assert_eq!(f.file_names(), vec!["a", "b", "c"]);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 
 use evanesco_ftl::Lpa;
 use evanesco_nand::timing::Nanos;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One host request on the scheduled (multi-queue) submission path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +71,7 @@ impl HostOp {
         self.lpa_range().1
     }
 
+    #[cfg(test)]
     fn overlaps(&self, other: &HostOp) -> bool {
         let (a, an) = self.lpa_range();
         let (b, bn) = other.lpa_range();
@@ -115,6 +116,14 @@ struct Queued {
     /// When the request's NCQ slot became available (the closed-loop
     /// submission time).
     submit: Nanos,
+    /// Cached LPA range `[lo, hi)` (dispatch-selection hot loop).
+    lo: Lpa,
+    hi: Lpa,
+    /// Completion time of the latest dispatched request overlapping this
+    /// one — seeded from the dependency table at submission and advanced
+    /// by [`Scheduler::complete`], so dispatch selection reads it instead
+    /// of rescanning the table per candidate per call.
+    dep: Nanos,
 }
 
 /// Closed-loop out-of-order request scoreboard.
@@ -128,8 +137,15 @@ pub struct Scheduler {
     window: VecDeque<Queued>,
     /// Completion times of dispatched-but-still-outstanding requests.
     inflight: Vec<Nanos>,
-    /// Completion time of the latest dispatched request touching each LPA.
-    last_done: HashMap<Lpa, Nanos>,
+    /// Completion time of the latest dispatched request touching each LPA,
+    /// as a dense table indexed by LPA (grown on demand; `Nanos::ZERO`
+    /// means "never touched", which is exactly what a missing entry meant).
+    /// Requests address a bounded logical space, so this stays small and
+    /// turns the per-page dependency check into a contiguous slice scan.
+    last_done: Vec<Nanos>,
+    /// Recycled scratch of LPA ranges for [`Scheduler::take_dispatch`]'s
+    /// bypass check (avoids one heap allocation per dispatched request).
+    blocked_scratch: Vec<(Lpa, Lpa)>,
     /// The request handed out by [`Scheduler::take_dispatch`] and not yet
     /// [`Scheduler::complete`]d.
     dispatched: Option<Queued>,
@@ -154,7 +170,8 @@ impl Scheduler {
             qd,
             window: VecDeque::new(),
             inflight: Vec::new(),
-            last_done: HashMap::new(),
+            last_done: Vec::new(),
+            blocked_scratch: Vec::new(),
             dispatched: None,
             submit_clock: Nanos::ZERO,
             submitted: 0,
@@ -196,7 +213,15 @@ impl Scheduler {
             let freed = self.inflight.swap_remove(min_at);
             self.submit_clock = self.submit_clock.max(freed);
         }
-        self.window.push_back(Queued { idx, op, submit: self.submit_clock });
+        let (lpa, n) = op.lpa_range();
+        self.window.push_back(Queued {
+            idx,
+            op,
+            submit: self.submit_clock,
+            lo: lpa,
+            hi: lpa + n,
+            dep: self.deps_of(&op),
+        });
         self.submitted += 1;
         self.max_outstanding = self.max_outstanding.max(self.outstanding());
         true
@@ -219,19 +244,21 @@ impl Scheduler {
     pub fn take_dispatch<F: Fn(&HostOp) -> Nanos>(&mut self, chip_hint: F) -> Option<Dispatch> {
         assert!(self.dispatched.is_none(), "previous dispatch not completed");
         let mut best: Option<(usize, Nanos, Nanos)> = None; // (pos, score, earliest)
-        let mut blocked: Vec<HostOp> = Vec::new();
+        let mut blocked = std::mem::take(&mut self.blocked_scratch);
+        blocked.clear();
         for (pos, q) in self.window.iter().enumerate() {
-            let eligible = !blocked.iter().any(|b| q.op.overlaps(b));
-            blocked.push(q.op);
+            let eligible = !blocked.iter().any(|&(lo, hi)| q.lo < hi && lo < q.hi);
+            blocked.push((q.lo, q.hi));
             if !eligible {
                 continue;
             }
-            let earliest = q.submit.max(self.deps_of(&q.op));
+            let earliest = q.submit.max(q.dep);
             let score = earliest.max(chip_hint(&q.op));
             if best.is_none_or(|(_, s, _)| score < s) {
                 best = Some((pos, score, earliest));
             }
         }
+        self.blocked_scratch = blocked;
         let (pos, _, earliest) = best?;
         let q = self.window.remove(pos).expect("selected position exists");
         self.dispatched = Some(q);
@@ -248,9 +275,19 @@ impl Scheduler {
     pub fn complete(&mut self, done: Nanos) {
         let q = self.dispatched.take().expect("no dispatch pending");
         let (lpa, n) = q.op.lpa_range();
-        for l in lpa..lpa + n {
-            let e = self.last_done.entry(l).or_insert(Nanos::ZERO);
+        let end = (lpa + n) as usize;
+        if self.last_done.len() < end {
+            self.last_done.resize(end, Nanos::ZERO);
+        }
+        for e in &mut self.last_done[lpa as usize..end] {
             *e = (*e).max(done);
+        }
+        // Advance the cached dependency time of every queued request the
+        // completed one overlaps (the window is at most `qd` entries).
+        for w in &mut self.window {
+            if w.lo < lpa + n && lpa < w.hi {
+                w.dep = w.dep.max(done);
+            }
         }
         self.inflight.push(done);
     }
@@ -258,7 +295,9 @@ impl Scheduler {
     /// Completion time of the latest dispatched request overlapping `op`.
     fn deps_of(&self, op: &HostOp) -> Nanos {
         let (lpa, n) = op.lpa_range();
-        (lpa..lpa + n).filter_map(|l| self.last_done.get(&l).copied()).max().unwrap_or(Nanos::ZERO)
+        let lo = (lpa as usize).min(self.last_done.len());
+        let hi = ((lpa + n) as usize).min(self.last_done.len());
+        self.last_done[lo..hi].iter().copied().max().unwrap_or(Nanos::ZERO)
     }
 
     /// Simulated completion time of the whole run: the latest in-flight

@@ -194,6 +194,14 @@ struct PageEntry {
     exposed_since: Option<u64>,
 }
 
+/// Sentinel for "this LPA maps to no tracked file" in the dense LPA
+/// table. Workload file ids are small sequential integers; `u32::MAX`
+/// is never a real id.
+const NO_FILE: FileId = FileId::MAX;
+
+/// Dense per-block page table: indexed by page id, `None` = untracked.
+type BlockPages = Vec<Option<PageEntry>>;
+
 /// The live per-stream exposure ledger (an [`FtlObserver`]).
 ///
 /// Counting rules are identical to VerTrace's: a sanitized invalidation
@@ -201,12 +209,23 @@ struct PageEntry {
 /// page of the block; logical time is one tick per accepted host page
 /// write. The `secure` flag does not affect version counting (VerTrace
 /// parity) — it drives the per-cause secured/exposed split only.
+///
+/// The observer hooks fire once per physical page event, so the per-page
+/// state is dense: the LPA→file map is a flat vector indexed by LPA, and
+/// each tracked block is a flat page vector recycled through a spare pool
+/// on erase (no per-page hashing or allocation in steady state).
 #[derive(Debug, Clone, Default)]
 pub struct ExposureLedger {
     tick: u64,
-    lpa_file: HashMap<Lpa, FileId>,
-    /// `(chip, block)` → page → entry.
-    phys: HashMap<(usize, u32), HashMap<u32, PageEntry>>,
+    /// LPA → owning file; [`NO_FILE`] = unmapped. Grows to the highest
+    /// LPA the workload touches.
+    lpa_file: Vec<FileId>,
+    /// `(chip, block)` → dense page table.
+    phys: HashMap<(usize, u32), BlockPages>,
+    /// Cleared page tables recycled by [`ExposureLedger::on_erase`].
+    spare: Vec<BlockPages>,
+    /// Scratch list of files touched by an erase (reused across calls).
+    touched: Vec<FileId>,
     files: HashMap<FileId, FileExposure>,
     device_causes: CauseCounts,
 }
@@ -225,8 +244,12 @@ impl ExposureLedger {
     /// Replayer hook: called before the host writes `[lpa, lpa+n)` on
     /// behalf of `file`; `overwrite` marks in-place file updates.
     pub fn before_write(&mut self, file: FileId, lpa: Lpa, npages: u64, overwrite: bool) {
-        for l in lpa..lpa + npages {
-            self.lpa_file.insert(l, file);
+        let hi = (lpa + npages) as usize;
+        if self.lpa_file.len() < hi {
+            self.lpa_file.resize(hi, NO_FILE);
+        }
+        for slot in &mut self.lpa_file[lpa as usize..hi] {
+            *slot = file;
         }
         let f = self.files.entry(file).or_default();
         if overwrite {
@@ -237,8 +260,10 @@ impl ExposureLedger {
     /// Replayer hook: called before the host trims `[lpa, lpa+n)`.
     pub fn before_trim(&mut self, file: FileId, lpa: Lpa, npages: u64) {
         self.files.entry(file).or_default().multi_version = true;
-        for l in lpa..lpa + npages {
-            self.lpa_file.remove(&l);
+        let lo = (lpa as usize).min(self.lpa_file.len());
+        let hi = ((lpa + npages) as usize).min(self.lpa_file.len());
+        for slot in &mut self.lpa_file[lo..hi] {
+            *slot = NO_FILE;
         }
     }
 
@@ -258,7 +283,7 @@ impl ExposureLedger {
             }
         }
         for block in self.phys.values_mut() {
-            for entry in block.values_mut() {
+            for entry in block.iter_mut().filter_map(Option::as_mut) {
                 if let Some(since) = entry.exposed_since.take() {
                     if let Some(f) = self.files.get_mut(&entry.file) {
                         f.exposure.record(tick - since);
@@ -323,12 +348,14 @@ impl ExposureLedger {
     pub fn encode_state(&self, e: &mut evanesco_nand::snapshot::Enc) {
         e.tag(0x60);
         e.u64(self.tick);
-        let mut lpas: Vec<Lpa> = self.lpa_file.keys().copied().collect();
-        lpas.sort_unstable();
-        e.usize(lpas.len());
-        for l in lpas {
-            e.u64(l);
-            e.u32(self.lpa_file[&l]);
+        // The dense tables serialize in index order, which is exactly the
+        // sorted-key order the map-based encoding produced.
+        e.usize(self.lpa_file.iter().filter(|&&f| f != NO_FILE).count());
+        for (l, &f) in self.lpa_file.iter().enumerate() {
+            if f != NO_FILE {
+                e.u64(l as u64);
+                e.u32(f);
+            }
         }
         let mut blocks: Vec<(usize, u32)> = self.phys.keys().copied().collect();
         blocks.sort_unstable();
@@ -337,12 +364,9 @@ impl ExposureLedger {
             e.usize(key.0);
             e.u32(key.1);
             let pages = &self.phys[&key];
-            let mut ids: Vec<u32> = pages.keys().copied().collect();
-            ids.sort_unstable();
-            e.usize(ids.len());
-            for p in ids {
-                let entry = pages[&p];
-                e.u32(p);
+            e.usize(pages.iter().filter(|s| s.is_some()).count());
+            for (p, entry) in pages.iter().enumerate().filter_map(|(p, s)| Some((p, s.as_ref()?))) {
+                e.u32(p as u32);
                 e.u32(entry.file);
                 e.bool(entry.live);
                 e.opt(&entry.exposed_since, |e, &t| e.u64(t));
@@ -378,21 +402,28 @@ impl ExposureLedger {
     ) -> Result<Self, evanesco_nand::snapshot::SnapshotError> {
         d.expect_tag(0x60, "exposure-ledger")?;
         let tick = d.u64()?;
-        let mut lpa_file = HashMap::new();
+        let mut lpa_file = Vec::new();
         for _ in 0..d.usize()? {
-            let l = d.u64()?;
-            lpa_file.insert(l, d.u32()?);
+            let l = d.u64()? as usize;
+            let f = d.u32()?;
+            if lpa_file.len() <= l {
+                lpa_file.resize(l + 1, NO_FILE);
+            }
+            lpa_file[l] = f;
         }
         let mut phys = HashMap::new();
         for _ in 0..d.usize()? {
             let key = (d.usize()?, d.u32()?);
-            let mut pages = HashMap::new();
+            let mut pages = BlockPages::new();
             for _ in 0..d.usize()? {
-                let p = d.u32()?;
+                let p = d.u32()? as usize;
                 let file = d.u32()?;
                 let live = d.bool()?;
                 let exposed_since = d.opt(|d| d.u64())?;
-                pages.insert(p, PageEntry { file, live, exposed_since });
+                if pages.len() <= p {
+                    pages.resize(p + 1, None);
+                }
+                pages[p] = Some(PageEntry { file, live, exposed_since });
             }
             phys.insert(key, pages);
         }
@@ -424,7 +455,15 @@ impl ExposureLedger {
             );
         }
         let device_causes = decode_causes(d)?;
-        Ok(ExposureLedger { tick, lpa_file, phys, files, device_causes })
+        Ok(ExposureLedger {
+            tick,
+            lpa_file,
+            phys,
+            spare: Vec::new(),
+            touched: Vec::new(),
+            files,
+            device_causes,
+        })
     }
 
     fn note_change(&mut self, file: FileId) {
@@ -487,11 +526,20 @@ fn decode_histogram(
 
 impl FtlObserver for ExposureLedger {
     fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, _relocation: bool, _secure: bool) {
-        let Some(&file) = self.lpa_file.get(&lpa) else { return };
-        self.phys
+        let file = match self.lpa_file.get(lpa as usize) {
+            Some(&f) if f != NO_FILE => f,
+            _ => return,
+        };
+        let spare = &mut self.spare;
+        let pages = self
+            .phys
             .entry((at.chip, at.ppa.block.0))
-            .or_default()
-            .insert(at.ppa.page.0, PageEntry { file, live: true, exposed_since: None });
+            .or_insert_with(|| spare.pop().unwrap_or_default());
+        let idx = at.ppa.page.0 as usize;
+        if pages.len() <= idx {
+            pages.resize(idx + 1, None);
+        }
+        pages[idx] = Some(PageEntry { file, live: true, exposed_since: None });
         self.files.entry(file).or_default().valid += 1;
         self.note_change(file);
     }
@@ -506,10 +554,21 @@ impl FtlObserver for ExposureLedger {
         self.device_causes.note(cause, secure, sanitized);
         let key = (at.chip, at.ppa.block.0);
         let Some(block) = self.phys.get_mut(&key) else { return };
-        let Some(entry) = block.get_mut(&at.ppa.page.0) else { return };
+        let idx = at.ppa.page.0 as usize;
+        let Some(entry) = block.get_mut(idx).and_then(Option::as_mut) else { return };
         let file = entry.file;
+        let mut drop_live = false;
         if entry.live {
             entry.live = false;
+            drop_live = true;
+        }
+        if !sanitized {
+            entry.exposed_since = Some(self.tick);
+        }
+        if sanitized {
+            block[idx] = None;
+        }
+        if drop_live {
             self.files.entry(file).or_default().valid -= 1;
         }
         let f = self.files.entry(file).or_default();
@@ -518,19 +577,18 @@ impl FtlObserver for ExposureLedger {
             // Content immediately unrecoverable: a zero exposure window,
             // and never an invalid version.
             f.exposure.record(0);
-            block.remove(&at.ppa.page.0);
         } else {
             f.invalid += 1;
-            entry.exposed_since = Some(self.tick);
         }
         self.note_change(file);
     }
 
     fn on_erase(&mut self, chip: usize, block: evanesco_nand::geometry::BlockId) {
-        let Some(entries) = self.phys.remove(&(chip, block.0)) else { return };
+        let Some(mut entries) = self.phys.remove(&(chip, block.0)) else { return };
         let tick = self.tick;
-        let mut touched = Vec::new();
-        for (_, entry) in entries {
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.clear();
+        for entry in entries.iter().filter_map(Option::as_ref) {
             let f = self.files.entry(entry.file).or_default();
             if entry.live {
                 f.valid = f.valid.saturating_sub(1);
@@ -544,8 +602,15 @@ impl FtlObserver for ExposureLedger {
             }
             touched.push(entry.file);
         }
-        for file in touched {
+        for &file in &touched {
             self.note_change(file);
+        }
+        self.touched = touched;
+        // Recycle the page table: the next program to a fresh block reuses
+        // the allocation instead of growing a new one.
+        entries.clear();
+        if self.spare.len() < 64 {
+            self.spare.push(entries);
         }
     }
 

@@ -248,6 +248,38 @@ fn golden_fixture_round_trips_byte_identically() {
     assert!(restored.result().host_ops > 0, "the fixture device did real work");
 }
 
+/// A device restored from the golden fixture serves reads out of its
+/// rebuilt payload pool and keeps operating: write/read/trim after
+/// restore behave exactly as on the never-checkpointed device. This is
+/// the behavioural (not just byte-equality) check that the pooled page
+/// store and dense ledger decode into *working* state.
+#[test]
+fn restored_golden_device_serves_reads_and_keeps_working() {
+    let fixture = std::fs::read(GOLDEN).expect("checked-in fixture exists");
+    let mut restored = Emulator::restore_checkpoint(&fixture).expect("fixture restores");
+    let mut fresh = golden_device();
+    // Same follow-on script on both; every op result must match.
+    for lpa in 0..40u64 {
+        assert_eq!(restored.read(lpa, 2), fresh.read(lpa, 2), "read {lpa} diverged");
+        if lpa % 3 == 0 {
+            assert_eq!(
+                restored.write(lpa, 1, true),
+                fresh.write(lpa, 1, true),
+                "write {lpa} diverged"
+            );
+        }
+        if lpa % 7 == 0 {
+            restored.trim(lpa, 1);
+            fresh.trim(lpa, 1);
+        }
+    }
+    assert_eq!(
+        restored.save_checkpoint(),
+        fresh.save_checkpoint(),
+        "post-resume state diverged from the uninterrupted device"
+    );
+}
+
 /// A checkpoint from a future (unknown) format version is rejected with
 /// a typed, descriptive error — not a panic, not garbage state.
 #[test]

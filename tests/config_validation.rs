@@ -234,3 +234,28 @@ fn emulator_construction_validates_config() {
     });
     assert!(result.is_err(), "Emulator must reject an inconsistent topology");
 }
+
+// ---------------------------------------------------------------------------
+// CLI contract: experiment names are validated up front, before any run.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn experiment_registry_accepts_every_gate_subcommand() {
+    // The binary rejects unknown names (exit 1) by consulting this
+    // registry before running anything; every gate-bearing subcommand
+    // must therefore be listed, hostperf included.
+    for name in ["scheduler", "trace", "report", "campaign", "hostperf"] {
+        assert!(
+            evanesco_bench::is_experiment_name(name),
+            "gate subcommand '{name}' missing from EXPERIMENT_NAMES"
+        );
+    }
+    assert!(!evanesco_bench::is_experiment_name("hostpref"), "typos must be rejected up front");
+    assert!(!evanesco_bench::is_experiment_name("--reps"), "flags are not experiment names");
+}
+
+#[test]
+#[should_panic(expected = "unknown experiment")]
+fn run_experiment_panics_on_unknown_name_with_the_known_list() {
+    let _ = evanesco_bench::run_experiment("hostpref", &evanesco_bench::Scale::smoke());
+}
