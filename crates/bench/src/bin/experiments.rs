@@ -23,7 +23,12 @@
 //!   or numeric drift against a checked-in same-scale baseline;
 //! * `campaign` — writes the checkpointed aging-campaign report to
 //!   `BENCH_campaign.json` and fails if any scenario's chained-through-
-//!   checkpoints run diverges from its uninterrupted control run.
+//!   checkpoints run diverges from its uninterrupted control run;
+//! * `chaos` — writes the metadata-corruption storm matrix to
+//!   `BENCH_chaos.json` and fails on any silent wrong-data event
+//!   (differential vs an uncorrupted twin), a broken injected ↔
+//!   detected/repaired accounting identity, queue-depth variance, a
+//!   watchdog identity breach, or a salvage-sweep violation.
 //!
 //! The campaign also has a per-process segment mode for real
 //! stop/restart chains (what the CI `campaign-gate` job byte-diffs):
@@ -40,10 +45,15 @@
 //! inconsistent segment flags are all rejected up front (exit 1) before
 //! any experiment runs.
 
-use evanesco_bench::experiments::{campaign, hostperf, report, scheduler, tracing};
+use evanesco_bench::experiments::{campaign, chaos, hostperf, report, scheduler, tracing};
 use evanesco_bench::{is_experiment_name, run_experiment, Scale, EXPERIMENT_NAMES};
-use evanesco_ssd::{read_checkpoint, write_checkpoint};
+use evanesco_ssd::{read_checkpoint, write_checkpoint, CheckpointError};
 use std::path::PathBuf;
+
+/// Exit code for a `--resume-from` checkpoint that exists but fails to
+/// decode (corrupt or truncated) — distinct from the generic exit 1 so
+/// CI and operators can tell "bad file" from "bad invocation".
+const EXIT_CORRUPT_CHECKPOINT: i32 = 3;
 
 /// Flags selecting the campaign's per-process segment mode.
 #[derive(Default)]
@@ -120,7 +130,9 @@ fn main() {
                      report (BENCH_report.json), campaign (BENCH_campaign.json; fails \
                      when a checkpoint-chained run diverges from its uninterrupted twin), \
                      hostperf (BENCH_hostperf.json; wall-clock throughput, fails under \
-                     the machine-normalized speedup-vs-seed gate; [--reps N])"
+                     the machine-normalized speedup-vs-seed gate; [--reps N]), \
+                     chaos (BENCH_chaos.json; corruption storm matrix, fails on any \
+                     silent wrong-data event or broken accounting identity)"
                 );
                 eprintln!(
                     "campaign segment mode (process-per-segment): campaign \
@@ -241,6 +253,15 @@ fn main() {
                 eprintln!("hostperf gate FAILED: {v}");
                 gate_failed = true;
             }
+        } else if name == "chaos" {
+            let bundle = chaos::run(&scale, &scale_name);
+            println!("{}", bundle.render());
+            std::fs::write("BENCH_chaos.json", bundle.to_json()).expect("write BENCH_chaos.json");
+            println!("wrote BENCH_chaos.json");
+            for v in bundle.violations() {
+                eprintln!("chaos gate FAILED: {v}");
+                gate_failed = true;
+            }
         } else if name == "campaign" {
             let bundle = campaign::run(&scale, &scale_name);
             println!("{}", bundle.render());
@@ -308,7 +329,19 @@ fn run_campaign_segment(scale: &Scale, seg: &SegmentMode) -> Result<(), String> 
         (None, 0) => campaign::fresh_device(scale, &scenario),
         (None, _) => return Err(format!("--segment {k} needs --resume-from")),
         (Some(_), 0) => return Err("--segment 0 starts fresh; drop --resume-from".into()),
-        (Some(p), _) => read_checkpoint(p).map_err(|e| format!("{}: {e}", p.display()))?,
+        (Some(p), _) => match read_checkpoint(p) {
+            Ok(ssd) => ssd,
+            Err(CheckpointError::Snapshot(e)) => {
+                // One line naming exactly what is damaged (the strict
+                // decoder's error carries the failing section), then the
+                // dedicated exit code for a corrupt/truncated checkpoint.
+                let msg = e.to_string();
+                let msg = msg.strip_prefix("corrupt checkpoint: ").unwrap_or(&msg);
+                eprintln!("--resume-from {}: corrupt checkpoint: {msg}", p.display());
+                std::process::exit(EXIT_CORRUPT_CHECKPOINT);
+            }
+            Err(e) => return Err(format!("{}: {e}", p.display())),
+        },
     };
     let trace = campaign::build_trace(scale, ssd.logical_pages());
     campaign::run_segment(&mut ssd, &trace, &scenario, segments, k);

@@ -6,6 +6,7 @@ pub mod ablation;
 pub mod background;
 pub mod breakdown;
 pub mod campaign;
+pub mod chaos;
 pub mod dse;
 pub mod hostperf;
 pub mod latency;

@@ -63,6 +63,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> String {
         "report" => experiments::report::report(scale, "custom"),
         "campaign" => experiments::campaign::campaign(scale, "custom"),
         "hostperf" => experiments::hostperf::hostperf(scale, "custom"),
+        "chaos" => experiments::chaos::chaos(scale, "custom"),
         other => panic!("unknown experiment '{other}'; known: {EXPERIMENT_NAMES:?}"),
     }
 }
@@ -74,7 +75,7 @@ pub fn is_experiment_name(name: &str) -> bool {
 }
 
 /// All experiment names accepted by [`run_experiment`], in report order.
-pub const EXPERIMENT_NAMES: [&str; 26] = [
+pub const EXPERIMENT_NAMES: [&str; 27] = [
     "table2",
     "fig2",
     "table1",
@@ -101,6 +102,7 @@ pub const EXPERIMENT_NAMES: [&str; 26] = [
     "report",
     "campaign",
     "hostperf",
+    "chaos",
 ];
 
 #[cfg(test)]

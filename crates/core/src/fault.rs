@@ -442,6 +442,198 @@ impl FaultModel {
     }
 }
 
+const K_CORRUPT: u8 = 6;
+
+/// splitmix64 finalizer: the integer-valued companion of
+/// [`crate::chip::unit_draw`], used where a corruption draw needs raw bits
+/// (cell index, bit position) rather than a unit-interval probability.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FTL RAM structure targeted by one injected metadata corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptTarget {
+    /// The logical-to-physical mapping table.
+    L2pMap,
+    /// Per-block live/invalid counters and the per-chip running totals.
+    Counters,
+    /// The lock-coalescing queue (deferred `pLock` intent).
+    CoalesceQueue,
+    /// The grown-bad-block table (retired marks).
+    BadBlockTable,
+    /// The GC victim index (live-count buckets).
+    VictimIndex,
+}
+
+impl CorruptTarget {
+    /// Every target, in draw order.
+    pub const ALL: [CorruptTarget; 5] = [
+        CorruptTarget::L2pMap,
+        CorruptTarget::Counters,
+        CorruptTarget::CoalesceQueue,
+        CorruptTarget::BadBlockTable,
+        CorruptTarget::VictimIndex,
+    ];
+
+    /// Stable label (metrics, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            CorruptTarget::L2pMap => "l2p_map",
+            CorruptTarget::Counters => "counters",
+            CorruptTarget::CoalesceQueue => "coalesce_queue",
+            CorruptTarget::BadBlockTable => "bad_block_table",
+            CorruptTarget::VictimIndex => "victim_index",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CorruptTarget::L2pMap => 0,
+            CorruptTarget::Counters => 1,
+            CorruptTarget::CoalesceQueue => 2,
+            CorruptTarget::BadBlockTable => 3,
+            CorruptTarget::VictimIndex => 4,
+        }
+    }
+}
+
+/// Knobs of the metadata-corruption injector. Like [`FaultConfig`], zero
+/// disables injection entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionConfig {
+    /// Seed of the keyed draw stream.
+    pub seed: u64,
+    /// Per-host-op-boundary probability that one corruption is injected.
+    pub rate: f64,
+}
+
+impl CorruptionConfig {
+    /// No corruption: the guard machinery runs but nothing is injected.
+    pub fn none() -> Self {
+        CorruptionConfig { seed: 0, rate: 0.0 }
+    }
+
+    /// A corruption storm at `rate` per host-op boundary.
+    pub fn storm(rate: f64, seed: u64) -> Self {
+        CorruptionConfig { seed, rate }
+    }
+
+    /// Whether injection is enabled at all.
+    pub fn any(&self) -> bool {
+        self.rate > 0.0
+    }
+}
+
+impl Default for CorruptionConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Injected-corruption counters, per target structure. The FTL guard's
+/// detected/repaired counters must reconcile exactly against these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorruptionStats {
+    /// Total corruptions injected.
+    pub injected: u64,
+    /// Injections per [`CorruptTarget`] (indexed as [`CorruptTarget::ALL`]).
+    pub per_target: [u64; 5],
+}
+
+/// One corruption event: which structure to damage and raw key material
+/// for picking the cell and bit inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionHit {
+    /// Structure the draw selected (the applier may fall through to
+    /// [`CorruptTarget::L2pMap`] when the drawn structure is empty; it
+    /// reports the target actually damaged via
+    /// [`CorruptionModel::note_injected`]).
+    pub target: CorruptTarget,
+    /// Well-mixed key material for cell/bit selection.
+    pub salt: u64,
+}
+
+/// Deterministic metadata-corruption generator.
+///
+/// Determinism contract (mirrors [`FaultModel`]): every draw is a pure
+/// hash of `(seed, op-ordinal)` where the ordinal counts completed
+/// host-op boundaries — **never** global dispatch order or wall clock —
+/// so a queue-depth-1 run and a queue-depth-8 run of the same workload
+/// inject the same corruption stream.
+#[derive(Debug, Clone)]
+pub struct CorruptionModel {
+    cfg: CorruptionConfig,
+    ordinal: u64,
+    stats: CorruptionStats,
+}
+
+impl CorruptionModel {
+    /// A model drawing from `cfg`'s keyed stream.
+    pub fn new(cfg: CorruptionConfig) -> Self {
+        CorruptionModel { cfg, ordinal: 0, stats: CorruptionStats::default() }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> CorruptionConfig {
+        self.cfg
+    }
+
+    /// Injected-corruption counters so far.
+    pub fn stats(&self) -> CorruptionStats {
+        self.stats
+    }
+
+    /// Host-op boundaries consumed so far.
+    pub fn boundaries(&self) -> u64 {
+        self.ordinal
+    }
+
+    /// Draws the corruption decision for the next host-op boundary. The
+    /// ordinal advances whether or not a hit fires, keeping the stream a
+    /// pure function of the boundary count.
+    pub fn next_boundary(&mut self) -> Option<CorruptionHit> {
+        let n = self.ordinal;
+        self.ordinal += 1;
+        if self.cfg.rate <= 0.0 {
+            return None;
+        }
+        let key = self.cfg.seed ^ (u64::from(K_CORRUPT) << 56);
+        if unit_draw(key, n, 0, 0) >= self.cfg.rate {
+            return None;
+        }
+        let pick = unit_draw(key, n, 1, 0) * CorruptTarget::ALL.len() as f64;
+        let target = CorruptTarget::ALL[(pick as usize).min(CorruptTarget::ALL.len() - 1)];
+        Some(CorruptionHit { target, salt: mix64(key ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D)) })
+    }
+
+    /// Records the corruption actually applied (the applier may have fallen
+    /// through from an empty drawn structure to the always-present L2P map).
+    pub fn note_injected(&mut self, target: CorruptTarget) {
+        self.stats.injected += 1;
+        self.stats.per_target[target.index()] += 1;
+    }
+}
+
+/// Flips one keyed-drawn bit of a serialized checkpoint: the
+/// checkpoint-bytes leg of the corruption injector. Returns the damaged
+/// `(offset, bit)` so the caller can report it; `None` for an empty blob.
+pub fn corrupt_checkpoint_bytes(seed: u64, ordinal: u64, bytes: &mut [u8]) -> Option<(usize, u8)> {
+    if bytes.is_empty() {
+        return None;
+    }
+    let h =
+        mix64(seed ^ (u64::from(K_CORRUPT) << 56) ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let offset = (h % bytes.len() as u64) as usize;
+    let bit = ((h >> 56) % 8) as u8;
+    bytes[offset] ^= 1 << bit;
+    Some((offset, bit))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -579,6 +771,66 @@ mod tests {
         // The paper's selected point is effectively fault-free.
         let good = FaultConfig::calibrated(DesignPoint::new(4, 100), 0.0, 1);
         assert!(good.plock_fail < 1e-6);
+    }
+
+    #[test]
+    fn corruption_stream_is_deterministic_and_ordinal_keyed() {
+        let cfg = CorruptionConfig::storm(0.4, 99);
+        let mut a = CorruptionModel::new(cfg);
+        let mut b = CorruptionModel::new(cfg);
+        let ha: Vec<_> = (0..200).map(|_| a.next_boundary()).collect();
+        let hb: Vec<_> = (0..200).map(|_| b.next_boundary()).collect();
+        assert_eq!(ha, hb, "same seed, same boundary stream");
+        let fired = ha.iter().filter(|h| h.is_some()).count();
+        let rate = fired as f64 / 200.0;
+        assert!((rate - 0.4).abs() < 0.15, "observed {rate}");
+        // Every target is eventually drawn.
+        for t in CorruptTarget::ALL {
+            assert!(ha.iter().flatten().any(|h| h.target == t), "target {} never drawn", t.label());
+        }
+    }
+
+    #[test]
+    fn corruption_disabled_never_fires_but_ordinal_advances() {
+        let mut m = CorruptionModel::new(CorruptionConfig::none());
+        assert!(!m.config().any());
+        for _ in 0..50 {
+            assert_eq!(m.next_boundary(), None);
+        }
+        assert_eq!(m.boundaries(), 50);
+        assert_eq!(m.stats(), CorruptionStats::default());
+    }
+
+    #[test]
+    fn note_injected_attributes_per_target() {
+        let mut m = CorruptionModel::new(CorruptionConfig::storm(1.0, 5));
+        m.note_injected(CorruptTarget::L2pMap);
+        m.note_injected(CorruptTarget::L2pMap);
+        m.note_injected(CorruptTarget::VictimIndex);
+        let s = m.stats();
+        assert_eq!(s.injected, 3);
+        assert_eq!(s.per_target[CorruptTarget::L2pMap.index()], 2);
+        assert_eq!(s.per_target[CorruptTarget::VictimIndex.index()], 1);
+        assert_eq!(s.per_target.iter().sum::<u64>(), s.injected);
+    }
+
+    #[test]
+    fn checkpoint_byte_corruption_is_keyed_and_flips_one_bit() {
+        let original = vec![0u8; 64];
+        let mut a = original.clone();
+        let mut b = original.clone();
+        let hit_a = corrupt_checkpoint_bytes(7, 3, &mut a).unwrap();
+        let hit_b = corrupt_checkpoint_bytes(7, 3, &mut b).unwrap();
+        assert_eq!(hit_a, hit_b);
+        assert_eq!(a, b);
+        let flipped: Vec<_> = a.iter().zip(&original).filter(|(x, y)| x != y).collect();
+        assert_eq!(flipped.len(), 1, "exactly one byte damaged");
+        assert_eq!(a[hit_a.0] ^ original[hit_a.0], 1 << hit_a.1);
+        // A different ordinal lands elsewhere (with overwhelming odds).
+        let mut c = original.clone();
+        let hit_c = corrupt_checkpoint_bytes(7, 4, &mut c).unwrap();
+        assert_ne!(hit_a, hit_c);
+        assert_eq!(corrupt_checkpoint_bytes(7, 0, &mut []), None);
     }
 
     #[test]

@@ -39,6 +39,8 @@ use evanesco_nand::geometry::{BlockId, PageId, Ppa};
 use evanesco_nand::timing::Nanos;
 use std::collections::VecDeque;
 
+mod guard;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BlockState {
     Free,
@@ -486,6 +488,11 @@ pub struct Ftl {
     /// entry points drain to the caller's observer once per host operation,
     /// preserving event order exactly. Always empty between operations.
     events: EventBatch,
+    /// Metadata-integrity guard: shadow checksums over every RAM table, the
+    /// background audit scrubber, and the corruption injector (see
+    /// [`Ftl::enable_guard`]). RAM-only and never checkpointed — a restored
+    /// or recovered FTL reseals from its rebuilt state.
+    guard: Option<Box<guard::MetaGuard>>,
 }
 
 impl Ftl {
@@ -511,6 +518,7 @@ impl Ftl {
             trim_pending_scratch: Vec::new(),
             trim_group_scratch: Vec::new(),
             events: EventBatch::new(),
+            guard: None,
             cfg,
             policy,
         }
@@ -1760,6 +1768,11 @@ impl Ftl {
             self.update_degraded(chip, ex.now());
         }
 
+        // The rebuilt state is the new ground truth: reseal the metadata
+        // guard (and settle any injected-but-undetected corruption — the
+        // rebuild itself is the flash-side repair).
+        self.guard_after_recover();
+
         self.events.drain_into(obs);
         obs.on_recovery(&report);
         report
@@ -2202,7 +2215,9 @@ impl Ftl {
             let chip = d.usize()?;
             let block = d.u32()?;
             let n = d.usize()?;
-            let mut pages = Vec::with_capacity(n);
+            // Cap the pre-allocation: a corrupted length prefix must surface
+            // as a decode error downstream, not an OOM abort here.
+            let mut pages = Vec::with_capacity(n.min(1 << 16));
             for _ in 0..n {
                 pages.push(decode_gppa(d)?);
             }

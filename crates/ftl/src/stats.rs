@@ -61,6 +61,32 @@ pub struct FtlStats {
     /// Host writes rejected because the drive is in read-only degraded
     /// mode (spare-block reserve exhausted).
     pub writes_rejected_readonly: u64,
+    /// Metadata guard — corruptions injected into FTL RAM structures by
+    /// the chaos injector (zero outside chaos runs).
+    pub meta_corruptions_injected: u64,
+    /// Metadata guard — corruptions detected by the shadow checksums or
+    /// the OOB audit scrubber before any host op was served from the
+    /// damaged table.
+    pub meta_corruptions_detected: u64,
+    /// Metadata guard — detected corruptions repaired by rebuilding the
+    /// structure from on-flash OOB ground truth (full recovery scan).
+    pub meta_repairs_from_oob: u64,
+    /// Metadata guard — detected corruptions repaired by re-deriving the
+    /// structure (counters, victim index) from the in-RAM map.
+    pub meta_repairs_rederived: u64,
+    /// Metadata guard — repairs that failed post-verification; the drive
+    /// degraded to read-only instead of serving from the bad table.
+    pub meta_unrecoverable: u64,
+    /// Audit scrubber — blocks cross-checked against on-flash OOB.
+    pub audit_scrub_blocks: u64,
+    /// Audit scrubber — RAM-vs-OOB divergences found (subset of
+    /// `meta_corruptions_detected`).
+    pub audit_divergences: u64,
+    /// Metadata guard — logical pages a repair's recovery scan re-mapped
+    /// from stale-but-readable flash (insecurely trimmed data has no
+    /// on-flash tombstone) and the guard's trim filter re-invalidated
+    /// before any host op could read the resurrected mapping.
+    pub meta_resurrections_pruned: u64,
 }
 
 impl FtlStats {
@@ -111,6 +137,17 @@ impl FtlStats {
             reliability_relocations: self.reliability_relocations - earlier.reliability_relocations,
             writes_rejected_readonly: self.writes_rejected_readonly
                 - earlier.writes_rejected_readonly,
+            meta_corruptions_injected: self.meta_corruptions_injected
+                - earlier.meta_corruptions_injected,
+            meta_corruptions_detected: self.meta_corruptions_detected
+                - earlier.meta_corruptions_detected,
+            meta_repairs_from_oob: self.meta_repairs_from_oob - earlier.meta_repairs_from_oob,
+            meta_repairs_rederived: self.meta_repairs_rederived - earlier.meta_repairs_rederived,
+            meta_unrecoverable: self.meta_unrecoverable - earlier.meta_unrecoverable,
+            audit_scrub_blocks: self.audit_scrub_blocks - earlier.audit_scrub_blocks,
+            audit_divergences: self.audit_divergences - earlier.audit_divergences,
+            meta_resurrections_pruned: self.meta_resurrections_pruned
+                - earlier.meta_resurrections_pruned,
         }
     }
 
@@ -121,7 +158,8 @@ impl FtlStats {
         }
     }
 
-    /// Inverse of [`FtlStats::encode_snapshot`].
+    /// Inverse of [`FtlStats::encode_snapshot`]. Version-1 checkpoints
+    /// predate the metadata-guard counters; those decode as zero.
     ///
     /// # Errors
     ///
@@ -129,6 +167,7 @@ impl FtlStats {
     pub fn decode_snapshot(
         d: &mut evanesco_nand::snapshot::Dec<'_>,
     ) -> Result<Self, evanesco_nand::snapshot::SnapshotError> {
+        let v2 = d.version() >= 2;
         Ok(FtlStats {
             host_write_pages: d.u64()?,
             host_read_pages: d.u64()?,
@@ -154,10 +193,18 @@ impl FtlStats {
             retired_blocks: d.u64()?,
             reliability_relocations: d.u64()?,
             writes_rejected_readonly: d.u64()?,
+            meta_corruptions_injected: if v2 { d.u64()? } else { 0 },
+            meta_corruptions_detected: if v2 { d.u64()? } else { 0 },
+            meta_repairs_from_oob: if v2 { d.u64()? } else { 0 },
+            meta_repairs_rederived: if v2 { d.u64()? } else { 0 },
+            meta_unrecoverable: if v2 { d.u64()? } else { 0 },
+            audit_scrub_blocks: if v2 { d.u64()? } else { 0 },
+            audit_divergences: if v2 { d.u64()? } else { 0 },
+            meta_resurrections_pruned: if v2 { d.u64()? } else { 0 },
         })
     }
 
-    fn as_array(&self) -> [u64; 24] {
+    fn as_array(&self) -> [u64; 32] {
         [
             self.host_write_pages,
             self.host_read_pages,
@@ -183,7 +230,25 @@ impl FtlStats {
             self.retired_blocks,
             self.reliability_relocations,
             self.writes_rejected_readonly,
+            self.meta_corruptions_injected,
+            self.meta_corruptions_detected,
+            self.meta_repairs_from_oob,
+            self.meta_repairs_rederived,
+            self.meta_unrecoverable,
+            self.audit_scrub_blocks,
+            self.audit_divergences,
+            self.meta_resurrections_pruned,
         ]
+    }
+
+    /// The metadata-integrity accounting identity: every injected
+    /// corruption must be answered by exactly one repair (from OOB or
+    /// re-derived) or a counted unrecoverable degradation — and every
+    /// detection must trace back to an injection (no false positives).
+    pub fn meta_accounting_balanced(&self) -> bool {
+        self.meta_corruptions_detected == self.meta_corruptions_injected
+            && self.meta_repairs_from_oob + self.meta_repairs_rederived + self.meta_unrecoverable
+                == self.meta_corruptions_detected
     }
 
     /// Total reliability-manager interventions (every injected command
@@ -215,5 +280,51 @@ mod tests {
     fn lock_command_total() {
         let s = FtlStats { plocks: 7, blocks_locked: 2, ..Default::default() };
         assert_eq!(s.total_lock_commands(), 9);
+    }
+
+    #[test]
+    fn meta_accounting_identity() {
+        assert!(FtlStats::default().meta_accounting_balanced());
+        let balanced = FtlStats {
+            meta_corruptions_injected: 5,
+            meta_corruptions_detected: 5,
+            meta_repairs_from_oob: 3,
+            meta_repairs_rederived: 1,
+            meta_unrecoverable: 1,
+            ..Default::default()
+        };
+        assert!(balanced.meta_accounting_balanced());
+        let silent = FtlStats { meta_corruptions_injected: 1, ..Default::default() };
+        assert!(!silent.meta_accounting_balanced(), "an unaccounted injection must trip");
+        let phantom = FtlStats {
+            meta_corruptions_detected: 1,
+            meta_repairs_rederived: 1,
+            ..Default::default()
+        };
+        assert!(!phantom.meta_accounting_balanced(), "a false positive must trip");
+    }
+
+    #[test]
+    fn guard_counters_roundtrip_and_default_to_zero_for_v1() {
+        use evanesco_nand::snapshot::{Dec, Enc};
+        let s = FtlStats {
+            host_write_pages: 9,
+            meta_corruptions_injected: 4,
+            meta_corruptions_detected: 4,
+            meta_repairs_from_oob: 2,
+            meta_repairs_rederived: 2,
+            audit_scrub_blocks: 17,
+            ..Default::default()
+        };
+        let mut e = Enc::new();
+        s.encode_snapshot(&mut e);
+        let bytes = e.into_bytes();
+        let restored = FtlStats::decode_snapshot(&mut Dec::new(&bytes)).unwrap();
+        assert_eq!(restored, s);
+        // A v1 stream carries only the first 24 counters.
+        let mut d = Dec::new(&bytes[..24 * 8]);
+        // Dec::new assumes the current version; simulate v1 via the header
+        // path in integration tests — here just check the length math.
+        assert!(FtlStats::decode_snapshot(&mut d).is_err(), "v2 decode needs all 31 counters");
     }
 }

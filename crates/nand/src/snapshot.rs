@@ -25,7 +25,44 @@ use std::fmt;
 pub const MAGIC: &[u8; 8] = b"EVSCCKP1";
 
 /// Current snapshot format version. Bump on any incompatible layout change.
-pub const VERSION: u32 = 1;
+///
+/// Version history:
+///
+/// * **1** — flat stream of component sections behind one header.
+/// * **2** — the top-level checkpoint is framed into CRC-guarded sections
+///   (`[id:u8][len:u64][crc32:u32][payload]`, see [`Enc::section`]), so a
+///   corrupted region is pinned to a named section and can be salvaged
+///   instead of poisoning the whole blob. Version-1 blobs still decode.
+pub const VERSION: u32 = 2;
+
+/// Oldest snapshot format version this build still decodes.
+pub const MIN_VERSION: u32 = 1;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the checksum guarding
+/// each framed checkpoint section. Detects every single-byte corruption
+/// and all burst errors up to 32 bits.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
 
 /// Errors surfaced while decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,6 +200,21 @@ impl Enc {
             }
         }
     }
+
+    /// Writes one CRC-guarded checkpoint section: `payload` is encoded
+    /// into its own buffer, then framed as `[id][len:u64][crc32][bytes]`.
+    /// The frame lets a decoder skip a section whose checksum fails and
+    /// keep reading the next one (the salvage path), while the CRC pins
+    /// any corruption to the section it landed in.
+    pub fn section(&mut self, id: u8, payload: impl FnOnce(&mut Enc)) {
+        let mut inner = Enc::new();
+        payload(&mut inner);
+        let bytes = inner.into_bytes();
+        self.u8(id);
+        self.u64(bytes.len() as u64);
+        self.u32(crc32(&bytes));
+        self.buf.extend_from_slice(&bytes);
+    }
 }
 
 /// Snapshot decoder over a borrowed byte slice.
@@ -170,26 +222,37 @@ impl Enc {
 pub struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
+    version: u32,
 }
 
 impl<'a> Dec<'a> {
-    /// A decoder that first checks the magic + version header.
+    /// A decoder that first checks the magic + version header. Any version
+    /// in `MIN_VERSION..=VERSION` is accepted; component decoders branch on
+    /// [`Dec::version`] where layouts differ.
     pub fn with_header(buf: &'a [u8]) -> Result<Self, SnapshotError> {
-        let mut d = Dec { buf, pos: 0 };
+        let mut d = Dec { buf, pos: 0, version: VERSION };
         let magic = d.take(MAGIC.len())?;
         if magic != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
         let version = d.u32()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion { found: version, supported: VERSION });
         }
+        d.version = version;
         Ok(d)
     }
 
-    /// A headerless decoder (for nested component sections).
+    /// A headerless decoder (for nested component sections). Assumes the
+    /// current format version.
     pub fn new(buf: &'a [u8]) -> Self {
-        Dec { buf, pos: 0 }
+        Dec { buf, pos: 0, version: VERSION }
+    }
+
+    /// The format version accepted by [`Dec::with_header`] (or [`VERSION`]
+    /// for a headerless decoder).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Current read offset.
@@ -311,6 +374,41 @@ impl<'a> Dec<'a> {
             ))),
         }
     }
+
+    /// Reads one section frame written by [`Enc::section`] without
+    /// enforcing the checksum: returns a sub-decoder over the payload and
+    /// whether its CRC matched. The stream is advanced past the section
+    /// either way, so a caller may skip a damaged section and keep
+    /// decoding (the salvage path). Frame-level damage (wrong id, a
+    /// length running past the buffer) is unrecoverable and errors.
+    pub fn section_frame(&mut self, id: u8, name: &str) -> Result<(Dec<'a>, bool), SnapshotError> {
+        let got = self.u8()?;
+        if got != id {
+            return Err(SnapshotError::Corrupt(format!(
+                "expected checkpoint section '{name}' (id {id:#04x}) at offset {}, \
+                 found {got:#04x}",
+                self.pos - 1
+            )));
+        }
+        let len = self.usize()?;
+        let crc = self.u32()?;
+        let payload = self.take(len)?;
+        let ok = crc32(payload) == crc;
+        Ok((Dec { buf: payload, pos: 0, version: self.version }, ok))
+    }
+
+    /// Reads one section frame and enforces its checksum: the strict
+    /// counterpart of [`Dec::section_frame`], failing with an error that
+    /// names the damaged section.
+    pub fn section(&mut self, id: u8, name: &str) -> Result<Dec<'a>, SnapshotError> {
+        let (payload, ok) = self.section_frame(id, name)?;
+        if !ok {
+            return Err(SnapshotError::Corrupt(format!(
+                "checkpoint section '{name}' failed its CRC check"
+            )));
+        }
+        Ok(payload)
+    }
 }
 
 #[cfg(test)]
@@ -393,6 +491,65 @@ mod tests {
         let mut d = Dec::new(&bytes);
         let err = d.expect_tag(0xB2, "other").unwrap_err();
         assert!(err.to_string().contains("other"), "{err}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check values (RFC 3720 appendix / zlib).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn header_accepts_the_previous_version() {
+        let bytes = Enc::with_header().into_bytes();
+        let mut old = bytes.clone();
+        old[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert_eq!(Dec::with_header(&old).unwrap().version(), 1);
+        assert_eq!(Dec::with_header(&bytes).unwrap().version(), VERSION);
+        let mut zero = bytes;
+        zero[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            Dec::with_header(&zero).unwrap_err(),
+            SnapshotError::UnsupportedVersion { found: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn sections_roundtrip_and_pin_corruption() {
+        let mut e = Enc::new();
+        e.section(1, |e| e.u64(42));
+        e.section(2, |e| e.str("payload"));
+        let mut bytes = e.into_bytes();
+        {
+            let mut d = Dec::new(&bytes);
+            let mut s1 = d.section(1, "first").unwrap();
+            assert_eq!(s1.u64().unwrap(), 42);
+            s1.finish().unwrap();
+            let mut s2 = d.section(2, "second").unwrap();
+            assert_eq!(s2.str().unwrap(), "payload");
+            d.finish().unwrap();
+        }
+        // Flip one payload byte: the strict reader names the section, the
+        // lenient reader reports the bad CRC but still advances to the
+        // next (intact) section.
+        let len = bytes.len();
+        bytes[len - 2] ^= 0x40;
+        let mut d = Dec::new(&bytes);
+        d.section(1, "first").unwrap();
+        let err = d.section(2, "second").unwrap_err();
+        assert!(err.to_string().contains("'second'"), "{err}");
+        let mut d = Dec::new(&bytes);
+        let (_, ok) = d.section_frame(1, "first").unwrap();
+        assert!(ok);
+        let (_, ok) = d.section_frame(2, "second").unwrap();
+        assert!(!ok);
+        d.finish().unwrap();
+        // Frame-level damage (wrong id) is unrecoverable.
+        bytes[0] = 9;
+        let err = Dec::new(&bytes).section_frame(1, "first").unwrap_err();
+        assert!(err.to_string().contains("'first'"), "{err}");
     }
 
     #[test]

@@ -29,6 +29,57 @@ use evanesco_nand::timing::{Nanos, TimingSpec};
 use std::fmt;
 use std::path::Path;
 
+/// Checkpoint section ids (format v2). Each section is framed with a
+/// length and CRC-32 (see [`evanesco_nand::snapshot::Enc::section`]), so
+/// corruption is pinned to one section and the salvage path can skip it.
+/// `DEVICE` precedes `FTL` deliberately: a salvaged FTL is rebuilt by
+/// re-running the recovery scan over the restored flash.
+pub mod section {
+    /// Full device configuration (required).
+    pub const CONFIG: u8 = 1;
+    /// Sanitization policy (required).
+    pub const POLICY: u8 = 2;
+    /// NAND chips, flags, wear, busy timelines, clock, RNGs (required).
+    pub const DEVICE: u8 = 3;
+    /// FTL RAM tables (salvageable: rebuilt from flash OOB).
+    pub const FTL: u8 = 4;
+    /// Host bookkeeping: tags, stale audit, histograms (salvageable:
+    /// reset).
+    pub const HOST: u8 = 5;
+    /// Live gauges (salvageable: dropped).
+    pub const GAUGES: u8 = 6;
+    /// Telemetry ring (salvageable: dropped).
+    pub const TIMESERIES: u8 = 7;
+}
+
+/// What a salvaging restore had to give up: the names of every
+/// checkpoint section that failed its CRC (or its decode) and was rebuilt
+/// from ground truth or dropped instead of restored verbatim. See
+/// [`Emulator::restore_checkpoint_salvaging`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Section names (`"ftl"`, `"host"`, `"gauges"`, `"timeseries"`), in
+    /// stream order.
+    pub salvaged: Vec<&'static str>,
+}
+
+impl SalvageReport {
+    /// True when every section restored intact (nothing was given up).
+    pub fn is_clean(&self) -> bool {
+        self.salvaged.is_empty()
+    }
+}
+
+impl fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "clean restore")
+        } else {
+            write!(f, "salvaged sections: {}", self.salvaged.join(", "))
+        }
+    }
+}
+
 /// Errors from the file-level checkpoint helpers.
 #[derive(Debug)]
 pub enum CheckpointError {
@@ -83,6 +134,21 @@ pub fn write_checkpoint(em: &Emulator, path: &Path) -> Result<(), CheckpointErro
 pub fn read_checkpoint(path: &Path) -> Result<Emulator, CheckpointError> {
     let bytes = std::fs::read(path)?;
     Ok(Emulator::restore_checkpoint(&bytes)?)
+}
+
+/// Reads a checkpoint from `path`, salvaging damaged non-essential
+/// sections (see [`Emulator::restore_checkpoint_salvaging`] for the
+/// policy). The report names every section that was given up.
+///
+/// # Errors
+///
+/// Fails on I/O errors, header or frame damage, or damage to a required
+/// section (config, policy, device).
+pub fn read_checkpoint_salvaging(
+    path: &Path,
+) -> Result<(Emulator, SalvageReport), CheckpointError> {
+    let bytes = std::fs::read(path)?;
+    Ok(Emulator::restore_checkpoint_salvaging(&bytes)?)
 }
 
 fn check(cond: bool, what: &str) -> Result<(), SnapshotError> {

@@ -12,6 +12,8 @@ use crate::metrics::{LatencyBreakdown, LatencyHistogram, RecoveryTotals, RunResu
 use crate::sched::{Dispatch, HostOp, OpResult, SchedRun, Scheduler};
 use crate::timeseries::TimeSeries;
 use crate::trace::{ReqKind, TraceEvent, TraceRecorder};
+use crate::watchdog::{DeadlineConfig, Verdict, Watchdog, WatchdogStats};
+use evanesco_core::fault::{CorruptionConfig, CorruptionStats};
 use evanesco_core::threat::Attacker;
 use evanesco_ftl::ftl::Ftl;
 use evanesco_ftl::observer::{FtlObserver, NullObserver, Tee};
@@ -47,6 +49,10 @@ pub struct Emulator {
     trace_spare: Vec<TraceEvent>,
     /// Windowed telemetry ring ([`Emulator::enable_timeseries`]).
     timeseries: Option<TimeSeries>,
+    /// Deadline watchdog on the scheduled path
+    /// ([`Emulator::enable_watchdog`]). Like tracing, never checkpointed:
+    /// re-enable after restore.
+    watchdog: Option<Watchdog>,
 }
 
 impl Emulator {
@@ -69,9 +75,73 @@ impl Emulator {
             trace: None,
             trace_spare: Vec::new(),
             timeseries: None,
+            watchdog: None,
             cfg,
             ftl,
         }
+    }
+
+    /// Arms the metadata-corruption chaos harness: deterministic bit-level
+    /// corruption of the FTL's RAM tables at host-op boundaries, guarded
+    /// by shadow checksums, verify-before-serve repair, and an incremental
+    /// audit scrubber (see `evanesco_ftl`'s guard module). Accounting is
+    /// exposed through [`Emulator::chaos_stats`] and the FTL stats'
+    /// `meta_*` counters.
+    pub fn enable_chaos(&mut self, cfg: CorruptionConfig) -> &mut Self {
+        self.ftl.enable_guard(cfg);
+        self
+    }
+
+    /// Whether the chaos guard is armed.
+    pub fn chaos_enabled(&self) -> bool {
+        self.ftl.guard_enabled()
+    }
+
+    /// The corruption injector's own accounting (`None` when chaos is
+    /// off); the chaos gate cross-checks it against the FTL stats.
+    pub fn chaos_stats(&self) -> Option<CorruptionStats> {
+        self.ftl.guard_corruption_stats()
+    }
+
+    /// Settles the chaos guard at end of run: one final verify-and-repair
+    /// pass (no new injection) so every injected corruption is detected
+    /// and accounted before results are read.
+    pub fn chaos_finalize(&mut self) {
+        self.ftl.guard_finalize(&mut self.ex, &mut Tee(self.gauges.as_mut(), NullObserver));
+    }
+
+    /// Pre-op half of the chaos bracket: verify seals, repair divergence,
+    /// advance the audit scrubber. Runs before the trace bracket opens so
+    /// repair/scrub device work is attributed as maintenance, not to the
+    /// host request.
+    fn chaos_preop<O: FtlObserver>(&mut self, obs: &mut O) {
+        if self.ftl.guard_enabled() {
+            self.ftl.guard_preop(&mut self.ex, &mut Tee(self.gauges.as_mut(), &mut *obs));
+        }
+    }
+
+    /// Post-op half of the chaos bracket: reseal over the mutated state,
+    /// then maybe inject the next corruption (RAM-only, no device work).
+    fn chaos_postop(&mut self) {
+        if self.ftl.guard_enabled() {
+            self.ftl.guard_postop();
+        }
+    }
+
+    /// Attaches a deadline watchdog to the scheduled path (see
+    /// [`crate::watchdog`]): wedged requests are aborted at their class
+    /// deadline, retried with exponential backoff, and failed with
+    /// [`OpResult::TimedOut`] once the retry budget is exhausted. With a
+    /// zero stall rate the path is byte-identical to running without a
+    /// watchdog.
+    pub fn enable_watchdog(&mut self, cfg: DeadlineConfig) -> &mut Self {
+        self.watchdog = Some(Watchdog::new(cfg));
+        self
+    }
+
+    /// The watchdog's accounting, if one is attached.
+    pub fn watchdog_stats(&self) -> Option<WatchdogStats> {
+        self.watchdog.as_ref().map(|w| w.stats())
     }
 
     /// Attaches the live T_insecure / VAF gauges (see [`LiveGauges`]).
@@ -271,6 +341,9 @@ impl Emulator {
         self.trace_discard_leftovers();
         let before = self.ex.simulated_time();
         self.ftl.flush_coalesced(&mut self.ex, &mut Tee(self.gauges.as_mut(), NullObserver));
+        // The flush mutates guarded tables outside any op bracket: reseal
+        // so the next pre-op check does not misread it as corruption.
+        self.ftl.guard_reseal();
         let end = self.ex.simulated_time();
         self.trace_finish(ReqKind::Maintenance, 0, 0, true, before, before, end);
         self.poll_timeseries();
@@ -320,6 +393,7 @@ impl Emulator {
                 tags.push((tag, false));
                 continue;
             }
+            self.chaos_preop(obs);
             self.trace_discard_leftovers();
             self.ex.begin_commit();
             let before = self.ex.simulated_time();
@@ -350,6 +424,7 @@ impl Emulator {
             let end = self.ex.simulated_time();
             self.trace_finish(ReqKind::Write, l, 1, acked, before, before, end);
             self.poll_timeseries();
+            self.chaos_postop();
             tags.push((tag, acked));
         }
         tags
@@ -372,6 +447,7 @@ impl Emulator {
                 tags.push(tag);
                 continue;
             }
+            self.chaos_preop(&mut NullObserver);
             self.trace_discard_leftovers();
             self.ex.begin_commit();
             let before = self.ex.simulated_time();
@@ -398,6 +474,7 @@ impl Emulator {
             let end = self.ex.simulated_time();
             self.trace_finish(ReqKind::Write, l, 1, acked, before, before, end);
             self.poll_timeseries();
+            self.chaos_postop();
             tags.push(tag);
         }
         tags
@@ -414,10 +491,12 @@ impl Emulator {
                 if self.ex.powered_off() {
                     return None;
                 }
+                self.chaos_preop(&mut NullObserver);
                 self.trace_discard_leftovers();
                 let before = self.ex.simulated_time();
                 let d = self.ftl.read(&mut self.ex, lpa + i);
                 self.note_sync_read(lpa + i, before, d.is_some());
+                self.chaos_postop();
                 d
             })
             .collect()
@@ -432,10 +511,12 @@ impl Emulator {
                 out.push(None);
                 continue;
             }
+            self.chaos_preop(&mut NullObserver);
             self.trace_discard_leftovers();
             let before = self.ex.simulated_time();
             let d = self.ftl.read(&mut self.ex, lpa + i);
             self.note_sync_read(lpa + i, before, d.is_some());
+            self.chaos_postop();
             out.push(d.map(|d| d.tag()));
         }
         out
@@ -471,6 +552,7 @@ impl Emulator {
         if self.ex.powered_off() {
             return false;
         }
+        self.chaos_preop(obs);
         let lpas: Vec<Lpa> = (lpa..lpa + npages).collect();
         self.trace_discard_leftovers();
         self.ex.begin_commit();
@@ -493,6 +575,7 @@ impl Emulator {
         let end = self.ex.simulated_time();
         self.trace_finish(ReqKind::Trim, lpa, npages, acked, before, before, end);
         self.poll_timeseries();
+        self.chaos_postop();
         acked
     }
 
@@ -579,8 +662,42 @@ impl Emulator {
         sched: &mut Scheduler,
     ) -> OpResult {
         use evanesco_ftl::executor::NandExecutor;
+        // Watchdog verdict first (keyed on the submission index, so it is
+        // queue-depth-invariant): a wedged request is aborted at its class
+        // deadline and retried after backoff — the penalty delays its
+        // earliest legal start — or, past the retry budget, failed without
+        // ever reaching the FTL.
+        let earliest =
+            match self.watchdog.as_mut().map_or(Verdict::Clean, |w| w.judge(d.idx, &d.op)) {
+                Verdict::Clean => d.earliest,
+                Verdict::Retried { penalty } => d.earliest + penalty,
+                Verdict::Failed { penalty } => {
+                    let done = d.earliest + penalty;
+                    let (lpa, npages) = d.op.lpa_range();
+                    let kind = match d.op {
+                        HostOp::Write { .. } => {
+                            self.write_latency.record(penalty);
+                            ReqKind::Write
+                        }
+                        HostOp::Read { .. } => {
+                            self.read_latency.record(penalty);
+                            ReqKind::Read
+                        }
+                        HostOp::Trim { .. } => {
+                            self.trim_latency.record(penalty);
+                            ReqKind::Trim
+                        }
+                    };
+                    self.trace_discard_leftovers();
+                    self.trace_finish(kind, lpa, npages, false, d.submit, d.earliest, done);
+                    self.poll_timeseries();
+                    sched.complete(done);
+                    return OpResult::TimedOut;
+                }
+            };
+        self.chaos_preop(obs);
         self.trace_discard_leftovers();
-        self.ex.begin_dispatch(d.earliest);
+        self.ex.begin_dispatch(earliest);
         self.ex.begin_commit();
         let mut acked_for_trace = true;
         let res = match d.op {
@@ -662,6 +779,7 @@ impl Emulator {
         };
         self.trace_finish(kind, lpa, npages, acked_for_trace, d.submit, d.earliest, done);
         self.poll_timeseries();
+        self.chaos_postop();
         sched.complete(done);
         res
     }
@@ -834,15 +952,34 @@ impl Emulator {
     /// bit-identically to one that never stopped (see
     /// `tests/checkpoint_resume.rs`).
     ///
+    /// Format v2: each layer is framed as its own CRC-guarded section
+    /// (see [`crate::checkpoint::section`]), so corruption is pinned to
+    /// the section it landed in and
+    /// [`Emulator::restore_checkpoint_salvaging`] can rebuild or drop
+    /// that section instead of losing the whole checkpoint. The device
+    /// section precedes the FTL section because a salvaged FTL is rebuilt
+    /// *from* the restored flash.
+    ///
     /// Not captured (observational only, never affecting results): the
-    /// op-level trace recorder and the FTL decision log.
+    /// op-level trace recorder, the FTL decision log, the chaos guard,
+    /// and the watchdog.
     pub fn save_checkpoint(&self) -> Vec<u8> {
+        use crate::checkpoint::section;
         let mut e = evanesco_nand::snapshot::Enc::with_header();
-        crate::checkpoint::encode_config(&self.cfg, &mut e);
-        crate::checkpoint::encode_policy(self.ftl.policy(), &mut e);
+        e.section(section::CONFIG, |e| crate::checkpoint::encode_config(&self.cfg, e));
+        e.section(section::POLICY, |e| crate::checkpoint::encode_policy(self.ftl.policy(), e));
+        e.section(section::DEVICE, |e| self.ex.encode_state(e));
+        e.section(section::FTL, |e| self.ftl.encode_state(e));
+        e.section(section::HOST, |e| self.encode_host_state(e));
+        e.section(section::GAUGES, |e| e.opt(&self.gauges, |e, g| g.encode_state(e)));
+        e.section(section::TIMESERIES, |e| e.opt(&self.timeseries, |e, ts| ts.encode_state(e)));
+        e.into_bytes()
+    }
+
+    /// Host-side bookkeeping: tag map, stale audit log, op counters,
+    /// latency histograms, recovery totals.
+    fn encode_host_state(&self, e: &mut evanesco_nand::snapshot::Enc) {
         e.tag(0x50);
-        self.ftl.encode_state(&mut e);
-        self.ex.encode_state(&mut e);
         e.usize(self.tag_of.len());
         for t in &self.tag_of {
             e.opt(t, |e, &(tag, secure)| {
@@ -858,40 +995,116 @@ impl Emulator {
         }
         e.u64(self.next_tag);
         e.u64(self.host_ops);
-        self.read_latency.encode_snapshot(&mut e);
-        self.write_latency.encode_snapshot(&mut e);
-        self.trim_latency.encode_snapshot(&mut e);
-        self.recovery.encode_snapshot(&mut e);
-        e.opt(&self.gauges, |e, g| g.encode_state(e));
-        e.opt(&self.timeseries, |e, ts| ts.encode_state(e));
-        e.into_bytes()
+        self.read_latency.encode_snapshot(e);
+        self.write_latency.encode_snapshot(e);
+        self.trim_latency.encode_snapshot(e);
+        self.recovery.encode_snapshot(e);
+    }
+
+    /// Inverse of [`Emulator::encode_host_state`].
+    fn decode_host_state(
+        &mut self,
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<(), evanesco_nand::snapshot::SnapshotError> {
+        use evanesco_nand::snapshot::SnapshotError;
+        d.expect_tag(0x50, "emulator")?;
+        let n_tags = d.usize()?;
+        if n_tags != self.tag_of.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "checkpoint tracks {n_tags} logical tags, configuration implies {}",
+                self.tag_of.len()
+            )));
+        }
+        for slot in self.tag_of.iter_mut() {
+            *slot = d.opt(|d| {
+                let tag = d.u64()?;
+                let secure = d.bool()?;
+                Ok((tag, secure))
+            })?;
+        }
+        let n_stale = d.usize()?;
+        self.stale = Vec::with_capacity(n_stale.min(1 << 20));
+        for _ in 0..n_stale {
+            let l = d.u64()?;
+            let tag = d.u64()?;
+            let secure = d.bool()?;
+            self.stale.push((l, tag, secure));
+        }
+        self.next_tag = d.u64()?;
+        self.host_ops = d.u64()?;
+        self.read_latency = LatencyHistogram::decode_snapshot(d)?;
+        self.write_latency = LatencyHistogram::decode_snapshot(d)?;
+        self.trim_latency = LatencyHistogram::decode_snapshot(d)?;
+        self.recovery = RecoveryTotals::decode_snapshot(d)?;
+        Ok(())
     }
 
     /// Reconstructs an emulator from bytes written by
     /// [`Emulator::save_checkpoint`]: builds a fresh device from the
     /// embedded configuration and policy, then overlays every piece of
-    /// dynamic state.
+    /// dynamic state. Both format versions decode: v1 (the unframed
+    /// legacy layout) and v2 (CRC-guarded sections, checksums enforced).
     ///
     /// # Errors
     ///
     /// Fails with a typed [`evanesco_nand::snapshot::SnapshotError`] —
     /// never a panic — on truncation, a wrong magic, an unsupported
-    /// format version, structural corruption, or internally inconsistent
-    /// state.
+    /// format version, a section checksum failure, structural corruption,
+    /// or internally inconsistent state.
     pub fn restore_checkpoint(
         bytes: &[u8],
     ) -> Result<Emulator, evanesco_nand::snapshot::SnapshotError> {
-        use evanesco_nand::snapshot::{Dec, SnapshotError};
+        use crate::checkpoint::section;
+        use evanesco_nand::snapshot::Dec;
         let mut d = Dec::with_header(bytes)?;
-        let cfg = crate::checkpoint::decode_config(&mut d)?;
-        let policy = crate::checkpoint::decode_policy(&mut d)?;
+        if d.version() < 2 {
+            let em = Self::restore_v1(&mut d)?;
+            d.finish()?;
+            return Ok(em);
+        }
+        let mut s = d.section(section::CONFIG, "config")?;
+        let cfg = crate::checkpoint::decode_config(&mut s)?;
+        s.finish()?;
+        let mut s = d.section(section::POLICY, "policy")?;
+        let policy = crate::checkpoint::decode_policy(&mut s)?;
+        s.finish()?;
+        let mut em = Emulator::new(cfg, policy);
+        let mut s = d.section(section::DEVICE, "device")?;
+        em.ex.decode_state(&mut s)?;
+        s.finish()?;
+        let mut s = d.section(section::FTL, "ftl")?;
+        em.ftl.decode_state(&mut s)?;
+        s.finish()?;
+        let mut s = d.section(section::HOST, "host")?;
+        em.decode_host_state(&mut s)?;
+        s.finish()?;
+        let mut s = d.section(section::GAUGES, "gauges")?;
+        em.gauges = s.opt(LiveGauges::decode_state)?;
+        s.finish()?;
+        let mut s = d.section(section::TIMESERIES, "timeseries")?;
+        em.timeseries = s.opt(TimeSeries::decode_state)?;
+        s.finish()?;
+        d.finish()?;
+        Ok(em)
+    }
+
+    /// The v1 (pre-section) checkpoint layout, kept decodable so archived
+    /// fixtures and old campaign segments still restore.
+    fn restore_v1(
+        d: &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<Emulator, evanesco_nand::snapshot::SnapshotError> {
+        let cfg = crate::checkpoint::decode_config(d)?;
+        let policy = crate::checkpoint::decode_policy(d)?;
         let mut em = Emulator::new(cfg, policy);
         d.expect_tag(0x50, "emulator")?;
-        em.ftl.decode_state(&mut d)?;
-        em.ex.decode_state(&mut d)?;
+        em.ftl.decode_state(d)?;
+        em.ex.decode_state(d)?;
+        // v1 stored the host fields inline, without the leading 0x50 the
+        // framed HOST section carries — splice the tag check out by
+        // decoding the fields directly.
         let n_tags = d.usize()?;
         if n_tags != em.tag_of.len() {
-            return Err(SnapshotError::Mismatch(format!(
+            return Err(evanesco_nand::snapshot::SnapshotError::Mismatch(format!(
                 "checkpoint tracks {n_tags} logical tags, configuration implies {}",
                 em.tag_of.len()
             )));
@@ -913,15 +1126,159 @@ impl Emulator {
         }
         em.next_tag = d.u64()?;
         em.host_ops = d.u64()?;
-        em.read_latency = LatencyHistogram::decode_snapshot(&mut d)?;
-        em.write_latency = LatencyHistogram::decode_snapshot(&mut d)?;
-        em.trim_latency = LatencyHistogram::decode_snapshot(&mut d)?;
-        em.recovery = RecoveryTotals::decode_snapshot(&mut d)?;
+        em.read_latency = LatencyHistogram::decode_snapshot(d)?;
+        em.write_latency = LatencyHistogram::decode_snapshot(d)?;
+        em.trim_latency = LatencyHistogram::decode_snapshot(d)?;
+        em.recovery = RecoveryTotals::decode_snapshot(d)?;
         em.gauges = d.opt(LiveGauges::decode_state)?;
         em.timeseries = d.opt(TimeSeries::decode_state)?;
-        d.finish()?;
         Ok(em)
     }
+
+    /// Restores a v2 checkpoint, salvaging what a strict restore would
+    /// reject: a section whose CRC (or decode) fails is rebuilt from
+    /// ground truth where one exists, or dropped where the state is
+    /// purely observational. The [`crate::checkpoint::SalvageReport`]
+    /// names every section that was given up.
+    ///
+    /// Salvage policy, in stream order:
+    ///
+    /// * `config` / `policy` / `device` — **required**. Nothing can
+    ///   rebuild the configuration or the flash array itself; damage here
+    ///   is a hard error.
+    /// * `ftl` — rebuilt by re-running the recovery scan over the
+    ///   restored flash (the same OOB-driven rebuild a power cut uses).
+    ///   Costs simulated scan time and resets cumulative FTL counters,
+    ///   so the salvaged run is consistent but no longer bit-identical
+    ///   to the original.
+    /// * `host` — reset: tag tracking restarts from a blank map (the
+    ///   stale-audit history is lost, so `verify_sanitized` only covers
+    ///   deletes issued after the salvage), histograms and recovery
+    ///   totals restart from zero.
+    /// * `gauges` / `timeseries` — dropped (observational).
+    ///
+    /// v1 checkpoints have no per-section checksums; they restore
+    /// strictly with an empty report.
+    ///
+    /// # Errors
+    ///
+    /// Fails on header damage, frame-level damage (a section length
+    /// running past the buffer), or damage to a required section.
+    pub fn restore_checkpoint_salvaging(
+        bytes: &[u8],
+    ) -> Result<(Emulator, crate::checkpoint::SalvageReport), evanesco_nand::snapshot::SnapshotError>
+    {
+        use crate::checkpoint::{section, SalvageReport};
+        use evanesco_nand::snapshot::Dec;
+        let mut d = Dec::with_header(bytes)?;
+        if d.version() < 2 {
+            let em = Self::restore_v1(&mut d)?;
+            d.finish()?;
+            return Ok((em, SalvageReport::default()));
+        }
+        let mut report = SalvageReport::default();
+        let mut s = d.section(section::CONFIG, "config")?;
+        let cfg = crate::checkpoint::decode_config(&mut s)?;
+        s.finish()?;
+        let mut s = d.section(section::POLICY, "policy")?;
+        let policy = crate::checkpoint::decode_policy(&mut s)?;
+        s.finish()?;
+        let mut em = Emulator::new(cfg, policy);
+        let mut s = d.section(section::DEVICE, "device")?;
+        em.ex.decode_state(&mut s)?;
+        s.finish()?;
+
+        let (mut s, crc_ok) = d.section_frame(section::FTL, "ftl")?;
+        let ftl_ok = crc_ok && em.ftl.decode_state(&mut s).and_then(|()| s.finish()).is_ok();
+        if !ftl_ok {
+            // A partial decode may have half-written the tables: start
+            // from a fresh FTL and rebuild every RAM table from the
+            // restored flash's OOB metadata, exactly as crash recovery
+            // does.
+            em.ftl = Ftl::new(em.cfg.ftl, policy);
+            let before = em.ex.simulated_time();
+            let rep = em.ftl.recover(&mut em.ex, &mut NullObserver);
+            let scan = em.ex.simulated_time().saturating_sub(before);
+            em.recovery.absorb(&rep, scan);
+            report.salvaged.push("ftl");
+        }
+
+        let (mut s, crc_ok) = d.section_frame(section::HOST, "host")?;
+        let host_ok = crc_ok && em.decode_host_state(&mut s).and_then(|()| s.finish()).is_ok();
+        if !host_ok {
+            let tags = if em.cfg.track_tags { em.ftl.logical_pages() as usize } else { 0 };
+            em.tag_of = vec![None; tags];
+            em.stale = Vec::new();
+            em.next_tag = 1;
+            em.host_ops = 0;
+            em.read_latency = LatencyHistogram::new();
+            em.write_latency = LatencyHistogram::new();
+            em.trim_latency = LatencyHistogram::new();
+            // Keep the scan totals an FTL salvage just accumulated; with
+            // no salvage the totals restart from zero like the rest.
+            if !report.salvaged.contains(&"ftl") {
+                em.recovery = RecoveryTotals::default();
+            }
+            report.salvaged.push("host");
+        }
+
+        let (mut s, crc_ok) = d.section_frame(section::GAUGES, "gauges")?;
+        match decode_section_opt(crc_ok, &mut s, LiveGauges::decode_state) {
+            Some(g) => em.gauges = g,
+            None => {
+                em.gauges = None;
+                report.salvaged.push("gauges");
+            }
+        }
+        let (mut s, crc_ok) = d.section_frame(section::TIMESERIES, "timeseries")?;
+        match decode_section_opt(crc_ok, &mut s, TimeSeries::decode_state) {
+            Some(ts) => em.timeseries = ts,
+            None => {
+                em.timeseries = None;
+                report.salvaged.push("timeseries");
+            }
+        }
+        d.finish()?;
+        Ok((em, report))
+    }
+
+    /// Restores this emulator from checkpoint bytes **all-or-nothing**:
+    /// the bytes decode into a fresh staging emulator first and replace
+    /// this one only on full success, so a truncated or corrupt blob
+    /// leaves the device byte-identical to before the call.
+    ///
+    /// Observational attachments (tracing, decision log, chaos guard,
+    /// watchdog) follow the checkpoint's contents: they are *not* carried
+    /// over from the pre-restore device.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Emulator::restore_checkpoint`]; on error
+    /// `self` is untouched.
+    pub fn restore_in_place(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(), evanesco_nand::snapshot::SnapshotError> {
+        *self = Emulator::restore_checkpoint(bytes)?;
+        Ok(())
+    }
+}
+
+/// Decodes an optional-state section payload: `Some(decoded)` when the
+/// CRC held and the payload parsed cleanly, `None` otherwise.
+fn decode_section_opt<T>(
+    crc_ok: bool,
+    s: &mut evanesco_nand::snapshot::Dec<'_>,
+    f: impl FnMut(
+        &mut evanesco_nand::snapshot::Dec<'_>,
+    ) -> Result<T, evanesco_nand::snapshot::SnapshotError>,
+) -> Option<Option<T>> {
+    if !crc_ok {
+        return None;
+    }
+    let v = s.opt(f).ok()?;
+    s.finish().ok()?;
+    Some(v)
 }
 
 #[cfg(test)]
@@ -1161,6 +1518,199 @@ mod tests {
         assert_eq!(restored.result(), live.result());
         assert_eq!(restored.prometheus_scrape(), live.prometheus_scrape());
         assert_eq!(restored.save_checkpoint(), live.save_checkpoint());
+    }
+
+    /// Byte range of section `id`'s payload within a v2 checkpoint
+    /// (frame header: id + u64 length + u32 crc = 13 bytes).
+    fn section_payload_range(bytes: &[u8], id: u8) -> std::ops::Range<usize> {
+        let mut pos = 12; // 8-byte magic + u32 version
+        loop {
+            let sid = bytes[pos];
+            let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
+            let start = pos + 13;
+            if sid == id {
+                return start..start + len;
+            }
+            pos = start + len;
+        }
+    }
+
+    #[test]
+    fn failed_in_place_restore_leaves_device_untouched() {
+        let mut s = ssd(SanitizePolicy::evanesco());
+        s.write(0, 6, true);
+        s.trim(0, 2);
+        let before = s.save_checkpoint();
+        let mut other = ssd(SanitizePolicy::evanesco());
+        other.write(3, 3, true);
+        let good = other.save_checkpoint();
+        // A truncated blob and a bit-flipped blob must both fail without
+        // mutating the target device.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        for bad in [&good[..good.len() - 7], &flipped[..]] {
+            assert!(s.restore_in_place(bad).is_err());
+            assert_eq!(s.save_checkpoint(), before, "failed restore must leave state untouched");
+        }
+        // A valid blob swaps wholesale.
+        s.restore_in_place(&good).unwrap();
+        assert_eq!(s.save_checkpoint(), good);
+    }
+
+    #[test]
+    fn strict_restore_names_the_damaged_section() {
+        let mut s = ssd(SanitizePolicy::evanesco());
+        s.write(0, 4, true);
+        let mut bytes = s.save_checkpoint();
+        let r = section_payload_range(&bytes, crate::checkpoint::section::FTL);
+        bytes[r.start + 10] ^= 0xFF;
+        match Emulator::restore_checkpoint(&bytes) {
+            Err(evanesco_nand::snapshot::SnapshotError::Corrupt(msg)) => {
+                assert!(msg.contains("ftl"), "error must name the section: {msg}");
+            }
+            other => panic!("expected a CRC failure naming 'ftl', got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn salvage_rebuilds_a_corrupt_ftl_section_from_flash() {
+        let mut s = ssd(SanitizePolicy::evanesco());
+        let tags = s.write(0, 8, true);
+        s.trim(0, 3);
+        let mut bytes = s.save_checkpoint();
+        let r = section_payload_range(&bytes, crate::checkpoint::section::FTL);
+        bytes[r.start + 20] ^= 0xFF;
+        let (mut em, report) =
+            Emulator::restore_checkpoint_salvaging(&bytes).expect("ftl damage is salvageable");
+        assert_eq!(report.salvaged, vec!["ftl"]);
+        assert!(!report.is_clean());
+        // The rebuilt tables serve the exact logical contents.
+        assert_eq!(em.read(0, 3), vec![None; 3], "trimmed pages stay trimmed");
+        let got = em.read(3, 5);
+        assert_eq!(got, tags[3..].iter().map(|&t| Some(t)).collect::<Vec<_>>());
+        // Acked secure deletes stay unrecoverable through the salvage.
+        assert!(em.verify_sanitized(0, 3));
+        // The salvaged device keeps working.
+        assert!(em.write_tracked(0, 1, true)[0].1);
+    }
+
+    #[test]
+    fn salvage_resets_a_corrupt_host_section() {
+        let mut s = ssd(SanitizePolicy::evanesco());
+        let tags = s.write(0, 4, true);
+        let mut bytes = s.save_checkpoint();
+        let r = section_payload_range(&bytes, crate::checkpoint::section::HOST);
+        bytes[r.start] ^= 0xFF; // clobbers the host tag byte
+        let (mut em, report) = Emulator::restore_checkpoint_salvaging(&bytes).unwrap();
+        assert_eq!(report.salvaged, vec!["host"]);
+        // Bookkeeping restarted; the flash and FTL state survived.
+        assert_eq!(em.stale_len(), 0);
+        assert_eq!(em.result().host_ops, 0);
+        assert_eq!(em.read(0, 4), tags.into_iter().map(Some).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn salvage_drops_corrupt_observational_sections() {
+        let mut s = ssd(SanitizePolicy::evanesco());
+        s.enable_gauges();
+        s.enable_timeseries(Nanos::from_micros(200), 16);
+        s.write(0, 6, true);
+        let mut bytes = s.save_checkpoint();
+        for id in [crate::checkpoint::section::GAUGES, crate::checkpoint::section::TIMESERIES] {
+            let r = section_payload_range(&bytes, id);
+            bytes[r.start] ^= 0xFF;
+        }
+        let (em, report) = Emulator::restore_checkpoint_salvaging(&bytes).unwrap();
+        assert_eq!(report.salvaged, vec!["gauges", "timeseries"]);
+        assert!(em.gauges().is_none());
+        assert!(em.timeseries().is_none());
+    }
+
+    #[test]
+    fn salvage_refuses_damage_to_required_sections() {
+        let mut s = ssd(SanitizePolicy::evanesco());
+        s.write(0, 4, true);
+        let bytes = s.save_checkpoint();
+        for id in [
+            crate::checkpoint::section::CONFIG,
+            crate::checkpoint::section::POLICY,
+            crate::checkpoint::section::DEVICE,
+        ] {
+            let mut bad = bytes.clone();
+            let r = section_payload_range(&bad, id);
+            bad[r.start] ^= 0xFF;
+            assert!(
+                Emulator::restore_checkpoint_salvaging(&bad).is_err(),
+                "section {id} is required"
+            );
+        }
+    }
+
+    #[test]
+    fn salvaging_a_clean_checkpoint_is_a_strict_restore() {
+        let mut s = ssd(SanitizePolicy::evanesco());
+        s.enable_gauges();
+        s.write(0, 6, true);
+        s.trim(2, 2);
+        let bytes = s.save_checkpoint();
+        let (em, report) = Emulator::restore_checkpoint_salvaging(&bytes).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(em.save_checkpoint(), bytes);
+    }
+
+    #[test]
+    fn watchdog_zero_stall_rate_is_byte_identical_to_no_watchdog() {
+        let ops = mixed_trace(80, 32, 0xFEED);
+        let mut plain = ssd(SanitizePolicy::evanesco());
+        let rp = plain.run_scheduled(&ops, 8);
+        let mut guarded = ssd(SanitizePolicy::evanesco());
+        guarded.enable_watchdog(crate::watchdog::DeadlineConfig::for_tests(5, 0.0));
+        let rg = guarded.run_scheduled(&ops, 8);
+        assert_eq!(rp, rg, "an idle watchdog must not change results or timing");
+        assert_eq!(plain.save_checkpoint(), guarded.save_checkpoint());
+        assert_eq!(guarded.watchdog_stats().unwrap(), crate::watchdog::WatchdogStats::default());
+    }
+
+    #[test]
+    fn watchdog_failures_are_typed_accounted_and_qd_invariant() {
+        let ops = mixed_trace(120, 40, 0xD00D);
+        let run = |qd: usize| {
+            let mut s = ssd(SanitizePolicy::evanesco());
+            s.enable_watchdog(crate::watchdog::DeadlineConfig::for_tests(21, 0.35));
+            let r = s.run_scheduled(&ops, qd);
+            let stats = s.watchdog_stats().unwrap();
+            assert!(stats.reconciles(), "qd {qd}: {stats:?}");
+            let timed_out =
+                r.results.iter().filter(|x| matches!(x, OpResult::TimedOut)).count() as u64;
+            assert_eq!(stats.deadline_failures, timed_out, "every failure surfaces as TimedOut");
+            assert!(timed_out > 0, "rate 0.35 over a budget of 3 must fail someone");
+            assert!(stats.retries > 0);
+            (r.results, s.read(0, 40), stats)
+        };
+        let base = run(1);
+        for qd in [2, 8] {
+            assert_eq!(run(qd), base, "qd {qd} changed watchdog outcomes");
+        }
+    }
+
+    #[test]
+    fn chaos_storm_serves_identical_results_and_accounts_every_injection() {
+        let ops = mixed_trace(150, 40, 0x0C0C0A);
+        let mut plain = ssd(SanitizePolicy::evanesco());
+        let rp = plain.run_scheduled(&ops, 8);
+        let mut noisy = ssd(SanitizePolicy::evanesco());
+        noisy.enable_chaos(evanesco_core::fault::CorruptionConfig::storm(0.25, 0xA5));
+        let rn = noisy.run_scheduled(&ops, 8);
+        noisy.chaos_finalize();
+        assert_eq!(rp.results, rn.results, "repaired tables must serve identical results");
+        assert_eq!(plain.read(0, 40), noisy.read(0, 40));
+        let st = noisy.ftl().stats();
+        assert!(st.meta_corruptions_injected > 0, "storm at 0.25 must fire");
+        assert!(st.meta_accounting_balanced(), "{st:?}");
+        let model = noisy.chaos_stats().unwrap();
+        assert_eq!(model.injected, st.meta_corruptions_injected);
+        assert!(noisy.verify_sanitized(0, 40), "corruption must never leak a secured delete");
     }
 
     #[test]

@@ -45,8 +45,11 @@ pub mod sched;
 pub mod timeline;
 pub mod timeseries;
 pub mod trace;
+pub mod watchdog;
 
-pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointError};
+pub use checkpoint::{
+    read_checkpoint, read_checkpoint_salvaging, write_checkpoint, CheckpointError, SalvageReport,
+};
 pub use config::SsdConfig;
 pub use emulator::Emulator;
 pub use faultplan::FaultPlan;
@@ -55,3 +58,4 @@ pub use metrics::{LatencyBreakdown, RecoveryTotals, RunResult};
 pub use sched::{HostOp, OpResult, SchedRun, Scheduler};
 pub use timeseries::{TimeSeries, UtilWindow, WindowSample};
 pub use trace::{validate_chrome_trace, RequestTrace, SpanKind, TraceRecorder};
+pub use watchdog::{DeadlineConfig, Watchdog, WatchdogStats};

@@ -42,7 +42,7 @@ pub fn render(em: &Emulator) -> String {
     );
 
     let f = &r.ftl;
-    let ftl: [(&str, &str, u64); 24] = [
+    let ftl: [(&str, &str, u64); 32] = [
         ("host_write_pages", "Host-initiated page writes.", f.host_write_pages),
         ("host_read_pages", "Host-initiated page reads.", f.host_read_pages),
         ("host_trim_pages", "Host-initiated trimmed pages.", f.host_trim_pages),
@@ -82,6 +82,38 @@ pub fn render(em: &Emulator) -> String {
             "writes_rejected_readonly",
             "Host writes rejected in read-only degraded mode.",
             f.writes_rejected_readonly,
+        ),
+        (
+            "meta_corruptions_injected",
+            "Metadata corruptions injected by the chaos model.",
+            f.meta_corruptions_injected,
+        ),
+        (
+            "meta_corruptions_detected",
+            "Metadata corruptions caught by seals or the audit scrubber.",
+            f.meta_corruptions_detected,
+        ),
+        (
+            "meta_repairs_from_oob",
+            "Metadata repairs rebuilt from on-flash OOB.",
+            f.meta_repairs_from_oob,
+        ),
+        (
+            "meta_repairs_rederived",
+            "Metadata repairs re-derived from RAM state.",
+            f.meta_repairs_rederived,
+        ),
+        (
+            "meta_unrecoverable",
+            "Failed repairs that degraded the drive to read-only.",
+            f.meta_unrecoverable,
+        ),
+        ("audit_scrub_blocks", "Blocks cross-checked by the audit scrubber.", f.audit_scrub_blocks),
+        ("audit_divergences", "RAM-vs-OOB divergences found by the scrubber.", f.audit_divergences),
+        (
+            "meta_resurrections_pruned",
+            "Insecurely trimmed mappings a repair resurrected and the guard re-invalidated.",
+            f.meta_resurrections_pruned,
         ),
     ];
     for (name, help, v) in ftl {
@@ -263,6 +295,33 @@ pub fn render(em: &Emulator) -> String {
         }
     }
 
+    if let Some(w) = em.watchdog_stats() {
+        counter(
+            &mut out,
+            "evanesco_watchdog_stalls_injected_total",
+            "Wedged attempts injected by the stall model.",
+            w.stalls_injected,
+        );
+        counter(
+            &mut out,
+            "evanesco_watchdog_aborts_total",
+            "Attempts aborted at their class deadline.",
+            w.aborts,
+        );
+        counter(
+            &mut out,
+            "evanesco_watchdog_retries_total",
+            "Aborted attempts retried with backoff.",
+            w.retries,
+        );
+        counter(
+            &mut out,
+            "evanesco_watchdog_deadline_failures_total",
+            "Requests failed after exhausting the retry budget.",
+            w.deadline_failures,
+        );
+    }
+
     out
 }
 
@@ -335,6 +394,7 @@ mod tests {
         let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
         ssd.enable_gauges();
         ssd.enable_tracing(64);
+        ssd.enable_watchdog(crate::watchdog::DeadlineConfig::for_tests(1, 0.0));
         ssd.write(0, 8, true);
         ssd.read(0, 4);
         ssd.trim(0, 8);
@@ -359,6 +419,12 @@ mod tests {
             "evanesco_t_insecure",
             "evanesco_trace_recorded_total",
             "evanesco_trace_span_seconds_total{kind=\"plock\"}",
+            "evanesco_ftl_meta_corruptions_injected_total",
+            "evanesco_ftl_meta_repairs_from_oob_total",
+            "evanesco_ftl_meta_resurrections_pruned_total",
+            "evanesco_ftl_audit_scrub_blocks_total",
+            "evanesco_watchdog_stalls_injected_total",
+            "evanesco_watchdog_deadline_failures_total",
         ] {
             assert!(scrape.contains(family), "scrape missing {family}:\n{scrape}");
         }

@@ -90,6 +90,10 @@ pub enum OpResult {
     Read(Vec<Option<u64>>),
     /// Whether the trim was acknowledged.
     Trim(bool),
+    /// The request exceeded its class deadline on every attempt in the
+    /// watchdog's retry budget and was failed without reaching the FTL
+    /// (see [`crate::watchdog`]).
+    TimedOut,
 }
 
 /// A dispatch decision: which submitted request to run next and the

@@ -196,10 +196,15 @@ fn apply_with_ledger(ssd: &mut Emulator, lg: &mut ExposureLedger, op: &TraceOp) 
 }
 
 // ---------------------------------------------------------------------------
-// Golden format: the checked-in fixture pins the on-disk byte layout.
+// Golden format: the checked-in fixtures pin the on-disk byte layouts.
+// `checkpoint_v2.ckpt` is the current CRC-framed format and must
+// round-trip byte-identically; `checkpoint_v1.ckpt` is the frozen
+// format-1 blob (no section frames) and must keep *decoding* via the
+// legacy path forever, but re-encodes as format 2.
 // ---------------------------------------------------------------------------
 
-const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/checkpoint_v1.ckpt");
+const GOLDEN_V1: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/checkpoint_v1.ckpt");
+const GOLDEN_V2: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/checkpoint_v2.ckpt");
 
 /// The fixed script behind the golden fixture. Deterministic: the same
 /// library version always produces the same bytes.
@@ -223,28 +228,43 @@ fn golden_device() -> Emulator {
     ssd
 }
 
-/// Regenerates the fixture. Run after an *intentional, reviewed* format
-/// change (bump the snapshot VERSION first):
+/// Regenerates the format-2 fixture. Run after an *intentional, reviewed*
+/// format change (bump the checkpoint version first):
 /// `cargo test --release --test checkpoint_resume regen -- --ignored`
 #[test]
 #[ignore = "writes the golden fixture; run only on a reviewed format change"]
 fn regen_golden_fixture() {
-    std::fs::write(GOLDEN, golden_device().save_checkpoint()).expect("write fixture");
+    std::fs::write(GOLDEN_V2, golden_device().save_checkpoint()).expect("write fixture");
 }
 
-/// The current encoder still produces the checked-in bytes, and the
-/// decoder round-trips them into a device that re-encodes identically.
+/// The current encoder still produces the checked-in format-2 bytes, and
+/// the decoder round-trips them into a device that re-encodes identically.
 #[test]
 fn golden_fixture_round_trips_byte_identically() {
-    let fixture = std::fs::read(GOLDEN).expect("checked-in fixture exists");
+    let fixture = std::fs::read(GOLDEN_V2).expect("checked-in fixture exists");
     assert_eq!(
         golden_device().save_checkpoint(),
         fixture,
-        "the checkpoint byte format changed; if intentional, bump the snapshot \
-         VERSION and regenerate the fixture (see regen_golden_fixture)"
+        "the checkpoint byte format changed; if intentional, bump the checkpoint \
+         version and regenerate the fixture (see regen_golden_fixture)"
     );
     let restored = Emulator::restore_checkpoint(&fixture).expect("fixture restores");
     assert_eq!(restored.save_checkpoint(), fixture, "restore/re-encode must be the identity");
+    assert!(restored.result().host_ops > 0, "the fixture device did real work");
+}
+
+/// Format-1 blobs written before the CRC-framed layout keep decoding via
+/// the legacy path, land in exactly the state the uninterrupted device
+/// would be in, and re-encode as (stable) format 2.
+#[test]
+fn legacy_v1_fixture_still_decodes_into_the_same_device() {
+    let fixture = std::fs::read(GOLDEN_V1).expect("checked-in v1 fixture exists");
+    let restored = Emulator::restore_checkpoint(&fixture).expect("v1 fixture restores");
+    assert_eq!(
+        restored.save_checkpoint(),
+        golden_device().save_checkpoint(),
+        "a restored v1 device must re-encode exactly like the uninterrupted one"
+    );
     assert!(restored.result().host_ops > 0, "the fixture device did real work");
 }
 
@@ -255,7 +275,7 @@ fn golden_fixture_round_trips_byte_identically() {
 /// store and dense ledger decode into *working* state.
 #[test]
 fn restored_golden_device_serves_reads_and_keeps_working() {
-    let fixture = std::fs::read(GOLDEN).expect("checked-in fixture exists");
+    let fixture = std::fs::read(GOLDEN_V2).expect("checked-in fixture exists");
     let mut restored = Emulator::restore_checkpoint(&fixture).expect("fixture restores");
     let mut fresh = golden_device();
     // Same follow-on script on both; every op result must match.
@@ -284,7 +304,7 @@ fn restored_golden_device_serves_reads_and_keeps_working() {
 /// a typed, descriptive error — not a panic, not garbage state.
 #[test]
 fn unknown_version_fails_with_a_clear_error() {
-    let mut bytes = std::fs::read(GOLDEN).expect("checked-in fixture exists");
+    let mut bytes = std::fs::read(GOLDEN_V2).expect("checked-in fixture exists");
     // Layout: 8-byte magic, then the little-endian u32 format version.
     bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
     match Emulator::restore_checkpoint(&bytes) {
@@ -302,7 +322,7 @@ fn unknown_version_fails_with_a_clear_error() {
 /// error; a wrong magic is its own error.
 #[test]
 fn truncated_or_mislabeled_checkpoints_fail_without_panicking() {
-    let bytes = std::fs::read(GOLDEN).expect("checked-in fixture exists");
+    let bytes = std::fs::read(GOLDEN_V2).expect("checked-in fixture exists");
     for len in [0, 4, 11, 12, 100, bytes.len() / 2, bytes.len() - 1] {
         let err = Emulator::restore_checkpoint(&bytes[..len])
             .err()

@@ -676,3 +676,140 @@ fn power_cut_with_deferred_coalesced_locks_is_resealed_by_recovery() {
     // ...and the device serves and acknowledges fresh work.
     assert!(ssd.write_tracked(0, 1, true)[0].1);
 }
+
+/// Mid-audit-scrub power cut: a corruption storm keeps the guard's
+/// verify/repair/scrub machinery busy — the incremental audit scrubber
+/// is mid-pass and repairs have already run recovery scans — when the
+/// power dies. The crash contract must survive the combination: no
+/// acked secure delete is attacker-recoverable after recovery, the
+/// accounting identity still balances, and the device keeps serving.
+#[test]
+fn power_cut_mid_audit_scrub_keeps_acked_secure_deletes_sealed() {
+    use evanesco::core::fault::CorruptionConfig;
+
+    let cfg = SsdConfig::tiny_for_tests();
+    let mut ssd = Emulator::new(cfg, SanitizePolicy::evanesco());
+    ssd.enable_chaos(CorruptionConfig::storm(0.25, 0x5C4B));
+    let span = 48u64;
+
+    // Phase 1, fully acked before the cut: secure writes, then secure
+    // deletes over the first third of the span.
+    let mut dead_secure: HashSet<u64> = HashSet::new();
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    for lpa in 0..span {
+        for (tag, acked) in ssd.write_tracked(lpa, 1, true) {
+            assert!(acked, "phase-1 write must be acked");
+            live.push((lpa, tag));
+        }
+    }
+    for lpa in 0..span / 3 {
+        assert!(ssd.trim_with(&mut NullObserver, lpa, 1), "phase-1 trim must be acked");
+        dead_secure.extend(live.iter().filter(|&&(l, _)| l == lpa).map(|&(_, t)| t));
+    }
+    let stats = ssd.ftl().stats();
+    assert!(stats.audit_scrub_blocks > 0, "the audit scrubber must be mid-pass: {stats:?}");
+    assert!(stats.meta_corruptions_injected > 0, "the storm must have fired: {stats:?}");
+
+    // Phase 2: the cut lands while storm + scrub churn continues.
+    let cut = ssd.result().sim_time + Nanos::from_micros(200);
+    ssd.power_cut_at(cut);
+    let mut x = 0xA5u64;
+    let mut spins = 0;
+    while !ssd.powered_off() && spins < 10_000 {
+        x = lcg(x);
+        ssd.write_tracked(span / 3 + x % span, 1, x.is_multiple_of(2));
+        spins += 1;
+    }
+    assert!(ssd.powered_off(), "the cut must land inside phase 2");
+
+    ssd.recover();
+    ssd.ftl().check_invariants();
+    let recoverable = ssd.attacker_recoverable_tags();
+    for t in &dead_secure {
+        assert!(!recoverable.contains(t), "acked secure delete {t} resurfaced after the cut");
+    }
+    assert!(ssd.verify_sanitized(0, span / 3));
+    // Live pre-cut state survived and the device serves fresh work.
+    for &(lpa, tag) in live.iter().filter(|&&(l, _)| l >= span / 3) {
+        let got = ssd.read(lpa, 1)[0];
+        assert!(got == Some(tag) || got.is_none(), "acked lpa {lpa}: {got:?}");
+    }
+    assert!(ssd.write_tracked(0, 1, true)[0].1, "device dead after recovery");
+    ssd.chaos_finalize();
+    let stats = ssd.ftl().stats();
+    assert!(stats.meta_accounting_balanced(), "identity broken across the cut: {stats:?}");
+}
+
+/// Mid-salvage cut: a checkpoint whose FTL section is corrupt is
+/// restored through the salvaging path (recovery-scan rebuild); the
+/// power then dies during the first post-salvage writes. Acked secure
+/// deletes from before the checkpoint must stay unrecoverable through
+/// both ordeals — the salvage rebuild and the subsequent crash.
+#[test]
+fn salvaged_checkpoint_preserves_acked_secure_deletes_across_a_cut() {
+    use evanesco::ssd::checkpoint::section;
+
+    let cfg = SsdConfig::tiny_for_tests();
+    let mut ssd = Emulator::new(cfg, SanitizePolicy::evanesco());
+    let span = 48u64;
+    let mut dead_secure: HashSet<u64> = HashSet::new();
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    for lpa in 0..span {
+        for (tag, acked) in ssd.write_tracked(lpa, 1, true) {
+            assert!(acked);
+            live.push((lpa, tag));
+        }
+    }
+    for lpa in 0..span / 3 {
+        assert!(ssd.trim_with(&mut NullObserver, lpa, 1));
+        dead_secure.extend(live.iter().filter(|&&(l, _)| l == lpa).map(|&(_, t)| t));
+    }
+    let mut bytes = ssd.save_checkpoint();
+
+    // Corrupt one byte inside the FTL section's payload (format 2:
+    // 12-byte header, then framed sections [id][len:u64][crc:u32][..]).
+    let mut at = 12usize;
+    let ftl_payload = loop {
+        assert!(at + 13 <= bytes.len(), "ftl section must exist");
+        let id = bytes[at];
+        let len = u64::from_le_bytes(bytes[at + 1..at + 9].try_into().expect("len bytes")) as usize;
+        if id == section::FTL {
+            break at + 13;
+        }
+        at += 13 + len;
+    };
+    bytes[ftl_payload] ^= 0x10;
+    assert!(
+        Emulator::restore_checkpoint(&bytes).is_err(),
+        "strict restore must reject the damaged ftl section"
+    );
+    let (mut ssd, report) =
+        Emulator::restore_checkpoint_salvaging(&bytes).expect("salvaging restore succeeds");
+    assert!(report.salvaged.contains(&"ftl"), "the rebuilt section must be reported: {report:?}");
+
+    // The salvage rebuild itself must not resurrect acked secure deletes.
+    let recoverable = ssd.attacker_recoverable_tags();
+    for t in &dead_secure {
+        assert!(!recoverable.contains(t), "salvage resurrected acked secure delete {t}");
+    }
+
+    // Now the lights go out during the first post-salvage writes.
+    let cut = ssd.result().sim_time + Nanos::from_micros(200);
+    ssd.power_cut_at(cut);
+    let mut x = 0x51u64;
+    let mut spins = 0;
+    while !ssd.powered_off() && spins < 10_000 {
+        x = lcg(x);
+        ssd.write_tracked(span / 3 + x % span, 1, x.is_multiple_of(2));
+        spins += 1;
+    }
+    assert!(ssd.powered_off(), "the cut must land inside the post-salvage run");
+    ssd.recover();
+    ssd.ftl().check_invariants();
+    let recoverable = ssd.attacker_recoverable_tags();
+    for t in &dead_secure {
+        assert!(!recoverable.contains(t), "secure delete {t} resurfaced after salvage + cut");
+    }
+    assert!(ssd.verify_sanitized(0, span / 3));
+    assert!(ssd.write_tracked(0, 1, true)[0].1, "device dead after salvage + cut + recovery");
+}
