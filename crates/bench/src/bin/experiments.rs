@@ -28,7 +28,12 @@
 //!   `BENCH_chaos.json` and fails on any silent wrong-data event
 //!   (differential vs an uncorrupted twin), a broken injected ↔
 //!   detected/repaired accounting identity, queue-depth variance, a
-//!   watchdog identity breach, or a salvage-sweep violation.
+//!   watchdog identity breach, or a salvage-sweep violation;
+//! * `fleet` — writes the multi-tenant noisy-neighbor matrix to
+//!   `BENCH_fleet.json` and fails when per-device digests differ across
+//!   shard counts {1, 2, 4} or a rerun (determinism breach), or when
+//!   QoS shaping fails to cut the worst victim p99 under the
+//!   sanitization storm by the gate factor.
 //!
 //! The campaign also has a per-process segment mode for real
 //! stop/restart chains (what the CI `campaign-gate` job byte-diffs):
@@ -45,7 +50,7 @@
 //! inconsistent segment flags are all rejected up front (exit 1) before
 //! any experiment runs.
 
-use evanesco_bench::experiments::{campaign, chaos, hostperf, report, scheduler, tracing};
+use evanesco_bench::experiments::{campaign, chaos, fleet, hostperf, report, scheduler, tracing};
 use evanesco_bench::{is_experiment_name, run_experiment, Scale, EXPERIMENT_NAMES};
 use evanesco_ssd::{read_checkpoint, write_checkpoint, CheckpointError};
 use std::path::PathBuf;
@@ -132,7 +137,9 @@ fn main() {
                      hostperf (BENCH_hostperf.json; wall-clock throughput, fails under \
                      the machine-normalized speedup-vs-seed gate; [--reps N]), \
                      chaos (BENCH_chaos.json; corruption storm matrix, fails on any \
-                     silent wrong-data event or broken accounting identity)"
+                     silent wrong-data event or broken accounting identity), \
+                     fleet (BENCH_fleet.json; multi-tenant noisy-neighbor matrix, fails \
+                     on a shard/rerun determinism breach or a QoS p99 inversion)"
                 );
                 eprintln!(
                     "campaign segment mode (process-per-segment): campaign \
@@ -260,6 +267,15 @@ fn main() {
             println!("wrote BENCH_chaos.json");
             for v in bundle.violations() {
                 eprintln!("chaos gate FAILED: {v}");
+                gate_failed = true;
+            }
+        } else if name == "fleet" {
+            let bench = fleet::run(&scale, &scale_name);
+            println!("{}", bench.render());
+            std::fs::write("BENCH_fleet.json", bench.to_json()).expect("write BENCH_fleet.json");
+            println!("wrote BENCH_fleet.json");
+            for v in bench.violations() {
+                eprintln!("fleet gate FAILED: {v}");
                 gate_failed = true;
             }
         } else if name == "campaign" {

@@ -8,6 +8,7 @@ pub mod breakdown;
 pub mod campaign;
 pub mod chaos;
 pub mod dse;
+pub mod fleet;
 pub mod hostperf;
 pub mod latency;
 pub mod reliability;

@@ -64,6 +64,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> String {
         "campaign" => experiments::campaign::campaign(scale, "custom"),
         "hostperf" => experiments::hostperf::hostperf(scale, "custom"),
         "chaos" => experiments::chaos::chaos(scale, "custom"),
+        "fleet" => experiments::fleet::fleet(scale, "custom"),
         other => panic!("unknown experiment '{other}'; known: {EXPERIMENT_NAMES:?}"),
     }
 }
@@ -75,7 +76,7 @@ pub fn is_experiment_name(name: &str) -> bool {
 }
 
 /// All experiment names accepted by [`run_experiment`], in report order.
-pub const EXPERIMENT_NAMES: [&str; 27] = [
+pub const EXPERIMENT_NAMES: [&str; 28] = [
     "table2",
     "fig2",
     "table1",
@@ -103,6 +104,7 @@ pub const EXPERIMENT_NAMES: [&str; 27] = [
     "campaign",
     "hostperf",
     "chaos",
+    "fleet",
 ];
 
 #[cfg(test)]

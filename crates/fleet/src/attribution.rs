@@ -1,0 +1,164 @@
+//! Per-tenant attribution of sanitization-exposure events.
+//!
+//! One device hosts many tenants, but the FTL's observer callbacks speak
+//! physical addresses — an invalidation or erase does not say whose data
+//! it touched. [`TenantAttribution`] closes that gap: it learns ownership
+//! at program time (the logical address *is* available there, and the
+//! namespace map makes `lpa / window` the owning tenant), remembers it
+//! per physical page, and routes every later invalidate to the owner's
+//! private [`LiveGauges`]. Erases and host ticks broadcast: each gauge
+//! set removes only pages it tracks, and logical time is device-wide.
+//!
+//! The result: per-tenant VAF and T_insecure on a shared device — a
+//! noisy neighbor's pile of unsanitized stale versions lands on *its*
+//! gauges, not its victims'.
+
+use evanesco_ftl::observer::{FtlObserver, InvalidateCause};
+use evanesco_ftl::{GlobalPpa, Lpa};
+use evanesco_ssd::{GaugeSnapshot, LiveGauges};
+use std::collections::HashMap;
+
+/// Routes [`FtlObserver`] events to per-tenant [`LiveGauges`] using the
+/// fleet's namespace map (`tenant = lpa / window`).
+#[derive(Debug)]
+pub struct TenantAttribution {
+    window: u64,
+    gauges: Vec<LiveGauges>,
+    /// `(chip, block)` → page → owning tenant, learned at program time.
+    /// Holds only pages some gauge set still tracks (secured and not yet
+    /// sanitized/erased), so it is bounded by physical capacity.
+    owner: HashMap<(usize, u32), HashMap<u32, usize>>,
+}
+
+impl TenantAttribution {
+    /// Attribution for `tenants` namespaces of `window` pages each.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero tenants or a zero window.
+    pub fn new(tenants: usize, window: u64) -> Self {
+        assert!(tenants >= 1, "attribution needs at least one tenant");
+        assert!(window >= 1, "namespace windows cannot be empty");
+        TenantAttribution {
+            window,
+            gauges: vec![LiveGauges::new(); tenants],
+            owner: HashMap::new(),
+        }
+    }
+
+    /// Point-in-time snapshot of every tenant's gauges, tenant order.
+    pub fn snapshots(&self) -> Vec<GaugeSnapshot> {
+        self.gauges.iter().map(|g| g.snapshot()).collect()
+    }
+
+    /// One tenant's gauges (for tests and scrapes).
+    pub fn tenant(&self, t: usize) -> &LiveGauges {
+        &self.gauges[t]
+    }
+}
+
+impl FtlObserver for TenantAttribution {
+    fn on_program(&mut self, lpa: Lpa, at: GlobalPpa, relocation: bool, secure: bool) {
+        let tenant = ((lpa / self.window) as usize).min(self.gauges.len() - 1);
+        if secure {
+            self.owner.entry((at.chip, at.ppa.block.0)).or_default().insert(at.ppa.page.0, tenant);
+        }
+        self.gauges[tenant].on_program(lpa, at, relocation, secure);
+    }
+
+    fn on_invalidate(
+        &mut self,
+        at: GlobalPpa,
+        secure: bool,
+        sanitized: bool,
+        cause: InvalidateCause,
+    ) {
+        let key = (at.chip, at.ppa.block.0);
+        let Some(block) = self.owner.get_mut(&key) else { return };
+        let Some(&tenant) = block.get(&at.ppa.page.0) else { return };
+        if sanitized {
+            // The gauges drop a sanitized page immediately; mirror that
+            // so the owner map stays bounded by what the gauges track.
+            block.remove(&at.ppa.page.0);
+            if block.is_empty() {
+                self.owner.remove(&key);
+            }
+        }
+        self.gauges[tenant].on_invalidate(at, secure, sanitized, cause);
+    }
+
+    fn on_erase(&mut self, chip: usize, block: evanesco_nand::geometry::BlockId) {
+        self.owner.remove(&(chip, block.0));
+        // Broadcast: each gauge set removes only pages it tracks.
+        for g in &mut self.gauges {
+            g.on_erase(chip, block);
+        }
+    }
+
+    fn on_host_tick(&mut self) {
+        // Logical time (accepted host page writes) is device-wide; every
+        // tenant's T_insecure is measured on the shared clock.
+        for g in &mut self.gauges {
+            g.on_host_tick();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evanesco_nand::geometry::{BlockId, Ppa};
+
+    fn at(chip: usize, block: u32, page: u32) -> GlobalPpa {
+        GlobalPpa::new(chip, Ppa::new(block, page))
+    }
+
+    #[test]
+    fn programs_and_invalidates_land_on_the_owning_tenant() {
+        // Two tenants, 100-page windows: lpa 5 → tenant 0, lpa 105 → 1.
+        let mut a = TenantAttribution::new(2, 100);
+        a.on_program(5, at(0, 0, 0), false, true);
+        a.on_program(105, at(0, 0, 1), false, true);
+        a.on_invalidate(at(0, 0, 1), true, false, InvalidateCause::HostUpdate);
+        let s = a.snapshots();
+        assert_eq!(s[0].valid_secured, 1);
+        assert_eq!(s[0].invalid_secured, 0);
+        assert_eq!(s[1].valid_secured, 0);
+        assert_eq!(s[1].invalid_secured, 1, "exposure charged to the owner, not a neighbor");
+    }
+
+    #[test]
+    fn erases_broadcast_but_only_touch_tracked_pages() {
+        let mut a = TenantAttribution::new(2, 100);
+        a.on_program(0, at(0, 3, 0), false, true);
+        a.on_program(150, at(0, 3, 1), false, true);
+        a.on_invalidate(at(0, 3, 0), true, false, InvalidateCause::Trim);
+        a.on_erase(0, BlockId(3));
+        let s = a.snapshots();
+        assert_eq!(s[0].exposed_then_erased, 1);
+        assert_eq!(s[0].invalid_secured, 0);
+        assert_eq!(s[1].valid_secured, 0, "tenant 1's live page was destroyed by the erase");
+        assert_eq!(s[1].exposed_then_erased, 0);
+        assert!(a.owner.is_empty(), "erase clears the ownership map");
+    }
+
+    #[test]
+    fn sanitized_invalidations_release_their_owner_entry() {
+        let mut a = TenantAttribution::new(2, 100);
+        a.on_program(7, at(1, 0, 0), false, true);
+        a.on_invalidate(at(1, 0, 0), true, true, InvalidateCause::HostUpdate);
+        assert!(a.owner.is_empty());
+        assert_eq!(a.snapshots()[0].sanitized_immediately, 1);
+    }
+
+    #[test]
+    fn ticks_advance_every_tenant_clock() {
+        let mut a = TenantAttribution::new(3, 10);
+        for _ in 0..5 {
+            a.on_host_tick();
+        }
+        for s in a.snapshots() {
+            assert_eq!(s.tick, 5);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # evanesco-fleet
+//!
+//! Fleet-scale emulation for the Evanesco (ASPLOS 2020) reproduction: N
+//! emulated SSDs sharded across OS threads behind an NVMe-style
+//! multi-namespace front end, with per-tenant QoS and per-tenant
+//! sanitization-exposure attribution.
+//!
+//! * [`config::FleetConfig`] — devices × shards × queue depth, the
+//!   per-device [`evanesco_ssd::SsdConfig`], and one QoS row per tenant;
+//! * [`qos`] — token-bucket rate limits plus start-time-fair weighted
+//!   queuing, resolved **offline** into a deterministic admission order;
+//! * [`attribution`] — an [`evanesco_ftl::observer::FtlObserver`] that
+//!   routes program/invalidate/erase events to per-tenant
+//!   [`evanesco_ssd::LiveGauges`], so VAF and T_insecure are attributed
+//!   to the tenant that owns each physical page;
+//! * [`runner`] — per-device execution and the sharded fleet run, with
+//!   FNV-1a digests proving byte-identical per-device results across
+//!   shard counts and reruns;
+//! * [`scrape`] — one fleet-wide Prometheus exposition with
+//!   tenant-labeled families (label values escaped).
+//!
+//! ## Determinism
+//!
+//! Every device's trace is a pure function of `(seed, device)`; every
+//! device runs single-threaded on whichever shard owns it (`device %
+//! shards`). Threads never share mutable state, so the per-device digest
+//! is invariant under the shard count and the thread interleaving — the
+//! property the `fleet` experiment gate checks byte-for-byte.
+//!
+//! ```rust
+//! use evanesco_fleet::{FleetConfig, run_fleet};
+//!
+//! # fn main() {
+//! let cfg = FleetConfig::noisy_neighbor_demo(2, 2, 400, 42);
+//! let report = run_fleet(&cfg);
+//! assert_eq!(report.devices.len(), 2);
+//! assert!(report.tenants.iter().any(|t| t.requests > 0));
+//! # }
+//! ```
+
+pub mod attribution;
+pub mod config;
+pub mod qos;
+pub mod runner;
+pub mod scrape;
+
+pub use attribution::TenantAttribution;
+pub use config::FleetConfig;
+pub use qos::{admission_order, Admission, QosMode, TenantQos};
+pub use runner::{
+    run_device, run_fleet, DeviceResult, FleetReport, TenantDeviceStats, TenantFleetStats,
+};
+pub use scrape::render_fleet;

@@ -1,0 +1,301 @@
+//! Sharded fleet execution with byte-identity determinism digests.
+//!
+//! A fleet run is embarrassingly deterministic by construction: every
+//! device's trace is a pure function of `(seed, device)`, QoS admission
+//! is resolved offline ([`crate::qos::admission_order`]), and each
+//! device executes single-threaded on the shard that owns it (`device %
+//! shards`). Shards share nothing mutable, so per-device results cannot
+//! depend on the shard count or the OS's thread interleaving. Two FNV-1a
+//! digests make that checkable byte-for-byte:
+//!
+//! * [`DeviceResult::results_digest`] — host-visible results only
+//!   (tags, read values, acks). Invariant across queue depth *and*
+//!   shard count: the NCQ scheduler preserves per-LPA order and
+//!   preassigns write tags in trace order.
+//! * [`DeviceResult::digest`] — results plus per-request completion
+//!   times and the simulated end time. Invariant across shard counts
+//!   and reruns at a fixed queue depth — the fleet gate's check.
+
+use crate::attribution::TenantAttribution;
+use crate::config::FleetConfig;
+use crate::qos::admission_order;
+use evanesco_nand::timing::Nanos;
+use evanesco_ssd::metrics::LatencyHistogram;
+use evanesco_ssd::{Emulator, GaugeSnapshot, HostOp, OpResult};
+use evanesco_workloads::{generate_fleet, TenantOp};
+
+/// One tenant's share of one device's run.
+#[derive(Debug, Clone)]
+pub struct TenantDeviceStats {
+    /// Requests this tenant issued to this device.
+    pub requests: u64,
+    /// Pages those requests covered.
+    pub pages: u64,
+    /// End-to-end request latency (completion − *original* arrival, so
+    /// QoS shaping delay is charged to the tenant that was shaped).
+    pub latency: LatencyHistogram,
+    /// The tenant's sanitization-exposure gauges on this device.
+    pub gauges: GaugeSnapshot,
+}
+
+/// One device's run.
+#[derive(Debug, Clone)]
+pub struct DeviceResult {
+    /// Device index in the fleet.
+    pub device: usize,
+    /// Simulated end time.
+    pub sim_time: Nanos,
+    /// FNV-1a over host-visible results only (qd- and shard-invariant).
+    pub results_digest: u64,
+    /// FNV-1a over results, completions, and end time (shard- and
+    /// rerun-invariant at fixed queue depth).
+    pub digest: u64,
+    /// Per-tenant attribution, tenant order.
+    pub tenants: Vec<TenantDeviceStats>,
+}
+
+/// One tenant aggregated across the whole fleet.
+#[derive(Debug, Clone)]
+pub struct TenantFleetStats {
+    /// Tenant name (from the traffic profile).
+    pub name: String,
+    /// Requests across all devices.
+    pub requests: u64,
+    /// Pages across all devices.
+    pub pages: u64,
+    /// Fleet-wide latency distribution (per-device histograms merged).
+    pub latency: LatencyHistogram,
+    /// Sum of per-device peak valid secured pages.
+    pub max_valid: u64,
+    /// Sum of per-device peak invalid (exposed) secured pages.
+    pub max_invalid: u64,
+    /// Sum of per-device insecure ticks.
+    pub insecure_ticks: u64,
+    /// Secured invalidations sanitized immediately, fleet-wide.
+    pub sanitized_immediately: u64,
+    /// Exposed pages finally destroyed by an erase, fleet-wide.
+    pub exposed_then_erased: u64,
+}
+
+impl TenantFleetStats {
+    /// Fleet-wide version amplification factor.
+    pub fn vaf(&self) -> f64 {
+        if self.max_valid == 0 {
+            0.0
+        } else {
+            self.max_invalid as f64 / self.max_valid as f64
+        }
+    }
+
+    /// Fleet-wide T_insecure normalized by total capacity written.
+    pub fn t_insecure(&self, capacity_pages: u64) -> f64 {
+        if capacity_pages == 0 {
+            0.0
+        } else {
+            self.insecure_ticks as f64 / capacity_pages as f64
+        }
+    }
+}
+
+/// The whole fleet's run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-device results, device order.
+    pub devices: Vec<DeviceResult>,
+    /// Per-tenant aggregation, tenant order.
+    pub tenants: Vec<TenantFleetStats>,
+    /// FNV-1a over every device's full digest, device order — one number
+    /// that must survive any shard count and any rerun.
+    pub fleet_digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a over little-endian `u64`s.
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds one host-visible result into a digest with an unambiguous
+/// tag/length framing.
+fn fnv_result(mut h: u64, r: &OpResult) -> u64 {
+    match r {
+        OpResult::Write(tags, ack) => {
+            h = fnv_u64(h, 1);
+            h = fnv_u64(h, tags.len() as u64);
+            for t in tags {
+                h = fnv_u64(h, *t);
+            }
+            fnv_u64(h, *ack as u64)
+        }
+        OpResult::Read(vals) => {
+            h = fnv_u64(h, 2);
+            h = fnv_u64(h, vals.len() as u64);
+            for v in vals {
+                h = match v {
+                    Some(t) => fnv_u64(fnv_u64(h, 1), *t),
+                    None => fnv_u64(h, 0),
+                };
+            }
+            h
+        }
+        OpResult::Trim(ack) => fnv_u64(fnv_u64(h, 3), *ack as u64),
+        OpResult::TimedOut => fnv_u64(h, 4),
+    }
+}
+
+/// Rebases a namespace-relative request onto the device's logical space.
+fn rebase(op: HostOp, base: u64) -> HostOp {
+    match op {
+        HostOp::Write { lpa, npages, secure } => HostOp::Write { lpa: lpa + base, npages, secure },
+        HostOp::Read { lpa, npages } => HostOp::Read { lpa: lpa + base, npages },
+        HostOp::Trim { lpa, npages } => HostOp::Trim { lpa: lpa + base, npages },
+    }
+}
+
+/// Runs one device: applies QoS to its trace, executes the admitted
+/// stream open-loop on a fresh emulator, and attributes everything back
+/// to tenants. Pure: same `(cfg, device, trace)` ⇒ same bytes out.
+pub fn run_device(cfg: &FleetConfig, device: usize, trace: &[TenantOp]) -> DeviceResult {
+    let window = cfg.namespace_window();
+    let admission = admission_order(trace, &cfg.qos, cfg.mode, cfg.drain_ns_per_page());
+    let mut ops = Vec::with_capacity(admission.len());
+    let mut arrivals = Vec::with_capacity(admission.len());
+    for a in &admission {
+        let req = &trace[a.trace_idx];
+        ops.push(rebase(req.op, req.tenant as u64 * window));
+        arrivals.push(a.shaped);
+    }
+
+    let mut ssd = Emulator::new(cfg.ssd, cfg.policy);
+    let mut attr = TenantAttribution::new(cfg.tenant_count(), window);
+    let run = ssd.run_scheduled_open_loop(&mut attr, &ops, &arrivals, cfg.qd);
+
+    let mut tenants: Vec<TenantDeviceStats> = attr
+        .snapshots()
+        .into_iter()
+        .map(|gauges| TenantDeviceStats {
+            requests: 0,
+            pages: 0,
+            latency: LatencyHistogram::new(),
+            gauges,
+        })
+        .collect();
+    for (i, a) in admission.iter().enumerate() {
+        let req = &trace[a.trace_idx];
+        let t = &mut tenants[req.tenant];
+        t.requests += 1;
+        t.pages += req.op.npages();
+        // Latency from the tenant's point of view: shaping delay counts.
+        t.latency.record(Nanos(run.completions[i].0.saturating_sub(req.arrival.0)));
+    }
+
+    let results_digest = run.results.iter().fold(FNV_OFFSET, fnv_result);
+    let mut digest = results_digest;
+    for c in &run.completions {
+        digest = fnv_u64(digest, c.0);
+    }
+    digest = fnv_u64(digest, run.sim_time.0);
+    DeviceResult { device, sim_time: run.sim_time, results_digest, digest, tenants }
+}
+
+/// Runs the whole fleet, sharding devices over `cfg.shards` OS threads
+/// (`device % shards`), and aggregates per-tenant statistics.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (see [`FleetConfig::validate`]) or
+/// if a shard thread panics.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    cfg.validate();
+    let traces = generate_fleet(&cfg.traffic, cfg.devices, cfg.namespace_window());
+    let mut per_shard: Vec<Vec<DeviceResult>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.shards)
+            .map(|shard| {
+                let traces = &traces;
+                s.spawn(move || {
+                    (shard..cfg.devices)
+                        .step_by(cfg.shards)
+                        .map(|d| run_device(cfg, d, &traces[d]))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+    });
+
+    // Reassemble device order — shard boundaries must leave no trace.
+    let mut devices: Vec<DeviceResult> = Vec::with_capacity(cfg.devices);
+    for shard in &mut per_shard {
+        devices.append(shard);
+    }
+    devices.sort_by_key(|d| d.device);
+
+    let mut tenants: Vec<TenantFleetStats> = cfg
+        .traffic
+        .tenants
+        .iter()
+        .map(|t| TenantFleetStats {
+            name: t.name.clone(),
+            requests: 0,
+            pages: 0,
+            latency: LatencyHistogram::new(),
+            max_valid: 0,
+            max_invalid: 0,
+            insecure_ticks: 0,
+            sanitized_immediately: 0,
+            exposed_then_erased: 0,
+        })
+        .collect();
+    let mut fleet_digest = FNV_OFFSET;
+    for d in &devices {
+        fleet_digest = fnv_u64(fleet_digest, d.digest);
+        for (agg, dev) in tenants.iter_mut().zip(&d.tenants) {
+            agg.requests += dev.requests;
+            agg.pages += dev.pages;
+            agg.latency.merge(&dev.latency);
+            agg.max_valid += dev.gauges.max_valid;
+            agg.max_invalid += dev.gauges.max_invalid;
+            agg.insecure_ticks += dev.gauges.insecure_ticks;
+            agg.sanitized_immediately += dev.gauges.sanitized_immediately;
+            agg.exposed_then_erased += dev.gauges.exposed_then_erased;
+        }
+    }
+    FleetReport { devices, tenants, fleet_digest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_fleet_runs_and_attributes_every_request() {
+        let cfg = FleetConfig::noisy_neighbor_demo(2, 2, 300, 11);
+        let report = run_fleet(&cfg);
+        assert_eq!(report.devices.len(), 2);
+        assert_eq!(report.tenants.len(), 3);
+        let total: u64 = report.tenants.iter().map(|t| t.requests).sum();
+        assert_eq!(total, 600, "every generated request is attributed exactly once");
+        for t in &report.tenants {
+            assert!(t.latency.count() == t.requests);
+        }
+        // The storm tenant (rank 0, 8x share) dominates the offered load.
+        assert!(report.tenants[0].requests > report.tenants[1].requests);
+    }
+
+    #[test]
+    fn devices_differ_but_reruns_do_not() {
+        let cfg = FleetConfig::noisy_neighbor_demo(2, 2, 200, 5);
+        let a = run_fleet(&cfg);
+        let b = run_fleet(&cfg);
+        assert_eq!(a.fleet_digest, b.fleet_digest);
+        assert_ne!(
+            a.devices[0].digest, a.devices[1].digest,
+            "independent per-device streams produce distinct runs"
+        );
+    }
+}

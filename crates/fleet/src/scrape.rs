@@ -1,0 +1,124 @@
+//! One fleet-wide Prometheus exposition (text format 0.0.4).
+//!
+//! A fleet has one scrape endpoint, not one per device: everything here
+//! is aggregated per tenant (with a `tenant` label, value-escaped by
+//! [`evanesco_ssd::prom::LabeledFamily`]) plus one `_info`-style series
+//! per device carrying its determinism digest — so a dashboard can both
+//! chart noisy-neighbor impact and alert on digest drift between
+//! deployments that should be identical.
+
+use crate::config::FleetConfig;
+use crate::runner::FleetReport;
+use evanesco_ssd::prom::LabeledFamily;
+use std::fmt::Write as _;
+
+/// Renders the fleet-wide scrape. Infallible by construction: every
+/// family below is populated from a non-empty fleet (a [`FleetReport`]
+/// always holds ≥ 1 device and ≥ 1 tenant).
+pub fn render_fleet(cfg: &FleetConfig, report: &FleetReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "# HELP evanesco_fleet_devices Devices in the fleet.").unwrap();
+    writeln!(out, "# TYPE evanesco_fleet_devices gauge").unwrap();
+    writeln!(out, "evanesco_fleet_devices {}", report.devices.len()).unwrap();
+    writeln!(out, "# HELP evanesco_fleet_shards Shard threads the fleet ran on.").unwrap();
+    writeln!(out, "# TYPE evanesco_fleet_shards gauge").unwrap();
+    writeln!(out, "evanesco_fleet_shards {}", cfg.shards).unwrap();
+
+    let mut requests = LabeledFamily::new(
+        "evanesco_fleet_tenant_requests_total",
+        "Requests a tenant issued fleet-wide.",
+        "counter",
+    );
+    let mut pages = LabeledFamily::new(
+        "evanesco_fleet_tenant_pages_total",
+        "Pages a tenant's requests covered fleet-wide.",
+        "counter",
+    );
+    let mut lat = LabeledFamily::new(
+        "evanesco_fleet_tenant_latency_seconds",
+        "Per-tenant end-to-end request latency quantiles (shaping delay included).",
+        "gauge",
+    );
+    let mut vaf = LabeledFamily::new(
+        "evanesco_fleet_tenant_vaf",
+        "Per-tenant version amplification factor (peak exposed / peak valid secured pages).",
+        "gauge",
+    );
+    let mut exposed = LabeledFamily::new(
+        "evanesco_fleet_tenant_insecure_ticks_total",
+        "Logical ticks during which a tenant had deleted-but-recoverable secured data.",
+        "counter",
+    );
+    for t in &report.tenants {
+        let labels = [("tenant", t.name.as_str()), ("qos", cfg.mode.label())];
+        requests.sample_u(&labels, t.requests);
+        pages.sample_u(&labels, t.pages);
+        for (q, p) in [("0.5", 50.0), ("0.99", 99.0), ("0.999", 99.9)] {
+            lat.sample_f(
+                &[("tenant", t.name.as_str()), ("qos", cfg.mode.label()), ("quantile", q)],
+                t.latency.percentile(p).as_secs_f64(),
+            );
+        }
+        vaf.sample_f(&labels, t.vaf());
+        exposed.sample_u(&labels, t.insecure_ticks);
+    }
+    for fam in [requests, pages, lat, vaf, exposed] {
+        fam.render_into(&mut out).expect("tenant families are non-empty: >=1 tenant");
+    }
+
+    let mut info = LabeledFamily::new(
+        "evanesco_fleet_device_info",
+        "Per-device determinism digest (value is always 1; the digest is the label).",
+        "gauge",
+    );
+    for d in &report.devices {
+        let dev = d.device.to_string();
+        let digest = format!("{:016x}", d.digest);
+        info.sample_u(&[("device", dev.as_str()), ("digest", digest.as_str())], 1);
+    }
+    info.render_into(&mut out).expect("device family is non-empty: >=1 device");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_fleet;
+
+    #[test]
+    fn scrape_is_well_formed_and_tenant_labeled() {
+        let cfg = FleetConfig::noisy_neighbor_demo(2, 2, 200, 3);
+        let report = run_fleet(&cfg);
+        let s = render_fleet(&cfg, &report);
+        for fam in [
+            "evanesco_fleet_devices",
+            "evanesco_fleet_shards",
+            "evanesco_fleet_tenant_requests_total",
+            "evanesco_fleet_tenant_pages_total",
+            "evanesco_fleet_tenant_latency_seconds",
+            "evanesco_fleet_tenant_vaf",
+            "evanesco_fleet_tenant_insecure_ticks_total",
+            "evanesco_fleet_device_info",
+        ] {
+            assert!(s.contains(&format!("# TYPE {fam}")), "missing family {fam}");
+        }
+        assert!(s.contains("tenant=\"storm\""));
+        assert!(s.contains("quantile=\"0.999\""));
+        assert!(s.contains("device=\"1\""));
+        // Every non-comment line is `name{...} value` with a parseable value.
+        for line in s.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            value.parse::<f64>().unwrap_or_else(|_| panic!("bad sample value in {line:?}"));
+        }
+    }
+
+    #[test]
+    fn hostile_tenant_names_cannot_inject_series() {
+        let mut cfg = FleetConfig::noisy_neighbor_demo(1, 1, 100, 3);
+        cfg.traffic.tenants[1].name = "evil\"} 1\ninjected_metric 2".into();
+        let report = run_fleet(&cfg);
+        let s = render_fleet(&cfg, &report);
+        assert!(!s.contains("\ninjected_metric"), "label value escaped, not spliced");
+        assert!(s.contains("evil\\\"} 1\\ninjected_metric 2"));
+    }
+}

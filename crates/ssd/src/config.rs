@@ -73,7 +73,25 @@ impl SsdConfig {
             "channel topology and FTL chip count disagree"
         );
         assert!(!self.stale_audit || self.track_tags, "SsdConfig: stale_audit requires track_tags");
+        let lp = self.ftl.logical_pages();
+        assert!(
+            usize::try_from(lp).is_ok(),
+            "SsdConfig: logical capacity ({lp} pages) exceeds the host-indexable range"
+        );
         self.ftl.validate();
+    }
+
+    /// Validates that the host request range `[lpa, lpa + npages)` lies
+    /// inside this device's logical address space — the same check every
+    /// scheduled submission performs, exposed so trace generators and the
+    /// fleet layer's namespace windows can be validated up front instead
+    /// of mid-run.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::sched::check_lpa_range`].
+    pub fn check_lpa_range(&self, lpa: u64, npages: u64) -> Result<(), crate::sched::SubmitError> {
+        crate::sched::check_lpa_range(lpa, npages, self.ftl.logical_pages()).map(|_| ())
     }
 }
 
@@ -94,6 +112,16 @@ mod tests {
         cfg.validate();
         assert_eq!(cfg.n_chips(), 2);
         assert!(cfg.track_tags);
+    }
+
+    #[test]
+    fn lpa_range_checks_cover_the_address_space_edge() {
+        let cfg = SsdConfig::tiny_for_tests();
+        let lp = cfg.ftl.logical_pages();
+        assert!(cfg.check_lpa_range(0, lp).is_ok(), "the full device is addressable");
+        assert!(cfg.check_lpa_range(lp, 0).is_ok(), "empty range at the boundary is a no-op");
+        assert!(cfg.check_lpa_range(lp - 1, 2).is_err(), "one page past the end");
+        assert!(cfg.check_lpa_range(u64::MAX, 2).is_err(), "wrapping range near u64::MAX");
     }
 
     #[test]

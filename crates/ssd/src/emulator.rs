@@ -592,6 +592,13 @@ impl Emulator {
     ///
     /// Each request is one commit window: it is acknowledged only if every
     /// command it issued survived any power cut intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending trace index and the typed
+    /// [`crate::sched::SubmitError`] when a request's LPA range wraps or
+    /// ends beyond the device's logical capacity — a wrapped range would
+    /// silently break the per-LPA ordering invariant.
     pub fn run_scheduled(&mut self, ops: &[HostOp], qd: usize) -> SchedRun {
         self.run_scheduled_with(&mut NullObserver, ops, qd)
     }
@@ -603,8 +610,51 @@ impl Emulator {
         ops: &[HostOp],
         qd: usize,
     ) -> SchedRun {
+        self.run_scheduled_core(obs, ops, None, qd)
+    }
+
+    /// Open-loop variant of [`Emulator::run_scheduled_with`]: request `i`
+    /// cannot be submitted to the device before `arrivals[i]` (the instant
+    /// the front end handed it over). Arrival floors only delay
+    /// submission times; host-visible results stay byte-identical to the
+    /// closed-loop run at every queue depth. The fleet layer uses this to
+    /// model shaped multi-tenant traffic, attributing end-to-end sojourn
+    /// latency from [`SchedRun::completions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arrivals.len() != ops.len()`, or on an out-of-range
+    /// request like [`Emulator::run_scheduled`].
+    pub fn run_scheduled_open_loop<O: FtlObserver>(
+        &mut self,
+        obs: &mut O,
+        ops: &[HostOp],
+        arrivals: &[Nanos],
+        qd: usize,
+    ) -> SchedRun {
+        assert_eq!(arrivals.len(), ops.len(), "one arrival time per request");
+        self.run_scheduled_core(obs, ops, Some(arrivals), qd)
+    }
+
+    fn run_scheduled_core<O: FtlObserver>(
+        &mut self,
+        obs: &mut O,
+        ops: &[HostOp],
+        arrivals: Option<&[Nanos]>,
+        qd: usize,
+    ) -> SchedRun {
         let start = self.ex.simulated_time();
-        let mut sched = Scheduler::new(qd);
+        let logical_pages = self.cfg.ftl.logical_pages();
+        // Reject malformed ranges before any side effect (tag allocation
+        // included): a wrapped `[lpa, lpa+n)` would compare as disjoint
+        // from everything it overlaps.
+        for (i, op) in ops.iter().enumerate() {
+            let (lpa, n) = op.lpa_range();
+            if let Err(e) = crate::sched::check_lpa_range(lpa, n, logical_pages) {
+                panic!("run_scheduled: request {i} rejected: {e}");
+            }
+        }
+        let mut sched = Scheduler::new(qd, logical_pages);
         // Write tags are assigned in submission order, before any dispatch
         // decision, so the tags a request returns cannot depend on the
         // queue depth.
@@ -616,10 +666,18 @@ impl Emulator {
             }
         }
         let mut results: Vec<Option<OpResult>> = vec![None; ops.len()];
+        let mut completions = vec![Nanos::ZERO; ops.len()];
         let mut host_pages = 0u64;
         let mut next = 0usize;
         loop {
-            while next < ops.len() && sched.try_submit(next, ops[next]) {
+            while next < ops.len() {
+                let arrival = arrivals.map_or(Nanos::ZERO, |a| a[next]);
+                if !sched
+                    .try_submit_at(next, ops[next], arrival)
+                    .expect("ops validated before the loop")
+                {
+                    break;
+                }
                 next += 1;
             }
             // The write hint (allocation-frontier chip occupancy) is the
@@ -640,11 +698,13 @@ impl Emulator {
                 break;
             };
             host_pages += d.op.npages();
-            let res = self.dispatch_scheduled(obs, &d, tag_base[d.idx], &mut sched);
+            let (res, done) = self.dispatch_scheduled(obs, &d, tag_base[d.idx], &mut sched);
             results[d.idx] = Some(res);
+            completions[d.idx] = done;
         }
         SchedRun {
             results: results.into_iter().map(|r| r.expect("every request dispatched")).collect(),
+            completions,
             sim_time: self.ex.simulated_time().saturating_sub(start),
             host_pages,
             requests: ops.len() as u64,
@@ -653,14 +713,15 @@ impl Emulator {
     }
 
     /// Executes one dispatched request inside a dispatch window and
-    /// reports its completion to the scoreboard.
+    /// reports its completion to the scoreboard. Returns the result and
+    /// the absolute completion time.
     fn dispatch_scheduled<O: FtlObserver>(
         &mut self,
         obs: &mut O,
         d: &Dispatch,
         tag_base: u64,
         sched: &mut Scheduler,
-    ) -> OpResult {
+    ) -> (OpResult, Nanos) {
         use evanesco_ftl::executor::NandExecutor;
         // Watchdog verdict first (keyed on the submission index, so it is
         // queue-depth-invariant): a wedged request is aborted at its class
@@ -692,7 +753,7 @@ impl Emulator {
                     self.trace_finish(kind, lpa, npages, false, d.submit, d.earliest, done);
                     self.poll_timeseries();
                     sched.complete(done);
-                    return OpResult::TimedOut;
+                    return (OpResult::TimedOut, done);
                 }
             };
         self.chaos_preop(obs);
@@ -781,7 +842,7 @@ impl Emulator {
         self.poll_timeseries();
         self.chaos_postop();
         sched.complete(done);
-        res
+        (res, done)
     }
 
     /// Selection hint for the scheduler: when could this request's device

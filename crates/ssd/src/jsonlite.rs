@@ -3,8 +3,10 @@
 //! pulling a serialization dependency into the workspace.
 //!
 //! Supports the full JSON value grammar (objects, arrays, strings with
-//! escapes, numbers, booleans, null). Numbers are kept as `f64`, which is
-//! exact for the integer magnitudes the trace writer emits (< 2^53).
+//! escapes, numbers, booleans, null). Integer-valued numbers without a
+//! fraction or exponent are kept exactly as [`Json::Uint`]/[`Json::Int`]
+//! (fleet-aggregated op/byte totals exceed 2^53, where `f64` starts
+//! dropping low bits); everything else is kept as `f64`.
 
 use std::collections::BTreeMap;
 
@@ -15,8 +17,12 @@ pub enum Json {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any JSON number.
+    /// A number written with a fraction or exponent (kept as `f64`).
     Num(f64),
+    /// A non-negative integer literal, exact up to `u64::MAX`.
+    Uint(u64),
+    /// A negative integer literal, exact down to `i64::MIN`.
+    Int(i64),
     /// A string (escapes decoded).
     Str(String),
     /// An array.
@@ -72,10 +78,35 @@ impl Json {
         }
     }
 
-    /// The numeric payload, or `None` for non-numbers.
+    /// The numeric payload as `f64`, or `None` for non-numbers. Integer
+    /// literals above 2^53 lose precision in this view; use
+    /// [`Json::as_u64`]/[`Json::as_i64`] where exactness matters.
     pub fn as_num(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Uint(n) => Some(*n as f64),
+            Json::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact unsigned-integer payload: integer literals that fit
+    /// `u64`, or `None` (fractional/exponent forms included — they were
+    /// already rounded through `f64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Uint(n) => Some(*n),
+            Json::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The exact signed-integer payload: integer literals that fit
+    /// `i64`, or `None`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            Json::Uint(n) => i64::try_from(*n).ok(),
             _ => None,
         }
     }
@@ -85,7 +116,7 @@ impl Json {
         match self {
             Json::Null => "null",
             Json::Bool(_) => "boolean",
-            Json::Num(_) => "number",
+            Json::Num(_) | Json::Uint(_) | Json::Int(_) => "number",
             Json::Str(_) => "string",
             Json::Arr(_) => "array",
             Json::Obj(_) => "object",
@@ -276,19 +307,23 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
-        if self.peek() == Some(b'-') {
+        let negative = self.peek() == Some(b'-');
+        if negative {
             self.pos += 1;
         }
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
+        let mut integral = true;
         if self.peek() == Some(b'.') {
+            integral = false;
             self.pos += 1;
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+') | Some(b'-')) {
                 self.pos += 1;
@@ -298,6 +333,18 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if integral {
+            // Exact fast path: `f64` would silently drop low bits above
+            // 2^53 (a real magnitude for fleet-aggregated counters).
+            if negative {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Json::Int(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Uint(n));
+            }
+            // Out-of-range integers fall back to the rounded f64 view.
+        }
         text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number at byte {start}"))
     }
 }
@@ -338,6 +385,7 @@ mod tests {
         let v = Json::parse(r#"{"a": [1, {"b": "x"}, null], "c": {}}"#).unwrap();
         let a = v.get("a").unwrap().as_arr().unwrap();
         assert_eq!(a[0].as_num(), Some(1.0));
+        assert_eq!(a[0].as_u64(), Some(1));
         assert_eq!(a[1].get("b").and_then(Json::as_str), Some("x"));
         assert_eq!(a[2], Json::Null);
         assert!(v.get("c").unwrap().as_obj().unwrap().is_empty());
@@ -371,6 +419,33 @@ mod tests {
         let v = Json::parse(&big).unwrap();
         assert_eq!(v.as_arr().unwrap().len(), 100_000);
         assert!(t.elapsed().as_secs() < 10, "parse took {:?}", t.elapsed());
+    }
+
+    #[test]
+    fn integer_literals_round_trip_exactly_at_u64_max() {
+        // Regression: the all-f64 parser rounded 2^53+1 to 2^53 and
+        // u64::MAX to 2^64, silently corrupting drift-gate comparisons.
+        let v = Json::parse("18446744073709551615").unwrap();
+        assert_eq!(v, Json::Uint(u64::MAX));
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let odd = Json::parse("9007199254740993").unwrap(); // 2^53 + 1
+        assert_eq!(odd.as_u64(), Some(9_007_199_254_740_993));
+        let min = Json::parse("-9223372036854775808").unwrap();
+        assert_eq!(min.as_i64(), Some(i64::MIN));
+        assert_eq!(min.as_u64(), None, "negative literals have no u64 view");
+    }
+
+    #[test]
+    fn fractional_and_exponent_forms_stay_floats() {
+        assert_eq!(Json::parse("1.0").unwrap(), Json::Num(1.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("1.0").unwrap().as_u64(), None);
+        // Integers beyond both u64 and i64 degrade to the rounded f64
+        // view instead of failing the parse.
+        let big = Json::parse("18446744073709551616").unwrap(); // 2^64
+        assert_eq!(big.as_u64(), None);
+        assert_eq!(big.as_num(), Some(2f64.powi(64)));
+        assert_eq!(big.type_name(), "number");
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use emulator::Emulator;
 pub use faultplan::FaultPlan;
 pub use gauges::{GaugeSnapshot, LiveGauges};
 pub use metrics::{LatencyBreakdown, RecoveryTotals, RunResult};
-pub use sched::{HostOp, OpResult, SchedRun, Scheduler};
+pub use sched::{check_lpa_range, HostOp, OpResult, SchedRun, Scheduler, SubmitError};
 pub use timeseries::{TimeSeries, UtilWindow, WindowSample};
 pub use trace::{validate_chrome_trace, RequestTrace, SpanKind, TraceRecorder};
 pub use watchdog::{DeadlineConfig, Watchdog, WatchdogStats};

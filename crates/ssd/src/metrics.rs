@@ -30,6 +30,18 @@ impl LatencyHistogram {
         self.max = self.max.max(sample);
     }
 
+    /// Folds another histogram into this one (bucket-wise sum; exact for
+    /// count/sum/max). The fleet layer uses this to aggregate one
+    /// tenant's latency across devices.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -61,10 +73,11 @@ impl LatencyHistogram {
     ///
     /// Reports the **geometric midpoint** of the bucket holding the
     /// nearest-rank sample (`2^(i+0.5)` for bucket `[2^i, 2^(i+1))`),
-    /// clamped to the observed maximum — an unbiased estimate under the
-    /// log₂ bucketing, off by at most `√2×` from the exact nearest-rank
-    /// value. (The previous upper-bucket-bound convention overstated
-    /// percentiles by up to 2×.)
+    /// clamped to the observed maximum. Under the log₂ bucketing this is
+    /// off by at most `√2×` from the exact nearest-rank value, in either
+    /// direction — comparisons between two histograms (e.g. the fleet
+    /// QoS-on/QoS-off p99 gate) therefore need a margin wider than `2×`
+    /// or enough samples to land in different buckets.
     pub fn percentile(&self, p: f64) -> Nanos {
         if self.count == 0 {
             return Nanos::ZERO;

@@ -168,22 +168,17 @@ pub fn render(em: &Emulator) -> String {
         ("scrub", tb.scrub),
         ("xfer", tb.xfer),
     ];
-    header(
-        &mut out,
+    let mut busy = LabeledFamily::new(
         "evanesco_device_busy_seconds_total",
         "Device busy time per command class.",
         "counter",
     );
     for (class, t) in classes {
-        let _ = writeln!(
-            out,
-            "evanesco_device_busy_seconds_total{{class=\"{class}\"}} {}",
-            fmt_f64(t.as_secs_f64())
-        );
+        busy.sample_f(&[("class", class)], t.as_secs_f64());
     }
+    busy.render_into(&mut out).expect("static class list is non-empty");
 
-    header(
-        &mut out,
+    let mut util = LabeledFamily::new(
         "evanesco_resource_utilization_ratio",
         "Busy fraction of each serial resource over the run.",
         "gauge",
@@ -191,20 +186,13 @@ pub fn render(em: &Emulator) -> String {
     let secs = sim.as_secs_f64();
     for (i, t) in dev.chip_utilized().iter().enumerate() {
         let ratio = if secs > 0.0 { t.as_secs_f64() / secs } else { 0.0 };
-        let _ = writeln!(
-            out,
-            "evanesco_resource_utilization_ratio{{resource=\"chip{i}\"}} {}",
-            fmt_f64(ratio)
-        );
+        util.sample_f(&[("resource", &format!("chip{i}"))], ratio);
     }
     for (c, t) in dev.channel_utilized().iter().enumerate() {
         let ratio = if secs > 0.0 { t.as_secs_f64() / secs } else { 0.0 };
-        let _ = writeln!(
-            out,
-            "evanesco_resource_utilization_ratio{{resource=\"channel{c}\"}} {}",
-            fmt_f64(ratio)
-        );
+        util.sample_f(&[("resource", &format!("channel{c}"))], ratio);
     }
+    util.render_into(&mut out).expect("a validated topology has chips and channels");
 
     header(
         &mut out,
@@ -279,20 +267,15 @@ pub fn render(em: &Emulator) -> String {
             "Request traces evicted from the ring.",
             t.dropped(),
         );
-        header(
-            &mut out,
+        let mut spans = LabeledFamily::new(
             "evanesco_trace_span_seconds_total",
             "Attributed time across recorded traces, per span kind.",
             "counter",
         );
         for kind in SpanKind::ALL {
-            let _ = writeln!(
-                out,
-                "evanesco_trace_span_seconds_total{{kind=\"{}\"}} {}",
-                kind.label(),
-                fmt_f64(t.span_total(kind).as_secs_f64())
-            );
+            spans.sample_f(&[("kind", kind.label())], t.span_total(kind).as_secs_f64());
         }
+        spans.render_into(&mut out).expect("static span-kind list is non-empty");
     }
 
     if let Some(w) = em.watchdog_stats() {
@@ -328,6 +311,93 @@ pub fn render(em: &Emulator) -> String {
 fn header(out: &mut String, name: &str, help: &str, kind: &str) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Escapes a label value per the text exposition format (version 0.0.4):
+/// `\` → `\\`, `"` → `\"`, and newline → `\n`. Everything interpolated
+/// into a `label="..."` position must pass through here — per-tenant
+/// labels in the fleet scrape carry user-provided tenant names, and an
+/// unescaped quote or newline silently corrupts every later sample in
+/// the scrape.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A labeled metric family under construction: `HELP`/`TYPE` headers plus
+/// one sample line per [`LabeledFamily::sample`] call, with label values
+/// escaped. Rendering a family with **zero samples** is rejected — a
+/// dangling `TYPE` header with no samples means the scrape dropped data
+/// (for the fleet layer: a tenant or device that silently vanished), and
+/// several exposition parsers choke on it.
+#[derive(Debug)]
+pub struct LabeledFamily {
+    name: String,
+    help: String,
+    kind: &'static str,
+    lines: Vec<String>,
+}
+
+impl LabeledFamily {
+    /// Starts an empty family; `kind` is the `TYPE` (counter/gauge/...).
+    pub fn new(name: &str, help: &str, kind: &'static str) -> Self {
+        LabeledFamily { name: name.into(), help: help.into(), kind, lines: Vec::new() }
+    }
+
+    /// Adds one sample with the given label set (values escaped here) and
+    /// a pre-formatted value.
+    pub fn sample(&mut self, labels: &[(&str, &str)], value: &str) {
+        let mut line = String::with_capacity(self.name.len() + 32);
+        line.push_str(&self.name);
+        if !labels.is_empty() {
+            line.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                let _ = write!(line, "{k}=\"{}\"", escape_label_value(v));
+            }
+            line.push('}');
+        }
+        line.push(' ');
+        line.push_str(value);
+        self.lines.push(line);
+    }
+
+    /// [`LabeledFamily::sample`] for an integer value.
+    pub fn sample_u(&mut self, labels: &[(&str, &str)], value: u64) {
+        self.sample(labels, &value.to_string());
+    }
+
+    /// [`LabeledFamily::sample`] for a float value (finite decimal form).
+    pub fn sample_f(&mut self, labels: &[(&str, &str)], value: f64) {
+        self.sample(labels, &fmt_f64(value));
+    }
+
+    /// Renders headers plus samples into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty family (no samples) with a message naming it.
+    pub fn render_into(self, out: &mut String) -> Result<(), String> {
+        if self.lines.is_empty() {
+            return Err(format!("empty metric family '{}' (no samples)", self.name));
+        }
+        header(out, &self.name, &self.help, self.kind);
+        for line in self.lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        Ok(())
+    }
 }
 
 fn counter(out: &mut String, name: &str, help: &str, v: u64) {
@@ -461,6 +531,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_exposition_format() {
+        // Regression: label values were interpolated verbatim, so a
+        // tenant name like `evil"} 1` would forge extra samples.
+        assert_eq!(escape_label_value(r#"a\b"#), r#"a\\b"#);
+        assert_eq!(escape_label_value(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(escape_label_value("line1\nline2"), r#"line1\nline2"#);
+        let mut fam = LabeledFamily::new("m", "h.", "gauge");
+        fam.sample_u(&[("tenant", "evil\"} 1\ninjected 2")], 7);
+        let mut out = String::new();
+        fam.render_into(&mut out).unwrap();
+        assert_eq!(out.lines().count(), 3, "one escaped sample line, not an injected one:\n{out}");
+        assert!(out.contains(r#"m{tenant="evil\"} 1\ninjected 2"} 7"#), "{out}");
+    }
+
+    #[test]
+    fn empty_metric_families_are_rejected() {
+        let fam = LabeledFamily::new("evanesco_fleet_nothing", "h.", "counter");
+        let mut out = String::new();
+        let err = fam.render_into(&mut out).unwrap_err();
+        assert!(err.contains("empty metric family 'evanesco_fleet_nothing'"), "{err}");
+        assert!(out.is_empty(), "nothing rendered for a rejected family");
     }
 
     #[test]

@@ -28,6 +28,71 @@ use evanesco_ftl::Lpa;
 use evanesco_nand::timing::Nanos;
 use std::collections::VecDeque;
 
+/// Why a request was rejected at submission.
+///
+/// Submission-time validation is what keeps the per-LPA scoreboard sound:
+/// a range that wrapped around the top of the LPA space would compare as
+/// *disjoint* from the requests it actually overlaps, silently breaking
+/// the same-LPA ordering invariant the byte-identity gates stand on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `lpa + npages` overflows the LPA type, so the range cannot even be
+    /// represented (let alone ordered against other requests).
+    RangeOverflow {
+        /// First logical page of the rejected request.
+        lpa: Lpa,
+        /// Page count of the rejected request.
+        npages: u64,
+    },
+    /// The range is representable but ends beyond the device's logical
+    /// capacity.
+    OutOfBounds {
+        /// First logical page of the rejected request.
+        lpa: Lpa,
+        /// Page count of the rejected request.
+        npages: u64,
+        /// The device's logical capacity in pages.
+        logical_pages: u64,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SubmitError::RangeOverflow { lpa, npages } => {
+                write!(f, "LPA range [{lpa}, {lpa}+{npages}) overflows the logical address space")
+            }
+            SubmitError::OutOfBounds { lpa, npages, logical_pages } => write!(
+                f,
+                "LPA range [{lpa}, {}) ends beyond the {logical_pages}-page logical capacity",
+                lpa + npages
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Validates the request range `[lpa, lpa + npages)` against a device of
+/// `logical_pages` logical pages, returning the (checked) exclusive upper
+/// bound.
+///
+/// Zero-page requests are legal no-ops: they overlap nothing and must
+/// never panic, but their start still has to lie inside the address
+/// space.
+///
+/// # Errors
+///
+/// [`SubmitError::RangeOverflow`] when `lpa + npages` wraps;
+/// [`SubmitError::OutOfBounds`] when the range ends past `logical_pages`.
+pub fn check_lpa_range(lpa: Lpa, npages: u64, logical_pages: u64) -> Result<Lpa, SubmitError> {
+    let hi = lpa.checked_add(npages).ok_or(SubmitError::RangeOverflow { lpa, npages })?;
+    if hi > logical_pages {
+        return Err(SubmitError::OutOfBounds { lpa, npages, logical_pages });
+    }
+    Ok(hi)
+}
+
 /// One host request on the scheduled (multi-queue) submission path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HostOp {
@@ -138,6 +203,9 @@ struct Queued {
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     qd: usize,
+    /// Logical capacity in pages; every submitted range must end at or
+    /// below it (also bounds the dense `last_done` table).
+    logical_pages: u64,
     window: VecDeque<Queued>,
     /// Completion times of dispatched-but-still-outstanding requests.
     inflight: Vec<Nanos>,
@@ -163,15 +231,22 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// A scoreboard for queue depth `qd`.
+    /// A scoreboard for queue depth `qd` over a device of
+    /// `logical_pages` logical pages.
     ///
     /// # Panics
     ///
-    /// Panics if `qd` is zero.
-    pub fn new(qd: usize) -> Self {
+    /// Panics if `qd` is zero or `logical_pages` does not fit the host's
+    /// address width (the dependency table is indexed by `usize`).
+    pub fn new(qd: usize, logical_pages: u64) -> Self {
         assert!(qd >= 1, "queue depth must be at least 1");
+        assert!(
+            usize::try_from(logical_pages).is_ok(),
+            "logical capacity ({logical_pages} pages) exceeds the host-indexable range"
+        );
         Scheduler {
             qd,
+            logical_pages,
             window: VecDeque::new(),
             inflight: Vec::new(),
             last_done: Vec::new(),
@@ -199,12 +274,37 @@ impl Scheduler {
     }
 
     /// Tries to admit trace entry `idx` into the device queue. Returns
-    /// `false` when every slot is held by a not-yet-dispatched request —
-    /// the caller must dispatch before submitting more. When the queue is
-    /// full of *in-flight* requests, the oldest-completing one retires and
-    /// its completion time becomes this request's submission time (the
-    /// closed-loop pacing).
-    pub fn try_submit(&mut self, idx: usize, op: HostOp) -> bool {
+    /// `Ok(false)` when every slot is held by a not-yet-dispatched
+    /// request — the caller must dispatch before submitting more. When
+    /// the queue is full of *in-flight* requests, the oldest-completing
+    /// one retires and its completion time becomes this request's
+    /// submission time (the closed-loop pacing).
+    ///
+    /// # Errors
+    ///
+    /// Rejects (without side effects) a request whose LPA range wraps or
+    /// ends beyond the device's logical capacity — see [`SubmitError`].
+    pub fn try_submit(&mut self, idx: usize, op: HostOp) -> Result<bool, SubmitError> {
+        self.try_submit_at(idx, op, Nanos::ZERO)
+    }
+
+    /// [`Scheduler::try_submit`] with an open-loop arrival floor: the
+    /// request's submission time is at least `arrival`, so a request
+    /// cannot reach the device before the front end handed it over. The
+    /// submission clock stays monotone — an `arrival` in the past is a
+    /// no-op, exactly like a slot that freed in the past.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Scheduler::try_submit`].
+    pub fn try_submit_at(
+        &mut self,
+        idx: usize,
+        op: HostOp,
+        arrival: Nanos,
+    ) -> Result<bool, SubmitError> {
+        let (lpa, n) = op.lpa_range();
+        let hi = check_lpa_range(lpa, n, self.logical_pages)?;
         if self.outstanding() >= self.qd {
             // Retire the earliest-completing in-flight request to free a
             // slot; with none in flight the queue is all undispatched
@@ -212,23 +312,23 @@ impl Scheduler {
             let Some(min_at) =
                 self.inflight.iter().enumerate().min_by_key(|&(_, t)| *t).map(|(i, _)| i)
             else {
-                return false;
+                return Ok(false);
             };
             let freed = self.inflight.swap_remove(min_at);
             self.submit_clock = self.submit_clock.max(freed);
         }
-        let (lpa, n) = op.lpa_range();
+        self.submit_clock = self.submit_clock.max(arrival);
         self.window.push_back(Queued {
             idx,
             op,
             submit: self.submit_clock,
             lo: lpa,
-            hi: lpa + n,
-            dep: self.deps_of(&op),
+            hi,
+            dep: self.deps_of(lpa, hi),
         });
         self.submitted += 1;
         self.max_outstanding = self.max_outstanding.max(self.outstanding());
-        true
+        Ok(true)
     }
 
     /// Picks the next request to dispatch, removes it from the queue, and
@@ -278,29 +378,30 @@ impl Scheduler {
     /// Panics when no dispatch is pending.
     pub fn complete(&mut self, done: Nanos) {
         let q = self.dispatched.take().expect("no dispatch pending");
-        let (lpa, n) = q.op.lpa_range();
-        let end = (lpa + n) as usize;
+        // `q.lo`/`q.hi` were range-checked at submission, so the casts and
+        // slice bounds below cannot wrap.
+        let end = q.hi as usize;
         if self.last_done.len() < end {
             self.last_done.resize(end, Nanos::ZERO);
         }
-        for e in &mut self.last_done[lpa as usize..end] {
+        for e in &mut self.last_done[q.lo as usize..end] {
             *e = (*e).max(done);
         }
         // Advance the cached dependency time of every queued request the
         // completed one overlaps (the window is at most `qd` entries).
         for w in &mut self.window {
-            if w.lo < lpa + n && lpa < w.hi {
+            if w.lo < q.hi && q.lo < w.hi {
                 w.dep = w.dep.max(done);
             }
         }
         self.inflight.push(done);
     }
 
-    /// Completion time of the latest dispatched request overlapping `op`.
-    fn deps_of(&self, op: &HostOp) -> Nanos {
-        let (lpa, n) = op.lpa_range();
-        let lo = (lpa as usize).min(self.last_done.len());
-        let hi = ((lpa + n) as usize).min(self.last_done.len());
+    /// Completion time of the latest dispatched request overlapping the
+    /// (already range-checked) span `[lo, hi)`.
+    fn deps_of(&self, lo: Lpa, hi: Lpa) -> Nanos {
+        let lo = (lo as usize).min(self.last_done.len());
+        let hi = (hi as usize).min(self.last_done.len());
         self.last_done[lo..hi].iter().copied().max().unwrap_or(Nanos::ZERO)
     }
 
@@ -317,6 +418,11 @@ impl Scheduler {
 pub struct SchedRun {
     /// Per-request host-visible results, in trace order.
     pub results: Vec<OpResult>,
+    /// Per-request absolute completion times (device clock), in trace
+    /// order. Unlike `results` these are timing, not host-visible data:
+    /// they vary with queue depth and are what open-loop callers (the
+    /// fleet layer) use to attribute end-to-end sojourn latency.
+    pub completions: Vec<Nanos>,
     /// Simulated time the run occupied (completion of the last request
     /// minus the device time when the run started).
     pub sim_time: Nanos,
@@ -350,28 +456,28 @@ mod tests {
 
     #[test]
     fn qd1_serializes_every_request() {
-        let mut s = Scheduler::new(1);
-        assert!(s.try_submit(0, w(0, 1)));
-        assert!(!s.try_submit(1, w(5, 1)), "queue of one is full");
+        let mut s = Scheduler::new(1, 1 << 20);
+        assert!(s.try_submit(0, w(0, 1)).unwrap());
+        assert!(!s.try_submit(1, w(5, 1)).unwrap(), "queue of one is full");
         let d = s.take_dispatch(|_| Nanos::ZERO).unwrap();
         assert_eq!(d.idx, 0);
         assert_eq!(d.earliest, Nanos::ZERO);
         s.complete(Nanos::from_micros(700));
         // The next submission waits for the first completion even though
         // the LPAs are disjoint: queue depth, not data dependence.
-        assert!(s.try_submit(1, w(5, 1)));
+        assert!(s.try_submit(1, w(5, 1)).unwrap());
         let d = s.take_dispatch(|_| Nanos::ZERO).unwrap();
         assert_eq!(d.earliest, Nanos::from_micros(700));
     }
 
     #[test]
     fn same_lpa_requests_never_reorder() {
-        let mut s = Scheduler::new(8);
-        assert!(s.try_submit(0, w(3, 2)));
-        assert!(s.try_submit(1, HostOp::Read { lpa: 4, npages: 1 })); // overlaps 0
-        assert!(s.try_submit(2, w(100, 1))); // independent
-                                             // Request 1 is ineligible while request 0 is queued; request 2 may
-                                             // bypass both. Bias the hint so 2 looks cheapest.
+        let mut s = Scheduler::new(8, 1 << 20);
+        assert!(s.try_submit(0, w(3, 2)).unwrap());
+        assert!(s.try_submit(1, HostOp::Read { lpa: 4, npages: 1 }).unwrap()); // overlaps 0
+        assert!(s.try_submit(2, w(100, 1)).unwrap()); // independent
+                                                      // Request 1 is ineligible while request 0 is queued; request 2 may
+                                                      // bypass both. Bias the hint so 2 looks cheapest.
         let hint =
             |op: &HostOp| if op.lpa_range().0 == 100 { Nanos::ZERO } else { Nanos::from_micros(9) };
         let d = s.take_dispatch(hint).unwrap();
@@ -390,9 +496,9 @@ mod tests {
 
     #[test]
     fn closed_loop_paces_submission_on_oldest_completion() {
-        let mut s = Scheduler::new(2);
-        assert!(s.try_submit(0, w(0, 1)));
-        assert!(s.try_submit(1, w(1, 1)));
+        let mut s = Scheduler::new(2, 1 << 20);
+        assert!(s.try_submit(0, w(0, 1)).unwrap());
+        assert!(s.try_submit(1, w(1, 1)).unwrap());
         let d0 = s.take_dispatch(|_| Nanos::ZERO).unwrap();
         s.complete(Nanos::from_micros(900));
         let d1 = s.take_dispatch(|_| Nanos::ZERO).unwrap();
@@ -401,7 +507,7 @@ mod tests {
         s.complete(Nanos::from_micros(300));
         // Both slots held: the new request's submit time is the *earlier*
         // completion (300 us), not the later one.
-        assert!(s.try_submit(2, w(2, 1)));
+        assert!(s.try_submit(2, w(2, 1)).unwrap());
         let d2 = s.take_dispatch(|_| Nanos::ZERO).unwrap();
         assert_eq!(d2.earliest, Nanos::from_micros(300));
         s.complete(Nanos::from_micros(1100));
@@ -410,15 +516,15 @@ mod tests {
 
     #[test]
     fn submission_clock_is_monotone() {
-        let mut s = Scheduler::new(2);
-        assert!(s.try_submit(0, w(0, 1)));
-        assert!(s.try_submit(1, w(1, 1)));
+        let mut s = Scheduler::new(2, 1 << 20);
+        assert!(s.try_submit(0, w(0, 1)).unwrap());
+        assert!(s.try_submit(1, w(1, 1)).unwrap());
         s.take_dispatch(|_| Nanos::ZERO).unwrap();
         s.complete(Nanos::from_micros(1000));
         s.take_dispatch(|_| Nanos::ZERO).unwrap();
         s.complete(Nanos::from_micros(400));
-        assert!(s.try_submit(2, w(2, 1))); // frees the 400 us slot
-        assert!(s.try_submit(3, w(3, 1))); // frees the 1000 us slot
+        assert!(s.try_submit(2, w(2, 1)).unwrap()); // frees the 400 us slot
+        assert!(s.try_submit(3, w(3, 1)).unwrap()); // frees the 1000 us slot
         let d2 = s.take_dispatch(|_| Nanos::ZERO).unwrap();
         s.complete(Nanos::from_micros(1500));
         let d3 = s.take_dispatch(|_| Nanos::ZERO).unwrap();
@@ -428,19 +534,72 @@ mod tests {
 
     #[test]
     fn full_window_of_undispatched_work_blocks_submission() {
-        let mut s = Scheduler::new(2);
-        assert!(s.try_submit(0, w(0, 1)));
-        assert!(s.try_submit(1, w(1, 1)));
-        assert!(!s.try_submit(2, w(2, 1)), "nothing in flight to retire");
+        let mut s = Scheduler::new(2, 1 << 20);
+        assert!(s.try_submit(0, w(0, 1)).unwrap());
+        assert!(s.try_submit(1, w(1, 1)).unwrap());
+        assert!(!s.try_submit(2, w(2, 1)).unwrap(), "nothing in flight to retire");
         s.take_dispatch(|_| Nanos::ZERO).unwrap();
         s.complete(Nanos::from_micros(10));
-        assert!(s.try_submit(2, w(2, 1)));
+        assert!(s.try_submit(2, w(2, 1)).unwrap());
     }
 
     #[test]
     #[should_panic(expected = "queue depth")]
     fn zero_queue_depth_rejected() {
-        Scheduler::new(0);
+        Scheduler::new(0, 1 << 20);
+    }
+
+    #[test]
+    fn range_overflow_near_u64_max_is_a_typed_error_not_a_panic() {
+        // Regression: `hi: lpa + n` was unchecked — this submission
+        // panicked in debug ("attempt to add with overflow") and wrapped
+        // in release, making the range compare as disjoint from
+        // everything it actually overlaps.
+        let mut s = Scheduler::new(4, u64::MAX);
+        let err = s.try_submit(0, w(u64::MAX - 2, 4)).unwrap_err();
+        assert_eq!(err, SubmitError::RangeOverflow { lpa: u64::MAX - 2, npages: 4 });
+        assert_eq!(s.outstanding(), 0, "rejected submissions leave no residue");
+        // A representable range at the very top of the space is fine.
+        assert!(s.try_submit(0, w(u64::MAX - 4, 4)).unwrap());
+    }
+
+    #[test]
+    fn out_of_bounds_requests_are_rejected_at_submission() {
+        let mut s = Scheduler::new(4, 100);
+        let err = s.try_submit(0, w(99, 2)).unwrap_err();
+        assert_eq!(err, SubmitError::OutOfBounds { lpa: 99, npages: 2, logical_pages: 100 });
+        assert!(err.to_string().contains("100-page logical capacity"), "{err}");
+        assert!(s.try_submit(0, w(99, 1)).unwrap(), "the last page is addressable");
+    }
+
+    #[test]
+    fn zero_page_requests_are_legal_noops() {
+        let mut s = Scheduler::new(4, 100);
+        assert!(s.try_submit(0, w(5, 0)).unwrap());
+        assert!(s.try_submit(1, w(5, 1)).unwrap(), "empty range blocks nothing");
+        assert!(s.try_submit(2, w(100, 0)).unwrap(), "empty range at the boundary");
+        let d = s.take_dispatch(|_| Nanos::ZERO).unwrap();
+        assert_eq!(d.op.npages(), 0);
+        s.complete(Nanos::from_micros(1));
+        let d = s.take_dispatch(|_| Nanos::ZERO).unwrap();
+        assert_eq!(d.idx, 1, "the write was never blocked by the empty range");
+        s.complete(Nanos::from_micros(2));
+        s.take_dispatch(|_| Nanos::ZERO).unwrap();
+        s.complete(Nanos::from_micros(3));
+    }
+
+    #[test]
+    fn arrival_floor_delays_submission_but_stays_monotone() {
+        let mut s = Scheduler::new(2, 100);
+        assert!(s.try_submit_at(0, w(0, 1), Nanos::from_micros(500)).unwrap());
+        let d = s.take_dispatch(|_| Nanos::ZERO).unwrap();
+        assert_eq!(d.earliest, Nanos::from_micros(500), "open-loop arrival floors the start");
+        s.complete(Nanos::from_micros(700));
+        // An arrival in the past cannot rewind the clock.
+        assert!(s.try_submit_at(1, w(1, 1), Nanos::from_micros(100)).unwrap());
+        let d = s.take_dispatch(|_| Nanos::ZERO).unwrap();
+        assert_eq!(d.submit, Nanos::from_micros(500));
+        s.complete(Nanos::from_micros(900));
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!   identical per-class accounting plus retirement-path attribution
 //!   (host update / trim / GC copy) and exposure-window histograms;
 //! * [`replay`] — drives a trace through the `evanesco-ssd` emulator with
-//!   measured-phase isolation.
+//!   measured-phase isolation;
+//! * [`tenants`] — open-loop multi-tenant fleet traffic (Zipf-distributed
+//!   tenant popularity, diurnal arrival process) consumed by
+//!   `evanesco-fleet`.
 //!
 //! ```rust
 //! use evanesco_workloads::generate::generate;
@@ -40,10 +43,12 @@ pub mod ledger;
 pub mod replay;
 pub mod serialize;
 pub mod spec;
+pub mod tenants;
 pub mod trace;
 pub mod vertrace;
 
 pub use ledger::{CauseCounts, ClassExposure, ExposureHistogram, ExposureLedger, LedgerReport};
 pub use spec::WorkloadSpec;
+pub use tenants::{generate_fleet, TenantOp, TenantProfile, TrafficConfig};
 pub use trace::{FileId, Trace, TraceOp};
 pub use vertrace::{VerTrace, VerTraceReport};
