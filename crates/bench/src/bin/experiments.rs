@@ -33,7 +33,14 @@
 //!   `BENCH_fleet.json` and fails when per-device digests differ across
 //!   shard counts {1, 2, 4} or a rerun (determinism breach), or when
 //!   QoS shaping fails to cut the worst victim p99 under the
-//!   sanitization storm by the gate factor.
+//!   sanitization storm by the gate factor;
+//! * `anatomy` — writes the per-request latency-anatomy report to
+//!   `BENCH_anatomy.json` and fails when any request's stage sum
+//!   differs from its end-to-end latency at queue depth 1, 8, or 32
+//!   (tiling breach), when enabling the layer changes any simulated
+//!   result (timing-neutrality breach), or when the victims' p99-tail
+//!   interference under the sanitization storm is not majority-blamed
+//!   on sanitization locks.
 //!
 //! The campaign also has a per-process segment mode for real
 //! stop/restart chains (what the CI `campaign-gate` job byte-diffs):
@@ -50,7 +57,9 @@
 //! inconsistent segment flags are all rejected up front (exit 1) before
 //! any experiment runs.
 
-use evanesco_bench::experiments::{campaign, chaos, fleet, hostperf, report, scheduler, tracing};
+use evanesco_bench::experiments::{
+    anatomy, campaign, chaos, fleet, hostperf, report, scheduler, tracing,
+};
 use evanesco_bench::{is_experiment_name, run_experiment, Scale, EXPERIMENT_NAMES};
 use evanesco_ssd::{read_checkpoint, write_checkpoint, CheckpointError};
 use std::path::PathBuf;
@@ -139,7 +148,11 @@ fn main() {
                      chaos (BENCH_chaos.json; corruption storm matrix, fails on any \
                      silent wrong-data event or broken accounting identity), \
                      fleet (BENCH_fleet.json; multi-tenant noisy-neighbor matrix, fails \
-                     on a shard/rerun determinism breach or a QoS p99 inversion)"
+                     on a shard/rerun determinism breach or a QoS p99 inversion), \
+                     anatomy (BENCH_anatomy.json; per-request stage decomposition, fails \
+                     on a stage-tiling breach at qd 1/8/32, a timing-neutrality breach, \
+                     or when the victims' p99-tail interference is not \
+                     sanitization-dominated under the storm)"
                 );
                 eprintln!(
                     "campaign segment mode (process-per-segment): campaign \
@@ -276,6 +289,16 @@ fn main() {
             println!("wrote BENCH_fleet.json");
             for v in bench.violations() {
                 eprintln!("fleet gate FAILED: {v}");
+                gate_failed = true;
+            }
+        } else if name == "anatomy" {
+            let bench = anatomy::run(&scale, &scale_name);
+            println!("{}", bench.render());
+            std::fs::write("BENCH_anatomy.json", bench.to_json())
+                .expect("write BENCH_anatomy.json");
+            println!("wrote BENCH_anatomy.json");
+            for v in bench.violations() {
+                eprintln!("anatomy gate FAILED: {v}");
                 gate_failed = true;
             }
         } else if name == "campaign" {

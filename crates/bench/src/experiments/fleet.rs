@@ -171,6 +171,7 @@ fn cell_config(
         devices,
         shards,
         qd: 8,
+        anatomy: false,
     };
     let capacity_pages_per_sec = 1e9 / cfg.drain_ns_per_page() as f64;
     // ~1/6 of drain capacity in requests/s: victims (small requests,

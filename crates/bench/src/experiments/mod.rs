@@ -3,6 +3,7 @@
 //! binary prints them and integration tests assert on their shape.
 
 pub mod ablation;
+pub mod anatomy;
 pub mod background;
 pub mod breakdown;
 pub mod campaign;

@@ -65,6 +65,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> String {
         "hostperf" => experiments::hostperf::hostperf(scale, "custom"),
         "chaos" => experiments::chaos::chaos(scale, "custom"),
         "fleet" => experiments::fleet::fleet(scale, "custom"),
+        "anatomy" => experiments::anatomy::anatomy(scale, "custom"),
         other => panic!("unknown experiment '{other}'; known: {EXPERIMENT_NAMES:?}"),
     }
 }
@@ -76,7 +77,7 @@ pub fn is_experiment_name(name: &str) -> bool {
 }
 
 /// All experiment names accepted by [`run_experiment`], in report order.
-pub const EXPERIMENT_NAMES: [&str; 28] = [
+pub const EXPERIMENT_NAMES: [&str; 29] = [
     "table2",
     "fig2",
     "table1",
@@ -105,6 +106,7 @@ pub const EXPERIMENT_NAMES: [&str; 28] = [
     "hostperf",
     "chaos",
     "fleet",
+    "anatomy",
 ];
 
 #[cfg(test)]

@@ -31,6 +31,11 @@ pub struct FleetConfig {
     pub shards: usize,
     /// NCQ queue depth of every device.
     pub qd: usize,
+    /// Whether every device runs with the latency-anatomy layer on
+    /// (per-request stage decomposition with sanitization/GC/retry
+    /// blame, surfaced per tenant in the report and scrape). The layer
+    /// is timing-neutral: enabling it cannot change digests.
+    pub anatomy: bool,
 }
 
 impl FleetConfig {
@@ -56,6 +61,7 @@ impl FleetConfig {
             devices,
             shards: 1,
             qd: 8,
+            anatomy: false,
         }
     }
 

@@ -21,7 +21,7 @@ use crate::config::FleetConfig;
 use crate::qos::admission_order;
 use evanesco_nand::timing::Nanos;
 use evanesco_ssd::metrics::LatencyHistogram;
-use evanesco_ssd::{Emulator, GaugeSnapshot, HostOp, OpResult};
+use evanesco_ssd::{Emulator, GaugeSnapshot, HostOp, OpResult, Stage};
 use evanesco_workloads::{generate_fleet, TenantOp};
 
 /// One tenant's share of one device's run.
@@ -36,6 +36,18 @@ pub struct TenantDeviceStats {
     pub latency: LatencyHistogram,
     /// The tenant's sanitization-exposure gauges on this device.
     pub gauges: GaugeSnapshot,
+    /// Per-stage latency blame summed over every request
+    /// ([`Stage`] order, all zero unless [`FleetConfig::anatomy`]).
+    /// QoS shaping delay lands in [`Stage::QosWait`], front-end slot
+    /// wait folds into [`Stage::QueueWait`], and the device-side stages
+    /// come from the anatomy rows — so the per-tenant identity
+    /// `Σ blame == Σ latency` holds exactly.
+    pub blame: [Nanos; Stage::COUNT],
+    /// Same decomposition restricted to the tenant's slowest requests
+    /// (end-to-end latency at or above this device's per-tenant p99).
+    pub tail_blame: [Nanos; Stage::COUNT],
+    /// Requests counted into [`TenantDeviceStats::tail_blame`].
+    pub tail_requests: u64,
 }
 
 /// One device's run.
@@ -50,6 +62,10 @@ pub struct DeviceResult {
     /// FNV-1a over results, completions, and end time (shard- and
     /// rerun-invariant at fixed queue depth).
     pub digest: u64,
+    /// Request traces evicted from the device's trace ring
+    /// ([`evanesco_ssd::TraceRecorder::dropped`]); zero when tracing is
+    /// off or the ring held everything.
+    pub trace_dropped: u64,
     /// Per-tenant attribution, tenant order.
     pub tenants: Vec<TenantDeviceStats>,
 }
@@ -75,6 +91,13 @@ pub struct TenantFleetStats {
     pub sanitized_immediately: u64,
     /// Exposed pages finally destroyed by an erase, fleet-wide.
     pub exposed_then_erased: u64,
+    /// Per-stage latency blame, fleet-wide (see
+    /// [`TenantDeviceStats::blame`]).
+    pub blame: [Nanos; Stage::COUNT],
+    /// Per-stage blame over each device's p99 tail, fleet-wide.
+    pub tail_blame: [Nanos; Stage::COUNT],
+    /// Requests counted into [`TenantFleetStats::tail_blame`].
+    pub tail_requests: u64,
 }
 
 impl TenantFleetStats {
@@ -172,8 +195,14 @@ pub fn run_device(cfg: &FleetConfig, device: usize, trace: &[TenantOp]) -> Devic
     }
 
     let mut ssd = Emulator::new(cfg.ssd, cfg.policy);
+    if cfg.anatomy {
+        // Sized to the op count: nothing drops, every request keeps a row.
+        ssd.enable_anatomy(ops.len().max(1), 16);
+    }
     let mut attr = TenantAttribution::new(cfg.tenant_count(), window);
     let run = ssd.run_scheduled_open_loop(&mut attr, &ops, &arrivals, cfg.qd);
+    let trace_dropped = ssd.trace().map_or(0, |t| t.dropped());
+    let anatomy = ssd.take_anatomy();
 
     let mut tenants: Vec<TenantDeviceStats> = attr
         .snapshots()
@@ -183,6 +212,9 @@ pub fn run_device(cfg: &FleetConfig, device: usize, trace: &[TenantOp]) -> Devic
             pages: 0,
             latency: LatencyHistogram::new(),
             gauges,
+            blame: [Nanos::ZERO; Stage::COUNT],
+            tail_blame: [Nanos::ZERO; Stage::COUNT],
+            tail_requests: 0,
         })
         .collect();
     for (i, a) in admission.iter().enumerate() {
@@ -194,13 +226,59 @@ pub fn run_device(cfg: &FleetConfig, device: usize, trace: &[TenantOp]) -> Devic
         t.latency.record(Nanos(run.completions[i].0.saturating_sub(req.arrival.0)));
     }
 
+    if let Some(an) = anatomy {
+        // Join the device-side anatomy rows back to requests by
+        // submission index, then extend each row to the tenant's clock:
+        // QoS shaping delay is QosWait, front-end slot wait folds into
+        // QueueWait, and the row's stages tile the rest — so per tenant
+        // the blame array sums exactly to the latency histogram's sum.
+        let mut row_stages: Vec<Option<[Nanos; Stage::COUNT]>> = vec![None; ops.len()];
+        for row in an.rows() {
+            if let Some(i) = row.req_idx {
+                row_stages[i] = Some(row.stages);
+            }
+        }
+        // Tail threshold per tenant. The histogram's p99 is a bucket
+        // bound and can overshoot every recorded value; clamping to the
+        // exact max keeps the tail non-empty for any tenant with
+        // requests.
+        let p99: Vec<Nanos> =
+            tenants.iter().map(|t| t.latency.percentile(99.0).min(t.latency.max())).collect();
+        for (i, a) in admission.iter().enumerate() {
+            let req = &trace[a.trace_idx];
+            // Zero-work requests (no device events, zero service time)
+            // never enter the trace ring — their device stages are all
+            // zero, which the identity check below still validates.
+            let mut stages = row_stages[i].unwrap_or([Nanos::ZERO; Stage::COUNT]);
+            stages[Stage::QosWait.idx()] += Nanos(a.shaped.0.saturating_sub(req.arrival.0));
+            stages[Stage::QueueWait.idx()] += Nanos(run.submits[i].0.saturating_sub(a.shaped.0));
+            let e2e = run.completions[i].0.saturating_sub(req.arrival.0);
+            let total: u64 = stages.iter().map(|s| s.0).sum();
+            assert_eq!(
+                total, e2e,
+                "fleet latency identity: qos wait + slot wait + device stages == end-to-end \
+                 (device {device}, request {i})"
+            );
+            let t = &mut tenants[req.tenant];
+            for (acc, v) in t.blame.iter_mut().zip(stages) {
+                *acc += v;
+            }
+            if Nanos(e2e) >= p99[req.tenant] {
+                t.tail_requests += 1;
+                for (acc, v) in t.tail_blame.iter_mut().zip(stages) {
+                    *acc += v;
+                }
+            }
+        }
+    }
+
     let results_digest = run.results.iter().fold(FNV_OFFSET, fnv_result);
     let mut digest = results_digest;
     for c in &run.completions {
         digest = fnv_u64(digest, c.0);
     }
     digest = fnv_u64(digest, run.sim_time.0);
-    DeviceResult { device, sim_time: run.sim_time, results_digest, digest, tenants }
+    DeviceResult { device, sim_time: run.sim_time, results_digest, digest, trace_dropped, tenants }
 }
 
 /// Runs the whole fleet, sharding devices over `cfg.shards` OS threads
@@ -249,6 +327,9 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
             insecure_ticks: 0,
             sanitized_immediately: 0,
             exposed_then_erased: 0,
+            blame: [Nanos::ZERO; Stage::COUNT],
+            tail_blame: [Nanos::ZERO; Stage::COUNT],
+            tail_requests: 0,
         })
         .collect();
     let mut fleet_digest = FNV_OFFSET;
@@ -263,6 +344,13 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
             agg.insecure_ticks += dev.gauges.insecure_ticks;
             agg.sanitized_immediately += dev.gauges.sanitized_immediately;
             agg.exposed_then_erased += dev.gauges.exposed_then_erased;
+            for (a, b) in agg.blame.iter_mut().zip(dev.blame) {
+                *a += b;
+            }
+            for (a, b) in agg.tail_blame.iter_mut().zip(dev.tail_blame) {
+                *a += b;
+            }
+            agg.tail_requests += dev.tail_requests;
         }
     }
     FleetReport { devices, tenants, fleet_digest }
@@ -297,5 +385,29 @@ mod tests {
             a.devices[0].digest, a.devices[1].digest,
             "independent per-device streams produce distinct runs"
         );
+    }
+
+    #[test]
+    fn anatomy_is_timing_neutral_and_blame_tiles_latency() {
+        let mut cfg = FleetConfig::noisy_neighbor_demo(2, 2, 250, 17);
+        let off = run_fleet(&cfg);
+        cfg.anatomy = true;
+        let on = run_fleet(&cfg);
+        assert_eq!(off.fleet_digest, on.fleet_digest, "observability must not move the clock");
+        for t in &off.tenants {
+            assert_eq!(t.blame.iter().map(|n| n.0).sum::<u64>(), 0, "anatomy off: no blame");
+        }
+        for t in &on.tenants {
+            let blamed: u64 = t.blame.iter().map(|n| n.0).sum();
+            assert_eq!(
+                blamed,
+                t.latency.sum().0,
+                "tenant {}: per-stage blame tiles total latency exactly",
+                t.name
+            );
+            assert!(t.tail_requests >= 1, "tenant {}: p99 tail is non-empty", t.name);
+            let tail: u64 = t.tail_blame.iter().map(|n| n.0).sum();
+            assert!(tail <= blamed, "tail blame is a subset of total blame");
+        }
     }
 }

@@ -14,6 +14,43 @@ use evanesco_nand::chip::{PageContent, PageData, PageOob};
 use evanesco_nand::geometry::{BlockId, Geometry, Ppa};
 use evanesco_nand::timing::Nanos;
 
+/// Why the FTL is issuing the commands inside the current cause scope —
+/// the attribution tag the latency-anatomy layer stamps onto trace
+/// events so a blocked request can name *what kind of work* occupied
+/// its resource (see `evanesco-ssd`'s `anatomy` module).
+///
+/// Causes nest (GC can trigger emergency GC, an escalation can scrub):
+/// executors that care keep a stack via [`NandExecutor::push_cause`] /
+/// [`NandExecutor::pop_cause`] and stamp the innermost entry. The tag is
+/// purely observational — it must never change command timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum OpCause {
+    /// Foreground host-request work (the default outside any scope).
+    #[default]
+    Host,
+    /// Garbage collection: victim selection, live-page copy, reclaim
+    /// erases (including the lazy erase when opening a reclaimable block).
+    Gc,
+    /// Sanitization beyond the per-command lock kinds: erase-based or
+    /// scrub-based sanitize passes and their sibling relocations.
+    Sanitize,
+    /// Fault-ladder work: reliability escalations, block retirement, and
+    /// read-retry rounds.
+    Retry,
+}
+
+impl OpCause {
+    /// Stable lowercase label (Prometheus / chrome-trace args).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpCause::Host => "host",
+            OpCause::Gc => "gc",
+            OpCause::Sanitize => "sanitize",
+            OpCause::Retry => "retry",
+        }
+    }
+}
+
 /// What a recovery scan learns about one physical page: occupancy, torn
 /// state, lock margin, and (when readable) the FTL's OOB metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +111,14 @@ pub trait NandExecutor {
     /// Busy-waits `dur` on a chip (lock-retry backoff). Untimed
     /// implementations ignore it.
     fn stall(&mut self, _chip: usize, _dur: Nanos) {}
+
+    /// Enters a cause scope: until the matching [`NandExecutor::pop_cause`],
+    /// commands are attributed to `cause` (innermost scope wins). Purely
+    /// observational; untimed executors ignore it.
+    fn push_cause(&mut self, _cause: OpCause) {}
+
+    /// Leaves the innermost cause scope (no-op when none is open).
+    fn pop_cause(&mut self) {}
 
     /// Current value of the executor's clock, for observational timestamps
     /// (the FTL decision log). Reading it never advances time or issues a

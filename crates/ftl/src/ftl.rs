@@ -27,7 +27,7 @@
 use crate::addr::{GlobalPpa, Lpa};
 use crate::config::FtlConfig;
 use crate::decision::{Decision, DecisionLog};
-use crate::executor::NandExecutor;
+use crate::executor::{NandExecutor, OpCause};
 use crate::observer::{EventBatch, FtlObserver, InvalidateCause};
 use crate::policy::SanitizePolicy;
 use crate::recovery::{RecoveryReport, MAX_LOCK_RETRIES};
@@ -803,7 +803,11 @@ impl Ftl {
             } else if let Some(id) = cs.reclaimable.pop_front() {
                 // Lazy erase: the block is erased only now, right before
                 // reuse, keeping the open interval short (paper §5.4).
-                if !self.erase_block(ex, chip, id) {
+                // Reclamation work, so it attributes as GC, not host.
+                ex.push_cause(OpCause::Gc);
+                let erased = self.erase_block(ex, chip, id);
+                ex.pop_cause();
+                if !erased {
                     // Candidate retired as grown-bad; try the next one.
                     continue;
                 }
@@ -901,6 +905,7 @@ impl Ftl {
             }
         };
         let Some(victim) = victim else { return false };
+        ex.push_cause(OpCause::Gc);
         if self.decisions.enabled() {
             let m = self.chips[chip].blocks[victim as usize];
             let invalid = ppb - m.live;
@@ -941,6 +946,7 @@ impl Ftl {
                 cs.reclaimable.push_back(victim);
             }
         }
+        ex.pop_cause();
         true
     }
 
@@ -1005,6 +1011,9 @@ impl Ftl {
         block: u32,
         secured_olds: &[GlobalPpa],
     ) {
+        // Innermost cause wins: even when invoked from inside GC, the
+        // lock/erase/scrub traffic below is sanitization work.
+        ex.push_cause(OpCause::Sanitize);
         match self.policy {
             SanitizePolicy::None => {}
             SanitizePolicy::Evanesco { use_block } => {
@@ -1048,6 +1057,7 @@ impl Ftl {
                 }
             }
         }
+        ex.pop_cause();
     }
 
     // ---------------------------------------------------------------------
@@ -1216,6 +1226,12 @@ impl Ftl {
 
     /// erSSD: relocate all live pages of `block`, then erase it immediately.
     fn erase_based_sanitize<E: NandExecutor>(&mut self, ex: &mut E, chip: usize, block: u32) {
+        ex.push_cause(OpCause::Sanitize);
+        self.erase_based_sanitize_inner(ex, chip, block);
+        ex.pop_cause();
+    }
+
+    fn erase_based_sanitize_inner<E: NandExecutor>(&mut self, ex: &mut E, chip: usize, block: u32) {
         // Close the block if it is the active one (cannot erase a block we
         // are appending to without losing the write pointer).
         let cs = &mut self.chips[chip];
@@ -1257,6 +1273,12 @@ impl Ftl {
     /// scrSSD: copy live wordline siblings elsewhere, then destroy the
     /// wordline in place.
     fn scrub_sanitize<E: NandExecutor>(&mut self, ex: &mut E, target: GlobalPpa) {
+        ex.push_cause(OpCause::Sanitize);
+        self.scrub_sanitize_inner(ex, target);
+        ex.pop_cause();
+    }
+
+    fn scrub_sanitize_inner<E: NandExecutor>(&mut self, ex: &mut E, target: GlobalPpa) {
         // Sibling relocation consumes pages outside the host-write path;
         // keep the usual GC headroom.
         self.ensure_space(ex, target.chip);
@@ -1464,6 +1486,12 @@ impl Ftl {
     /// the whole block; if even that fails, erase it immediately (the
     /// erSSD fallback — which retires the block if the erase fails too).
     fn escalate_block<E: NandExecutor>(&mut self, ex: &mut E, chip: usize, block: u32) {
+        ex.push_cause(OpCause::Retry);
+        self.escalate_block_inner(ex, chip, block);
+        ex.pop_cause();
+    }
+
+    fn escalate_block_inner<E: NandExecutor>(&mut self, ex: &mut E, chip: usize, block: u32) {
         let cs = &mut self.chips[chip];
         if cs.active.is_some_and(|ab| ab.id == block) {
             // Sacrifice the write pointer: the block's remaining free pages
@@ -1531,12 +1559,15 @@ impl Ftl {
     /// retirement sentinel, removes the block from circulation, and
     /// re-evaluates the degraded mode.
     fn retire_block<E: NandExecutor>(&mut self, ex: &mut E, chip: usize, id: u32) {
+        // Retirement is the fault ladder's terminal rung.
+        ex.push_cause(OpCause::Retry);
         let written = ex.probe_block(chip, BlockId(id)).next_program;
         for p in 0..written {
             ex.scrub(GlobalPpa::new(chip, Ppa { block: BlockId(id), page: PageId(p) }));
             self.stats.scrubs += 1;
         }
         ex.mark_bad(chip, BlockId(id));
+        ex.pop_cause();
         self.detach_block(chip, id);
         let cs = &mut self.chips[chip];
         cs.set_block_state(id, BlockState::Retired);

@@ -43,6 +43,7 @@ pub mod status;
 pub use addr::{GlobalPpa, Lpa};
 pub use config::{FaultConfig, FtlConfig, GcVictimPolicy, ReliabilityConfig, WriteAlloc};
 pub use decision::{Decision, DecisionLevel, DecisionLog, DecisionRecord, EscalationRung};
+pub use executor::OpCause;
 pub use ftl::{DegradedMode, Ftl};
 pub use observer::InvalidateCause;
 pub use policy::SanitizePolicy;

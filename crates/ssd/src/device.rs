@@ -18,7 +18,7 @@ use crate::trace::{ResourceId, SpanKind, TraceEvent};
 use evanesco_core::chip::{EvanescoChip, ReadResult};
 use evanesco_core::fault::{FaultStats, OpStatus};
 use evanesco_ftl::executor::{probe_block_on, probe_page_on, BlockProbe, NandExecutor, PageProbe};
-use evanesco_ftl::GlobalPpa;
+use evanesco_ftl::{GlobalPpa, OpCause};
 use evanesco_nand::chip::{PageContent, PageData};
 use evanesco_nand::geometry::BlockId;
 use evanesco_nand::timing::{Nanos, TimingSpec};
@@ -103,6 +103,11 @@ pub struct TimedExecutor {
     /// Resource intervals reserved since the last
     /// [`TimedExecutor::take_trace_events`] drain.
     trace_events: Vec<TraceEvent>,
+    /// FTL cause scopes currently open ([`NandExecutor::push_cause`]);
+    /// the innermost one stamps every traced reservation. Purely
+    /// observational — never consulted for timing — and empty at every
+    /// host-request boundary, so checkpoints exclude it.
+    cause_stack: Vec<OpCause>,
 }
 
 impl TimedExecutor {
@@ -134,6 +139,7 @@ impl TimedExecutor {
             dispatch_end: Nanos::ZERO,
             trace_on: false,
             trace_events: Vec::new(),
+            cause_stack: Vec::new(),
         }
     }
 
@@ -175,7 +181,8 @@ impl TimedExecutor {
 
     fn trace_push(&mut self, kind: SpanKind, resource: ResourceId, start: Nanos, end: Nanos) {
         if self.trace_on && end > start {
-            self.trace_events.push(TraceEvent { kind, resource, start, end });
+            let cause = self.cause_stack.last().copied().unwrap_or(OpCause::Host);
+            self.trace_events.push(TraceEvent { kind, cause, resource, start, end });
         }
     }
 
@@ -516,7 +523,11 @@ impl NandExecutor for TimedExecutor {
         if retries > 0 {
             if let OpFate::Completes { .. } = fate {
                 let extra = Nanos(self.timing.t_read.0 * u64::from(retries));
+                // Re-sensing passes are fault-ladder work, not first-try
+                // service: blame them on the retry cause.
+                self.cause_stack.push(OpCause::Retry);
                 self.reserve_chip(at.chip, extra, SpanKind::Read);
+                self.cause_stack.pop();
                 self.breakdown.read += extra;
             }
         }
@@ -689,6 +700,14 @@ impl NandExecutor for TimedExecutor {
 
     fn stall(&mut self, chip: usize, dur: Nanos) {
         self.reserve_chip(chip, dur, SpanKind::Stall);
+    }
+
+    fn push_cause(&mut self, cause: OpCause) {
+        self.cause_stack.push(cause);
+    }
+
+    fn pop_cause(&mut self) {
+        self.cause_stack.pop();
     }
 
     fn begin_dispatch(&mut self, earliest: Nanos) {

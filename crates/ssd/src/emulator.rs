@@ -5,6 +5,7 @@
 //! `O_INSEC` / `REQ_OP_INSEC_WRITE` path), the FTL manages page states and
 //! locks, and the device array accounts simulated time for IOPS.
 
+use crate::anatomy::AnatomyRecorder;
 use crate::config::SsdConfig;
 use crate::device::TimedExecutor;
 use crate::gauges::LiveGauges;
@@ -47,6 +48,14 @@ pub struct Emulator {
     /// Recycled drain buffer for the executor's trace events: unrecorded
     /// drains hand their allocation back instead of dropping it.
     trace_spare: Vec<TraceEvent>,
+    /// Per-request latency-anatomy recorder
+    /// ([`Emulator::enable_anatomy`]); fed from each finished trace.
+    anatomy: Option<AnatomyRecorder>,
+    /// Context the scheduled dispatcher stashes for the next
+    /// `trace_finish`: the watchdog penalty window (absolute) and the
+    /// request's submission-order index. Cleared after each record.
+    anatomy_retry: Option<(Nanos, Nanos)>,
+    anatomy_req_idx: Option<usize>,
     /// Windowed telemetry ring ([`Emulator::enable_timeseries`]).
     timeseries: Option<TimeSeries>,
     /// Deadline watchdog on the scheduled path
@@ -74,6 +83,9 @@ impl Emulator {
             gauges: None,
             trace: None,
             trace_spare: Vec::new(),
+            anatomy: None,
+            anatomy_retry: None,
+            anatomy_req_idx: None,
             timeseries: None,
             watchdog: None,
             cfg,
@@ -180,6 +192,46 @@ impl Emulator {
         self.trace.take()
     }
 
+    /// Enables the latency-anatomy layer (see [`crate::anatomy`]): every
+    /// finished trace is decomposed into exact stages with
+    /// sanitization/GC/retry blame, keeping at most `capacity` rows and
+    /// a top-`top_k` slowest digest. Implies tracing with a ring of the
+    /// same capacity if tracing is not already on. Timing-neutral, like
+    /// tracing itself.
+    pub fn enable_anatomy(&mut self, capacity: usize, top_k: usize) -> &mut Self {
+        if self.trace.is_none() {
+            self.enable_tracing(capacity);
+        }
+        self.anatomy = Some(AnatomyRecorder::new(capacity, top_k));
+        self
+    }
+
+    /// The anatomy recorder, if enabled. Call
+    /// [`Emulator::finalize_anatomy`] first when reading aggregates at
+    /// end of run.
+    pub fn anatomy(&self) -> Option<&AnatomyRecorder> {
+        self.anatomy.as_ref()
+    }
+
+    /// Resolves all pending blame in the anatomy recorder (see
+    /// [`AnatomyRecorder::finalize`]). Idempotent; no-op when anatomy is
+    /// off.
+    pub fn finalize_anatomy(&mut self) {
+        if let Some(a) = self.anatomy.as_mut() {
+            a.finalize();
+        }
+    }
+
+    /// Detaches and returns the anatomy recorder (finalized), leaving
+    /// tracing in its current state.
+    pub fn take_anatomy(&mut self) -> Option<AnatomyRecorder> {
+        let mut a = self.anatomy.take();
+        if let Some(a) = a.as_mut() {
+            a.finalize();
+        }
+        a
+    }
+
     /// Enables windowed telemetry: every `interval` of simulated time a
     /// [`crate::timeseries::WindowSample`] closes (a `RunResult::since`
     /// delta plus gauge snapshots), keeping the most recent `capacity`
@@ -252,11 +304,16 @@ impl Emulator {
             // Zero-work brackets (e.g. a maintenance flush with nothing
             // queued) are not worth a ring slot.
             if !events.is_empty() || end > submit {
-                tr.record(kind, lpa, npages, acked, submit, earliest, end, events);
+                let t = tr.record(kind, lpa, npages, acked, submit, earliest, end, events);
+                if let Some(a) = self.anatomy.as_mut() {
+                    a.record(t, self.anatomy_retry, self.anatomy_req_idx);
+                }
             } else {
                 self.trace_spare = events;
             }
         }
+        self.anatomy_retry = None;
+        self.anatomy_req_idx = None;
     }
 
     /// Discards device events that accrued outside any request bracket
@@ -667,6 +724,7 @@ impl Emulator {
         }
         let mut results: Vec<Option<OpResult>> = vec![None; ops.len()];
         let mut completions = vec![Nanos::ZERO; ops.len()];
+        let mut submits = vec![Nanos::ZERO; ops.len()];
         let mut host_pages = 0u64;
         let mut next = 0usize;
         loop {
@@ -701,10 +759,12 @@ impl Emulator {
             let (res, done) = self.dispatch_scheduled(obs, &d, tag_base[d.idx], &mut sched);
             results[d.idx] = Some(res);
             completions[d.idx] = done;
+            submits[d.idx] = d.submit;
         }
         SchedRun {
             results: results.into_iter().map(|r| r.expect("every request dispatched")).collect(),
             completions,
+            submits,
             sim_time: self.ex.simulated_time().saturating_sub(start),
             host_pages,
             requests: ops.len() as u64,
@@ -734,6 +794,8 @@ impl Emulator {
                 Verdict::Retried { penalty } => d.earliest + penalty,
                 Verdict::Failed { penalty } => {
                     let done = d.earliest + penalty;
+                    self.anatomy_retry = Some((d.earliest, done));
+                    self.anatomy_req_idx = Some(d.idx);
                     let (lpa, npages) = d.op.lpa_range();
                     let kind = match d.op {
                         HostOp::Write { .. } => {
@@ -758,6 +820,12 @@ impl Emulator {
             };
         self.chaos_preop(obs);
         self.trace_discard_leftovers();
+        if earliest > d.earliest {
+            // Watchdog backoff pushed the start: the anatomy charges the
+            // penalty window to retry interference.
+            self.anatomy_retry = Some((d.earliest, earliest));
+        }
+        self.anatomy_req_idx = Some(d.idx);
         self.ex.begin_dispatch(earliest);
         self.ex.begin_commit();
         let mut acked_for_trace = true;

@@ -31,6 +31,7 @@
 //! # }
 //! ```
 
+pub mod anatomy;
 pub mod checkpoint;
 pub mod config;
 pub mod device;
@@ -47,6 +48,7 @@ pub mod timeseries;
 pub mod trace;
 pub mod watchdog;
 
+pub use anatomy::{AnatomyRecorder, RequestAnatomy, Stage};
 pub use checkpoint::{
     read_checkpoint, read_checkpoint_salvaging, write_checkpoint, CheckpointError, SalvageReport,
 };

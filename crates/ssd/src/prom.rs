@@ -12,6 +12,7 @@
 //! seconds, utilizations are 0..=1 ratios, and everything is prefixed
 //! `evanesco_`.
 
+use crate::anatomy::Stage;
 use crate::emulator::Emulator;
 use crate::metrics::LatencyHistogram;
 use crate::trace::SpanKind;
@@ -278,6 +279,42 @@ pub fn render(em: &Emulator) -> String {
         spans.render_into(&mut out).expect("static span-kind list is non-empty");
     }
 
+    if let Some(a) = em.anatomy() {
+        counter(
+            &mut out,
+            "evanesco_anatomy_recorded_total",
+            "Anatomy rows recorded (pending rows included).",
+            a.recorded(),
+        );
+        counter(
+            &mut out,
+            "evanesco_anatomy_dropped_total",
+            "Anatomy rows evicted from the resolved ring.",
+            a.dropped(),
+        );
+        counter(
+            &mut out,
+            "evanesco_anatomy_occupancy_dropped_total",
+            "Occupancy intervals evicted before blame resolution.",
+            a.occupancy_dropped(),
+        );
+        let mut stages = LabeledFamily::new(
+            "evanesco_anatomy_stage_ns_total",
+            "Exact per-stage latency decomposition across resolved rows \
+             (stage sums tile end-to-end latency).",
+            "counter",
+        );
+        for kind in crate::anatomy::REQ_KINDS {
+            for stage in Stage::ALL {
+                stages.sample_u(
+                    &[("kind", kind.label()), ("stage", stage.label())],
+                    a.stage_total(kind, stage).0,
+                );
+            }
+        }
+        stages.render_into(&mut out).expect("static kind x stage grid is non-empty");
+    }
+
     if let Some(w) = em.watchdog_stats() {
         counter(
             &mut out,
@@ -464,10 +501,12 @@ mod tests {
         let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
         ssd.enable_gauges();
         ssd.enable_tracing(64);
+        ssd.enable_anatomy(64, 8);
         ssd.enable_watchdog(crate::watchdog::DeadlineConfig::for_tests(1, 0.0));
         ssd.write(0, 8, true);
         ssd.read(0, 4);
         ssd.trim(0, 8);
+        ssd.finalize_anatomy();
         let scrape = ssd.prometheus_scrape();
         for family in [
             "evanesco_host_ops_total",
@@ -495,6 +534,9 @@ mod tests {
             "evanesco_ftl_audit_scrub_blocks_total",
             "evanesco_watchdog_stalls_injected_total",
             "evanesco_watchdog_deadline_failures_total",
+            "evanesco_anatomy_recorded_total",
+            "evanesco_anatomy_stage_ns_total{kind=\"trim\",stage=\"sanitize_interference\"}",
+            "evanesco_anatomy_stage_ns_total{kind=\"write\",stage=\"chip_service\"}",
         ] {
             assert!(scrape.contains(family), "scrape missing {family}:\n{scrape}");
         }

@@ -423,6 +423,11 @@ pub struct SchedRun {
     /// they vary with queue depth and are what open-loop callers (the
     /// fleet layer) use to attribute end-to-end sojourn latency.
     pub completions: Vec<Nanos>,
+    /// Per-request NCQ slot-acquisition times (device clock), in trace
+    /// order. `completions[i] - submits[i]` is the device-side end-to-end
+    /// latency; `submits[i] - arrival` is the slot wait the open-loop
+    /// front end imposed.
+    pub submits: Vec<Nanos>,
     /// Simulated time the run occupied (completion of the last request
     /// minus the device time when the run started).
     pub sim_time: Nanos,

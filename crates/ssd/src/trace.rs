@@ -14,7 +14,7 @@
 //! invariant the trace test suite checks on every traced request.
 
 use crate::jsonlite::{escape, Json};
-use evanesco_ftl::Lpa;
+use evanesco_ftl::{Lpa, OpCause};
 use evanesco_nand::timing::Nanos;
 use std::collections::{BTreeSet, VecDeque};
 
@@ -116,6 +116,10 @@ impl ResourceId {
 pub struct TraceEvent {
     /// Operation class.
     pub kind: SpanKind,
+    /// Why the command was issued (host path, GC, sanitization, retry
+    /// ladder) — the innermost FTL cause scope active when it reserved
+    /// the resource.
+    pub cause: OpCause,
     /// Resource occupied.
     pub resource: ResourceId,
     /// Absolute simulated start.
@@ -157,6 +161,9 @@ impl ReqKind {
 pub struct Segment {
     /// Segment class (highest-priority activity covering the slice).
     pub kind: SpanKind,
+    /// Cause of the covering event (`Host` for queue-wait and idle-wait
+    /// slices, where no event covers the instant).
+    pub cause: OpCause,
     /// Absolute simulated start.
     pub start: Nanos,
     /// Absolute simulated end (exclusive).
@@ -369,11 +376,12 @@ impl TraceRecorder {
                 push(
                     format!(
                         "{{\"name\":\"{}\",\"cat\":\"segment\",\"ph\":\"X\",\"ts\":{},\
-                         \"dur\":{},\"pid\":1,\"tid\":{}}}",
+                         \"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"cause\":\"{}\"}}}}",
                         s.kind.label(),
                         micros(s.start),
                         micros(s.dur()),
                         t.id,
+                        s.cause.label(),
                     ),
                     &mut out,
                 );
@@ -382,12 +390,13 @@ impl TraceRecorder {
                 push(
                     format!(
                         "{{\"name\":\"{}\",\"cat\":\"device\",\"ph\":\"X\",\"ts\":{},\
-                         \"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"req\":{}}}}}",
+                         \"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"req\":{},\"cause\":\"{}\"}}}}",
                         e.kind.label(),
                         micros(e.start),
                         micros(e.end - e.start),
                         e.resource.tid(),
                         t.id,
+                        e.cause.label(),
                     ),
                     &mut out,
                 );
@@ -426,19 +435,19 @@ fn meta_str(pid: u64, tid: Option<u64>, name: &str, value: &str) -> String {
 /// was working for the request. Adjacent same-kind slices merge.
 fn segment(submit: Nanos, earliest: Nanos, end: Nanos, events: &[TraceEvent]) -> Vec<Segment> {
     let mut out: Vec<Segment> = Vec::new();
-    let mut push = |kind: SpanKind, start: Nanos, stop: Nanos| {
+    let mut push = |kind: SpanKind, cause: OpCause, start: Nanos, stop: Nanos| {
         if stop <= start {
             return;
         }
         if let Some(last) = out.last_mut() {
-            if last.kind == kind && last.end == start {
+            if last.kind == kind && last.cause == cause && last.end == start {
                 last.end = stop;
                 return;
             }
         }
-        out.push(Segment { kind, start, end: stop });
+        out.push(Segment { kind, cause, start, end: stop });
     };
-    push(SpanKind::QueueWait, submit, earliest);
+    push(SpanKind::QueueWait, OpCause::Host, submit, earliest);
     let mut bounds: Vec<Nanos> = Vec::with_capacity(events.len() * 2 + 2);
     bounds.push(earliest);
     bounds.push(end);
@@ -450,13 +459,16 @@ fn segment(submit: Nanos, earliest: Nanos, end: Nanos, events: &[TraceEvent]) ->
     bounds.dedup();
     for w in bounds.windows(2) {
         let (a, b) = (w[0], w[1]);
-        let kind = events
+        // Highest-priority covering event wins the slice; on a kind tie the
+        // host-caused command wins (time under the request's own command is
+        // service, not interference, even if background work overlaps).
+        let (kind, cause) = events
             .iter()
             .filter(|e| e.start <= a && e.end >= b)
-            .map(|e| e.kind)
-            .max_by_key(|k| k.priority())
-            .unwrap_or(SpanKind::Wait);
-        push(kind, a, b);
+            .map(|e| (e.kind, e.cause))
+            .max_by_key(|&(k, c)| (k.priority(), c == OpCause::Host))
+            .unwrap_or((SpanKind::Wait, OpCause::Host));
+        push(kind, cause, a, b);
     }
     out
 }
@@ -547,7 +559,23 @@ mod tests {
     use super::*;
 
     fn ev(kind: SpanKind, res: ResourceId, start: u64, end: u64) -> TraceEvent {
-        TraceEvent { kind, resource: res, start: Nanos(start), end: Nanos(end) }
+        TraceEvent {
+            kind,
+            cause: OpCause::Host,
+            resource: res,
+            start: Nanos(start),
+            end: Nanos(end),
+        }
+    }
+
+    fn ev_caused(
+        kind: SpanKind,
+        cause: OpCause,
+        res: ResourceId,
+        start: u64,
+        end: u64,
+    ) -> TraceEvent {
+        TraceEvent { kind, cause, resource: res, start: Nanos(start), end: Nanos(end) }
     }
 
     #[test]
@@ -576,7 +604,12 @@ mod tests {
         // absorbed by priority), then the trailing wait.
         assert_eq!(
             t.segments[0],
-            Segment { kind: SpanKind::QueueWait, start: Nanos(40), end: Nanos(100) }
+            Segment {
+                kind: SpanKind::QueueWait,
+                cause: OpCause::Host,
+                start: Nanos(40),
+                end: Nanos(100)
+            }
         );
         assert_eq!(t.segments[1].kind, SpanKind::Xfer);
         assert!(t.segments.iter().any(|s| s.kind == SpanKind::Program));
@@ -665,6 +698,32 @@ mod tests {
         let bad = r#"{"displayTimeUnit":"ms","traceEvents":[
             {"name":"x","ph":"B","ts":0,"pid":0,"tid":0}]}"#;
         assert!(validate_chrome_trace(bad, schema).unwrap_err().contains("ph"));
+    }
+
+    #[test]
+    fn segments_carry_causes_and_host_wins_kind_ties() {
+        let events = vec![
+            // GC program alone, then overlapping with the host's own
+            // program (same kind): the host command claims the overlap.
+            ev_caused(SpanKind::Program, OpCause::Gc, ResourceId::Chip(1), 100, 300),
+            ev_caused(SpanKind::Program, OpCause::Host, ResourceId::Chip(0), 200, 400),
+            ev_caused(SpanKind::PLock, OpCause::Sanitize, ResourceId::Chip(0), 400, 500),
+        ];
+        let mut rec = TraceRecorder::new(4);
+        let t = rec.record(ReqKind::Trim, 0, 1, true, Nanos(100), Nanos(100), Nanos(500), events);
+        let expect = [
+            (SpanKind::Program, OpCause::Gc, 100, 200),
+            (SpanKind::Program, OpCause::Host, 200, 400),
+            (SpanKind::PLock, OpCause::Sanitize, 400, 500),
+        ];
+        assert_eq!(t.segments.len(), expect.len());
+        for (s, &(kind, cause, a, b)) in t.segments.iter().zip(expect.iter()) {
+            assert_eq!((s.kind, s.cause, s.start, s.end), (kind, cause, Nanos(a), Nanos(b)));
+        }
+        // Same kind, different causes: slices must not merge.
+        let json = rec.to_chrome_json();
+        assert!(json.contains("\"cause\":\"gc\""));
+        assert!(json.contains("\"cause\":\"sanitize\""));
     }
 
     #[test]

@@ -74,6 +74,22 @@ impl TenantProfile {
             offered_share: 8.0,
         }
     }
+
+    /// A pure sanitization storm: trim-dominated secure traffic (just
+    /// enough writes to keep pages mapped), so nearly every request
+    /// injects immediate pLock/bLock work with minimal GC pressure —
+    /// the cleanest stimulus for attributing neighbor tail latency to
+    /// sanitization-lock interference rather than copyback traffic.
+    pub fn sanitize_storm(name: &str) -> Self {
+        TenantProfile {
+            name: name.into(),
+            req_pages: (8, 16),
+            write_frac: 0.15,
+            trim_frac: 0.8,
+            secure: true,
+            offered_share: 8.0,
+        }
+    }
 }
 
 /// Fleet-wide arrival-process parameters.
@@ -102,6 +118,24 @@ impl TrafficConfig {
     /// `victims` well-behaved tenants.
     pub fn noisy_neighbor(victims: usize, requests_per_device: usize, seed: u64) -> Self {
         let mut tenants = vec![TenantProfile::noisy_neighbor("storm")];
+        tenants.extend((0..victims).map(|i| TenantProfile::victim(&format!("victim-{i}"))));
+        TrafficConfig {
+            tenants,
+            zipf_s: 0.9,
+            base_rate_per_sec: 30_000.0,
+            diurnal_amplitude: 0.5,
+            diurnal_period: Nanos::from_micros(200_000),
+            requests_per_device: seed_independent_len(requests_per_device),
+            seed,
+        }
+    }
+
+    /// A [`TenantProfile::sanitize_storm`] neighbor (rank 0) plus
+    /// `victims` well-behaved tenants: the storm's trim-heavy secure
+    /// stream keeps the device's lock traffic — not its GC — as the
+    /// dominant interference source on victims.
+    pub fn sanitize_storm(victims: usize, requests_per_device: usize, seed: u64) -> Self {
+        let mut tenants = vec![TenantProfile::sanitize_storm("storm")];
         tenants.extend((0..victims).map(|i| TenantProfile::victim(&format!("victim-{i}"))));
         TrafficConfig {
             tenants,
@@ -257,6 +291,24 @@ mod tests {
                 assert!(req.tenant < cfg.tenants.len());
             }
         }
+    }
+
+    #[test]
+    fn sanitize_storm_is_trim_dominated() {
+        let cfg = TrafficConfig::sanitize_storm(2, 3000, 11);
+        let trace = &generate_fleet(&cfg, 1, 1 << 12)[0];
+        let (mut trims, mut total) = (0usize, 0usize);
+        for req in trace.iter().filter(|r| r.tenant == 0) {
+            total += 1;
+            if matches!(req.op, HostOp::Trim { .. }) {
+                trims += 1;
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            trims * 2 > total,
+            "the storm tenant mostly trims ({trims}/{total}), priming lock traffic"
+        );
     }
 
     #[test]

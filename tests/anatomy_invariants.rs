@@ -1,0 +1,151 @@
+//! Latency-anatomy invariants, end to end through the public API.
+//!
+//! * **stage tiling** — for every anatomy row, the eight per-stage
+//!   durations sum *exactly* (integer nanoseconds) to the request's
+//!   end-to-end latency, at queue depths 1, 8 and 32, over arbitrary
+//!   mixed workloads;
+//! * **accounting** — `recorded == retained + dropped` on the anatomy
+//!   ring, and the per-kind×stage aggregate totals equal the sums over
+//!   the retained rows when nothing was evicted;
+//! * **timing neutrality** — enabling the anatomy layer changes no
+//!   simulated result: host results, completion times, submission
+//!   times, and simulated end time are identical with the layer on and
+//!   off (it only *observes* the trace stream);
+//! * **blame** — interference stages only ever carry time that some
+//!   segment of the request's window actually covered (they are a
+//!   reclassification of wait/service time, never invented time).
+
+use evanesco::ftl::SanitizePolicy;
+use evanesco::ssd::anatomy::REQ_KINDS;
+use evanesco::ssd::{Emulator, HostOp, SsdConfig, Stage};
+use proptest::prelude::*;
+
+/// A deterministic mixed workload from one seed: secure and insecure
+/// writes, reads, and trims over a small clustered address range.
+fn mixed_ops(logical: u64, n: usize, seed: u64) -> Vec<HostOp> {
+    let mut x = seed | 1;
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x >> 33
+    };
+    (0..n)
+        .map(|_| {
+            let npages = 1 + step() % 6;
+            let lpa = step() % (logical - npages);
+            match step() % 10 {
+                0..=4 => HostOp::Write { lpa, npages, secure: step() % 3 != 0 },
+                5..=7 => HostOp::Read { lpa, npages },
+                _ => HostOp::Trim { lpa, npages },
+            }
+        })
+        .collect()
+}
+
+fn anatomy_run(ops: &[HostOp], qd: usize) -> (Emulator, evanesco::ssd::AnatomyRecorder) {
+    let mut ssd = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+    ssd.enable_anatomy(ops.len(), 8);
+    ssd.run_scheduled(ops, qd);
+    let an = ssd.take_anatomy().expect("anatomy enabled");
+    (ssd, an)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The tiling identity: stage sums equal end-to-end latency exactly,
+    /// for every request, at serialized, moderate, and deep queue depths.
+    #[test]
+    fn stage_sums_tile_e2e_exactly_at_every_queue_depth(
+        seed in 1u64..u64::MAX,
+        n in 60usize..160,
+    ) {
+        let logical = SsdConfig::tiny_for_tests().ftl.logical_pages();
+        let ops = mixed_ops(logical, n, seed);
+        for qd in [1usize, 8, 32] {
+            let (_ssd, an) = anatomy_run(&ops, qd);
+            let retained = an.rows().count() as u64;
+            prop_assert!(retained > 0, "qd {}: no anatomy rows", qd);
+            prop_assert_eq!(an.recorded(), retained + an.dropped());
+            for row in an.rows() {
+                prop_assert_eq!(
+                    row.stage_sum().0,
+                    row.e2e().0,
+                    "qd {}: request {} ({:?}) stages do not tile its window",
+                    qd, row.trace_id, row.kind
+                );
+                // Interference is a reclassification, never new time.
+                prop_assert!(row.interference() <= row.e2e());
+            }
+            // With a ring sized to the op count nothing was evicted, so
+            // the aggregate totals must equal the per-row sums.
+            for kind in REQ_KINDS {
+                for stage in Stage::ALL {
+                    let total: u64 = an
+                        .rows()
+                        .filter(|r| r.kind == kind)
+                        .map(|r| r.stage(stage).0)
+                        .sum();
+                    prop_assert_eq!(an.stage_total(kind, stage).0, total);
+                }
+            }
+        }
+    }
+
+    /// Timing neutrality: the anatomy layer observes the run without
+    /// perturbing it — every simulated output is byte-identical.
+    #[test]
+    fn anatomy_is_timing_neutral(
+        seed in 1u64..u64::MAX,
+        n in 60usize..160,
+        qd in prop_oneof![Just(1usize), Just(8usize), Just(32usize)],
+    ) {
+        let logical = SsdConfig::tiny_for_tests().ftl.logical_pages();
+        let ops = mixed_ops(logical, n, seed);
+
+        let mut plain = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+        let off = plain.run_scheduled(&ops, qd);
+
+        let mut observed = Emulator::new(SsdConfig::tiny_for_tests(), SanitizePolicy::evanesco());
+        observed.enable_anatomy(ops.len(), 8);
+        let on = observed.run_scheduled(&ops, qd);
+
+        prop_assert_eq!(&off.results, &on.results, "host results moved");
+        prop_assert_eq!(&off.completions, &on.completions, "completion times moved");
+        prop_assert_eq!(&off.submits, &on.submits, "submission times moved");
+        prop_assert_eq!(off.sim_time, on.sim_time, "simulated end time moved");
+        let (a, b) = (plain.result(), observed.result());
+        prop_assert_eq!(a.host_ops, b.host_ops);
+        prop_assert_eq!(a.ftl, b.ftl, "anatomy changed FTL behaviour");
+    }
+}
+
+/// The top-K digest is deterministic and ordered slowest-first, and its
+/// causal chains stay within each request's window.
+#[test]
+fn top_k_is_ordered_and_chains_stay_in_window() {
+    let logical = SsdConfig::tiny_for_tests().ftl.logical_pages();
+    let ops = mixed_ops(logical, 300, 0x5EED);
+    let (_ssd, an) = anatomy_run(&ops, 8);
+    let top = an.top();
+    assert!(!top.is_empty());
+    for pair in top.windows(2) {
+        assert!(
+            pair[0].e2e() > pair[1].e2e()
+                || (pair[0].e2e() == pair[1].e2e() && pair[0].trace_id < pair[1].trace_id),
+            "top-K not ordered slowest-first with id tiebreak"
+        );
+    }
+    for row in top {
+        for link in &row.chain {
+            assert!(link.end > link.start, "empty chain link");
+            assert!(link.start >= row.submit && link.end <= row.end, "chain link escapes window");
+        }
+    }
+    let (_ssd2, an2) = anatomy_run(&ops, 8);
+    assert_eq!(an2.top().len(), top.len(), "top-K is deterministic");
+    for (a, b) in an2.top().iter().zip(top) {
+        assert_eq!(a, b, "top-K rows differ between identical runs");
+    }
+}

@@ -244,7 +244,9 @@ fn experiment_registry_accepts_every_gate_subcommand() {
     // The binary rejects unknown names (exit 1) by consulting this
     // registry before running anything; every gate-bearing subcommand
     // must therefore be listed, hostperf included.
-    for name in ["scheduler", "trace", "report", "campaign", "hostperf", "chaos", "fleet"] {
+    for name in
+        ["scheduler", "trace", "report", "campaign", "hostperf", "chaos", "fleet", "anatomy"]
+    {
         assert!(
             evanesco_bench::is_experiment_name(name),
             "gate subcommand '{name}' missing from EXPERIMENT_NAMES"

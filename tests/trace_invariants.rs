@@ -224,3 +224,110 @@ fn verify_without_audit_log_panics() {
     ssd.write(0, 4, true);
     ssd.verify_sanitized(0, 4);
 }
+
+mod eviction {
+    //! Ring-eviction invariants of the [`TraceRecorder`] itself, driven
+    //! through its public `record` entry point: every recorded trace is
+    //! either retained or counted as dropped, and the per-kind span-time
+    //! aggregates accumulate at record time — so they are preserved
+    //! exactly across ring wrap, no matter how small the ring.
+
+    use evanesco::ftl::OpCause;
+    use evanesco::nand::timing::Nanos;
+    use evanesco::ssd::trace::{ReqKind, ResourceId, SpanKind, TraceEvent, TraceRecorder};
+    use proptest::prelude::*;
+
+    const KINDS: [ReqKind; 5] =
+        [ReqKind::Write, ReqKind::Read, ReqKind::Trim, ReqKind::Recovery, ReqKind::Maintenance];
+    const EVENT_KINDS: [SpanKind; 6] = [
+        SpanKind::Xfer,
+        SpanKind::Read,
+        SpanKind::Program,
+        SpanKind::PLock,
+        SpanKind::BLock,
+        SpanKind::Erase,
+    ];
+    const CAUSES: [OpCause; 4] = [OpCause::Host, OpCause::Gc, OpCause::Sanitize, OpCause::Retry];
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn recorded_splits_into_retained_plus_dropped_and_span_totals_survive_wrap(
+            capacity in 1usize..12,
+            n in 1usize..100,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut rec = TraceRecorder::new(capacity);
+            let mut x = seed | 1;
+            let mut step = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x >> 32
+            };
+            // Expected aggregates, accumulated independently from each
+            // trace's derived segments the moment it is recorded (i.e.
+            // before any later eviction can touch it).
+            let mut expect = std::collections::HashMap::new();
+            for i in 0..n {
+                let submit = Nanos(i as u64 * 10_000);
+                let nev = (step() % 4) as usize;
+                let mut t = submit.0 + 1 + step() % 500;
+                let events: Vec<TraceEvent> = (0..nev)
+                    .map(|_| {
+                        let start = t;
+                        t += 1 + step() % 400;
+                        let ev = TraceEvent {
+                            kind: EVENT_KINDS[(step() % 6) as usize],
+                            cause: CAUSES[(step() % 4) as usize],
+                            resource: if step() % 2 == 0 {
+                                ResourceId::Chip((step() % 4) as usize)
+                            } else {
+                                ResourceId::Channel((step() % 2) as usize)
+                            },
+                            start: Nanos(start),
+                            end: Nanos(t),
+                        };
+                        t += step() % 100; // maybe leave a wait gap
+                        ev
+                    })
+                    .collect();
+                let end = Nanos(t.max(submit.0 + 1 + step() % 200));
+                let trace = rec.record(
+                    KINDS[i % KINDS.len()],
+                    (step() % 1024) as evanesco::ftl::Lpa,
+                    1 + step() % 8,
+                    step() % 2 == 0,
+                    submit,
+                    Nanos(submit.0 + step() % 50),
+                    end,
+                    events,
+                );
+                for s in &trace.segments {
+                    *expect.entry(s.kind).or_insert(Nanos::ZERO) += s.dur();
+                }
+            }
+
+            let retained = rec.traces().count() as u64;
+            prop_assert_eq!(rec.recorded(), n as u64);
+            prop_assert_eq!(rec.recorded(), retained + rec.dropped());
+            prop_assert_eq!(retained as usize, n.min(capacity));
+            prop_assert_eq!(rec.dropped(), n.saturating_sub(capacity) as u64);
+            // The ring keeps the most recent traces, in order.
+            let ids: Vec<u64> = rec.traces().map(|t| t.id).collect();
+            let first = (n - n.min(capacity)) as u64;
+            prop_assert_eq!(ids, (first..n as u64).collect::<Vec<_>>());
+            // Aggregates match the independent accumulation exactly,
+            // even though most traces were evicted from the ring.
+            for kind in SpanKind::ALL {
+                prop_assert_eq!(
+                    rec.span_total(kind),
+                    expect.get(&kind).copied().unwrap_or(Nanos::ZERO),
+                    "span_total({}) diverged across ring wrap",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
